@@ -1,0 +1,158 @@
+//! Beam-vs-injection comparison metrics (paper Figs 6–10).
+
+use crate::fit::FitRates;
+use sea_platform::FaultClass;
+
+/// The paper's ratio convention (Fig 6): divide the larger FIT by the
+/// smaller; the sign is positive when the beam rate is higher, negative
+/// when fault injection predicts higher.
+///
+/// Degenerate cases: both zero → `1.0` (agreement); one zero → ±∞ with
+/// the usual sign.
+pub fn fit_ratio(beam: f64, fi: f64) -> f64 {
+    match (beam == 0.0, fi == 0.0) {
+        (true, true) => 1.0,
+        (false, true) => f64::INFINITY,
+        (true, false) => f64::NEG_INFINITY,
+        (false, false) => {
+            if beam >= fi {
+                beam / fi
+            } else {
+                -(fi / beam)
+            }
+        }
+    }
+}
+
+/// Full comparison for one workload.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Workload display name.
+    pub workload: String,
+    /// Fault-injection-predicted FIT rates.
+    pub fi: FitRates,
+    /// Beam-measured FIT rates.
+    pub beam: FitRates,
+}
+
+impl Comparison {
+    /// Signed ratio for one class (Figs 6–8).
+    pub fn ratio(&self, class: FaultClass) -> f64 {
+        fit_ratio(self.beam.class(class), self.fi.class(class))
+    }
+
+    /// Signed ratio of SDC+AppCrash (Fig 9).
+    pub fn ratio_sdc_app(&self) -> f64 {
+        fit_ratio(self.beam.sdc_app(), self.fi.sdc_app())
+    }
+
+    /// Signed ratio of total FIT.
+    pub fn ratio_total(&self) -> f64 {
+        fit_ratio(self.beam.total(), self.fi.total())
+    }
+}
+
+/// The Fig 10 aggregate: across-benchmark average FIT at the three
+/// accumulation levels, for both methodologies.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Overview {
+    /// Average beam SDC FIT.
+    pub beam_sdc: f64,
+    /// Average beam SDC+AppCrash FIT.
+    pub beam_sdc_app: f64,
+    /// Average beam total FIT.
+    pub beam_total: f64,
+    /// Average injection SDC FIT.
+    pub fi_sdc: f64,
+    /// Average injection SDC+AppCrash FIT.
+    pub fi_sdc_app: f64,
+    /// Average injection total FIT.
+    pub fi_total: f64,
+}
+
+impl Overview {
+    /// Aggregates a set of per-workload comparisons.
+    pub fn from_comparisons(cs: &[Comparison]) -> Overview {
+        let n = cs.len().max(1) as f64;
+        let mut o = Overview::default();
+        for c in cs {
+            o.beam_sdc += c.beam.sdc / n;
+            o.beam_sdc_app += c.beam.sdc_app() / n;
+            o.beam_total += c.beam.total() / n;
+            o.fi_sdc += c.fi.sdc / n;
+            o.fi_sdc_app += c.fi.sdc_app() / n;
+            o.fi_total += c.fi.total() / n;
+        }
+        o
+    }
+
+    /// Beam/FI ratio when AppCrashes are added to SDCs (the paper reports
+    /// 4.3×).
+    pub fn sdc_app_ratio(&self) -> f64 {
+        self.beam_sdc_app / self.fi_sdc_app
+    }
+
+    /// Beam/FI ratio of total FIT (the paper reports 10.9×).
+    pub fn total_ratio(&self) -> f64 {
+        self.beam_total / self.fi_total
+    }
+
+    /// Beam/FI ratio of SDC FIT alone (paper: very close to 1).
+    pub fn sdc_ratio(&self) -> f64 {
+        self.beam_sdc / self.fi_sdc
+    }
+}
+
+/// Poisson confidence interval for an event count, using the normal
+/// approximation with continuity (adequate for the counts beam sessions
+/// produce): `n + z²/2 ± z·√(n + z²/4)`.
+pub fn poisson_ci(count: u64, z: f64) -> (f64, f64) {
+    let n = count as f64;
+    let center = n + z * z / 2.0;
+    let half = z * (n + z * z / 4.0).sqrt();
+    ((center - half).max(0.0), center + half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_sign_convention() {
+        assert_eq!(fit_ratio(10.0, 5.0), 2.0);
+        assert_eq!(fit_ratio(5.0, 10.0), -2.0);
+        assert_eq!(fit_ratio(0.0, 0.0), 1.0);
+        assert_eq!(fit_ratio(1.0, 0.0), f64::INFINITY);
+        assert_eq!(fit_ratio(0.0, 1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn overview_averages() {
+        let cs = vec![
+            Comparison {
+                workload: "a".into(),
+                fi: FitRates { sdc: 1.0, app_crash: 1.0, sys_crash: 1.0 },
+                beam: FitRates { sdc: 2.0, app_crash: 2.0, sys_crash: 20.0 },
+            },
+            Comparison {
+                workload: "b".into(),
+                fi: FitRates { sdc: 3.0, app_crash: 1.0, sys_crash: 1.0 },
+                beam: FitRates { sdc: 2.0, app_crash: 4.0, sys_crash: 40.0 },
+            },
+        ];
+        let o = Overview::from_comparisons(&cs);
+        assert!((o.fi_sdc - 2.0).abs() < 1e-12);
+        assert!((o.beam_total - 35.0).abs() < 1e-12);
+        assert!(o.total_ratio() > o.sdc_ratio());
+    }
+
+    #[test]
+    fn poisson_ci_contains_count_and_tightens() {
+        let (lo, hi) = poisson_ci(100, 1.96);
+        assert!(lo < 100.0 && hi > 100.0);
+        let (lo2, hi2) = poisson_ci(10_000, 1.96);
+        assert!((hi2 - lo2) / 10_000.0 < (hi - lo) / 100.0);
+        let (lo0, _) = poisson_ci(0, 1.96);
+        assert_eq!(lo0, 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Field-test planning (paper §II-B).
+//!
+//! The paper notes that exposing a fleet of devices to natural radiation
+//! could be more accurate than beam or injection, "however, a huge amount
+//! of devices and long time of exposure is required to gather a
+//! statistically significant amount of data, making field tests mostly
+//! unpractical". These helpers quantify exactly that trade-off, closing
+//! the loop on the three methodologies of Fig 1.
+
+/// A planned field test: `devices` units observed for `years`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FieldTest {
+    /// Number of devices in the fleet.
+    pub devices: f64,
+    /// Observation period in years.
+    pub years: f64,
+}
+
+impl FieldTest {
+    /// Total device-hours of exposure.
+    pub fn device_hours(&self) -> f64 {
+        self.devices * self.years * 24.0 * 365.25
+    }
+
+    /// Expected number of failures for a device with the given FIT rate.
+    pub fn expected_failures(&self, fit: f64) -> f64 {
+        fit * self.device_hours() / 1e9
+    }
+
+    /// Relative half-width of the failure-rate estimate at `z` confidence,
+    /// from Poisson counting statistics (`z / sqrt(n)`), or `None` if the
+    /// plan expects less than one event.
+    pub fn relative_error(&self, fit: f64, z: f64) -> Option<f64> {
+        let n = self.expected_failures(fit);
+        if n < 1.0 {
+            return None;
+        }
+        Some(z / n.sqrt())
+    }
+}
+
+/// Devices needed to observe `target_events` failures in `years` for a
+/// device with rate `fit`.
+pub fn devices_needed(fit: f64, target_events: f64, years: f64) -> f64 {
+    let hours = years * 24.0 * 365.25;
+    target_events * 1e9 / (fit * hours)
+}
+
+/// Years needed for a fixed fleet to observe `target_events` failures.
+pub fn years_needed(fit: f64, target_events: f64, devices: f64) -> f64 {
+    target_events * 1e9 / (fit * devices * 24.0 * 365.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rosetta_scale_numbers() {
+        // A 100-FIT device: one failure per ~1,141 device-years. A
+        // thousand-device fleet needs about a decade for ~9 events — the
+        // paper's "mostly unpractical".
+        let plan = FieldTest { devices: 1000.0, years: 10.0 };
+        let events = plan.expected_failures(100.0);
+        assert!((8.0..10.0).contains(&events), "events {events}");
+        let rel = plan.relative_error(100.0, 1.96).unwrap();
+        assert!(rel > 0.6, "even then the estimate is ±{:.0}%", rel * 100.0);
+    }
+
+    #[test]
+    fn inversions_are_consistent() {
+        let fit = 33.0;
+        let devices = devices_needed(fit, 100.0, 2.0);
+        let plan = FieldTest { devices, years: 2.0 };
+        assert!((plan.expected_failures(fit) - 100.0).abs() < 1e-6);
+        let years = years_needed(fit, 100.0, devices);
+        assert!((years - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_one_event_plans_report_no_error_bound() {
+        let plan = FieldTest { devices: 1.0, years: 1.0 };
+        assert_eq!(plan.relative_error(10.0, 1.96), None);
+    }
+}

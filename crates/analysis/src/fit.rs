@@ -1,0 +1,105 @@
+//! AVF → FIT conversion (paper §VI).
+//!
+//! `FIT_component = FIT_raw(bit) × Size(bits) × AVF_component`
+//!
+//! The application's FIT per effect class is the sum over all components
+//! of the per-class AVF weighted by size and the raw per-bit FIT.
+
+use sea_beam::BeamResult;
+use sea_injection::CampaignResult;
+use sea_platform::FaultClass;
+
+/// FIT rates per effect class.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct FitRates {
+    /// Silent data corruption FIT.
+    pub sdc: f64,
+    /// Application-crash FIT.
+    pub app_crash: f64,
+    /// System-crash FIT.
+    pub sys_crash: f64,
+}
+
+impl FitRates {
+    /// FIT of one class.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`FaultClass::Masked`] (masked faults have no FIT).
+    pub fn class(&self, class: FaultClass) -> f64 {
+        match class {
+            FaultClass::Sdc => self.sdc,
+            FaultClass::AppCrash => self.app_crash,
+            FaultClass::SysCrash => self.sys_crash,
+            FaultClass::Masked => panic!("masked faults have no FIT rate"),
+        }
+    }
+
+    /// SDC + Application-Crash FIT (the paper's Fig 9 quantity).
+    pub fn sdc_app(&self) -> f64 {
+        self.sdc + self.app_crash
+    }
+
+    /// Total FIT (Fig 10's rightmost bars).
+    pub fn total(&self) -> f64 {
+        self.sdc + self.app_crash + self.sys_crash
+    }
+}
+
+/// Converts a fault-injection campaign into predicted FIT rates using the
+/// per-bit raw FIT (the paper uses its beam-measured 2.76×10⁻⁵).
+pub fn fi_fit(campaign: &CampaignResult, fit_raw_per_bit: f64) -> FitRates {
+    let mut r = FitRates::default();
+    for c in &campaign.per_component {
+        let scale = fit_raw_per_bit * c.bits as f64;
+        r.sdc += scale * c.counts.rate(FaultClass::Sdc);
+        r.app_crash += scale * c.counts.rate(FaultClass::AppCrash);
+        r.sys_crash += scale * c.counts.rate(FaultClass::SysCrash);
+    }
+    r
+}
+
+/// Extracts measured FIT rates from a beam session.
+pub fn beam_fit(beam: &BeamResult) -> FitRates {
+    FitRates {
+        sdc: beam.fit(FaultClass::Sdc),
+        app_crash: beam.fit(FaultClass::AppCrash),
+        sys_crash: beam.fit(FaultClass::SysCrash),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_injection::{ClassCounts, ComponentResult};
+    use sea_microarch::Component;
+
+    fn fake_component(c: Component, bits: u64, sdc: u64, app: u64, sys: u64, masked: u64) -> ComponentResult {
+        ComponentResult {
+            component: c,
+            bits,
+            counts: ClassCounts { masked, sdc, app_crash: app, sys_crash: sys },
+            tag_counts: ClassCounts::default(),
+            outcomes: vec![],
+        }
+    }
+
+    #[test]
+    fn fi_fit_matches_hand_computation() {
+        let campaign = CampaignResult {
+            workload: "x".into(),
+            golden_cycles: 1,
+            per_component: vec![
+                fake_component(Component::L1D, 1000, 10, 5, 5, 80),
+                fake_component(Component::L2, 4000, 0, 0, 50, 50),
+            ],
+        };
+        let raw = 1e-5;
+        let r = fi_fit(&campaign, raw);
+        // L1D: 1000 bits × 1e-5 × 10% SDC = 1e-3.
+        assert!((r.sdc - 1e-3).abs() < 1e-12);
+        // SysCrash: 1000×1e-5×5% + 4000×1e-5×50% = 5e-4 + 2e-2.
+        assert!((r.sys_crash - (5e-4 + 2e-2)).abs() < 1e-12);
+        assert!((r.total() - (r.sdc + r.app_crash + r.sys_crash)).abs() < 1e-15);
+    }
+}

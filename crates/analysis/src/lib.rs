@@ -1,0 +1,25 @@
+//! # sea-analysis — AVF→FIT conversion and beam-vs-injection comparison
+//!
+//! The quantitative core of the paper's Section VI:
+//!
+//! * [`fi_fit`] — `FIT = FIT_raw × bits × AVF`, summed over components,
+//!   turning a fault-injection campaign into a FIT prediction;
+//! * [`beam_fit`] — FIT from beam counts and fluence;
+//! * [`fit_ratio`] / [`Comparison`] — the signed larger-over-smaller ratio
+//!   of Figs 6–9;
+//! * [`Overview`] — the Fig 10 across-benchmark aggregate;
+//! * [`report`] — ASCII table/figure rendering for the regeneration
+//!   binaries;
+//! * [`poisson_ci`] — confidence intervals on beam event counts;
+//! * [`field`] — field-test planning (the third methodology of Fig 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compare;
+pub mod field;
+mod fit;
+pub mod report;
+
+pub use compare::{fit_ratio, poisson_ci, Comparison, Overview};
+pub use fit::{beam_fit, fi_fit, FitRates};

@@ -1,0 +1,155 @@
+//! ASCII rendering of tables and figures.
+//!
+//! The regeneration binaries in `sea-bench` print the paper's tables and
+//! figures through these helpers: aligned tables for Tables I–IV and
+//! labeled horizontal bar charts for the figures.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned table: a header row plus data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in headers.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String| {
+        for w in &width {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    line(&mut out);
+    out.push('|');
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, " {:<w$} |", h, w = width[i]);
+    }
+    out.push('\n');
+    line(&mut out);
+    for row in rows {
+        out.push('|');
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            let _ = write!(out, " {:<w$} |", cell, w = width[i]);
+        }
+        out.push('\n');
+    }
+    line(&mut out);
+    out
+}
+
+/// A single horizontal bar scaled to `max` over `width` characters.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.clamp(if value > 0.0 { 1 } else { 0 }, width))
+}
+
+/// A log-scale bar for ratio plots (the paper's Figs 6–8 use log axes):
+/// the bar length is proportional to `log10(|value|)`, and the sign is
+/// rendered by direction markers.
+pub fn log_bar(value: f64, max_abs: f64, width: usize) -> String {
+    if !value.is_finite() {
+        return (if value > 0.0 { ">".repeat(width) } else { "<".repeat(width) }).to_string();
+    }
+    let mag = value.abs().max(1.0);
+    let max_mag = max_abs.abs().max(10.0);
+    let n = ((mag.log10() / max_mag.log10()) * width as f64).round() as usize;
+    let n = n.clamp(if mag > 1.0 { 1 } else { 0 }, width);
+    if value >= 0.0 {
+        "#".repeat(n)
+    } else {
+        "-".repeat(n)
+    }
+}
+
+/// Renders a grouped bar chart: one row per item, one bar per series.
+pub fn grouped_bars(
+    title: &str,
+    items: &[(String, Vec<f64>)],
+    series: &[&str],
+    width: usize,
+) -> String {
+    let max = items
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let name_w = items.iter().map(|(n, _)| n.len()).max().unwrap_or(4).max(4);
+    let series_w = series.iter().map(|s| s.len()).max().unwrap_or(4);
+    let mut out = format!("{title}\n");
+    let _ = writeln!(out, "(bar scale: {max:.3} FIT full width)");
+    for (name, vs) in items {
+        for (si, v) in vs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:<series_w$} |{:<width$}| {:>10.3}",
+                if si == 0 { name.as_str() } else { "" },
+                series[si],
+                bar(*v, max, width),
+                v,
+            );
+        }
+    }
+    out
+}
+
+/// Formats a signed ratio the way the paper's Fig 6–9 axes read:
+/// `12.3x` (beam higher) or `-4.5x` (injection higher), `inf` for
+/// one-sided zeros.
+pub fn ratio_label(r: f64) -> String {
+    if !r.is_finite() {
+        if r > 0.0 { "+inf".into() } else { "-inf".into() }
+    } else {
+        format!("{r:+.2}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+        );
+        assert!(t.contains("| name   | value |"));
+        assert!(t.contains("| longer | 22    |"));
+        // Every line has equal length.
+        let lens: std::collections::BTreeSet<_> =
+            t.lines().map(str::len).collect();
+        assert_eq!(lens.len(), 1);
+    }
+
+    #[test]
+    fn bars_scale_and_clamp() {
+        assert_eq!(bar(5.0, 10.0, 10).len(), 5);
+        assert_eq!(bar(100.0, 10.0, 10).len(), 10);
+        assert_eq!(bar(0.0, 10.0, 10).len(), 0);
+        assert!(!bar(0.001, 10.0, 10).is_empty(), "nonzero values stay visible");
+    }
+
+    #[test]
+    fn log_bar_direction() {
+        assert!(log_bar(100.0, 100.0, 20).starts_with('#'));
+        assert!(log_bar(-100.0, 100.0, 20).starts_with('-'));
+        assert_eq!(log_bar(f64::INFINITY, 100.0, 5), ">>>>>");
+    }
+
+    #[test]
+    fn ratio_labels() {
+        assert_eq!(ratio_label(2.0), "+2.00x");
+        assert_eq!(ratio_label(-3.5), "-3.50x");
+        assert_eq!(ratio_label(f64::INFINITY), "+inf");
+    }
+}

@@ -1,0 +1,311 @@
+//! Beam sessions: Monte-Carlo neutron exposure of the whole platform.
+//!
+//! Physically, a beam run is a Poisson process: strikes arrive at rate
+//! `flux × σ` for every structure with cross-section `σ`, and the paper
+//! keeps the error rate below one per 1,000 executions so events never
+//! overlap (§IV-B). Simulating millions of clean executions would be
+//! wasted work, so the session uses importance sampling: only struck
+//! executions are simulated, and the represented fluence is recovered from
+//! the total cross-section–time product. Strikes into *modeled* SRAM are
+//! replayed through the same simulator and classifier the injection
+//! campaigns use; strikes into the unmodeled platform logic take the
+//! analytic paths of [`crate::UnmodeledLogic`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use sea_injection::{run_one, CampaignConfig, InjectionSpec};
+use sea_microarch::{Component, System};
+use sea_platform::{boot, run, ClassCounts, FaultClass, GoldenRun, RunLimits};
+use sea_workloads::BuiltWorkload;
+
+use crate::config::{sigma_to_fit, BeamConfig, NYC_FLUX_PER_HOUR};
+
+/// Where a sampled strike landed.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum StrikeOrigin {
+    /// Modeled SRAM during execution (simulated via injection).
+    Sram(Component),
+    /// Unmodeled platform logic (FPGA–ARM bridge, interfaces).
+    PlatformLogic,
+    /// Unmodeled core control latches.
+    CoreLatch,
+    /// Modeled SRAM during the harness idle window (kernel-only live).
+    IdleSram,
+}
+
+/// One sampled strike and its classified effect.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StrikeOutcome {
+    /// Strike location category.
+    pub origin: StrikeOrigin,
+    /// Effect class.
+    pub class: FaultClass,
+}
+
+/// Result of a beam session for one workload.
+#[derive(Clone, Debug)]
+pub struct BeamResult {
+    /// Workload display name.
+    pub workload: String,
+    /// Effect tallies over all sampled strikes.
+    pub counts: ClassCounts,
+    /// Per-origin tallies.
+    pub by_origin: Vec<(StrikeOrigin, ClassCounts)>,
+    /// Represented fluence in n/cm².
+    pub fluence: f64,
+    /// Represented effective beam time in seconds.
+    pub beam_seconds: f64,
+    /// Equivalent natural exposure at NYC flux, in years.
+    pub nyc_years: f64,
+    /// Number of executions the session represents.
+    pub runs_represented: f64,
+    /// Fault-free execution length in cycles.
+    pub golden_cycles: u64,
+    /// Measured fraction of cache SRAM holding kernel-region data at the
+    /// end of a fault-free run (drives the idle-window model; §VI).
+    pub kernel_resident_frac: f64,
+    /// Measured I-cache residency of the program text,
+    /// `min(1, L1I bytes / text bytes)` (§VI's check-routine discussion).
+    pub code_residency: f64,
+}
+
+impl BeamResult {
+    /// FIT rate of one (non-masked) effect class.
+    pub fn fit(&self, class: FaultClass) -> f64 {
+        sigma_to_fit(self.counts.count(class) as f64 / self.fluence)
+    }
+
+    /// Total FIT across SDC + AppCrash + SysCrash.
+    pub fn total_fit(&self) -> f64 {
+        self.fit(FaultClass::Sdc) + self.fit(FaultClass::AppCrash) + self.fit(FaultClass::SysCrash)
+    }
+}
+
+/// Beam-session error.
+#[derive(Debug)]
+pub enum BeamError {
+    /// The fault-free run failed.
+    Golden(sea_platform::GoldenError),
+}
+
+impl std::fmt::Display for BeamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BeamError::Golden(e) => write!(f, "golden run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BeamError {}
+
+/// Measures the kernel-resident fraction of cache SRAM after a fault-free
+/// run: the share of valid lines (weighted by size) whose physical address
+/// is below the user page pool — i.e. kernel text/data/stack/page tables.
+pub fn measure_kernel_residency(
+    workload: &BuiltWorkload,
+    cfg: &BeamConfig,
+) -> Result<f64, BeamError> {
+    let (mut sys, _) = boot(cfg.machine, &workload.image, &cfg.kernel)
+        .map_err(|e| BeamError::Golden(sea_platform::GoldenError::Install(e)))?;
+    let limits = RunLimits { max_cycles: 500_000_000, tick_window: u64::MAX };
+    let _ = run(&mut sys, limits);
+    let mut kernel_bits = 0f64;
+    let mut total_bits = 0f64;
+    for cache in [&sys.mem.l1i, &sys.mem.l1d, &sys.mem.l2] {
+        let per_line = cache.total_bits() as f64 / cache.lines() as f64;
+        total_bits += cache.total_bits() as f64;
+        kernel_bits += cache
+            .valid_line_addrs()
+            .filter(|&a| a < sea_kernel::USER_POOL_BASE)
+            .count() as f64
+            * per_line;
+    }
+    Ok(kernel_bits / total_bits)
+}
+
+struct Weights {
+    sram_run: f64,
+    sys_run: f64,
+    app_run: f64,
+    sram_idle: f64,
+    sys_idle: f64,
+}
+
+impl Weights {
+    fn total(&self) -> f64 {
+        self.sram_run + self.sys_run + self.app_run + self.sram_idle + self.sys_idle
+    }
+}
+
+/// Runs a beam session sampling `strikes` struck executions.
+///
+/// ```no_run
+/// use sea_beam::{run_session, BeamConfig};
+/// use sea_platform::FaultClass;
+/// use sea_workloads::{Scale, Workload};
+///
+/// # fn main() -> Result<(), sea_beam::BeamError> {
+/// let built = Workload::Fft.build(Scale::Default);
+/// let r = run_session("FFT", &built, &BeamConfig::default(), 600)?;
+/// println!(
+///     "{:.1} NYC-years of exposure → SDC {:.2} FIT, SysCrash {:.2} FIT",
+///     r.nyc_years, r.fit(FaultClass::Sdc), r.fit(FaultClass::SysCrash),
+/// );
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Fails if the fault-free run does not complete cleanly.
+pub fn run_session(
+    name: &str,
+    workload: &BuiltWorkload,
+    cfg: &BeamConfig,
+    strikes: u32,
+) -> Result<BeamResult, BeamError> {
+    let golden: GoldenRun =
+        sea_platform::golden_run(cfg.machine, &workload.image, &cfg.kernel, 500_000_000)
+            .map_err(BeamError::Golden)?;
+    let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period);
+    let kernel_frac = measure_kernel_residency(workload, cfg)?;
+
+    let probe = System::new(cfg.machine, sea_microarch::NullDevice);
+    let sram_bits = probe.total_modeled_bits();
+    let l1i_bytes = cfg.machine.l1i.size_bytes as f64;
+    let code_residency = (l1i_bytes / workload.image.text_bytes().max(1) as f64).min(1.0);
+
+    let t_run = golden.cycles as f64 / cfg.clock_hz;
+    let t_idle = t_run * cfg.idle_frac;
+    let sigma_sram = cfg.sigma_bit * sram_bits as f64;
+    let w = Weights {
+        sram_run: sigma_sram * t_run,
+        sys_run: cfg.unmodeled.sigma_syscrash * t_run,
+        app_run: cfg.unmodeled.sigma_appcrash * code_residency * t_run,
+        sram_idle: sigma_sram * t_idle,
+        sys_idle: cfg.unmodeled.sigma_syscrash * t_idle,
+    };
+
+    // Component selection within modeled SRAM is proportional to size.
+    let comp_bits: Vec<(Component, u64)> =
+        Component::ALL.iter().map(|&c| (c, probe.component_bits(c))).collect();
+
+    // Pre-sample every strike deterministically.
+    #[derive(Clone, Copy)]
+    enum Plan {
+        Simulate(InjectionSpec),
+        Analytic(StrikeOrigin, FaultClass),
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut plans: Vec<Plan> = Vec::with_capacity(strikes as usize);
+    for _ in 0..strikes {
+        let x = rng.gen_range(0.0..w.total());
+        if x < w.sram_run {
+            // Simulated SRAM strike during execution.
+            let mut pick = rng.gen_range(0..sram_bits);
+            let mut component = Component::L2;
+            let mut bit = 0;
+            for &(c, b) in &comp_bits {
+                if pick < b {
+                    component = c;
+                    bit = pick;
+                    break;
+                }
+                pick -= b;
+            }
+            plans.push(Plan::Simulate(InjectionSpec {
+                component,
+                bit,
+                cycle: rng.gen_range(0..golden.cycles),
+            }));
+        } else if x < w.sram_run + w.sys_run + w.sys_idle {
+            plans.push(Plan::Analytic(StrikeOrigin::PlatformLogic, FaultClass::SysCrash));
+        } else if x < w.sram_run + w.sys_run + w.sys_idle + w.app_run {
+            plans.push(Plan::Analytic(StrikeOrigin::CoreLatch, FaultClass::AppCrash));
+        } else {
+            // Idle-window SRAM strike: only kernel-resident lines are live;
+            // a critical hit surfaces as a system crash at the next
+            // execution attempt, anything else is overwritten.
+            let class = if rng.gen_range(0.0..1.0) < kernel_frac * cfg.kernel_critical_frac {
+                FaultClass::SysCrash
+            } else {
+                FaultClass::Masked
+            };
+            plans.push(Plan::Analytic(StrikeOrigin::IdleSram, class));
+        }
+    }
+
+    // Simulate the SRAM strikes in parallel.
+    let inj_cfg = CampaignConfig {
+        machine: cfg.machine,
+        kernel: cfg.kernel,
+        samples_per_component: 0,
+        components: vec![],
+        seed: cfg.seed,
+        threads: cfg.threads,
+        fault_model: sea_injection::FaultModel::SingleBit,
+    };
+    let next = AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<StrikeOutcome>> = Mutex::new(Vec::with_capacity(plans.len()));
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        cfg.threads
+    };
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(plans.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= plans.len() {
+                    break;
+                }
+                let out = match plans[i] {
+                    Plan::Analytic(origin, class) => StrikeOutcome { origin, class },
+                    Plan::Simulate(spec) => {
+                        let o = run_one(workload, &inj_cfg, spec, limits);
+                        StrikeOutcome { origin: StrikeOrigin::Sram(spec.component), class: o.class }
+                    }
+                };
+                outcomes.lock().push(out);
+            });
+        }
+    })
+    .expect("beam worker panicked");
+
+    let all = outcomes.into_inner();
+    let mut counts = ClassCounts::default();
+    let mut by_origin: std::collections::BTreeMap<StrikeOrigin, ClassCounts> =
+        std::collections::BTreeMap::new();
+    for o in &all {
+        counts.add(o.class);
+        by_origin.entry(o.origin).or_default().add(o.class);
+    }
+
+    // Represented exposure: strikes arrive at flux × Σ(σ·t) per execution.
+    let runs_represented = strikes as f64 / (cfg.flux * w.total());
+    // FIT normalization uses *effective* beam time only — execution windows
+    // — matching the paper's "260 effective beam hours (not considering
+    // setup, initialization, and recover from crash times)". Strikes landed
+    // during the idle windows still count (their corruption surfaces during
+    // the next execution), but the overhead time does not dilute the rate.
+    let beam_seconds = runs_represented * t_run;
+    let fluence = cfg.flux * beam_seconds;
+    let nyc_years = fluence / NYC_FLUX_PER_HOUR / 24.0 / 365.25;
+
+    Ok(BeamResult {
+        workload: name.to_string(),
+        counts,
+        by_origin: by_origin.into_iter().collect(),
+        fluence,
+        beam_seconds,
+        nyc_years,
+        runs_represented,
+        golden_cycles: golden.cycles,
+        kernel_resident_frac: kernel_frac,
+        code_residency,
+    })
+}

@@ -1,0 +1,161 @@
+//! Criterion microbenchmarks over the simulator kernels that every table
+//! and figure depends on: functional vs detailed execution throughput
+//! (Table I's mechanism), the cost of one injected run (campaign budget),
+//! cache/TLB primitives, and instruction encode/decode.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use sea_core::injection::{run_one, CampaignConfig, InjectionSpec};
+use sea_core::isa::{decode, encode, Asm, Cond, Insn, Reg};
+use sea_core::kernel::KernelConfig;
+use sea_core::microarch::{
+    Cache, CacheConfig, Component, MachineConfig, NullDevice, Probe, StepOutcome, System, Tlb,
+    TlbEntry,
+};
+use sea_core::platform::{golden_run, RunLimits};
+use sea_core::workloads::{Scale, Workload};
+
+/// A small bare-metal machine running a tight loop, for step-rate
+/// measurements.
+fn looping_system(cfg: MachineConfig) -> System<NullDevice> {
+    use sea_core::isa::MemSize;
+    use sea_core::microarch::{l1_entry, pte, PTE_EXEC, PTE_WRITE};
+    let mut sys = System::new(cfg, NullDevice);
+    for mib in 0..4u32 {
+        let l2 = 0x8000 + mib * 0x400;
+        sys.mem.phys.write(0x4000 + mib * 4, MemSize::Word, l1_entry(l2));
+        for page in 0..256u32 {
+            sys.mem.phys.write(
+                l2 + page * 4,
+                MemSize::Word,
+                pte((mib << 8) + page, PTE_WRITE | PTE_EXEC),
+            );
+        }
+    }
+    sys.cpu.ttbr = 0x4000;
+    let mut a = Asm::new();
+    let e = a.label("e");
+    let lp = a.label("lp");
+    a.bind(e).unwrap();
+    a.mov32(Reg::R1, u32::MAX);
+    a.mov32(Reg::R3, 0x0030_0000);
+    a.bind(lp).unwrap();
+    a.and_imm(Reg::R2, Reg::R1, 0xFF0);
+    a.ldr_idx(Reg::R0, Reg::R3, Reg::R2, 0);
+    a.add(Reg::R0, Reg::R0, Reg::R1);
+    a.str_idx(Reg::R0, Reg::R3, Reg::R2, 0);
+    a.subs_imm(Reg::R1, Reg::R1, 1);
+    a.b_if(Cond::Ne, lp);
+    let img = a.finish(e).unwrap();
+    for seg in img.segments() {
+        sys.mem.phys.write_bytes(seg.vaddr, &seg.data);
+    }
+    sys.cpu.pc = img.entry();
+    sys
+}
+
+fn bench_step_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_throughput");
+    g.throughput(Throughput::Elements(10_000));
+    for (name, cfg) in [
+        ("detailed", MachineConfig::cortex_a9()),
+        ("atomic", MachineConfig::cortex_a9().atomic()),
+    ] {
+        let mut sys = looping_system(cfg);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    if sys.step() != StepOutcome::Executed {
+                        unreachable!("loop never terminates");
+                    }
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_injected_run(c: &mut Criterion) {
+    let built = Workload::MatMul.build(Scale::Tiny);
+    let cfg = CampaignConfig {
+        samples_per_component: 0,
+        components: vec![],
+        threads: 1,
+        ..CampaignConfig::default()
+    };
+    let golden =
+        golden_run(cfg.machine, &built.image, &KernelConfig::default(), 100_000_000).unwrap();
+    let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period);
+    c.bench_function("campaign_single_injected_run", |b| {
+        b.iter(|| {
+            run_one(
+                &built,
+                &cfg,
+                InjectionSpec {
+                    component: Component::L1D,
+                    bit: 12345,
+                    cycle: golden.cycles / 2,
+                },
+                limits,
+            )
+        })
+    });
+}
+
+fn bench_cache_ops(c: &mut Criterion) {
+    let cfg = CacheConfig { size_bytes: 32 * 1024, ways: 4, line_bytes: 32 };
+    c.bench_function("cache_probe_hit", |b| {
+        let mut cache = Cache::new(cfg, true);
+        let (idx, _) = cache.evict_for(0x1000);
+        cache.fill(idx, 0x1000, &[0u8; 32], false);
+        b.iter(|| cache.probe(0x1000))
+    });
+    c.bench_function("cache_miss_evict_fill", |b| {
+        b.iter_batched(
+            || Cache::new(cfg, true),
+            |mut cache| {
+                for i in 0..64u32 {
+                    if let Probe::Miss = cache.probe(i * 0x2000) {
+                        let (idx, _) = cache.evict_for(i * 0x2000);
+                        cache.fill(idx, i * 0x2000, &[0u8; 32], true);
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tlb_ops(c: &mut Criterion) {
+    c.bench_function("tlb_lookup_hit", |b| {
+        let mut tlb = Tlb::new(64);
+        for i in 0..64 {
+            tlb.insert(TlbEntry::new(i, i, true, true, false));
+        }
+        b.iter(|| tlb.lookup(32))
+    });
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let insn = Insn::Dp {
+        cond: Cond::Al,
+        op: sea_core::isa::DpOp::Add,
+        s: true,
+        rd: Reg::R0,
+        rn: Reg::R1,
+        op2: sea_core::isa::Operand2::encode_imm(42).unwrap(),
+    };
+    let word = encode(&insn);
+    c.bench_function("isa_encode", |b| b.iter(|| encode(&insn)));
+    c.bench_function("isa_decode", |b| b.iter(|| decode(word).unwrap()));
+}
+
+criterion_group!(
+    benches,
+    bench_step_rate,
+    bench_injected_run,
+    bench_cache_ops,
+    bench_tlb_ops,
+    bench_encode_decode
+);
+criterion_main!(benches);

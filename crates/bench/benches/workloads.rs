@@ -1,0 +1,47 @@
+//! Criterion benchmarks over full guest executions: the per-benchmark
+//! simulation cost that determines campaign wall-clock (the budget behind
+//! Table IV's sample-size choices).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sea_core::kernel::KernelConfig;
+use sea_core::platform::golden_run;
+use sea_core::workloads::{Scale, Workload};
+use sea_core::MachineConfig;
+
+fn bench_golden_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("golden_run_tiny");
+    g.sample_size(10);
+    for w in [
+        Workload::MatMul,
+        Workload::Dijkstra,
+        Workload::StringSearch,
+        Workload::Crc32,
+        Workload::JpegC,
+    ] {
+        let built = w.build(Scale::Tiny);
+        g.bench_function(w.name().replace(' ', "_"), |b| {
+            b.iter(|| {
+                golden_run(
+                    MachineConfig::cortex_a9_scaled(),
+                    &built.image,
+                    &KernelConfig::default(),
+                    200_000_000,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_workload_build(c: &mut Criterion) {
+    // Image assembly cost (the "compiler" side of the harness).
+    c.bench_function("build_rijndael_image", |b| {
+        b.iter(|| Workload::RijndaelE.build(Scale::Tiny))
+    });
+    c.bench_function("build_jpeg_image", |b| b.iter(|| Workload::JpegC.build(Scale::Tiny)));
+}
+
+criterion_group!(benches, bench_golden_runs, bench_workload_build);
+criterion_main!(benches);

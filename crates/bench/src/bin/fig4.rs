@@ -1,0 +1,38 @@
+//! Fig 4 — fault-injection effect classification (AVF breakdown) for all
+//! benchmarks in all six components.
+
+use sea_core::analysis::report::table;
+use sea_core::injection::run_campaign;
+use sea_core::FaultClass;
+
+fn main() {
+    let opts = sea_bench::parse_options();
+    let cfg = opts.study.injection_config();
+    let mut rows = Vec::new();
+    for &w in &opts.suite {
+        eprintln!("  {w}...");
+        let built = w.build(opts.study.scale);
+        let res = run_campaign(w.name(), &built, &cfg).expect("campaign");
+        for c in &res.per_component {
+            rows.push(vec![
+                w.name().to_string(),
+                c.component.short_name().to_string(),
+                format!("{:5.1}%", 100.0 * c.counts.rate(FaultClass::Masked)),
+                format!("{:5.1}%", 100.0 * c.counts.rate(FaultClass::Sdc)),
+                format!("{:5.1}%", 100.0 * c.counts.rate(FaultClass::AppCrash)),
+                format!("{:5.1}%", 100.0 * c.counts.rate(FaultClass::SysCrash)),
+                format!("{:5.1}%", 100.0 * c.counts.avf()),
+            ]);
+        }
+    }
+    println!("Fig 4 — injection effect classification per benchmark & component\n");
+    println!(
+        "{}",
+        table(
+            &["Benchmark", "Component", "Masked", "SDC", "AppCrash", "SysCrash", "AVF"],
+            &rows
+        )
+    );
+    println!("expected shape: SDCs concentrate in L1D/L2 (data arrays); L1I faults crash;");
+    println!("TLB physical targets are highly vulnerable; tag flips mostly benign.");
+}

@@ -1,0 +1,28 @@
+//! Fig 5 — fault-injection-predicted FIT rates per benchmark
+//! (AVF × size × FIT_raw, summed over the six components).
+
+use sea_core::analysis::report::grouped_bars;
+use sea_core::analysis::fi_fit;
+use sea_core::injection::run_campaign;
+
+fn main() {
+    let opts = sea_bench::parse_options();
+    let cfg = opts.study.injection_config();
+    let mut items = Vec::new();
+    for &w in &opts.suite {
+        eprintln!("  {w}...");
+        let built = w.build(opts.study.scale);
+        let res = run_campaign(w.name(), &built, &cfg).expect("campaign");
+        let fit = fi_fit(&res, opts.study.fit_raw);
+        items.push((w.name().to_string(), vec![fit.sdc, fit.app_crash, fit.sys_crash]));
+    }
+    println!(
+        "{}",
+        grouped_bars(
+            "Fig 5 — fault-injection FIT rates per benchmark (failures / 10^9 h)",
+            &items,
+            &["SDC", "AppCrash", "SysCrash"],
+            48,
+        )
+    );
+}

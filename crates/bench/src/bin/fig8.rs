@@ -1,0 +1,21 @@
+//! Fig 8 — System-Crash FIT comparison between beam and injection.
+
+use sea_bench::figures::ratio_figure;
+use sea_core::FaultClass;
+
+fn main() {
+    let opts = sea_bench::parse_options();
+    let res = sea_bench::run_study(&opts);
+    ratio_figure("Fig 8 — SysCrash FIT ratio (beam vs fault injection)", &res, |c| {
+        c.ratio(FaultClass::SysCrash)
+    });
+    println!("\nexpected shape: beam higher for every benchmark (platform logic +");
+    println!("kernel-resident cache exposure); largest for small-footprint workloads.");
+    for w in &res.workloads {
+        println!(
+            "  {:<14} kernel-resident cache fraction: {:.1}%",
+            w.comparison.workload,
+            100.0 * w.beam.kernel_resident_frac
+        );
+    }
+}

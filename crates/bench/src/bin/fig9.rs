@@ -1,0 +1,15 @@
+//! Fig 9 — SDC + AppCrash FIT comparison (core-only effects).
+
+use sea_bench::figures::ratio_figure;
+
+fn main() {
+    let opts = sea_bench::parse_options();
+    let res = sea_bench::run_study(&opts);
+    ratio_figure(
+        "Fig 9 — (SDC + AppCrash) FIT ratio (beam vs fault injection)",
+        &res,
+        |c| c.ratio_sdc_app(),
+    );
+    println!("\nexpected shape: tighter than Fig 7 alone — some beam AppCrashes appear");
+    println!("as SDCs in injection, and the sum cancels the reclassification.");
+}

@@ -1,0 +1,21 @@
+//! Table II — summary of setup attributes (beam platform vs simulator).
+
+use sea_core::analysis::report::table;
+use sea_core::{setup_rows, MachineConfig};
+
+fn main() {
+    let opts = sea_bench::parse_options();
+    println!("Table II — summary of setup attributes\n");
+    let rows: Vec<Vec<String>> = setup_rows(&MachineConfig::cortex_a9())
+        .into_iter()
+        .map(|r| vec![r.property.to_string(), r.beam, r.sim])
+        .collect();
+    println!("{}", table(&["Property", "Beam", "SEA model"], &rows));
+    println!("* see the paper's Table II caveats (pipeline resemblance; disabled 2nd core).");
+    let m = opts.study.machine;
+    println!(
+        "\ncampaign profile runs the uniformly scaled machine: L1 {} KB, L2 {} KB\n(paired with the scaled inputs; see DESIGN.md §1 and EXPERIMENTS.md)",
+        m.l1d.size_bytes / 1024,
+        m.l2.size_bytes / 1024
+    );
+}

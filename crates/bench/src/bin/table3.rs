@@ -1,0 +1,26 @@
+//! Table III — inputs and characteristics of the 13 benchmarks.
+
+use sea_core::analysis::report::table;
+use sea_core::Workload;
+
+fn main() {
+    let _ = sea_bench::parse_options();
+    println!("Table III — benchmark inputs and characteristics\n");
+    let rows: Vec<Vec<String>> = Workload::ALL
+        .iter()
+        .map(|w| {
+            let m = w.meta();
+            vec![
+                w.name().to_string(),
+                m.paper_input.to_string(),
+                m.scaled_input.to_string(),
+                m.characteristics.to_string(),
+                m.footprint.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["Benchmark", "Paper input", "Scaled input", "Characteristics", "Footprint"], &rows)
+    );
+}

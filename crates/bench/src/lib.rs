@@ -1,0 +1,167 @@
+//! # sea-bench — regeneration harness for every table and figure
+//!
+//! One binary per artifact of the paper's evaluation:
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `table1` | Table I — simulation throughput per abstraction layer |
+//! | `table2` | Table II — setup attributes |
+//! | `table3` | Table III — benchmark inputs and characteristics |
+//! | `table4` | Table IV — per-component statistical error margins |
+//! | `fig3` | Fig 3 — beam FIT rates per benchmark |
+//! | `fig4` | Fig 4 — fault-injection effect classification |
+//! | `fig5` | Fig 5 — fault-injection FIT rates |
+//! | `fig6`–`fig9` | Figs 6–9 — beam/FI FIT ratios per class |
+//! | `fig10` | Fig 10 — aggregate comparison overview |
+//! | `fit_raw` | §VI — the L1 per-bit raw-FIT measurement |
+//! | `counters` | §IV-D — the 7-counter setup cross-check |
+//! | `reproduce_all` | everything above, in order |
+//!
+//! Ablation binaries (`ablation_multibit`, `ablation_unmodeled`,
+//! `ablation_cache_scaling`, `ablation_samples`, `ablation_tlb`) cover the
+//! design choices DESIGN.md §4 calls out.
+//!
+//! Every binary accepts `--samples N` (faults/component), `--strikes N`
+//! (beam strikes/benchmark), `--seed N`, `--threads N`, `--tiny`
+//! (tiny inputs for smoke runs) and `--suite A,B,…` (benchmark subset).
+//! Criterion microbenchmarks (`cargo bench -p sea-bench`) cover the
+//! simulator kernels the tables depend on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sea_core::{Overview, Scale, Study, StudyResult, Workload, WorkloadStudy};
+
+/// CLI options shared by every regeneration binary.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// The study configuration.
+    pub study: Study,
+    /// Benchmarks to include.
+    pub suite: Vec<Workload>,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options { study: Study::default(), suite: Workload::ALL.to_vec() }
+    }
+}
+
+/// Parses the common CLI flags from `std::env::args`.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed flags.
+pub fn parse_options() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> String {
+            args.get(i + 1).unwrap_or_else(|| panic!("flag {} needs a value", args[i])).clone()
+        };
+        match args[i].as_str() {
+            "--samples" => {
+                opts.study.samples_per_component = need(i).parse().expect("--samples N");
+                i += 2;
+            }
+            "--strikes" => {
+                opts.study.beam_strikes = need(i).parse().expect("--strikes N");
+                i += 2;
+            }
+            "--seed" => {
+                opts.study.seed = need(i).parse().expect("--seed N");
+                i += 2;
+            }
+            "--threads" => {
+                opts.study.threads = need(i).parse().expect("--threads N");
+                i += 2;
+            }
+            "--tiny" => {
+                opts.study.scale = Scale::Tiny;
+                i += 1;
+            }
+            "--suite" => {
+                opts.suite = need(i)
+                    .split(',')
+                    .map(|name| {
+                        Workload::ALL
+                            .into_iter()
+                            .find(|w| {
+                                w.name().eq_ignore_ascii_case(name)
+                                    || w.name().replace(' ', "").eq_ignore_ascii_case(name)
+                            })
+                            .unwrap_or_else(|| panic!("unknown workload `{name}`"))
+                    })
+                    .collect();
+                i += 2;
+            }
+            other => panic!("unknown flag `{other}` (see sea-bench docs for usage)"),
+        }
+    }
+    opts
+}
+
+/// Runs the full study for the configured suite, printing progress to
+/// stderr.
+///
+/// # Panics
+///
+/// Panics if a golden run fails (setup bug).
+pub fn run_study(opts: &Options) -> StudyResult {
+    eprintln!(
+        "study: {} benchmarks, {} faults/component, {} beam strikes (seed {:#x})",
+        opts.suite.len(),
+        opts.study.samples_per_component,
+        opts.study.beam_strikes,
+        opts.study.seed
+    );
+    let t0 = std::time::Instant::now();
+    let mut workloads: Vec<WorkloadStudy> = Vec::new();
+    for &w in &opts.suite {
+        let t = std::time::Instant::now();
+        workloads.push(opts.study.run_workload(w).expect("workload study"));
+        eprintln!("  {w}: {:.1}s", t.elapsed().as_secs_f64());
+    }
+    let comparisons: Vec<_> = workloads.iter().map(|w| w.comparison.clone()).collect();
+    eprintln!("study done in {:.1}s", t0.elapsed().as_secs_f64());
+    StudyResult {
+        overview: Overview::from_comparisons(&comparisons),
+        workloads,
+        fit_raw: opts.study.fit_raw,
+    }
+}
+
+/// Shared rendering for the ratio figures (Figs 6–9).
+pub mod figures {
+    use sea_core::analysis::report::{log_bar, ratio_label};
+    use sea_core::{Comparison, StudyResult};
+
+    /// Prints a signed log-scale ratio chart, one row per benchmark.
+    pub fn ratio_figure(
+        title: &str,
+        res: &StudyResult,
+        metric: impl Fn(&Comparison) -> f64,
+    ) {
+        println!("{title}");
+        println!("(negative ← fault injection higher | beam higher → positive; log scale)\n");
+        let rows: Vec<(String, f64)> = res
+            .workloads
+            .iter()
+            .map(|w| (w.comparison.workload.clone(), metric(&w.comparison)))
+            .collect();
+        let max = rows
+            .iter()
+            .map(|(_, r)| if r.is_finite() { r.abs() } else { 1000.0 })
+            .fold(10.0f64, f64::max);
+        let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(4);
+        for (name, r) in &rows {
+            let bar = log_bar(*r, max, 30);
+            if *r >= 0.0 {
+                println!("{name:<name_w$} {:>31}|{bar:<30} {}", "", ratio_label(*r));
+            } else {
+                println!("{name:<name_w$} {:>31}|{:<30} {}", bar, "", ratio_label(*r));
+            }
+        }
+    }
+}

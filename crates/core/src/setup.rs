@@ -1,0 +1,69 @@
+//! The two experimental setups (paper Table II).
+
+use sea_microarch::MachineConfig;
+
+/// One row of the setup-attributes table.
+#[derive(Clone, Debug)]
+pub struct SetupRow {
+    /// Attribute name.
+    pub property: &'static str,
+    /// The physical/beam setup's value.
+    pub beam: String,
+    /// The simulated setup's value.
+    pub sim: String,
+}
+
+/// Produces the Table II rows for a simulated machine configuration,
+/// against the paper's physical platform column.
+///
+/// The asterisks carry the same caveats as the paper's: the simulated
+/// pipeline *resembles* the Cortex-A9 without matching it exactly, and the
+/// physical part's second core is present but disabled.
+pub fn setup_rows(machine: &MachineConfig) -> Vec<SetupRow> {
+    let cache = |c: &sea_microarch::CacheConfig| {
+        format!("{} KB {}-way", c.size_bytes / 1024, c.ways)
+    };
+    vec![
+        SetupRow {
+            property: "Microarchitecture",
+            beam: "Cortex-A9".into(),
+            sim: "Cortex-A9-class (AR32)*".into(),
+        },
+        SetupRow {
+            property: "Platform",
+            beam: "Zynq 7000 (ZedBoard)".into(),
+            sim: "SEA board model".into(),
+        },
+        SetupRow { property: "CPU cores", beam: "1*".into(), sim: "1".into() },
+        SetupRow {
+            property: "L1 Cache",
+            beam: "32 KB 4-way".into(),
+            sim: cache(&machine.l1i),
+        },
+        SetupRow {
+            property: "L2 Cache",
+            beam: "512 KB 8-way".into(),
+            sim: cache(&machine.l2),
+        },
+        SetupRow {
+            property: "Kernel version",
+            beam: "Linux 3.14".into(),
+            sim: "linux-lite (sea-kernel)".into(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_matches_table_ii() {
+        let rows = setup_rows(&MachineConfig::cortex_a9());
+        let l1 = rows.iter().find(|r| r.property == "L1 Cache").unwrap();
+        assert_eq!(l1.beam, l1.sim);
+        let l2 = rows.iter().find(|r| r.property == "L2 Cache").unwrap();
+        assert_eq!(l2.beam, l2.sim);
+        assert_eq!(rows.len(), 6);
+    }
+}

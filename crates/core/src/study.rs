@@ -1,0 +1,179 @@
+//! The end-to-end study: both methodologies over the benchmark suite.
+
+use sea_analysis::{beam_fit, fi_fit, Comparison, Overview};
+use sea_beam::{measure_fit_raw, run_session, BeamConfig, BeamResult, RawFitResult};
+use sea_injection::{run_campaign, CampaignConfig, CampaignResult};
+use sea_kernel::KernelConfig;
+use sea_microarch::MachineConfig;
+use sea_workloads::{Scale, Workload};
+
+/// Everything measured for one workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadStudy {
+    /// The workload.
+    pub workload: Workload,
+    /// Fault-injection campaign results (per-component AVFs).
+    pub campaign: CampaignResult,
+    /// Beam session results.
+    pub beam: BeamResult,
+    /// FIT comparison derived from both.
+    pub comparison: Comparison,
+}
+
+/// Results across the whole suite.
+#[derive(Clone, Debug)]
+pub struct StudyResult {
+    /// Per-workload results, in the paper's order.
+    pub workloads: Vec<WorkloadStudy>,
+    /// The Fig 10 aggregate.
+    pub overview: Overview,
+    /// Per-bit raw FIT used for the AVF→FIT conversion.
+    pub fit_raw: f64,
+}
+
+impl StudyResult {
+    /// All comparisons, borrowed.
+    pub fn comparisons(&self) -> Vec<Comparison> {
+        self.workloads.iter().map(|w| w.comparison.clone()).collect()
+    }
+}
+
+/// Study error.
+#[derive(Debug)]
+pub enum StudyError {
+    /// An injection campaign failed.
+    Campaign(sea_injection::CampaignError),
+    /// A beam session failed.
+    Beam(sea_beam::BeamError),
+}
+
+impl std::fmt::Display for StudyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StudyError::Campaign(e) => write!(f, "injection campaign failed: {e}"),
+            StudyError::Beam(e) => write!(f, "beam session failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
+/// Configuration of a full reproduction study.
+///
+/// The defaults give a campaign that completes in minutes; the paper-scale
+/// equivalents (`samples_per_component = 1000`, more strikes) are a field
+/// away.
+#[derive(Clone, Debug)]
+pub struct Study {
+    /// Benchmark input scale.
+    pub scale: Scale,
+    /// Machine configuration (shared by both methodologies, Table II).
+    pub machine: MachineConfig,
+    /// Kernel configuration.
+    pub kernel: KernelConfig,
+    /// Injected faults per component per workload (paper: 1,000).
+    pub samples_per_component: u32,
+    /// Sampled beam strikes per workload.
+    pub beam_strikes: u32,
+    /// Per-bit raw FIT for the AVF→FIT conversion (paper: 2.76×10⁻⁵,
+    /// measured with the L1 probe — see [`Study::measure_fit_raw`]).
+    pub fit_raw: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for Study {
+    fn default() -> Study {
+        Study {
+            scale: Scale::Default,
+            machine: MachineConfig::cortex_a9_scaled(),
+            kernel: KernelConfig::default(),
+            samples_per_component: 150,
+            beam_strikes: 600,
+            fit_raw: 2.76e-5,
+            seed: 0x5EA_0001,
+            threads: 0,
+        }
+    }
+}
+
+impl Study {
+    /// The injection-campaign configuration this study uses.
+    pub fn injection_config(&self) -> CampaignConfig {
+        CampaignConfig {
+            machine: self.machine,
+            kernel: self.kernel,
+            samples_per_component: self.samples_per_component,
+            components: sea_microarch::Component::ALL.to_vec(),
+            seed: self.seed,
+            threads: self.threads,
+            fault_model: sea_injection::FaultModel::SingleBit,
+        }
+    }
+
+    /// The beam configuration this study uses.
+    pub fn beam_config(&self) -> BeamConfig {
+        BeamConfig {
+            machine: self.machine,
+            kernel: self.kernel,
+            sigma_bit: sea_beam::fit_to_sigma(self.fit_raw),
+            seed: self.seed,
+            threads: self.threads,
+            ..BeamConfig::default()
+        }
+    }
+
+    /// Runs both methodologies for one workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign/beam failures (broken golden runs).
+    pub fn run_workload(&self, w: Workload) -> Result<WorkloadStudy, StudyError> {
+        let built = w.build(self.scale);
+        let campaign = run_campaign(w.name(), &built, &self.injection_config())
+            .map_err(StudyError::Campaign)?;
+        let beam = run_session(w.name(), &built, &self.beam_config(), self.beam_strikes)
+            .map_err(StudyError::Beam)?;
+        let comparison = Comparison {
+            workload: w.name().to_string(),
+            fi: fi_fit(&campaign, self.fit_raw),
+            beam: beam_fit(&beam),
+        };
+        Ok(WorkloadStudy { workload: w, campaign, beam, comparison })
+    }
+
+    /// Runs the full 13-benchmark study.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-workload failure.
+    pub fn run_all(&self) -> Result<StudyResult, StudyError> {
+        self.run_suite(&Workload::ALL)
+    }
+
+    /// Runs the study over a chosen subset of benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-workload failure.
+    pub fn run_suite(&self, suite: &[Workload]) -> Result<StudyResult, StudyError> {
+        let mut workloads = Vec::new();
+        for &w in suite {
+            workloads.push(self.run_workload(w)?);
+        }
+        let comparisons: Vec<Comparison> =
+            workloads.iter().map(|w| w.comparison.clone()).collect();
+        Ok(StudyResult {
+            overview: Overview::from_comparisons(&comparisons),
+            workloads,
+            fit_raw: self.fit_raw,
+        })
+    }
+
+    /// Runs the paper's §VI FIT_raw measurement (the L1 probe under beam).
+    pub fn measure_fit_raw(&self, strikes: u32) -> RawFitResult {
+        measure_fit_raw(&self.beam_config(), strikes)
+    }
+}

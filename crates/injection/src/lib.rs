@@ -1,0 +1,24 @@
+//! # sea-injection — statistical microarchitectural fault injection
+//!
+//! The GeFIN equivalent (paper §IV-C): single-bit transient faults injected
+//! uniformly over (bit, cycle) into the six modeled SRAM components —
+//! physical register file, L1I, L1D, L2, ITLB, DTLB — with each run
+//! classified as Masked / SDC / Application Crash / System Crash against
+//! the golden output.
+//!
+//! Campaigns are deterministic (seeded), parallel (crossbeam worker pool),
+//! and carry the statistical machinery of Leveugle et al. used by the
+//! paper: sample-size selection at 99% confidence and the post-campaign
+//! error-margin re-adjustment behind Table IV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+pub mod stats;
+
+pub use campaign::{
+    run_campaign, run_one, CampaignConfig, CampaignError, CampaignResult, ComponentResult,
+    FaultModel, InjectionOutcome, InjectionSpec,
+};
+pub use sea_platform::ClassCounts;

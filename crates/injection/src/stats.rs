@@ -1,0 +1,91 @@
+//! Statistical fault sampling (Leveugle et al., DATE 2009), as used by the
+//! paper to size its campaigns (§IV-C) and report Table IV.
+
+/// z-score for 99% confidence (the paper's level).
+pub const Z_99: f64 = 2.5758;
+/// z-score for 95% confidence.
+pub const Z_95: f64 = 1.9600;
+
+/// Required sample size for a population of `population` bits, target
+/// error margin `e`, confidence `z`, and initial failure-probability
+/// estimate `p` (the paper starts from the worst case `p = 0.5`).
+///
+/// `n = N / (1 + e²(N-1) / (z²·p(1-p)))`
+pub fn sample_size(population: u64, e: f64, z: f64, p: f64) -> u64 {
+    let n = population as f64;
+    (n / (1.0 + e * e * (n - 1.0) / (z * z * p * (1.0 - p)))).ceil() as u64
+}
+
+/// Error margin achieved by `n` samples out of `population`, at confidence
+/// `z` and failure probability `p`:
+///
+/// `e = z · sqrt(p(1-p)/n · (N-n)/(N-1))`
+pub fn error_margin(population: u64, n: u64, z: f64, p: f64) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let nn = population as f64;
+    let fpc = if nn > 1.0 { (nn - n as f64) / (nn - 1.0) } else { 0.0 };
+    z * (p * (1.0 - p) / n as f64 * fpc.max(0.0)).sqrt()
+}
+
+/// The paper's post-campaign re-adjustment (§IV-C): after measuring the
+/// AVF, replace the worst-case `p = 0.5` by the measured value *shifted by
+/// the initial margin toward 0.5* (conservative), and recompute the margin.
+/// This tightened the paper's margins to the 1.7%–4% range of Table IV.
+pub fn adjusted_error_margin(population: u64, n: u64, z: f64, measured_avf: f64) -> f64 {
+    let e0 = error_margin(population, n, z, 0.5);
+    // Shift toward 0.5 by the initial margin; p(1-p) is monotone toward
+    // 0.5, so this is the conservative end of the confidence interval.
+    let p = if measured_avf < 0.5 {
+        (measured_avf + e0).min(0.5)
+    } else {
+        (measured_avf - e0).max(0.5)
+    };
+    error_margin(population, n, z, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sample_size_about_one_thousand() {
+        // §IV-C: 1,000 faults ↔ ~4% margin at 99% confidence, p = 0.5,
+        // for the large populations of the cache arrays.
+        let bits = 512 * 1024 * 8u64;
+        let n = sample_size(bits, 0.0408, Z_99, 0.5);
+        assert!((950..=1050).contains(&n), "n = {n}");
+        let e = error_margin(bits, 1000, Z_99, 0.5);
+        assert!((0.039..=0.042).contains(&e), "e = {e}");
+    }
+
+    #[test]
+    fn margin_shrinks_with_more_samples_and_small_p() {
+        let bits = 1u64 << 22;
+        assert!(error_margin(bits, 2000, Z_99, 0.5) < error_margin(bits, 1000, Z_99, 0.5));
+        assert!(error_margin(bits, 1000, Z_99, 0.1) < error_margin(bits, 1000, Z_99, 0.5));
+    }
+
+    #[test]
+    fn adjustment_reproduces_table_iv_range() {
+        // With 1,000 samples, measured AVFs between ~2% and 50% must give
+        // margins within the paper's 1.7%–4.0% span.
+        let bits = 32 * 1024 * 8u64;
+        for avf in [0.02, 0.1, 0.3, 0.5] {
+            let e = adjusted_error_margin(bits, 1000, Z_99, avf);
+            assert!((0.010..=0.041).contains(&e), "avf {avf} → e {e}");
+        }
+        // Small AVFs tighten the margin below the worst case.
+        assert!(
+            adjusted_error_margin(bits, 1000, Z_99, 0.02)
+                < error_margin(bits, 1000, Z_99, 0.5)
+        );
+    }
+
+    #[test]
+    fn finite_population_correction_caps_at_population() {
+        assert_eq!(error_margin(100, 100, Z_99, 0.5), 0.0);
+        assert!(error_margin(100, 0, Z_99, 0.5) >= 1.0);
+    }
+}

@@ -1,0 +1,1151 @@
+//! The programmatic assembler.
+//!
+//! [`Asm`] builds an [`Image`] from a stream of instructions, data
+//! directives, labels and fix-ups. It is used by `sea-workloads` to express
+//! every guest benchmark, and by `sea-kernel` to build the supervisor image.
+//!
+//! The assembler manages four sections at fixed virtual bases (mirroring a
+//! conventional static link layout):
+//!
+//! | section | base | contents |
+//! |---------|------|----------|
+//! | `.text` | `0x0001_0000` | code |
+//! | `.rodata` | `0x0010_0000` | read-only data |
+//! | `.data` | `0x0020_0000` | initialized read-write data |
+//! | `.bss` | after `.data` | zero-initialized, size-only |
+//!
+//! Conditional execution is expressed with the modal [`Asm::ifc`], which
+//! applies a condition code to the *next* emitted instruction:
+//!
+//! ```
+//! use sea_isa::{Asm, Cond, Reg};
+//! let mut a = Asm::new();
+//! let l = a.label("start");
+//! a.bind(l).unwrap();
+//! a.cmp_imm(Reg::R0, 0);
+//! a.ifc(Cond::Ne).sub_imm(Reg::R0, Reg::R0, 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::insn::{
+    AddrMode, DpOp, FpArithOp, FpUnaryOp, Insn, MemOffset, MemSize, MulOp, Operand2, ShiftedReg,
+    SysReg,
+};
+use crate::{encode, Cond, FReg, Image, ImageError, Reg, Segment, SegmentFlags};
+
+/// Default virtual base of `.text`.
+pub const TEXT_BASE: u32 = 0x0001_0000;
+/// Default virtual base of `.rodata`.
+pub const RODATA_BASE: u32 = 0x0010_0000;
+/// Default virtual base of `.data`.
+pub const DATA_BASE: u32 = 0x0020_0000;
+
+/// An assembler section.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Section {
+    /// Executable code.
+    Text,
+    /// Read-only data.
+    Rodata,
+    /// Initialized read-write data.
+    Data,
+    /// Zero-initialized data (size only; emitting bytes here is an error).
+    Bss,
+}
+
+impl Section {
+    const COUNT: usize = 4;
+
+    fn index(self) -> usize {
+        match self {
+            Section::Text => 0,
+            Section::Rodata => 1,
+            Section::Data => 2,
+            Section::Bss => 3,
+        }
+    }
+}
+
+/// A label handle created by [`Asm::label`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Assembly error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A label was used but never bound.
+    UnboundLabel {
+        /// Label name.
+        name: String,
+    },
+    /// A label was bound twice.
+    Rebound {
+        /// Label name.
+        name: String,
+    },
+    /// A branch target is out of the ±4 MiB encodable range.
+    BranchOutOfRange {
+        /// Label name of the target.
+        name: String,
+    },
+    /// Data was emitted into `.bss`.
+    DataInBss,
+    /// The produced segments are invalid.
+    Image(ImageError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            AsmError::Rebound { name } => write!(f, "label `{name}` bound twice"),
+            AsmError::BranchOutOfRange { name } => {
+                write!(f, "branch to `{name}` out of encodable range")
+            }
+            AsmError::DataInBss => write!(f, "initialized data emitted into .bss"),
+            AsmError::Image(e) => write!(f, "invalid image: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<ImageError> for AsmError {
+    fn from(e: ImageError) -> AsmError {
+        AsmError::Image(e)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum FixupKind {
+    /// Patch the 23-bit branch offset of the instruction at the fix-up site.
+    Branch,
+    /// Write the label's absolute address into the data word at the site.
+    AbsWord,
+    /// Patch a `movw`+`movt` pair (two consecutive words) with the label's
+    /// absolute address.
+    MovAddr,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Fixup {
+    section: Section,
+    offset: u32,
+    label: Label,
+    kind: FixupKind,
+}
+
+#[derive(Clone, Debug)]
+struct LabelInfo {
+    name: String,
+    bound: Option<(Section, u32)>,
+}
+
+/// The programmatic assembler; see the module-level documentation.
+#[derive(Debug)]
+pub struct Asm {
+    bufs: [Vec<u8>; Section::COUNT],
+    bss_size: u32,
+    cur: Section,
+    labels: Vec<LabelInfo>,
+    fixups: Vec<Fixup>,
+    pending_cond: Option<Cond>,
+    bases: [u32; 3],
+}
+
+impl Default for Asm {
+    fn default() -> Self {
+        Asm::new()
+    }
+}
+
+impl Asm {
+    /// Creates an empty assembler positioned in `.text` with the default
+    /// section bases.
+    pub fn new() -> Asm {
+        Asm {
+            bufs: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            bss_size: 0,
+            cur: Section::Text,
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            pending_cond: None,
+            bases: [TEXT_BASE, RODATA_BASE, DATA_BASE],
+        }
+    }
+
+    // ----- sections, labels, fix-ups -------------------------------------
+
+    /// Switches the current section.
+    pub fn section(&mut self, s: Section) -> &mut Asm {
+        self.cur = s;
+        self
+    }
+
+    /// Creates a fresh (unbound) label.
+    pub fn label(&mut self, name: &str) -> Label {
+        self.labels.push(LabelInfo { name: name.to_string(), bound: None });
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::Rebound`] if the label is already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        let here = (self.cur, self.here());
+        let info = &mut self.labels[label.0];
+        if info.bound.is_some() {
+            return Err(AsmError::Rebound { name: info.name.clone() });
+        }
+        info.bound = Some(here);
+        Ok(())
+    }
+
+    /// Creates a label and immediately binds it here.
+    ///
+    /// # Panics
+    ///
+    /// Never panics (fresh labels are unbound).
+    pub fn here_label(&mut self, name: &str) -> Label {
+        let l = self.label(name);
+        self.bind(l).expect("fresh label cannot be bound");
+        l
+    }
+
+    /// Current offset within the current section, in bytes.
+    pub fn here(&self) -> u32 {
+        if self.cur == Section::Bss {
+            self.bss_size
+        } else {
+            self.bufs[self.cur.index()].len() as u32
+        }
+    }
+
+    // ----- raw emission ---------------------------------------------------
+
+    /// Emits one instruction, consuming any pending condition from
+    /// [`Asm::ifc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if emitting into a non-text section or if a field is out of
+    /// range (see [`encode`]).
+    pub fn push(&mut self, mut insn: Insn) -> &mut Asm {
+        assert_eq!(self.cur, Section::Text, "instructions must go into .text");
+        if let Some(c) = self.pending_cond.take() {
+            insn = with_cond(insn, c);
+        }
+        let w = encode(&insn);
+        self.bufs[Section::Text.index()].extend_from_slice(&w.to_le_bytes());
+        self
+    }
+
+    /// Applies `cond` to the next emitted instruction only.
+    pub fn ifc(&mut self, cond: Cond) -> &mut Asm {
+        self.pending_cond = Some(cond);
+        self
+    }
+
+    /// Emits one instruction from its textual form (see
+    /// [`crate::parse_insn`]); a convenience for porting snippets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the text does not parse — assembly text in source code is
+    /// programmer-authored, like the builder calls around it.
+    pub fn text(&mut self, line: &str) -> &mut Asm {
+        let insn = crate::parse_insn(line)
+            .unwrap_or_else(|e| panic!("bad assembly `{line}`: {e}"));
+        self.push(insn)
+    }
+
+    // ----- data directives --------------------------------------------------
+
+    fn emit_bytes(&mut self, bytes: &[u8]) {
+        assert_ne!(self.cur, Section::Bss, "initialized data emitted into .bss");
+        self.bufs[self.cur.index()].extend_from_slice(bytes);
+    }
+
+    /// Emits raw bytes into the current data section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current section is `.bss`.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Asm {
+        self.emit_bytes(bytes);
+        self
+    }
+
+    /// Emits one little-endian 32-bit word.
+    pub fn word(&mut self, w: u32) -> &mut Asm {
+        self.emit_bytes(&w.to_le_bytes());
+        self
+    }
+
+    /// Emits a slice of words.
+    pub fn words(&mut self, ws: &[u32]) -> &mut Asm {
+        for &w in ws {
+            self.word(w);
+        }
+        self
+    }
+
+    /// Emits one little-endian 16-bit halfword.
+    pub fn half(&mut self, h: u16) -> &mut Asm {
+        self.emit_bytes(&h.to_le_bytes());
+        self
+    }
+
+    /// Emits one `f32` as its IEEE-754 bit pattern.
+    pub fn float(&mut self, v: f32) -> &mut Asm {
+        self.word(v.to_bits())
+    }
+
+    /// Emits a slice of floats.
+    pub fn floats(&mut self, vs: &[f32]) -> &mut Asm {
+        for &v in vs {
+            self.float(v);
+        }
+        self
+    }
+
+    /// Emits `n` zero bytes (or reserves them, in `.bss`).
+    pub fn zero(&mut self, n: u32) -> &mut Asm {
+        if self.cur == Section::Bss {
+            self.bss_size += n;
+        } else {
+            let idx = self.cur.index();
+            self.bufs[idx].resize(self.bufs[idx].len() + n as usize, 0);
+        }
+        self
+    }
+
+    /// Pads the current section to an `n`-byte boundary (n a power of two).
+    pub fn align(&mut self, n: u32) -> &mut Asm {
+        debug_assert!(n.is_power_of_two());
+        let here = self.here();
+        let pad = here.next_multiple_of(n) - here;
+        self.zero(pad)
+    }
+
+    /// Emits a data word that will hold the absolute address of `label`.
+    pub fn word_label(&mut self, label: Label) -> &mut Asm {
+        let fix =
+            Fixup { section: self.cur, offset: self.here(), label, kind: FixupKind::AbsWord };
+        self.word(0);
+        self.fixups.push(fix);
+        self
+    }
+
+    // ----- data processing ----------------------------------------------
+
+    /// Generic data-processing emission.
+    pub fn dp(&mut self, op: DpOp, s: bool, rd: Reg, rn: Reg, op2: Operand2) -> &mut Asm {
+        let s = s || op.is_compare();
+        let rd = if op.is_compare() { Reg::R0 } else { rd };
+        let rn = if op.ignores_rn() { Reg::R0 } else { rn };
+        self.push(Insn::Dp { cond: Cond::Al, op, s, rd, rn, op2 })
+    }
+
+    fn dp_imm(&mut self, op: DpOp, s: bool, rd: Reg, rn: Reg, imm: u32) -> &mut Asm {
+        let op2 = Operand2::encode_imm(imm)
+            .unwrap_or_else(|| panic!("immediate {imm:#x} not encodable; use mov32"));
+        self.dp(op, s, rd, rn, op2)
+    }
+
+    /// `rd = rm`.
+    pub fn mov(&mut self, rd: Reg, rm: Reg) -> &mut Asm {
+        self.dp(DpOp::Mov, false, rd, Reg::R0, Operand2::Reg(ShiftedReg::plain(rm)))
+    }
+
+    /// `rd = imm` for rotated-encodable immediates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` is not encodable; use [`Asm::mov32`] for arbitrary
+    /// constants.
+    pub fn mov_imm(&mut self, rd: Reg, imm: u32) -> &mut Asm {
+        self.dp_imm(DpOp::Mov, false, rd, Reg::R0, imm)
+    }
+
+    /// Loads an arbitrary 32-bit constant with a `movw`/`movt` pair (the
+    /// `movt` is skipped when the top half is zero).
+    pub fn mov32(&mut self, rd: Reg, value: u32) -> &mut Asm {
+        self.push(Insn::MovW { cond: Cond::Al, top: false, rd, imm: value as u16 });
+        if value >> 16 != 0 {
+            self.push(Insn::MovW { cond: Cond::Al, top: true, rd, imm: (value >> 16) as u16 });
+        }
+        self
+    }
+
+    /// Loads the absolute address of `label` into `rd` (always a
+    /// `movw`+`movt` pair, patched at finish time).
+    pub fn addr(&mut self, rd: Reg, label: Label) -> &mut Asm {
+        assert_eq!(self.cur, Section::Text);
+        assert!(self.pending_cond.is_none(), "addr cannot be conditional");
+        let fix =
+            Fixup { section: self.cur, offset: self.here(), label, kind: FixupKind::MovAddr };
+        self.fixups.push(fix);
+        self.push(Insn::MovW { cond: Cond::Al, top: false, rd, imm: 0 });
+        self.push(Insn::MovW { cond: Cond::Al, top: true, rd, imm: 0 })
+    }
+
+    /// `rd = rn + rm`.
+    pub fn add(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.dp(DpOp::Add, false, rd, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+    }
+
+    /// `rd = rn + imm`.
+    pub fn add_imm(&mut self, rd: Reg, rn: Reg, imm: u32) -> &mut Asm {
+        self.dp_imm(DpOp::Add, false, rd, rn, imm)
+    }
+
+    /// `rd = rn + (rm SHIFT amount)`.
+    pub fn add_shifted(&mut self, rd: Reg, rn: Reg, sr: ShiftedReg) -> &mut Asm {
+        self.dp(DpOp::Add, false, rd, rn, Operand2::Reg(sr))
+    }
+
+    /// `rd = rn - rm`.
+    pub fn sub(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.dp(DpOp::Sub, false, rd, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+    }
+
+    /// `rd = rn - imm`.
+    pub fn sub_imm(&mut self, rd: Reg, rn: Reg, imm: u32) -> &mut Asm {
+        self.dp_imm(DpOp::Sub, false, rd, rn, imm)
+    }
+
+    /// `rd = rn - imm`, setting flags.
+    pub fn subs_imm(&mut self, rd: Reg, rn: Reg, imm: u32) -> &mut Asm {
+        self.dp_imm(DpOp::Sub, true, rd, rn, imm)
+    }
+
+    /// `rd = imm - rn` (reverse subtract; `rsb rd, rn, #0` negates).
+    pub fn rsb_imm(&mut self, rd: Reg, rn: Reg, imm: u32) -> &mut Asm {
+        self.dp_imm(DpOp::Rsb, false, rd, rn, imm)
+    }
+
+    /// `rd = rn - rm`, setting flags.
+    pub fn subs(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.dp(DpOp::Sub, true, rd, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+    }
+
+    /// `rd = rn + imm`, setting flags.
+    pub fn adds_imm(&mut self, rd: Reg, rn: Reg, imm: u32) -> &mut Asm {
+        self.dp_imm(DpOp::Add, true, rd, rn, imm)
+    }
+
+    /// `rd = rn & rm`.
+    pub fn and(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.dp(DpOp::And, false, rd, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+    }
+
+    /// `rd = rn & imm`.
+    pub fn and_imm(&mut self, rd: Reg, rn: Reg, imm: u32) -> &mut Asm {
+        self.dp_imm(DpOp::And, false, rd, rn, imm)
+    }
+
+    /// `rd = rn | rm`.
+    pub fn orr(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.dp(DpOp::Orr, false, rd, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+    }
+
+    /// `rd = rn | imm`.
+    pub fn orr_imm(&mut self, rd: Reg, rn: Reg, imm: u32) -> &mut Asm {
+        self.dp_imm(DpOp::Orr, false, rd, rn, imm)
+    }
+
+    /// `rd = rn | (rm SHIFT amount)`.
+    pub fn orr_shifted(&mut self, rd: Reg, rn: Reg, sr: ShiftedReg) -> &mut Asm {
+        self.dp(DpOp::Orr, false, rd, rn, Operand2::Reg(sr))
+    }
+
+    /// `rd = rn ^ rm`.
+    pub fn eor(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.dp(DpOp::Eor, false, rd, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+    }
+
+    /// `rd = rn ^ imm`.
+    pub fn eor_imm(&mut self, rd: Reg, rn: Reg, imm: u32) -> &mut Asm {
+        self.dp_imm(DpOp::Eor, false, rd, rn, imm)
+    }
+
+    /// `rd = rn ^ (rm SHIFT amount)`.
+    pub fn eor_shifted(&mut self, rd: Reg, rn: Reg, sr: ShiftedReg) -> &mut Asm {
+        self.dp(DpOp::Eor, false, rd, rn, Operand2::Reg(sr))
+    }
+
+    /// `rd = rn & !imm`.
+    pub fn bic_imm(&mut self, rd: Reg, rn: Reg, imm: u32) -> &mut Asm {
+        self.dp_imm(DpOp::Bic, false, rd, rn, imm)
+    }
+
+    /// `rd = !rm`.
+    pub fn mvn(&mut self, rd: Reg, rm: Reg) -> &mut Asm {
+        self.dp(DpOp::Mvn, false, rd, Reg::R0, Operand2::Reg(ShiftedReg::plain(rm)))
+    }
+
+    /// `rd = rm << amount` (immediate shift).
+    pub fn lsl(&mut self, rd: Reg, rm: Reg, amount: u8) -> &mut Asm {
+        self.dp(
+            DpOp::Mov,
+            false,
+            rd,
+            Reg::R0,
+            Operand2::Reg(ShiftedReg { rm, shift: crate::Shift::Lsl, amount }),
+        )
+    }
+
+    /// `rd = rm >> amount` (immediate logical shift).
+    pub fn lsr(&mut self, rd: Reg, rm: Reg, amount: u8) -> &mut Asm {
+        self.dp(
+            DpOp::Mov,
+            false,
+            rd,
+            Reg::R0,
+            Operand2::Reg(ShiftedReg { rm, shift: crate::Shift::Lsr, amount }),
+        )
+    }
+
+    /// `rd = rm >> amount` (immediate arithmetic shift).
+    pub fn asr(&mut self, rd: Reg, rm: Reg, amount: u8) -> &mut Asm {
+        self.dp(
+            DpOp::Mov,
+            false,
+            rd,
+            Reg::R0,
+            Operand2::Reg(ShiftedReg { rm, shift: crate::Shift::Asr, amount }),
+        )
+    }
+
+    /// `rd = rm ror amount` (immediate rotate).
+    pub fn ror(&mut self, rd: Reg, rm: Reg, amount: u8) -> &mut Asm {
+        self.dp(
+            DpOp::Mov,
+            false,
+            rd,
+            Reg::R0,
+            Operand2::Reg(ShiftedReg { rm, shift: crate::Shift::Ror, amount }),
+        )
+    }
+
+    /// Flags from `rn - rm`.
+    pub fn cmp(&mut self, rn: Reg, rm: Reg) -> &mut Asm {
+        self.dp(DpOp::Cmp, true, Reg::R0, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+    }
+
+    /// Flags from `rn - imm`.
+    pub fn cmp_imm(&mut self, rn: Reg, imm: u32) -> &mut Asm {
+        self.dp_imm(DpOp::Cmp, true, Reg::R0, rn, imm)
+    }
+
+    /// Flags from `rn & imm`.
+    pub fn tst_imm(&mut self, rn: Reg, imm: u32) -> &mut Asm {
+        self.dp_imm(DpOp::Tst, true, Reg::R0, rn, imm)
+    }
+
+    /// Flags from `rn & rm`.
+    pub fn tst(&mut self, rn: Reg, rm: Reg) -> &mut Asm {
+        self.dp(DpOp::Tst, true, Reg::R0, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+    }
+
+    // ----- multiply / divide / variable shifts ----------------------------
+
+    fn mul_op(&mut self, op: MulOp, rd: Reg, rn: Reg, rm: Reg, ra: Reg) -> &mut Asm {
+        self.push(Insn::Mul { cond: Cond::Al, op, s: false, rd, rn, rm, ra })
+    }
+
+    /// `rd = rn * rm`.
+    pub fn mul(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.mul_op(MulOp::Mul, rd, rn, rm, Reg::R0)
+    }
+
+    /// `rd = rn * rm + ra`.
+    pub fn mla(&mut self, rd: Reg, rn: Reg, rm: Reg, ra: Reg) -> &mut Asm {
+        self.mul_op(MulOp::Mla, rd, rn, rm, ra)
+    }
+
+    /// `hi:lo = rn * rm` (unsigned).
+    pub fn umull(&mut self, lo: Reg, hi: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.mul_op(MulOp::Umull, lo, rn, rm, hi)
+    }
+
+    /// `hi:lo = rn * rm` (signed).
+    pub fn smull(&mut self, lo: Reg, hi: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.mul_op(MulOp::Smull, lo, rn, rm, hi)
+    }
+
+    /// `rd = rn / rm` (unsigned; 0 on divide-by-zero).
+    pub fn udiv(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.mul_op(MulOp::Udiv, rd, rn, rm, Reg::R0)
+    }
+
+    /// `rd = rn / rm` (signed; 0 on divide-by-zero).
+    pub fn sdiv(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.mul_op(MulOp::Sdiv, rd, rn, rm, Reg::R0)
+    }
+
+    /// `rd = rn % rm` (unsigned; 0 on divide-by-zero).
+    pub fn urem(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.mul_op(MulOp::Urem, rd, rn, rm, Reg::R0)
+    }
+
+    /// `rd = rn << (rm & 31)`.
+    pub fn lslv(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.mul_op(MulOp::Lslv, rd, rn, rm, Reg::R0)
+    }
+
+    /// `rd = rn >> (rm & 31)` (logical).
+    pub fn lsrv(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.mul_op(MulOp::Lsrv, rd, rn, rm, Reg::R0)
+    }
+
+    /// `rd = (rn as i32) >> (rm & 31)`.
+    pub fn asrv(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.mul_op(MulOp::Asrv, rd, rn, rm, Reg::R0)
+    }
+
+    // ----- memory ----------------------------------------------------------
+
+    /// Generic scalar load/store.
+    pub fn mem(
+        &mut self,
+        load: bool,
+        size: MemSize,
+        rd: Reg,
+        rn: Reg,
+        offset: MemOffset,
+        mode: AddrMode,
+    ) -> &mut Asm {
+        self.push(Insn::Mem { cond: Cond::Al, load, size, rd, rn, offset, mode })
+    }
+
+    /// `rd = mem32[rn + off]`.
+    pub fn ldr(&mut self, rd: Reg, rn: Reg, off: u16) -> &mut Asm {
+        self.mem(true, MemSize::Word, rd, rn, MemOffset::Imm(off), AddrMode::offset())
+    }
+
+    /// `mem32[rn + off] = rd`.
+    pub fn str(&mut self, rd: Reg, rn: Reg, off: u16) -> &mut Asm {
+        self.mem(false, MemSize::Word, rd, rn, MemOffset::Imm(off), AddrMode::offset())
+    }
+
+    /// `rd = mem8[rn + off]` (zero-extended).
+    pub fn ldrb(&mut self, rd: Reg, rn: Reg, off: u16) -> &mut Asm {
+        self.mem(true, MemSize::Byte, rd, rn, MemOffset::Imm(off), AddrMode::offset())
+    }
+
+    /// `mem8[rn + off] = rd`.
+    pub fn strb(&mut self, rd: Reg, rn: Reg, off: u16) -> &mut Asm {
+        self.mem(false, MemSize::Byte, rd, rn, MemOffset::Imm(off), AddrMode::offset())
+    }
+
+    /// `rd = mem16[rn + off]` (zero-extended).
+    pub fn ldrh(&mut self, rd: Reg, rn: Reg, off: u16) -> &mut Asm {
+        self.mem(true, MemSize::Half, rd, rn, MemOffset::Imm(off), AddrMode::offset())
+    }
+
+    /// `mem16[rn + off] = rd`.
+    pub fn strh(&mut self, rd: Reg, rn: Reg, off: u16) -> &mut Asm {
+        self.mem(false, MemSize::Half, rd, rn, MemOffset::Imm(off), AddrMode::offset())
+    }
+
+    /// `rd = mem32[rn + (rm << shl)]`.
+    pub fn ldr_idx(&mut self, rd: Reg, rn: Reg, rm: Reg, shl: u8) -> &mut Asm {
+        self.mem(true, MemSize::Word, rd, rn, MemOffset::Reg { rm, shl }, AddrMode::offset())
+    }
+
+    /// `mem32[rn + (rm << shl)] = rd`.
+    pub fn str_idx(&mut self, rd: Reg, rn: Reg, rm: Reg, shl: u8) -> &mut Asm {
+        self.mem(false, MemSize::Word, rd, rn, MemOffset::Reg { rm, shl }, AddrMode::offset())
+    }
+
+    /// `rd = mem8[rn + rm]`.
+    pub fn ldrb_idx(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.mem(true, MemSize::Byte, rd, rn, MemOffset::Reg { rm, shl: 0 }, AddrMode::offset())
+    }
+
+    /// `mem8[rn + rm] = rd`.
+    pub fn strb_idx(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.mem(false, MemSize::Byte, rd, rn, MemOffset::Reg { rm, shl: 0 }, AddrMode::offset())
+    }
+
+    /// Post-increment word load: `rd = mem32[rn]; rn += step`.
+    pub fn ldr_post(&mut self, rd: Reg, rn: Reg, step: u16) -> &mut Asm {
+        self.mem(true, MemSize::Word, rd, rn, MemOffset::Imm(step), AddrMode::post())
+    }
+
+    /// Post-increment word store: `mem32[rn] = rd; rn += step`.
+    pub fn str_post(&mut self, rd: Reg, rn: Reg, step: u16) -> &mut Asm {
+        self.mem(false, MemSize::Word, rd, rn, MemOffset::Imm(step), AddrMode::post())
+    }
+
+    /// Post-increment byte load.
+    pub fn ldrb_post(&mut self, rd: Reg, rn: Reg, step: u16) -> &mut Asm {
+        self.mem(true, MemSize::Byte, rd, rn, MemOffset::Imm(step), AddrMode::post())
+    }
+
+    /// Post-increment byte store.
+    pub fn strb_post(&mut self, rd: Reg, rn: Reg, step: u16) -> &mut Asm {
+        self.mem(false, MemSize::Byte, rd, rn, MemOffset::Imm(step), AddrMode::post())
+    }
+
+    /// Pushes registers (descending full stack, like ARM `push`).
+    pub fn push_regs(&mut self, regs: &[Reg]) -> &mut Asm {
+        self.push(Insn::MemMulti {
+            cond: Cond::Al,
+            load: false,
+            rn: Reg::Sp,
+            writeback: true,
+            up: false,
+            before: true,
+            regs: reg_mask(regs),
+        })
+    }
+
+    /// Pops registers (matching [`Asm::push_regs`]).
+    pub fn pop_regs(&mut self, regs: &[Reg]) -> &mut Asm {
+        self.push(Insn::MemMulti {
+            cond: Cond::Al,
+            load: true,
+            rn: Reg::Sp,
+            writeback: true,
+            up: true,
+            before: false,
+            regs: reg_mask(regs),
+        })
+    }
+
+    // ----- control flow ----------------------------------------------------
+
+    fn branch_to(&mut self, label: Label, link: bool) -> &mut Asm {
+        assert_eq!(self.cur, Section::Text);
+        let cond = self.pending_cond.take().unwrap_or(Cond::Al);
+        let fix =
+            Fixup { section: self.cur, offset: self.here(), label, kind: FixupKind::Branch };
+        self.fixups.push(fix);
+        self.push(Insn::Branch { cond, link, offset: 0 })
+    }
+
+    /// Unconditional (or [`Asm::ifc`]-conditional) branch to `label`.
+    pub fn b(&mut self, label: Label) -> &mut Asm {
+        self.branch_to(label, false)
+    }
+
+    /// Branch with link (call) to `label`.
+    pub fn bl(&mut self, label: Label) -> &mut Asm {
+        self.branch_to(label, true)
+    }
+
+    /// Branch to the address in `rm` (function return: `bx lr`).
+    pub fn bx(&mut self, rm: Reg) -> &mut Asm {
+        self.push(Insn::Bx { cond: Cond::Al, rm })
+    }
+
+    /// Convenience conditional branch: `b<cond> label`.
+    pub fn b_if(&mut self, cond: Cond, label: Label) -> &mut Asm {
+        self.ifc(cond).b(label)
+    }
+
+    // ----- floating point ---------------------------------------------------
+
+    /// Generic two-source FP arithmetic.
+    pub fn fp(&mut self, op: FpArithOp, sd: FReg, sn: FReg, sm: FReg) -> &mut Asm {
+        self.push(Insn::FpArith { cond: Cond::Al, op, sd, sn, sm })
+    }
+
+    /// `sd = sn + sm`.
+    pub fn vadd(&mut self, sd: FReg, sn: FReg, sm: FReg) -> &mut Asm {
+        self.fp(FpArithOp::Add, sd, sn, sm)
+    }
+
+    /// `sd = sn - sm`.
+    pub fn vsub(&mut self, sd: FReg, sn: FReg, sm: FReg) -> &mut Asm {
+        self.fp(FpArithOp::Sub, sd, sn, sm)
+    }
+
+    /// `sd = sn * sm`.
+    pub fn vmul(&mut self, sd: FReg, sn: FReg, sm: FReg) -> &mut Asm {
+        self.fp(FpArithOp::Mul, sd, sn, sm)
+    }
+
+    /// `sd = sn / sm`.
+    pub fn vdiv(&mut self, sd: FReg, sn: FReg, sm: FReg) -> &mut Asm {
+        self.fp(FpArithOp::Div, sd, sn, sm)
+    }
+
+    /// `sd += sn * sm`.
+    pub fn vmla(&mut self, sd: FReg, sn: FReg, sm: FReg) -> &mut Asm {
+        self.fp(FpArithOp::Mac, sd, sn, sm)
+    }
+
+    /// `sd = sqrt(sm)`.
+    pub fn vsqrt(&mut self, sd: FReg, sm: FReg) -> &mut Asm {
+        self.push(Insn::FpUnary { cond: Cond::Al, op: FpUnaryOp::Sqrt, sd, sm })
+    }
+
+    /// `sd = -sm`.
+    pub fn vneg(&mut self, sd: FReg, sm: FReg) -> &mut Asm {
+        self.push(Insn::FpUnary { cond: Cond::Al, op: FpUnaryOp::Neg, sd, sm })
+    }
+
+    /// `sd = |sm|`.
+    pub fn vabs(&mut self, sd: FReg, sm: FReg) -> &mut Asm {
+        self.push(Insn::FpUnary { cond: Cond::Al, op: FpUnaryOp::Abs, sd, sm })
+    }
+
+    /// `sd = sm`.
+    pub fn vmov(&mut self, sd: FReg, sm: FReg) -> &mut Asm {
+        self.push(Insn::FpUnary { cond: Cond::Al, op: FpUnaryOp::Mov, sd, sm })
+    }
+
+    /// FP compare, setting CPSR flags.
+    pub fn vcmp(&mut self, sn: FReg, sm: FReg) -> &mut Asm {
+        self.push(Insn::FpCmp { cond: Cond::Al, sn, sm })
+    }
+
+    /// `rd = (i32) sm` (truncating).
+    pub fn vcvt_to_int(&mut self, rd: Reg, sm: FReg) -> &mut Asm {
+        self.push(Insn::FpToInt { cond: Cond::Al, rd, sm })
+    }
+
+    /// `sd = (f32) rm`.
+    pub fn vcvt_from_int(&mut self, sd: FReg, rm: Reg) -> &mut Asm {
+        self.push(Insn::IntToFp { cond: Cond::Al, sd, rm })
+    }
+
+    /// `rd = bits(sn)`.
+    pub fn vmov_to_core(&mut self, rd: Reg, sn: FReg) -> &mut Asm {
+        self.push(Insn::FpToCore { cond: Cond::Al, rd, sn })
+    }
+
+    /// `sd = bits(rn)`.
+    pub fn vmov_from_core(&mut self, sd: FReg, rn: Reg) -> &mut Asm {
+        self.push(Insn::CoreToFp { cond: Cond::Al, sd, rn })
+    }
+
+    /// `sd = mem32[rn + 4*imm6]`.
+    pub fn vldr(&mut self, sd: FReg, rn: Reg, imm6: u8) -> &mut Asm {
+        self.push(Insn::FpMem { cond: Cond::Al, load: true, sd, rn, imm6 })
+    }
+
+    /// `mem32[rn + 4*imm6] = sd`.
+    pub fn vstr(&mut self, sd: FReg, rn: Reg, imm6: u8) -> &mut Asm {
+        self.push(Insn::FpMem { cond: Cond::Al, load: false, sd, rn, imm6 })
+    }
+
+    // ----- system ------------------------------------------------------------
+
+    /// Supervisor call.
+    pub fn svc(&mut self, imm: u16) -> &mut Asm {
+        self.push(Insn::Svc { cond: Cond::Al, imm })
+    }
+
+    /// `rd = <system register>`.
+    pub fn mrs(&mut self, rd: Reg, sys: SysReg) -> &mut Asm {
+        self.push(Insn::Mrs { cond: Cond::Al, rd, sys })
+    }
+
+    /// `<system register> = rn`.
+    pub fn msr(&mut self, sys: SysReg, rn: Reg) -> &mut Asm {
+        self.push(Insn::Msr { cond: Cond::Al, sys, rn })
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Asm {
+        self.push(Insn::Nop { cond: Cond::Al })
+    }
+
+    // ----- finishing -----------------------------------------------------------
+
+    fn addr_of(&self, label: Label) -> Result<u32, AsmError> {
+        let info = &self.labels[label.0];
+        let (sec, off) = info
+            .bound
+            .ok_or_else(|| AsmError::UnboundLabel { name: info.name.clone() })?;
+        Ok(self.section_base(sec) + off)
+    }
+
+    fn section_base(&self, sec: Section) -> u32 {
+        match sec {
+            Section::Text => self.bases[0],
+            Section::Rodata => self.bases[1],
+            Section::Data => self.bases[2],
+            // .bss lives immediately after .data, word aligned.
+            Section::Bss => {
+                (self.bases[2] + self.bufs[Section::Data.index()].len() as u32)
+                    .next_multiple_of(4)
+            }
+        }
+    }
+
+    /// Overrides the bases of `.text`, `.rodata` and `.data`. Used by the
+    /// kernel, which links at a high virtual address.
+    pub fn set_bases(&mut self, text: u32, rodata: u32, data: u32) -> &mut Asm {
+        self.bases = [text, rodata, data];
+        self
+    }
+
+    /// Resolves all fix-ups and produces the final [`Image`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unbound labels, out-of-range branches, or
+    /// overlapping sections.
+    pub fn finish(mut self, entry: Label) -> Result<Image, AsmError> {
+        let entry_addr = self.addr_of(entry)?;
+        for fix in self.fixups.clone() {
+            let target = self.addr_of(fix.label)?;
+            let site = self.section_base(fix.section) + fix.offset;
+            let buf = &mut self.bufs[fix.section.index()];
+            let at = fix.offset as usize;
+            match fix.kind {
+                FixupKind::Branch => {
+                    let delta = target.wrapping_sub(site.wrapping_add(4)) as i32;
+                    let words = delta / 4;
+                    if !(-(1 << 22)..(1 << 22)).contains(&words) {
+                        let name = self.labels[fix.label.0].name.clone();
+                        return Err(AsmError::BranchOutOfRange { name });
+                    }
+                    let old = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
+                    let new = (old & !0x7F_FFFF) | ((words as u32) & 0x7F_FFFF);
+                    buf[at..at + 4].copy_from_slice(&new.to_le_bytes());
+                }
+                FixupKind::AbsWord => {
+                    buf[at..at + 4].copy_from_slice(&target.to_le_bytes());
+                }
+                FixupKind::MovAddr => {
+                    let lo = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
+                    let hi = u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap());
+                    let lo = (lo & !0xFFFF) | (target & 0xFFFF);
+                    let hi = (hi & !0xFFFF) | (target >> 16);
+                    buf[at..at + 4].copy_from_slice(&lo.to_le_bytes());
+                    buf[at + 4..at + 8].copy_from_slice(&hi.to_le_bytes());
+                }
+            }
+        }
+
+        let mut symbols = BTreeMap::new();
+        for info in &self.labels {
+            if let Some((sec, off)) = info.bound {
+                symbols.insert(self.section_base(sec) + off, info.name.clone());
+            }
+        }
+
+        let mut segments = Vec::new();
+        let text = &self.bufs[Section::Text.index()];
+        if !text.is_empty() {
+            segments.push(Segment {
+                vaddr: self.bases[0],
+                data: text.clone(),
+                mem_size: text.len() as u32,
+                flags: SegmentFlags::TEXT,
+            });
+        }
+        let ro = &self.bufs[Section::Rodata.index()];
+        if !ro.is_empty() {
+            segments.push(Segment {
+                vaddr: self.bases[1],
+                data: ro.clone(),
+                mem_size: ro.len() as u32,
+                flags: SegmentFlags::RODATA,
+            });
+        }
+        let data = &self.bufs[Section::Data.index()];
+        if !data.is_empty() || self.bss_size > 0 {
+            // Fold .bss into the .data segment as a zero-filled tail.
+            let mem_size = (data.len() as u32).next_multiple_of(4) + self.bss_size;
+            segments.push(Segment {
+                vaddr: self.bases[2],
+                data: data.clone(),
+                mem_size,
+                flags: SegmentFlags::DATA,
+            });
+        }
+        Ok(Image::new(segments, entry_addr, symbols)?)
+    }
+}
+
+/// Builds a 16-bit register mask from a register list.
+pub fn reg_mask(regs: &[Reg]) -> u16 {
+    let mut m = 0u16;
+    for &r in regs {
+        m |= 1 << r.index();
+    }
+    m
+}
+
+fn with_cond(insn: Insn, cond: Cond) -> Insn {
+    use Insn::*;
+    match insn {
+        Dp { op, s, rd, rn, op2, .. } => Dp { cond, op, s, rd, rn, op2 },
+        MovW { top, rd, imm, .. } => MovW { cond, top, rd, imm },
+        Mul { op, s, rd, rn, rm, ra, .. } => Mul { cond, op, s, rd, rn, rm, ra },
+        Mem { load, size, rd, rn, offset, mode, .. } => {
+            Mem { cond, load, size, rd, rn, offset, mode }
+        }
+        MemMulti { load, rn, writeback, up, before, regs, .. } => {
+            MemMulti { cond, load, rn, writeback, up, before, regs }
+        }
+        Branch { link, offset, .. } => Branch { cond, link, offset },
+        Bx { rm, .. } => Bx { cond, rm },
+        FpArith { op, sd, sn, sm, .. } => FpArith { cond, op, sd, sn, sm },
+        FpUnary { op, sd, sm, .. } => FpUnary { cond, op, sd, sm },
+        FpCmp { sn, sm, .. } => FpCmp { cond, sn, sm },
+        FpToInt { rd, sm, .. } => FpToInt { cond, rd, sm },
+        IntToFp { sd, rm, .. } => IntToFp { cond, sd, rm },
+        FpToCore { rd, sn, .. } => FpToCore { cond, rd, sn },
+        CoreToFp { sd, rn, .. } => CoreToFp { cond, sd, rn },
+        FpMem { load, sd, rn, imm6, .. } => FpMem { cond, load, sd, rn, imm6 },
+        Svc { imm, .. } => Svc { cond, imm },
+        Mrs { rd, sys, .. } => Mrs { cond, rd, sys },
+        Msr { sys, rn, .. } => Msr { cond, sys, rn },
+        Cps { enable_irq, .. } => Cps { cond, enable_irq },
+        Eret { .. } => Eret { cond },
+        Nop { .. } => Nop { cond },
+        Halt { .. } => Halt { cond },
+        Wfi { .. } => Wfi { cond },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    #[test]
+    fn branch_fixup_resolves_backward_and_forward() {
+        let mut a = Asm::new();
+        let entry = a.label("entry");
+        let fwd = a.label("fwd");
+        a.bind(entry).unwrap();
+        a.b(fwd); // offset 0: branch to 8
+        a.nop(); // offset 4
+        a.bind(fwd).unwrap();
+        a.b(entry); // offset 8: branch back to 0
+        let img = a.finish(entry).unwrap();
+        let text = &img.segments()[0].data;
+        let w0 = u32::from_le_bytes(text[0..4].try_into().unwrap());
+        let w2 = u32::from_le_bytes(text[8..12].try_into().unwrap());
+        match decode(w0).unwrap() {
+            Insn::Branch { offset, .. } => assert_eq!(offset, 1), // 0+4+4 = 8
+            other => panic!("unexpected {other:?}"),
+        }
+        match decode(w2).unwrap() {
+            Insn::Branch { offset, .. } => assert_eq!(offset, -3), // 8+4-12 = 0
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new();
+        let entry = a.label("entry");
+        let nowhere = a.label("nowhere");
+        a.bind(entry).unwrap();
+        a.b(nowhere);
+        assert!(matches!(a.finish(entry), Err(AsmError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn rebound_label_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.label("l");
+        a.bind(l).unwrap();
+        assert!(matches!(a.bind(l), Err(AsmError::Rebound { .. })));
+    }
+
+    #[test]
+    fn addr_fixup_patches_movw_movt() {
+        let mut a = Asm::new();
+        let entry = a.label("entry");
+        a.bind(entry).unwrap();
+        let datum = a.label("datum");
+        a.addr(Reg::R1, datum);
+        a.section(Section::Data);
+        a.bind(datum).unwrap();
+        a.word(0xDEAD_BEEF);
+        a.section(Section::Text);
+        let img = a.finish(entry).unwrap();
+        let text = &img.segments()[0].data;
+        let lo = u32::from_le_bytes(text[0..4].try_into().unwrap());
+        let hi = u32::from_le_bytes(text[4..8].try_into().unwrap());
+        match (decode(lo).unwrap(), decode(hi).unwrap()) {
+            (
+                Insn::MovW { top: false, imm: lo16, .. },
+                Insn::MovW { top: true, imm: hi16, .. },
+            ) => {
+                let addr = (lo16 as u32) | ((hi16 as u32) << 16);
+                assert_eq!(addr, DATA_BASE);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bss_follows_data_and_is_zero_filled() {
+        let mut a = Asm::new();
+        let entry = a.label("entry");
+        a.bind(entry).unwrap();
+        a.nop();
+        a.section(Section::Data).word(7);
+        let buf = a.label("buf");
+        a.section(Section::Bss);
+        a.bind(buf).unwrap();
+        a.zero(256);
+        a.section(Section::Text);
+        let img = a.finish(entry).unwrap();
+        let data_seg = img.segments().iter().find(|s| s.flags.write).unwrap();
+        assert_eq!(data_seg.data.len(), 4);
+        assert_eq!(data_seg.mem_size, 4 + 256);
+        assert_eq!(img.symbols()[&(DATA_BASE + 4)], "buf");
+    }
+
+    #[test]
+    fn ifc_applies_to_next_instruction_only() {
+        let mut a = Asm::new();
+        let entry = a.label("entry");
+        a.bind(entry).unwrap();
+        a.ifc(Cond::Eq).mov_imm(Reg::R0, 1);
+        a.mov_imm(Reg::R0, 2);
+        let img = a.finish(entry).unwrap();
+        let text = &img.segments()[0].data;
+        let w0 = decode(u32::from_le_bytes(text[0..4].try_into().unwrap())).unwrap();
+        let w1 = decode(u32::from_le_bytes(text[4..8].try_into().unwrap())).unwrap();
+        assert_eq!(w0.cond(), Cond::Eq);
+        assert_eq!(w1.cond(), Cond::Al);
+    }
+
+    #[test]
+    fn text_emission_matches_builder() {
+        let mut a = Asm::new();
+        let e = a.label("e");
+        a.bind(e).unwrap();
+        a.text("adds r0, r1, #4");
+        a.text("ldrne r2, [sp, #8]");
+        let mut b = Asm::new();
+        let eb = b.label("e");
+        b.bind(eb).unwrap();
+        b.adds_imm(Reg::R0, Reg::R1, 4);
+        b.ifc(Cond::Ne).ldr(Reg::R2, Reg::Sp, 8);
+        assert_eq!(
+            a.finish(e).unwrap().segments()[0].data,
+            b.finish(eb).unwrap().segments()[0].data
+        );
+    }
+
+    #[test]
+    fn mov32_emits_single_movw_for_small_values() {
+        let mut a = Asm::new();
+        let e = a.label("e");
+        a.bind(e).unwrap();
+        a.mov32(Reg::R0, 0x1234);
+        a.mov32(Reg::R1, 0x5678_1234);
+        let img = a.finish(e).unwrap();
+        assert_eq!(img.segments()[0].data.len(), 12); // 1 + 2 instructions
+    }
+}

@@ -1,0 +1,168 @@
+//! Condition codes.
+
+use std::fmt;
+
+/// A condition code, evaluated against the CPSR `N`/`Z`/`C`/`V` flags.
+///
+/// Every AR32 instruction carries a condition field in bits `[31:28]`,
+/// exactly like classic ARM. An instruction whose condition is false is
+/// architecturally a no-op (it still occupies a pipeline slot and an
+/// instruction-cache access).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (`Z == 1`).
+    Eq = 0,
+    /// Not equal (`Z == 0`).
+    Ne = 1,
+    /// Carry set / unsigned higher-or-same (`C == 1`).
+    Cs = 2,
+    /// Carry clear / unsigned lower (`C == 0`).
+    Cc = 3,
+    /// Minus / negative (`N == 1`).
+    Mi = 4,
+    /// Plus / positive or zero (`N == 0`).
+    Pl = 5,
+    /// Overflow set (`V == 1`).
+    Vs = 6,
+    /// Overflow clear (`V == 0`).
+    Vc = 7,
+    /// Unsigned higher (`C == 1 && Z == 0`).
+    Hi = 8,
+    /// Unsigned lower or same (`C == 0 || Z == 1`).
+    Ls = 9,
+    /// Signed greater or equal (`N == V`).
+    Ge = 10,
+    /// Signed less than (`N != V`).
+    Lt = 11,
+    /// Signed greater than (`Z == 0 && N == V`).
+    Gt = 12,
+    /// Signed less or equal (`Z == 1 || N != V`).
+    Le = 13,
+    /// Always.
+    Al = 14,
+    /// Never. Encodable, architecturally a no-op; the assembler never emits
+    /// it but a bit flip in the condition field can produce it.
+    Nv = 15,
+}
+
+impl Cond {
+    /// All sixteen condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+        Cond::Nv,
+    ];
+
+    /// The 4-bit encoding of this condition.
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Decodes a 4-bit condition field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 15`.
+    pub fn from_bits(bits: u32) -> Cond {
+        Cond::ALL[bits as usize]
+    }
+
+    /// Evaluates the condition against the four CPSR flags.
+    pub fn holds(self, n: bool, z: bool, c: bool, v: bool) -> bool {
+        match self {
+            Cond::Eq => z,
+            Cond::Ne => !z,
+            Cond::Cs => c,
+            Cond::Cc => !c,
+            Cond::Mi => n,
+            Cond::Pl => !n,
+            Cond::Vs => v,
+            Cond::Vc => !v,
+            Cond::Hi => c && !z,
+            Cond::Ls => !c || z,
+            Cond::Ge => n == v,
+            Cond::Lt => n != v,
+            Cond::Gt => !z && n == v,
+            Cond::Le => z || n != v,
+            Cond::Al => true,
+            Cond::Nv => false,
+        }
+    }
+
+    /// The logically opposite condition (`Al`/`Nv` map to each other).
+    pub fn negate(self) -> Cond {
+        Cond::from_bits(self.bits() ^ 1)
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "",
+            Cond::Nv => "nv",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_bits(c.bits()), c);
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive_and_opposite() {
+        // For every flag combination, a condition and its negation disagree
+        // (except that Al/Nv are the constant pair).
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+            for bits in 0..16u32 {
+                let (n, z, cf, v) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
+                assert_ne!(c.holds(n, z, cf, v), c.negate().holds(n, z, cf, v), "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        // n != v means less-than after a SUB that set the flags.
+        assert!(Cond::Lt.holds(true, false, false, false));
+        assert!(Cond::Ge.holds(false, false, false, false));
+        assert!(Cond::Gt.holds(false, false, true, false));
+        assert!(!Cond::Gt.holds(true, true, false, true));
+    }
+}

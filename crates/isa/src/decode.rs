@@ -1,0 +1,334 @@
+//! Binary decoding of AR32 instructions.
+
+use std::fmt;
+
+use crate::insn::{
+    AddrMode, DpOp, FpArithOp, FpUnaryOp, Insn, MemOffset, MemSize, MulOp, Operand2, Shift,
+    ShiftedReg, SysReg,
+};
+use crate::{Cond, FReg, Reg};
+
+/// Error returned when a 32-bit word is not a valid AR32 instruction.
+///
+/// On the simulated core this surfaces as an *undefined instruction*
+/// exception, exactly like executing a corrupted opcode on real hardware.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "undefined instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+fn bit(word: u32, n: u32) -> bool {
+    (word >> n) & 1 == 1
+}
+
+fn reg(word: u32, lo: u32) -> Reg {
+    Reg::from_index(bits(word, lo + 3, lo))
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// Decoding is *strict*: any word outside the exact image of
+/// [`crate::encode`] is rejected, including words with nonzero must-be-zero
+/// fields. This makes encode/decode a bijection, which the property tests
+/// verify, and gives bit flips in instruction memory realistic semantics
+/// (mutate into another valid instruction, or fault).
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word is not a valid instruction.
+pub fn decode(word: u32) -> Result<Insn, DecodeError> {
+    let err = Err(DecodeError { word });
+    let cond = Cond::from_bits(bits(word, 31, 28));
+    let class = bits(word, 27, 24);
+    match class {
+        0x0 | 0x1 => {
+            let opbits = bits(word, 23, 20);
+            if opbits > 14 {
+                return err;
+            }
+            let op = DpOp::ALL[opbits as usize];
+            let s = bit(word, 19);
+            let rd = reg(word, 15);
+            let rn = reg(word, 11);
+            // Compares always set flags and have no destination; Mov/Mvn
+            // have no first operand. Enforce canonical zero fields.
+            if op.is_compare() && (!s || rd != Reg::R0) {
+                return err;
+            }
+            if op.ignores_rn() && rn != Reg::R0 {
+                return err;
+            }
+            let op2 = if class == 0x0 {
+                Operand2::Reg(ShiftedReg {
+                    rm: reg(word, 7),
+                    shift: Shift::ALL[bits(word, 6, 5) as usize],
+                    amount: bits(word, 4, 0) as u8,
+                })
+            } else {
+                Operand2::Imm { base: bits(word, 10, 3) as u8, ror4: bits(word, 2, 0) as u8 }
+            };
+            Ok(Insn::Dp { cond, op, s, rd, rn, op2 })
+        }
+        0x2 => {
+            let opbits = bits(word, 23, 20);
+            if opbits > 11 || bits(word, 2, 0) != 0 {
+                return err;
+            }
+            let op = MulOp::ALL[opbits as usize];
+            let ra = reg(word, 3);
+            // ra is meaningful only for MLA and long multiplies.
+            if !matches!(op, MulOp::Mla | MulOp::Umull | MulOp::Smull) && ra != Reg::R0 {
+                return err;
+            }
+            Ok(Insn::Mul {
+                cond,
+                op,
+                s: bit(word, 19),
+                rd: reg(word, 15),
+                rn: reg(word, 11),
+                rm: reg(word, 7),
+                ra,
+            })
+        }
+        0x3 => {
+            let sizebits = bits(word, 23, 22);
+            if sizebits > 2 {
+                return err;
+            }
+            let size = MemSize::ALL[sizebits as usize];
+            let mode = AddrMode { up: bit(word, 20), pre: bit(word, 19), writeback: bit(word, 18) };
+            // Post-index implies writeback; a post-index encoding without
+            // writeback is not canonical.
+            if !mode.pre && !mode.writeback {
+                return err;
+            }
+            let offset = if bit(word, 9) {
+                if bits(word, 1, 0) != 0 {
+                    return err;
+                }
+                MemOffset::Reg { rm: reg(word, 5), shl: bits(word, 4, 2) as u8 }
+            } else {
+                MemOffset::Imm(bits(word, 8, 0) as u16)
+            };
+            Ok(Insn::Mem {
+                cond,
+                load: bit(word, 21),
+                size,
+                rd: reg(word, 14),
+                rn: reg(word, 10),
+                offset,
+                mode,
+            })
+        }
+        0x4 => {
+            let regs = bits(word, 15, 0) as u16;
+            if regs == 0 {
+                return err;
+            }
+            Ok(Insn::MemMulti {
+                cond,
+                load: bit(word, 23),
+                writeback: bit(word, 22),
+                up: bit(word, 21),
+                before: bit(word, 20),
+                rn: reg(word, 16),
+                regs,
+            })
+        }
+        0x5 => {
+            let raw = bits(word, 22, 0);
+            // Sign-extend the 23-bit offset.
+            let offset = ((raw << 9) as i32) >> 9;
+            Ok(Insn::Branch { cond, link: bit(word, 23), offset })
+        }
+        0x6 => {
+            let sub = bits(word, 23, 19);
+            let a5 = bits(word, 14, 10);
+            let b5 = bits(word, 9, 5);
+            let c5 = bits(word, 4, 0);
+            let zero15_18 = bits(word, 18, 15) == 0;
+            match sub {
+                0..=6 => {
+                    if !zero15_18 {
+                        return err;
+                    }
+                    Ok(Insn::FpArith {
+                        cond,
+                        op: FpArithOp::ALL[sub as usize],
+                        sd: FReg::new(a5),
+                        sn: FReg::new(b5),
+                        sm: FReg::new(c5),
+                    })
+                }
+                8..=11 => {
+                    if !zero15_18 || b5 != 0 {
+                        return err;
+                    }
+                    Ok(Insn::FpUnary {
+                        cond,
+                        op: FpUnaryOp::ALL[(sub - 8) as usize],
+                        sd: FReg::new(a5),
+                        sm: FReg::new(c5),
+                    })
+                }
+                12 => {
+                    if !zero15_18 || a5 != 0 {
+                        return err;
+                    }
+                    Ok(Insn::FpCmp { cond, sn: FReg::new(b5), sm: FReg::new(c5) })
+                }
+                13 => {
+                    if !zero15_18 || a5 > 15 || b5 != 0 {
+                        return err;
+                    }
+                    Ok(Insn::FpToInt { cond, rd: Reg::from_index(a5), sm: FReg::new(c5) })
+                }
+                14 => {
+                    if !zero15_18 || b5 > 15 || c5 != 0 {
+                        return err;
+                    }
+                    Ok(Insn::IntToFp { cond, sd: FReg::new(a5), rm: Reg::from_index(b5) })
+                }
+                15 => {
+                    if !zero15_18 || a5 > 15 || b5 != 0 {
+                        return err;
+                    }
+                    Ok(Insn::FpToCore { cond, rd: Reg::from_index(a5), sn: FReg::new(c5) })
+                }
+                16 => {
+                    if !zero15_18 || b5 > 15 || c5 != 0 {
+                        return err;
+                    }
+                    Ok(Insn::CoreToFp { cond, sd: FReg::new(a5), rn: Reg::from_index(b5) })
+                }
+                17 | 18 => {
+                    if bits(word, 18, 16) != 0 || b5 > 15 {
+                        return err;
+                    }
+                    let imm6 = (c5 | (bits(word, 15, 15) << 5)) as u8;
+                    Ok(Insn::FpMem {
+                        cond,
+                        load: sub == 17,
+                        sd: FReg::new(a5),
+                        rn: Reg::from_index(b5),
+                        imm6,
+                    })
+                }
+                _ => err,
+            }
+        }
+        0x7 => {
+            let op = bits(word, 23, 20);
+            let a4 = bits(word, 18, 15);
+            let low = bits(word, 14, 0);
+            match op {
+                0x0 => {
+                    if bits(word, 19, 16) != 0 {
+                        return err;
+                    }
+                    Ok(Insn::Svc { cond, imm: bits(word, 15, 0) as u16 })
+                }
+                0x1 if bits(word, 19, 0) == 0 => Ok(Insn::Nop { cond }),
+                0x2 if bits(word, 19, 0) == 0 => Ok(Insn::Halt { cond }),
+                0x3 if !bit(word, 19) && low >> 4 == 0 && bits(word, 3, 0) < 9 => {
+                    Ok(Insn::Mrs {
+                        cond,
+                        rd: Reg::from_index(a4),
+                        sys: SysReg::ALL[bits(word, 3, 0) as usize],
+                    })
+                }
+                0x4 if !bit(word, 19) && low >> 4 == 0 && bits(word, 3, 0) < 9 => {
+                    Ok(Insn::Msr {
+                        cond,
+                        sys: SysReg::ALL[bits(word, 3, 0) as usize],
+                        rn: Reg::from_index(a4),
+                    })
+                }
+                0x5 if bits(word, 19, 0) == 0 => Ok(Insn::Eret { cond }),
+                0x6 if bits(word, 19, 0) == 0 => Ok(Insn::Cps { cond, enable_irq: false }),
+                0x7 if bits(word, 19, 0) == 0 => Ok(Insn::Cps { cond, enable_irq: true }),
+                0x8 if !bit(word, 19) && low == 0 => {
+                    Ok(Insn::Bx { cond, rm: Reg::from_index(a4) })
+                }
+                0x9 if bits(word, 19, 0) == 0 => Ok(Insn::Wfi { cond }),
+                _ => err,
+            }
+        }
+        0x8 => {
+            if bits(word, 18, 16) != 0 {
+                return err;
+            }
+            Ok(Insn::MovW {
+                cond,
+                top: bit(word, 23),
+                rd: reg(word, 19),
+                imm: bits(word, 15, 0) as u16,
+            })
+        }
+        _ => err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    #[test]
+    fn rejects_bad_class() {
+        assert!(decode(0xE900_0000).is_err()); // class 0x9
+        assert!(decode(0xEF00_0000).is_err()); // class 0xF
+    }
+
+    #[test]
+    fn rejects_noncanonical_compare() {
+        // CMP with S=0 must not decode.
+        let w = encode(&Insn::Dp {
+            cond: Cond::Al,
+            op: DpOp::Cmp,
+            s: true,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            op2: Operand2::Imm { base: 0, ror4: 0 },
+        });
+        assert!(decode(w).is_ok());
+        assert!(decode(w & !(1 << 19)).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_register_list() {
+        let w = encode(&Insn::MemMulti {
+            cond: Cond::Al,
+            load: true,
+            rn: Reg::Sp,
+            writeback: true,
+            up: true,
+            before: false,
+            regs: 1,
+        });
+        assert!(decode(w & !1).is_err());
+    }
+
+    #[test]
+    fn branch_offset_sign_extension() {
+        let insn = Insn::Branch { cond: Cond::Al, link: false, offset: -2 };
+        assert_eq!(decode(encode(&insn)).unwrap(), insn);
+        let insn = Insn::Branch { cond: Cond::Al, link: true, offset: (1 << 22) - 1 };
+        assert_eq!(decode(encode(&insn)).unwrap(), insn);
+        let insn = Insn::Branch { cond: Cond::Al, link: true, offset: -(1 << 22) };
+        assert_eq!(decode(encode(&insn)).unwrap(), insn);
+    }
+}

@@ -1,0 +1,231 @@
+//! Disassembly: `Display` for [`Insn`].
+
+use std::fmt;
+
+use crate::insn::{DpOp, FpArithOp, FpUnaryOp, Insn, MemOffset, MemSize, MulOp, Operand2, Shift};
+
+impl fmt::Display for Shift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Shift::Lsl => "lsl",
+            Shift::Lsr => "lsr",
+            Shift::Asr => "asr",
+            Shift::Ror => "ror",
+        })
+    }
+}
+
+impl fmt::Display for Operand2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Operand2::Reg(sr) => {
+                if sr.amount == 0 {
+                    write!(f, "{}", sr.rm)
+                } else {
+                    write!(f, "{}, {} #{}", sr.rm, sr.shift, sr.amount)
+                }
+            }
+            Operand2::Imm { .. } => write!(f, "#{:#x}", self.imm_value().unwrap()),
+        }
+    }
+}
+
+fn dp_mnemonic(op: DpOp) -> &'static str {
+    match op {
+        DpOp::And => "and",
+        DpOp::Eor => "eor",
+        DpOp::Sub => "sub",
+        DpOp::Rsb => "rsb",
+        DpOp::Add => "add",
+        DpOp::Adc => "adc",
+        DpOp::Sbc => "sbc",
+        DpOp::Orr => "orr",
+        DpOp::Mov => "mov",
+        DpOp::Bic => "bic",
+        DpOp::Mvn => "mvn",
+        DpOp::Cmp => "cmp",
+        DpOp::Cmn => "cmn",
+        DpOp::Tst => "tst",
+        DpOp::Teq => "teq",
+    }
+}
+
+fn mul_mnemonic(op: MulOp) -> &'static str {
+    match op {
+        MulOp::Mul => "mul",
+        MulOp::Mla => "mla",
+        MulOp::Umull => "umull",
+        MulOp::Smull => "smull",
+        MulOp::Udiv => "udiv",
+        MulOp::Sdiv => "sdiv",
+        MulOp::Urem => "urem",
+        MulOp::Srem => "srem",
+        MulOp::Lslv => "lslv",
+        MulOp::Lsrv => "lsrv",
+        MulOp::Asrv => "asrv",
+        MulOp::Rorv => "rorv",
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.cond();
+        match *self {
+            Insn::Dp { op, s, rd, rn, op2, .. } => {
+                let sfx = if s && !op.is_compare() { "s" } else { "" };
+                let m = dp_mnemonic(op);
+                if op.is_compare() {
+                    write!(f, "{m}{c} {rn}, {op2}")
+                } else if op.ignores_rn() {
+                    write!(f, "{m}{c}{sfx} {rd}, {op2}")
+                } else {
+                    write!(f, "{m}{c}{sfx} {rd}, {rn}, {op2}")
+                }
+            }
+            Insn::MovW { top, rd, imm, .. } => {
+                write!(f, "{}{c} {rd}, #{imm:#x}", if top { "movt" } else { "movw" })
+            }
+            Insn::Mul { op, s, rd, rn, rm, ra, .. } => {
+                let sfx = if s { "s" } else { "" };
+                let m = mul_mnemonic(op);
+                match op {
+                    MulOp::Mla => write!(f, "{m}{c}{sfx} {rd}, {rn}, {rm}, {ra}"),
+                    MulOp::Umull | MulOp::Smull => {
+                        write!(f, "{m}{c}{sfx} {rd}, {ra}, {rn}, {rm}")
+                    }
+                    _ => write!(f, "{m}{c}{sfx} {rd}, {rn}, {rm}"),
+                }
+            }
+            Insn::Mem { load, size, rd, rn, offset, mode, .. } => {
+                let m = if load { "ldr" } else { "str" };
+                let sz = match size {
+                    MemSize::Word => "",
+                    MemSize::Byte => "b",
+                    MemSize::Half => "h",
+                };
+                let sign = if mode.up { "" } else { "-" };
+                let off = |f: &mut fmt::Formatter<'_>| match offset {
+                    MemOffset::Imm(i) => write!(f, "#{sign}{i}"),
+                    MemOffset::Reg { rm, shl } if shl == 0 => write!(f, "{sign}{rm}"),
+                    MemOffset::Reg { rm, shl } => write!(f, "{sign}{rm}, lsl #{shl}"),
+                };
+                write!(f, "{m}{c}{sz} {rd}, [{rn}")?;
+                if mode.pre {
+                    write!(f, ", ")?;
+                    off(f)?;
+                    write!(f, "]{}", if mode.writeback { "!" } else { "" })
+                } else {
+                    write!(f, "], ")?;
+                    off(f)
+                }
+            }
+            Insn::MemMulti { load, rn, writeback, up, before, regs, .. } => {
+                let m = if load { "ldm" } else { "stm" };
+                let am = match (up, before) {
+                    (true, false) => "ia",
+                    (true, true) => "ib",
+                    (false, false) => "da",
+                    (false, true) => "db",
+                };
+                let wb = if writeback { "!" } else { "" };
+                write!(f, "{m}{am}{c} {rn}{wb}, {{")?;
+                let mut first = true;
+                for i in 0..16 {
+                    if regs & (1 << i) != 0 {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", crate::Reg::from_index(i))?;
+                        first = false;
+                    }
+                }
+                write!(f, "}}")
+            }
+            Insn::Branch { link, offset, .. } => {
+                write!(f, "b{}{c} .{:+}", if link { "l" } else { "" }, (offset + 1) * 4)
+            }
+            Insn::Bx { rm, .. } => write!(f, "bx{c} {rm}"),
+            Insn::FpArith { op, sd, sn, sm, .. } => {
+                let m = match op {
+                    FpArithOp::Add => "vadd.f32",
+                    FpArithOp::Sub => "vsub.f32",
+                    FpArithOp::Mul => "vmul.f32",
+                    FpArithOp::Div => "vdiv.f32",
+                    FpArithOp::Mac => "vmla.f32",
+                    FpArithOp::Min => "vmin.f32",
+                    FpArithOp::Max => "vmax.f32",
+                };
+                write!(f, "{m}{c} {sd}, {sn}, {sm}")
+            }
+            Insn::FpUnary { op, sd, sm, .. } => {
+                let m = match op {
+                    FpUnaryOp::Abs => "vabs.f32",
+                    FpUnaryOp::Neg => "vneg.f32",
+                    FpUnaryOp::Sqrt => "vsqrt.f32",
+                    FpUnaryOp::Mov => "vmov.f32",
+                };
+                write!(f, "{m}{c} {sd}, {sm}")
+            }
+            Insn::FpCmp { sn, sm, .. } => write!(f, "vcmp.f32{c} {sn}, {sm}"),
+            Insn::FpToInt { rd, sm, .. } => write!(f, "vcvt.s32.f32{c} {rd}, {sm}"),
+            Insn::IntToFp { sd, rm, .. } => write!(f, "vcvt.f32.s32{c} {sd}, {rm}"),
+            Insn::FpToCore { rd, sn, .. } => write!(f, "vmov{c} {rd}, {sn}"),
+            Insn::CoreToFp { sd, rn, .. } => write!(f, "vmov{c} {sd}, {rn}"),
+            Insn::FpMem { load, sd, rn, imm6, .. } => {
+                let m = if load { "vldr" } else { "vstr" };
+                write!(f, "{m}{c} {sd}, [{rn}, #{}]", imm6 as u32 * 4)
+            }
+            Insn::Svc { imm, .. } => write!(f, "svc{c} #{imm}"),
+            Insn::Mrs { rd, sys, .. } => write!(f, "mrs{c} {rd}, {sys:?}"),
+            Insn::Msr { sys, rn, .. } => write!(f, "msr{c} {sys:?}, {rn}"),
+            Insn::Cps { enable_irq, .. } => {
+                write!(f, "cps{}{c}", if enable_irq { "ie" } else { "id" })
+            }
+            Insn::Eret { .. } => write!(f, "eret{c}"),
+            Insn::Nop { .. } => write!(f, "nop{c}"),
+            Insn::Halt { .. } => write!(f, "halt{c}"),
+            Insn::Wfi { .. } => write!(f, "wfi{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AddrMode, Cond, Reg};
+
+    #[test]
+    fn disassembles_common_forms() {
+        let i = Insn::Dp {
+            cond: Cond::Al,
+            op: DpOp::Add,
+            s: true,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            op2: Operand2::encode_imm(4).unwrap(),
+        };
+        assert_eq!(i.to_string(), "adds r0, r1, #0x4");
+
+        let i = Insn::Mem {
+            cond: Cond::Ne,
+            load: true,
+            size: MemSize::Word,
+            rd: Reg::R2,
+            rn: Reg::Sp,
+            offset: MemOffset::Imm(8),
+            mode: AddrMode::offset(),
+        };
+        assert_eq!(i.to_string(), "ldrne r2, [sp, #8]");
+
+        let i = Insn::MemMulti {
+            cond: Cond::Al,
+            load: false,
+            rn: Reg::Sp,
+            writeback: true,
+            up: false,
+            before: true,
+            regs: 0b0100_0000_0000_0001,
+        };
+        assert_eq!(i.to_string(), "stmdb sp!, {r0, lr}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Binary encoding of AR32 instructions.
+
+use crate::insn::{AddrMode, Insn, MemOffset, Operand2};
+
+const fn cls(class: u32) -> u32 {
+    class << 24
+}
+
+fn reg4(r: crate::Reg) -> u32 {
+    r.index() as u32
+}
+
+fn freg5(r: crate::FReg) -> u32 {
+    r.index() as u32
+}
+
+/// Encodes one instruction into its 32-bit binary form.
+///
+/// The encoding is total on [`Insn`]: every representable instruction value
+/// encodes, and [`crate::decode`] inverts it exactly.
+///
+/// # Panics
+///
+/// Panics if a field is out of its documented range (e.g. a shift amount
+/// above 31, a branch offset that does not fit in 23 bits, or an FP memory
+/// offset above 63). The assembler validates these before calling.
+pub fn encode(insn: &Insn) -> u32 {
+    let cond = insn.cond().bits() << 28;
+    cond | match *insn {
+        Insn::Dp { op, s, rd, rn, op2, cond: _ } => {
+            let common = ((op as u32) << 20)
+                | ((s as u32) << 19)
+                | (reg4(rd) << 15)
+                | (reg4(rn) << 11);
+            match op2 {
+                Operand2::Reg(sr) => {
+                    assert!(sr.amount < 32, "shift amount out of range: {}", sr.amount);
+                    cls(0x0)
+                        | common
+                        | (reg4(sr.rm) << 7)
+                        | ((sr.shift as u32) << 5)
+                        | (sr.amount as u32)
+                }
+                Operand2::Imm { base, ror4 } => {
+                    assert!(ror4 < 8, "immediate rotation out of range: {ror4}");
+                    cls(0x1) | common | ((base as u32) << 3) | (ror4 as u32)
+                }
+            }
+        }
+        Insn::MovW { top, rd, imm, cond: _ } => {
+            cls(0x8) | ((top as u32) << 23) | (reg4(rd) << 19) | (imm as u32)
+        }
+        Insn::Mul { op, s, rd, rn, rm, ra, cond: _ } => {
+            cls(0x2)
+                | ((op as u32) << 20)
+                | ((s as u32) << 19)
+                | (reg4(rd) << 15)
+                | (reg4(rn) << 11)
+                | (reg4(rm) << 7)
+                | (reg4(ra) << 3)
+        }
+        Insn::Mem { load, size, rd, rn, offset, mode, cond: _ } => {
+            let AddrMode { pre, writeback, up } = mode;
+            let common = cls(0x3)
+                | ((size as u32) << 22)
+                | ((load as u32) << 21)
+                | ((up as u32) << 20)
+                | ((pre as u32) << 19)
+                | ((writeback as u32) << 18)
+                | (reg4(rd) << 14)
+                | (reg4(rn) << 10);
+            match offset {
+                MemOffset::Imm(imm) => {
+                    assert!(imm < 512, "memory immediate offset out of range: {imm}");
+                    common | (imm as u32)
+                }
+                MemOffset::Reg { rm, shl } => {
+                    assert!(shl < 8, "memory register-offset shift out of range: {shl}");
+                    common | (1 << 9) | (reg4(rm) << 5) | ((shl as u32) << 2)
+                }
+            }
+        }
+        Insn::MemMulti { load, rn, writeback, up, before, regs, cond: _ } => {
+            cls(0x4)
+                | ((load as u32) << 23)
+                | ((writeback as u32) << 22)
+                | ((up as u32) << 21)
+                | ((before as u32) << 20)
+                | (reg4(rn) << 16)
+                | (regs as u32)
+        }
+        Insn::Branch { link, offset, cond: _ } => {
+            assert!(
+                (-(1 << 22)..(1 << 22)).contains(&offset),
+                "branch offset out of range: {offset}"
+            );
+            cls(0x5) | ((link as u32) << 23) | ((offset as u32) & 0x7F_FFFF)
+        }
+        Insn::Bx { rm, cond: _ } => cls(0x7) | (0x8 << 20) | (reg4(rm) << 15),
+        Insn::FpArith { op, sd, sn, sm, cond: _ } => {
+            cls(0x6)
+                | ((op as u32) << 19)
+                | (freg5(sd) << 10)
+                | (freg5(sn) << 5)
+                | freg5(sm)
+        }
+        Insn::FpUnary { op, sd, sm, cond: _ } => {
+            cls(0x6) | ((8 + op as u32) << 19) | (freg5(sd) << 10) | freg5(sm)
+        }
+        Insn::FpCmp { sn, sm, cond: _ } => {
+            cls(0x6) | (12 << 19) | (freg5(sn) << 5) | freg5(sm)
+        }
+        Insn::FpToInt { rd, sm, cond: _ } => {
+            cls(0x6) | (13 << 19) | (reg4(rd) << 10) | freg5(sm)
+        }
+        Insn::IntToFp { sd, rm, cond: _ } => {
+            cls(0x6) | (14 << 19) | (freg5(sd) << 10) | (reg4(rm) << 5)
+        }
+        Insn::FpToCore { rd, sn, cond: _ } => {
+            cls(0x6) | (15 << 19) | (reg4(rd) << 10) | freg5(sn)
+        }
+        Insn::CoreToFp { sd, rn, cond: _ } => {
+            cls(0x6) | (16 << 19) | (freg5(sd) << 10) | (reg4(rn) << 5)
+        }
+        Insn::FpMem { load, sd, rn, imm6, cond: _ } => {
+            assert!(imm6 < 64, "FP memory offset out of range: {imm6}");
+            let sub = if load { 17 } else { 18 };
+            cls(0x6)
+                | (sub << 19)
+                | (((imm6 as u32) >> 5) << 15)
+                | (freg5(sd) << 10)
+                | ((reg4(rn)) << 5)
+                | ((imm6 as u32) & 0x1F)
+        }
+        Insn::Svc { imm, cond: _ } => cls(0x7) | (imm as u32),
+        Insn::Nop { cond: _ } => cls(0x7) | (0x1 << 20),
+        Insn::Halt { cond: _ } => cls(0x7) | (0x2 << 20),
+        Insn::Mrs { rd, sys, cond: _ } => {
+            cls(0x7) | (0x3 << 20) | (reg4(rd) << 15) | (sys as u32)
+        }
+        Insn::Msr { sys, rn, cond: _ } => {
+            cls(0x7) | (0x4 << 20) | (reg4(rn) << 15) | (sys as u32)
+        }
+        Insn::Eret { cond: _ } => cls(0x7) | (0x5 << 20),
+        Insn::Cps { enable_irq, cond: _ } => {
+            cls(0x7) | (if enable_irq { 0x7 } else { 0x6 } << 20)
+        }
+        Insn::Wfi { cond: _ } => cls(0x7) | (0x9 << 20),
+    }
+}

@@ -1,0 +1,231 @@
+//! Loadable program images.
+//!
+//! An [`Image`] is SEA's equivalent of a statically linked ELF executable:
+//! a set of segments with virtual addresses and permissions, an entry point,
+//! and a symbol table for debugging. The kernel's loader maps the segments
+//! into a fresh address space.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Permissions of one image segment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SegmentFlags {
+    /// Segment is readable.
+    pub read: bool,
+    /// Segment is writable.
+    pub write: bool,
+    /// Segment is executable.
+    pub execute: bool,
+}
+
+impl SegmentFlags {
+    /// Read + execute (text).
+    pub const TEXT: SegmentFlags = SegmentFlags { read: true, write: false, execute: true };
+    /// Read + write (data, bss, stack).
+    pub const DATA: SegmentFlags = SegmentFlags { read: true, write: true, execute: false };
+    /// Read only (rodata).
+    pub const RODATA: SegmentFlags = SegmentFlags { read: true, write: false, execute: false };
+}
+
+impl fmt::Display for SegmentFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' },
+            if self.execute { 'x' } else { '-' }
+        )
+    }
+}
+
+/// One loadable segment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Segment {
+    /// Virtual load address (page alignment is the loader's concern).
+    pub vaddr: u32,
+    /// Initialized bytes. The loaded size may exceed this (`mem_size`).
+    pub data: Vec<u8>,
+    /// Total size in memory; any bytes past `data.len()` are zero-filled
+    /// (bss-style). Always `>= data.len()`.
+    pub mem_size: u32,
+    /// Access permissions.
+    pub flags: SegmentFlags,
+}
+
+impl Segment {
+    /// End address (exclusive) of the segment in memory.
+    pub fn end(&self) -> u32 {
+        self.vaddr + self.mem_size
+    }
+}
+
+/// Error produced while assembling or validating an image.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ImageError {
+    /// Two segments overlap in the virtual address space.
+    Overlap {
+        /// Start of the first overlapping segment.
+        first: u32,
+        /// Start of the second overlapping segment.
+        second: u32,
+    },
+    /// A segment's initialized data exceeds its memory size.
+    DataLargerThanMem {
+        /// Segment start address.
+        vaddr: u32,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Overlap { first, second } => {
+                write!(f, "segments at {first:#x} and {second:#x} overlap")
+            }
+            ImageError::DataLargerThanMem { vaddr } => {
+                write!(f, "segment at {vaddr:#x} has more data than memory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// A complete executable image.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Image {
+    segments: Vec<Segment>,
+    entry: u32,
+    symbols: BTreeMap<u32, String>,
+}
+
+impl Image {
+    /// Builds an image from its parts, validating segment layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if segments overlap or a segment's data exceeds its
+    /// memory size.
+    pub fn new(
+        mut segments: Vec<Segment>,
+        entry: u32,
+        symbols: BTreeMap<u32, String>,
+    ) -> Result<Image, ImageError> {
+        for seg in &segments {
+            if (seg.data.len() as u32) > seg.mem_size {
+                return Err(ImageError::DataLargerThanMem { vaddr: seg.vaddr });
+            }
+        }
+        segments.sort_by_key(|s| s.vaddr);
+        for pair in segments.windows(2) {
+            if pair[0].end() > pair[1].vaddr {
+                return Err(ImageError::Overlap { first: pair[0].vaddr, second: pair[1].vaddr });
+            }
+        }
+        Ok(Image { segments, entry, symbols })
+    }
+
+    /// The segments, sorted by virtual address.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Entry-point virtual address.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Base address of the first executable segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image has no executable segment.
+    pub fn text_base(&self) -> u32 {
+        self.segments
+            .iter()
+            .find(|s| s.flags.execute)
+            .map(|s| s.vaddr)
+            .expect("image has no executable segment")
+    }
+
+    /// Total executable bytes across segments (the program's code size; the
+    /// paper correlates small `.text` footprints with beam-only
+    /// Application-Crash excess).
+    pub fn text_bytes(&self) -> u32 {
+        self.segments.iter().filter(|s| s.flags.execute).map(|s| s.mem_size).sum()
+    }
+
+    /// Total initialized + zero-filled data bytes (non-executable segments).
+    pub fn data_bytes(&self) -> u32 {
+        self.segments.iter().filter(|s| !s.flags.execute).map(|s| s.mem_size).sum()
+    }
+
+    /// Symbol table: address → name, for diagnostics.
+    pub fn symbols(&self) -> &BTreeMap<u32, String> {
+        &self.symbols
+    }
+
+    /// Name of the nearest symbol at or below `addr`, with offset.
+    pub fn symbolize(&self, addr: u32) -> Option<(&str, u32)> {
+        self.symbols.range(..=addr).next_back().map(|(base, name)| (name.as_str(), addr - base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(vaddr: u32, len: u32, flags: SegmentFlags) -> Segment {
+        Segment { vaddr, data: vec![0; len as usize], mem_size: len, flags }
+    }
+
+    #[test]
+    fn rejects_overlapping_segments() {
+        let e = Image::new(
+            vec![seg(0x1000, 0x100, SegmentFlags::TEXT), seg(0x10F0, 0x10, SegmentFlags::DATA)],
+            0x1000,
+            BTreeMap::new(),
+        );
+        assert!(matches!(e, Err(ImageError::Overlap { .. })));
+    }
+
+    #[test]
+    fn accepts_adjacent_segments_and_sorts() {
+        let img = Image::new(
+            vec![seg(0x2000, 0x100, SegmentFlags::DATA), seg(0x1000, 0x1000, SegmentFlags::TEXT)],
+            0x1000,
+            BTreeMap::new(),
+        )
+        .unwrap();
+        assert_eq!(img.segments()[0].vaddr, 0x1000);
+        assert_eq!(img.text_base(), 0x1000);
+        assert_eq!(img.text_bytes(), 0x1000);
+        assert_eq!(img.data_bytes(), 0x100);
+    }
+
+    #[test]
+    fn bss_tail_allowed() {
+        let s = Segment {
+            vaddr: 0x3000,
+            data: vec![1, 2, 3],
+            mem_size: 0x100,
+            flags: SegmentFlags::DATA,
+        };
+        let img = Image::new(vec![s], 0x3000, BTreeMap::new()).unwrap();
+        assert_eq!(img.segments()[0].end(), 0x3100);
+    }
+
+    #[test]
+    fn symbolize_finds_nearest_below() {
+        let mut syms = BTreeMap::new();
+        syms.insert(0x1000, "main".to_string());
+        syms.insert(0x1040, "loop".to_string());
+        let img =
+            Image::new(vec![seg(0x1000, 0x100, SegmentFlags::TEXT)], 0x1000, syms).unwrap();
+        assert_eq!(img.symbolize(0x1044), Some(("loop", 4)));
+        assert_eq!(img.symbolize(0x103C), Some(("main", 0x3C)));
+        assert_eq!(img.symbolize(0xFFF), None);
+    }
+}

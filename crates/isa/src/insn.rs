@@ -1,0 +1,725 @@
+//! The AR32 instruction model.
+//!
+//! # Binary encoding overview
+//!
+//! Every instruction is one 32-bit word:
+//!
+//! ```text
+//! [31:28] cond   [27:24] class   [23:0] class-specific
+//! ```
+//!
+//! | class | group |
+//! |-------|-------|
+//! | `0x0` | data-processing, register operand |
+//! | `0x1` | data-processing, rotated-immediate operand |
+//! | `0x2` | multiply / divide |
+//! | `0x3` | load/store word/byte/half |
+//! | `0x4` | load/store multiple |
+//! | `0x5` | branch (B/BL) |
+//! | `0x6` | floating point (VFP-like, single precision) |
+//! | `0x7` | system (SVC, MRS, MSR, CPS, ERET, BX, NOP, HALT, WFI) |
+//! | `0x8` | wide moves (MOVW/MOVT) |
+//!
+//! Per-class field layouts are documented on the corresponding [`Insn`]
+//! variants. The encoding is bijective on the instruction model: `decode`
+//! rejects any word that `encode` cannot produce, so the set of valid
+//! encodings is exactly the image of [`crate::encode`]. A soft error that
+//! flips a bit of an instruction word either yields another valid
+//! instruction or an *undefined instruction* fault — the same two outcomes a
+//! real core exhibits.
+
+use crate::{Cond, FReg, Reg};
+
+/// Data-processing opcodes (classes `0x0`/`0x1`, bits `[23:20]`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum DpOp {
+    /// Bitwise AND: `rd = rn & op2`.
+    And = 0,
+    /// Bitwise exclusive OR: `rd = rn ^ op2`.
+    Eor = 1,
+    /// Subtract: `rd = rn - op2`.
+    Sub = 2,
+    /// Reverse subtract: `rd = op2 - rn`.
+    Rsb = 3,
+    /// Add: `rd = rn + op2`.
+    Add = 4,
+    /// Add with carry: `rd = rn + op2 + C`.
+    Adc = 5,
+    /// Subtract with carry: `rd = rn - op2 - !C`.
+    Sbc = 6,
+    /// Bitwise OR: `rd = rn | op2`.
+    Orr = 7,
+    /// Move: `rd = op2` (`rn` ignored).
+    Mov = 8,
+    /// Bit clear: `rd = rn & !op2`.
+    Bic = 9,
+    /// Move NOT: `rd = !op2` (`rn` ignored).
+    Mvn = 10,
+    /// Compare: flags from `rn - op2`, no destination.
+    Cmp = 11,
+    /// Compare negative: flags from `rn + op2`, no destination.
+    Cmn = 12,
+    /// Test: flags from `rn & op2`, no destination.
+    Tst = 13,
+    /// Test equivalence: flags from `rn ^ op2`, no destination.
+    Teq = 14,
+}
+
+impl DpOp {
+    /// All data-processing opcodes in encoding order.
+    pub const ALL: [DpOp; 15] = [
+        DpOp::And,
+        DpOp::Eor,
+        DpOp::Sub,
+        DpOp::Rsb,
+        DpOp::Add,
+        DpOp::Adc,
+        DpOp::Sbc,
+        DpOp::Orr,
+        DpOp::Mov,
+        DpOp::Bic,
+        DpOp::Mvn,
+        DpOp::Cmp,
+        DpOp::Cmn,
+        DpOp::Tst,
+        DpOp::Teq,
+    ];
+
+    /// True for the four compare/test opcodes that have no destination and
+    /// always update flags.
+    pub fn is_compare(self) -> bool {
+        matches!(self, DpOp::Cmp | DpOp::Cmn | DpOp::Tst | DpOp::Teq)
+    }
+
+    /// True for `Mov`/`Mvn`, which ignore `rn`.
+    pub fn ignores_rn(self) -> bool {
+        matches!(self, DpOp::Mov | DpOp::Mvn)
+    }
+}
+
+/// Barrel-shifter operation applied to a register operand.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Shift {
+    /// Logical shift left.
+    Lsl = 0,
+    /// Logical shift right.
+    Lsr = 1,
+    /// Arithmetic shift right.
+    Asr = 2,
+    /// Rotate right.
+    Ror = 3,
+}
+
+impl Shift {
+    /// All shift kinds in encoding order.
+    pub const ALL: [Shift; 4] = [Shift::Lsl, Shift::Lsr, Shift::Asr, Shift::Ror];
+
+    /// Applies the shift to `value` by `amount` (taken modulo 32 for `Ror`;
+    /// `Lsr`/`Asr`/`Lsl` by 32 or more saturate as on ARM for amounts up to
+    /// 31, which is all the encoding can express).
+    pub fn apply(self, value: u32, amount: u8) -> u32 {
+        let amount = amount as u32;
+        if amount == 0 {
+            return value;
+        }
+        match self {
+            Shift::Lsl => value << amount,
+            Shift::Lsr => value >> amount,
+            Shift::Asr => ((value as i32) >> amount) as u32,
+            Shift::Ror => value.rotate_right(amount),
+        }
+    }
+}
+
+/// A register operand run through the barrel shifter: `rm SHIFT #amount`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ShiftedReg {
+    /// Source register.
+    pub rm: Reg,
+    /// Shift kind.
+    pub shift: Shift,
+    /// Shift amount, `0..=31`.
+    pub amount: u8,
+}
+
+impl ShiftedReg {
+    /// A plain, unshifted register operand.
+    pub fn plain(rm: Reg) -> ShiftedReg {
+        ShiftedReg { rm, shift: Shift::Lsl, amount: 0 }
+    }
+}
+
+/// The flexible second operand of a data-processing instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand2 {
+    /// A (possibly shifted) register.
+    Reg(ShiftedReg),
+    /// An 8-bit value rotated right by `4 × ror4` bits (`ror4` in `0..=7`).
+    ///
+    /// The materialized value is `(base as u32).rotate_right(4 * ror4)`.
+    Imm {
+        /// 8-bit payload.
+        base: u8,
+        /// Rotation selector, `0..=7`; rotation is `4 × ror4` bits.
+        ror4: u8,
+    },
+}
+
+impl Operand2 {
+    /// Encodes `value` as a rotated immediate if possible.
+    pub fn encode_imm(value: u32) -> Option<Operand2> {
+        for ror4 in 0..8u8 {
+            let unrotated = value.rotate_left(4 * ror4 as u32);
+            if unrotated <= 0xFF {
+                return Some(Operand2::Imm { base: unrotated as u8, ror4 });
+            }
+        }
+        None
+    }
+
+    /// The immediate value this operand materializes, if it is an immediate.
+    pub fn imm_value(self) -> Option<u32> {
+        match self {
+            Operand2::Imm { base, ror4 } => Some((base as u32).rotate_right(4 * ror4 as u32)),
+            Operand2::Reg(_) => None,
+        }
+    }
+}
+
+/// Multiply/divide opcodes (class `0x2`, bits `[23:20]`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum MulOp {
+    /// `rd = rn * rm` (low 32 bits).
+    Mul = 0,
+    /// `rd = rn * rm + ra`.
+    Mla = 1,
+    /// Unsigned long multiply: `ra:rd = rn * rm` (`rd` low, `ra` high).
+    Umull = 2,
+    /// Signed long multiply: `ra:rd = rn * rm`.
+    Smull = 3,
+    /// Unsigned divide: `rd = rn / rm`, zero if `rm == 0` (as ARMv7-R UDIV).
+    Udiv = 4,
+    /// Signed divide: `rd = rn / rm`, zero if `rm == 0`.
+    Sdiv = 5,
+    /// Unsigned remainder: `rd = rn % rm`, zero if `rm == 0`.
+    Urem = 6,
+    /// Signed remainder: `rd = rn % rm`, zero if `rm == 0`.
+    Srem = 7,
+    /// Variable logical shift left: `rd = rn << (rm & 31)`.
+    Lslv = 8,
+    /// Variable logical shift right: `rd = rn >> (rm & 31)`.
+    Lsrv = 9,
+    /// Variable arithmetic shift right: `rd = (rn as i32) >> (rm & 31)`.
+    Asrv = 10,
+    /// Variable rotate right: `rd = rn.rotate_right(rm & 31)`.
+    Rorv = 11,
+}
+
+impl MulOp {
+    /// All multiply/divide/variable-shift opcodes in encoding order.
+    pub const ALL: [MulOp; 12] = [
+        MulOp::Mul,
+        MulOp::Mla,
+        MulOp::Umull,
+        MulOp::Smull,
+        MulOp::Udiv,
+        MulOp::Sdiv,
+        MulOp::Urem,
+        MulOp::Srem,
+        MulOp::Lslv,
+        MulOp::Lsrv,
+        MulOp::Asrv,
+        MulOp::Rorv,
+    ];
+}
+
+/// Access size for scalar loads and stores.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum MemSize {
+    /// 32-bit word. Addresses must be 4-byte aligned.
+    Word = 0,
+    /// 8-bit byte, zero-extended on load.
+    Byte = 1,
+    /// 16-bit halfword, zero-extended on load. 2-byte aligned.
+    Half = 2,
+}
+
+impl MemSize {
+    /// All access sizes in encoding order.
+    pub const ALL: [MemSize; 3] = [MemSize::Word, MemSize::Byte, MemSize::Half];
+
+    /// Access width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemSize::Word => 4,
+            MemSize::Byte => 1,
+            MemSize::Half => 2,
+        }
+    }
+}
+
+/// Addressing-mode control bits for scalar loads/stores.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AddrMode {
+    /// Pre-index (`true`): the offset applies before the access.
+    /// Post-index (`false`): the access uses `rn` as-is, then `rn` is
+    /// updated (post-index implies writeback).
+    pub pre: bool,
+    /// Write the computed address back to `rn`.
+    pub writeback: bool,
+    /// Offset direction: `true` adds, `false` subtracts.
+    pub up: bool,
+}
+
+impl AddrMode {
+    /// Plain `[rn, #+off]` addressing without writeback.
+    pub fn offset() -> AddrMode {
+        AddrMode { pre: true, writeback: false, up: true }
+    }
+
+    /// Pre-indexed with writeback: `[rn, #+off]!`.
+    pub fn pre_wb() -> AddrMode {
+        AddrMode { pre: true, writeback: true, up: true }
+    }
+
+    /// Post-indexed: `[rn], #+off`.
+    pub fn post() -> AddrMode {
+        AddrMode { pre: false, writeback: true, up: true }
+    }
+
+    /// Flips the offset direction to subtraction.
+    pub fn down(mut self) -> AddrMode {
+        self.up = false;
+        self
+    }
+}
+
+/// Offset operand of a scalar load/store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemOffset {
+    /// Unscaled immediate byte offset, `0..=511`.
+    Imm(u16),
+    /// Register offset shifted left by `0..=7`: `rm << shl`.
+    Reg {
+        /// Offset register.
+        rm: Reg,
+        /// Left-shift amount applied to `rm`, `0..=7`.
+        shl: u8,
+    },
+}
+
+/// System registers readable via `MRS`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum SysReg {
+    /// Current program status register (flags, mode, IRQ mask).
+    Cpsr = 0,
+    /// Saved program status register of supervisor mode.
+    Spsr = 1,
+    /// Free-running cycle counter (low 32 bits).
+    Cycles = 2,
+    /// Exception link register of supervisor mode (preferred return address).
+    Elr = 3,
+    /// Exception syndrome: cause of the most recent exception.
+    Esr = 4,
+    /// Faulting address register (for aborts).
+    Far = 5,
+    /// Page-table base register.
+    Ttbr = 6,
+    /// The user-mode stack pointer, accessible from supervisor mode
+    /// (AR32 banks `sp` per privilege level, like ARM's `SP_usr`).
+    SpUsr = 7,
+    /// Cache maintenance: writing `1` cleans (writes back) and invalidates
+    /// all caches; writing `2` invalidates the TLBs. Reads as zero.
+    CacheOp = 8,
+}
+
+impl SysReg {
+    /// All system registers in encoding order.
+    pub const ALL: [SysReg; 9] = [
+        SysReg::Cpsr,
+        SysReg::Spsr,
+        SysReg::Cycles,
+        SysReg::Elr,
+        SysReg::Esr,
+        SysReg::Far,
+        SysReg::Ttbr,
+        SysReg::SpUsr,
+        SysReg::CacheOp,
+    ];
+}
+
+/// FP arithmetic ops with two source registers (class `0x6`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum FpArithOp {
+    /// `sd = sn + sm`.
+    Add = 0,
+    /// `sd = sn - sm`.
+    Sub = 1,
+    /// `sd = sn * sm`.
+    Mul = 2,
+    /// `sd = sn / sm`.
+    Div = 3,
+    /// Fused-ish multiply-accumulate: `sd = sd + sn * sm` (rounded per step).
+    Mac = 4,
+    /// `sd = min(sn, sm)` (IEEE minNum).
+    Min = 5,
+    /// `sd = max(sn, sm)` (IEEE maxNum).
+    Max = 6,
+}
+
+impl FpArithOp {
+    /// All two-source FP ops in encoding order.
+    pub const ALL: [FpArithOp; 7] = [
+        FpArithOp::Add,
+        FpArithOp::Sub,
+        FpArithOp::Mul,
+        FpArithOp::Div,
+        FpArithOp::Mac,
+        FpArithOp::Min,
+        FpArithOp::Max,
+    ];
+}
+
+/// FP ops with one source register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum FpUnaryOp {
+    /// `sd = |sm|`.
+    Abs = 0,
+    /// `sd = -sm`.
+    Neg = 1,
+    /// `sd = sqrt(sm)`.
+    Sqrt = 2,
+    /// `sd = sm` (register move).
+    Mov = 3,
+}
+
+impl FpUnaryOp {
+    /// All one-source FP ops in encoding order.
+    pub const ALL: [FpUnaryOp; 4] = [FpUnaryOp::Abs, FpUnaryOp::Neg, FpUnaryOp::Sqrt, FpUnaryOp::Mov];
+}
+
+/// One decoded AR32 instruction.
+///
+/// Field layouts below use `A = [18:15]`, `B = [14:11]`, `C = [10:7]` for
+/// 4-bit register fields and `FA = [18:14]`, `FB = [13:9]`, `FC = [8:4]` for
+/// 5-bit FP register fields unless stated otherwise.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Insn {
+    /// Data processing (class `0x0` register / `0x1` immediate).
+    ///
+    /// Layout: `[23:20] op, [19] S, A rd, B rn`, then either
+    /// `C rm, [6:5] shift, [4:0] amount` (class 0) or
+    /// `[10:3] imm8, [2:0] ror4` (class 1).
+    Dp {
+        /// Condition.
+        cond: Cond,
+        /// Operation.
+        op: DpOp,
+        /// Update CPSR flags.
+        s: bool,
+        /// Destination (ignored and encoded as `r0` for compares).
+        rd: Reg,
+        /// First operand (ignored and encoded as `r0` for `Mov`/`Mvn`).
+        rn: Reg,
+        /// Flexible second operand.
+        op2: Operand2,
+    },
+    /// Wide move (class `0x8`): `[23] top, [22:19] rd, [15:0] imm16`.
+    ///
+    /// `top == false` (`MOVW`): `rd = imm16` (upper half zeroed).
+    /// `top == true` (`MOVT`): `rd[31:16] = imm16` (lower half kept).
+    MovW {
+        /// Condition.
+        cond: Cond,
+        /// Write the top halfword instead of the bottom.
+        top: bool,
+        /// Destination register.
+        rd: Reg,
+        /// 16-bit immediate.
+        imm: u16,
+    },
+    /// Multiply/divide (class `0x2`).
+    ///
+    /// Layout: `[23:20] op, [19] S, A rd, B rn, C rm, [6:3] ra`.
+    /// For long multiplies `rd` is the low word, `ra` the high word.
+    Mul {
+        /// Condition.
+        cond: Cond,
+        /// Operation.
+        op: MulOp,
+        /// Update `N`/`Z` from the (low-word) result.
+        s: bool,
+        /// Destination / low result.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        rm: Reg,
+        /// Accumulator (`Mla`) or high result (`Umull`/`Smull`); encoded as
+        /// `r0` when unused.
+        ra: Reg,
+    },
+    /// Scalar load/store (class `0x3`).
+    ///
+    /// Layout: `[23:22] size, [21] L, [20] U, [19] P, [18] W,
+    /// [17:14] rd, [13:10] rn, [9] regoff`, then
+    /// `[8:0] imm9` or `[8:5] rm, [4:2] shl`.
+    Mem {
+        /// Condition.
+        cond: Cond,
+        /// `true` for load, `false` for store.
+        load: bool,
+        /// Access size.
+        size: MemSize,
+        /// Data register.
+        rd: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Offset operand.
+        offset: MemOffset,
+        /// Index/writeback mode.
+        mode: AddrMode,
+    },
+    /// Load/store multiple (class `0x4`).
+    ///
+    /// Layout: `[23] L, [22] W, [21] U, [20] P, [19:16] rn, [15:0] regs`.
+    /// Registers transfer in ascending index order from the lowest address,
+    /// as on ARM. `PUSH` is `STM db wb sp`, `POP` is `LDM ia wb sp`.
+    MemMulti {
+        /// Condition.
+        cond: Cond,
+        /// `true` for load.
+        load: bool,
+        /// Base register.
+        rn: Reg,
+        /// Write final address back to `rn`.
+        writeback: bool,
+        /// Ascending (`true`) or descending (`false`) addresses.
+        up: bool,
+        /// Adjust the address before (`true`) or after (`false`) each access.
+        before: bool,
+        /// Bitmask of registers to transfer (bit *i* = `r<i>`).
+        regs: u16,
+    },
+    /// Branch (class `0x5`): `[23] link, [22:0] signed word offset`.
+    ///
+    /// Target is `address_of_branch + 4 + 4 × offset`.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Save the return address in `lr`.
+        link: bool,
+        /// Signed offset in words relative to the next instruction.
+        offset: i32,
+    },
+    /// Branch to register (class `0x7`, op `0x8`): `A rm`.
+    Bx {
+        /// Condition.
+        cond: Cond,
+        /// Target-address register.
+        rm: Reg,
+    },
+    /// FP two-source arithmetic (class `0x6`, sub-op `[23:19]` in `0..=6`).
+    ///
+    /// All FP variants pack their register fields into three 5-bit slots
+    /// `A = [14:10]`, `B = [9:5]`, `C = [4:0]`. Here `sd = A`, `sn = B`,
+    /// `sm = C`.
+    FpArith {
+        /// Condition.
+        cond: Cond,
+        /// Operation.
+        op: FpArithOp,
+        /// Destination.
+        sd: FReg,
+        /// First source.
+        sn: FReg,
+        /// Second source.
+        sm: FReg,
+    },
+    /// FP one-source op (class `0x6`, sub-op `8 + op`): `sd = A`, `sm = C`.
+    FpUnary {
+        /// Condition.
+        cond: Cond,
+        /// Operation.
+        op: FpUnaryOp,
+        /// Destination.
+        sd: FReg,
+        /// Source.
+        sm: FReg,
+    },
+    /// FP compare (class `0x6`, sub `12`): sets CPSR `N`/`Z`/`C`/`V` from
+    /// the IEEE comparison of `sn` and `sm` the way `VCMP`+`VMRS` would:
+    /// unordered sets `C` and `V`; less sets `N`; equal sets `Z` and `C`;
+    /// greater sets `C`.
+    FpCmp {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        sn: FReg,
+        /// Right operand.
+        sm: FReg,
+    },
+    /// Convert f32 → i32, round toward zero (class `0x6`, sub-op `13`):
+    /// `rd = A[3:0]`, `sm = C`. NaN converts to 0; out-of-range saturates.
+    FpToInt {
+        /// Condition.
+        cond: Cond,
+        /// Integer destination.
+        rd: Reg,
+        /// FP source.
+        sm: FReg,
+    },
+    /// Convert i32 → f32, round to nearest (class `0x6`, sub-op `14`):
+    /// `sd = A`, `rm = B[3:0]`.
+    IntToFp {
+        /// Condition.
+        cond: Cond,
+        /// FP destination.
+        sd: FReg,
+        /// Integer source.
+        rm: Reg,
+    },
+    /// Move FP register to core register, bit pattern preserved (class
+    /// `0x6`, sub-op `15`): `rd = A[3:0]`, `sn = C`.
+    FpToCore {
+        /// Condition.
+        cond: Cond,
+        /// Integer destination.
+        rd: Reg,
+        /// FP source.
+        sn: FReg,
+    },
+    /// Move core register to FP register, bit pattern preserved (class
+    /// `0x6`, sub-op `16`): `sd = A`, `rn = B[3:0]`.
+    CoreToFp {
+        /// Condition.
+        cond: Cond,
+        /// FP destination.
+        sd: FReg,
+        /// Integer source.
+        rn: Reg,
+    },
+    /// FP load/store (class `0x6`, sub-op `17` load / `18` store):
+    /// `sd = A`, `rn = B[3:0]`, word offset `imm6 = C + ([16:15] << 5)`…
+    /// concretely the byte address is `rn + 4 × imm6` and accesses are
+    /// always word sized. `imm6` is encoded in `C` plus bit `[15]`.
+    FpMem {
+        /// Condition.
+        cond: Cond,
+        /// `true` for load.
+        load: bool,
+        /// FP data register.
+        sd: FReg,
+        /// Base register.
+        rn: Reg,
+        /// Word offset, `0..=63` (byte offset `4 × imm6`).
+        imm6: u8,
+    },
+    /// Supervisor call (class `0x7`, op `0x0`): `[15:0] imm16` is the
+    /// syscall-number hint (also passed in `r7` by convention).
+    Svc {
+        /// Condition.
+        cond: Cond,
+        /// Immediate comment field.
+        imm: u16,
+    },
+    /// Read a system register (class `0x7`, op `0x3`): `A rd, [2:0] sys`.
+    /// Reading privileged registers (everything but `Cycles`) from user mode
+    /// raises an undefined-instruction fault.
+    Mrs {
+        /// Condition.
+        cond: Cond,
+        /// Destination register.
+        rd: Reg,
+        /// Source system register.
+        sys: SysReg,
+    },
+    /// Write a system register (class `0x7`, op `0x4`): `A rn, [2:0] sys`.
+    /// Privileged.
+    Msr {
+        /// Condition.
+        cond: Cond,
+        /// Destination system register.
+        sys: SysReg,
+        /// Source register.
+        rn: Reg,
+    },
+    /// Change IRQ mask (class `0x7`, op `0x6` disable / `0x7` enable).
+    /// Privileged.
+    Cps {
+        /// Condition.
+        cond: Cond,
+        /// `true` enables IRQs, `false` disables them.
+        enable_irq: bool,
+    },
+    /// Exception return (class `0x7`, op `0x5`): `pc ← ELR`, `CPSR ← SPSR`.
+    /// Privileged.
+    Eret {
+        /// Condition.
+        cond: Cond,
+    },
+    /// No operation (class `0x7`, op `0x1`).
+    Nop {
+        /// Condition.
+        cond: Cond,
+    },
+    /// Stop the simulation (class `0x7`, op `0x2`). Privileged; used only by
+    /// the kernel's final power-off path. In user mode it raises an
+    /// undefined-instruction fault.
+    Halt {
+        /// Condition.
+        cond: Cond,
+    },
+    /// Wait for interrupt (class `0x7`, op `0x9`). The core idles until an
+    /// IRQ is pending. Privileged.
+    Wfi {
+        /// Condition.
+        cond: Cond,
+    },
+}
+
+impl Insn {
+    /// The condition code of this instruction.
+    pub fn cond(&self) -> Cond {
+        match *self {
+            Insn::Dp { cond, .. }
+            | Insn::MovW { cond, .. }
+            | Insn::Mul { cond, .. }
+            | Insn::Mem { cond, .. }
+            | Insn::MemMulti { cond, .. }
+            | Insn::Branch { cond, .. }
+            | Insn::Bx { cond, .. }
+            | Insn::FpArith { cond, .. }
+            | Insn::FpUnary { cond, .. }
+            | Insn::FpCmp { cond, .. }
+            | Insn::FpToInt { cond, .. }
+            | Insn::IntToFp { cond, .. }
+            | Insn::FpToCore { cond, .. }
+            | Insn::CoreToFp { cond, .. }
+            | Insn::FpMem { cond, .. }
+            | Insn::Svc { cond, .. }
+            | Insn::Mrs { cond, .. }
+            | Insn::Msr { cond, .. }
+            | Insn::Cps { cond, .. }
+            | Insn::Eret { cond }
+            | Insn::Nop { cond }
+            | Insn::Halt { cond }
+            | Insn::Wfi { cond } => cond,
+        }
+    }
+
+    /// True if this instruction may redirect control flow when executed.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Insn::Branch { .. } | Insn::Bx { .. } | Insn::Svc { .. } | Insn::Eret { .. }
+        )
+    }
+}

@@ -1,0 +1,63 @@
+//! # sea-isa — the AR32 instruction set architecture
+//!
+//! AR32 is a clean 32-bit ARM-class ISA designed for the SEA soft-error
+//! assessment framework. It deliberately mirrors the architectural traits of
+//! ARMv7-A that matter for microarchitectural reliability studies —
+//! conditional execution on every instruction, a barrel shifter, load/store
+//! multiple, a VFP-like single-precision register bank, supervisor/user
+//! privilege with banked registers, and an SVC-based syscall interface —
+//! while using its own fixed-width, fully documented binary encoding.
+//!
+//! The crate provides:
+//!
+//! * the instruction model ([`Insn`]) with every operand type,
+//! * a bijective binary [`encode`]/[`decode`] pair,
+//! * a programmatic assembler ([`Asm`]) with labels, sections and data
+//!   directives, producing loadable [`Image`]s,
+//! * a disassembler (`Display` on [`Insn`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sea_isa::{Asm, Reg, Cond};
+//!
+//! # fn main() -> Result<(), sea_isa::AsmError> {
+//! let mut a = Asm::new();
+//! let entry = a.label("entry");
+//! a.bind(entry)?;
+//! a.mov_imm(Reg::R0, 41);
+//! a.add_imm(Reg::R0, Reg::R0, 1);
+//! a.svc(0); // exit
+//! let image = a.finish(entry)?;
+//! assert_eq!(image.entry(), image.text_base());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod cond;
+mod decode;
+mod disasm;
+mod encode;
+mod image;
+mod insn;
+mod parse;
+mod reg;
+
+pub use asm::{reg_mask, Asm, AsmError, Label, Section, DATA_BASE, RODATA_BASE, TEXT_BASE};
+pub use cond::Cond;
+pub use decode::{decode, DecodeError};
+pub use encode::encode;
+pub use image::{Image, ImageError, Segment, SegmentFlags};
+pub use parse::{parse_insn, ParseError};
+pub use insn::{
+    AddrMode, DpOp, FpArithOp, FpUnaryOp, Insn, MemOffset, MemSize, MulOp, Operand2, Shift,
+    ShiftedReg, SysReg,
+};
+pub use reg::{s, FReg, Reg};
+
+/// Size of one AR32 instruction in bytes. All instructions are fixed width.
+pub const INSN_BYTES: u32 = 4;

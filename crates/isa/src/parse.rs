@@ -1,0 +1,727 @@
+//! Parsing textual AR32 assembly.
+//!
+//! The grammar is exactly the disassembler's output language (plus
+//! whitespace tolerance and case-insensitive mnemonics), so
+//! `parse_insn(insn.to_string())` is a total inverse of `Display` — a
+//! property the test suite enforces over the whole instruction space.
+//! Branches are parsed with their relative word offset (`b .+8` form);
+//! label resolution is the programmatic assembler's job.
+
+use std::fmt;
+
+use crate::insn::{
+    AddrMode, DpOp, FpArithOp, FpUnaryOp, Insn, MemOffset, MemSize, MulOp, Operand2, Shift,
+    ShiftedReg, SysReg,
+};
+use crate::{Cond, FReg, Reg};
+
+/// Error produced when text does not parse as an AR32 instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+fn parse_cond(s: &str) -> Option<(Cond, &str)> {
+    const TABLE: [(&str, Cond); 15] = [
+        ("eq", Cond::Eq),
+        ("ne", Cond::Ne),
+        ("cs", Cond::Cs),
+        ("cc", Cond::Cc),
+        ("mi", Cond::Mi),
+        ("pl", Cond::Pl),
+        ("vs", Cond::Vs),
+        ("vc", Cond::Vc),
+        ("hi", Cond::Hi),
+        ("ls", Cond::Ls),
+        ("ge", Cond::Ge),
+        ("lt", Cond::Lt),
+        ("gt", Cond::Gt),
+        ("le", Cond::Le),
+        ("nv", Cond::Nv),
+    ];
+    for (name, cond) in TABLE {
+        if let Some(rest) = s.strip_prefix(name) {
+            return Some((cond, rest));
+        }
+    }
+    None
+}
+
+fn take_cond(s: &str) -> (Cond, &str) {
+    parse_cond(s).unwrap_or((Cond::Al, s))
+}
+
+fn parse_reg(tok: &str) -> Result<Reg> {
+    match tok {
+        "sp" => Ok(Reg::Sp),
+        "lr" => Ok(Reg::Lr),
+        "pc" => Ok(Reg::Pc),
+        _ => {
+            let n: u32 = tok
+                .strip_prefix('r')
+                .ok_or_else(|| ParseError::new(format!("expected register, got `{tok}`")))?
+                .parse()
+                .map_err(|_| ParseError::new(format!("bad register `{tok}`")))?;
+            if n > 15 {
+                return Err(ParseError::new(format!("register out of range `{tok}`")));
+            }
+            Ok(Reg::from_index(n))
+        }
+    }
+}
+
+fn parse_freg(tok: &str) -> Result<FReg> {
+    let n: u32 = tok
+        .strip_prefix('s')
+        .ok_or_else(|| ParseError::new(format!("expected FP register, got `{tok}`")))?
+        .parse()
+        .map_err(|_| ParseError::new(format!("bad FP register `{tok}`")))?;
+    if n > 31 {
+        return Err(ParseError::new(format!("FP register out of range `{tok}`")));
+    }
+    Ok(FReg::new(n))
+}
+
+fn parse_imm(tok: &str) -> Result<i64> {
+    let t = tok
+        .strip_prefix('#')
+        .ok_or_else(|| ParseError::new(format!("expected immediate, got `{tok}`")))?;
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse()
+    }
+    .map_err(|_| ParseError::new(format!("bad immediate `{tok}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_shift_kind(tok: &str) -> Result<Shift> {
+    match tok {
+        "lsl" => Ok(Shift::Lsl),
+        "lsr" => Ok(Shift::Lsr),
+        "asr" => Ok(Shift::Asr),
+        "ror" => Ok(Shift::Ror),
+        _ => Err(ParseError::new(format!("expected shift, got `{tok}`"))),
+    }
+}
+
+/// Splits the operand field on top-level commas (brackets/braces bind).
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for ch in s.chars() {
+        match ch {
+            '[' | '{' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ']' | '}' => {
+                depth -= 1;
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+/// Parses an op2 spanning one or two operand tokens (`r3` or `r3, lsl #4`
+/// or `#0x1f0`).
+fn parse_op2(toks: &[String]) -> Result<Operand2> {
+    match toks {
+        [one] if one.starts_with('#') => {
+            let v = parse_imm(one)? as u32;
+            Operand2::encode_imm(v)
+                .ok_or_else(|| ParseError::new(format!("immediate {v:#x} not encodable")))
+        }
+        [one] => Ok(Operand2::Reg(ShiftedReg::plain(parse_reg(one)?))),
+        [reg, shift] => {
+            let rm = parse_reg(reg)?;
+            let mut it = shift.split_whitespace();
+            let kind = parse_shift_kind(it.next().unwrap_or(""))?;
+            let amount = parse_imm(it.next().unwrap_or(""))? as u8;
+            if amount > 31 {
+                return Err(ParseError::new("shift amount out of range"));
+            }
+            Ok(Operand2::Reg(ShiftedReg { rm, shift: kind, amount }))
+        }
+        _ => Err(ParseError::new("malformed flexible operand")),
+    }
+}
+
+fn dp_op(base: &str) -> Option<DpOp> {
+    Some(match base {
+        "and" => DpOp::And,
+        "eor" => DpOp::Eor,
+        "sub" => DpOp::Sub,
+        "rsb" => DpOp::Rsb,
+        "add" => DpOp::Add,
+        "adc" => DpOp::Adc,
+        "sbc" => DpOp::Sbc,
+        "orr" => DpOp::Orr,
+        "mov" => DpOp::Mov,
+        "bic" => DpOp::Bic,
+        "mvn" => DpOp::Mvn,
+        "cmp" => DpOp::Cmp,
+        "cmn" => DpOp::Cmn,
+        "tst" => DpOp::Tst,
+        "teq" => DpOp::Teq,
+        _ => return None,
+    })
+}
+
+fn mul_op(base: &str) -> Option<MulOp> {
+    Some(match base {
+        "mul" => MulOp::Mul,
+        "mla" => MulOp::Mla,
+        "umull" => MulOp::Umull,
+        "smull" => MulOp::Smull,
+        "udiv" => MulOp::Udiv,
+        "sdiv" => MulOp::Sdiv,
+        "urem" => MulOp::Urem,
+        "srem" => MulOp::Srem,
+        "lslv" => MulOp::Lslv,
+        "lsrv" => MulOp::Lsrv,
+        "asrv" => MulOp::Asrv,
+        "rorv" => MulOp::Rorv,
+        _ => return None,
+    })
+}
+
+fn sys_reg(tok: &str) -> Result<SysReg> {
+    match tok.to_ascii_lowercase().as_str() {
+        "cpsr" => Ok(SysReg::Cpsr),
+        "spsr" => Ok(SysReg::Spsr),
+        "cycles" => Ok(SysReg::Cycles),
+        "elr" => Ok(SysReg::Elr),
+        "esr" => Ok(SysReg::Esr),
+        "far" => Ok(SysReg::Far),
+        "ttbr" => Ok(SysReg::Ttbr),
+        "spusr" => Ok(SysReg::SpUsr),
+        "cacheop" => Ok(SysReg::CacheOp),
+        _ => Err(ParseError::new(format!("unknown system register `{tok}`"))),
+    }
+}
+
+fn parse_mem(cond: Cond, load: bool, rest: &str, ops: &[String]) -> Result<Insn> {
+    // rest: "", "b", "h" (size); ops: rd + address expression.
+    let size = match rest {
+        "" => MemSize::Word,
+        "b" => MemSize::Byte,
+        "h" => MemSize::Half,
+        _ => return Err(ParseError::new(format!("bad load/store suffix `{rest}`"))),
+    };
+    if ops.len() < 2 {
+        return Err(ParseError::new("load/store needs a register and an address"));
+    }
+    let rd = parse_reg(operand(&ops, 0)?)?;
+    // Address forms: "[rn, off]" | "[rn, off]!" | "[rn]" | "[rn], off".
+    let addr = ops[1..].join(", ");
+    let (pre, writeback, inner, tail) = if let Some(stripped) = addr.strip_suffix('!') {
+        let inner = stripped
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| ParseError::new("malformed pre-indexed address"))?;
+        (true, true, inner.to_string(), None)
+    } else if let Some(end) = addr.find(']') {
+        let inner = addr[..end]
+            .strip_prefix('[')
+            .ok_or_else(|| ParseError::new("malformed address"))?
+            .to_string();
+        let after = addr[end + 1..].trim().to_string();
+        if after.is_empty() {
+            (true, false, inner, None)
+        } else {
+            let tail = after
+                .strip_prefix(',')
+                .ok_or_else(|| ParseError::new("malformed post-index"))?
+                .trim()
+                .to_string();
+            (false, true, inner, Some(tail))
+        }
+    } else {
+        return Err(ParseError::new("missing bracketed address"));
+    };
+
+    let parts: Vec<String> = if let Some(t) = tail {
+        let mut v = vec![inner.clone()];
+        v.extend(split_operands(&t));
+        v
+    } else {
+        split_operands(&inner)
+    };
+    let rn = parse_reg(parts[0].trim())?;
+    let (offset, up) = match parts.len() {
+        1 => (MemOffset::Imm(0), true),
+        2 => {
+            let t = parts[1].trim();
+            if t.starts_with('#') {
+                let v = parse_imm(t)?;
+                (MemOffset::Imm(v.unsigned_abs() as u16), v >= 0)
+            } else {
+                let (neg, t) = match t.strip_prefix('-') {
+                    Some(rest) => (true, rest),
+                    None => (false, t),
+                };
+                (MemOffset::Reg { rm: parse_reg(t.trim())? , shl: 0 }, !neg)
+            }
+        }
+        3 => {
+            let t = parts[1].trim();
+            let (neg, t) = match t.strip_prefix('-') {
+                Some(rest) => (true, rest),
+                None => (false, t),
+            };
+            let rm = parse_reg(t.trim())?;
+            let mut it = parts[2].split_whitespace();
+            let kind = parse_shift_kind(it.next().unwrap_or(""))?;
+            if kind != Shift::Lsl {
+                return Err(ParseError::new("memory offsets shift with lsl only"));
+            }
+            let shl = parse_imm(it.next().unwrap_or(""))? as u8;
+            (MemOffset::Reg { rm, shl }, !neg)
+        }
+        _ => return Err(ParseError::new("malformed address expression")),
+    };
+    Ok(Insn::Mem { cond, load, size, rd, rn, offset, mode: AddrMode { pre, writeback, up } })
+}
+
+fn parse_reg_list(tok: &str) -> Result<u16> {
+    let inner = tok
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| ParseError::new("expected register list"))?;
+    let mut mask = 0u16;
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        mask |= 1 << parse_reg(part)?.index();
+    }
+    if mask == 0 {
+        return Err(ParseError::new("empty register list"));
+    }
+    Ok(mask)
+}
+
+
+fn operand(ops: &[String], i: usize) -> Result<&str> {
+    ops.get(i).map(String::as_str).ok_or_else(|| ParseError::new("missing operand"))
+}
+
+/// Parses one instruction from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first problem found.
+#[allow(clippy::too_many_lines)]
+pub fn parse_insn(text: &str) -> Result<Insn> {
+    let text = text.trim().to_ascii_lowercase();
+    let (mnemonic, operands) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text.as_str(), ""),
+    };
+    let ops = split_operands(operands);
+
+    // ---- FP family (vxxx.f32 / vmov / vldr / vstr) ----
+    if let Some(rest) = mnemonic.strip_prefix("vcmp.f32") {
+        let (cond, rest) = take_cond(rest);
+        if !rest.is_empty() {
+            return Err(ParseError::new("trailing characters on vcmp"));
+        }
+        return Ok(Insn::FpCmp { cond, sn: parse_freg(operand(&ops, 0)?)?, sm: parse_freg(operand(&ops, 1)?)? });
+    }
+    if let Some(rest) = mnemonic.strip_prefix("vcvt.s32.f32") {
+        let (cond, _) = take_cond(rest);
+        return Ok(Insn::FpToInt { cond, rd: parse_reg(operand(&ops, 0)?)?, sm: parse_freg(operand(&ops, 1)?)? });
+    }
+    if let Some(rest) = mnemonic.strip_prefix("vcvt.f32.s32") {
+        let (cond, _) = take_cond(rest);
+        return Ok(Insn::IntToFp { cond, sd: parse_freg(operand(&ops, 0)?)?, rm: parse_reg(operand(&ops, 1)?)? });
+    }
+    for (name, op) in [
+        ("vadd.f32", FpArithOp::Add),
+        ("vsub.f32", FpArithOp::Sub),
+        ("vmul.f32", FpArithOp::Mul),
+        ("vdiv.f32", FpArithOp::Div),
+        ("vmla.f32", FpArithOp::Mac),
+        ("vmin.f32", FpArithOp::Min),
+        ("vmax.f32", FpArithOp::Max),
+    ] {
+        if let Some(rest) = mnemonic.strip_prefix(name) {
+            let (cond, _) = take_cond(rest);
+            return Ok(Insn::FpArith {
+                cond,
+                op,
+                sd: parse_freg(operand(&ops, 0)?)?,
+                sn: parse_freg(operand(&ops, 1)?)?,
+                sm: parse_freg(operand(&ops, 2)?)?,
+            });
+        }
+    }
+    for (name, op) in [
+        ("vabs.f32", FpUnaryOp::Abs),
+        ("vneg.f32", FpUnaryOp::Neg),
+        ("vsqrt.f32", FpUnaryOp::Sqrt),
+        ("vmov.f32", FpUnaryOp::Mov),
+    ] {
+        if let Some(rest) = mnemonic.strip_prefix(name) {
+            let (cond, _) = take_cond(rest);
+            return Ok(Insn::FpUnary {
+                cond,
+                op,
+                sd: parse_freg(operand(&ops, 0)?)?,
+                sm: parse_freg(operand(&ops, 1)?)?,
+            });
+        }
+    }
+    for (name, load) in [("vldr", true), ("vstr", false)] {
+        if let Some(rest) = mnemonic.strip_prefix(name) {
+            let (cond, _) = take_cond(rest);
+            let sd = parse_freg(operand(&ops, 0)?)?;
+            let inner = ops[1]
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| ParseError::new("vldr/vstr need [rn, #off]"))?;
+            let parts = split_operands(inner);
+            let rn = parse_reg(parts[0].trim())?;
+            let byte_off =
+                if parts.len() > 1 { parse_imm(parts[1].trim())? } else { 0 };
+            if byte_off % 4 != 0 || !(0..256).contains(&byte_off) {
+                return Err(ParseError::new("vldr/vstr offset must be 4-aligned, 0..=252"));
+            }
+            return Ok(Insn::FpMem { cond, load, sd, rn, imm6: (byte_off / 4) as u8 });
+        }
+    }
+    if let Some(rest) = mnemonic.strip_prefix("vmov") {
+        // Core↔FP moves: one operand is rX, the other sY.
+        let (cond, _) = take_cond(rest);
+        if ops.len() == 2 {
+            if ops[0].starts_with('s') && ops[0] != "sp" {
+                return Ok(Insn::CoreToFp {
+                    cond,
+                    sd: parse_freg(operand(&ops, 0)?)?,
+                    rn: parse_reg(operand(&ops, 1)?)?,
+                });
+            }
+            return Ok(Insn::FpToCore { cond, rd: parse_reg(operand(&ops, 0)?)?, sn: parse_freg(operand(&ops, 1)?)? });
+        }
+        return Err(ParseError::new("malformed vmov"));
+    }
+
+    // ---- loads/stores ----
+    for (name, load) in [("ldm", true), ("stm", false)] {
+        if let Some(rest) = mnemonic.strip_prefix(name) {
+            let (up, before, rest) = match &rest.get(..2) {
+                Some("ia") => (true, false, &rest[2..]),
+                Some("ib") => (true, true, &rest[2..]),
+                Some("da") => (false, false, &rest[2..]),
+                Some("db") => (false, true, &rest[2..]),
+                _ => return Err(ParseError::new("ldm/stm need an addressing mode")),
+            };
+            let (cond, rest) = take_cond(rest);
+            if !rest.is_empty() {
+                return Err(ParseError::new("trailing characters on ldm/stm"));
+            }
+            let (base, writeback) = match ops[0].strip_suffix('!') {
+                Some(b) => (b.trim(), true),
+                None => (ops[0].as_str(), false),
+            };
+            return Ok(Insn::MemMulti {
+                cond,
+                load,
+                rn: parse_reg(base)?,
+                writeback,
+                up,
+                before,
+                regs: parse_reg_list(operand(&ops, 1)?)?,
+            });
+        }
+    }
+    for (name, load) in [("ldr", true), ("str", false)] {
+        if let Some(rest) = mnemonic.strip_prefix(name) {
+            let (cond, rest) = take_cond(rest);
+            return parse_mem(cond, load, rest, &ops);
+        }
+    }
+
+    // ---- multiply / divide / variable shifts ----
+    // (checked before DP so `mul` does not fall into `mu`+garbage.)
+    for base in [
+        "umull", "smull", "udiv", "sdiv", "urem", "srem", "lslv", "lsrv", "asrv", "rorv", "mul",
+        "mla",
+    ] {
+        if let Some(rest) = mnemonic.strip_prefix(base) {
+            let op = mul_op(base).unwrap();
+            let (cond, rest) = take_cond(rest);
+            let s = rest == "s";
+            if !rest.is_empty() && !s {
+                continue;
+            }
+            return Ok(match op {
+                MulOp::Mla => Insn::Mul {
+                    cond,
+                    op,
+                    s,
+                    rd: parse_reg(operand(&ops, 0)?)?,
+                    rn: parse_reg(operand(&ops, 1)?)?,
+                    rm: parse_reg(operand(&ops, 2)?)?,
+                    ra: parse_reg(operand(&ops, 3)?)?,
+                },
+                MulOp::Umull | MulOp::Smull => Insn::Mul {
+                    cond,
+                    op,
+                    s,
+                    rd: parse_reg(operand(&ops, 0)?)?,
+                    ra: parse_reg(operand(&ops, 1)?)?,
+                    rn: parse_reg(operand(&ops, 2)?)?,
+                    rm: parse_reg(operand(&ops, 3)?)?,
+                },
+                _ => Insn::Mul {
+                    cond,
+                    op,
+                    s,
+                    rd: parse_reg(operand(&ops, 0)?)?,
+                    rn: parse_reg(operand(&ops, 1)?)?,
+                    rm: parse_reg(operand(&ops, 2)?)?,
+                    ra: Reg::R0,
+                },
+            });
+        }
+    }
+
+    // ---- wide moves ----
+    for (name, top) in [("movw", false), ("movt", true)] {
+        if let Some(rest) = mnemonic.strip_prefix(name) {
+            let (cond, rest) = take_cond(rest);
+            if !rest.is_empty() {
+                return Err(ParseError::new("trailing characters on movw/movt"));
+            }
+            let imm = parse_imm(operand(&ops, 1)?)?;
+            return Ok(Insn::MovW { cond, top, rd: parse_reg(operand(&ops, 0)?)?, imm: imm as u16 });
+        }
+    }
+
+    // ---- system ----
+    if let Some(rest) = mnemonic.strip_prefix("svc") {
+        let (cond, _) = take_cond(rest);
+        return Ok(Insn::Svc { cond, imm: parse_imm(operand(&ops, 0)?)? as u16 });
+    }
+    if let Some(rest) = mnemonic.strip_prefix("mrs") {
+        let (cond, _) = take_cond(rest);
+        return Ok(Insn::Mrs { cond, rd: parse_reg(operand(&ops, 0)?)?, sys: sys_reg(operand(&ops, 1)?)? });
+    }
+    if let Some(rest) = mnemonic.strip_prefix("msr") {
+        let (cond, _) = take_cond(rest);
+        return Ok(Insn::Msr { cond, sys: sys_reg(operand(&ops, 0)?)?, rn: parse_reg(operand(&ops, 1)?)? });
+    }
+    for (name, enable) in [("cpsie", true), ("cpsid", false)] {
+        if let Some(rest) = mnemonic.strip_prefix(name) {
+            let (cond, _) = take_cond(rest);
+            return Ok(Insn::Cps { cond, enable_irq: enable });
+        }
+    }
+    for (name, make) in [
+        ("eret", Insn::Eret { cond: Cond::Al }),
+        ("nop", Insn::Nop { cond: Cond::Al }),
+        ("halt", Insn::Halt { cond: Cond::Al }),
+        ("wfi", Insn::Wfi { cond: Cond::Al }),
+    ] {
+        if let Some(rest) = mnemonic.strip_prefix(name) {
+            let (cond, rest) = take_cond(rest);
+            if !rest.is_empty() {
+                continue;
+            }
+            return Ok(match make {
+                Insn::Eret { .. } => Insn::Eret { cond },
+                Insn::Nop { .. } => Insn::Nop { cond },
+                Insn::Halt { .. } => Insn::Halt { cond },
+                Insn::Wfi { .. } => Insn::Wfi { cond },
+                _ => unreachable!(),
+            });
+        }
+    }
+    if let Some(rest) = mnemonic.strip_prefix("bx") {
+        let (cond, _) = take_cond(rest);
+        return Ok(Insn::Bx { cond, rm: parse_reg(operand(&ops, 0)?)? });
+    }
+
+    // ---- branches: `b{l}{cond} .+N` ----
+    if let Some(rest) = mnemonic.strip_prefix('b') {
+        let (link, rest) = match rest.strip_prefix('l') {
+            // Careful: "ble"/"bls"/"blt" are conditional b, not bl.
+            Some(after) if parse_cond(rest).is_none() || after.is_empty() || parse_cond(after).is_some() => {
+                // Decide: if `rest` itself is a valid cond ("le", "ls", "lt"),
+                // treat as conditional branch without link.
+                if parse_cond(rest).map(|(_, tail)| tail.is_empty()).unwrap_or(false) {
+                    (false, rest)
+                } else {
+                    (true, after)
+                }
+            }
+            _ => (false, rest),
+        };
+        let (cond, rest) = take_cond(rest);
+        if rest.is_empty() {
+            let target = ops
+                .first()
+                .ok_or_else(|| ParseError::new("branch needs a target"))?;
+            let t = target
+                .strip_prefix('.')
+                .ok_or_else(|| ParseError::new("branch target must be .+N"))?;
+            let bytes: i64 =
+                t.parse().map_err(|_| ParseError::new(format!("bad branch target `{target}`")))?;
+            if bytes % 4 != 0 {
+                return Err(ParseError::new("branch target must be word aligned"));
+            }
+            return Ok(Insn::Branch { cond, link, offset: (bytes / 4 - 1) as i32 });
+        }
+    }
+
+    // ---- data processing (last: shortest mnemonics) ----
+    for base in [
+        "and", "eor", "sub", "rsb", "add", "adc", "sbc", "orr", "mov", "bic", "mvn", "cmp",
+        "cmn", "tst", "teq",
+    ] {
+        if let Some(rest) = mnemonic.strip_prefix(base) {
+            let op = dp_op(base).unwrap();
+            let (cond, rest) = take_cond(rest);
+            let s = rest == "s";
+            if !rest.is_empty() && !s {
+                continue;
+            }
+            let s = s || op.is_compare();
+            return Ok(if op.is_compare() {
+                Insn::Dp {
+                    cond,
+                    op,
+                    s,
+                    rd: Reg::R0,
+                    rn: parse_reg(operand(&ops, 0)?)?,
+                    op2: parse_op2(&ops[1..])?,
+                }
+            } else if op.ignores_rn() {
+                Insn::Dp {
+                    cond,
+                    op,
+                    s,
+                    rd: parse_reg(operand(&ops, 0)?)?,
+                    rn: Reg::R0,
+                    op2: parse_op2(&ops[1..])?,
+                }
+            } else {
+                Insn::Dp {
+                    cond,
+                    op,
+                    s,
+                    rd: parse_reg(operand(&ops, 0)?)?,
+                    rn: parse_reg(operand(&ops, 1)?)?,
+                    op2: parse_op2(&ops[2..])?,
+                }
+            });
+        }
+    }
+
+    Err(ParseError::new(format!("unknown mnemonic `{mnemonic}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) -> String {
+        parse_insn(text).unwrap().to_string()
+    }
+
+    #[test]
+    fn parses_dp_forms() {
+        assert_eq!(roundtrip("adds r0, r1, #0x4"), "adds r0, r1, #0x4");
+        assert_eq!(roundtrip("mov r2, r3"), "mov r2, r3");
+        assert_eq!(roundtrip("orrne r1, r2, r3, lsl #4"), "orrne r1, r2, r3, lsl #4");
+        assert_eq!(roundtrip("cmp r1, #0x10"), "cmp r1, #0x10");
+        assert_eq!(roundtrip("mvn r0, r0"), "mvn r0, r0");
+    }
+
+    #[test]
+    fn parses_branch_spellings() {
+        // `ble` is branch-if-less-or-equal, not bl+garbage.
+        assert!(matches!(
+            parse_insn("ble .+8").unwrap(),
+            Insn::Branch { link: false, cond: Cond::Le, offset: 1 }
+        ));
+        assert!(matches!(
+            parse_insn("bl .+8").unwrap(),
+            Insn::Branch { link: true, cond: Cond::Al, offset: 1 }
+        ));
+        assert!(matches!(
+            parse_insn("blle .-4").unwrap(),
+            Insn::Branch { link: true, cond: Cond::Le, offset: -2 }
+        ));
+        assert!(matches!(
+            parse_insn("b .+0"),
+            Ok(Insn::Branch { link: false, cond: Cond::Al, offset: -1 })
+        ));
+    }
+
+    #[test]
+    fn parses_memory_forms() {
+        assert_eq!(roundtrip("ldrne r2, [sp, #8]"), "ldrne r2, [sp, #8]");
+        assert_eq!(roundtrip("strb r0, [r1, r2]"), "strb r0, [r1, r2]");
+        assert_eq!(roundtrip("ldr r0, [r1, #-4]!"), "ldr r0, [r1, #-4]!");
+        assert_eq!(roundtrip("ldr r0, [r1], #4"), "ldr r0, [r1], #4");
+        assert_eq!(roundtrip("ldr r0, [r1, r2, lsl #2]"), "ldr r0, [r1, r2, lsl #2]");
+        assert_eq!(roundtrip("stmdb sp!, {r0, lr}"), "stmdb sp!, {r0, lr}");
+        assert_eq!(roundtrip("ldmia sp!, {r0, r1, r2}"), "ldmia sp!, {r0, r1, r2}");
+    }
+
+    #[test]
+    fn parses_fp_and_system() {
+        assert_eq!(roundtrip("vadd.f32 s1, s2, s3"), "vadd.f32 s1, s2, s3");
+        assert_eq!(roundtrip("vldr s4, [r2, #8]"), "vldr s4, [r2, #8]");
+        assert_eq!(roundtrip("vmov r1, s2"), "vmov r1, s2");
+        assert_eq!(roundtrip("vmov s3, r4"), "vmov s3, r4");
+        assert_eq!(roundtrip("svc #42"), "svc #42");
+        assert_eq!(roundtrip("mrs r1, Cycles".to_lowercase().as_str()), "mrs r1, Cycles");
+        assert_eq!(roundtrip("cpsie"), "cpsie");
+        assert_eq!(roundtrip("wfi"), "wfi");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_insn("frobnicate r0").is_err());
+        assert!(parse_insn("add r0").is_err());
+        assert!(parse_insn("ldr r0, r1").is_err());
+        assert!(parse_insn("mov r99, #1").is_err());
+        assert!(parse_insn("").is_err());
+    }
+}

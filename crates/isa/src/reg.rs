@@ -1,0 +1,152 @@
+//! General-purpose and floating-point register names.
+
+use std::fmt;
+
+/// A general-purpose (integer) register, `r0`–`r15`.
+///
+/// By software convention (mirroring AAPCS): `r13` is the stack pointer
+/// (`sp`), `r14` the link register (`lr`) and `r15` the program counter
+/// (`pc`). The hardware treats `pc` specially: it is not a readable/writable
+/// operand of ordinary data-processing instructions in AR32 (use branches).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    /// Stack pointer by convention.
+    Sp = 13,
+    /// Link register by convention.
+    Lr = 14,
+    /// Program counter.
+    Pc = 15,
+}
+
+impl Reg {
+    /// All sixteen registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::Sp,
+        Reg::Lr,
+        Reg::Pc,
+    ];
+
+    /// Register index, `0..=15`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    pub fn from_index(index: u32) -> Reg {
+        Reg::ALL[index as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Sp => write!(f, "sp"),
+            Reg::Lr => write!(f, "lr"),
+            Reg::Pc => write!(f, "pc"),
+            r => write!(f, "r{}", r.index()),
+        }
+    }
+}
+
+/// A single-precision floating-point register, `s0`–`s31`.
+///
+/// AR32's FP bank mirrors VFPv3-D16's single-precision view: 32 registers of
+/// 32 bits, a separate SRAM array from the integer file (and a separate
+/// fault-injection target).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Builds `s<index>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 31`.
+    pub fn new(index: u32) -> FReg {
+        assert!(index < 32, "FP register index out of range: {index}");
+        FReg(index as u8)
+    }
+
+    /// Register index, `0..=31`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Shorthand constructor for FP registers: `s(7)` is `s7`.
+///
+/// # Panics
+///
+/// Panics if `index > 31`.
+pub fn s(index: u32) -> FReg {
+    FReg::new(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index() as u32), r);
+        }
+    }
+
+    #[test]
+    fn reg_display_uses_aliases() {
+        assert_eq!(Reg::Sp.to_string(), "sp");
+        assert_eq!(Reg::Lr.to_string(), "lr");
+        assert_eq!(Reg::Pc.to_string(), "pc");
+        assert_eq!(Reg::R3.to_string(), "r3");
+    }
+
+    #[test]
+    fn freg_display() {
+        assert_eq!(FReg::new(31).to_string(), "s31");
+    }
+
+    #[test]
+    #[should_panic]
+    fn freg_out_of_range_panics() {
+        FReg::new(32);
+    }
+}

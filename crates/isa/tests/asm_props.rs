@@ -1,0 +1,79 @@
+//! Assembler property tests: random programs with random label topologies
+//! must assemble into self-consistent images.
+
+use proptest::prelude::*;
+use sea_isa::{decode, Asm, Insn, Reg, Section};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Random forward/backward branch webs resolve: every assembled branch
+    /// lands on an instruction boundary inside the text section.
+    #[test]
+    fn branch_webs_resolve_in_bounds(
+        topology in prop::collection::vec((0usize..16, any::<bool>()), 1..40),
+    ) {
+        let mut a = Asm::new();
+        let entry = a.label("entry");
+        a.bind(entry).unwrap();
+        // Create 16 labels; emit a mix of nops and branches to them; bind
+        // each label at a deterministic point.
+        let labels: Vec<_> = (0..16).map(|i| a.label(&format!("l{i}"))).collect();
+        let mut bound = [false; 16];
+        for (i, &(target, do_bind)) in topology.iter().enumerate() {
+            if do_bind && !bound[target] {
+                a.bind(labels[target]).unwrap();
+                bound[target] = true;
+            }
+            a.nop();
+            a.b(labels[i % 16]);
+        }
+        // Bind the rest at the end.
+        for (i, l) in labels.iter().enumerate() {
+            if !bound[i] {
+                a.bind(*l).unwrap();
+            }
+        }
+        a.nop();
+        let img = a.finish(entry).unwrap();
+        let text = &img.segments()[0].data;
+        let base = img.text_base();
+        let len = text.len() as u32;
+        for (i, w) in text.chunks_exact(4).enumerate() {
+            let word = u32::from_le_bytes(w.try_into().unwrap());
+            if let Ok(Insn::Branch { offset, .. }) = decode(word) {
+                let site = base + 4 * i as u32;
+                let target = site.wrapping_add(4).wrapping_add((offset as u32) << 2);
+                prop_assert!(target >= base && target < base + len, "branch escapes text");
+                prop_assert_eq!(target % 4, 0);
+            }
+        }
+    }
+
+    /// Data sections lay out without overlap for arbitrary interleavings of
+    /// directives, and symbol addresses are strictly increasing per section.
+    #[test]
+    fn sections_never_overlap(
+        chunks in prop::collection::vec((0usize..3, 1u32..64), 1..30),
+    ) {
+        let mut a = Asm::new();
+        let entry = a.label("entry");
+        a.bind(entry).unwrap();
+        a.nop();
+        for &(sec, n) in &chunks {
+            match sec {
+                0 => { a.section(Section::Rodata).zero(n); }
+                1 => { a.section(Section::Data).zero(n); }
+                _ => { a.section(Section::Bss).zero(n); }
+            }
+        }
+        a.section(Section::Text);
+        a.mov_imm(Reg::R0, 0);
+        let img = a.finish(entry).unwrap();
+        let mut prev_end = 0u32;
+        for seg in img.segments() {
+            prop_assert!(seg.vaddr >= prev_end, "segment overlap at {:#x}", seg.vaddr);
+            prev_end = seg.end();
+        }
+    }
+}

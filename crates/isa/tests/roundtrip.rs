@@ -1,0 +1,215 @@
+//! Property tests: the encode/decode pair is a bijection on the
+//! instruction model, and decode never panics on arbitrary words.
+
+use proptest::prelude::*;
+use sea_isa::{
+    decode, encode, AddrMode, Cond, DpOp, FReg, FpArithOp, FpUnaryOp, Insn, MemOffset, MemSize,
+    MulOp, Operand2, Reg, Shift, ShiftedReg, SysReg,
+};
+
+fn any_cond() -> impl Strategy<Value = Cond> {
+    (0u32..16).prop_map(Cond::from_bits)
+}
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u32..16).prop_map(Reg::from_index)
+}
+
+fn any_freg() -> impl Strategy<Value = FReg> {
+    (0u32..32).prop_map(FReg::new)
+}
+
+fn any_op2() -> impl Strategy<Value = Operand2> {
+    prop_oneof![
+        (any_reg(), 0usize..4, 0u8..32).prop_map(|(rm, sh, amount)| {
+            Operand2::Reg(ShiftedReg { rm, shift: Shift::ALL[sh], amount })
+        }),
+        (any::<u8>(), 0u8..8).prop_map(|(base, ror4)| Operand2::Imm { base, ror4 }),
+    ]
+}
+
+fn any_insn() -> impl Strategy<Value = Insn> {
+    let dp = (any_cond(), 0usize..15, any::<bool>(), any_reg(), any_reg(), any_op2()).prop_map(
+        |(cond, op, s, rd, rn, op2)| {
+            let op = DpOp::ALL[op];
+            // Canonicalize the must-be-zero fields the decoder enforces.
+            let s = s || op.is_compare();
+            let rd = if op.is_compare() { Reg::R0 } else { rd };
+            let rn = if op.ignores_rn() { Reg::R0 } else { rn };
+            Insn::Dp { cond, op, s, rd, rn, op2 }
+        },
+    );
+    let movw = (any_cond(), any::<bool>(), any_reg(), any::<u16>())
+        .prop_map(|(cond, top, rd, imm)| Insn::MovW { cond, top, rd, imm });
+    let mul = (any_cond(), 0usize..12, any::<bool>(), any_reg(), any_reg(), any_reg(), any_reg())
+        .prop_map(|(cond, op, s, rd, rn, rm, ra)| {
+            let op = MulOp::ALL[op];
+            let ra = if matches!(op, MulOp::Mla | MulOp::Umull | MulOp::Smull) {
+                ra
+            } else {
+                Reg::R0
+            };
+            Insn::Mul { cond, op, s, rd, rn, rm, ra }
+        });
+    let mem = (
+        any_cond(),
+        any::<bool>(),
+        0usize..3,
+        any_reg(),
+        any_reg(),
+        prop_oneof![
+            (0u16..512).prop_map(MemOffset::Imm),
+            (any_reg(), 0u8..8).prop_map(|(rm, shl)| MemOffset::Reg { rm, shl }),
+        ],
+        any::<(bool, bool, bool)>(),
+    )
+        .prop_map(|(cond, load, size, rd, rn, offset, (pre, wb, up))| {
+            // Post-index implies writeback in the canonical encoding.
+            let writeback = wb || !pre;
+            Insn::Mem {
+                cond,
+                load,
+                size: MemSize::ALL[size],
+                rd,
+                rn,
+                offset,
+                mode: AddrMode { pre, writeback, up },
+            }
+        });
+    let memmulti =
+        (any_cond(), any::<bool>(), any_reg(), any::<(bool, bool, bool)>(), 1u16..=u16::MAX)
+            .prop_map(|(cond, load, rn, (writeback, up, before), regs)| Insn::MemMulti {
+                cond,
+                load,
+                rn,
+                writeback,
+                up,
+                before,
+                regs,
+            });
+    let branch = (any_cond(), any::<bool>(), -(1i32 << 22)..(1 << 22))
+        .prop_map(|(cond, link, offset)| Insn::Branch { cond, link, offset });
+    let fp = prop_oneof![
+        (any_cond(), 0usize..7, any_freg(), any_freg(), any_freg()).prop_map(
+            |(cond, op, sd, sn, sm)| Insn::FpArith { cond, op: FpArithOp::ALL[op], sd, sn, sm }
+        ),
+        (any_cond(), 0usize..4, any_freg(), any_freg()).prop_map(|(cond, op, sd, sm)| {
+            Insn::FpUnary { cond, op: FpUnaryOp::ALL[op], sd, sm }
+        }),
+        (any_cond(), any_freg(), any_freg())
+            .prop_map(|(cond, sn, sm)| Insn::FpCmp { cond, sn, sm }),
+        (any_cond(), any_reg(), any_freg())
+            .prop_map(|(cond, rd, sm)| Insn::FpToInt { cond, rd, sm }),
+        (any_cond(), any_freg(), any_reg())
+            .prop_map(|(cond, sd, rm)| Insn::IntToFp { cond, sd, rm }),
+        (any_cond(), any_reg(), any_freg())
+            .prop_map(|(cond, rd, sn)| Insn::FpToCore { cond, rd, sn }),
+        (any_cond(), any_freg(), any_reg())
+            .prop_map(|(cond, sd, rn)| Insn::CoreToFp { cond, sd, rn }),
+        (any_cond(), any::<bool>(), any_freg(), any_reg(), 0u8..64)
+            .prop_map(|(cond, load, sd, rn, imm6)| Insn::FpMem { cond, load, sd, rn, imm6 }),
+    ];
+    let sys = prop_oneof![
+        (any_cond(), any::<u16>()).prop_map(|(cond, imm)| Insn::Svc { cond, imm }),
+        (any_cond(), any_reg(), 0usize..9)
+            .prop_map(|(cond, rd, s)| Insn::Mrs { cond, rd, sys: SysReg::ALL[s] }),
+        (any_cond(), any_reg(), 0usize..9)
+            .prop_map(|(cond, rn, s)| Insn::Msr { cond, rn, sys: SysReg::ALL[s] }),
+        (any_cond(), any::<bool>())
+            .prop_map(|(cond, enable_irq)| Insn::Cps { cond, enable_irq }),
+        (any_cond(), any_reg()).prop_map(|(cond, rm)| Insn::Bx { cond, rm }),
+        any_cond().prop_map(|cond| Insn::Eret { cond }),
+        any_cond().prop_map(|cond| Insn::Nop { cond }),
+        any_cond().prop_map(|cond| Insn::Halt { cond }),
+        any_cond().prop_map(|cond| Insn::Wfi { cond }),
+    ];
+    prop_oneof![dp, movw, mul, mem, memmulti, branch, fp, sys]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    /// encode → decode is the identity on canonical instructions.
+    #[test]
+    fn encode_decode_roundtrip(insn in any_insn()) {
+        let word = encode(&insn);
+        let back = decode(word).expect("encoded instruction must decode");
+        prop_assert_eq!(back, insn);
+    }
+
+    /// decode → encode is the identity on valid words (bijectivity), and
+    /// decode never panics on arbitrary input.
+    #[test]
+    fn decode_encode_roundtrip(word in any::<u32>()) {
+        if let Ok(insn) = decode(word) {
+            prop_assert_eq!(encode(&insn), word);
+        }
+    }
+
+    /// Disassembly never panics and never produces an empty string.
+    #[test]
+    fn disasm_total(insn in any_insn()) {
+        let s = insn.to_string();
+        prop_assert!(!s.is_empty());
+    }
+
+    /// A single bit flip in a valid instruction either decodes to a
+    /// *different* instruction or faults — it never aliases back to the
+    /// original (encoding has no don't-care bits).
+    #[test]
+    fn bitflip_never_aliases(insn in any_insn(), bit in 0u32..32) {
+        let word = encode(&insn);
+        let flipped = word ^ (1 << bit);
+        if let Ok(mutant) = decode(flipped) {
+            prop_assert_ne!(mutant, insn);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    /// parse(disassemble(insn)) == insn over the whole instruction space
+    /// (up to the canonical rotated-immediate encoding: text carries the
+    /// immediate's *value*, so equivalent (base, ror4) pairs collapse).
+    #[test]
+    fn disasm_parse_roundtrip(insn in any_insn()) {
+        fn canon(i: Insn) -> Insn {
+            // Text carries values, not encodings: collapse the choices the
+            // syntax cannot distinguish (rotated-immediate pair, shift kind
+            // at amount 0, offset sign at magnitude 0).
+            match i {
+                Insn::Dp { cond, op, s, rd, rn, op2 } => {
+                    let op2 = match op2 {
+                        Operand2::Imm { .. } => {
+                            Operand2::encode_imm(op2.imm_value().unwrap()).unwrap()
+                        }
+                        Operand2::Reg(sr) if sr.amount == 0 => {
+                            Operand2::Reg(ShiftedReg::plain(sr.rm))
+                        }
+                        other => other,
+                    };
+                    Insn::Dp { cond, op, s, rd, rn, op2 }
+                }
+                Insn::Mem { cond, load, size, rd, rn, offset, mode } => {
+                    let up = match offset {
+                        MemOffset::Imm(0) => true,
+                        _ => mode.up,
+                    };
+                    Insn::Mem { cond, load, size, rd, rn, offset, mode: AddrMode { up, ..mode } }
+                }
+                other => other,
+            }
+        }
+        let text = insn.to_string();
+        let back = sea_isa::parse_insn(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        prop_assert_eq!(canon(back), canon(insn), "text was `{}`", text);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parse_total(text in "\\PC{0,40}") {
+        let _ = sea_isa::parse_insn(&text);
+    }
+}

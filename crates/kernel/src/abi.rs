@@ -1,0 +1,81 @@
+//! The kernel↔user ABI and the kernel↔board MMIO contract.
+
+/// Syscall numbers, passed in `r7` (arguments in `r0`–`r3`, result in `r0`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u32)]
+pub enum Syscall {
+    /// `exit(code)` — terminate the application, reporting `code`.
+    Exit = 0,
+    /// `write(buf, len)` — append `len` bytes at `buf` to the board's
+    /// output channel (the beam setup's on-line SDC check stream).
+    Write = 1,
+    /// `sbrk(incr)` — grow the heap; returns the old break, or `-1` when
+    /// the premapped heap region is exhausted.
+    Sbrk = 2,
+    /// `alive()` — send the heartbeat the beam harness watches (§IV-B).
+    Alive = 3,
+    /// `cycles()` — read the cycle counter.
+    Cycles = 4,
+    /// `getpid()` — constant 1 (a single user process runs at a time).
+    GetPid = 5,
+    /// `yield()` — no-op scheduling hint.
+    Yield = 6,
+}
+
+/// Number of syscalls.
+pub const SYSCALL_COUNT: u32 = 7;
+
+/// Result returned for an out-of-range syscall number (matches Linux's
+/// `-ENOSYS` convention of a negative return).
+pub const ENOSYS: u32 = u32::MAX;
+
+/// MMIO register offsets within the device window (from
+/// `sea_microarch::DEVICE_BASE`). The board model in `sea-platform`
+/// implements these; the kernel is their only CPU-side user.
+pub mod mmio {
+    /// UART transmit register (write a byte; console/debug channel).
+    pub const UART_TX: u32 = 0x000;
+    /// Output channel: write one byte of application output.
+    pub const MBOX_OUT: u32 = 0x100;
+    /// Heartbeat: any write counts one alive ping.
+    pub const MBOX_ALIVE: u32 = 0x104;
+    /// Application exit: write the exit code.
+    pub const MBOX_EXIT: u32 = 0x108;
+    /// Application killed by the kernel: write the signal/ESR code.
+    pub const MBOX_SIGNAL: u32 = 0x10C;
+    /// Kernel panic: write the panic/ESR code.
+    pub const MBOX_PANIC: u32 = 0x110;
+    /// Kernel tick heartbeat: written by the timer IRQ handler; the board
+    /// uses it to tell "application hung" from "kernel hung".
+    pub const MBOX_TICK: u32 = 0x114;
+    /// Timer period in cycles.
+    pub const TIMER_PERIOD: u32 = 0x180;
+    /// Timer control: write 1 to enable.
+    pub const TIMER_CTRL: u32 = 0x184;
+    /// Timer acknowledge: any write clears the pending IRQ.
+    pub const TIMER_ACK: u32 = 0x188;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmio_registers_are_distinct_words() {
+        let regs = [
+            mmio::UART_TX,
+            mmio::MBOX_OUT,
+            mmio::MBOX_ALIVE,
+            mmio::MBOX_EXIT,
+            mmio::MBOX_SIGNAL,
+            mmio::MBOX_PANIC,
+            mmio::MBOX_TICK,
+            mmio::TIMER_PERIOD,
+            mmio::TIMER_CTRL,
+            mmio::TIMER_ACK,
+        ];
+        let set: std::collections::BTreeSet<_> = regs.iter().collect();
+        assert_eq!(set.len(), regs.len());
+        assert!(regs.iter().all(|r| r % 4 == 0));
+    }
+}

@@ -1,0 +1,393 @@
+//! Assembly of the kernel image.
+//!
+//! The kernel is a real AR32 program: its text, read-only data and data
+//! flow through the simulated cache hierarchy exactly like Linux does on
+//! the Zynq, which is what the paper's System-Crash analysis hinges on
+//! (kernel state resident in otherwise-unused cache space, §V-A/§VI).
+
+use sea_isa::{reg_mask, Asm, AsmError, Cond, Image, Insn, Reg, Section, SysReg};
+
+use crate::abi::mmio;
+use crate::layout::{
+    DEVICE_VA, KERNEL_BASE, KERNEL_DATA, KERNEL_RODATA, KERNEL_STACK_TOP, USER_STACK_TOP,
+    USER_VA_BASE, USER_VA_LIMIT,
+};
+
+/// Compile-time parameters baked into the kernel image.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KernelParams {
+    /// Entry point of the user program the kernel will start.
+    pub user_entry: u32,
+    /// First heap address handed out by `sbrk`.
+    pub heap_base: u32,
+    /// Heap limit (exclusive).
+    pub heap_end: u32,
+    /// Timer tick period in cycles.
+    pub tick_period: u32,
+}
+
+/// Number of nodes in the kernel's run queue, traversed on every timer
+/// tick. This is the "kernel data kept warm in the caches" the paper
+/// attributes small-workload System-Crash excess to — and, like Linux's
+/// scheduler lists, it is *pointer-linked*: a corrupted `next` pointer
+/// sends the tick handler into a wild kernel-mode access, which the fault
+/// policy escalates to a panic (System Crash), the mechanism §V-A
+/// describes.
+pub const RUNQ_NODES: u32 = 64;
+
+/// Words per run-queue node: `next`, `prev`, `pid`, `vruntime`.
+pub const RUNQ_NODE_WORDS: u32 = 4;
+
+/// Assembles the kernel image for the given parameters.
+///
+/// # Errors
+///
+/// Returns an assembler error only on internal inconsistency (all labels
+/// are bound by construction).
+pub fn build_kernel(p: KernelParams) -> Result<Image, AsmError> {
+    let mut a = Asm::new();
+    a.set_bases(KERNEL_BASE, KERNEL_RODATA, KERNEL_DATA);
+
+    // ----- labels ---------------------------------------------------------
+    let boot = a.label("k_boot");
+    let undef_h = a.label("k_undef");
+    let svc_h = a.label("k_svc");
+    let pabort_h = a.label("k_pabort");
+    let dabort_h = a.label("k_dabort");
+    let irq_h = a.label("k_irq");
+    let fault_common = a.label("k_fault");
+    let kpanic = a.label("k_panic");
+    let kdead = a.label("k_dead");
+    let idle = a.label("k_idle");
+    let idle_loop = a.label("k_idle_loop");
+    let sys_ret = a.label("k_sys_ret");
+    let sys_exit = a.label("k_sys_exit");
+    let sys_write = a.label("k_sys_write");
+    let sys_sbrk = a.label("k_sys_sbrk");
+    let sys_alive = a.label("k_sys_alive");
+    let sys_cycles = a.label("k_sys_cycles");
+    let sys_getpid = a.label("k_sys_getpid");
+    let sys_yield = a.label("k_sys_yield");
+    let enosys = a.label("k_enosys");
+    let wloop = a.label("k_wloop");
+    let wdone = a.label("k_wdone");
+    let wfail = a.label("k_wfail");
+    let sbrk_fail = a.label("k_sbrk_fail");
+    let tick_loop = a.label("k_tick_loop");
+    // Kernel data
+    let d_ticks = a.label("k_ticks");
+    let d_brk = a.label("k_brk");
+    let d_kstat = a.label("k_kstat");
+    let d_runq = a.label("k_runq");
+
+    // ----- vector table (the first six words of the image) -----------------
+    let entry = a.label("k_vectors");
+    a.bind(entry)?;
+    a.b(boot); // 0x00 reset
+    a.b(undef_h); // 0x04 undefined
+    a.b(svc_h); // 0x08 svc
+    a.b(pabort_h); // 0x0C prefetch abort
+    a.b(dabort_h); // 0x10 data abort
+    a.b(irq_h); // 0x14 irq
+
+    // ----- boot -------------------------------------------------------------
+    a.bind(boot)?;
+    a.mov32(Reg::Sp, KERNEL_STACK_TOP);
+    a.mov32(Reg::R0, DEVICE_VA);
+    a.mov32(Reg::R1, p.tick_period);
+    a.str(Reg::R1, Reg::R0, mmio::TIMER_PERIOD as u16);
+    a.mov_imm(Reg::R1, 1);
+    a.str(Reg::R1, Reg::R0, mmio::TIMER_CTRL as u16);
+    a.mov32(Reg::R1, USER_STACK_TOP);
+    a.msr(SysReg::SpUsr, Reg::R1);
+    // SPSR: user mode (0x10), IRQs enabled.
+    a.mov_imm(Reg::R1, 0x10);
+    a.msr(SysReg::Spsr, Reg::R1);
+    a.mov32(Reg::R1, p.user_entry);
+    a.msr(SysReg::Elr, Reg::R1);
+    a.push(Insn::Eret { cond: Cond::Al });
+
+    // ----- SVC: syscall dispatch -------------------------------------------
+    a.bind(svc_h)?;
+    a.push(Insn::MemMulti {
+        cond: Cond::Al,
+        load: false,
+        rn: Reg::Sp,
+        writeback: true,
+        up: false,
+        before: true,
+        regs: reg_mask(&[
+            Reg::R0,
+            Reg::R1,
+            Reg::R2,
+            Reg::R3,
+            Reg::R4,
+            Reg::R5,
+            Reg::R6,
+            Reg::R7,
+            Reg::R8,
+            Reg::R9,
+            Reg::R10,
+            Reg::R11,
+            Reg::R12,
+            Reg::Lr,
+        ]),
+    });
+    a.cmp_imm(Reg::R7, 0);
+    a.b_if(Cond::Eq, sys_exit);
+    a.cmp_imm(Reg::R7, 1);
+    a.b_if(Cond::Eq, sys_write);
+    a.cmp_imm(Reg::R7, 2);
+    a.b_if(Cond::Eq, sys_sbrk);
+    a.cmp_imm(Reg::R7, 3);
+    a.b_if(Cond::Eq, sys_alive);
+    a.cmp_imm(Reg::R7, 4);
+    a.b_if(Cond::Eq, sys_cycles);
+    a.cmp_imm(Reg::R7, 5);
+    a.b_if(Cond::Eq, sys_getpid);
+    a.cmp_imm(Reg::R7, 6);
+    a.b_if(Cond::Eq, sys_yield);
+    a.bind(enosys)?;
+    a.mov_imm(Reg::R0, 0);
+    a.mvn(Reg::R0, Reg::R0); // r0 = 0xFFFF_FFFF (ENOSYS)
+    a.b(sys_ret);
+
+    // Common syscall return: write the result over the saved r0 slot.
+    a.bind(sys_ret)?;
+    a.str(Reg::R0, Reg::Sp, 0);
+    a.push(Insn::MemMulti {
+        cond: Cond::Al,
+        load: true,
+        rn: Reg::Sp,
+        writeback: true,
+        up: true,
+        before: false,
+        regs: reg_mask(&[
+            Reg::R0,
+            Reg::R1,
+            Reg::R2,
+            Reg::R3,
+            Reg::R4,
+            Reg::R5,
+            Reg::R6,
+            Reg::R7,
+            Reg::R8,
+            Reg::R9,
+            Reg::R10,
+            Reg::R11,
+            Reg::R12,
+            Reg::Lr,
+        ]),
+    });
+    a.push(Insn::Eret { cond: Cond::Al });
+
+    // exit(code): report and idle.
+    a.bind(sys_exit)?;
+    a.mov32(Reg::R1, DEVICE_VA);
+    a.str(Reg::R0, Reg::R1, mmio::MBOX_EXIT as u16);
+    a.b(idle);
+
+    // write(buf, len): bounds-check, then stream bytes to the mailbox.
+    a.bind(sys_write)?;
+    a.mov32(Reg::R2, USER_VA_BASE);
+    a.cmp(Reg::R0, Reg::R2);
+    a.b_if(Cond::Cc, wfail); // buf < USER_VA_BASE
+    a.add(Reg::R3, Reg::R0, Reg::R1);
+    a.cmp(Reg::R3, Reg::R0);
+    a.b_if(Cond::Cc, wfail); // wrapped
+    a.mov32(Reg::R2, USER_VA_LIMIT);
+    a.cmp(Reg::R3, Reg::R2);
+    a.b_if(Cond::Hi, wfail); // buf+len > USER_VA_LIMIT
+    a.mov32(Reg::R2, DEVICE_VA);
+    a.cmp_imm(Reg::R1, 0);
+    a.b_if(Cond::Eq, wdone);
+    a.bind(wloop)?;
+    a.ldrb_post(Reg::R3, Reg::R0, 1);
+    a.strb(Reg::R3, Reg::R2, mmio::MBOX_OUT as u16);
+    a.subs_imm(Reg::R1, Reg::R1, 1);
+    a.b_if(Cond::Ne, wloop);
+    a.bind(wdone)?;
+    // Account the syscall in kernel statistics (kernel data traffic).
+    a.addr(Reg::R2, d_kstat);
+    a.ldr(Reg::R3, Reg::R2, 0);
+    a.add_imm(Reg::R3, Reg::R3, 1);
+    a.str(Reg::R3, Reg::R2, 0);
+    a.mov_imm(Reg::R0, 0);
+    a.b(sys_ret);
+    a.bind(wfail)?;
+    a.mov_imm(Reg::R0, 0);
+    a.mvn(Reg::R0, Reg::R0);
+    a.b(sys_ret);
+
+    // sbrk(incr): bump the break within the premapped heap window.
+    a.bind(sys_sbrk)?;
+    a.addr(Reg::R1, d_brk);
+    a.ldr(Reg::R2, Reg::R1, 0);
+    a.add(Reg::R3, Reg::R2, Reg::R0);
+    a.mov32(Reg::R12, p.heap_end);
+    a.cmp(Reg::R3, Reg::R12);
+    a.b_if(Cond::Hi, sbrk_fail);
+    a.mov32(Reg::R12, p.heap_base);
+    a.cmp(Reg::R3, Reg::R12);
+    a.b_if(Cond::Cc, sbrk_fail);
+    a.str(Reg::R3, Reg::R1, 0);
+    a.mov(Reg::R0, Reg::R2);
+    a.b(sys_ret);
+    a.bind(sbrk_fail)?;
+    a.mov_imm(Reg::R0, 0);
+    a.mvn(Reg::R0, Reg::R0);
+    a.b(sys_ret);
+
+    // alive(): heartbeat to the board.
+    a.bind(sys_alive)?;
+    a.mov32(Reg::R1, DEVICE_VA);
+    a.str(Reg::R0, Reg::R1, mmio::MBOX_ALIVE as u16);
+    a.mov_imm(Reg::R0, 0);
+    a.b(sys_ret);
+
+    // cycles(): cycle counter (also directly readable via MRS in user mode).
+    a.bind(sys_cycles)?;
+    a.mrs(Reg::R0, SysReg::Cycles);
+    a.b(sys_ret);
+
+    a.bind(sys_getpid)?;
+    a.mov_imm(Reg::R0, 1);
+    a.b(sys_ret);
+
+    a.bind(sys_yield)?;
+    a.mov_imm(Reg::R0, 0);
+    a.b(sys_ret);
+
+    // ----- faults -------------------------------------------------------------
+    a.bind(undef_h)?;
+    a.b(fault_common);
+    a.bind(pabort_h)?;
+    a.b(fault_common);
+    a.bind(dabort_h)?;
+    a.b(fault_common);
+
+    a.bind(fault_common)?;
+    // Faults from supervisor mode are kernel bugs/corruption → panic.
+    a.mrs(Reg::R0, SysReg::Spsr);
+    a.and_imm(Reg::R1, Reg::R0, 3);
+    a.cmp_imm(Reg::R1, 3);
+    a.b_if(Cond::Eq, kpanic);
+    // User fault: deliver the fatal signal (the board logs an app crash).
+    a.mrs(Reg::R0, SysReg::Esr);
+    a.mov32(Reg::R1, DEVICE_VA);
+    a.str(Reg::R0, Reg::R1, mmio::MBOX_SIGNAL as u16);
+    a.b(idle);
+
+    a.bind(kpanic)?;
+    a.mrs(Reg::R0, SysReg::Esr);
+    a.mov32(Reg::R1, DEVICE_VA);
+    a.str(Reg::R0, Reg::R1, mmio::MBOX_PANIC as u16);
+    a.push(Insn::Cps { cond: Cond::Al, enable_irq: false });
+    a.bind(kdead)?;
+    a.b(kdead); // ticks stop: the board will see a dead kernel
+
+    // ----- timer IRQ -------------------------------------------------------------
+    a.bind(irq_h)?;
+    a.push_regs(&[Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::Lr]);
+    a.mov32(Reg::R0, DEVICE_VA);
+    a.str(Reg::R0, Reg::R0, mmio::TIMER_ACK as u16);
+    // ticks += 1; publish the tick heartbeat.
+    a.addr(Reg::R1, d_ticks);
+    a.ldr(Reg::R2, Reg::R1, 0);
+    a.add_imm(Reg::R2, Reg::R2, 1);
+    a.str(Reg::R2, Reg::R1, 0);
+    a.str(Reg::R2, Reg::R0, mmio::MBOX_TICK as u16);
+    // Scheduler bookkeeping: traverse the pointer-linked run queue
+    // (kernel data the paper's small-footprint workloads leave resident in
+    // the caches). A corrupted link makes the next load a wild kernel
+    // access — data abort in supervisor mode — which the fault policy
+    // turns into a panic, exactly Linux's oops-on-corrupted-list behavior.
+    a.addr(Reg::R3, d_runq);
+    a.mov_imm(Reg::R4, RUNQ_NODES);
+    a.bind(tick_loop)?;
+    a.ldr(Reg::R5, Reg::R3, 12); // vruntime
+    a.add_imm(Reg::R5, Reg::R5, 1);
+    a.str(Reg::R5, Reg::R3, 12);
+    a.ldr(Reg::R3, Reg::R3, 0); // follow next
+    a.subs_imm(Reg::R4, Reg::R4, 1);
+    a.b_if(Cond::Ne, tick_loop);
+    a.pop_regs(&[Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::Lr]);
+    a.push(Insn::Eret { cond: Cond::Al });
+
+    // ----- idle (application finished or was killed) ----------------------------
+    a.bind(idle)?;
+    a.push(Insn::Cps { cond: Cond::Al, enable_irq: true });
+    a.bind(idle_loop)?;
+    a.push(Insn::Wfi { cond: Cond::Al });
+    a.b(idle_loop);
+
+    // ----- kernel data ------------------------------------------------------------
+    a.section(Section::Data);
+    a.bind(d_ticks)?;
+    a.word(0);
+    a.bind(d_brk)?;
+    a.word(p.heap_base);
+    a.bind(d_kstat)?;
+    a.word(0);
+    a.bind(d_runq)?;
+    // Circular doubly-linked run queue; node addresses are known at
+    // assembly time (data base + fixed offsets).
+    let runq_base = KERNEL_DATA + 3 * 4; // after ticks, brk, kstat
+    for i in 0..RUNQ_NODES {
+        let node = |j: u32| runq_base + (j % RUNQ_NODES) * RUNQ_NODE_WORDS * 4;
+        a.word(node(i + 1)); // next
+        a.word(node(i + RUNQ_NODES - 1)); // prev
+        a.word(i + 1); // pid
+        a.word(0); // vruntime
+    }
+    a.section(Section::Text);
+
+    // Entry is the reset vector (text offset 0).
+    a.finish(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_isa::decode;
+
+    fn params() -> KernelParams {
+        KernelParams {
+            user_entry: 0x0001_0000,
+            heap_base: 0x0030_0000,
+            heap_end: 0x0040_0000,
+            tick_period: 20_000,
+        }
+    }
+
+    #[test]
+    fn kernel_assembles_and_fits_the_layout() {
+        let img = build_kernel(params()).unwrap();
+        assert_eq!(img.entry(), KERNEL_BASE);
+        assert!(img.text_bytes() < KERNEL_RODATA, "kernel text overflows its region");
+        // Data segment: ticks + brk + kstat + run queue.
+        assert_eq!(img.data_bytes() as u32, 4 + 4 + 4 + RUNQ_NODES * RUNQ_NODE_WORDS * 4);
+    }
+
+    #[test]
+    fn vector_slots_are_branches() {
+        let img = build_kernel(params()).unwrap();
+        let text = &img.segments()[0].data;
+        for slot in 0..6 {
+            let w = u32::from_le_bytes(text[slot * 4..slot * 4 + 4].try_into().unwrap());
+            let insn = decode(w).expect("vector slot must decode");
+            assert!(
+                matches!(insn, sea_isa::Insn::Branch { .. }),
+                "vector {slot} is not a branch: {insn}"
+            );
+        }
+    }
+
+    #[test]
+    fn brk_is_initialized_to_heap_base() {
+        let img = build_kernel(params()).unwrap();
+        let data = img.segments().iter().find(|s| s.flags.write).unwrap();
+        let brk = u32::from_le_bytes(data.data[4..8].try_into().unwrap());
+        assert_eq!(brk, params().heap_base);
+    }
+}

@@ -1,0 +1,224 @@
+//! Host-side firmware: loads the kernel + user program and builds the page
+//! tables, leaving the machine at the reset vector ready to boot.
+//!
+//! Everything here happens *before* the simulated clock starts (it models
+//! the board's boot ROM + U-Boot stage), so it writes physical memory
+//! directly. Everything after reset — syscalls, ticks, faults — is real
+//! guest code from [`crate::build_kernel`] running through the caches.
+
+use std::fmt;
+
+use sea_isa::{Image, MemSize};
+use sea_microarch::{l1_entry, pte, Device, System, PAGE_BYTES, PTE_EXEC, PTE_USER, PTE_WRITE};
+
+use crate::build::{build_kernel, KernelParams};
+use crate::layout::{
+    DEVICE_VA, KERNEL_STACK_TOP, PT_L1_BASE, PT_L2_POOL, USER_POOL_BASE, USER_STACK_TOP,
+};
+
+/// Tunable kernel/boot parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KernelConfig {
+    /// Timer tick period in cycles.
+    pub tick_period: u32,
+    /// User stack size in bytes (page multiple).
+    pub user_stack_bytes: u32,
+    /// Premapped heap size in bytes (page multiple).
+    pub heap_bytes: u32,
+}
+
+impl Default for KernelConfig {
+    fn default() -> KernelConfig {
+        KernelConfig {
+            tick_period: 20_000,
+            user_stack_bytes: 64 * 1024,
+            heap_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Result of a successful install.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BootInfo {
+    /// User program entry point.
+    pub user_entry: u32,
+    /// First heap address.
+    pub heap_base: u32,
+    /// Heap limit (exclusive).
+    pub heap_end: u32,
+    /// Physical pages allocated for user mappings.
+    pub user_pages: u32,
+    /// Kernel text bytes (diagnostics; correlates with I-cache residency).
+    pub kernel_text_bytes: u32,
+}
+
+/// Install-time error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InstallError {
+    /// The kernel failed to assemble (internal bug).
+    Kernel(String),
+    /// Physical memory exhausted while mapping user pages.
+    OutOfMemory,
+    /// A user segment lies outside the user virtual range.
+    BadSegment {
+        /// Segment start.
+        vaddr: u32,
+    },
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::Kernel(e) => write!(f, "kernel assembly failed: {e}"),
+            InstallError::OutOfMemory => write!(f, "physical memory exhausted"),
+            InstallError::BadSegment { vaddr } => {
+                write!(f, "user segment at {vaddr:#x} outside user range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// Simple page-table writer over physical memory.
+struct Tables<'m, D> {
+    sys: &'m mut System<D>,
+    next_l2: u32,
+    next_user_page: u32,
+}
+
+impl<D: Device> Tables<'_, D> {
+    fn l2_for(&mut self, va: u32) -> u32 {
+        let l1a = PT_L1_BASE + (va >> 20) * 4;
+        let l1e = self.sys.mem.phys.read(l1a, MemSize::Word);
+        if l1e & 1 != 0 {
+            return l1e & !0x3FF;
+        }
+        let l2 = self.next_l2;
+        self.next_l2 += 0x400;
+        self.sys.mem.phys.write(l1a, MemSize::Word, l1_entry(l2));
+        l2
+    }
+
+    fn map_page(&mut self, va: u32, pa: u32, flags: u32) {
+        let l2 = self.l2_for(va);
+        let idx = (va >> 12) & 0xFF;
+        self.sys.mem.phys.write(l2 + idx * 4, MemSize::Word, pte(pa >> 12, flags));
+    }
+
+    fn alloc_user_page(&mut self) -> Result<u32, InstallError> {
+        let pa = self.next_user_page;
+        if pa + PAGE_BYTES > self.sys.mem.phys.size() {
+            return Err(InstallError::OutOfMemory);
+        }
+        self.next_user_page += PAGE_BYTES;
+        Ok(pa)
+    }
+
+    /// Maps `[va, va+len)` onto freshly allocated user pages with `flags`.
+    fn map_user_range(&mut self, va: u32, len: u32, flags: u32) -> Result<(), InstallError> {
+        let start = va & !(PAGE_BYTES - 1);
+        let end = (va + len).next_multiple_of(PAGE_BYTES);
+        let mut page = start;
+        while page < end {
+            let pa = self.alloc_user_page()?;
+            self.map_page(page, pa, flags);
+            page += PAGE_BYTES;
+        }
+        Ok(())
+    }
+
+    /// Translates a user VA through the just-built tables (install-time
+    /// only, for copying segment data).
+    fn resolve(&self, va: u32) -> u32 {
+        let l1e = self.sys.mem.phys.read(PT_L1_BASE + (va >> 20) * 4, MemSize::Word);
+        let l2 = l1e & !0x3FF;
+        let raw = self.sys.mem.phys.read(l2 + ((va >> 12) & 0xFF) * 4, MemSize::Word);
+        (raw & !0xFFF) | (va & 0xFFF)
+    }
+}
+
+/// Loads the kernel and `user` into `sys`, builds the page tables, and
+/// leaves the CPU at the reset vector in supervisor mode.
+///
+/// # Errors
+///
+/// Returns an error if physical memory is exhausted or a user segment is
+/// outside the user address range.
+pub fn install<D: Device>(
+    sys: &mut System<D>,
+    user: &Image,
+    cfg: &KernelConfig,
+) -> Result<BootInfo, InstallError> {
+    // Heap placement: first page boundary after the highest user segment.
+    let seg_end = user.segments().iter().map(|s| s.end()).max().unwrap_or(0x0020_0000);
+    let heap_base = seg_end.next_multiple_of(PAGE_BYTES);
+    let heap_end = heap_base + cfg.heap_bytes;
+
+    let kernel = build_kernel(KernelParams {
+        user_entry: user.entry(),
+        heap_base,
+        heap_end,
+        tick_period: cfg.tick_period,
+    })
+    .map_err(|e| InstallError::Kernel(e.to_string()))?;
+
+    // Kernel segments load at their (identity) addresses.
+    for seg in kernel.segments() {
+        sys.mem.phys.write_bytes(seg.vaddr, &seg.data);
+    }
+
+    let mut t = Tables { sys, next_l2: PT_L2_POOL, next_user_page: USER_POOL_BASE };
+
+    // Kernel identity map: [0, KERNEL_STACK_TOP), supervisor rwx.
+    let mut va = 0;
+    while va < KERNEL_STACK_TOP {
+        t.map_page(va, va, PTE_WRITE | PTE_EXEC);
+        va += PAGE_BYTES;
+    }
+    // Device window: 16 pages, supervisor rw.
+    for i in 0..16 {
+        let a = DEVICE_VA + i * PAGE_BYTES;
+        t.map_page(a, a, PTE_WRITE);
+    }
+    // User segments.
+    for seg in user.segments() {
+        if seg.vaddr < crate::layout::USER_VA_BASE
+            || seg.end() > crate::layout::USER_VA_LIMIT
+        {
+            return Err(InstallError::BadSegment { vaddr: seg.vaddr });
+        }
+        let mut flags = PTE_USER;
+        if seg.flags.write {
+            flags |= PTE_WRITE;
+        }
+        if seg.flags.execute {
+            flags |= PTE_EXEC;
+        }
+        t.map_user_range(seg.vaddr, seg.mem_size, flags)?;
+        // Copy initialized bytes through the new mapping.
+        for (i, &b) in seg.data.iter().enumerate() {
+            let pa = t.resolve(seg.vaddr + i as u32);
+            t.sys.mem.phys.write(pa, MemSize::Byte, b as u32);
+        }
+    }
+    // Heap + stack.
+    t.map_user_range(heap_base, cfg.heap_bytes, PTE_USER | PTE_WRITE)?;
+    t.map_user_range(
+        USER_STACK_TOP - cfg.user_stack_bytes,
+        cfg.user_stack_bytes,
+        PTE_USER | PTE_WRITE,
+    )?;
+
+    let user_pages = (t.next_user_page - USER_POOL_BASE) / PAGE_BYTES;
+    sys.cpu.ttbr = PT_L1_BASE;
+    sys.cpu.pc = kernel.entry();
+
+    Ok(BootInfo {
+        user_entry: user.entry(),
+        heap_base,
+        heap_end,
+        user_pages,
+        kernel_text_bytes: kernel.text_bytes(),
+    })
+}

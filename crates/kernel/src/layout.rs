@@ -1,0 +1,55 @@
+//! Physical and virtual memory layout.
+//!
+//! ```text
+//! physical                          virtual (user process view)
+//! 0x0000_0000 kernel image          0x0000_0000 vectors+kernel (svc only)
+//! 0x0001_0000 kernel stack top      0x0001_0000 .text   (user rx)
+//! 0x0010_0000 L1 page table         0x0010_0000 .rodata (user r)
+//! 0x0010_4000 L2 table pool         0x0020_0000 .data/.bss, then heap
+//! 0x0040_0000 user page pool        0x7FFF_0000 stack top at 0x8000_0000
+//! ...                               0xF000_0000 devices (svc only)
+//! ```
+//!
+//! The kernel runs on an identity mapping (VA == PA) like a classic Linux
+//! lowmem linear map; user segments are mapped wherever their image asks,
+//! backed by pages bump-allocated from the user pool.
+
+/// Physical/virtual base of the kernel image (vectors first).
+pub const KERNEL_BASE: u32 = 0x0000_0000;
+/// Kernel text limit / kernel stack top (the stack grows down from here).
+pub const KERNEL_STACK_TOP: u32 = 0x0001_0000;
+/// Physical address of the L1 page table (16 KB aligned).
+pub const PT_L1_BASE: u32 = 0x0010_0000;
+/// Physical base of the L2 table pool.
+pub const PT_L2_POOL: u32 = 0x0010_4000;
+/// Physical base of the user page pool.
+pub const USER_POOL_BASE: u32 = 0x0040_0000;
+/// Virtual top of the user stack.
+pub const USER_STACK_TOP: u32 = 0x8000_0000;
+/// Upper bound of user virtual addresses (exclusive).
+pub const USER_VA_LIMIT: u32 = 0x8000_0000;
+/// Lowest user virtual address (below this is kernel-only).
+pub const USER_VA_BASE: u32 = 0x0001_0000;
+
+/// Virtual (and physical) base of the device window, mapped supervisor-only.
+pub const DEVICE_VA: u32 = 0xF000_0000;
+
+/// Kernel virtual base for its own .rodata.
+pub const KERNEL_RODATA: u32 = 0x0000_8000;
+/// Kernel virtual base for its own .data (ticks, brk, process table).
+pub const KERNEL_DATA: u32 = 0x0000_A000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_regions_do_not_overlap_user() {
+        assert!(KERNEL_STACK_TOP <= USER_VA_BASE);
+        assert!(KERNEL_RODATA < KERNEL_STACK_TOP);
+        assert!(KERNEL_DATA < KERNEL_STACK_TOP);
+        assert!(PT_L1_BASE % 0x4000 == 0, "L1 table must be 16 KB aligned");
+        assert!(PT_L2_POOL % 0x400 == 0);
+        assert!(USER_POOL_BASE > PT_L2_POOL);
+    }
+}

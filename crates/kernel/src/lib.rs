@@ -1,0 +1,36 @@
+//! # sea-kernel — a minimal supervisor ("linux-lite") for the SEA machine
+//!
+//! The paper runs its MiBench workloads on Linux because the OS is part of
+//! the fault-propagation surface: kernel text and data live in the same
+//! caches as the application, timer interrupts periodically pull kernel
+//! state back into the hierarchy, and faults that corrupt kernel state
+//! escalate to *System Crashes* rather than Application Crashes. This crate
+//! reproduces exactly that surface with a small but real supervisor:
+//!
+//! * low vector table + exception handlers (undefined, aborts, SVC, IRQ),
+//! * a syscall ABI ([`Syscall`]: `exit`, `write`, `sbrk`, `alive`, …),
+//! * a timer tick that walks scheduler state on every interrupt,
+//! * user/supervisor privilege separation over the MMU,
+//! * fault policy mirroring Linux: user fault → fatal signal (Application
+//!   Crash at the board), supervisor fault → kernel panic (System Crash).
+//!
+//! The kernel itself is an AR32 program assembled by [`build_kernel`]; the
+//! host-side [`install`] function plays boot ROM: it loads images, builds
+//! page tables and leaves the CPU at the reset vector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abi;
+mod build;
+mod install;
+mod layout;
+pub mod user;
+
+pub use abi::{mmio, Syscall, ENOSYS, SYSCALL_COUNT};
+pub use build::{build_kernel, KernelParams, RUNQ_NODES, RUNQ_NODE_WORDS};
+pub use install::{install, BootInfo, InstallError, KernelConfig};
+pub use layout::{
+    DEVICE_VA, KERNEL_BASE, KERNEL_DATA, KERNEL_RODATA, KERNEL_STACK_TOP, PT_L1_BASE, PT_L2_POOL,
+    USER_POOL_BASE, USER_STACK_TOP, USER_VA_BASE, USER_VA_LIMIT,
+};

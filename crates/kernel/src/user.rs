@@ -1,0 +1,69 @@
+//! Emission helpers for user programs (the guest-side libc, so to speak).
+//!
+//! By the AAPCS-like convention used here, syscall arguments go in
+//! `r0`–`r3`, the number in `r7`, and the result comes back in `r0`.
+
+use sea_isa::{Asm, Label, Reg};
+
+use crate::abi::Syscall;
+
+/// Emits a syscall with the number in `r7`. Arguments must already be in
+/// `r0`–`r3`; the result lands in `r0`. Clobbers `r7`.
+pub fn syscall(a: &mut Asm, n: Syscall) {
+    a.mov_imm(Reg::R7, n as u32);
+    a.svc(n as u32 as u16);
+}
+
+/// Emits `exit(code)` with the code already in `r0`. Does not return.
+pub fn exit(a: &mut Asm) {
+    syscall(a, Syscall::Exit);
+}
+
+/// Emits `exit(code)` with an immediate code.
+pub fn exit_with(a: &mut Asm, code: u32) {
+    a.mov32(Reg::R0, code);
+    exit(a);
+}
+
+/// Emits `write(buf, len)` for a labeled buffer and immediate length.
+/// Clobbers `r0`, `r1`, `r7`.
+pub fn write_label(a: &mut Asm, buf: Label, len: u32) {
+    a.addr(Reg::R0, buf);
+    a.mov32(Reg::R1, len);
+    syscall(a, Syscall::Write);
+}
+
+/// Emits `write(r0, r1)` with buffer/length already in registers.
+pub fn write(a: &mut Asm) {
+    syscall(a, Syscall::Write);
+}
+
+/// Emits `alive()` — the heartbeat the board's crash detector watches.
+pub fn alive(a: &mut Asm) {
+    syscall(a, Syscall::Alive);
+}
+
+/// Emits `sbrk(r0)`; old break returned in `r0`.
+pub fn sbrk(a: &mut Asm) {
+    syscall(a, Syscall::Sbrk);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_isa::{decode, Insn};
+
+    #[test]
+    fn syscall_emits_mov_and_svc() {
+        let mut a = Asm::new();
+        let e = a.label("e");
+        a.bind(e).unwrap();
+        syscall(&mut a, Syscall::Alive);
+        let img = a.finish(e).unwrap();
+        let text = &img.segments()[0].data;
+        let w0 = decode(u32::from_le_bytes(text[0..4].try_into().unwrap())).unwrap();
+        let w1 = decode(u32::from_le_bytes(text[4..8].try_into().unwrap())).unwrap();
+        assert!(matches!(w0, Insn::Dp { rd: Reg::R7, .. }));
+        assert!(matches!(w1, Insn::Svc { imm: 3, .. }));
+    }
+}

@@ -1,0 +1,72 @@
+//! Loader edge cases: the firmware must reject images it cannot place
+//! rather than corrupt the machine.
+
+use sea_isa::{Asm, Image, Section, Segment, SegmentFlags};
+use sea_kernel::{install, InstallError, KernelConfig, USER_VA_BASE, USER_VA_LIMIT};
+use sea_microarch::{MachineConfig, NullDevice, System};
+
+fn tiny_image_at(vaddr: u32) -> Image {
+    Image::new(
+        vec![Segment {
+            vaddr,
+            data: vec![0u8; 16],
+            mem_size: 16,
+            flags: SegmentFlags::TEXT,
+        }],
+        vaddr,
+        Default::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn segment_below_user_base_is_rejected() {
+    let mut sys = System::new(MachineConfig::cortex_a9_scaled(), NullDevice);
+    let img = tiny_image_at(USER_VA_BASE - 0x1000);
+    match install(&mut sys, &img, &KernelConfig::default()) {
+        Err(InstallError::BadSegment { vaddr }) => assert_eq!(vaddr, USER_VA_BASE - 0x1000),
+        other => panic!("expected BadSegment, got {other:?}"),
+    }
+}
+
+#[test]
+fn segment_above_user_limit_is_rejected() {
+    let mut sys = System::new(MachineConfig::cortex_a9_scaled(), NullDevice);
+    let img = tiny_image_at(USER_VA_LIMIT - 8); // spills past the limit
+    assert!(matches!(
+        install(&mut sys, &img, &KernelConfig::default()),
+        Err(InstallError::BadSegment { .. })
+    ));
+}
+
+#[test]
+fn oversized_heap_exhausts_physical_memory() {
+    let mut cfg = MachineConfig::cortex_a9_scaled();
+    cfg.mem_bytes = 8 * 1024 * 1024;
+    let mut sys = System::new(cfg, NullDevice);
+    let img = tiny_image_at(USER_VA_BASE);
+    let kc = KernelConfig { heap_bytes: 32 * 1024 * 1024, ..KernelConfig::default() };
+    assert!(matches!(install(&mut sys, &img, &kc), Err(InstallError::OutOfMemory)));
+}
+
+#[test]
+fn install_reports_boot_info_consistently() {
+    let mut sys = System::new(MachineConfig::cortex_a9_scaled(), NullDevice);
+    let mut a = Asm::new();
+    let e = a.label("e");
+    a.bind(e).unwrap();
+    a.nop();
+    a.section(Section::Data);
+    a.word(7);
+    a.section(Section::Text);
+    let img = a.finish(e).unwrap();
+    let info = install(&mut sys, &img, &KernelConfig::default()).unwrap();
+    assert_eq!(info.user_entry, img.entry());
+    assert!(info.heap_base >= img.segments().iter().map(|s| s.end()).max().unwrap());
+    assert_eq!(info.heap_end - info.heap_base, KernelConfig::default().heap_bytes);
+    assert!(info.user_pages > 0);
+    assert!(info.kernel_text_bytes > 0);
+    // The CPU is parked at the reset vector in supervisor mode.
+    assert_eq!(sys.cpu.pc, sea_kernel::KERNEL_BASE);
+    assert_eq!(sys.cpu.ttbr, sea_kernel::PT_L1_BASE);
+}

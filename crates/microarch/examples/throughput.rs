@@ -1,0 +1,57 @@
+//! Rough simulator throughput measurement (cycles/sec), used to sanity-check
+//! campaign budgets. Run with --release.
+use sea_isa::{Asm, Cond, MemSize, Reg};
+use sea_microarch::{l1_entry, pte, MachineConfig, NullDevice, StepOutcome, System, PTE_EXEC, PTE_WRITE};
+
+fn main() {
+    for (name, cfg) in [
+        ("detailed", MachineConfig::cortex_a9()),
+        ("atomic", MachineConfig::cortex_a9().atomic()),
+    ] {
+        let mut sys = System::new(cfg, NullDevice);
+        // identity map 8MB
+        for mib in 0..8u32 {
+            let l2 = 0x8000 + mib * 0x400;
+            sys.mem.phys.write(0x4000 + mib * 4, MemSize::Word, l1_entry(l2));
+            for page in 0..256u32 {
+                sys.mem.phys.write(l2 + page * 4, MemSize::Word, pte((mib << 8) + page, PTE_WRITE | PTE_EXEC));
+            }
+        }
+        sys.cpu.ttbr = 0x4000;
+        let mut a = Asm::new();
+        let e = a.label("e");
+        let lp = a.label("lp");
+        a.bind(e).unwrap();
+        a.mov32(Reg::R1, 2_000_000);
+        a.mov32(Reg::R3, 0x0030_0000);
+        a.bind(lp).unwrap();
+        a.and_imm(Reg::R2, Reg::R1, 0xFF0);
+        a.ldr_idx(Reg::R0, Reg::R3, Reg::R2, 0);
+        a.add(Reg::R0, Reg::R0, Reg::R1);
+        a.str_idx(Reg::R0, Reg::R3, Reg::R2, 0);
+        a.subs_imm(Reg::R1, Reg::R1, 1);
+        a.b_if(Cond::Ne, lp);
+        a.push(sea_isa::Insn::Halt { cond: Cond::Al });
+        let img = a.finish(e).unwrap();
+        for seg in img.segments() {
+            sys.mem.phys.write_bytes(seg.vaddr, &seg.data);
+        }
+        sys.cpu.pc = img.entry();
+        let t0 = std::time::Instant::now();
+        loop {
+            match sys.step() {
+                StepOutcome::Halted => break,
+                StepOutcome::LockedUp => panic!("lockup"),
+                StepOutcome::Executed => {}
+            }
+        }
+        let dt = t0.elapsed();
+        let insts = sys.cpu.counters.instructions;
+        let cyc = sys.cpu.counters.cycles;
+        println!(
+            "{name}: {insts} insts, {cyc} cycles in {dt:?} → {:.1} M inst/s, {:.1} M cyc/s",
+            insts as f64 / dt.as_secs_f64() / 1e6,
+            cyc as f64 / dt.as_secs_f64() / 1e6
+        );
+    }
+}

@@ -1,0 +1,425 @@
+//! Set-associative, write-back, write-allocate cache model.
+//!
+//! The cache stores real data bytes, tags and state bits, so an injected
+//! bit flip corrupts exactly the SRAM cell a neutron strike would: data
+//! flips surface when the word is next read (or written back), tag flips
+//! re-home a line to a different physical address, and state flips drop or
+//! resurrect lines.
+
+use crate::config::CacheConfig;
+
+/// Result of a cache probe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Probe {
+    /// Line present; payload is the line index.
+    Hit(u32),
+    /// Line absent.
+    Miss,
+}
+
+/// Where within a cache line an injected bit landed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArrayKind {
+    /// The data array.
+    Data,
+    /// The tag array.
+    Tag,
+    /// Valid/dirty state bits.
+    State,
+}
+
+/// Outcome of a fault injection into a cache array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlipInfo {
+    /// Which array the bit belonged to.
+    pub array: ArrayKind,
+    /// Whether the affected line held valid data at flip time (an invalid
+    /// line's data/tag bits are dead and the fault is architecturally
+    /// masked).
+    pub was_valid: bool,
+}
+
+/// One set-associative cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: u32,
+    ways: u32,
+    line_bytes: u32,
+    off_bits: u32,
+    set_bits: u32,
+    /// Per line: physical address of the line base (tag + set, line-aligned).
+    addr: Vec<u32>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    /// Per line: LRU rank within its set (0 = most recent).
+    rank: Vec<u8>,
+    /// Flat data array: `lines × line_bytes`.
+    data: Vec<u8>,
+    /// When false (L1I), evictions never write back even if a corrupted
+    /// dirty bit says otherwise — the hardware has no write-back port.
+    writeback: bool,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid.
+    pub fn new(cfg: CacheConfig, writeback: bool) -> Cache {
+        assert!(cfg.validate(), "invalid cache geometry: {cfg:?}");
+        let lines = cfg.lines();
+        let mut rank = vec![0u8; lines as usize];
+        // Ranks must form a permutation within each set (line index is
+        // `set * ways + way`, so the way index seeds it).
+        for (i, r) in rank.iter_mut().enumerate() {
+            *r = (i as u32 % cfg.ways) as u8;
+        }
+        Cache {
+            sets: cfg.sets(),
+            ways: cfg.ways,
+            line_bytes: cfg.line_bytes,
+            off_bits: cfg.line_bytes.trailing_zeros(),
+            set_bits: cfg.sets().trailing_zeros(),
+            addr: vec![0; lines as usize],
+            valid: vec![false; lines as usize],
+            dirty: vec![false; lines as usize],
+            rank,
+            data: vec![0; (lines * cfg.line_bytes) as usize],
+            writeback,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> u32 {
+        self.sets * self.ways
+    }
+
+    fn set_of(&self, paddr: u32) -> u32 {
+        (paddr >> self.off_bits) & (self.sets - 1)
+    }
+
+    fn line_index(&self, set: u32, way: u32) -> u32 {
+        set * self.ways + way
+    }
+
+    fn touch(&mut self, set: u32, way: u32) {
+        let idx = self.line_index(set, way) as usize;
+        let old = self.rank[idx];
+        for w in 0..self.ways {
+            let i = self.line_index(set, w) as usize;
+            if self.rank[i] < old {
+                self.rank[i] += 1;
+            }
+        }
+        self.rank[idx] = 0;
+    }
+
+    /// Probes for `paddr`, updating LRU on a hit.
+    pub fn probe(&mut self, paddr: u32) -> Probe {
+        let base = paddr & !(self.line_bytes - 1);
+        let set = self.set_of(paddr);
+        for way in 0..self.ways {
+            let idx = self.line_index(set, way);
+            if self.valid[idx as usize] && self.addr[idx as usize] == base {
+                self.touch(set, way);
+                return Probe::Hit(idx);
+            }
+        }
+        Probe::Miss
+    }
+
+    /// Selects (and logically evicts) the LRU victim line for `paddr`.
+    ///
+    /// Returns the line index to fill and, if the victim was valid and dirty
+    /// (and this cache has a write-back port), its base address and data to
+    /// push to the next level.
+    pub fn evict_for(&mut self, paddr: u32) -> (u32, Option<(u32, Vec<u8>)>) {
+        let set = self.set_of(paddr);
+        let mut victim_way = 0;
+        let mut worst = 0;
+        for way in 0..self.ways {
+            let idx = self.line_index(set, way) as usize;
+            if !self.valid[idx] {
+                victim_way = way;
+                break;
+            }
+            if self.rank[idx] >= worst {
+                worst = self.rank[idx];
+                victim_way = way;
+            }
+        }
+        let idx = self.line_index(set, victim_way);
+        let i = idx as usize;
+        let wb = if self.valid[i] && self.dirty[i] && self.writeback {
+            let lb = self.line_bytes as usize;
+            Some((self.addr[i], self.data[i * lb..(i + 1) * lb].to_vec()))
+        } else {
+            None
+        };
+        self.valid[i] = false;
+        self.dirty[i] = false;
+        (idx, wb)
+    }
+
+    /// Installs a line.
+    pub fn fill(&mut self, idx: u32, paddr: u32, line: &[u8], dirty: bool) {
+        debug_assert_eq!(line.len(), self.line_bytes as usize);
+        let i = idx as usize;
+        let base = paddr & !(self.line_bytes - 1);
+        self.addr[i] = base;
+        self.valid[i] = true;
+        self.dirty[i] = dirty;
+        let lb = self.line_bytes as usize;
+        self.data[i * lb..(i + 1) * lb].copy_from_slice(line);
+        let set = self.set_of(paddr);
+        let way = idx - set * self.ways;
+        self.touch(set, way);
+    }
+
+    /// Reads up to 4 bytes from a resident line.
+    pub fn read(&self, idx: u32, paddr: u32, bytes: u32) -> u32 {
+        let off = (paddr & (self.line_bytes - 1)) as usize;
+        let base = idx as usize * self.line_bytes as usize + off;
+        let mut v = 0u32;
+        for b in 0..bytes as usize {
+            v |= (self.data[base + b] as u32) << (8 * b);
+        }
+        v
+    }
+
+    /// Writes up to 4 bytes into a resident line, marking it dirty.
+    pub fn write(&mut self, idx: u32, paddr: u32, bytes: u32, value: u32) {
+        let off = (paddr & (self.line_bytes - 1)) as usize;
+        let base = idx as usize * self.line_bytes as usize + off;
+        for b in 0..bytes as usize {
+            self.data[base + b] = (value >> (8 * b)) as u8;
+        }
+        self.dirty[idx as usize] = true;
+    }
+
+    /// Copies a whole resident line out.
+    pub fn read_full_line(&self, idx: u32, buf: &mut [u8]) {
+        let lb = self.line_bytes as usize;
+        let i = idx as usize;
+        buf.copy_from_slice(&self.data[i * lb..(i + 1) * lb]);
+    }
+
+    /// Overwrites a whole resident line (write-back from an upper level),
+    /// marking it dirty.
+    pub fn write_full_line(&mut self, idx: u32, buf: &[u8]) {
+        let lb = self.line_bytes as usize;
+        let i = idx as usize;
+        self.data[i * lb..(i + 1) * lb].copy_from_slice(buf);
+        self.dirty[i] = true;
+    }
+
+    /// Drains every valid dirty line through `sink(addr, data)` and
+    /// invalidates the whole cache.
+    pub fn clean_invalidate_all(&mut self, mut sink: impl FnMut(u32, &[u8])) {
+        let lb = self.line_bytes as usize;
+        for i in 0..self.lines() as usize {
+            if self.valid[i] && self.dirty[i] && self.writeback {
+                sink(self.addr[i], &self.data[i * lb..(i + 1) * lb]);
+            }
+            self.valid[i] = false;
+            self.dirty[i] = false;
+        }
+    }
+
+    // ----- fault-injection surface ------------------------------------------
+
+    /// Tag bits per line that a particle can disturb: the address bits above
+    /// the set index and line offset.
+    pub fn tag_bits(&self) -> u32 {
+        32 - self.set_bits - self.off_bits
+    }
+
+    /// SRAM bits per line: data + tag + valid + dirty.
+    pub fn bits_per_line(&self) -> u64 {
+        8 * self.line_bytes as u64 + self.tag_bits() as u64 + 2
+    }
+
+    /// Total SRAM bits in this cache.
+    pub fn total_bits(&self) -> u64 {
+        self.lines() as u64 * self.bits_per_line()
+    }
+
+    /// Flips one SRAM bit, addressed uniformly over the whole array.
+    ///
+    /// Bit index layout per line: `[0, 8·line)` data, then tag bits (LSB
+    /// first, i.e. bit 0 of the tag region flips physical address bit
+    /// `set_bits + off_bits`), then valid, then dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= total_bits()`.
+    pub fn flip_bit(&mut self, bit: u64) -> FlipInfo {
+        assert!(bit < self.total_bits(), "cache bit index out of range");
+        let per = self.bits_per_line();
+        let line = (bit / per) as usize;
+        let within = bit % per;
+        let data_bits = 8 * self.line_bytes as u64;
+        let was_valid = self.valid[line];
+        if within < data_bits {
+            let byte = line * self.line_bytes as usize + (within / 8) as usize;
+            self.data[byte] ^= 1 << (within % 8);
+            FlipInfo { array: ArrayKind::Data, was_valid }
+        } else if within < data_bits + self.tag_bits() as u64 {
+            let tagbit = (within - data_bits) as u32;
+            self.addr[line] ^= 1 << (self.set_bits + self.off_bits + tagbit);
+            FlipInfo { array: ArrayKind::Tag, was_valid }
+        } else if within == data_bits + self.tag_bits() as u64 {
+            self.valid[line] = !self.valid[line];
+            FlipInfo { array: ArrayKind::State, was_valid }
+        } else {
+            self.dirty[line] = !self.dirty[line];
+            FlipInfo { array: ArrayKind::State, was_valid }
+        }
+    }
+
+    /// Non-mutating probe + read, for debug observers: returns the value if
+    /// the line is resident, without touching LRU state.
+    pub fn peek(&self, paddr: u32, bytes: u32) -> Option<u32> {
+        let base = paddr & !(self.line_bytes - 1);
+        let set = self.set_of(paddr);
+        for way in 0..self.ways {
+            let idx = self.line_index(set, way) as usize;
+            if self.valid[idx] && self.addr[idx] == base {
+                return Some(self.read(idx as u32, paddr, bytes));
+            }
+        }
+        None
+    }
+
+    /// Number of currently valid lines (used by the beam model's
+    /// kernel-residency estimator).
+    pub fn valid_lines(&self) -> u32 {
+        self.valid.iter().filter(|v| **v).count() as u32
+    }
+
+    /// Iterates over the base addresses of all valid lines.
+    pub fn valid_line_addrs(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.lines() as usize).filter(|&i| self.valid[i]).map(move |i| self.addr[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets × 2 ways × 16-byte lines = 128 bytes.
+        Cache::new(CacheConfig { size_bytes: 128, ways: 2, line_bytes: 16 }, true)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.probe(0x100), Probe::Miss);
+        let (idx, wb) = c.evict_for(0x100);
+        assert!(wb.is_none());
+        c.fill(idx, 0x100, &[7u8; 16], false);
+        assert_eq!(c.probe(0x104), Probe::Hit(idx));
+        assert_eq!(c.read(idx, 0x104, 4), 0x0707_0707);
+    }
+
+    #[test]
+    fn lru_replacement_evicts_oldest() {
+        let mut c = small();
+        // Three lines mapping to set 0 (addresses differing above set+offset).
+        for (n, a) in [0x000u32, 0x040, 0x080].iter().enumerate() {
+            if let Probe::Miss = c.probe(*a) {
+                let (idx, _) = c.evict_for(*a);
+                c.fill(idx, *a, &[n as u8; 16], false);
+            }
+        }
+        // 0x000 was oldest and must be gone; 0x040 and 0x080 resident.
+        assert_eq!(c.probe(0x000), Probe::Miss);
+        assert!(matches!(c.probe(0x040), Probe::Hit(_)));
+        assert!(matches!(c.probe(0x080), Probe::Hit(_)));
+    }
+
+    #[test]
+    fn dirty_eviction_returns_writeback() {
+        let mut c = small();
+        let (idx, _) = c.evict_for(0x0);
+        c.fill(idx, 0x0, &[0u8; 16], false);
+        c.write(idx, 0x0, 4, 0xDEAD_BEEF);
+        // Fill the set and force eviction of line 0.
+        for a in [0x040u32, 0x080] {
+            let (idx, wb) = c.evict_for(a);
+            if let Some((addr, data)) = wb {
+                assert_eq!(addr, 0x0);
+                assert_eq!(&data[0..4], &0xDEAD_BEEFu32.to_le_bytes());
+                return;
+            }
+            c.fill(idx, a, &[0u8; 16], false);
+        }
+        panic!("dirty line was never written back");
+    }
+
+    #[test]
+    fn no_writeback_port_drops_dirty_lines() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 128, ways: 2, line_bytes: 16 }, false);
+        let (idx, _) = c.evict_for(0x0);
+        c.fill(idx, 0x0, &[0u8; 16], false);
+        c.write(idx, 0x0, 4, 1);
+        let mut wrote = false;
+        c.clean_invalidate_all(|_, _| wrote = true);
+        assert!(!wrote);
+    }
+
+    #[test]
+    fn flip_data_bit_corrupts_exactly_one_bit() {
+        let mut c = small();
+        let (idx, _) = c.evict_for(0x0);
+        c.fill(idx, 0x0, &[0u8; 16], false);
+        let info = c.flip_bit(13); // line 0, data byte 1, bit 5
+        assert_eq!(info.array, ArrayKind::Data);
+        assert!(info.was_valid);
+        assert_eq!(c.read(idx, 0x1, 1), 1 << 5);
+    }
+
+    #[test]
+    fn flip_tag_bit_rehomes_line() {
+        let mut c = small();
+        let (idx, _) = c.evict_for(0x0);
+        c.fill(idx, 0x0, &[1u8; 16], false);
+        // First tag bit is phys address bit 6 (4 offset + 2 set bits).
+        let data_bits = 8 * 16;
+        let info = c.flip_bit(data_bits);
+        assert_eq!(info.array, ArrayKind::Tag);
+        assert_eq!(c.probe(0x0), Probe::Miss);
+        assert!(matches!(c.probe(0x40), Probe::Hit(_)));
+    }
+
+    #[test]
+    fn flip_valid_bit_drops_line() {
+        let mut c = small();
+        let (idx, _) = c.evict_for(0x0);
+        c.fill(idx, 0x0, &[1u8; 16], false);
+        let per = c.bits_per_line();
+        let info = c.flip_bit(per - 2); // valid bit of line 0
+        assert_eq!(info.array, ArrayKind::State);
+        assert_eq!(c.probe(0x0), Probe::Miss);
+    }
+
+    #[test]
+    fn bit_accounting_matches_paper_sizes() {
+        // Paper L1: 32 KB of data; our array additionally models tag+state.
+        let c = Cache::new(
+            CacheConfig { size_bytes: 32 * 1024, ways: 4, line_bytes: 32 },
+            true,
+        );
+        assert_eq!(c.lines(), 1024);
+        let data_bits = 32 * 1024 * 8u64;
+        assert!(c.total_bits() > data_bits);
+        assert_eq!(c.total_bits(), 1024 * (256 + (32 - 8 - 5) as u64 + 2));
+    }
+}

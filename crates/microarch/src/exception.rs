@@ -1,0 +1,124 @@
+//! Exceptions and the vector table.
+
+/// Base virtual address of the exception vector table (ARM-style *low*
+/// vectors). The kernel links its image at address zero so the six vector
+/// slots are the first words of kernel text; the page must be mapped
+/// executable-supervisor.
+pub const VECTOR_BASE: u32 = 0x0000_0000;
+
+/// Why a memory access aborted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbortCause {
+    /// No valid translation for the address.
+    Translation = 1,
+    /// Valid translation, insufficient permission.
+    Permission = 2,
+    /// Misaligned access.
+    Alignment = 3,
+    /// Translated physical address is outside DRAM and the device window.
+    OutOfRange = 4,
+}
+
+/// An architectural exception.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Exception {
+    /// Undefined/corrupt instruction word.
+    Undefined {
+        /// The instruction word that failed to decode (or was illegal in
+        /// the current mode).
+        word: u32,
+    },
+    /// Supervisor call.
+    Svc {
+        /// The SVC immediate.
+        imm: u16,
+    },
+    /// Instruction-fetch abort.
+    PrefetchAbort {
+        /// Faulting virtual address.
+        vaddr: u32,
+        /// Cause.
+        cause: AbortCause,
+    },
+    /// Data-access abort.
+    DataAbort {
+        /// Faulting virtual address.
+        vaddr: u32,
+        /// Cause.
+        cause: AbortCause,
+    },
+    /// Interrupt request.
+    Irq,
+}
+
+impl Exception {
+    /// Offset of this exception's vector from [`VECTOR_BASE`].
+    pub fn vector_offset(&self) -> u32 {
+        match self {
+            Exception::Undefined { .. } => 0x04,
+            Exception::Svc { .. } => 0x08,
+            Exception::PrefetchAbort { .. } => 0x0C,
+            Exception::DataAbort { .. } => 0x10,
+            Exception::Irq => 0x14,
+        }
+    }
+
+    /// Encodes the exception syndrome (`ESR`): class in `[31:24]`, detail
+    /// in `[15:0]`.
+    pub fn esr(&self) -> u32 {
+        match self {
+            Exception::Undefined { word } => (1 << 24) | (word & 0xFFFF),
+            Exception::Svc { imm } => (2 << 24) | *imm as u32,
+            Exception::PrefetchAbort { cause, .. } => (3 << 24) | *cause as u32,
+            Exception::DataAbort { cause, .. } => (4 << 24) | *cause as u32,
+            Exception::Irq => 5 << 24,
+        }
+    }
+
+    /// Exception class number as stored in `ESR[31:24]`.
+    pub fn class(&self) -> u32 {
+        self.esr() >> 24
+    }
+}
+
+/// ESR class value for undefined-instruction exceptions.
+pub const ESR_CLASS_UNDEFINED: u32 = 1;
+/// ESR class value for supervisor calls.
+pub const ESR_CLASS_SVC: u32 = 2;
+/// ESR class value for prefetch aborts.
+pub const ESR_CLASS_PREFETCH_ABORT: u32 = 3;
+/// ESR class value for data aborts.
+pub const ESR_CLASS_DATA_ABORT: u32 = 4;
+/// ESR class value for IRQs.
+pub const ESR_CLASS_IRQ: u32 = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectors_are_distinct_and_in_page() {
+        let exs = [
+            Exception::Undefined { word: 0 },
+            Exception::Svc { imm: 0 },
+            Exception::PrefetchAbort { vaddr: 0, cause: AbortCause::Translation },
+            Exception::DataAbort { vaddr: 0, cause: AbortCause::Permission },
+            Exception::Irq,
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for e in exs {
+            assert!(e.vector_offset() < 0x1000);
+            assert!(seen.insert(e.vector_offset()));
+        }
+    }
+
+    #[test]
+    fn esr_separates_classes() {
+        assert_eq!(Exception::Svc { imm: 7 }.class(), ESR_CLASS_SVC);
+        assert_eq!(Exception::Svc { imm: 7 }.esr() & 0xFFFF, 7);
+        assert_eq!(
+            Exception::DataAbort { vaddr: 0, cause: AbortCause::Alignment }.esr() & 0xFFFF,
+            3
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Physical memory and the device (MMIO) interface.
+
+use sea_isa::MemSize;
+
+/// Base physical address of the memory-mapped device window.
+///
+/// Accesses at or above this address bypass the cache hierarchy and are
+/// routed to the [`Device`] attached to the system, mirroring the Zynq's
+/// uncacheable peripheral region.
+pub const DEVICE_BASE: u32 = 0xF000_0000;
+
+/// A memory-mapped peripheral block.
+///
+/// `sea-platform` implements this for the Zynq-like board (UART, timer,
+/// mailbox, watchdog). Offsets are relative to [`DEVICE_BASE`].
+pub trait Device {
+    /// MMIO read. Device registers are word-oriented; sub-word reads return
+    /// the addressed bytes of the containing word.
+    fn read(&mut self, offset: u32, size: MemSize) -> u32;
+
+    /// MMIO write.
+    fn write(&mut self, offset: u32, size: MemSize, value: u32);
+
+    /// Level-triggered IRQ line, sampled between instructions. `now` is the
+    /// current cycle count, which the device uses to advance its own state
+    /// (e.g. the timer comparator).
+    fn poll_irq(&mut self, now: u64) -> bool;
+}
+
+/// A device block with no registers and no interrupts. Useful in unit tests.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullDevice;
+
+impl Device for NullDevice {
+    fn read(&mut self, _offset: u32, _size: MemSize) -> u32 {
+        0
+    }
+
+    fn write(&mut self, _offset: u32, _size: MemSize, _value: u32) {}
+
+    fn poll_irq(&mut self, _now: u64) -> bool {
+        false
+    }
+}
+
+/// Flat physical memory (the board's DDR).
+///
+/// In the beam model DDR is *outside* the irradiated chip (the LANSCE spot
+/// covers only the SoC), so this array is never a fault-injection target —
+/// matching §IV-B of the paper.
+#[derive(Clone, Debug)]
+pub struct PhysMemory {
+    bytes: Vec<u8>,
+}
+
+impl PhysMemory {
+    /// Allocates `size` bytes of zeroed memory.
+    pub fn new(size: u32) -> PhysMemory {
+        PhysMemory { bytes: vec![0; size as usize] }
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Reads an aligned value of `size` at `paddr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paddr` is out of range (physical ranges are validated by
+    /// the MMU before reaching memory).
+    pub fn read(&self, paddr: u32, size: MemSize) -> u32 {
+        let i = paddr as usize;
+        match size {
+            MemSize::Byte => self.bytes[i] as u32,
+            MemSize::Half => u16::from_le_bytes(self.bytes[i..i + 2].try_into().unwrap()) as u32,
+            MemSize::Word => u32::from_le_bytes(self.bytes[i..i + 4].try_into().unwrap()),
+        }
+    }
+
+    /// Writes an aligned value of `size` at `paddr`.
+    pub fn write(&mut self, paddr: u32, size: MemSize, value: u32) {
+        let i = paddr as usize;
+        match size {
+            MemSize::Byte => self.bytes[i] = value as u8,
+            MemSize::Half => self.bytes[i..i + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            MemSize::Word => self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes()),
+        }
+    }
+
+    /// Copies a byte slice into memory (used by the loader).
+    pub fn write_bytes(&mut self, paddr: u32, data: &[u8]) {
+        let i = paddr as usize;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads a whole cache line.
+    pub fn read_line(&self, paddr: u32, buf: &mut [u8]) {
+        let i = paddr as usize;
+        buf.copy_from_slice(&self.bytes[i..i + buf.len()]);
+    }
+
+    /// Writes a whole cache line.
+    pub fn write_line(&mut self, paddr: u32, buf: &[u8]) {
+        let i = paddr as usize;
+        self.bytes[i..i + buf.len()].copy_from_slice(buf);
+    }
+
+    /// Borrow of the raw bytes (diagnostics only).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_all_sizes() {
+        let mut m = PhysMemory::new(64);
+        m.write(0, MemSize::Word, 0xA1B2_C3D4);
+        assert_eq!(m.read(0, MemSize::Word), 0xA1B2_C3D4);
+        assert_eq!(m.read(0, MemSize::Byte), 0xD4); // little endian
+        assert_eq!(m.read(2, MemSize::Half), 0xA1B2);
+        m.write(1, MemSize::Byte, 0xFF);
+        assert_eq!(m.read(0, MemSize::Word), 0xA1B2_FFD4);
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let mut m = PhysMemory::new(128);
+        let line: Vec<u8> = (0..32).collect();
+        m.write_line(32, &line);
+        let mut back = [0u8; 32];
+        m.read_line(32, &mut back);
+        assert_eq!(&back[..], &line[..]);
+    }
+}

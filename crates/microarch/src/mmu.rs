@@ -1,0 +1,117 @@
+//! Page-table format and the hardware walker.
+//!
+//! AR32 uses a two-level table, modeled on ARM's short-descriptor format:
+//!
+//! * **L1 table**: 4096 word entries at the physical address in `TTBR`
+//!   (16 KB, 16 KB-aligned). Entry *i* covers virtual addresses
+//!   `[i << 20, (i+1) << 20)`. A valid entry points to an L2 table.
+//! * **L2 table**: 256 word entries (1 KB, 1 KB-aligned), each mapping one
+//!   4 KB page.
+//!
+//! Walks are performed in hardware on a TLB miss and read the tables
+//! through the L2 cache — table memory is cached state and therefore
+//! (indirectly) part of the fault-injection surface, as on the real SoC.
+
+/// Page size in bytes.
+pub const PAGE_BYTES: u32 = 4096;
+/// log2 of the page size.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// L1 table entries.
+pub const L1_ENTRIES: u32 = 4096;
+/// L2 table entries.
+pub const L2_ENTRIES: u32 = 256;
+
+/// Page-table entry flag: entry is valid.
+pub const PTE_VALID: u32 = 1 << 0;
+/// Page-table entry flag: writable.
+pub const PTE_WRITE: u32 = 1 << 1;
+/// Page-table entry flag: accessible from user mode.
+pub const PTE_USER: u32 = 1 << 2;
+/// Page-table entry flag: executable.
+pub const PTE_EXEC: u32 = 1 << 3;
+
+/// Builds an L1 entry pointing at an L2 table at `l2_base` (1 KB aligned).
+pub fn l1_entry(l2_base: u32) -> u32 {
+    debug_assert_eq!(l2_base & 0x3FF, 0, "L2 table must be 1KB aligned");
+    l2_base | PTE_VALID
+}
+
+/// Builds a leaf PTE mapping `ppn` with the given permission flags.
+pub fn pte(ppn: u32, flags: u32) -> u32 {
+    (ppn << PAGE_SHIFT) | (flags & 0xF) | PTE_VALID
+}
+
+/// Splits a virtual address into (L1 index, L2 index, page offset).
+pub fn split_vaddr(vaddr: u32) -> (u32, u32, u32) {
+    (vaddr >> 20, (vaddr >> 12) & 0xFF, vaddr & 0xFFF)
+}
+
+/// A decoded leaf PTE.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PteView {
+    /// Physical page number.
+    pub ppn: u32,
+    /// Writable.
+    pub write: bool,
+    /// User-accessible.
+    pub user: bool,
+    /// Executable.
+    pub exec: bool,
+}
+
+/// Decodes a leaf PTE; `None` if invalid.
+pub fn decode_pte(raw: u32) -> Option<PteView> {
+    if raw & PTE_VALID == 0 {
+        return None;
+    }
+    Some(PteView {
+        ppn: raw >> PAGE_SHIFT,
+        write: raw & PTE_WRITE != 0,
+        user: raw & PTE_USER != 0,
+        exec: raw & PTE_EXEC != 0,
+    })
+}
+
+/// Physical addresses of the two table reads a walk for `vaddr` performs,
+/// given the first read's result. Returned stepwise so the memory system
+/// can charge cache latency per access.
+pub fn l1_entry_addr(ttbr: u32, vaddr: u32) -> u32 {
+    (ttbr & !0x3FFF) + (vaddr >> 20) * 4
+}
+
+/// Address of the L2 entry for `vaddr` within the table named by `l1e`.
+pub fn l2_entry_addr(l1e: u32, vaddr: u32) -> u32 {
+    (l1e & !0x3FF) + ((vaddr >> 12) & 0xFF) * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vaddr_split() {
+        let (l1, l2, off) = split_vaddr(0xC123_4ABC);
+        assert_eq!(l1, 0xC12);
+        assert_eq!(l2, 0x34);
+        assert_eq!(off, 0xABC);
+    }
+
+    #[test]
+    fn pte_roundtrip() {
+        let raw = pte(0x12345, PTE_WRITE | PTE_USER);
+        let v = decode_pte(raw).unwrap();
+        assert_eq!(v.ppn, 0x12345);
+        assert!(v.write && v.user && !v.exec);
+        assert_eq!(decode_pte(0), None);
+    }
+
+    #[test]
+    fn walk_addresses() {
+        let ttbr = 0x0010_0000;
+        let vaddr = 0x0040_3014;
+        assert_eq!(l1_entry_addr(ttbr, vaddr), 0x0010_0000 + 4 * 4);
+        let l1e = l1_entry(0x0020_0400);
+        assert_eq!(l2_entry_addr(l1e, vaddr), 0x0020_0400 + 3 * 4);
+    }
+}

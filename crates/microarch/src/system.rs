@@ -1,0 +1,881 @@
+//! The full-system model: core + MMU + cache hierarchy + device block.
+
+use sea_isa::{
+    decode, Cond, DpOp, FpArithOp, FpUnaryOp, Insn, MemOffset, MemSize, MulOp, Operand2,
+    Shift, SysReg,
+};
+
+use crate::config::MachineConfig;
+use crate::counters::Counters;
+use crate::exception::{AbortCause, Exception, VECTOR_BASE};
+use crate::mem::{Device, DEVICE_BASE};
+use crate::memsys::MemSystem;
+use crate::mmu;
+use crate::regfile::{Cpsr, Mode, RegFile};
+use crate::tlb::{Tlb, TlbEntry};
+
+/// Result of one [`System::step`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// An instruction retired (or an exception was vectored).
+    Executed,
+    /// A `HALT` retired in supervisor mode: the machine is off.
+    Halted,
+    /// The core could not even enter its exception vector (the vector page
+    /// faults): architecturally locked up. The board's watchdog will call
+    /// this a system crash.
+    LockedUp,
+}
+
+/// The processor core's architectural and microarchitectural state.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    /// Integer + FP register files.
+    pub regs: RegFile,
+    /// Status register.
+    pub cpsr: Cpsr,
+    /// Program counter.
+    pub pc: u32,
+    /// Saved status register (supervisor bank).
+    pub spsr: u32,
+    /// Exception link register.
+    pub elr: u32,
+    /// Exception syndrome register.
+    pub esr: u32,
+    /// Fault address register.
+    pub far: u32,
+    /// Page-table base register.
+    pub ttbr: u32,
+    /// Performance counters.
+    pub counters: Counters,
+    /// Bimodal 2-bit branch predictor state.
+    predictor: Vec<u8>,
+    pred_mask: u32,
+    /// Waiting-for-interrupt latch.
+    wfi: bool,
+    /// Optional PC trace ring buffer (crash diagnostics).
+    trace: Option<TraceRing>,
+}
+
+/// A fixed-capacity ring of recently retired PCs.
+#[derive(Clone, Debug)]
+struct TraceRing {
+    buf: Vec<u32>,
+    head: usize,
+    filled: bool,
+}
+
+impl TraceRing {
+    fn push(&mut self, pc: u32) {
+        self.buf[self.head] = pc;
+        self.head = (self.head + 1) % self.buf.len();
+        if self.head == 0 {
+            self.filled = true;
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        if self.filled {
+            out.extend_from_slice(&self.buf[self.head..]);
+        }
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+impl Cpu {
+    fn new(cfg: &MachineConfig) -> Cpu {
+        Cpu {
+            regs: RegFile::new(),
+            cpsr: Cpsr::reset(),
+            pc: 0,
+            spsr: 0,
+            elr: 0,
+            esr: 0,
+            far: 0,
+            ttbr: 0,
+            counters: Counters::default(),
+            predictor: vec![1; cfg.predictor_entries as usize],
+            pred_mask: cfg.predictor_entries - 1,
+            wfi: false,
+            trace: None,
+        }
+    }
+
+    /// Enables PC tracing with a ring of `depth` entries. The trace is the
+    /// standard crash-diagnosis view: where was the core in its final
+    /// moments before a lock-up or panic.
+    pub fn enable_trace(&mut self, depth: usize) {
+        self.trace = Some(TraceRing { buf: vec![0; depth.max(1)], head: 0, filled: false });
+    }
+
+    /// The recently retired PCs, oldest first. Empty when tracing is off.
+    pub fn trace(&self) -> Vec<u32> {
+        self.trace.as_ref().map(TraceRing::snapshot).unwrap_or_default()
+    }
+}
+
+enum Flow {
+    Next,
+    Jump(u32),
+    Halt,
+    Wfi,
+}
+
+#[derive(Clone, Copy)]
+enum Access {
+    Fetch,
+    Read,
+    Write,
+}
+
+/// A complete simulated machine.
+#[derive(Clone, Debug)]
+pub struct System<D> {
+    /// Machine configuration.
+    pub cfg: MachineConfig,
+    /// The core.
+    pub cpu: Cpu,
+    /// Cache hierarchy + DRAM.
+    pub mem: MemSystem,
+    /// Instruction TLB.
+    pub itlb: Tlb,
+    /// Data TLB.
+    pub dtlb: Tlb,
+    /// The memory-mapped device block.
+    pub dev: D,
+}
+
+impl<D: Device> System<D> {
+    /// Builds a machine in reset state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: MachineConfig, dev: D) -> System<D> {
+        assert!(cfg.validate(), "invalid machine configuration");
+        System {
+            cpu: Cpu::new(&cfg),
+            mem: MemSystem::new(&cfg),
+            itlb: Tlb::new(cfg.itlb_entries),
+            dtlb: Tlb::new(cfg.dtlb_entries),
+            dev,
+            cfg,
+        }
+    }
+
+    /// Current cycle count.
+    pub fn cycles(&self) -> u64 {
+        self.cpu.counters.cycles
+    }
+
+    // ----- translation ------------------------------------------------------
+
+    fn translate(&mut self, vaddr: u32, access: Access) -> Result<(u32, u32), Exception> {
+        let vpn = vaddr >> mmu::PAGE_SHIFT;
+        let (tlb, miss_ctr) = match access {
+            Access::Fetch => (&mut self.itlb, true),
+            _ => (&mut self.dtlb, false),
+        };
+        let mut lat = 0;
+        let entry = match tlb.lookup(vpn) {
+            Some(e) => e,
+            None => {
+                if miss_ctr {
+                    self.cpu.counters.itlb_miss += 1;
+                } else {
+                    self.cpu.counters.dtlb_miss += 1;
+                }
+                let e = self.walk(vaddr, access)?;
+                lat += 2 * self.cfg.lat.walk_step;
+                match access {
+                    Access::Fetch => self.itlb.insert(e),
+                    _ => self.dtlb.insert(e),
+                }
+                e
+            }
+        };
+        // Permission checks (a TLB hit with corrupted permission bits takes
+        // this path too, exactly like hardware).
+        let user = self.cpu.cpsr.mode == Mode::User;
+        let abort = |cause| match access {
+            Access::Fetch => Exception::PrefetchAbort { vaddr, cause },
+            _ => Exception::DataAbort { vaddr, cause },
+        };
+        if user && !entry.user() {
+            return Err(abort(AbortCause::Permission));
+        }
+        match access {
+            Access::Fetch if !entry.executable() => return Err(abort(AbortCause::Permission)),
+            Access::Write if !entry.writable() => return Err(abort(AbortCause::Permission)),
+            _ => {}
+        }
+        let paddr = (entry.ppn() << mmu::PAGE_SHIFT) | (vaddr & (mmu::PAGE_BYTES - 1));
+        Ok((paddr, lat))
+    }
+
+    /// Hardware page-table walk.
+    fn walk(&mut self, vaddr: u32, access: Access) -> Result<TlbEntry, Exception> {
+        let abort = |cause| match access {
+            Access::Fetch => Exception::PrefetchAbort { vaddr, cause },
+            _ => Exception::DataAbort { vaddr, cause },
+        };
+        let mem_size = self.mem.phys.size();
+        let l1a = mmu::l1_entry_addr(self.cpu.ttbr, vaddr);
+        if l1a + 4 > mem_size {
+            return Err(abort(AbortCause::Translation));
+        }
+        let (l1e, lat1) = self.mem.walk_read(l1a, &mut self.cpu.counters);
+        self.cpu.counters.cycles += lat1 as u64;
+        if l1e & mmu::PTE_VALID == 0 {
+            return Err(abort(AbortCause::Translation));
+        }
+        let l2a = mmu::l2_entry_addr(l1e, vaddr);
+        if l2a + 4 > mem_size {
+            return Err(abort(AbortCause::Translation));
+        }
+        let (raw, lat2) = self.mem.walk_read(l2a, &mut self.cpu.counters);
+        self.cpu.counters.cycles += lat2 as u64;
+        let pte = mmu::decode_pte(raw).ok_or_else(|| abort(AbortCause::Translation))?;
+        Ok(TlbEntry::new(vaddr >> mmu::PAGE_SHIFT, pte.ppn, pte.write, pte.user, pte.exec))
+    }
+
+    fn check_phys_range(
+        &self,
+        vaddr: u32,
+        paddr: u32,
+        bytes: u32,
+        access: Access,
+    ) -> Result<bool, Exception> {
+        // Returns Ok(true) when the access targets the device window.
+        if paddr >= DEVICE_BASE {
+            if matches!(access, Access::Fetch) {
+                return Err(Exception::PrefetchAbort { vaddr, cause: AbortCause::OutOfRange });
+            }
+            return Ok(true);
+        }
+        if paddr.checked_add(bytes).map_or(true, |end| end > self.mem.phys.size()) {
+            let cause = AbortCause::OutOfRange;
+            return Err(match access {
+                Access::Fetch => Exception::PrefetchAbort { vaddr, cause },
+                _ => Exception::DataAbort { vaddr, cause },
+            });
+        }
+        Ok(false)
+    }
+
+    fn read_mem(&mut self, vaddr: u32, size: MemSize) -> Result<u32, Exception> {
+        if vaddr % size.bytes() != 0 {
+            return Err(Exception::DataAbort { vaddr, cause: AbortCause::Alignment });
+        }
+        let (paddr, lat) = self.translate(vaddr, Access::Read)?;
+        self.cpu.counters.cycles += lat as u64;
+        if self.check_phys_range(vaddr, paddr, size.bytes(), Access::Read)? {
+            return Ok(self.dev.read(paddr - DEVICE_BASE, size));
+        }
+        let (v, lat) = self.mem.read_data(paddr, size, &mut self.cpu.counters);
+        self.cpu.counters.cycles += lat as u64;
+        Ok(v)
+    }
+
+    fn write_mem(&mut self, vaddr: u32, size: MemSize, value: u32) -> Result<(), Exception> {
+        if vaddr % size.bytes() != 0 {
+            return Err(Exception::DataAbort { vaddr, cause: AbortCause::Alignment });
+        }
+        let (paddr, lat) = self.translate(vaddr, Access::Write)?;
+        self.cpu.counters.cycles += lat as u64;
+        if self.check_phys_range(vaddr, paddr, size.bytes(), Access::Write)? {
+            self.dev.write(paddr - DEVICE_BASE, size, value);
+            return Ok(());
+        }
+        let lat = self.mem.write_data(paddr, size, value, &mut self.cpu.counters);
+        self.cpu.counters.cycles += lat as u64;
+        Ok(())
+    }
+
+    fn fetch_insn(&mut self, vaddr: u32) -> Result<u32, Exception> {
+        if vaddr % 4 != 0 {
+            return Err(Exception::PrefetchAbort { vaddr, cause: AbortCause::Alignment });
+        }
+        let (paddr, lat) = self.translate(vaddr, Access::Fetch)?;
+        self.cpu.counters.cycles += lat as u64;
+        self.check_phys_range(vaddr, paddr, 4, Access::Fetch)?;
+        let (w, lat) = self.mem.fetch(paddr, &mut self.cpu.counters);
+        self.cpu.counters.cycles += lat as u64;
+        Ok(w)
+    }
+
+    // ----- exception entry/exit ------------------------------------------------
+
+    fn take_exception(&mut self, e: Exception, at_pc: u32) {
+        self.cpu.spsr = self.cpu.cpsr.to_bits();
+        self.cpu.elr = match e {
+            Exception::Svc { .. } => at_pc.wrapping_add(4),
+            _ => at_pc,
+        };
+        self.cpu.esr = e.esr();
+        self.cpu.far = match e {
+            Exception::PrefetchAbort { vaddr, .. } | Exception::DataAbort { vaddr, .. } => vaddr,
+            _ => self.cpu.far,
+        };
+        self.cpu.cpsr.mode = Mode::Svc;
+        self.cpu.cpsr.irq_off = true;
+        self.cpu.pc = VECTOR_BASE + e.vector_offset();
+        self.cpu.counters.cycles += 3; // pipeline flush on exception entry
+    }
+
+    // ----- operand helpers ----------------------------------------------------
+
+    /// Evaluates op2, returning (value, shifter carry-out).
+    fn eval_op2(&self, op2: Operand2) -> Result<(u32, bool), Exception> {
+        match op2 {
+            Operand2::Imm { .. } => Ok((op2.imm_value().unwrap(), self.cpu.cpsr.c)),
+            Operand2::Reg(sr) => {
+                let v = self.reg_read(sr.rm)?;
+                let amount = sr.amount as u32;
+                if amount == 0 {
+                    return Ok((v, self.cpu.cpsr.c));
+                }
+                let out = sr.shift.apply(v, sr.amount);
+                let carry = match sr.shift {
+                    Shift::Lsl => (v >> (32 - amount)) & 1 == 1,
+                    Shift::Lsr | Shift::Asr => (v >> (amount - 1)) & 1 == 1,
+                    Shift::Ror => (out >> 31) & 1 == 1,
+                };
+                Ok((out, carry))
+            }
+        }
+    }
+
+    fn reg_read(&self, r: sea_isa::Reg) -> Result<u32, Exception> {
+        if r == sea_isa::Reg::Pc {
+            // AR32 forbids pc as a data operand; a bit flip that turns a
+            // register field into r15 therefore faults, like a corrupted
+            // encoding on real hardware.
+            return Err(Exception::Undefined { word: 0xFFFF });
+        }
+        Ok(self.cpu.regs.get(r, self.cpu.cpsr.mode))
+    }
+
+    fn reg_write(&mut self, r: sea_isa::Reg, v: u32) -> Result<(), Exception> {
+        if r == sea_isa::Reg::Pc {
+            return Err(Exception::Undefined { word: 0xFFFF });
+        }
+        self.cpu.regs.set(r, self.cpu.cpsr.mode, v);
+        Ok(())
+    }
+
+    fn require_svc(&self, word: u32) -> Result<(), Exception> {
+        if self.cpu.cpsr.mode != Mode::Svc {
+            return Err(Exception::Undefined { word });
+        }
+        Ok(())
+    }
+
+    // ----- the step function ------------------------------------------------------
+
+    /// Executes one instruction (or vectors one exception).
+    pub fn step(&mut self) -> StepOutcome {
+        let irq = {
+            let now = self.cpu.counters.cycles;
+            self.dev.poll_irq(now)
+        };
+        if self.cpu.wfi {
+            if irq {
+                self.cpu.wfi = false;
+                // fall through to normal execution (the IRQ is taken below
+                // if unmasked).
+            } else {
+                self.cpu.counters.cycles += 20;
+                return StepOutcome::Executed;
+            }
+        }
+        if irq && !self.cpu.cpsr.irq_off {
+            self.take_exception(Exception::Irq, self.cpu.pc);
+            return StepOutcome::Executed;
+        }
+
+        let pc = self.cpu.pc;
+        if let Some(t) = self.cpu.trace.as_mut() {
+            t.push(pc);
+        }
+        let word = match self.fetch_insn(pc) {
+            Ok(w) => w,
+            Err(e) => {
+                if Self::in_vector_page(pc) {
+                    return StepOutcome::LockedUp;
+                }
+                self.take_exception(e, pc);
+                return StepOutcome::Executed;
+            }
+        };
+        let insn = match decode(word) {
+            Ok(i) => i,
+            Err(_) => {
+                self.take_exception(Exception::Undefined { word }, pc);
+                return StepOutcome::Executed;
+            }
+        };
+        self.cpu.counters.instructions += 1;
+
+        let cpsr = self.cpu.cpsr;
+        if !insn.cond().holds(cpsr.n, cpsr.z, cpsr.c, cpsr.v) {
+            self.cpu.counters.cycles += 1;
+            // Conditional branches whose condition fails still train the
+            // predictor.
+            if let Insn::Branch { .. } = insn {
+                self.cpu.counters.branches += 1;
+                self.predict_and_train(pc, false);
+            }
+            self.cpu.pc = pc.wrapping_add(4);
+            return StepOutcome::Executed;
+        }
+
+        match self.execute(insn, pc) {
+            Ok(Flow::Next) => {
+                self.cpu.pc = pc.wrapping_add(4);
+                StepOutcome::Executed
+            }
+            Ok(Flow::Jump(target)) => {
+                self.cpu.pc = target;
+                StepOutcome::Executed
+            }
+            Ok(Flow::Halt) => StepOutcome::Halted,
+            Ok(Flow::Wfi) => {
+                self.cpu.wfi = true;
+                self.cpu.pc = pc.wrapping_add(4);
+                StepOutcome::Executed
+            }
+            Err(e) => {
+                self.take_exception(e, pc);
+                StepOutcome::Executed
+            }
+        }
+    }
+
+    fn in_vector_page(pc: u32) -> bool {
+        pc.wrapping_sub(VECTOR_BASE) < 0x20
+    }
+
+    fn predict_and_train(&mut self, pc: u32, taken: bool) {
+        let idx = ((pc >> 2) & self.cpu.pred_mask) as usize;
+        let ctr = self.cpu.predictor[idx];
+        let predicted = ctr >= 2;
+        if predicted != taken {
+            self.cpu.counters.branch_misses += 1;
+            self.cpu.counters.cycles += self.cfg.lat.branch_miss as u64;
+        }
+        self.cpu.predictor[idx] =
+            if taken { (ctr + 1).min(3) } else { ctr.saturating_sub(1) };
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn execute(&mut self, insn: Insn, pc: u32) -> Result<Flow, Exception> {
+        let lat = &self.cfg.lat;
+        let (mul_lat, div_lat, fp_lat, fdiv_lat, fsqrt_lat) =
+            (lat.mul, lat.div, lat.fp, lat.fdiv, lat.fsqrt);
+        match insn {
+            Insn::Dp { op, s, rd, rn, op2, .. } => {
+                self.cpu.counters.cycles += 1;
+                let (b, shifter_c) = self.eval_op2(op2)?;
+                let a = if op.ignores_rn() { 0 } else { self.reg_read(rn)? };
+                let c_in = self.cpu.cpsr.c;
+                let (result, carry, overflow) = alu(op, a, b, c_in, shifter_c);
+                if s {
+                    self.cpu.cpsr.n = result & 0x8000_0000 != 0;
+                    self.cpu.cpsr.z = result == 0;
+                    self.cpu.cpsr.c = carry;
+                    self.cpu.cpsr.v = overflow;
+                }
+                if !op.is_compare() {
+                    self.reg_write(rd, result)?;
+                }
+                Ok(Flow::Next)
+            }
+            Insn::MovW { top, rd, imm, .. } => {
+                self.cpu.counters.cycles += 1;
+                let old = if top { self.reg_read(rd)? } else { 0 };
+                let v = if top {
+                    (old & 0xFFFF) | ((imm as u32) << 16)
+                } else {
+                    imm as u32
+                };
+                self.reg_write(rd, v)?;
+                Ok(Flow::Next)
+            }
+            Insn::Mul { op, s, rd, rn, rm, ra, .. } => {
+                let a = self.reg_read(rn)?;
+                let b = self.reg_read(rm)?;
+                let result = match op {
+                    MulOp::Mul => {
+                        self.cpu.counters.cycles += mul_lat as u64;
+                        a.wrapping_mul(b)
+                    }
+                    MulOp::Mla => {
+                        self.cpu.counters.cycles += mul_lat as u64;
+                        a.wrapping_mul(b).wrapping_add(self.reg_read(ra)?)
+                    }
+                    MulOp::Umull => {
+                        self.cpu.counters.cycles += mul_lat as u64 + 1;
+                        let wide = a as u64 * b as u64;
+                        self.reg_write(ra, (wide >> 32) as u32)?;
+                        wide as u32
+                    }
+                    MulOp::Smull => {
+                        self.cpu.counters.cycles += mul_lat as u64 + 1;
+                        let wide = (a as i32 as i64 * b as i32 as i64) as u64;
+                        self.reg_write(ra, (wide >> 32) as u32)?;
+                        wide as u32
+                    }
+                    MulOp::Udiv => {
+                        self.cpu.counters.cycles += div_lat as u64;
+                        if b == 0 { 0 } else { a / b }
+                    }
+                    MulOp::Sdiv => {
+                        self.cpu.counters.cycles += div_lat as u64;
+                        if b == 0 {
+                            0
+                        } else {
+                            (a as i32).wrapping_div(b as i32) as u32
+                        }
+                    }
+                    MulOp::Urem => {
+                        self.cpu.counters.cycles += div_lat as u64;
+                        if b == 0 { 0 } else { a % b }
+                    }
+                    MulOp::Srem => {
+                        self.cpu.counters.cycles += div_lat as u64;
+                        if b == 0 {
+                            0
+                        } else {
+                            (a as i32).wrapping_rem(b as i32) as u32
+                        }
+                    }
+                    MulOp::Lslv => {
+                        self.cpu.counters.cycles += 1;
+                        a << (b & 31)
+                    }
+                    MulOp::Lsrv => {
+                        self.cpu.counters.cycles += 1;
+                        a >> (b & 31)
+                    }
+                    MulOp::Asrv => {
+                        self.cpu.counters.cycles += 1;
+                        ((a as i32) >> (b & 31)) as u32
+                    }
+                    MulOp::Rorv => {
+                        self.cpu.counters.cycles += 1;
+                        a.rotate_right(b & 31)
+                    }
+                };
+                if s {
+                    self.cpu.cpsr.n = result & 0x8000_0000 != 0;
+                    self.cpu.cpsr.z = result == 0;
+                }
+                self.reg_write(rd, result)?;
+                Ok(Flow::Next)
+            }
+            Insn::Mem { load, size, rd, rn, offset, mode, .. } => {
+                self.cpu.counters.cycles += 1;
+                let base = self.reg_read(rn)?;
+                let off = match offset {
+                    MemOffset::Imm(i) => i as u32,
+                    MemOffset::Reg { rm, shl } => self.reg_read(rm)? << shl,
+                };
+                let indexed =
+                    if mode.up { base.wrapping_add(off) } else { base.wrapping_sub(off) };
+                let vaddr = if mode.pre { indexed } else { base };
+                if load {
+                    let v = self.read_mem(vaddr, size)?;
+                    if mode.writeback {
+                        self.reg_write(rn, indexed)?;
+                    }
+                    self.reg_write(rd, v)?; // load result wins over writeback
+                } else {
+                    let v = self.reg_read(rd)?;
+                    self.write_mem(vaddr, size, v)?;
+                    if mode.writeback {
+                        self.reg_write(rn, indexed)?;
+                    }
+                }
+                Ok(Flow::Next)
+            }
+            Insn::MemMulti { load, rn, writeback, up, before, regs, .. } => {
+                if regs & 0x8000 != 0 {
+                    // pc in a register list is not architecturally valid.
+                    return Err(Exception::Undefined { word: 0x8000 });
+                }
+                let n = regs.count_ones();
+                let base = self.reg_read(rn)?;
+                let lowest = match (up, before) {
+                    (true, false) => base,                        // ia
+                    (true, true) => base.wrapping_add(4),         // ib
+                    (false, false) => base.wrapping_sub(4 * n).wrapping_add(4), // da
+                    (false, true) => base.wrapping_sub(4 * n),    // db
+                };
+                let final_base =
+                    if up { base.wrapping_add(4 * n) } else { base.wrapping_sub(4 * n) };
+                let mut addr = lowest;
+                for i in 0..15 {
+                    if regs & (1 << i) == 0 {
+                        continue;
+                    }
+                    self.cpu.counters.cycles += 1;
+                    let r = sea_isa::Reg::from_index(i);
+                    if load {
+                        let v = self.read_mem(addr, MemSize::Word)?;
+                        self.reg_write(r, v)?;
+                    } else {
+                        let v = self.reg_read(r)?;
+                        self.write_mem(addr, MemSize::Word, v)?;
+                    }
+                    addr = addr.wrapping_add(4);
+                }
+                if writeback {
+                    self.reg_write(rn, final_base)?;
+                }
+                Ok(Flow::Next)
+            }
+            Insn::Branch { link, offset, .. } => {
+                self.cpu.counters.cycles += 1;
+                self.cpu.counters.branches += 1;
+                if insn.cond() != Cond::Al {
+                    self.predict_and_train(pc, true);
+                }
+                if link {
+                    self.cpu.regs.set(sea_isa::Reg::Lr, self.cpu.cpsr.mode, pc.wrapping_add(4));
+                }
+                Ok(Flow::Jump(pc.wrapping_add(4).wrapping_add((offset as u32) << 2)))
+            }
+            Insn::Bx { rm, .. } => {
+                self.cpu.counters.cycles += 1 + self.cfg.lat.branch_miss as u64 / 2;
+                self.cpu.counters.branches += 1;
+                let target = self.reg_read(rm)? & !1;
+                Ok(Flow::Jump(target))
+            }
+            Insn::FpArith { op, sd, sn, sm, .. } => {
+                let a = self.cpu.regs.fget(sn);
+                let b = self.cpu.regs.fget(sm);
+                let (v, cyc) = match op {
+                    FpArithOp::Add => (a + b, fp_lat),
+                    FpArithOp::Sub => (a - b, fp_lat),
+                    FpArithOp::Mul => (a * b, fp_lat),
+                    FpArithOp::Div => (a / b, fdiv_lat),
+                    FpArithOp::Mac => (self.cpu.regs.fget(sd) + a * b, fp_lat + 1),
+                    FpArithOp::Min => (a.min(b), fp_lat),
+                    FpArithOp::Max => (a.max(b), fp_lat),
+                };
+                self.cpu.counters.cycles += cyc as u64;
+                self.cpu.regs.fset(sd, v);
+                Ok(Flow::Next)
+            }
+            Insn::FpUnary { op, sd, sm, .. } => {
+                let a = self.cpu.regs.fget(sm);
+                let (v, cyc) = match op {
+                    FpUnaryOp::Abs => (a.abs(), fp_lat),
+                    FpUnaryOp::Neg => (-a, fp_lat),
+                    FpUnaryOp::Sqrt => (a.sqrt(), fsqrt_lat),
+                    FpUnaryOp::Mov => (a, 1),
+                };
+                self.cpu.counters.cycles += cyc as u64;
+                self.cpu.regs.fset(sd, v);
+                Ok(Flow::Next)
+            }
+            Insn::FpCmp { sn, sm, .. } => {
+                self.cpu.counters.cycles += fp_lat as u64;
+                let a = self.cpu.regs.fget(sn);
+                let b = self.cpu.regs.fget(sm);
+                // VCMP + VMRS flag mapping.
+                let (n, z, c, v) = match a.partial_cmp(&b) {
+                    Some(std::cmp::Ordering::Less) => (true, false, false, false),
+                    Some(std::cmp::Ordering::Equal) => (false, true, true, false),
+                    Some(std::cmp::Ordering::Greater) => (false, false, true, false),
+                    None => (false, false, true, true),
+                };
+                self.cpu.cpsr.n = n;
+                self.cpu.cpsr.z = z;
+                self.cpu.cpsr.c = c;
+                self.cpu.cpsr.v = v;
+                Ok(Flow::Next)
+            }
+            Insn::FpToInt { rd, sm, .. } => {
+                self.cpu.counters.cycles += fp_lat as u64;
+                let a = self.cpu.regs.fget(sm);
+                let v = if a.is_nan() {
+                    0
+                } else {
+                    a.max(i32::MIN as f32).min(i32::MAX as f32) as i32
+                };
+                self.reg_write(rd, v as u32)?;
+                Ok(Flow::Next)
+            }
+            Insn::IntToFp { sd, rm, .. } => {
+                self.cpu.counters.cycles += fp_lat as u64;
+                let v = self.reg_read(rm)? as i32;
+                self.cpu.regs.fset(sd, v as f32);
+                Ok(Flow::Next)
+            }
+            Insn::FpToCore { rd, sn, .. } => {
+                self.cpu.counters.cycles += 1;
+                let bits = self.cpu.regs.fget_bits(sn);
+                self.reg_write(rd, bits)?;
+                Ok(Flow::Next)
+            }
+            Insn::CoreToFp { sd, rn, .. } => {
+                self.cpu.counters.cycles += 1;
+                let bits = self.reg_read(rn)?;
+                self.cpu.regs.fset_bits(sd, bits);
+                Ok(Flow::Next)
+            }
+            Insn::FpMem { load, sd, rn, imm6, .. } => {
+                self.cpu.counters.cycles += 1;
+                let base = self.reg_read(rn)?;
+                let vaddr = base.wrapping_add(4 * imm6 as u32);
+                if load {
+                    let v = self.read_mem(vaddr, MemSize::Word)?;
+                    self.cpu.regs.fset_bits(sd, v);
+                } else {
+                    let v = self.cpu.regs.fget_bits(sd);
+                    self.write_mem(vaddr, MemSize::Word, v)?;
+                }
+                Ok(Flow::Next)
+            }
+            Insn::Svc { imm, .. } => {
+                self.cpu.counters.cycles += 1;
+                Err(Exception::Svc { imm })
+            }
+            Insn::Mrs { rd, sys, .. } => {
+                self.cpu.counters.cycles += 1;
+                let priv_needed = !matches!(sys, SysReg::Cycles);
+                if priv_needed {
+                    self.require_svc(0x3000)?;
+                }
+                let v = match sys {
+                    SysReg::Cpsr => self.cpu.cpsr.to_bits(),
+                    SysReg::Spsr => self.cpu.spsr,
+                    SysReg::Cycles => self.cpu.counters.cycles as u32,
+                    SysReg::Elr => self.cpu.elr,
+                    SysReg::Esr => self.cpu.esr,
+                    SysReg::Far => self.cpu.far,
+                    SysReg::Ttbr => self.cpu.ttbr,
+                    SysReg::SpUsr => self.cpu.regs.sp_usr(),
+                    SysReg::CacheOp => 0,
+                };
+                self.reg_write(rd, v)?;
+                Ok(Flow::Next)
+            }
+            Insn::Msr { sys, rn, .. } => {
+                self.cpu.counters.cycles += 1;
+                self.require_svc(0x4000)?;
+                let v = self.reg_read(rn)?;
+                match sys {
+                    SysReg::Cpsr => self.cpu.cpsr = Cpsr::from_bits(v),
+                    SysReg::Spsr => self.cpu.spsr = v,
+                    SysReg::Cycles => {} // read-only
+                    SysReg::Elr => self.cpu.elr = v,
+                    SysReg::Esr => self.cpu.esr = v,
+                    SysReg::Far => self.cpu.far = v,
+                    SysReg::Ttbr => {
+                        self.cpu.ttbr = v;
+                        self.itlb.flush();
+                        self.dtlb.flush();
+                    }
+                    SysReg::SpUsr => self.cpu.regs.set_sp_usr(v),
+                    SysReg::CacheOp => {
+                        if v & 1 != 0 {
+                            self.mem.clean_invalidate_all();
+                            self.cpu.counters.cycles += 200;
+                        }
+                        if v & 2 != 0 {
+                            self.itlb.flush();
+                            self.dtlb.flush();
+                        }
+                    }
+                }
+                Ok(Flow::Next)
+            }
+            Insn::Cps { enable_irq, .. } => {
+                self.cpu.counters.cycles += 1;
+                self.require_svc(0x6000)?;
+                self.cpu.cpsr.irq_off = !enable_irq;
+                Ok(Flow::Next)
+            }
+            Insn::Eret { .. } => {
+                self.cpu.counters.cycles += 3;
+                self.require_svc(0x5000)?;
+                self.cpu.cpsr = Cpsr::from_bits(self.cpu.spsr);
+                Ok(Flow::Jump(self.cpu.elr))
+            }
+            Insn::Nop { .. } => {
+                self.cpu.counters.cycles += 1;
+                Ok(Flow::Next)
+            }
+            Insn::Halt { .. } => {
+                self.cpu.counters.cycles += 1;
+                self.require_svc(0x2000)?;
+                Ok(Flow::Halt)
+            }
+            Insn::Wfi { .. } => {
+                self.cpu.counters.cycles += 1;
+                self.require_svc(0x9000)?;
+                Ok(Flow::Wfi)
+            }
+        }
+    }
+}
+
+/// The integer ALU: returns `(result, carry, overflow)`.
+fn alu(op: DpOp, a: u32, b: u32, c_in: bool, shifter_c: bool) -> (u32, bool, bool) {
+    fn add(a: u32, b: u32, carry: u32) -> (u32, bool, bool) {
+        let wide = a as u64 + b as u64 + carry as u64;
+        let r = wide as u32;
+        let c = wide > u32::MAX as u64;
+        let v = ((a ^ r) & (b ^ r)) & 0x8000_0000 != 0;
+        (r, c, v)
+    }
+    match op {
+        DpOp::And | DpOp::Tst => (a & b, shifter_c, false),
+        DpOp::Eor | DpOp::Teq => (a ^ b, shifter_c, false),
+        DpOp::Orr => (a | b, shifter_c, false),
+        DpOp::Bic => (a & !b, shifter_c, false),
+        DpOp::Mov => (b, shifter_c, false),
+        DpOp::Mvn => (!b, shifter_c, false),
+        DpOp::Add | DpOp::Cmn => add(a, b, 0),
+        DpOp::Adc => add(a, b, c_in as u32),
+        DpOp::Sub | DpOp::Cmp => add(a, !b, 1),
+        DpOp::Sbc => add(a, !b, c_in as u32),
+        DpOp::Rsb => add(b, !a, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_sub_sets_borrow_semantics() {
+        // 5 - 3: no borrow → C set.
+        let (r, c, v) = alu(DpOp::Sub, 5, 3, false, false);
+        assert_eq!((r, c, v), (2, true, false));
+        // 3 - 5: borrow → C clear, negative result.
+        let (r, c, _) = alu(DpOp::Sub, 3, 5, false, false);
+        assert_eq!(r, (-2i32) as u32);
+        assert!(!c);
+    }
+
+    #[test]
+    fn alu_overflow() {
+        let (_, _, v) = alu(DpOp::Add, i32::MAX as u32, 1, false, false);
+        assert!(v);
+        let (_, _, v) = alu(DpOp::Sub, i32::MIN as u32, 1, false, false);
+        assert!(v);
+    }
+
+    #[test]
+    fn alu_logical_uses_shifter_carry() {
+        let (_, c, v) = alu(DpOp::And, 3, 1, false, true);
+        assert!(c);
+        assert!(!v);
+    }
+}

@@ -1,0 +1,229 @@
+//! Translation lookaside buffers.
+//!
+//! Each TLB is fully associative with true-LRU replacement. Entries are
+//! stored as packed 64-bit words so that fault injection addresses the same
+//! bit layout the SRAM macro would hold. The packing separates the paper's
+//! two regions of interest (§V-B): the *virtual tag* (VPN) whose corruption
+//! mostly causes harmless re-walks, and the *physical target* (PPN and
+//! permission bits) whose corruption redirects every access to the page.
+
+/// Bit layout of a packed TLB entry.
+///
+/// ```text
+/// [19:0]  PPN      physical page number        (data region)
+/// [39:20] VPN      virtual page number         (tag region)
+/// [40]    valid
+/// [41]    writable
+/// [42]    user-accessible
+/// [43]    executable
+/// ```
+/// Bits `[63:44]` are unimplemented cells and absorb flips harmlessly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TlbEntry(pub u64);
+
+impl TlbEntry {
+    const VALID: u64 = 1 << 40;
+    const WRITE: u64 = 1 << 41;
+    const USER: u64 = 1 << 42;
+    const EXEC: u64 = 1 << 43;
+
+    /// Builds a valid entry.
+    pub fn new(vpn: u32, ppn: u32, write: bool, user: bool, exec: bool) -> TlbEntry {
+        let mut v = (ppn as u64 & 0xF_FFFF) | ((vpn as u64 & 0xF_FFFF) << 20) | Self::VALID;
+        if write {
+            v |= Self::WRITE;
+        }
+        if user {
+            v |= Self::USER;
+        }
+        if exec {
+            v |= Self::EXEC;
+        }
+        TlbEntry(v)
+    }
+
+    /// Invalid (empty) entry.
+    pub fn invalid() -> TlbEntry {
+        TlbEntry(0)
+    }
+
+    /// Physical page number.
+    pub fn ppn(self) -> u32 {
+        (self.0 & 0xF_FFFF) as u32
+    }
+
+    /// Virtual page number (the tag).
+    pub fn vpn(self) -> u32 {
+        ((self.0 >> 20) & 0xF_FFFF) as u32
+    }
+
+    /// Valid bit.
+    pub fn valid(self) -> bool {
+        self.0 & Self::VALID != 0
+    }
+
+    /// Write permission.
+    pub fn writable(self) -> bool {
+        self.0 & Self::WRITE != 0
+    }
+
+    /// User-mode access permission.
+    pub fn user(self) -> bool {
+        self.0 & Self::USER != 0
+    }
+
+    /// Execute permission.
+    pub fn executable(self) -> bool {
+        self.0 & Self::EXEC != 0
+    }
+
+    /// True if `bit` (0-63) lies in the virtual-tag region.
+    pub fn bit_is_tag(bit: u32) -> bool {
+        (20..40).contains(&bit)
+    }
+}
+
+/// A fully associative TLB.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<TlbEntry>,
+    /// LRU stamps; larger = more recently used.
+    stamp: Vec<u64>,
+    clock: u64,
+    /// Statistics: lookups and misses.
+    pub lookups: u64,
+    /// Miss count.
+    pub misses: u64,
+}
+
+impl Tlb {
+    /// Builds an empty TLB with `entries` slots.
+    pub fn new(entries: u32) -> Tlb {
+        Tlb {
+            entries: vec![TlbEntry::invalid(); entries as usize],
+            stamp: vec![0; entries as usize],
+            clock: 0,
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `vpn`, updating LRU and statistics.
+    pub fn lookup(&mut self, vpn: u32) -> Option<TlbEntry> {
+        self.lookups += 1;
+        self.clock += 1;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.valid() && e.vpn() == vpn {
+                self.stamp[i] = self.clock;
+                return Some(*e);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Inserts an entry, evicting the LRU slot.
+    pub fn insert(&mut self, entry: TlbEntry) {
+        self.clock += 1;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.valid() {
+                victim = i;
+                break;
+            }
+            if self.stamp[i] < oldest {
+                oldest = self.stamp[i];
+                victim = i;
+            }
+        }
+        self.entries[victim] = entry;
+        self.stamp[victim] = self.clock;
+    }
+
+    /// Invalidates all entries (TLB flush).
+    pub fn flush(&mut self) {
+        for e in &mut self.entries {
+            *e = TlbEntry::invalid();
+        }
+    }
+
+    /// SRAM bits: 64 per entry.
+    pub fn total_bits(&self) -> u64 {
+        self.entries.len() as u64 * 64
+    }
+
+    /// Flips one bit; returns whether it fell in the tag (VPN) region and
+    /// whether the entry was valid.
+    pub fn flip_bit(&mut self, bit: u64) -> (bool, bool) {
+        assert!(bit < self.total_bits(), "TLB bit index out of range");
+        let idx = (bit / 64) as usize;
+        let within = (bit % 64) as u32;
+        let was_valid = self.entries[idx].valid();
+        self.entries[idx].0 ^= 1 << within;
+        (TlbEntry::bit_is_tag(within), was_valid)
+    }
+
+    /// Number of valid entries.
+    pub fn valid_entries(&self) -> u32 {
+        self.entries.iter().filter(|e| e.valid()).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_pack_unpack() {
+        let e = TlbEntry::new(0x12345, 0xABCDE, true, false, true);
+        assert_eq!(e.vpn(), 0x12345);
+        assert_eq!(e.ppn(), 0xABCDE);
+        assert!(e.valid() && e.writable() && e.executable());
+        assert!(!e.user());
+    }
+
+    #[test]
+    fn lookup_hit_and_miss_counting() {
+        let mut t = Tlb::new(4);
+        assert!(t.lookup(7).is_none());
+        t.insert(TlbEntry::new(7, 0x100, true, true, false));
+        assert_eq!(t.lookup(7).unwrap().ppn(), 0x100);
+        assert_eq!(t.lookups, 2);
+        assert_eq!(t.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2);
+        t.insert(TlbEntry::new(1, 1, true, true, false));
+        t.insert(TlbEntry::new(2, 2, true, true, false));
+        t.lookup(1); // make vpn=1 recent
+        t.insert(TlbEntry::new(3, 3, true, true, false)); // evicts vpn=2
+        assert!(t.lookup(1).is_some());
+        assert!(t.lookup(2).is_none());
+        assert!(t.lookup(3).is_some());
+    }
+
+    #[test]
+    fn tag_flip_causes_miss_data_flip_misroutes() {
+        let mut t = Tlb::new(1);
+        t.insert(TlbEntry::new(0x5, 0x100, true, true, false));
+        // Flip VPN bit 0 (global bit 20): the old VPN no longer matches.
+        let (is_tag, valid) = t.flip_bit(20);
+        assert!(is_tag && valid);
+        assert!(t.lookup(0x5).is_none());
+        // Reinsert and flip PPN bit 0: translation silently changes.
+        let mut t = Tlb::new(1);
+        t.insert(TlbEntry::new(0x5, 0x100, true, true, false));
+        let (is_tag, _) = t.flip_bit(0);
+        assert!(!is_tag);
+        assert_eq!(t.lookup(0x5).unwrap().ppn(), 0x101);
+    }
+
+    #[test]
+    fn paper_tlb_size_is_512_bytes() {
+        let t = Tlb::new(64);
+        assert_eq!(t.total_bits(), 4096); // 512 bytes, as quoted in §V-B
+    }
+}

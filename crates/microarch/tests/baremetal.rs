@@ -1,0 +1,338 @@
+//! Bare-metal end-to-end tests of the system model: hand-built page tables,
+//! supervisor-mode programs, exceptions, IRQs, and atomic/detailed
+//! equivalence.
+
+use sea_isa::{Asm, Cond, MemSize, Reg, SysReg};
+use sea_microarch::{
+    l1_entry, pte, Device, MachineConfig, NullDevice, StepOutcome, System, PAGE_SHIFT,
+    PTE_EXEC, PTE_USER, PTE_VALID, PTE_WRITE,
+};
+
+const TTBR: u32 = 0x0000_4000; // 16 KB L1 table at 16 KB
+const L2_POOL: u32 = 0x0000_8000; // L2 tables allocated upward from here
+
+/// Builds page tables in physical memory mapping identity VA=PA for the
+/// first 8 MB (supervisor rwx; the low vector page is part of it) plus the
+/// first device page.
+fn build_tables<D: Device>(sys: &mut System<D>) {
+    let mut next_l2 = L2_POOL;
+    let mut alloc_l2 = || {
+        let a = next_l2;
+        next_l2 += 0x400;
+        a
+    };
+    // Identity map 8 MB = 8 × 1 MB L1 entries.
+    for mib in 0..8u32 {
+        let l2 = alloc_l2();
+        sys.mem.phys.write(TTBR + mib * 4, MemSize::Word, l1_entry(l2));
+        for page in 0..256u32 {
+            let ppn = (mib << 8) + page;
+            sys.mem.phys.write(
+                l2 + page * 4,
+                MemSize::Word,
+                pte(ppn, PTE_WRITE | PTE_EXEC | PTE_VALID),
+            );
+        }
+    }
+    // Device window: identity-map the first device page.
+    let l2 = alloc_l2();
+    sys.mem.phys.write(TTBR + (0xF000_0000u32 >> 20) * 4, MemSize::Word, l1_entry(l2));
+    sys.mem.phys.write(l2, MemSize::Word, pte(0xF000_0000 >> PAGE_SHIFT, PTE_WRITE | PTE_VALID));
+    sys.cpu.ttbr = TTBR;
+}
+
+/// Assembles `build` into a fresh supervisor-mode machine at VA/PA
+/// 0x0001_0000 and returns the machine ready to run.
+fn machine_with(cfg: MachineConfig, build: impl FnOnce(&mut Asm)) -> System<NullDevice> {
+    let mut sys = System::new(cfg, NullDevice);
+    build_tables(&mut sys);
+    let mut a = Asm::new();
+    let entry = a.label("entry");
+    a.bind(entry).unwrap();
+    build(&mut a);
+    let img = a.finish(entry).unwrap();
+    for seg in img.segments() {
+        sys.mem.phys.write_bytes(seg.vaddr, &seg.data);
+    }
+    sys.cpu.pc = img.entry();
+    sys
+}
+
+fn run_to_halt<D: Device>(sys: &mut System<D>, max_steps: u64) {
+    for _ in 0..max_steps {
+        match sys.step() {
+            StepOutcome::Halted => return,
+            StepOutcome::LockedUp => panic!("machine locked up at pc={:#x}", sys.cpu.pc),
+            StepOutcome::Executed => {}
+        }
+    }
+    panic!("program did not halt within {max_steps} steps (pc={:#x})", sys.cpu.pc);
+}
+
+fn halt(a: &mut Asm) {
+    a.push(sea_isa::Insn::Halt { cond: Cond::Al });
+}
+
+#[test]
+fn arithmetic_loop_sums_to_expected() {
+    // sum = 1 + 2 + … + 100 = 5050, stored to memory.
+    let mut sys = machine_with(MachineConfig::cortex_a9(), |a| {
+        let loop_ = a.label("loop");
+        a.mov_imm(Reg::R0, 0); // sum
+        a.mov_imm(Reg::R1, 100); // i
+        a.bind(loop_).unwrap();
+        a.add(Reg::R0, Reg::R0, Reg::R1);
+        a.subs_imm(Reg::R1, Reg::R1, 1);
+        a.b_if(Cond::Ne, loop_);
+        a.mov32(Reg::R2, 0x0030_0000);
+        a.str(Reg::R0, Reg::R2, 0);
+        halt(a);
+    });
+    run_to_halt(&mut sys, 10_000);
+    assert_eq!(sys.mem.peek(0x0030_0000, MemSize::Word), 5050);
+    assert!(sys.cpu.counters.instructions > 300);
+    assert!(sys.cpu.counters.cycles > sys.cpu.counters.instructions);
+}
+
+#[test]
+fn atomic_and_detailed_modes_agree_architecturally() {
+    let build = |a: &mut Asm| {
+        let loop_ = a.label("loop");
+        a.mov_imm(Reg::R0, 0);
+        a.mov_imm(Reg::R1, 37);
+        a.mov32(Reg::R3, 0x0030_0000);
+        a.bind(loop_).unwrap();
+        a.mul(Reg::R2, Reg::R1, Reg::R1);
+        a.add(Reg::R0, Reg::R0, Reg::R2);
+        a.str_idx(Reg::R0, Reg::R3, Reg::R1, 2);
+        a.subs_imm(Reg::R1, Reg::R1, 1);
+        a.b_if(Cond::Ne, loop_);
+        halt(a);
+    };
+    let mut det = machine_with(MachineConfig::cortex_a9(), build);
+    let mut atm = machine_with(MachineConfig::cortex_a9().atomic(), build);
+    run_to_halt(&mut det, 10_000);
+    run_to_halt(&mut atm, 10_000);
+    assert_eq!(det.cpu.regs.get(Reg::R0, sea_microarch::Mode::Svc), atm.cpu.regs.get(Reg::R0, sea_microarch::Mode::Svc));
+    for i in 1..=37u32 {
+        let addr = 0x0030_0000 + i * 4;
+        assert_eq!(det.mem.peek(addr, MemSize::Word), atm.mem.peek(addr, MemSize::Word));
+    }
+    // Detailed mode pays cache/mispredict latency; atomic must be faster.
+    assert!(det.cpu.counters.cycles > atm.cpu.counters.cycles);
+    assert_eq!(det.cpu.counters.instructions, atm.cpu.counters.instructions);
+}
+
+#[test]
+fn fp_pipeline_computes_dot_product() {
+    use sea_isa::s;
+    let mut sys = machine_with(MachineConfig::cortex_a9(), |a| {
+        // r0 = int(Σ i·i for i in 1..=10) = 385
+        let loop_ = a.label("loop");
+        a.mov_imm(Reg::R1, 10);
+        a.mov_imm(Reg::R2, 0);
+        a.vcvt_from_int(s(0), Reg::R2); // acc = 0.0
+        a.bind(loop_).unwrap();
+        a.vcvt_from_int(s(1), Reg::R1);
+        a.vmla(s(0), s(1), s(1));
+        a.subs_imm(Reg::R1, Reg::R1, 1);
+        a.b_if(Cond::Ne, loop_);
+        a.vcvt_to_int(Reg::R0, s(0));
+        halt(a);
+    });
+    run_to_halt(&mut sys, 10_000);
+    assert_eq!(sys.cpu.regs.get(Reg::R0, sea_microarch::Mode::Svc), 385);
+}
+
+#[test]
+fn svc_vectors_to_handler_and_eret_returns() {
+    // Vector page is PA 0; plant a tiny handler there: the SVC slot (offset
+    // 8) branches to a stub that sets r5 and ERETs.
+    let mut sys = machine_with(MachineConfig::cortex_a9(), |a| {
+        a.mov_imm(Reg::R5, 0);
+        a.svc(42);
+        halt(a); // reached only after eret
+    });
+    // Handler stub at PA/VA 0x100, just past the vector slots:
+    let mut h = Asm::new();
+    h.set_bases(0x100, 0x1000_0000, 0x2000_0000);
+    let e = h.label("h");
+    h.bind(e).unwrap();
+    h.mrs(Reg::R5, SysReg::Esr);
+    h.push(sea_isa::Insn::Eret { cond: Cond::Al });
+    let himg = h.finish(e).unwrap();
+    sys.mem.phys.write_bytes(0x100, &himg.segments()[0].data);
+    // SVC vector slot: branch 0x8 → 0x100.
+    let b = sea_isa::encode(&sea_isa::Insn::Branch {
+        cond: Cond::Al,
+        link: false,
+        offset: ((0x100 - 0x8 - 4) / 4) as i32,
+    });
+    sys.mem.phys.write(0x8, MemSize::Word, b);
+    run_to_halt(&mut sys, 1_000);
+    let esr = sys.cpu.regs.get(Reg::R5, sea_microarch::Mode::Svc);
+    assert_eq!(esr >> 24, sea_microarch::ESR_CLASS_SVC);
+    assert_eq!(esr & 0xFFFF, 42);
+}
+
+#[test]
+fn undefined_instruction_vectors_with_esr() {
+    let mut sys = machine_with(MachineConfig::cortex_a9(), |a| {
+        a.nop(); // replaced below with an invalid word
+        halt(a);
+    });
+    // Plant a handler at the undefined vector (offset 4) that halts.
+    let hw = sea_isa::encode(&sea_isa::Insn::Halt { cond: Cond::Al });
+    sys.mem.phys.write(0x4, MemSize::Word, hw);
+    // Overwrite the program's first word with a truly invalid encoding.
+    sys.mem.phys.write(0x0001_0000, MemSize::Word, 0xE900_0000);
+    run_to_halt(&mut sys, 100);
+    assert_eq!(sys.cpu.esr >> 24, sea_microarch::ESR_CLASS_UNDEFINED);
+}
+
+#[test]
+fn data_abort_on_unmapped_address_reports_far() {
+    let mut sys = machine_with(MachineConfig::cortex_a9(), |a| {
+        a.mov32(Reg::R1, 0x4000_0000); // far beyond the 8 MB identity map
+        a.ldr(Reg::R0, Reg::R1, 0);
+        halt(a);
+    });
+    let hw = sea_isa::encode(&sea_isa::Insn::Halt { cond: Cond::Al });
+    sys.mem.phys.write(0x10, MemSize::Word, hw); // data-abort vector
+    run_to_halt(&mut sys, 100);
+    assert_eq!(sys.cpu.esr >> 24, sea_microarch::ESR_CLASS_DATA_ABORT);
+    assert_eq!(sys.cpu.far, 0x4000_0000);
+}
+
+#[test]
+fn alignment_fault_on_unaligned_word_access() {
+    let mut sys = machine_with(MachineConfig::cortex_a9(), |a| {
+        a.mov32(Reg::R1, 0x0030_0001);
+        a.ldr(Reg::R0, Reg::R1, 0);
+        halt(a);
+    });
+    let hw = sea_isa::encode(&sea_isa::Insn::Halt { cond: Cond::Al });
+    sys.mem.phys.write(0x10, MemSize::Word, hw);
+    run_to_halt(&mut sys, 100);
+    assert_eq!(sys.cpu.esr & 0xFFFF, 3); // AbortCause::Alignment
+}
+
+/// Device with a one-shot timer that raises IRQ after N cycles.
+struct OneShotTimer {
+    deadline: u64,
+    fired: bool,
+}
+
+impl Device for OneShotTimer {
+    fn read(&mut self, _o: u32, _s: MemSize) -> u32 {
+        0
+    }
+    fn write(&mut self, _o: u32, _s: MemSize, _v: u32) {
+        self.fired = true; // any write acknowledges
+    }
+    fn poll_irq(&mut self, now: u64) -> bool {
+        !self.fired && now >= self.deadline
+    }
+}
+
+#[test]
+fn irq_is_taken_when_unmasked_and_wfi_wakes() {
+    let mut sys = System::new(MachineConfig::cortex_a9(), OneShotTimer { deadline: 200, fired: false });
+    build_tables(&mut sys);
+    // Program: enable IRQs, spin WFI; IRQ handler acknowledges the device
+    // and halts.
+    let mut a = Asm::new();
+    let entry = a.label("entry");
+    a.bind(entry).unwrap();
+    a.push(sea_isa::Insn::Cps { cond: Cond::Al, enable_irq: true });
+    let spin = a.label("spin");
+    a.bind(spin).unwrap();
+    a.push(sea_isa::Insn::Wfi { cond: Cond::Al });
+    a.b(spin);
+    let img = a.finish(entry).unwrap();
+    for seg in img.segments() {
+        sys.mem.phys.write_bytes(seg.vaddr, &seg.data);
+    }
+    sys.cpu.pc = img.entry();
+    // IRQ vector (offset 0x14): store to device (ack) then halt.
+    let mut h = Asm::new();
+    h.set_bases(0x0000_0200, 0x1000_0000, 0x2000_0000);
+    let e = h.label("irq");
+    h.bind(e).unwrap();
+    h.mov32(Reg::R1, 0xF000_0000);
+    h.str(Reg::R0, Reg::R1, 0); // ack → deasserts the line
+    halt(&mut h);
+    let himg = h.finish(e).unwrap();
+    sys.mem.phys.write_bytes(0x200, &himg.segments()[0].data);
+    let b = sea_isa::encode(&sea_isa::Insn::Branch {
+        cond: Cond::Al,
+        link: false,
+        offset: ((0x200 - 0x14 - 4) / 4) as i32,
+    });
+    sys.mem.phys.write(0x14, MemSize::Word, b);
+    run_to_halt(&mut sys, 10_000);
+    assert_eq!(sys.cpu.esr >> 24, sea_microarch::ESR_CLASS_IRQ);
+    assert!(sys.cpu.counters.cycles >= 200);
+}
+
+#[test]
+fn detailed_mode_counts_cache_misses_then_hits() {
+    let mut sys = machine_with(MachineConfig::cortex_a9(), |a| {
+        // Two passes over a 4 KB buffer: first pass misses, second hits.
+        let outer = a.label("outer");
+        let inner = a.label("inner");
+        a.mov_imm(Reg::R4, 2);
+        a.bind(outer).unwrap();
+        a.mov32(Reg::R1, 0x0030_0000);
+        a.mov32(Reg::R2, 1024);
+        a.bind(inner).unwrap();
+        a.ldr_post(Reg::R0, Reg::R1, 4);
+        a.subs_imm(Reg::R2, Reg::R2, 1);
+        a.b_if(Cond::Ne, inner);
+        a.subs_imm(Reg::R4, Reg::R4, 1);
+        a.b_if(Cond::Ne, outer);
+        halt(a);
+    });
+    run_to_halt(&mut sys, 100_000);
+    let c = sys.cpu.counters;
+    assert_eq!(c.l1d_access, 2048);
+    // 4 KB / 32 B lines = 128 compulsory misses; second pass hits.
+    assert_eq!(c.l1d_miss, 128);
+    assert!(c.dtlb_miss >= 1);
+    assert!(c.branch_misses > 0);
+}
+
+#[test]
+fn lockup_when_vector_page_unmapped_is_reported() {
+    // No vector mapping at all: SVC → vector fetch faults → LockedUp.
+    let mut sys = System::new(MachineConfig::cortex_a9(), NullDevice);
+    // Identity-map 1 MiB *except* the vector page (page 0).
+    let l2 = L2_POOL;
+    sys.mem.phys.write(TTBR, MemSize::Word, l1_entry(l2));
+    for page in 1..256u32 {
+        sys.mem.phys.write(l2 + page * 4, MemSize::Word, pte(page, PTE_WRITE | PTE_EXEC | PTE_USER));
+    }
+    sys.cpu.ttbr = TTBR;
+    let mut a = Asm::new();
+    a.set_bases(0x0001_0000, 0x0008_0000, 0x000A_0000);
+    let e = a.label("e");
+    a.bind(e).unwrap();
+    a.svc(1);
+    let img = a.finish(e).unwrap();
+    for seg in img.segments() {
+        sys.mem.phys.write_bytes(seg.vaddr, &seg.data);
+    }
+    sys.cpu.pc = img.entry();
+    let mut locked = false;
+    for _ in 0..100 {
+        match sys.step() {
+            StepOutcome::LockedUp => {
+                locked = true;
+                break;
+            }
+            StepOutcome::Halted => panic!("unexpected halt"),
+            StepOutcome::Executed => {}
+        }
+    }
+    assert!(locked, "vector-page fault must lock the machine up");
+}

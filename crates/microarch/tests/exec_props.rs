@@ -1,0 +1,255 @@
+//! Execution-semantics property tests: random straight-line programs must
+//! produce identical architectural state under the atomic and detailed
+//! models, and ALU flag semantics must match the host's arithmetic.
+
+use proptest::prelude::*;
+use sea_isa::{encode, Cond, DpOp, Insn, MemSize, MulOp, Operand2, Reg, Shift, ShiftedReg};
+use sea_microarch::{
+    l1_entry, pte, MachineConfig, Mode, NullDevice, StepOutcome, System, PTE_EXEC, PTE_WRITE,
+};
+
+const TTBR: u32 = 0x4000;
+
+fn machine(cfg: MachineConfig) -> System<NullDevice> {
+    let mut sys = System::new(cfg, NullDevice);
+    for mib in 0..2u32 {
+        let l2 = 0x8000 + mib * 0x400;
+        sys.mem.phys.write(TTBR + mib * 4, MemSize::Word, l1_entry(l2));
+        for page in 0..256u32 {
+            sys.mem.phys.write(
+                l2 + page * 4,
+                MemSize::Word,
+                pte((mib << 8) + page, PTE_WRITE | PTE_EXEC),
+            );
+        }
+    }
+    sys.cpu.ttbr = TTBR;
+    sys
+}
+
+/// Registers safe for random programs (no sp/lr/pc).
+fn any_low_reg() -> impl Strategy<Value = Reg> {
+    (0u32..11).prop_map(Reg::from_index)
+}
+
+fn any_safe_insn() -> impl Strategy<Value = Insn> {
+    let dp_ops = prop_oneof![
+        Just(DpOp::And),
+        Just(DpOp::Eor),
+        Just(DpOp::Sub),
+        Just(DpOp::Rsb),
+        Just(DpOp::Add),
+        Just(DpOp::Adc),
+        Just(DpOp::Sbc),
+        Just(DpOp::Orr),
+        Just(DpOp::Mov),
+        Just(DpOp::Bic),
+        Just(DpOp::Mvn),
+        Just(DpOp::Cmp),
+        Just(DpOp::Cmn),
+        Just(DpOp::Tst),
+        Just(DpOp::Teq),
+    ];
+    let op2 = prop_oneof![
+        (any_low_reg(), 0usize..4, 0u8..32).prop_map(|(rm, s, amount)| Operand2::Reg(
+            ShiftedReg { rm, shift: Shift::ALL[s], amount }
+        )),
+        (any::<u8>(), 0u8..8).prop_map(|(base, ror4)| Operand2::Imm { base, ror4 }),
+    ];
+    let cond = (0u32..15).prop_map(Cond::from_bits); // skip Nv for variety
+    prop_oneof![
+        (cond.clone(), dp_ops, any::<bool>(), any_low_reg(), any_low_reg(), op2).prop_map(
+            |(cond, op, s, rd, rn, op2)| {
+                let s = s || op.is_compare();
+                let rd = if op.is_compare() { Reg::R0 } else { rd };
+                let rn = if op.ignores_rn() { Reg::R0 } else { rn };
+                Insn::Dp { cond, op, s, rd, rn, op2 }
+            }
+        ),
+        (cond.clone(), any::<bool>(), any_low_reg(), any::<u16>())
+            .prop_map(|(cond, top, rd, imm)| Insn::MovW { cond, top, rd, imm }),
+        (
+            cond,
+            prop_oneof![
+                Just(MulOp::Mul),
+                Just(MulOp::Udiv),
+                Just(MulOp::Sdiv),
+                Just(MulOp::Urem),
+                Just(MulOp::Srem),
+                Just(MulOp::Lslv),
+                Just(MulOp::Lsrv),
+                Just(MulOp::Asrv),
+                Just(MulOp::Rorv),
+            ],
+            any::<bool>(),
+            any_low_reg(),
+            any_low_reg(),
+            any_low_reg()
+        )
+            .prop_map(|(cond, op, s, rd, rn, rm)| Insn::Mul {
+                cond,
+                op,
+                s,
+                rd,
+                rn,
+                rm,
+                ra: Reg::R0
+            }),
+    ]
+}
+
+fn load_program(sys: &mut System<NullDevice>, insns: &[Insn], seeds: &[u32; 11]) {
+    let base = 0x0001_0000u32;
+    let mut addr = base;
+    for insn in insns {
+        sys.mem.phys.write(addr, MemSize::Word, encode(insn));
+        addr += 4;
+    }
+    sys.mem.phys.write(addr, MemSize::Word, encode(&Insn::Halt { cond: Cond::Al }));
+    sys.cpu.pc = base;
+    for (i, &v) in seeds.iter().enumerate() {
+        sys.cpu.regs.set(Reg::from_index(i as u32), Mode::Svc, v);
+    }
+}
+
+fn run(sys: &mut System<NullDevice>, max: u64) {
+    for _ in 0..max {
+        match sys.step() {
+            StepOutcome::Halted => return,
+            StepOutcome::LockedUp => panic!("lockup"),
+            StepOutcome::Executed => {}
+        }
+    }
+    panic!("did not halt");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Random ALU programs retire identically in atomic and detailed mode:
+    /// caches, TLBs and the predictor are architecturally invisible.
+    #[test]
+    fn atomic_detailed_equivalence(
+        insns in prop::collection::vec(any_safe_insn(), 1..60),
+        seeds in prop::array::uniform11(any::<u32>()),
+    ) {
+        let mut det = machine(MachineConfig::cortex_a9());
+        let mut atm = machine(MachineConfig::cortex_a9().atomic());
+        load_program(&mut det, &insns, &seeds);
+        load_program(&mut atm, &insns, &seeds);
+        run(&mut det, 10_000);
+        run(&mut atm, 10_000);
+        for i in 0..11u32 {
+            let r = Reg::from_index(i);
+            prop_assert_eq!(
+                det.cpu.regs.get(r, Mode::Svc),
+                atm.cpu.regs.get(r, Mode::Svc),
+                "r{} differs", i
+            );
+        }
+        prop_assert_eq!(det.cpu.cpsr.to_bits(), atm.cpu.cpsr.to_bits(), "flags differ");
+        prop_assert_eq!(det.cpu.counters.instructions, atm.cpu.counters.instructions);
+    }
+
+    /// ADD/SUB flag semantics agree with the host's widening arithmetic.
+    #[test]
+    fn add_sub_flags_match_host(a in any::<u32>(), b in any::<u32>()) {
+        // ADDS r2, r0, r1
+        let mut sys = machine(MachineConfig::cortex_a9().atomic());
+        let insns = [Insn::Dp {
+            cond: Cond::Al,
+            op: DpOp::Add,
+            s: true,
+            rd: Reg::R2,
+            rn: Reg::R0,
+            op2: Operand2::Reg(ShiftedReg::plain(Reg::R1)),
+        }];
+        let mut seeds = [0u32; 11];
+        seeds[0] = a;
+        seeds[1] = b;
+        load_program(&mut sys, &insns, &seeds);
+        run(&mut sys, 10);
+        let sum = a.wrapping_add(b);
+        prop_assert_eq!(sys.cpu.regs.get(Reg::R2, Mode::Svc), sum);
+        prop_assert_eq!(sys.cpu.cpsr.c, (a as u64 + b as u64) > u32::MAX as u64);
+        prop_assert_eq!(sys.cpu.cpsr.v, (a as i32).checked_add(b as i32).is_none());
+        prop_assert_eq!(sys.cpu.cpsr.z, sum == 0);
+        prop_assert_eq!(sys.cpu.cpsr.n, (sum as i32) < 0);
+
+        // SUBS r2, r0, r1: C = no borrow.
+        let mut sys = machine(MachineConfig::cortex_a9().atomic());
+        let insns = [Insn::Dp {
+            cond: Cond::Al,
+            op: DpOp::Sub,
+            s: true,
+            rd: Reg::R2,
+            rn: Reg::R0,
+            op2: Operand2::Reg(ShiftedReg::plain(Reg::R1)),
+        }];
+        load_program(&mut sys, &insns, &seeds);
+        run(&mut sys, 10);
+        prop_assert_eq!(sys.cpu.regs.get(Reg::R2, Mode::Svc), a.wrapping_sub(b));
+        prop_assert_eq!(sys.cpu.cpsr.c, a >= b);
+        prop_assert_eq!(sys.cpu.cpsr.v, (a as i32).checked_sub(b as i32).is_none());
+    }
+
+    /// Division semantics: divide-by-zero yields zero, as on ARMv7-R.
+    #[test]
+    fn division_by_zero_yields_zero(a in any::<u32>()) {
+        let mut sys = machine(MachineConfig::cortex_a9().atomic());
+        let insns = [
+            Insn::Mul {
+                cond: Cond::Al,
+                op: MulOp::Udiv,
+                s: false,
+                rd: Reg::R2,
+                rn: Reg::R0,
+                rm: Reg::R1,
+                ra: Reg::R0,
+            },
+            Insn::Mul {
+                cond: Cond::Al,
+                op: MulOp::Srem,
+                s: false,
+                rd: Reg::R3,
+                rn: Reg::R0,
+                rm: Reg::R1,
+                ra: Reg::R0,
+            },
+        ];
+        let mut seeds = [0u32; 11];
+        seeds[0] = a;
+        seeds[1] = 0;
+        load_program(&mut sys, &insns, &seeds);
+        run(&mut sys, 10);
+        prop_assert_eq!(sys.cpu.regs.get(Reg::R2, Mode::Svc), 0);
+        prop_assert_eq!(sys.cpu.regs.get(Reg::R3, Mode::Svc), 0);
+    }
+
+    /// Long multiplies produce the full 64-bit product.
+    #[test]
+    fn long_multiply_is_exact(a in any::<u32>(), b in any::<u32>()) {
+        for (op, wide) in [
+            (MulOp::Umull, a as u64 * b as u64),
+            (MulOp::Smull, (a as i32 as i64 * b as i32 as i64) as u64),
+        ] {
+            let mut sys = machine(MachineConfig::cortex_a9().atomic());
+            let insns = [Insn::Mul {
+                cond: Cond::Al,
+                op,
+                s: false,
+                rd: Reg::R2,
+                rn: Reg::R0,
+                rm: Reg::R1,
+                ra: Reg::R3,
+            }];
+            let mut seeds = [0u32; 11];
+            seeds[0] = a;
+            seeds[1] = b;
+            load_program(&mut sys, &insns, &seeds);
+            run(&mut sys, 10);
+            prop_assert_eq!(sys.cpu.regs.get(Reg::R2, Mode::Svc), wide as u32);
+            prop_assert_eq!(sys.cpu.regs.get(Reg::R3, Mode::Svc), (wide >> 32) as u32);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the memory hierarchy: against a flat reference
+//! model, the cache stack must be invisible to a single coherent agent —
+//! any interleaving of reads, writes, fetches, walks and flushes.
+
+use proptest::prelude::*;
+use sea_isa::MemSize;
+use sea_microarch::{Counters, MachineConfig, MemSystem};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write { addr: u32, size: MemSize, value: u32 },
+    Read { addr: u32, size: MemSize },
+    Fetch { addr: u32 },
+    WalkRead { addr: u32 },
+    Flush,
+}
+
+fn aligned(addr: u32, size: MemSize) -> u32 {
+    addr & !(size.bytes() - 1)
+}
+
+fn any_size() -> impl Strategy<Value = MemSize> {
+    prop_oneof![Just(MemSize::Word), Just(MemSize::Byte), Just(MemSize::Half)]
+}
+
+fn any_op(mem_bytes: u32) -> impl Strategy<Value = Op> {
+    let addr = 0u32..(mem_bytes - 4);
+    prop_oneof![
+        (addr.clone(), any_size(), any::<u32>())
+            .prop_map(|(a, s, v)| Op::Write { addr: aligned(a, s), size: s, value: v }),
+        (addr.clone(), any_size()).prop_map(|(a, s)| Op::Read { addr: aligned(a, s), size: s }),
+        addr.clone().prop_map(|a| Op::Fetch { addr: a & !3 }),
+        addr.prop_map(|a| Op::WalkRead { addr: a & !3 }),
+        Just(Op::Flush),
+    ]
+}
+
+/// A tiny machine config so evictions and conflicts happen constantly.
+fn tiny_machine() -> MachineConfig {
+    let mut cfg = MachineConfig::cortex_a9_scaled();
+    cfg.l1i.size_bytes = 512;
+    cfg.l1i.ways = 2;
+    cfg.l1d.size_bytes = 512;
+    cfg.l1d.ways = 2;
+    cfg.l2.size_bytes = 2048;
+    cfg.l2.ways = 2;
+    cfg.mem_bytes = 64 * 1024;
+    cfg
+}
+
+fn mask(size: MemSize) -> u32 {
+    match size {
+        MemSize::Byte => 0xFF,
+        MemSize::Half => 0xFFFF,
+        MemSize::Word => u32::MAX,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Under any operation mix, every read path agrees with a flat byte
+    /// array (single-agent coherence across L1I/L1D/L2/DRAM + flushes).
+    #[test]
+    fn hierarchy_is_coherent_against_flat_model(ops in prop::collection::vec(any_op(64 * 1024), 1..200)) {
+        let cfg = tiny_machine();
+        let mut sys = MemSystem::new(&cfg);
+        let mut flat = vec![0u8; cfg.mem_bytes as usize];
+        let mut ctr = Counters::default();
+        for op in &ops {
+            match *op {
+                Op::Write { addr, size, value } => {
+                    sys.write_data(addr, size, value, &mut ctr);
+                    let v = value & mask(size);
+                    for b in 0..size.bytes() {
+                        flat[(addr + b) as usize] = (v >> (8 * b)) as u8;
+                    }
+                }
+                Op::Read { addr, size } => {
+                    let (got, _) = sys.read_data(addr, size, &mut ctr);
+                    let mut want = 0u32;
+                    for b in 0..size.bytes() {
+                        want |= (flat[(addr + b) as usize] as u32) << (8 * b);
+                    }
+                    prop_assert_eq!(got, want, "read {:#x} {:?}", addr, size);
+                }
+                Op::Fetch { addr } => {
+                    let (got, _) = sys.fetch(addr, &mut ctr);
+                    // I-fetch coherence holds after flushes; mid-stream it
+                    // may see stale text (real ARM behaves the same), so we
+                    // only check that it returns *some* value without
+                    // disturbing data coherence.
+                    let _ = got;
+                }
+                Op::WalkRead { addr } => {
+                    let (got, _) = sys.walk_read(addr, &mut ctr);
+                    // Walks go through L2 only; they may be stale with
+                    // respect to dirty L1D lines (hardware walkers share
+                    // this hazard until tables are cleaned), so assert only
+                    // totality here.
+                    let _ = got;
+                }
+                Op::Flush => sys.clean_invalidate_all(),
+            }
+        }
+        // After a final flush, DRAM itself must equal the flat model.
+        sys.clean_invalidate_all();
+        for (i, &b) in flat.iter().enumerate() {
+            prop_assert_eq!(sys.phys.read(i as u32, MemSize::Byte) as u8, b, "byte {:#x}", i);
+        }
+    }
+
+    /// `peek` never perturbs subsequent reads (it is a pure observer).
+    #[test]
+    fn peek_is_side_effect_free(
+        writes in prop::collection::vec((0u32..1024, any::<u32>()), 1..40),
+        probes in prop::collection::vec(0u32..1024, 1..40),
+    ) {
+        let cfg = tiny_machine();
+        let mut a = MemSystem::new(&cfg);
+        let mut b = MemSystem::new(&cfg);
+        let mut ctr = Counters::default();
+        for &(addr, v) in &writes {
+            let addr = addr & !3;
+            a.write_data(addr, MemSize::Word, v, &mut ctr);
+            b.write_data(addr, MemSize::Word, v, &mut ctr);
+        }
+        // Peek storm on `a` only.
+        for &p in &probes {
+            let _ = a.peek(p & !3, MemSize::Word);
+        }
+        // Both systems must still read identically.
+        for &(addr, _) in &writes {
+            let addr = addr & !3;
+            let (va, _) = a.read_data(addr, MemSize::Word, &mut ctr);
+            let (vb, _) = b.read_data(addr, MemSize::Word, &mut ctr);
+            prop_assert_eq!(va, vb);
+        }
+    }
+
+    /// Fetch coherence after a clean+invalidate: the I-side sees every
+    /// committed data write.
+    #[test]
+    fn fetch_sees_writes_after_flush(
+        writes in prop::collection::vec((0u32..2048, any::<u32>()), 1..30),
+    ) {
+        let cfg = tiny_machine();
+        let mut sys = MemSystem::new(&cfg);
+        let mut flat = vec![0u8; cfg.mem_bytes as usize];
+        let mut ctr = Counters::default();
+        for &(addr, v) in &writes {
+            let addr = addr & !3;
+            sys.write_data(addr, MemSize::Word, v, &mut ctr);
+            flat[addr as usize..addr as usize + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        sys.clean_invalidate_all();
+        for &(addr, _) in &writes {
+            let addr = addr & !3;
+            let (got, _) = sys.fetch(addr, &mut ctr);
+            let want = u32::from_le_bytes(flat[addr as usize..addr as usize + 4].try_into().unwrap());
+            prop_assert_eq!(got, want, "fetch {:#x}", addr);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The Zynq-like board model.
+//!
+//! [`Board`] implements the machine's memory-mapped device block: UART,
+//! the mailbox the kernel reports through (output bytes, alive pings, exit/
+//! signal/panic codes, tick heartbeat) and the timer that drives the
+//! kernel's scheduler tick. It is the simulation-side equivalent of the
+//! paper's host PC + serial/ethernet harness (§IV-B): everything the beam
+//! operators could observe about a run is observable here.
+
+use sea_isa::MemSize;
+use sea_kernel::mmio;
+use sea_microarch::Device;
+
+/// Default cap on collected application output (bytes). A corrupted
+/// program spewing output past this mark is recorded as an overflow and the
+/// surplus discarded, like a full log disk at the beam site.
+pub const DEFAULT_OUTPUT_CAP: usize = 1 << 20;
+
+/// The board's device block and observation state.
+#[derive(Clone, Debug)]
+pub struct Board {
+    now: u64,
+    // UART console (kernel debug channel).
+    uart: Vec<u8>,
+    // Application output channel (compared against the golden output).
+    out: Vec<u8>,
+    out_cap: usize,
+    out_overflow: bool,
+    // Heartbeats.
+    alive_count: u64,
+    last_alive: u64,
+    tick_count: u64,
+    last_tick: u64,
+    // Terminal reports.
+    exit_code: Option<u32>,
+    signal_code: Option<u32>,
+    panic_code: Option<u32>,
+    // Timer device.
+    timer_period: u32,
+    timer_enabled: bool,
+    timer_next: u64,
+    irq_pending: bool,
+}
+
+impl Board {
+    /// A fresh board with the default output cap.
+    pub fn new() -> Board {
+        Board::with_output_cap(DEFAULT_OUTPUT_CAP)
+    }
+
+    /// A fresh board with a custom output cap.
+    pub fn with_output_cap(out_cap: usize) -> Board {
+        Board {
+            now: 0,
+            uart: Vec::new(),
+            out: Vec::new(),
+            out_cap,
+            out_overflow: false,
+            alive_count: 0,
+            last_alive: 0,
+            tick_count: 0,
+            last_tick: 0,
+            exit_code: None,
+            signal_code: None,
+            panic_code: None,
+            timer_period: 0,
+            timer_enabled: false,
+            timer_next: u64::MAX,
+            irq_pending: false,
+        }
+    }
+
+    /// Application output collected so far.
+    pub fn output(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// True if the application wrote more than the cap.
+    pub fn output_overflowed(&self) -> bool {
+        self.out_overflow
+    }
+
+    /// UART console bytes.
+    pub fn console(&self) -> &[u8] {
+        &self.uart
+    }
+
+    /// Exit code reported via `MBOX_EXIT`, if any.
+    pub fn exit_code(&self) -> Option<u32> {
+        self.exit_code
+    }
+
+    /// Fatal-signal code reported via `MBOX_SIGNAL`, if any.
+    pub fn signal_code(&self) -> Option<u32> {
+        self.signal_code
+    }
+
+    /// Kernel-panic code reported via `MBOX_PANIC`, if any.
+    pub fn panic_code(&self) -> Option<u32> {
+        self.panic_code
+    }
+
+    /// Number of alive pings received.
+    pub fn alive_count(&self) -> u64 {
+        self.alive_count
+    }
+
+    /// Cycle of the most recent kernel tick heartbeat.
+    pub fn last_tick(&self) -> u64 {
+        self.last_tick
+    }
+
+    /// Number of kernel ticks observed.
+    pub fn tick_count(&self) -> u64 {
+        self.tick_count
+    }
+
+    /// Cycle of the most recent alive ping.
+    pub fn last_alive(&self) -> u64 {
+        self.last_alive
+    }
+}
+
+impl Default for Board {
+    fn default() -> Self {
+        Board::new()
+    }
+}
+
+impl Device for Board {
+    fn read(&mut self, offset: u32, _size: MemSize) -> u32 {
+        match offset {
+            mmio::MBOX_EXIT => self.exit_code.unwrap_or(0),
+            mmio::MBOX_TICK => self.tick_count as u32,
+            mmio::TIMER_PERIOD => self.timer_period,
+            mmio::TIMER_CTRL => self.timer_enabled as u32,
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, offset: u32, _size: MemSize, value: u32) {
+        match offset {
+            mmio::UART_TX => self.uart.push(value as u8),
+            mmio::MBOX_OUT => {
+                if self.out.len() < self.out_cap {
+                    self.out.push(value as u8);
+                } else {
+                    self.out_overflow = true;
+                }
+            }
+            mmio::MBOX_ALIVE => {
+                self.alive_count += 1;
+                self.last_alive = self.now;
+            }
+            mmio::MBOX_EXIT => self.exit_code = Some(value),
+            mmio::MBOX_SIGNAL => self.signal_code = Some(value),
+            mmio::MBOX_PANIC => self.panic_code = Some(value),
+            mmio::MBOX_TICK => {
+                self.tick_count += 1;
+                self.last_tick = self.now;
+            }
+            mmio::TIMER_PERIOD => self.timer_period = value,
+            mmio::TIMER_CTRL => {
+                self.timer_enabled = value & 1 != 0;
+                if self.timer_enabled && self.timer_period > 0 {
+                    self.timer_next = self.now + self.timer_period as u64;
+                } else {
+                    self.timer_next = u64::MAX;
+                }
+            }
+            mmio::TIMER_ACK => self.irq_pending = false,
+            _ => {} // writes to unimplemented registers are ignored
+        }
+    }
+
+    fn poll_irq(&mut self, now: u64) -> bool {
+        self.now = now;
+        if self.timer_enabled && !self.irq_pending && now >= self.timer_next {
+            self.irq_pending = true;
+            // Catch up so a long stall doesn't queue a burst of ticks.
+            while self.timer_next <= now {
+                self.timer_next += self.timer_period.max(1) as u64;
+            }
+        }
+        self.irq_pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_fires_after_period_and_ack_clears() {
+        let mut b = Board::new();
+        b.write(mmio::TIMER_PERIOD, MemSize::Word, 100);
+        b.write(mmio::TIMER_CTRL, MemSize::Word, 1);
+        assert!(!b.poll_irq(50));
+        assert!(b.poll_irq(100));
+        assert!(b.poll_irq(120)); // level-triggered until acked
+        b.write(mmio::TIMER_ACK, MemSize::Word, 0);
+        assert!(!b.poll_irq(150));
+        assert!(b.poll_irq(200));
+    }
+
+    #[test]
+    fn output_cap_flags_overflow() {
+        let mut b = Board::with_output_cap(2);
+        b.write(mmio::MBOX_OUT, MemSize::Byte, b'a' as u32);
+        b.write(mmio::MBOX_OUT, MemSize::Byte, b'b' as u32);
+        b.write(mmio::MBOX_OUT, MemSize::Byte, b'c' as u32);
+        assert_eq!(b.output(), b"ab");
+        assert!(b.output_overflowed());
+    }
+
+    #[test]
+    fn heartbeats_record_cycles() {
+        let mut b = Board::new();
+        b.poll_irq(500);
+        b.write(mmio::MBOX_TICK, MemSize::Word, 1);
+        b.write(mmio::MBOX_ALIVE, MemSize::Word, 0);
+        assert_eq!(b.last_tick(), 500);
+        assert_eq!(b.last_alive(), 500);
+        assert_eq!(b.tick_count(), 1);
+        assert_eq!(b.alive_count(), 1);
+    }
+}

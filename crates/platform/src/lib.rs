@@ -1,0 +1,24 @@
+//! # sea-platform — the Zynq-like board model and run harness
+//!
+//! This crate plays the role of the paper's physical test infrastructure
+//! (§IV-B): the Xilinx ZedBoard peripherals the kernel talks to, plus the
+//! host-PC harness that watches "Alive" messages, compares outputs against
+//! a golden reference, restarts crashed applications, and classifies every
+//! run as Masked / SDC / Application Crash / System Crash.
+//!
+//! * [`Board`] — the memory-mapped device block (UART, mailbox, timer).
+//! * [`run`] / [`RunLimits`] — step the machine to a terminal state.
+//! * [`classify`] / [`FaultClass`] — the paper's four effect classes.
+//! * [`golden_run`] — fault-free reference execution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod board;
+mod run;
+
+pub use board::{Board, DEFAULT_OUTPUT_CAP};
+pub use run::{
+    boot, classify, golden_run, postmortem, run, AppCrashKind, ClassCounts, FaultClass,
+    GoldenError, GoldenRun, RunLimits, RunOutcome, SysCrashKind,
+};

@@ -1,0 +1,349 @@
+//! The run harness: boots the machine, watches the board, and classifies
+//! each run the way the paper's beam harness does (§IV-B).
+
+use std::fmt;
+
+use sea_isa::Image;
+use sea_kernel::{install, BootInfo, InstallError, KernelConfig};
+use sea_microarch::{MachineConfig, StepOutcome, System};
+
+use crate::board::Board;
+
+/// Why a run counted as an Application Crash.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AppCrashKind {
+    /// The kernel delivered a fatal signal (ESR code attached).
+    Signal(u32),
+    /// The application stopped making progress while the kernel kept
+    /// ticking — the beam harness's "board reachable, app restarted" case.
+    Hang,
+}
+
+/// Why a run counted as a System Crash.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SysCrashKind {
+    /// The kernel panicked (ESR code attached).
+    Panic(u32),
+    /// Kernel tick heartbeats stopped — the "no connection to the board"
+    /// case.
+    KernelHang,
+    /// The core could not reach its exception vectors.
+    LockedUp,
+    /// The machine executed HALT outside the expected power-off path.
+    UnexpectedHalt,
+}
+
+/// Terminal state of one run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// The application exited; payload is the exit code and output.
+    Exited {
+        /// Exit code passed to `exit()`.
+        code: u32,
+        /// Collected output bytes.
+        output: Vec<u8>,
+        /// Whether output exceeded the cap.
+        overflow: bool,
+    },
+    /// Application crash.
+    AppCrash(AppCrashKind),
+    /// System crash.
+    SysCrash(SysCrashKind),
+}
+
+/// The paper's four fault-effect classes (§IV-C).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FaultClass {
+    /// No observable effect.
+    Masked,
+    /// Silent data corruption: wrong output with a normal exit.
+    Sdc,
+    /// Application crash.
+    AppCrash,
+    /// System crash.
+    SysCrash,
+}
+
+impl FaultClass {
+    /// All classes in reporting order.
+    pub const ALL: [FaultClass; 4] =
+        [FaultClass::Masked, FaultClass::Sdc, FaultClass::AppCrash, FaultClass::SysCrash];
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultClass::Masked => "Masked",
+            FaultClass::Sdc => "SDC",
+            FaultClass::AppCrash => "AppCrash",
+            FaultClass::SysCrash => "SysCrash",
+        })
+    }
+}
+
+
+/// Per-class tallies of classified runs.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ClassCounts {
+    /// No observable effect.
+    pub masked: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+    /// Application crashes.
+    pub app_crash: u64,
+    /// System crashes.
+    pub sys_crash: u64,
+}
+
+impl ClassCounts {
+    /// Adds one observation.
+    pub fn add(&mut self, class: FaultClass) {
+        match class {
+            FaultClass::Masked => self.masked += 1,
+            FaultClass::Sdc => self.sdc += 1,
+            FaultClass::AppCrash => self.app_crash += 1,
+            FaultClass::SysCrash => self.sys_crash += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.masked + self.sdc + self.app_crash + self.sys_crash
+    }
+
+    /// Architectural vulnerability factor: fraction of non-masked runs.
+    pub fn avf(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.total() - self.masked) as f64 / self.total() as f64
+    }
+
+    /// Count in one class.
+    pub fn count(&self, class: FaultClass) -> u64 {
+        match class {
+            FaultClass::Masked => self.masked,
+            FaultClass::Sdc => self.sdc,
+            FaultClass::AppCrash => self.app_crash,
+            FaultClass::SysCrash => self.sys_crash,
+        }
+    }
+
+    /// Fraction of runs in one class.
+    pub fn rate(&self, class: FaultClass) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.count(class) as f64 / self.total() as f64
+    }
+}
+
+/// Classifies a finished run against the golden output.
+pub fn classify(outcome: &RunOutcome, golden: &[u8]) -> FaultClass {
+    match outcome {
+        RunOutcome::Exited { code, output, overflow } => {
+            if *code == 0 && !*overflow && output == golden {
+                FaultClass::Masked
+            } else {
+                FaultClass::Sdc
+            }
+        }
+        RunOutcome::AppCrash(_) => FaultClass::AppCrash,
+        RunOutcome::SysCrash(_) => FaultClass::SysCrash,
+    }
+}
+
+/// Watchdog and budget limits for a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunLimits {
+    /// Hard cycle budget; exceeding it is a hang.
+    pub max_cycles: u64,
+    /// If the kernel's tick heartbeat is older than this when the budget
+    /// expires (or terminal states never arrive), the kernel is dead.
+    pub tick_window: u64,
+}
+
+impl RunLimits {
+    /// Limits derived from a golden run: budget = `factor`× golden cycles
+    /// (+ slack), tick window = 10 tick periods.
+    pub fn from_golden(golden_cycles: u64, tick_period: u32) -> RunLimits {
+        RunLimits {
+            max_cycles: golden_cycles * 3 + 100_000,
+            tick_window: 10 * tick_period as u64,
+        }
+    }
+}
+
+/// Steps the machine until a terminal condition and returns the outcome.
+///
+/// Terminal conditions, in priority order: kernel panic, fatal signal,
+/// application exit, vector lock-up, unexpected halt, cycle budget
+/// exhaustion (split into app-hang vs kernel-hang by the tick heartbeat).
+pub fn run(sys: &mut System<Board>, limits: RunLimits) -> RunOutcome {
+    loop {
+        let step = sys.step();
+        let now = sys.cycles();
+        if let Some(code) = sys.dev.panic_code() {
+            return RunOutcome::SysCrash(SysCrashKind::Panic(code));
+        }
+        if let Some(code) = sys.dev.signal_code() {
+            return RunOutcome::AppCrash(AppCrashKind::Signal(code));
+        }
+        if let Some(code) = sys.dev.exit_code() {
+            return RunOutcome::Exited {
+                code,
+                output: sys.dev.output().to_vec(),
+                overflow: sys.dev.output_overflowed(),
+            };
+        }
+        match step {
+            StepOutcome::LockedUp => return RunOutcome::SysCrash(SysCrashKind::LockedUp),
+            StepOutcome::Halted => return RunOutcome::SysCrash(SysCrashKind::UnexpectedHalt),
+            StepOutcome::Executed => {}
+        }
+        if now > limits.max_cycles {
+            let kernel_alive = sys.dev.tick_count() > 0
+                && now.saturating_sub(sys.dev.last_tick()) <= limits.tick_window;
+            return if kernel_alive {
+                RunOutcome::AppCrash(AppCrashKind::Hang)
+            } else {
+                RunOutcome::SysCrash(SysCrashKind::KernelHang)
+            };
+        }
+    }
+}
+
+/// Builds a machine, installs the kernel and `user`, and returns it ready
+/// to run (CPU at the reset vector).
+///
+/// # Errors
+///
+/// Propagates [`InstallError`] from the loader.
+pub fn boot(
+    machine: MachineConfig,
+    user: &Image,
+    kernel: &KernelConfig,
+) -> Result<(System<Board>, BootInfo), InstallError> {
+    let mut sys = System::new(machine, Board::new());
+    let info = install(&mut sys, user, kernel)?;
+    Ok((sys, info))
+}
+
+/// Result of a fault-free reference execution.
+#[derive(Clone, Debug)]
+pub struct GoldenRun {
+    /// The reference output.
+    pub output: Vec<u8>,
+    /// Exit code (must be 0 for a usable golden run).
+    pub exit_code: u32,
+    /// Total cycles to completion.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Full performance-counter snapshot.
+    pub counters: sea_microarch::Counters,
+    /// Boot information (heap placement etc.).
+    pub boot: BootInfo,
+}
+
+/// Errors from a golden (fault-free) run.
+#[derive(Clone, Debug)]
+pub enum GoldenError {
+    /// Install failed.
+    Install(InstallError),
+    /// The fault-free run did not exit cleanly — the workload is broken.
+    NotClean(RunOutcome),
+}
+
+impl fmt::Display for GoldenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoldenError::Install(e) => write!(f, "install failed: {e}"),
+            GoldenError::NotClean(o) => write!(f, "golden run did not exit cleanly: {o:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GoldenError {}
+
+/// Runs `user` fault-free to completion and captures the reference data
+/// every campaign compares against.
+///
+/// ```no_run
+/// use sea_platform::golden_run;
+/// use sea_kernel::KernelConfig;
+/// use sea_microarch::MachineConfig;
+/// # fn image() -> sea_isa::Image { unimplemented!() }
+///
+/// # fn main() -> Result<(), sea_platform::GoldenError> {
+/// let g = golden_run(MachineConfig::cortex_a9(), &image(), &KernelConfig::default(), 50_000_000)?;
+/// println!("{} cycles, {} output bytes", g.cycles, g.output.len());
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Fails if the program cannot be installed or does not exit cleanly
+/// within `budget_cycles`.
+pub fn golden_run(
+    machine: MachineConfig,
+    user: &Image,
+    kernel: &KernelConfig,
+    budget_cycles: u64,
+) -> Result<GoldenRun, GoldenError> {
+    let (mut sys, boot) = boot(machine, user, kernel).map_err(GoldenError::Install)?;
+    let limits = RunLimits { max_cycles: budget_cycles, tick_window: u64::MAX };
+    match run(&mut sys, limits) {
+        RunOutcome::Exited { code: 0, output, overflow: false } => Ok(GoldenRun {
+            output,
+            exit_code: 0,
+            cycles: sys.cycles(),
+            instructions: sys.cpu.counters.instructions,
+            counters: sys.cpu.counters,
+            boot,
+        }),
+        other => Err(GoldenError::NotClean(other)),
+    }
+}
+
+/// Renders a post-mortem report of a stopped machine: core state, fault
+/// registers, board observations, and (when tracing is enabled) the final
+/// PCs — the view an engineer gets from a debugger after a beam crash.
+pub fn postmortem(sys: &System<Board>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let cpu = &sys.cpu;
+    let _ = writeln!(out, "== postmortem ==");
+    let _ = writeln!(
+        out,
+        "pc={:#010x} mode={:?} elr={:#010x} esr={:#010x} far={:#010x}",
+        cpu.pc, cpu.cpsr.mode, cpu.elr, cpu.esr, cpu.far
+    );
+    let _ = writeln!(
+        out,
+        "cycles={} instructions={} ticks={} alive={} last_tick@{}",
+        cpu.counters.cycles,
+        cpu.counters.instructions,
+        sys.dev.tick_count(),
+        sys.dev.alive_count(),
+        sys.dev.last_tick()
+    );
+    let _ = writeln!(
+        out,
+        "exit={:?} signal={:?} panic={:?} output_bytes={}",
+        sys.dev.exit_code(),
+        sys.dev.signal_code(),
+        sys.dev.panic_code(),
+        sys.dev.output().len()
+    );
+    let trace = cpu.trace();
+    if !trace.is_empty() {
+        let _ = write!(out, "trace:");
+        for pc in trace {
+            let _ = write!(out, " {pc:#x}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}

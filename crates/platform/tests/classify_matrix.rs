@@ -1,0 +1,59 @@
+//! Exhaustive classification matrix: every RunOutcome × golden-output
+//! combination maps to the paper's intended class.
+
+use sea_platform::{classify, AppCrashKind, ClassCounts, FaultClass, RunOutcome, SysCrashKind};
+
+#[test]
+fn exit_zero_matching_output_is_masked() {
+    let out = RunOutcome::Exited { code: 0, output: b"ok".to_vec(), overflow: false };
+    assert_eq!(classify(&out, b"ok"), FaultClass::Masked);
+}
+
+#[test]
+fn any_output_deviation_is_sdc() {
+    for out in [
+        RunOutcome::Exited { code: 0, output: b"bad".to_vec(), overflow: false },
+        RunOutcome::Exited { code: 1, output: b"ok".to_vec(), overflow: false },
+        RunOutcome::Exited { code: 0, output: b"ok".to_vec(), overflow: true },
+        RunOutcome::Exited { code: 0, output: Vec::new(), overflow: false },
+    ] {
+        assert_eq!(classify(&out, b"ok"), FaultClass::Sdc, "{out:?}");
+    }
+}
+
+#[test]
+fn crash_kinds_map_to_their_classes() {
+    for kind in [AppCrashKind::Signal(7), AppCrashKind::Hang] {
+        assert_eq!(classify(&RunOutcome::AppCrash(kind), b""), FaultClass::AppCrash);
+    }
+    for kind in [
+        SysCrashKind::Panic(1),
+        SysCrashKind::KernelHang,
+        SysCrashKind::LockedUp,
+        SysCrashKind::UnexpectedHalt,
+    ] {
+        assert_eq!(classify(&RunOutcome::SysCrash(kind), b""), FaultClass::SysCrash);
+    }
+}
+
+#[test]
+fn class_counts_bookkeeping() {
+    let mut c = ClassCounts::default();
+    for class in FaultClass::ALL {
+        c.add(class);
+        c.add(class);
+    }
+    assert_eq!(c.total(), 8);
+    assert_eq!(c.avf(), 0.75);
+    for class in FaultClass::ALL {
+        assert_eq!(c.count(class), 2);
+        assert_eq!(c.rate(class), 0.25);
+    }
+}
+
+#[test]
+fn empty_counts_have_zero_avf_and_rates() {
+    let c = ClassCounts::default();
+    assert_eq!(c.avf(), 0.0);
+    assert_eq!(c.rate(FaultClass::Sdc), 0.0);
+}

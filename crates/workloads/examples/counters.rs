@@ -1,0 +1,24 @@
+//! Prints the §IV-D counter profile of every benchmark (the 7 counters the
+//! paper compares between board and simulator).
+use sea_microarch::MachineConfig;
+use sea_platform::golden_run;
+use sea_workloads::{Scale, Workload};
+fn main() {
+    println!("{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}", "bench", "br/kinst", "brmiss%", "l1d/kinst", "l1dmiss%", "l2miss/ki", "dtlb/ki");
+    for w in Workload::ALL {
+        let b = w.build(Scale::Default);
+        let g = golden_run(MachineConfig::cortex_a9_scaled(), &b.image, &sea_kernel::KernelConfig::default(), 200_000_000).unwrap();
+        let c = g.counters;
+        let ki = g.instructions as f64 / 1000.0;
+        println!(
+            "{:<14} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.2} {:>8.2}",
+            w.name(),
+            c.branches as f64 / ki,
+            100.0 * c.branch_misses as f64 / c.branches.max(1) as f64,
+            c.l1d_access as f64 / ki,
+            100.0 * c.l1d_miss as f64 / c.l1d_access.max(1) as f64,
+            c.l2_miss as f64 / ki,
+            c.dtlb_miss as f64 / ki,
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Dijkstra — all-pairs shortest paths over an adjacency matrix (paper:
+//! 100×100 matrix, 100 paths; scaled to 24×24, 24 sources). Like MiBench's
+//! version it uses the O(V²) scan-for-minimum formulation, making it
+//! control- and memory-intensive with a small footprint.
+
+use sea_isa::{Asm, Cond, Reg, Section};
+use sea_kernel::user;
+
+use crate::input::XorShift32;
+use crate::runtime::{emit_finish, expected_output};
+use crate::{BuiltWorkload, Scale};
+
+const SEED: u32 = 0xD1D5_0001;
+const INF: u32 = 0x3FFF_FFFF;
+
+fn nodes(scale: Scale) -> usize {
+    match scale {
+        Scale::Default => 24,
+        Scale::Tiny => 8,
+    }
+}
+
+/// Generates the adjacency matrix: weights 1..=100, ~25% of edges absent
+/// (INF), zero diagonal.
+pub fn adjacency(n: usize) -> Vec<u32> {
+    let mut rng = XorShift32::new(SEED);
+    let mut m = vec![0u32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            m[i * n + j] = if i == j {
+                0
+            } else if rng.below(4) == 0 {
+                INF
+            } else {
+                1 + rng.below(100)
+            };
+        }
+    }
+    m
+}
+
+/// Host-side reference: O(V²) Dijkstra from every source, distances
+/// concatenated.
+pub fn reference(adj: &[u32], n: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(n * n);
+    for src in 0..n {
+        let mut dist = vec![INF; n];
+        let mut visited = vec![false; n];
+        dist[src] = 0;
+        for _ in 0..n {
+            // Find the unvisited node with the smallest distance.
+            let mut best = INF;
+            let mut u = n;
+            for v in 0..n {
+                if !visited[v] && dist[v] < best {
+                    best = dist[v];
+                    u = v;
+                }
+            }
+            if u == n {
+                break;
+            }
+            visited[u] = true;
+            for v in 0..n {
+                let w = adj[u * n + v];
+                if w != INF {
+                    let nd = dist[u].saturating_add(w);
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                    }
+                }
+            }
+        }
+        out.extend_from_slice(&dist);
+    }
+    out
+}
+
+/// Builds the guest program and golden output.
+pub fn build(scale: Scale) -> BuiltWorkload {
+    let n = nodes(scale);
+    let adj = adjacency(n);
+    let dists = reference(&adj, n);
+    let result: Vec<u8> = dists.iter().flat_map(|w| w.to_le_bytes()).collect();
+    let n32 = n as u32;
+
+    let mut a = Asm::new();
+    let entry = a.label("main");
+    let ladj = a.label("adj");
+    let lout = a.label("dist_out");
+    let ldist = a.label("dist");
+    let lvis = a.label("visited");
+
+    a.bind(entry).unwrap();
+    user::alive(&mut a);
+    // r8 = adj, r9 = out cursor, r10 = dist, r11 = visited, r12 = n (careful:
+    // r12 is clobbered by the finish epilogue only, which runs after).
+    a.addr(Reg::R8, ladj);
+    a.addr(Reg::R9, lout);
+    a.addr(Reg::R10, ldist);
+    a.addr(Reg::R11, lvis);
+
+    let src_loop = a.label("src_loop");
+    let init_loop = a.label("init_loop");
+    let iter_loop = a.label("iter_loop");
+    let scan_loop = a.label("scan_loop");
+    let scan_next = a.label("scan_next");
+    let relax_loop = a.label("relax_loop");
+    let relax_next = a.label("relax_next");
+    let copy_loop = a.label("copy_loop");
+    let iter_done = a.label("iter_done");
+    let src_next = a.label("src_next");
+
+    // r4 = src
+    a.mov_imm(Reg::R4, 0);
+    a.bind(src_loop).unwrap();
+    // init dist[v] = INF, visited[v] = 0; dist[src] = 0.
+    a.mov_imm(Reg::R0, 0);
+    a.mov32(Reg::R1, INF);
+    a.bind(init_loop).unwrap();
+    a.str_idx(Reg::R1, Reg::R10, Reg::R0, 2);
+    a.mov_imm(Reg::R2, 0);
+    a.strb_idx(Reg::R2, Reg::R11, Reg::R0);
+    a.add_imm(Reg::R0, Reg::R0, 1);
+    a.cmp_imm(Reg::R0, n32);
+    a.b_if(Cond::Ne, init_loop);
+    a.mov_imm(Reg::R0, 0);
+    a.str_idx(Reg::R0, Reg::R10, Reg::R4, 2);
+
+    // r5 = iteration counter
+    a.mov_imm(Reg::R5, 0);
+    a.bind(iter_loop).unwrap();
+    // scan for unvisited minimum: r6 = best dist, r7... r7 is the syscall
+    // register but no syscalls happen inside; still avoid it. Use r2 = u,
+    // r6 = best, r0 = v, r1/r3 scratch.
+    a.mov32(Reg::R6, INF);
+    a.mov32(Reg::R2, n32); // u = n (none)
+    a.mov_imm(Reg::R0, 0);
+    a.bind(scan_loop).unwrap();
+    a.ldrb_idx(Reg::R1, Reg::R11, Reg::R0);
+    a.cmp_imm(Reg::R1, 0);
+    a.b_if(Cond::Ne, scan_next);
+    a.ldr_idx(Reg::R3, Reg::R10, Reg::R0, 2);
+    a.cmp(Reg::R3, Reg::R6);
+    // Strictly smaller → new minimum; both conditional moves run under the
+    // same flags (neither sets them).
+    a.ifc(Cond::Cc).mov(Reg::R6, Reg::R3);
+    a.ifc(Cond::Cc).mov(Reg::R2, Reg::R0);
+    a.bind(scan_next).unwrap();
+    a.add_imm(Reg::R0, Reg::R0, 1);
+    a.cmp_imm(Reg::R0, n32);
+    a.b_if(Cond::Ne, scan_loop);
+    // if u == n: done
+    a.cmp_imm(Reg::R2, n32);
+    a.b_if(Cond::Eq, iter_done);
+    // visited[u] = 1
+    a.mov_imm(Reg::R0, 1);
+    a.strb_idx(Reg::R0, Reg::R11, Reg::R2);
+    // relax neighbors: base r3 = adj + u*n*4
+    a.mov32(Reg::R0, n32);
+    a.mul(Reg::R3, Reg::R2, Reg::R0);
+    a.lsl(Reg::R3, Reg::R3, 2);
+    a.add(Reg::R3, Reg::R8, Reg::R3);
+    // r6 = dist[u]
+    a.ldr_idx(Reg::R6, Reg::R10, Reg::R2, 2);
+    a.mov_imm(Reg::R0, 0); // v
+    a.bind(relax_loop).unwrap();
+    a.ldr_idx(Reg::R1, Reg::R3, Reg::R0, 2); // w = adj[u][v]
+    a.mov32(Reg::R12, INF);
+    a.cmp(Reg::R1, Reg::R12);
+    a.b_if(Cond::Eq, relax_next);
+    a.add(Reg::R1, Reg::R6, Reg::R1); // nd = dist[u] + w (no overflow: INF is small)
+    a.ldr_idx(Reg::R12, Reg::R10, Reg::R0, 2);
+    a.cmp(Reg::R1, Reg::R12);
+    a.ifc(Cond::Cc).str_idx(Reg::R1, Reg::R10, Reg::R0, 2);
+    a.bind(relax_next).unwrap();
+    a.add_imm(Reg::R0, Reg::R0, 1);
+    a.cmp_imm(Reg::R0, n32);
+    a.b_if(Cond::Ne, relax_loop);
+    // next iteration
+    a.add_imm(Reg::R5, Reg::R5, 1);
+    a.cmp_imm(Reg::R5, n32);
+    a.b_if(Cond::Ne, iter_loop);
+    a.bind(iter_done).unwrap();
+    // copy dist[] to the output cursor
+    a.mov_imm(Reg::R0, 0);
+    a.bind(copy_loop).unwrap();
+    a.ldr_idx(Reg::R1, Reg::R10, Reg::R0, 2);
+    a.str_post(Reg::R1, Reg::R9, 4);
+    a.add_imm(Reg::R0, Reg::R0, 1);
+    a.cmp_imm(Reg::R0, n32);
+    a.b_if(Cond::Ne, copy_loop);
+    a.bind(src_next).unwrap();
+    a.add_imm(Reg::R4, Reg::R4, 1);
+    a.cmp_imm(Reg::R4, n32);
+    a.b_if(Cond::Ne, src_loop);
+
+    emit_finish(&mut a, lout, (n * n * 4) as u32);
+
+    a.section(Section::Data);
+    a.bind(ladj).unwrap();
+    a.words(&adj);
+    a.section(Section::Bss);
+    a.bind(lout).unwrap();
+    a.zero((n * n * 4) as u32);
+    a.bind(ldist).unwrap();
+    a.zero(n as u32 * 4);
+    a.bind(lvis).unwrap();
+    a.zero(n as u32);
+    a.section(Section::Text);
+
+    let image = a.finish(entry).unwrap();
+    BuiltWorkload { image, golden: expected_output(&result) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_triangle_inequality_and_diagonal() {
+        let n = nodes(Scale::Tiny);
+        let adj = adjacency(n);
+        let d = reference(&adj, n);
+        for s in 0..n {
+            assert_eq!(d[s * n + s], 0, "self distance must be zero");
+            for v in 0..n {
+                // Any direct edge bounds the shortest path.
+                if adj[s * n + v] != INF {
+                    assert!(d[s * n + v] <= adj[s * n + v]);
+                }
+            }
+        }
+    }
+}

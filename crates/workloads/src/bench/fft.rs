@@ -1,0 +1,258 @@
+//! FFT — iterative radix-2 complex FFT in single precision (paper: 32768
+//! points; scaled to 1024). Heavy FP and strided memory traffic.
+//!
+//! Guest and reference perform the *identical* sequence of f32 operations
+//! (same association, same multiply/add split), so results match bit for
+//! bit — no epsilon comparisons anywhere.
+
+use sea_isa::{s, Asm, Cond, Reg, Section, Shift, ShiftedReg};
+use sea_kernel::user;
+
+use crate::input::random_floats;
+use crate::runtime::{emit_finish, expected_output};
+use crate::{BuiltWorkload, Scale};
+
+const SEED: u32 = 0xFF70_0001;
+
+fn points(scale: Scale) -> usize {
+    match scale {
+        Scale::Default => 1024,
+        Scale::Tiny => 64,
+    }
+}
+
+/// Bit-reversal permutation table for `n` (power of two).
+pub fn bitrev_table(n: usize) -> Vec<u16> {
+    let bits = n.trailing_zeros();
+    (0..n).map(|i| ((i as u32).reverse_bits() >> (32 - bits)) as u16).collect()
+}
+
+/// Twiddle factors `w_k = exp(-2πik/n)` for `k` in `0..n/2`, interleaved
+/// `(re, im)` in f32.
+pub fn twiddles(n: usize) -> Vec<f32> {
+    let mut t = Vec::with_capacity(n);
+    for k in 0..n / 2 {
+        let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        t.push(ang.cos() as f32);
+        t.push(ang.sin() as f32);
+    }
+    t
+}
+
+/// Host-side reference FFT over interleaved `(re, im)` f32 data, mirroring
+/// the guest's exact operation order.
+pub fn reference(data: &[f32], n: usize) -> Vec<f32> {
+    let mut a = data.to_vec();
+    let rev = bitrev_table(n);
+    for i in 0..n {
+        let j = rev[i] as usize;
+        if i < j {
+            a.swap(2 * i, 2 * j);
+            a.swap(2 * i + 1, 2 * j + 1);
+        }
+    }
+    let tw = twiddles(n);
+    let mut half = 1usize;
+    let mut step = n / 2;
+    while half < n {
+        let len = half * 2;
+        let mut base = 0;
+        while base < n {
+            for j in 0..half {
+                let (wr, wi) = (tw[2 * (j * step)], tw[2 * (j * step) + 1]);
+                let ui = base + j;
+                let vi = base + j + half;
+                let (ur, uim) = (a[2 * ui], a[2 * ui + 1]);
+                let (vr, vim) = (a[2 * vi], a[2 * vi + 1]);
+                // Complex multiply v*w, matching the guest op-for-op.
+                let tr = vr * wr - vim * wi;
+                let ti = vr * wi + vim * wr;
+                a[2 * ui] = ur + tr;
+                a[2 * ui + 1] = uim + ti;
+                a[2 * vi] = ur - tr;
+                a[2 * vi + 1] = uim - ti;
+            }
+            base += len;
+        }
+        half = len;
+        step /= 2;
+    }
+    a
+}
+
+/// Builds the guest program and golden output.
+pub fn build(scale: Scale) -> BuiltWorkload {
+    let n = points(scale);
+    let mut data = random_floats(SEED, 2 * n);
+    // Scale inputs to ~[0,1) to keep magnitudes tame over 10 stages.
+    for v in &mut data {
+        *v /= 1000.0;
+    }
+    let out = reference(&data, n);
+    let result: Vec<u8> = out.iter().flat_map(|f| f.to_le_bytes()).collect();
+
+    let rev = bitrev_table(n);
+    let tw = twiddles(n);
+
+    let mut a = Asm::new();
+    let entry = a.label("main");
+    let ldata = a.label("fft_data");
+    let lrev = a.label("fft_rev");
+    let ltw = a.label("fft_tw");
+
+    a.bind(entry).unwrap();
+    user::alive(&mut a);
+    a.addr(Reg::R8, ldata); // r8 = data
+    a.addr(Reg::R9, lrev); // r9 = bit-reverse table (u16)
+    a.addr(Reg::R10, ltw); // r10 = twiddles
+
+    // ---- bit-reversal permutation ----
+    let brv = a.label("brv_loop");
+    let brv_skip = a.label("brv_skip");
+    a.mov_imm(Reg::R4, 0); // i
+    a.bind(brv).unwrap();
+    // j = rev[i]
+    a.lsl(Reg::R0, Reg::R4, 1);
+    a.mem(
+        true,
+        sea_isa::MemSize::Half,
+        Reg::R5,
+        Reg::R9,
+        sea_isa::MemOffset::Reg { rm: Reg::R0, shl: 0 },
+        sea_isa::AddrMode::offset(),
+    );
+    a.cmp(Reg::R4, Reg::R5);
+    a.b_if(Cond::Cs, brv_skip); // only swap when i < j
+    // swap complex elements i and j (each 8 bytes).
+    a.add_shifted(Reg::R0, Reg::R8, ShiftedReg { rm: Reg::R4, shift: Shift::Lsl, amount: 3 });
+    a.add_shifted(Reg::R1, Reg::R8, ShiftedReg { rm: Reg::R5, shift: Shift::Lsl, amount: 3 });
+    a.ldr(Reg::R2, Reg::R0, 0);
+    a.ldr(Reg::R3, Reg::R1, 0);
+    a.str(Reg::R3, Reg::R0, 0);
+    a.str(Reg::R2, Reg::R1, 0);
+    a.ldr(Reg::R2, Reg::R0, 4);
+    a.ldr(Reg::R3, Reg::R1, 4);
+    a.str(Reg::R3, Reg::R0, 4);
+    a.str(Reg::R2, Reg::R1, 4);
+    a.bind(brv_skip).unwrap();
+    a.add_imm(Reg::R4, Reg::R4, 1);
+    a.cmp_imm(Reg::R4, n as u32);
+    a.b_if(Cond::Ne, brv);
+
+    // ---- butterfly stages ----
+    // r4 = half, r5 = step, r6 = base, r11 = j.
+    let stage = a.label("stage");
+    let group = a.label("group");
+    let bfly = a.label("bfly");
+    let group_next = a.label("group_next");
+    let stage_next = a.label("stage_next");
+    let done = a.label("fft_done");
+    a.mov_imm(Reg::R4, 1);
+    a.mov32(Reg::R5, (n / 2) as u32);
+    a.bind(stage).unwrap();
+    a.cmp_imm(Reg::R4, n as u32);
+    a.b_if(Cond::Cs, done);
+    a.mov_imm(Reg::R6, 0);
+    a.bind(group).unwrap();
+    a.mov_imm(Reg::R11, 0);
+    a.bind(bfly).unwrap();
+    // twiddle index = j*step → address = tw + (j*step)*8
+    a.mul(Reg::R0, Reg::R11, Reg::R5);
+    a.add_shifted(Reg::R1, Reg::R10, ShiftedReg { rm: Reg::R0, shift: Shift::Lsl, amount: 3 });
+    a.vldr(s(4), Reg::R1, 0); // wr
+    a.vldr(s(5), Reg::R1, 1); // wi
+    // u index = base + j; v index = u + half
+    a.add(Reg::R0, Reg::R6, Reg::R11);
+    a.add_shifted(Reg::R1, Reg::R8, ShiftedReg { rm: Reg::R0, shift: Shift::Lsl, amount: 3 });
+    a.add(Reg::R0, Reg::R0, Reg::R4);
+    a.add_shifted(Reg::R2, Reg::R8, ShiftedReg { rm: Reg::R0, shift: Shift::Lsl, amount: 3 });
+    a.vldr(s(0), Reg::R1, 0); // ur
+    a.vldr(s(1), Reg::R1, 1); // ui
+    a.vldr(s(2), Reg::R2, 0); // vr
+    a.vldr(s(3), Reg::R2, 1); // vi
+    // tr = vr*wr - vi*wi ; ti = vr*wi + vi*wr
+    a.vmul(s(6), s(2), s(4));
+    a.vmul(s(7), s(3), s(5));
+    a.vsub(s(6), s(6), s(7)); // tr
+    a.vmul(s(7), s(2), s(5));
+    a.vmul(s(8), s(3), s(4));
+    a.vadd(s(7), s(7), s(8)); // ti
+    // u' = u + t ; v' = u - t
+    a.vadd(s(9), s(0), s(6));
+    a.vadd(s(10), s(1), s(7));
+    a.vsub(s(11), s(0), s(6));
+    a.vsub(s(12), s(1), s(7));
+    a.vstr(s(9), Reg::R1, 0);
+    a.vstr(s(10), Reg::R1, 1);
+    a.vstr(s(11), Reg::R2, 0);
+    a.vstr(s(12), Reg::R2, 1);
+    a.add_imm(Reg::R11, Reg::R11, 1);
+    a.cmp(Reg::R11, Reg::R4);
+    a.b_if(Cond::Ne, bfly);
+    a.bind(group_next).unwrap();
+    // base += 2*half
+    a.add(Reg::R6, Reg::R6, Reg::R4);
+    a.add(Reg::R6, Reg::R6, Reg::R4);
+    a.cmp_imm(Reg::R6, n as u32);
+    a.b_if(Cond::Cc, group);
+    a.bind(stage_next).unwrap();
+    a.lsl(Reg::R4, Reg::R4, 1);
+    a.lsr(Reg::R5, Reg::R5, 1);
+    a.b(stage);
+
+    a.bind(done).unwrap();
+    emit_finish(&mut a, ldata, (8 * n) as u32);
+
+    a.section(Section::Rodata);
+    a.bind(lrev).unwrap();
+    for r in &rev {
+        a.half(*r);
+    }
+    a.align(4);
+    a.bind(ltw).unwrap();
+    a.floats(&tw);
+    a.section(Section::Data);
+    a.bind(ldata).unwrap();
+    a.floats(&data);
+    a.section(Section::Text);
+
+    let image = a.finish(entry).unwrap();
+    BuiltWorkload { image, golden: expected_output(&result) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitrev_is_an_involution() {
+        let rev = bitrev_table(64);
+        for i in 0..64 {
+            assert_eq!(rev[rev[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        // FFT(δ) = all-ones spectrum.
+        let n = 16;
+        let mut data = vec![0f32; 2 * n];
+        data[0] = 1.0;
+        let out = reference(&data, n);
+        for k in 0..n {
+            assert!((out[2 * k] - 1.0).abs() < 1e-6, "re[{k}]");
+            assert!(out[2 * k + 1].abs() < 1e-6, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_at_dc() {
+        let n = 8;
+        let data: Vec<f32> = (0..n).flat_map(|_| [1.0f32, 0.0]).collect();
+        let out = reference(&data, n);
+        assert!((out[0] - n as f32).abs() < 1e-5);
+        for k in 1..n {
+            assert!(out[2 * k].abs() < 1e-5 && out[2 * k + 1].abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,653 @@
+//! Jpeg C / Jpeg D — a DCT-based image codec (paper: IJG cjpeg/djpeg on a
+//! 512×512 image; scaled to a 48×48 grayscale frame).
+//!
+//! The codec is a real JPEG-style pipeline — 8×8 blocks, integer 2-D DCT
+//! (s12 fixed-point cosine table), luminance quantization, zigzag scan and
+//! a run-length + zigzag-varint entropy stage — with the entropy coder
+//! simplified from Huffman to RLE+varint (documented substitution: the
+//! fault-propagation-relevant structure, a variable-length byte stream
+//! whose corruption cascades through the rest of the image, is preserved).
+//!
+//! All arithmetic is integer and identical between guest and reference,
+//! so outputs match exactly. As in the paper, the decoder is *not* the
+//! encoder run backwards: it has its own control flow (stream parsing,
+//! IDCT), which is why the two report different crash profiles (§V-A).
+
+use sea_isa::{Asm, Cond, Label, Reg, Section};
+use sea_kernel::user;
+
+use crate::input::test_image;
+use crate::runtime::{emit_finish, expected_output};
+use crate::{BuiltWorkload, Scale};
+
+const SEED: u32 = 0x16B6_0001;
+
+fn dims(scale: Scale) -> usize {
+    match scale {
+        Scale::Default => 48,
+        Scale::Tiny => 16,
+    }
+}
+
+/// Standard JPEG luminance quantization table (quality ~50), row major.
+pub const QUANT: [i32; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Zigzag scan order: `ZIGZAG[k]` is the (row-major) index of the k-th
+/// coefficient.
+pub const ZIGZAG: [u8; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// End-of-block marker in the entropy stream.
+pub const EOB: u8 = 0xFF;
+
+/// Fixed-point 1-D DCT basis: `C[u*8+x] = round(k_u · cos((2x+1)uπ/16) ·
+/// 4096)` with `k_0 = 1/(2√2)`, `k_u = 1/2`. Two passes give the standard
+/// JPEG scaling.
+pub fn cos_table() -> [i32; 64] {
+    let mut c = [0i32; 64];
+    for u in 0..8 {
+        let k = if u == 0 { 0.5 / 2f64.sqrt() } else { 0.5 };
+        for x in 0..8 {
+            let v = k * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos();
+            c[u * 8 + x] = (v * 4096.0).round() as i32;
+        }
+    }
+    c
+}
+
+fn fdct_block(w: &mut [i32; 64]) {
+    let c = cos_table();
+    let mut t = [0i32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0i32;
+            for x in 0..8 {
+                acc = acc.wrapping_add(w[y * 8 + x].wrapping_mul(c[u * 8 + x]));
+            }
+            t[y * 8 + u] = (acc + 2048) >> 12;
+        }
+    }
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0i32;
+            for y in 0..8 {
+                acc = acc.wrapping_add(t[y * 8 + u].wrapping_mul(c[v * 8 + y]));
+            }
+            w[v * 8 + u] = (acc + 2048) >> 12;
+        }
+    }
+}
+
+fn idct_block(d: &[i32; 64]) -> [i32; 64] {
+    let c = cos_table();
+    let mut t = [0i32; 64];
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0i32;
+            for v in 0..8 {
+                acc = acc.wrapping_add(d[v * 8 + u].wrapping_mul(c[v * 8 + y]));
+            }
+            t[y * 8 + u] = (acc + 2048) >> 12;
+        }
+    }
+    let mut out = [0i32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0i32;
+            for u in 0..8 {
+                acc = acc.wrapping_add(t[y * 8 + u].wrapping_mul(c[u * 8 + x]));
+            }
+            out[y * 8 + x] = (acc + 2048) >> 12;
+        }
+    }
+    out
+}
+
+fn zigzag_varint(v: i32, out: &mut Vec<u8>) {
+    let mut z = ((v << 1) ^ (v >> 31)) as u32;
+    while z >= 0x80 {
+        out.push((z & 0x7F) as u8 | 0x80);
+        z >>= 7;
+    }
+    out.push(z as u8);
+}
+
+/// Host-side reference encoder.
+pub fn reference_encode(img: &[u8], n: usize) -> Vec<u8> {
+    let blocks = n / 8;
+    let mut out = Vec::new();
+    for by in 0..blocks {
+        for bx in 0..blocks {
+            let mut w = [0i32; 64];
+            for y in 0..8 {
+                for x in 0..8 {
+                    w[y * 8 + x] = img[(by * 8 + y) * n + bx * 8 + x] as i32 - 128;
+                }
+            }
+            fdct_block(&mut w);
+            let mut run = 0u8;
+            for &zk in ZIGZAG.iter() {
+                let q = w[zk as usize] / QUANT[zk as usize];
+                if q == 0 {
+                    run += 1;
+                } else {
+                    out.push(run);
+                    zigzag_varint(q, &mut out);
+                    run = 0;
+                }
+            }
+            out.push(EOB);
+        }
+    }
+    out
+}
+
+/// Host-side reference decoder.
+pub fn reference_decode(stream: &[u8], n: usize) -> Vec<u8> {
+    let blocks = n / 8;
+    let mut img = vec![0u8; n * n];
+    let mut pos = 0usize;
+    for by in 0..blocks {
+        for bx in 0..blocks {
+            let mut d = [0i32; 64];
+            let mut k = 0usize;
+            loop {
+                let b = stream[pos];
+                pos += 1;
+                if b == EOB {
+                    break;
+                }
+                k += b as usize;
+                let mut z = 0u32;
+                let mut shift = 0;
+                loop {
+                    let byte = stream[pos];
+                    pos += 1;
+                    z |= ((byte & 0x7F) as u32) << shift;
+                    if byte & 0x80 == 0 {
+                        break;
+                    }
+                    shift += 7;
+                }
+                let v = ((z >> 1) as i32) ^ -((z & 1) as i32);
+                if k < 64 {
+                    d[ZIGZAG[k] as usize] = v.wrapping_mul(QUANT[ZIGZAG[k] as usize]);
+                }
+                k += 1;
+            }
+            let px = idct_block(&d);
+            for y in 0..8 {
+                for x in 0..8 {
+                    let v = (px[y * 8 + x] + 128).clamp(0, 255);
+                    img[(by * 8 + y) * n + bx * 8 + x] = v as u8;
+                }
+            }
+        }
+    }
+    img
+}
+
+// ----- guest helpers ----------------------------------------------------
+
+/// Emits a fixed-point 8×8 transform pass.
+///
+/// `Rows`: `dst[y*8+u] = (Σx src[y*8+x]·C[u*8+x] + 2048) >> 12`
+/// `Cols`: `dst[v*8+u] = (Σy src[y*8+u]·C[v*8+y] + 2048) >> 12`
+/// `IdctCols`: `dst[y*8+u] = (Σv src[v*8+u]·C[v*8+y] + 2048) >> 12`
+/// `src` and `dst` are base registers of i32[64] workspaces; `ctab` is the
+/// cosine-table base. Clobbers r0–r3, r12, lr.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Pass {
+    Rows,
+    Cols,
+    IdctCols,
+}
+
+fn emit_pass(a: &mut Asm, src: Reg, dst: Reg, ctab: Reg, pass: Pass) {
+    // Loop structure: outer r0 (o), inner r1 (i), sum index r3 (s),
+    // accumulator r2.
+    let lo = a.label("pass_o");
+    let li = a.label("pass_i");
+    let ls = a.label("pass_s");
+    a.mov_imm(Reg::R0, 0);
+    a.bind(lo).unwrap();
+    a.mov_imm(Reg::R1, 0);
+    a.bind(li).unwrap();
+    a.mov_imm(Reg::R2, 0);
+    a.mov_imm(Reg::R3, 0);
+    a.bind(ls).unwrap();
+    // src index and C index per pass (computed into r12 / lr).
+    let (src_hi, src_lo, c_hi, c_lo) = match pass {
+        // (o=y, i=u, s=x): src[y,x], C[u,x]
+        Pass::Rows => (Reg::R0, Reg::R3, Reg::R1, Reg::R3),
+        // (o=u, i=v, s=y): src[y,u], C[v,y]
+        Pass::Cols => (Reg::R3, Reg::R0, Reg::R1, Reg::R3),
+        // (o=u, i=y, s=v): src[v,u], C[v,y]
+        Pass::IdctCols => (Reg::R3, Reg::R0, Reg::R3, Reg::R1),
+    };
+    a.lsl(Reg::R12, src_hi, 3);
+    a.add(Reg::R12, Reg::R12, src_lo);
+    a.ldr_idx(Reg::Lr, src, Reg::R12, 2);
+    a.lsl(Reg::R12, c_hi, 3);
+    a.add(Reg::R12, Reg::R12, c_lo);
+    a.ldr_idx(Reg::R12, ctab, Reg::R12, 2);
+    a.mla(Reg::R2, Reg::Lr, Reg::R12, Reg::R2);
+    a.add_imm(Reg::R3, Reg::R3, 1);
+    a.cmp_imm(Reg::R3, 8);
+    a.b_if(Cond::Ne, ls);
+    // dst[index] = (acc + 2048) >> 12
+    a.add_imm(Reg::R2, Reg::R2, 2048);
+    a.asr(Reg::R2, Reg::R2, 12);
+    let (d_hi, d_lo) = match pass {
+        Pass::Rows => (Reg::R0, Reg::R1),       // dst[y,u]
+        Pass::Cols => (Reg::R1, Reg::R0),       // dst[v,u]
+        Pass::IdctCols => (Reg::R1, Reg::R0),   // dst[y,u]
+    };
+    a.lsl(Reg::R12, d_hi, 3);
+    a.add(Reg::R12, Reg::R12, d_lo);
+    a.str_idx(Reg::R2, dst, Reg::R12, 2);
+    a.add_imm(Reg::R1, Reg::R1, 1);
+    a.cmp_imm(Reg::R1, 8);
+    a.b_if(Cond::Ne, li);
+    a.add_imm(Reg::R0, Reg::R0, 1);
+    a.cmp_imm(Reg::R0, 8);
+    a.b_if(Cond::Ne, lo);
+}
+
+/// Emits the block-coordinate loop prologue/epilogue registers: r4 = by,
+/// r5 = bx, iterating `blocks`² times around `body`.
+fn emit_block_loop(a: &mut Asm, blocks: u32, body: impl FnOnce(&mut Asm)) {
+    let lby = a.label("blk_by");
+    let lbx = a.label("blk_bx");
+    a.mov_imm(Reg::R4, 0);
+    a.bind(lby).unwrap();
+    a.mov_imm(Reg::R5, 0);
+    a.bind(lbx).unwrap();
+    body(a);
+    a.add_imm(Reg::R5, Reg::R5, 1);
+    a.cmp_imm(Reg::R5, blocks);
+    a.b_if(Cond::Ne, lbx);
+    a.add_imm(Reg::R4, Reg::R4, 1);
+    a.cmp_imm(Reg::R4, blocks);
+    a.b_if(Cond::Ne, lby);
+}
+
+struct CommonLabels {
+    lcos: Label,
+    lquant: Label,
+    lzig: Label,
+    lw: Label,
+    lt: Label,
+}
+
+fn emit_common_data(a: &mut Asm, l: &CommonLabels) {
+    a.section(Section::Rodata);
+    a.bind(l.lcos).unwrap();
+    for v in cos_table() {
+        a.word(v as u32);
+    }
+    a.bind(l.lquant).unwrap();
+    for v in QUANT {
+        a.word(v as u32);
+    }
+    a.bind(l.lzig).unwrap();
+    a.bytes(&ZIGZAG);
+    a.align(4);
+    a.section(Section::Bss);
+    a.align(4);
+    a.bind(l.lw).unwrap();
+    a.zero(64 * 4);
+    a.bind(l.lt).unwrap();
+    a.zero(64 * 4);
+    a.section(Section::Text);
+}
+
+// ----- guest encoder -----------------------------------------------------------
+
+/// Builds the Jpeg C (encode) benchmark.
+pub fn build_encode(scale: Scale) -> BuiltWorkload {
+    let n = dims(scale);
+    let img = test_image(n, n, SEED);
+    let stream = reference_encode(&img, n);
+    let blocks = (n / 8) as u32;
+
+    let mut a = Asm::new();
+    let entry = a.label("main");
+    let limg = a.label("image");
+    let lout = a.label("stream_out");
+    let labels = CommonLabels {
+        lcos: a.label("cos_tab"),
+        lquant: a.label("quant"),
+        lzig: a.label("zigzag"),
+        lw: a.label("wksp_w"),
+        lt: a.label("wksp_t"),
+    };
+
+    a.bind(entry).unwrap();
+    user::alive(&mut a);
+    a.addr(Reg::R8, limg);
+    a.addr(Reg::R9, labels.lcos);
+    a.addr(Reg::R10, labels.lw);
+    a.addr(Reg::R11, labels.lt);
+    a.addr(Reg::R6, lout); // output cursor
+
+    let (lzig, lquant) = (labels.lzig, labels.lquant);
+    emit_block_loop(&mut a, blocks, |a| {
+        // ---- load block with level shift ----
+        let ly = a.label("enc_ld_y");
+        let lx = a.label("enc_ld_x");
+        a.mov_imm(Reg::R0, 0);
+        a.bind(ly).unwrap();
+        a.mov_imm(Reg::R1, 0);
+        a.bind(lx).unwrap();
+        a.lsl(Reg::R2, Reg::R4, 3);
+        a.add(Reg::R2, Reg::R2, Reg::R0);
+        a.mov32(Reg::R3, n as u32);
+        a.mul(Reg::R2, Reg::R2, Reg::R3);
+        a.lsl(Reg::R3, Reg::R5, 3);
+        a.add(Reg::R2, Reg::R2, Reg::R3);
+        a.add(Reg::R2, Reg::R2, Reg::R1);
+        a.ldrb_idx(Reg::R2, Reg::R8, Reg::R2);
+        a.sub_imm(Reg::R2, Reg::R2, 128);
+        a.lsl(Reg::R3, Reg::R0, 3);
+        a.add(Reg::R3, Reg::R3, Reg::R1);
+        a.str_idx(Reg::R2, Reg::R10, Reg::R3, 2);
+        a.add_imm(Reg::R1, Reg::R1, 1);
+        a.cmp_imm(Reg::R1, 8);
+        a.b_if(Cond::Ne, lx);
+        a.add_imm(Reg::R0, Reg::R0, 1);
+        a.cmp_imm(Reg::R0, 8);
+        a.b_if(Cond::Ne, ly);
+
+        // ---- 2-D DCT (W → T → W) ----
+        emit_pass(a, Reg::R10, Reg::R11, Reg::R9, Pass::Rows);
+        emit_pass(a, Reg::R11, Reg::R10, Reg::R9, Pass::Cols);
+
+        // ---- quantize + zigzag + RLE + varint ----
+        let lq = a.label("q_loop");
+        let lnz = a.label("q_nonzero");
+        let lvar = a.label("varint_more");
+        let lvlast = a.label("varint_last");
+        let lnext = a.label("q_next");
+        a.mov_imm(Reg::R0, 0); // k
+        a.mov_imm(Reg::R1, 0); // run
+        a.bind(lq).unwrap();
+        a.addr(Reg::R3, lzig);
+        a.ldrb_idx(Reg::R2, Reg::R3, Reg::R0); // zig[k]
+        a.ldr_idx(Reg::R3, Reg::R10, Reg::R2, 2); // coefficient
+        a.addr(Reg::R12, lquant);
+        a.ldr_idx(Reg::R2, Reg::R12, Reg::R2, 2); // Q
+        a.sdiv(Reg::R3, Reg::R3, Reg::R2);
+        a.cmp_imm(Reg::R3, 0);
+        a.b_if(Cond::Ne, lnz);
+        a.add_imm(Reg::R1, Reg::R1, 1);
+        a.b(lnext);
+        a.bind(lnz).unwrap();
+        a.strb_post(Reg::R1, Reg::R6, 1); // run byte
+        a.mov_imm(Reg::R1, 0);
+        // z = (q << 1) ^ (q >> 31)
+        a.lsl(Reg::R2, Reg::R3, 1);
+        a.asr(Reg::R3, Reg::R3, 31);
+        a.eor(Reg::R2, Reg::R2, Reg::R3);
+        a.bind(lvar).unwrap();
+        a.cmp_imm(Reg::R2, 0x80);
+        a.b_if(Cond::Cc, lvlast);
+        a.and_imm(Reg::R3, Reg::R2, 0x7F);
+        a.orr_imm(Reg::R3, Reg::R3, 0x80);
+        a.strb_post(Reg::R3, Reg::R6, 1);
+        a.lsr(Reg::R2, Reg::R2, 7);
+        a.b(lvar);
+        a.bind(lvlast).unwrap();
+        a.strb_post(Reg::R2, Reg::R6, 1);
+        a.bind(lnext).unwrap();
+        a.add_imm(Reg::R0, Reg::R0, 1);
+        a.cmp_imm(Reg::R0, 64);
+        a.b_if(Cond::Ne, lq);
+        // end of block marker
+        a.mov_imm(Reg::R0, EOB as u32);
+        a.strb_post(Reg::R0, Reg::R6, 1);
+    });
+
+    emit_finish(&mut a, lout, stream.len() as u32);
+    emit_common_data(&mut a, &labels);
+
+    a.section(Section::Data);
+    a.bind(limg).unwrap();
+    a.bytes(&img);
+    a.align(4);
+    a.section(Section::Bss);
+    a.align(4);
+    a.bind(lout).unwrap();
+    // Slack beyond the reference length absorbs fault-corrupted streams.
+    a.zero(stream.len() as u32 + 4096);
+    a.section(Section::Text);
+
+    let image = a.finish(entry).unwrap();
+    BuiltWorkload { image, golden: expected_output(&stream) }
+}
+
+// ----- guest decoder ------------------------------------------------------------
+
+/// Builds the Jpeg D (decode) benchmark. The input is the *reference*
+/// encoder's stream, so the decoder is independent of the encoder guest.
+pub fn build_decode(scale: Scale) -> BuiltWorkload {
+    let n = dims(scale);
+    let img = test_image(n, n, SEED);
+    let stream = reference_encode(&img, n);
+    let decoded = reference_decode(&stream, n);
+    let blocks = (n / 8) as u32;
+
+    let mut a = Asm::new();
+    let entry = a.label("main");
+    let lstream = a.label("stream_in");
+    let lout = a.label("image_out");
+    let labels = CommonLabels {
+        lcos: a.label("cos_tab"),
+        lquant: a.label("quant"),
+        lzig: a.label("zigzag"),
+        lw: a.label("wksp_d"),
+        lt: a.label("wksp_t"),
+    };
+
+    a.bind(entry).unwrap();
+    user::alive(&mut a);
+    a.addr(Reg::R8, lstream); // stream cursor
+    a.addr(Reg::R9, labels.lcos);
+    a.addr(Reg::R10, labels.lw); // D coefficients
+    a.addr(Reg::R11, labels.lt);
+    a.addr(Reg::R6, lout); // image base
+
+    let (lzig, lquant) = (labels.lzig, labels.lquant);
+    emit_block_loop(&mut a, blocks, |a| {
+        // ---- clear D ----
+        let lc = a.label("dec_clear");
+        a.mov_imm(Reg::R0, 0);
+        a.mov_imm(Reg::R1, 0);
+        a.bind(lc).unwrap();
+        a.str_idx(Reg::R1, Reg::R10, Reg::R0, 2);
+        a.add_imm(Reg::R0, Reg::R0, 1);
+        a.cmp_imm(Reg::R0, 64);
+        a.b_if(Cond::Ne, lc);
+
+        // ---- parse the block's token stream ----
+        let lparse = a.label("dec_parse");
+        let lvread = a.label("dec_vread");
+        let lskip = a.label("dec_skip_store");
+        let ldone = a.label("dec_parse_done");
+        a.mov_imm(Reg::R1, 0); // k
+        a.bind(lparse).unwrap();
+        a.ldrb_post(Reg::R0, Reg::R8, 1);
+        a.cmp_imm(Reg::R0, EOB as u32);
+        a.b_if(Cond::Eq, ldone);
+        a.add(Reg::R1, Reg::R1, Reg::R0); // k += run
+        // varint → r2 (z), shift in r3
+        a.mov_imm(Reg::R2, 0);
+        a.mov_imm(Reg::R3, 0);
+        a.bind(lvread).unwrap();
+        a.ldrb_post(Reg::R0, Reg::R8, 1);
+        a.and_imm(Reg::R12, Reg::R0, 0x7F);
+        a.lslv(Reg::R12, Reg::R12, Reg::R3);
+        a.orr(Reg::R2, Reg::R2, Reg::R12);
+        a.add_imm(Reg::R3, Reg::R3, 7);
+        a.tst_imm(Reg::R0, 0x80);
+        a.b_if(Cond::Ne, lvread);
+        // v = (z >> 1) ^ -(z & 1)
+        a.lsr(Reg::R0, Reg::R2, 1);
+        a.and_imm(Reg::R12, Reg::R2, 1);
+        a.rsb_imm(Reg::R12, Reg::R12, 0);
+        a.eor(Reg::R0, Reg::R0, Reg::R12);
+        // bounds check: k < 64 (a corrupted stream must not escape D)
+        a.cmp_imm(Reg::R1, 64);
+        a.b_if(Cond::Cs, lskip);
+        a.addr(Reg::R12, lzig);
+        a.ldrb_idx(Reg::R3, Reg::R12, Reg::R1); // zig[k]
+        a.addr(Reg::R12, lquant);
+        a.ldr_idx(Reg::R12, Reg::R12, Reg::R3, 2);
+        a.mul(Reg::R0, Reg::R0, Reg::R12);
+        a.str_idx(Reg::R0, Reg::R10, Reg::R3, 2);
+        a.bind(lskip).unwrap();
+        a.add_imm(Reg::R1, Reg::R1, 1);
+        a.b(lparse);
+        a.bind(ldone).unwrap();
+
+        // ---- IDCT: D → T → pixels ----
+        emit_pass(a, Reg::R10, Reg::R11, Reg::R9, Pass::IdctCols);
+        // Pixel pass inlined to add +128 and clamp.
+        let lo = a.label("px_y");
+        let li = a.label("px_x");
+        let ls = a.label("px_u");
+        a.mov_imm(Reg::R0, 0); // y
+        a.bind(lo).unwrap();
+        a.mov_imm(Reg::R1, 0); // x
+        a.bind(li).unwrap();
+        a.mov_imm(Reg::R2, 0);
+        a.mov_imm(Reg::R3, 0); // u
+        a.bind(ls).unwrap();
+        a.lsl(Reg::R12, Reg::R0, 3);
+        a.add(Reg::R12, Reg::R12, Reg::R3);
+        a.ldr_idx(Reg::Lr, Reg::R11, Reg::R12, 2); // T[y,u]
+        a.lsl(Reg::R12, Reg::R3, 3);
+        a.add(Reg::R12, Reg::R12, Reg::R1);
+        a.ldr_idx(Reg::R12, Reg::R9, Reg::R12, 2); // C[u,x]
+        a.mla(Reg::R2, Reg::Lr, Reg::R12, Reg::R2);
+        a.add_imm(Reg::R3, Reg::R3, 1);
+        a.cmp_imm(Reg::R3, 8);
+        a.b_if(Cond::Ne, ls);
+        a.add_imm(Reg::R2, Reg::R2, 2048);
+        a.asr(Reg::R2, Reg::R2, 12);
+        a.add_imm(Reg::R2, Reg::R2, 128);
+        // clamp 0..255
+        a.cmp_imm(Reg::R2, 0);
+        a.ifc(Cond::Lt).mov_imm(Reg::R2, 0);
+        a.cmp_imm(Reg::R2, 255);
+        a.ifc(Cond::Gt).mov_imm(Reg::R2, 255);
+        // img[(by*8+y)*n + bx*8+x] = r2
+        a.lsl(Reg::R3, Reg::R4, 3);
+        a.add(Reg::R3, Reg::R3, Reg::R0);
+        a.mov32(Reg::R12, n as u32);
+        a.mul(Reg::R3, Reg::R3, Reg::R12);
+        a.lsl(Reg::R12, Reg::R5, 3);
+        a.add(Reg::R3, Reg::R3, Reg::R12);
+        a.add(Reg::R3, Reg::R3, Reg::R1);
+        a.strb_idx(Reg::R2, Reg::R6, Reg::R3);
+        a.add_imm(Reg::R1, Reg::R1, 1);
+        a.cmp_imm(Reg::R1, 8);
+        a.b_if(Cond::Ne, li);
+        a.add_imm(Reg::R0, Reg::R0, 1);
+        a.cmp_imm(Reg::R0, 8);
+        a.b_if(Cond::Ne, lo);
+    });
+
+    emit_finish(&mut a, lout, (n * n) as u32);
+    emit_common_data(&mut a, &labels);
+
+    a.section(Section::Data);
+    a.bind(lstream).unwrap();
+    a.bytes(&stream);
+    // Guard tail: a fault-corrupted parser can run the cursor past the
+    // stream; EOB bytes stop each block's scan without faulting the guest
+    // in ways the paper's decoder wouldn't.
+    for _ in 0..64 {
+        a.bytes(&[EOB]);
+    }
+    a.align(4);
+    a.section(Section::Bss);
+    a.align(4);
+    a.bind(lout).unwrap();
+    a.zero((n * n) as u32);
+    a.section(Section::Text);
+
+    let image = a.finish(entry).unwrap();
+    BuiltWorkload { image, golden: expected_output(&decoded) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_close_to_original() {
+        let n = 48;
+        let img = test_image(n, n, SEED);
+        let stream = reference_encode(&img, n);
+        assert!(stream.len() < n * n, "compression must shrink the test image");
+        let back = reference_decode(&stream, n);
+        assert_eq!(back.len(), img.len());
+        // Lossy codec: mean absolute error should be modest.
+        let mae: f64 = img
+            .iter()
+            .zip(&back)
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .sum::<f64>()
+            / img.len() as f64;
+        assert!(mae < 12.0, "mean absolute error too high: {mae}");
+    }
+
+    #[test]
+    fn dct_of_flat_block_is_dc_only() {
+        let mut w = [100i32; 64];
+        fdct_block(&mut w);
+        assert!(w[0] > 700, "DC should capture the flat level, got {}", w[0]);
+        for (i, &c) in w.iter().enumerate().skip(1) {
+            assert!(c.abs() <= 1, "AC[{i}] = {c} should be ~0 for a flat block");
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [-300i32, -1, 0, 1, 63, 64, 127, 128, 100_000] {
+            let mut buf = Vec::new();
+            zigzag_varint(v, &mut buf);
+            // decode
+            let mut z = 0u32;
+            let mut shift = 0;
+            for &b in &buf {
+                z |= ((b & 0x7F) as u32) << shift;
+                shift += 7;
+                if b & 0x80 == 0 {
+                    break;
+                }
+            }
+            let back = ((z >> 1) as i32) ^ -((z & 1) as i32);
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let set: std::collections::BTreeSet<_> = ZIGZAG.iter().collect();
+        assert_eq!(set.len(), 64);
+    }
+}

@@ -1,0 +1,138 @@
+//! The L1 raw-FIT probe (§VI): fill the L1 data cache with a known
+//! pattern, let it sit exposed, read it back, and report upsets.
+//!
+//! Under the beam model this measures `FIT_raw` per bit — the paper's
+//! 2.76×10⁻⁵ FIT/bit calibration constant — because any strike into the
+//! resident lines flips a pattern bit that the read-back detects.
+
+use sea_isa::{Asm, Cond, Reg, Section};
+use sea_kernel::user;
+
+use crate::runtime::{emit_finish, expected_output};
+use crate::BuiltWorkload;
+
+/// Probe parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct L1ProbeParams {
+    /// Buffer size in bytes (normally the L1D capacity).
+    pub buf_bytes: u32,
+    /// Number of wait/read-back sweeps.
+    pub sweeps: u32,
+    /// Idle loop iterations between fill and read-back (exposure window).
+    pub dwell_iters: u32,
+}
+
+impl Default for L1ProbeParams {
+    fn default() -> L1ProbeParams {
+        L1ProbeParams { buf_bytes: 32 * 1024, sweeps: 4, dwell_iters: 20_000 }
+    }
+}
+
+/// The pattern word for buffer index `i` (word-granular).
+pub fn pattern(i: u32) -> u32 {
+    (i.wrapping_mul(0x9E37_79B9)) ^ 0xA5A5_A5A5
+}
+
+/// Builds the probe program. The golden output reports zero upsets.
+pub fn build_l1_probe(p: L1ProbeParams) -> BuiltWorkload {
+    let words = p.buf_bytes / 4;
+    // Result: [upset_count: u32][first_bad_index: u32]
+    let golden_result = [0u32, 0xFFFF_FFFF];
+    let result: Vec<u8> = golden_result.iter().flat_map(|w| w.to_le_bytes()).collect();
+
+    let mut a = Asm::new();
+    let entry = a.label("main");
+    let buf = a.label("probe_buf");
+    let res = a.label("probe_result");
+
+    a.bind(entry).unwrap();
+    user::alive(&mut a);
+    // r8 = buf, r9 = upsets, r10 = first bad index, r11 = sweep counter.
+    a.addr(Reg::R8, buf);
+    a.mov_imm(Reg::R9, 0);
+    a.mov_imm(Reg::R10, 0);
+    a.mvn(Reg::R10, Reg::R10);
+    a.mov32(Reg::R11, p.sweeps);
+
+    let fill = a.label("fill");
+    let sweep = a.label("sweep");
+    let dwell = a.label("dwell");
+    let check = a.label("check");
+    let ok = a.label("ok");
+    let done = a.label("done");
+
+    // Fill: buf[i] = pattern(i) = i*0x9E3779B9 ^ 0xA5A5A5A5.
+    a.mov_imm(Reg::R0, 0);
+    a.mov32(Reg::R2, 0x9E37_79B9);
+    a.mov32(Reg::R3, 0xA5A5_A5A5);
+    a.bind(fill).unwrap();
+    a.mul(Reg::R1, Reg::R0, Reg::R2);
+    a.eor(Reg::R1, Reg::R1, Reg::R3);
+    a.str_idx(Reg::R1, Reg::R8, Reg::R0, 2);
+    a.add_imm(Reg::R0, Reg::R0, 1);
+    a.cmp_imm(Reg::R0, words);
+    a.b_if(Cond::Ne, fill);
+
+    a.bind(sweep).unwrap();
+    // Dwell: spin to accumulate exposure while the lines sit in the cache.
+    a.mov32(Reg::R0, p.dwell_iters);
+    a.bind(dwell).unwrap();
+    a.subs_imm(Reg::R0, Reg::R0, 1);
+    a.b_if(Cond::Ne, dwell);
+    // Read back and compare.
+    a.mov_imm(Reg::R0, 0);
+    a.mov32(Reg::R2, 0x9E37_79B9);
+    a.mov32(Reg::R3, 0xA5A5_A5A5);
+    a.bind(check).unwrap();
+    a.mul(Reg::R1, Reg::R0, Reg::R2);
+    a.eor(Reg::R1, Reg::R1, Reg::R3);
+    a.ldr_idx(Reg::R4, Reg::R8, Reg::R0, 2);
+    a.cmp(Reg::R4, Reg::R1);
+    a.b_if(Cond::Eq, ok);
+    // Upset: count it, remember the first index, repair the word.
+    a.add_imm(Reg::R9, Reg::R9, 1);
+    a.cmp_imm(Reg::R10, 0);
+    a.ifc(Cond::Mi).mov(Reg::R10, Reg::R0); // only if still 0xFFFF_FFFF (negative)
+    a.str_idx(Reg::R1, Reg::R8, Reg::R0, 2);
+    a.bind(ok).unwrap();
+    a.add_imm(Reg::R0, Reg::R0, 1);
+    a.cmp_imm(Reg::R0, words);
+    a.b_if(Cond::Ne, check);
+    user::alive(&mut a);
+    a.subs_imm(Reg::R11, Reg::R11, 1);
+    a.b_if(Cond::Ne, sweep);
+
+    a.bind(done).unwrap();
+    a.addr(Reg::R0, res);
+    a.str(Reg::R9, Reg::R0, 0);
+    a.str(Reg::R10, Reg::R0, 4);
+    emit_finish(&mut a, res, 8);
+
+    a.section(Section::Bss);
+    a.bind(buf).unwrap();
+    a.zero(p.buf_bytes);
+    a.bind(res).unwrap();
+    a.zero(8);
+    a.section(Section::Text);
+
+    let image = a.finish(entry).unwrap();
+    BuiltWorkload { image, golden: expected_output(&result) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_is_word_unique_for_small_indices() {
+        let set: std::collections::BTreeSet<_> = (0..8192).map(pattern).collect();
+        assert_eq!(set.len(), 8192);
+    }
+
+    #[test]
+    fn probe_builds() {
+        let b = build_l1_probe(L1ProbeParams { buf_bytes: 1024, sweeps: 1, dwell_iters: 10 });
+        assert!(b.image.text_bytes() > 0);
+        assert_eq!(b.golden.len(), 4 + 8);
+    }
+}

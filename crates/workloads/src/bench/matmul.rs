@@ -1,0 +1,132 @@
+//! MatMul — single-precision matrix multiply (paper: 128×128, scaled to
+//! 24×24). One of the paper's *small-footprint* workloads: all three
+//! matrices fit comfortably in the L1 data cache, which is exactly what
+//! drives its outsized beam System-Crash rate (§V-A).
+
+use sea_isa::{s, Asm, Cond, Reg, Section, ShiftedReg, Shift};
+use sea_kernel::user;
+
+use crate::input::random_floats;
+use crate::runtime::{emit_finish, expected_output};
+use crate::{BuiltWorkload, Scale};
+
+const SEED_A: u32 = 0x3A70_0001;
+const SEED_B: u32 = 0x3A70_0002;
+
+fn dim(scale: Scale) -> usize {
+    match scale {
+        Scale::Default => 24,
+        Scale::Tiny => 6,
+    }
+}
+
+/// Host-side reference: `C = A × B`, accumulating in the same order (and
+/// with the same two-rounding multiply-add) as the guest.
+pub fn reference(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut c = vec![0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0f32;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Builds the guest program and golden output.
+pub fn build(scale: Scale) -> BuiltWorkload {
+    let n = dim(scale);
+    let ma = random_floats(SEED_A, n * n);
+    let mb = random_floats(SEED_B, n * n);
+    let mc = reference(&ma, &mb, n);
+    let result: Vec<u8> = mc.iter().flat_map(|f| f.to_le_bytes()).collect();
+
+    let mut a = Asm::new();
+    let entry = a.label("main");
+    let la = a.label("mat_a");
+    let lb = a.label("mat_b");
+    let lc = a.label("mat_c");
+
+    a.bind(entry).unwrap();
+    user::alive(&mut a);
+    // r8 = A, r9 = B, r10 = C, r11 = n.
+    a.addr(Reg::R8, la);
+    a.addr(Reg::R9, lb);
+    a.addr(Reg::R10, lc);
+    a.mov32(Reg::R11, n as u32);
+
+    let li = a.label("loop_i");
+    let lj = a.label("loop_j");
+    let lk = a.label("loop_k");
+    // r4 = i, r5 = j, r6 = k.
+    a.mov_imm(Reg::R4, 0);
+    a.bind(li).unwrap();
+    a.mov_imm(Reg::R5, 0);
+    a.bind(lj).unwrap();
+    // acc (s0) = 0.0
+    a.mov_imm(Reg::R0, 0);
+    a.vmov_from_core(s(0), Reg::R0);
+    a.mov_imm(Reg::R6, 0);
+    a.bind(lk).unwrap();
+    // s1 = A[i*n + k]
+    a.mla(Reg::R0, Reg::R4, Reg::R11, Reg::R6); // i*n + k
+    a.add_shifted(Reg::R1, Reg::R8, ShiftedReg { rm: Reg::R0, shift: Shift::Lsl, amount: 2 });
+    a.vldr(s(1), Reg::R1, 0);
+    // s2 = B[k*n + j]
+    a.mla(Reg::R0, Reg::R6, Reg::R11, Reg::R5);
+    a.add_shifted(Reg::R1, Reg::R9, ShiftedReg { rm: Reg::R0, shift: Shift::Lsl, amount: 2 });
+    a.vldr(s(2), Reg::R1, 0);
+    // acc += s1 * s2
+    a.vmla(s(0), s(1), s(2));
+    a.add_imm(Reg::R6, Reg::R6, 1);
+    a.cmp(Reg::R6, Reg::R11);
+    a.b_if(Cond::Ne, lk);
+    // C[i*n + j] = acc
+    a.mla(Reg::R0, Reg::R4, Reg::R11, Reg::R5);
+    a.add_shifted(Reg::R1, Reg::R10, ShiftedReg { rm: Reg::R0, shift: Shift::Lsl, amount: 2 });
+    a.vstr(s(0), Reg::R1, 0);
+    a.add_imm(Reg::R5, Reg::R5, 1);
+    a.cmp(Reg::R5, Reg::R11);
+    a.b_if(Cond::Ne, lj);
+    a.add_imm(Reg::R4, Reg::R4, 1);
+    a.cmp(Reg::R4, Reg::R11);
+    a.b_if(Cond::Ne, li);
+
+    emit_finish(&mut a, lc, (n * n * 4) as u32);
+
+    a.section(Section::Data);
+    a.bind(la).unwrap();
+    a.floats(&ma);
+    a.bind(lb).unwrap();
+    a.floats(&mb);
+    a.section(Section::Bss);
+    a.bind(lc).unwrap();
+    a.zero((n * n * 4) as u32);
+    a.section(Section::Text);
+
+    let image = a.finish(entry).unwrap();
+    BuiltWorkload { image, golden: expected_output(&result) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_identity_matrix() {
+        // A × I = A for a 3×3 case.
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let i = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        assert_eq!(reference(&a, &i, 3), a);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let x = build(Scale::Tiny);
+        let y = build(Scale::Tiny);
+        assert_eq!(x.golden, y.golden);
+    }
+}

@@ -1,0 +1,12 @@
+//! The benchmark implementations (guest builders + host references).
+
+pub mod crc32;
+pub mod dijkstra;
+pub mod fft;
+pub mod jpeg;
+pub mod l1probe;
+pub mod matmul;
+pub mod qsort;
+pub mod rijndael;
+pub mod stringsearch;
+pub mod susan;

@@ -1,0 +1,176 @@
+//! Qsort — in-place quicksort over a word array (paper: 50 K doubles via
+//! glibc qsort; scaled to 12 K words sorted by an iterative Hoare-partition
+//! quicksort with an explicit stack, preserving the memory + control-flow
+//! intensity the paper attributes to it).
+
+use sea_isa::{Asm, Cond, Reg, Section};
+use sea_kernel::user;
+
+use crate::input::random_words;
+use crate::runtime::{emit_finish, expected_output};
+use crate::{BuiltWorkload, Scale};
+
+const SEED: u32 = 0x9507_0001;
+
+fn len(scale: Scale) -> usize {
+    match scale {
+        Scale::Default => 12 * 1024,
+        Scale::Tiny => 256,
+    }
+}
+
+/// Host-side reference: the same iterative quicksort, step for step.
+pub fn reference(data: &[u32]) -> Vec<u32> {
+    let mut v = data.to_vec();
+    if v.len() < 2 {
+        return v;
+    }
+    let mut stack: Vec<(i32, i32)> = vec![(0, v.len() as i32 - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if lo >= hi {
+            continue;
+        }
+        let pivot = v[((lo + hi) / 2) as usize];
+        let (mut i, mut j) = (lo, hi);
+        loop {
+            while v[i as usize] < pivot {
+                i += 1;
+            }
+            while v[j as usize] > pivot {
+                j -= 1;
+            }
+            if i <= j {
+                v.swap(i as usize, j as usize);
+                i += 1;
+                j -= 1;
+            }
+            if i > j {
+                break;
+            }
+        }
+        stack.push((lo, j));
+        stack.push((i, hi));
+    }
+    v
+}
+
+/// Builds the guest program and golden output.
+pub fn build(scale: Scale) -> BuiltWorkload {
+    let data = random_words(SEED, len(scale));
+    let sorted = reference(&data);
+    let result: Vec<u8> = sorted.iter().flat_map(|w| w.to_le_bytes()).collect();
+    let n = data.len() as u32;
+
+    let mut a = Asm::new();
+    let entry = a.label("main");
+    let arr = a.label("array");
+    let wstack = a.label("work_stack");
+
+    a.bind(entry).unwrap();
+    user::alive(&mut a);
+    // r8 = array base, r9 = work-stack pointer (grows up, pairs of words).
+    // Indices are kept as signed element indices.
+    a.addr(Reg::R8, arr);
+    a.addr(Reg::R9, wstack);
+    // push (0, n-1)
+    a.mov_imm(Reg::R0, 0);
+    a.str_post(Reg::R0, Reg::R9, 4);
+    a.mov32(Reg::R0, n - 1);
+    a.str_post(Reg::R0, Reg::R9, 4);
+
+    let top = a.label("qs_top");
+    let done = a.label("qs_done");
+    let part = a.label("qs_part");
+    let scan_i = a.label("qs_scan_i");
+    let scan_j = a.label("qs_scan_j");
+    let no_swap = a.label("qs_no_swap");
+    let after = a.label("qs_after");
+
+    a.bind(top).unwrap();
+    // Empty stack? (r9 back at base)
+    a.addr(Reg::R0, wstack);
+    a.cmp(Reg::R9, Reg::R0);
+    a.b_if(Cond::Eq, done);
+    // pop hi (r5), lo (r4)
+    a.sub_imm(Reg::R9, Reg::R9, 4);
+    a.ldr(Reg::R5, Reg::R9, 0);
+    a.sub_imm(Reg::R9, Reg::R9, 4);
+    a.ldr(Reg::R4, Reg::R9, 0);
+    // if lo >= hi continue (signed)
+    a.cmp(Reg::R4, Reg::R5);
+    a.b_if(Cond::Ge, top);
+    // pivot r6 = arr[(lo+hi)/2]
+    a.add(Reg::R0, Reg::R4, Reg::R5);
+    a.asr(Reg::R0, Reg::R0, 1);
+    a.ldr_idx(Reg::R6, Reg::R8, Reg::R0, 2);
+    // i = lo (r10), j = hi (r11)
+    a.mov(Reg::R10, Reg::R4);
+    a.mov(Reg::R11, Reg::R5);
+    a.bind(part).unwrap();
+    // while arr[i] < pivot: i++   (unsigned compare)
+    a.bind(scan_i).unwrap();
+    a.ldr_idx(Reg::R0, Reg::R8, Reg::R10, 2);
+    a.cmp(Reg::R0, Reg::R6);
+    a.ifc(Cond::Cc).add_imm(Reg::R10, Reg::R10, 1);
+    a.b_if(Cond::Cc, scan_i);
+    // while arr[j] > pivot: j--
+    a.bind(scan_j).unwrap();
+    a.ldr_idx(Reg::R1, Reg::R8, Reg::R11, 2);
+    a.cmp(Reg::R1, Reg::R6);
+    a.ifc(Cond::Hi).sub_imm(Reg::R11, Reg::R11, 1);
+    a.b_if(Cond::Hi, scan_j);
+    // if i <= j: swap; i++; j-- (signed compare)
+    a.cmp(Reg::R10, Reg::R11);
+    a.b_if(Cond::Gt, no_swap);
+    // swap arr[i] (r0) and arr[j] (r1), already loaded
+    a.str_idx(Reg::R1, Reg::R8, Reg::R10, 2);
+    a.str_idx(Reg::R0, Reg::R8, Reg::R11, 2);
+    a.add_imm(Reg::R10, Reg::R10, 1);
+    a.sub_imm(Reg::R11, Reg::R11, 1);
+    a.bind(no_swap).unwrap();
+    a.cmp(Reg::R10, Reg::R11);
+    a.b_if(Cond::Le, part);
+    a.bind(after).unwrap();
+    // push (lo, j) and (i, hi)
+    a.str_post(Reg::R4, Reg::R9, 4);
+    a.str_post(Reg::R11, Reg::R9, 4);
+    a.str_post(Reg::R10, Reg::R9, 4);
+    a.str_post(Reg::R5, Reg::R9, 4);
+    a.b(top);
+
+    a.bind(done).unwrap();
+    emit_finish(&mut a, arr, n * 4);
+
+    a.section(Section::Data);
+    a.bind(arr).unwrap();
+    a.words(&data);
+    a.section(Section::Bss);
+    a.bind(wstack).unwrap();
+    a.zero(4 * 2 * 64); // depth 64 pairs is ample for the scaled sizes
+    a.section(Section::Text);
+
+    let image = a.finish(entry).unwrap();
+    BuiltWorkload { image, golden: expected_output(&result) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_sorts() {
+        let data = random_words(SEED, 500);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        assert_eq!(reference(&data), expect);
+    }
+
+    #[test]
+    fn reference_handles_duplicates_and_sorted_input() {
+        assert_eq!(reference(&[5, 5, 5, 5]), vec![5, 5, 5, 5]);
+        assert_eq!(reference(&[1, 2, 3, 4]), vec![1, 2, 3, 4]);
+        assert_eq!(reference(&[4, 3, 2, 1]), vec![1, 2, 3, 4]);
+        assert_eq!(reference(&[]), Vec::<u32>::new());
+        assert_eq!(reference(&[9]), vec![9]);
+    }
+}

@@ -1,0 +1,455 @@
+//! Rijndael — AES-128 ECB encryption/decryption over a byte stream
+//! (paper: 3.2 MB file; scaled to 40 KB). The classic 32-bit T-table
+//! formulation: four 1 KB lookup tables per direction, eleven round keys,
+//! exactly the memory-intensive profile the paper describes.
+//!
+//! The round keys and tables are precomputed host-side (as a real AES
+//! library would at `setkey` time) and placed in `.rodata`; the per-block
+//! rounds run in the guest. The reference implementation is validated
+//! against the FIPS-197 test vector.
+
+use sea_isa::{Asm, Cond, Reg, Section};
+use sea_kernel::user;
+
+use crate::input::random_bytes;
+use crate::runtime::{emit_finish, expected_output};
+use crate::{BuiltWorkload, Scale};
+
+const SEED: u32 = 0xAE50_0001;
+/// The fixed AES-128 key used by both directions.
+pub const KEY: [u8; 16] = [
+    0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
+    0x3C,
+];
+
+fn input_len(scale: Scale) -> usize {
+    match scale {
+        Scale::Default => 40 * 1024,
+        Scale::Tiny => 512,
+    }
+}
+
+// ----- table construction ------------------------------------------------
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1B)
+}
+
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// The AES S-box, generated from first principles (multiplicative inverse
+/// in GF(2⁸) + affine transform).
+pub fn sbox() -> [u8; 256] {
+    // Build inverses by brute force (fine at build time).
+    let mut inv = [0u8; 256];
+    for x in 1..=255u8 {
+        for y in 1..=255u8 {
+            if gmul(x, y) == 1 {
+                inv[x as usize] = y;
+                break;
+            }
+        }
+    }
+    let mut s = [0u8; 256];
+    for (i, e) in s.iter_mut().enumerate() {
+        let x = inv[i];
+        *e = x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63;
+    }
+    s
+}
+
+/// Inverse S-box.
+pub fn inv_sbox() -> [u8; 256] {
+    let s = sbox();
+    let mut inv = [0u8; 256];
+    for (i, &v) in s.iter().enumerate() {
+        inv[v as usize] = i as u8;
+    }
+    inv
+}
+
+/// Encryption T-tables `Te0..Te3` (big-endian word convention).
+pub fn enc_tables() -> [[u32; 256]; 4] {
+    let s = sbox();
+    let mut t = [[0u32; 256]; 4];
+    for i in 0..256 {
+        let x = s[i];
+        let w = u32::from_be_bytes([gmul(x, 2), x, x, gmul(x, 3)]);
+        t[0][i] = w;
+        t[1][i] = w.rotate_right(8);
+        t[2][i] = w.rotate_right(16);
+        t[3][i] = w.rotate_right(24);
+    }
+    t
+}
+
+/// Decryption T-tables `Td0..Td3`.
+pub fn dec_tables() -> [[u32; 256]; 4] {
+    let si = inv_sbox();
+    let mut t = [[0u32; 256]; 4];
+    for i in 0..256 {
+        let x = si[i];
+        let w = u32::from_be_bytes([gmul(x, 14), gmul(x, 9), gmul(x, 13), gmul(x, 11)]);
+        t[0][i] = w;
+        t[1][i] = w.rotate_right(8);
+        t[2][i] = w.rotate_right(16);
+        t[3][i] = w.rotate_right(24);
+    }
+    t
+}
+
+/// Expands the 128-bit key into 44 round-key words (big-endian).
+pub fn expand_key(key: &[u8; 16]) -> [u32; 44] {
+    let s = sbox();
+    let mut w = [0u32; 44];
+    for i in 0..4 {
+        w[i] = u32::from_be_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    let mut rcon: u8 = 1;
+    for i in 4..44 {
+        let mut t = w[i - 1];
+        if i % 4 == 0 {
+            t = t.rotate_left(8);
+            let b = t.to_be_bytes();
+            t = u32::from_be_bytes([s[b[0] as usize], s[b[1] as usize], s[b[2] as usize], s[b[3] as usize]]);
+            t ^= (rcon as u32) << 24;
+            rcon = xtime(rcon);
+        }
+        w[i] = w[i - 4] ^ t;
+    }
+    w
+}
+
+/// Decryption round keys (equivalent-inverse-cipher schedule: InvMixColumns
+/// applied to the middle round keys).
+pub fn expand_key_dec(key: &[u8; 16]) -> [u32; 44] {
+    let enc = expand_key(key);
+    let mut dec = [0u32; 44];
+    // Reverse round order.
+    for r in 0..11 {
+        for c in 0..4 {
+            dec[4 * r + c] = enc[4 * (10 - r) + c];
+        }
+    }
+    // InvMixColumns on rounds 1..=9.
+    for rk in dec.iter_mut().take(40).skip(4) {
+        let b = rk.to_be_bytes();
+        let mix = |i: usize| {
+            gmul(b[i], 14)
+                ^ gmul(b[(i + 1) % 4 + i / 4 * 4], 11)
+                ^ gmul(b[(i + 2) % 4 + i / 4 * 4], 13)
+                ^ gmul(b[(i + 3) % 4 + i / 4 * 4], 9)
+        };
+        *rk = u32::from_be_bytes([mix(0), mix(1), mix(2), mix(3)]);
+    }
+    dec
+}
+
+// ----- reference cipher ----------------------------------------------------
+
+/// Encrypts one 16-byte block with the T-table algorithm.
+pub fn encrypt_block(block: &[u8; 16], rk: &[u32; 44], te: &[[u32; 256]; 4]) -> [u8; 16] {
+    let s = sbox();
+    cipher_block(block, rk, te, &s, &ENC_IDX)
+}
+
+fn cipher_block(
+    block: &[u8; 16],
+    rk: &[u32; 44],
+    t: &[[u32; 256]; 4],
+    final_box: &[u8; 256],
+    idx: &[[usize; 4]; 4],
+) -> [u8; 16] {
+    let mut st = [0u32; 4];
+    for i in 0..4 {
+        st[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().unwrap()) ^ rk[i];
+    }
+    for round in 1..10 {
+        let mut nx = [0u32; 4];
+        for (c, n) in nx.iter_mut().enumerate() {
+            *n = t[0][(st[idx[c][0]] >> 24) as usize]
+                ^ t[1][((st[idx[c][1]] >> 16) & 0xFF) as usize]
+                ^ t[2][((st[idx[c][2]] >> 8) & 0xFF) as usize]
+                ^ t[3][(st[idx[c][3]] & 0xFF) as usize]
+                ^ rk[4 * round + c];
+        }
+        st = nx;
+    }
+    // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+    let mut out = [0u8; 16];
+    for (c, chunk) in out.chunks_exact_mut(4).enumerate() {
+        let w = ((final_box[(st[idx[c][0]] >> 24) as usize] as u32) << 24)
+            | ((final_box[((st[idx[c][1]] >> 16) & 0xFF) as usize] as u32) << 16)
+            | ((final_box[((st[idx[c][2]] >> 8) & 0xFF) as usize] as u32) << 8)
+            | (final_box[(st[idx[c][3]] & 0xFF) as usize] as u32);
+        chunk.copy_from_slice(&(w ^ rk[40 + c]).to_be_bytes());
+    }
+    out
+}
+
+/// Reference ECB encryption of a whole (16-aligned) buffer.
+pub fn reference_encrypt(data: &[u8]) -> Vec<u8> {
+    let rk = expand_key(&KEY);
+    let te = enc_tables();
+    let mut out = Vec::with_capacity(data.len());
+    for blk in data.chunks_exact(16) {
+        out.extend_from_slice(&encrypt_block(blk.try_into().unwrap(), &rk, &te));
+    }
+    out
+}
+
+/// Reference ECB decryption.
+pub fn reference_decrypt(data: &[u8]) -> Vec<u8> {
+    let rk = expand_key_dec(&KEY);
+    let td = dec_tables();
+    let si = inv_sbox();
+    let mut out = Vec::with_capacity(data.len());
+    for blk in data.chunks_exact(16) {
+        out.extend_from_slice(&cipher_block(blk.try_into().unwrap(), &rk, &td, &si, &DEC_IDX));
+    }
+    out
+}
+
+// ----- guest ------------------------------------------------------------------
+
+struct GuestTables {
+    t: [[u32; 256]; 4],
+    final_box: [u8; 256],
+    rk: [u32; 44],
+    idx: [[usize; 4]; 4],
+}
+
+fn guest_cipher(input: &[u8], g: &GuestTables) -> (sea_isa::Image, Vec<u8>) {
+    let blocks = (input.len() / 16) as u32;
+
+    let mut a = Asm::new();
+    let entry = a.label("main");
+    let lin = a.label("aes_in");
+    let lout = a.label("aes_out");
+    let lrk = a.label("round_keys");
+    let lt0 = a.label("t0");
+    let lt1 = a.label("t1");
+    let lt2 = a.label("t2");
+    let lt3 = a.label("t3");
+    let lfinal = a.label("final_box");
+
+    a.bind(entry).unwrap();
+    user::alive(&mut a);
+    // Register plan (per block):
+    //   r4-r7 = state columns s0..s3 (note: r7 is reloaded before syscalls,
+    //   which only happen outside the block loop)
+    //   r8 = input cursor, r9 = output cursor, r10 = block counter,
+    //   r11 = round keys base, r12 = scratch table base.
+    // State copies go through the stack for the round double-buffer.
+    a.addr(Reg::R8, lin);
+    a.addr(Reg::R9, lout);
+    a.mov32(Reg::R10, blocks);
+
+    let blk_loop = a.label("blk_loop");
+    a.bind(blk_loop).unwrap();
+    a.addr(Reg::R11, lrk);
+    // Load the block big-endian and xor rk[0..4]. Loads are LE, so load
+    // byte-reversed: compose from 4 byte loads.
+    for col in 0..4u32 {
+        let dst = [Reg::R4, Reg::R5, Reg::R6, Reg::R7][col as usize];
+        // dst = (b0<<24)|(b1<<16)|(b2<<8)|b3 from input bytes 4c..4c+3
+        a.ldrb(Reg::R0, Reg::R8, (4 * col) as u16);
+        a.lsl(dst, Reg::R0, 24);
+        a.ldrb(Reg::R0, Reg::R8, (4 * col + 1) as u16);
+        a.orr_shifted(dst, dst, sea_isa::ShiftedReg { rm: Reg::R0, shift: sea_isa::Shift::Lsl, amount: 16 });
+        a.ldrb(Reg::R0, Reg::R8, (4 * col + 2) as u16);
+        a.orr_shifted(dst, dst, sea_isa::ShiftedReg { rm: Reg::R0, shift: sea_isa::Shift::Lsl, amount: 8 });
+        a.ldrb(Reg::R0, Reg::R8, (4 * col + 3) as u16);
+        a.orr(dst, dst, Reg::R0);
+        a.ldr(Reg::R0, Reg::R11, (4 * col) as u16);
+        a.eor(dst, dst, Reg::R0);
+    }
+    a.add_imm(Reg::R11, Reg::R11, 16); // rk cursor → round 1
+
+    // Nine T-table rounds. Each round computes the four new columns onto
+    // the stack, then reloads them into r4-r7.
+    let round_loop = a.label("round_loop");
+    a.mov_imm(Reg::R3, 9);
+    a.push_regs(&[Reg::R3]);
+    a.bind(round_loop).unwrap();
+    let srcs = [Reg::R4, Reg::R5, Reg::R6, Reg::R7];
+    // Columns are computed in reverse so that after the four pushes the
+    // block pop (lowest address first) lands n0 in r4 … n3 in r7.
+    for c in (0..4).rev() {
+        // n = T0[s(idx0)>>24] ^ T1[(s(idx1)>>16)&ff] ^ T2[(s(idx2)>>8)&ff]
+        //     ^ T3[s(idx3)&ff] ^ rk[c]
+        let (i0, i1, i2, i3) =
+            (g.idx[c][0], g.idx[c][1], g.idx[c][2], g.idx[c][3]);
+        a.addr(Reg::R12, lt0);
+        a.lsr(Reg::R0, srcs[i0], 24);
+        a.ldr_idx(Reg::R1, Reg::R12, Reg::R0, 2);
+        a.addr(Reg::R12, lt1);
+        a.lsr(Reg::R0, srcs[i1], 16);
+        a.and_imm(Reg::R0, Reg::R0, 0xFF);
+        a.ldr_idx(Reg::R2, Reg::R12, Reg::R0, 2);
+        a.eor(Reg::R1, Reg::R1, Reg::R2);
+        a.addr(Reg::R12, lt2);
+        a.lsr(Reg::R0, srcs[i2], 8);
+        a.and_imm(Reg::R0, Reg::R0, 0xFF);
+        a.ldr_idx(Reg::R2, Reg::R12, Reg::R0, 2);
+        a.eor(Reg::R1, Reg::R1, Reg::R2);
+        a.addr(Reg::R12, lt3);
+        a.and_imm(Reg::R0, srcs[i3], 0xFF);
+        a.ldr_idx(Reg::R2, Reg::R12, Reg::R0, 2);
+        a.eor(Reg::R1, Reg::R1, Reg::R2);
+        a.ldr(Reg::R2, Reg::R11, (4 * c) as u16);
+        a.eor(Reg::R1, Reg::R1, Reg::R2);
+        a.push_regs(&[Reg::R1]); // stash new column
+    }
+    // Reload new state: pushed n0,n1,n2,n3 → pop into r4..r7 preserving
+    // order (stack is descending; pop yields n3 first if popped singly, so
+    // pop as a block).
+    a.pop_regs(&[Reg::R4, Reg::R5, Reg::R6, Reg::R7]);
+    a.add_imm(Reg::R11, Reg::R11, 16);
+    a.pop_regs(&[Reg::R3]);
+    a.subs_imm(Reg::R3, Reg::R3, 1);
+    a.push_regs(&[Reg::R3]);
+    a.b_if(Cond::Ne, round_loop);
+    a.pop_regs(&[Reg::R3]);
+
+    // Final round with the plain (inverse) S-box.
+    a.addr(Reg::R12, lfinal);
+    for c in 0..4 {
+        let (i0, i1, i2, i3) =
+            (g.idx[c][0], g.idx[c][1], g.idx[c][2], g.idx[c][3]);
+        a.lsr(Reg::R0, srcs[i0], 24);
+        a.ldrb_idx(Reg::R1, Reg::R12, Reg::R0);
+        a.lsl(Reg::R1, Reg::R1, 24);
+        a.lsr(Reg::R0, srcs[i1], 16);
+        a.and_imm(Reg::R0, Reg::R0, 0xFF);
+        a.ldrb_idx(Reg::R2, Reg::R12, Reg::R0);
+        a.orr_shifted(Reg::R1, Reg::R1, sea_isa::ShiftedReg { rm: Reg::R2, shift: sea_isa::Shift::Lsl, amount: 16 });
+        a.lsr(Reg::R0, srcs[i2], 8);
+        a.and_imm(Reg::R0, Reg::R0, 0xFF);
+        a.ldrb_idx(Reg::R2, Reg::R12, Reg::R0);
+        a.orr_shifted(Reg::R1, Reg::R1, sea_isa::ShiftedReg { rm: Reg::R2, shift: sea_isa::Shift::Lsl, amount: 8 });
+        a.and_imm(Reg::R0, srcs[i3], 0xFF);
+        a.ldrb_idx(Reg::R2, Reg::R12, Reg::R0);
+        a.orr(Reg::R1, Reg::R1, Reg::R2);
+        a.ldr(Reg::R2, Reg::R11, (4 * c) as u16);
+        a.eor(Reg::R1, Reg::R1, Reg::R2);
+        // Store big-endian to the output.
+        a.lsr(Reg::R0, Reg::R1, 24);
+        a.strb(Reg::R0, Reg::R9, (4 * c) as u16);
+        a.lsr(Reg::R0, Reg::R1, 16);
+        a.strb(Reg::R0, Reg::R9, (4 * c + 1) as u16);
+        a.lsr(Reg::R0, Reg::R1, 8);
+        a.strb(Reg::R0, Reg::R9, (4 * c + 2) as u16);
+        a.strb(Reg::R1, Reg::R9, (4 * c + 3) as u16);
+    }
+    a.add_imm(Reg::R8, Reg::R8, 16);
+    a.add_imm(Reg::R9, Reg::R9, 16);
+    a.subs_imm(Reg::R10, Reg::R10, 1);
+    a.b_if(Cond::Ne, blk_loop);
+
+    emit_finish(&mut a, lout, input.len() as u32);
+
+    a.section(Section::Rodata);
+    a.bind(lrk).unwrap();
+    a.words(&g.rk);
+    a.bind(lt0).unwrap();
+    a.words(&g.t[0]);
+    a.bind(lt1).unwrap();
+    a.words(&g.t[1]);
+    a.bind(lt2).unwrap();
+    a.words(&g.t[2]);
+    a.bind(lt3).unwrap();
+    a.words(&g.t[3]);
+    a.bind(lfinal).unwrap();
+    a.bytes(&g.final_box);
+    a.section(Section::Data);
+    a.align(4);
+    a.bind(lin).unwrap();
+    a.bytes(input);
+    a.section(Section::Bss);
+    a.align(4);
+    a.bind(lout).unwrap();
+    a.zero(input.len() as u32);
+    a.section(Section::Text);
+
+    let image = a.finish(entry).unwrap();
+    (image, Vec::new())
+}
+
+const ENC_IDX: [[usize; 4]; 4] = [[0, 1, 2, 3], [1, 2, 3, 0], [2, 3, 0, 1], [3, 0, 1, 2]];
+const DEC_IDX: [[usize; 4]; 4] = [[0, 3, 2, 1], [1, 0, 3, 2], [2, 1, 0, 3], [3, 2, 1, 0]];
+
+/// Builds the encryption benchmark.
+pub fn build_encrypt(scale: Scale) -> BuiltWorkload {
+    let data = random_bytes(SEED, input_len(scale));
+    let ct = reference_encrypt(&data);
+    let g = GuestTables { t: enc_tables(), final_box: sbox(), rk: expand_key(&KEY), idx: ENC_IDX };
+    let (image, _) = guest_cipher(&data, &g);
+    BuiltWorkload { image, golden: expected_output(&ct) }
+}
+
+/// Builds the decryption benchmark (input is the reference ciphertext).
+pub fn build_decrypt(scale: Scale) -> BuiltWorkload {
+    let data = random_bytes(SEED, input_len(scale));
+    let ct = reference_encrypt(&data);
+    let g = GuestTables {
+        t: dec_tables(),
+        final_box: inv_sbox(),
+        rk: expand_key_dec(&KEY),
+        idx: DEC_IDX,
+    };
+    let (image, _) = guest_cipher(&ct, &g);
+    BuiltWorkload { image, golden: expected_output(&data) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_test_vector() {
+        let key = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D,
+            0x0E, 0x0F,
+        ];
+        let pt = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD,
+            0xEE, 0xFF,
+        ];
+        let expect = [
+            0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4,
+            0xC5, 0x5A,
+        ];
+        let rk = expand_key(&key);
+        let te = enc_tables();
+        assert_eq!(encrypt_block(&pt, &rk, &te), expect);
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt() {
+        let data = random_bytes(42, 256);
+        let ct = reference_encrypt(&data);
+        assert_ne!(ct, data);
+        assert_eq!(reference_decrypt(&ct), data);
+    }
+
+    #[test]
+    fn sbox_matches_known_entries() {
+        let s = sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7C);
+        assert_eq!(s[0x53], 0xED);
+        let si = inv_sbox();
+        assert_eq!(si[0x63], 0x00);
+    }
+}

@@ -1,0 +1,229 @@
+//! StringSearch — Boyer–Moore–Horspool word search, one word per sentence
+//! (paper: 1332 pairs; scaled to 160). Small footprint, branchy control
+//! flow, byte-granular memory traffic.
+
+use sea_isa::{Asm, Cond, Reg, Section};
+use sea_kernel::user;
+
+use crate::input::XorShift32;
+use crate::runtime::{emit_finish, expected_output};
+use crate::{BuiltWorkload, Scale};
+
+const SEED: u32 = 0x57A6_0001;
+/// Fixed sentence length (bytes) so the guest can use simple indexing.
+const SENT_LEN: usize = 64;
+
+fn pairs(scale: Scale) -> usize {
+    match scale {
+        Scale::Default => 160,
+        Scale::Tiny => 12,
+    }
+}
+
+/// Generates sentences and search words. Each word is planted inside its
+/// sentence with 75% probability (so hits and misses both occur), and is
+/// 4–11 bytes of lowercase letters. Words are stored padded to 12 bytes
+/// with a length prefix.
+pub fn generate(n: usize) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = XorShift32::new(SEED);
+    let mut sentences = vec![0u8; n * SENT_LEN];
+    let mut words = vec![0u8; n * 12];
+    for i in 0..n {
+        let s = &mut sentences[i * SENT_LEN..(i + 1) * SENT_LEN];
+        for b in s.iter_mut() {
+            *b = b'a' + rng.below(26) as u8;
+        }
+        let wlen = 4 + rng.below(8) as usize;
+        let mut w = vec![0u8; wlen];
+        for b in w.iter_mut() {
+            *b = b'a' + rng.below(26) as u8;
+        }
+        if rng.below(4) != 0 {
+            // Plant the word.
+            let pos = rng.below((SENT_LEN - wlen) as u32) as usize;
+            s[pos..pos + wlen].copy_from_slice(&w);
+        }
+        words[i * 12] = wlen as u8;
+        words[i * 12 + 1..i * 12 + 1 + wlen].copy_from_slice(&w);
+    }
+    (sentences, words)
+}
+
+/// Host-side BMH reference: index of first occurrence per pair, or
+/// `u32::MAX`.
+pub fn reference(sentences: &[u8], words: &[u8], n: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let s = &sentences[i * SENT_LEN..(i + 1) * SENT_LEN];
+        let wlen = words[i * 12] as usize;
+        let w = &words[i * 12 + 1..i * 12 + 1 + wlen];
+        out.push(bmh(s, w));
+    }
+    out
+}
+
+fn bmh(hay: &[u8], needle: &[u8]) -> u32 {
+    let m = needle.len();
+    if m == 0 || m > hay.len() {
+        return u32::MAX;
+    }
+    let mut skip = [m as u8; 256];
+    for (i, &b) in needle[..m - 1].iter().enumerate() {
+        skip[b as usize] = (m - 1 - i) as u8;
+    }
+    let mut pos = 0usize;
+    while pos + m <= hay.len() {
+        let mut j = m;
+        while j > 0 && hay[pos + j - 1] == needle[j - 1] {
+            j -= 1;
+        }
+        if j == 0 {
+            return pos as u32;
+        }
+        pos += skip[hay[pos + m - 1] as usize] as usize;
+    }
+    u32::MAX
+}
+
+/// Builds the guest program and golden output.
+pub fn build(scale: Scale) -> BuiltWorkload {
+    let n = pairs(scale);
+    let (sentences, words) = generate(n);
+    let found = reference(&sentences, &words, n);
+    let result: Vec<u8> = found.iter().flat_map(|w| w.to_le_bytes()).collect();
+
+    let mut a = Asm::new();
+    let entry = a.label("main");
+    let lsent = a.label("sentences");
+    let lwords = a.label("words");
+    let lskip = a.label("skip_table");
+    let lout = a.label("found_out");
+
+    a.bind(entry).unwrap();
+    user::alive(&mut a);
+    // r8 = sentence cursor, r9 = word cursor, r10 = out cursor, r11 = pair
+    // counter, r6 = skip table.
+    a.addr(Reg::R8, lsent);
+    a.addr(Reg::R9, lwords);
+    a.addr(Reg::R10, lout);
+    a.mov32(Reg::R11, n as u32);
+    a.addr(Reg::R6, lskip);
+
+    let pair_loop = a.label("pair_loop");
+    let skip_init = a.label("skip_init");
+    let skip_fill = a.label("skip_fill");
+    let search = a.label("search");
+    let match_loop = a.label("match_loop");
+    let matched = a.label("matched");
+    let advance = a.label("advance");
+    let not_found = a.label("not_found");
+    let emit = a.label("emit");
+    let next_pair = a.label("next_pair");
+
+    a.bind(pair_loop).unwrap();
+    // r4 = wlen, r5 = word base (skip the length byte).
+    a.ldrb(Reg::R4, Reg::R9, 0);
+    a.add_imm(Reg::R5, Reg::R9, 1);
+    // skip[b] = wlen for all b.
+    a.mov_imm(Reg::R0, 0);
+    a.bind(skip_init).unwrap();
+    a.strb_idx(Reg::R4, Reg::R6, Reg::R0);
+    a.add_imm(Reg::R0, Reg::R0, 1);
+    a.cmp_imm(Reg::R0, 256);
+    a.b_if(Cond::Ne, skip_init);
+    // skip[needle[i]] = wlen-1-i for i in 0..wlen-1.
+    a.mov_imm(Reg::R0, 0);
+    a.sub_imm(Reg::R1, Reg::R4, 1); // wlen-1
+    a.cmp_imm(Reg::R1, 0);
+    a.b_if(Cond::Eq, search);
+    a.bind(skip_fill).unwrap();
+    a.ldrb_idx(Reg::R2, Reg::R5, Reg::R0); // needle[i]
+    a.sub(Reg::R3, Reg::R1, Reg::R0); // wlen-1-i
+    a.strb_idx(Reg::R3, Reg::R6, Reg::R2);
+    a.add_imm(Reg::R0, Reg::R0, 1);
+    a.cmp(Reg::R0, Reg::R1);
+    a.b_if(Cond::Ne, skip_fill);
+
+    a.bind(search).unwrap();
+    // r0 = pos.
+    a.mov_imm(Reg::R0, 0);
+    let search_top = a.label("search_top");
+    a.bind(search_top).unwrap();
+    // while pos + wlen <= SENT_LEN
+    a.add(Reg::R1, Reg::R0, Reg::R4);
+    a.cmp_imm(Reg::R1, SENT_LEN as u32);
+    a.b_if(Cond::Hi, not_found);
+    // j = wlen; compare backwards.
+    a.mov(Reg::R1, Reg::R4);
+    a.bind(match_loop).unwrap();
+    a.cmp_imm(Reg::R1, 0);
+    a.b_if(Cond::Eq, matched);
+    a.sub_imm(Reg::R1, Reg::R1, 1);
+    // hay[pos + j] vs needle[j]
+    a.add(Reg::R2, Reg::R0, Reg::R1);
+    a.ldrb_idx(Reg::R2, Reg::R8, Reg::R2);
+    a.ldrb_idx(Reg::R3, Reg::R5, Reg::R1);
+    a.cmp(Reg::R2, Reg::R3);
+    a.b_if(Cond::Eq, match_loop);
+    a.bind(advance).unwrap();
+    // pos += skip[hay[pos + wlen - 1]]
+    a.add(Reg::R2, Reg::R0, Reg::R4);
+    a.sub_imm(Reg::R2, Reg::R2, 1);
+    a.ldrb_idx(Reg::R2, Reg::R8, Reg::R2);
+    a.ldrb_idx(Reg::R2, Reg::R6, Reg::R2);
+    a.add(Reg::R0, Reg::R0, Reg::R2);
+    a.b(search_top);
+
+    a.bind(matched).unwrap();
+    a.b(emit); // r0 = pos
+    a.bind(not_found).unwrap();
+    a.mov_imm(Reg::R0, 0);
+    a.mvn(Reg::R0, Reg::R0);
+    a.bind(emit).unwrap();
+    a.str_post(Reg::R0, Reg::R10, 4);
+    a.bind(next_pair).unwrap();
+    a.add_imm(Reg::R8, Reg::R8, SENT_LEN as u32);
+    a.add_imm(Reg::R9, Reg::R9, 12);
+    a.subs_imm(Reg::R11, Reg::R11, 1);
+    a.b_if(Cond::Ne, pair_loop);
+
+    emit_finish(&mut a, lout, (n * 4) as u32);
+
+    a.section(Section::Data);
+    a.bind(lsent).unwrap();
+    a.bytes(&sentences);
+    a.bind(lwords).unwrap();
+    a.bytes(&words);
+    a.section(Section::Bss);
+    a.bind(lskip).unwrap();
+    a.zero(256);
+    a.bind(lout).unwrap();
+    a.zero((n * 4) as u32);
+    a.section(Section::Text);
+
+    let image = a.finish(entry).unwrap();
+    BuiltWorkload { image, golden: expected_output(&result) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bmh_finds_planted_and_misses_absent() {
+        assert_eq!(bmh(b"hello world", b"world"), 6);
+        assert_eq!(bmh(b"hello world", b"word"), u32::MAX);
+        assert_eq!(bmh(b"aaaa", b"aaaa"), 0);
+        assert_eq!(bmh(b"ab", b"abc"), u32::MAX);
+    }
+
+    #[test]
+    fn generated_pairs_have_hits_and_misses() {
+        let n = pairs(Scale::Default);
+        let (s, w) = generate(n);
+        let found = reference(&s, &w, n);
+        let hits = found.iter().filter(|&&f| f != u32::MAX).count();
+        assert!(hits > n / 2, "most words are planted");
+        assert!(hits < n, "some searches must miss");
+    }
+}

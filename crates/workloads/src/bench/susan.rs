@@ -1,0 +1,344 @@
+//! SUSAN — corner detection (C), edge detection (E) and structure-
+//! preserving smoothing (S) over a grayscale image (paper: 76×95 input;
+//! scaled to 40×48). All three variants share the USAN machinery: a
+//! brightness-similarity lookup table evaluated over a circular mask.
+//!
+//! The similarity LUT is precomputed host-side (as the original SUSAN code
+//! does) and the per-pixel arithmetic is pure integer, so guest and
+//! reference agree exactly.
+
+use sea_isa::{Asm, Cond, Reg, Section};
+use sea_kernel::user;
+
+use crate::input::test_image;
+use crate::runtime::{emit_finish, expected_output};
+use crate::{BuiltWorkload, Scale};
+
+const SEED: u32 = 0x5005_0001;
+/// Brightness threshold of the similarity function.
+const BT: i32 = 20;
+
+/// The 21-pixel quasi-circular USAN mask (5×5 without corners), as
+/// (dx, dy) offsets.
+pub const MASK: [(i32, i32); 21] = [
+    (-1, -2), (0, -2), (1, -2),
+    (-2, -1), (-1, -1), (0, -1), (1, -1), (2, -1),
+    (-2, 0), (-1, 0), (0, 0), (1, 0), (2, 0),
+    (-2, 1), (-1, 1), (0, 1), (1, 1), (2, 1),
+    (-1, 2), (0, 2), (1, 2),
+];
+
+/// Which SUSAN variant to build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Corner detection.
+    Corners,
+    /// Edge detection.
+    Edges,
+    /// Structure-preserving smoothing.
+    Smoothing,
+}
+
+fn dims(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Default => (40, 48),
+        Scale::Tiny => (16, 16),
+    }
+}
+
+/// Similarity LUT: `lut[d] = round(100 * exp(-(d/BT)^6))` for brightness
+/// difference `d` — the smooth USAN membership function (0..=100).
+pub fn similarity_lut() -> [u8; 256] {
+    let mut lut = [0u8; 256];
+    for (d, e) in lut.iter_mut().enumerate() {
+        let x = d as f64 / BT as f64;
+        *e = (100.0 * (-x.powi(6)).exp()).round() as u8;
+    }
+    lut
+}
+
+/// USAN value at (x, y): sum of similarity over the mask (center included),
+/// computed with border clamping.
+fn usan(img: &[u8], w: usize, h: usize, x: usize, y: usize, lut: &[u8; 256]) -> u32 {
+    let c = img[y * w + x] as i32;
+    let mut area = 0u32;
+    for (dx, dy) in MASK {
+        let nx = (x as i32 + dx).clamp(0, w as i32 - 1) as usize;
+        let ny = (y as i32 + dy).clamp(0, h as i32 - 1) as usize;
+        let d = (img[ny * w + nx] as i32 - c).unsigned_abs() as usize;
+        area += lut[d.min(255)] as u32;
+    }
+    area
+}
+
+/// Host-side reference for each variant. Returns the result byte buffer.
+pub fn reference(img: &[u8], w: usize, h: usize, variant: Variant) -> Vec<u8> {
+    let lut = similarity_lut();
+    // Geometric thresholds, scaled from SUSAN's 3/4·max (edges) and
+    // 1/2·max (corners); max response is 100 per mask pixel.
+    let max_area = 100 * MASK.len() as u32;
+    match variant {
+        Variant::Edges => {
+            let g = 3 * max_area / 4;
+            let mut out = vec![0u8; w * h];
+            for y in 0..h {
+                for x in 0..w {
+                    let a = usan(img, w, h, x, y, &lut);
+                    let resp = g.saturating_sub(a);
+                    out[y * w + x] = (resp / 8).min(255) as u8;
+                }
+            }
+            out
+        }
+        Variant::Corners => {
+            let g = max_area / 2;
+            // Output: count (u32) then (x, y) byte pairs of detections.
+            let mut pts = Vec::new();
+            for y in 0..h {
+                for x in 0..w {
+                    let a = usan(img, w, h, x, y, &lut);
+                    if a < g {
+                        pts.push((x as u8, y as u8));
+                    }
+                }
+            }
+            let mut out = (pts.len() as u32).to_le_bytes().to_vec();
+            for (x, y) in pts {
+                out.push(x);
+                out.push(y);
+            }
+            // Pad to the fixed result size the guest uses.
+            out.resize(4 + 2 * w * h, 0);
+            out
+        }
+        Variant::Smoothing => {
+            let mut out = vec![0u8; w * h];
+            for y in 0..h {
+                for x in 0..w {
+                    let c = img[y * w + x] as i32;
+                    let mut num = 0u32;
+                    let mut den = 0u32;
+                    for (dx, dy) in MASK {
+                        let nx = (x as i32 + dx).clamp(0, w as i32 - 1) as usize;
+                        let ny = (y as i32 + dy).clamp(0, h as i32 - 1) as usize;
+                        let p = img[ny * w + nx] as u32;
+                        let d = (p as i32 - c).unsigned_abs() as usize;
+                        let wgt = lut[d.min(255)] as u32;
+                        num += wgt * p;
+                        den += wgt;
+                    }
+                    out[y * w + x] = if den == 0 { c as u8 } else { (num / den) as u8 };
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Builds the guest program for one SUSAN variant.
+pub fn build(scale: Scale, variant: Variant) -> BuiltWorkload {
+    let (w, h) = dims(scale);
+    let img = test_image(w, h, SEED);
+    let result = reference(&img, w, h, variant);
+    let lut = similarity_lut();
+    let (w32, h32) = (w as u32, h as u32);
+    let max_area = 100 * MASK.len() as u32;
+
+    let mut a = Asm::new();
+    let entry = a.label("main");
+    let limg = a.label("image");
+    let llut = a.label("lut");
+    let lmask = a.label("mask");
+    let lout = a.label("susan_out");
+
+    a.bind(entry).unwrap();
+    user::alive(&mut a);
+    a.addr(Reg::R8, limg); // image
+    a.addr(Reg::R9, llut); // LUT
+    a.addr(Reg::R10, lout); // output cursor (corners) / base (maps)
+
+    // For corners, out[0..4] is the count; points append after.
+    if variant == Variant::Corners {
+        a.mov_imm(Reg::R0, 0);
+        a.str(Reg::R0, Reg::R10, 0); // count = 0
+        a.add_imm(Reg::R10, Reg::R10, 4); // cursor past the count
+    }
+
+    let ly = a.label("loop_y");
+    let lx = a.label("loop_x");
+    let lm = a.label("loop_mask");
+    let next_x = a.label("next_x");
+
+    // r4 = y, r5 = x.
+    a.mov_imm(Reg::R4, 0);
+    a.bind(ly).unwrap();
+    a.mov_imm(Reg::R5, 0);
+    a.bind(lx).unwrap();
+    // r6 = center pixel value c; r11 = usan accumulator; for smoothing,
+    // r2 = num accumulator kept in memory? Use r12 for num.
+    a.mov32(Reg::R0, w32);
+    a.mla(Reg::R1, Reg::R4, Reg::R0, Reg::R5);
+    a.ldrb_idx(Reg::R6, Reg::R8, Reg::R1);
+    a.mov_imm(Reg::R11, 0);
+    if variant == Variant::Smoothing {
+        a.mov_imm(Reg::R12, 0);
+    }
+    // Iterate the mask table: r3 = mask cursor, r0 = remaining.
+    a.addr(Reg::R3, lmask);
+    a.mov_imm(Reg::R0, MASK.len() as u32);
+    a.push_regs(&[Reg::R0, Reg::R3]); // keep cursor+count across body
+    a.bind(lm).unwrap();
+    a.pop_regs(&[Reg::R0, Reg::R3]);
+    a.cmp_imm(Reg::R0, 0);
+    let mask_done = a.label("mask_done");
+    a.b_if(Cond::Eq, mask_done);
+    a.sub_imm(Reg::R0, Reg::R0, 1);
+    // load dx (word), dy (word)
+    a.ldr(Reg::R1, Reg::R3, 0);
+    a.ldr(Reg::R2, Reg::R3, 4);
+    a.add_imm(Reg::R3, Reg::R3, 8);
+    a.push_regs(&[Reg::R0, Reg::R3]);
+    // nx = clamp(x + dx, 0, w-1)  (signed)
+    a.add(Reg::R1, Reg::R5, Reg::R1);
+    a.cmp_imm(Reg::R1, 0);
+    a.ifc(Cond::Lt).mov_imm(Reg::R1, 0);
+    a.mov32(Reg::R0, w32 - 1);
+    a.cmp(Reg::R1, Reg::R0);
+    a.ifc(Cond::Gt).mov(Reg::R1, Reg::R0);
+    // ny = clamp(y + dy, 0, h-1)
+    a.add(Reg::R2, Reg::R4, Reg::R2);
+    a.cmp_imm(Reg::R2, 0);
+    a.ifc(Cond::Lt).mov_imm(Reg::R2, 0);
+    a.mov32(Reg::R0, h32 - 1);
+    a.cmp(Reg::R2, Reg::R0);
+    a.ifc(Cond::Gt).mov(Reg::R2, Reg::R0);
+    // p = img[ny*w + nx]
+    a.mov32(Reg::R0, w32);
+    a.mla(Reg::R2, Reg::R2, Reg::R0, Reg::R1);
+    a.ldrb_idx(Reg::R2, Reg::R8, Reg::R2); // p
+    // d = |p - c|; wgt = lut[d]
+    a.subs(Reg::R1, Reg::R2, Reg::R6);
+    a.ifc(Cond::Mi).rsb_imm(Reg::R1, Reg::R1, 0);
+    a.ldrb_idx(Reg::R1, Reg::R9, Reg::R1); // wgt
+    a.add(Reg::R11, Reg::R11, Reg::R1); // usan/den += wgt
+    if variant == Variant::Smoothing {
+        a.mla(Reg::R12, Reg::R1, Reg::R2, Reg::R12); // num += wgt * p
+    }
+    a.b(lm);
+    a.bind(mask_done).unwrap();
+
+    // Per-pixel decision.
+    let store_done = a.label("store_done");
+    match variant {
+        Variant::Edges => {
+            // resp = max(0, g - usan) / 8
+            let g = 3 * max_area / 4;
+            a.mov32(Reg::R0, g);
+            a.subs(Reg::R0, Reg::R0, Reg::R11);
+            a.ifc(Cond::Mi).mov_imm(Reg::R0, 0);
+            a.lsr(Reg::R0, Reg::R0, 3);
+            a.cmp_imm(Reg::R0, 255);
+            a.ifc(Cond::Hi).mov_imm(Reg::R0, 255);
+            a.mov32(Reg::R1, w32);
+            a.mla(Reg::R1, Reg::R4, Reg::R1, Reg::R5);
+            a.strb_idx(Reg::R0, Reg::R10, Reg::R1);
+        }
+        Variant::Corners => {
+            let g = max_area / 2;
+            a.mov32(Reg::R0, g);
+            a.cmp(Reg::R11, Reg::R0);
+            a.b_if(Cond::Cs, store_done);
+            // Append (x, y); bump the count at out[0].
+            a.strb_post(Reg::R5, Reg::R10, 1);
+            a.strb_post(Reg::R4, Reg::R10, 1);
+            a.addr(Reg::R0, lout);
+            a.ldr(Reg::R1, Reg::R0, 0);
+            a.add_imm(Reg::R1, Reg::R1, 1);
+            a.str(Reg::R1, Reg::R0, 0);
+        }
+        Variant::Smoothing => {
+            // out = den == 0 ? c : num / den
+            a.cmp_imm(Reg::R11, 0);
+            a.mov(Reg::R0, Reg::R6);
+            a.ifc(Cond::Ne).udiv(Reg::R0, Reg::R12, Reg::R11);
+            a.mov32(Reg::R1, w32);
+            a.mla(Reg::R1, Reg::R4, Reg::R1, Reg::R5);
+            a.strb_idx(Reg::R0, Reg::R10, Reg::R1);
+        }
+    }
+    a.bind(store_done).unwrap();
+
+    a.bind(next_x).unwrap();
+    a.add_imm(Reg::R5, Reg::R5, 1);
+    a.cmp_imm(Reg::R5, w32);
+    a.b_if(Cond::Ne, lx);
+    a.add_imm(Reg::R4, Reg::R4, 1);
+    a.cmp_imm(Reg::R4, h32);
+    a.b_if(Cond::Ne, ly);
+
+    let result_len = result.len() as u32;
+    emit_finish(&mut a, lout, result_len);
+
+    a.section(Section::Rodata);
+    a.bind(llut).unwrap();
+    a.bytes(&lut);
+    a.align(4);
+    a.bind(lmask).unwrap();
+    for (dx, dy) in MASK {
+        a.word(dx as u32);
+        a.word(dy as u32);
+    }
+    a.section(Section::Data);
+    a.bind(limg).unwrap();
+    a.bytes(&img);
+    a.align(4);
+    a.section(Section::Bss);
+    a.align(4);
+    a.bind(lout).unwrap();
+    a.zero(result_len.next_multiple_of(4));
+    a.section(Section::Text);
+
+    let image = a.finish(entry).unwrap();
+    BuiltWorkload { image, golden: expected_output(&result) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_is_monotone_decreasing_with_plateau() {
+        let lut = similarity_lut();
+        assert_eq!(lut[0], 100);
+        for d in 1..256 {
+            assert!(lut[d] <= lut[d - 1]);
+        }
+        assert_eq!(lut[255], 0);
+    }
+
+    #[test]
+    fn corners_found_on_structured_image() {
+        let (w, h) = dims(Scale::Default);
+        let img = test_image(w, h, SEED);
+        let out = reference(&img, w, h, Variant::Corners);
+        let count = u32::from_le_bytes(out[0..4].try_into().unwrap());
+        assert!(count > 0, "the test image has corner features");
+        assert!((count as usize) < w * h / 4, "not everything is a corner");
+    }
+
+    #[test]
+    fn smoothing_preserves_flat_regions() {
+        let img = vec![128u8; 16 * 16];
+        let out = reference(&img, 16, 16, Variant::Smoothing);
+        assert!(out.iter().all(|&p| p == 128));
+    }
+
+    #[test]
+    fn edges_stronger_on_boundaries_than_flats() {
+        let (w, h) = dims(Scale::Default);
+        let img = test_image(w, h, SEED);
+        let out = reference(&img, w, h, Variant::Edges);
+        let max = out.iter().copied().max().unwrap();
+        assert!(max > 0, "edges must respond to the block boundaries");
+    }
+}

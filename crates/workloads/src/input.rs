@@ -1,0 +1,130 @@
+//! Deterministic input generation.
+//!
+//! Every benchmark derives its input from a fixed-seed xorshift32 stream,
+//! so the guest image, the Rust reference implementation and the golden
+//! output are all reproducible bit-for-bit — the paper's requirement that
+//! fault injection and beam runs use "the exact same input vector" (§IV-A).
+
+/// A xorshift32 PRNG. Deterministic, seedable, and intentionally simple
+/// enough to re-derive anywhere.
+#[derive(Clone, Copy, Debug)]
+pub struct XorShift32 {
+    state: u32,
+}
+
+impl XorShift32 {
+    /// Creates a generator; a zero seed is remapped to a fixed constant.
+    pub fn new(seed: u32) -> XorShift32 {
+        XorShift32 { state: if seed == 0 { 0x9E37_79B9 } else { seed } }
+    }
+
+    /// Next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.state = x;
+        x
+    }
+
+    /// Next value in `[0, bound)` (bound > 0).
+    pub fn below(&mut self, bound: u32) -> u32 {
+        self.next_u32() % bound
+    }
+
+    /// Next byte.
+    pub fn next_u8(&mut self) -> u8 {
+        (self.next_u32() >> 16) as u8
+    }
+
+    /// Fills a byte buffer.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for b in buf {
+            *b = self.next_u8();
+        }
+    }
+
+    /// A positive, finite `f32` in roughly `[0, 1000)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() % 1_000_000) as f32 / 1000.0
+    }
+}
+
+/// Bytes of `n` pseudo-random values from `seed`.
+pub fn random_bytes(seed: u32, n: usize) -> Vec<u8> {
+    let mut rng = XorShift32::new(seed);
+    let mut v = vec![0u8; n];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+/// `n` pseudo-random words from `seed`.
+pub fn random_words(seed: u32, n: usize) -> Vec<u32> {
+    let mut rng = XorShift32::new(seed);
+    (0..n).map(|_| rng.next_u32()).collect()
+}
+
+/// `n` positive pseudo-random floats from `seed`.
+pub fn random_floats(seed: u32, n: usize) -> Vec<f32> {
+    let mut rng = XorShift32::new(seed);
+    (0..n).map(|_| rng.next_f32()).collect()
+}
+
+/// A deterministic grayscale test image with smooth gradients, edges and
+/// corner features (for the Susan and JPEG benchmarks).
+pub fn test_image(width: usize, height: usize, seed: u32) -> Vec<u8> {
+    let mut rng = XorShift32::new(seed);
+    let mut img = vec![0u8; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            // Gradient base + blocky structure + light noise.
+            let grad = (x * 255 / width.max(1)) as u32;
+            let block = if (x / 8 + y / 8) % 2 == 0 { 64 } else { 0 };
+            let noise = rng.below(16);
+            img[y * width + x] = ((grad / 2 + block + noise).min(255)) as u8;
+        }
+    }
+    // A bright rectangle to provide strong corners/edges.
+    for y in height / 4..height / 2 {
+        for x in width / 4..width / 2 {
+            img[y * width + x] = 230;
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        assert_eq!(random_bytes(7, 16), random_bytes(7, 16));
+        assert_ne!(random_bytes(7, 16), random_bytes(8, 16));
+        let w = random_words(1, 4);
+        assert_eq!(w.len(), 4);
+        assert!(w.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn floats_are_positive_and_finite() {
+        for f in random_floats(3, 1000) {
+            assert!(f.is_finite() && f >= 0.0 && f < 1000.0);
+        }
+    }
+
+    #[test]
+    fn test_image_has_structure() {
+        let img = test_image(40, 48, 5);
+        assert_eq!(img.len(), 40 * 48);
+        let distinct: std::collections::BTreeSet<_> = img.iter().collect();
+        assert!(distinct.len() > 32, "image should not be flat");
+        assert_eq!(img, test_image(40, 48, 5));
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        assert_ne!(XorShift32::new(0).next_u32(), 0);
+    }
+}

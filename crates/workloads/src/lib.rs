@@ -1,0 +1,135 @@
+//! # sea-workloads — the paper's 13 MiBench-class benchmarks as guest programs
+//!
+//! Each benchmark from Table III of the paper is implemented twice: once as
+//! an AR32 guest program (built with the `sea-isa` assembler, run on Linux-
+//! lite via the syscall ABI) and once as a host-side Rust reference whose
+//! output the guest must reproduce byte-for-byte. The reference closes the
+//! loop: a fault-free simulated run must equal the reference, which the
+//! golden-output tests verify for every benchmark.
+//!
+//! Inputs are deterministic ([`input`]) and scaled with the cache
+//! configuration (see DESIGN.md §1): the *relative* footprint ordering of
+//! the paper is preserved — Susan/StringSearch/MatMul/Dijkstra small,
+//! CRC32/Rijndael/FFT/Jpeg/Qsort large.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod input;
+pub mod runtime;
+
+pub mod bench;
+mod meta;
+
+use sea_isa::Image;
+
+pub use bench::l1probe::{build_l1_probe, L1ProbeParams};
+pub use meta::{input_bytes, WorkloadMeta, FOOTPRINT_LARGE, FOOTPRINT_SMALL};
+
+/// Input scaling preset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Scale {
+    /// Campaign-sized inputs (default; hundreds of thousands to a few
+    /// million simulated instructions per run).
+    Default,
+    /// Very small inputs for fast unit tests and smoke campaigns.
+    Tiny,
+}
+
+/// A built guest benchmark: the loadable image plus the golden output the
+/// board must observe on a fault-free run.
+#[derive(Clone, Debug)]
+pub struct BuiltWorkload {
+    /// The guest program.
+    pub image: Image,
+    /// Expected `write()` output (digest + sample prefix; see
+    /// [`runtime::expected_output`]).
+    pub golden: Vec<u8>,
+}
+
+/// The 13 benchmarks of the paper's Table III.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Workload {
+    Crc32,
+    Dijkstra,
+    Fft,
+    JpegC,
+    JpegD,
+    MatMul,
+    Qsort,
+    RijndaelE,
+    RijndaelD,
+    StringSearch,
+    SusanC,
+    SusanE,
+    SusanS,
+}
+
+impl Workload {
+    /// All benchmarks, in the paper's reporting order.
+    pub const ALL: [Workload; 13] = [
+        Workload::Crc32,
+        Workload::Dijkstra,
+        Workload::Fft,
+        Workload::JpegC,
+        Workload::JpegD,
+        Workload::MatMul,
+        Workload::Qsort,
+        Workload::RijndaelE,
+        Workload::RijndaelD,
+        Workload::StringSearch,
+        Workload::SusanC,
+        Workload::SusanE,
+        Workload::SusanS,
+    ];
+
+    /// The benchmark's display name (paper spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Crc32 => "CRC32",
+            Workload::Dijkstra => "Dijkstra",
+            Workload::Fft => "FFT",
+            Workload::JpegC => "Jpeg C",
+            Workload::JpegD => "Jpeg D",
+            Workload::MatMul => "MatMul",
+            Workload::Qsort => "Qsort",
+            Workload::RijndaelE => "Rijndael E",
+            Workload::RijndaelD => "Rijndael D",
+            Workload::StringSearch => "StringSearch",
+            Workload::SusanC => "Susan C",
+            Workload::SusanE => "Susan E",
+            Workload::SusanS => "Susan S",
+        }
+    }
+
+    /// Table III metadata.
+    pub fn meta(self) -> WorkloadMeta {
+        meta::meta(self)
+    }
+
+    /// Builds the guest image and golden output at the given scale.
+    pub fn build(self, scale: Scale) -> BuiltWorkload {
+        match self {
+            Workload::Crc32 => bench::crc32::build(scale),
+            Workload::Dijkstra => bench::dijkstra::build(scale),
+            Workload::Fft => bench::fft::build(scale),
+            Workload::JpegC => bench::jpeg::build_encode(scale),
+            Workload::JpegD => bench::jpeg::build_decode(scale),
+            Workload::MatMul => bench::matmul::build(scale),
+            Workload::Qsort => bench::qsort::build(scale),
+            Workload::RijndaelE => bench::rijndael::build_encrypt(scale),
+            Workload::RijndaelD => bench::rijndael::build_decrypt(scale),
+            Workload::StringSearch => bench::stringsearch::build(scale),
+            Workload::SusanC => bench::susan::build(scale, bench::susan::Variant::Corners),
+            Workload::SusanE => bench::susan::build(scale, bench::susan::Variant::Edges),
+            Workload::SusanS => bench::susan::build(scale, bench::susan::Variant::Smoothing),
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

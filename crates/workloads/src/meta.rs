@@ -1,0 +1,155 @@
+//! Table III metadata: inputs and computational characteristics.
+
+use crate::{Scale, Workload};
+
+/// Footprint class marker: small inputs that fit in the cache hierarchy
+/// (the paper's Dijkstra/MatMul/StringSearch/Susan group, §V-A).
+pub const FOOTPRINT_SMALL: &str = "small";
+/// Footprint class marker: large inputs that pressure the hierarchy.
+pub const FOOTPRINT_LARGE: &str = "large";
+
+/// One row of Table III.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WorkloadMeta {
+    /// Paper's INPUT column.
+    pub paper_input: &'static str,
+    /// This repo's scaled input (Default scale).
+    pub scaled_input: &'static str,
+    /// Paper's CHARACTERISTICS column.
+    pub characteristics: &'static str,
+    /// Footprint class ([`FOOTPRINT_SMALL`] / [`FOOTPRINT_LARGE`]),
+    /// driving the kernel-cache-residency analysis.
+    pub footprint: &'static str,
+}
+
+pub(crate) fn meta(w: Workload) -> WorkloadMeta {
+    match w {
+        Workload::Crc32 => WorkloadMeta {
+            paper_input: "26.6 MB file",
+            scaled_input: "96 KB byte stream",
+            characteristics: "CPU intensive",
+            footprint: FOOTPRINT_LARGE,
+        },
+        Workload::Dijkstra => WorkloadMeta {
+            paper_input: "100x100 integer adjacency matrix",
+            scaled_input: "24x24 integer adjacency matrix, 24 paths",
+            characteristics: "Control intensive, memory intensive",
+            footprint: FOOTPRINT_SMALL,
+        },
+        Workload::Fft => WorkloadMeta {
+            paper_input: "32768-element floating point array",
+            scaled_input: "1024-point complex float array",
+            characteristics: "Memory intensive",
+            footprint: FOOTPRINT_LARGE,
+        },
+        Workload::JpegC => WorkloadMeta {
+            paper_input: "512x512 PPM image (786.5 KB)",
+            scaled_input: "48x48 grayscale image",
+            characteristics: "CPU intensive",
+            footprint: FOOTPRINT_LARGE,
+        },
+        Workload::JpegD => WorkloadMeta {
+            paper_input: "512x512 JPEG image",
+            scaled_input: "encoded 48x48 stream",
+            characteristics: "CPU intensive",
+            footprint: FOOTPRINT_LARGE,
+        },
+        Workload::MatMul => WorkloadMeta {
+            paper_input: "128x128 single-precision float",
+            scaled_input: "24x24 single-precision float",
+            characteristics: "Memory intensive",
+            footprint: FOOTPRINT_SMALL,
+        },
+        Workload::Qsort => WorkloadMeta {
+            paper_input: "list of 50K doubles",
+            scaled_input: "list of 12K words",
+            characteristics: "Memory intensive and control intensive",
+            footprint: FOOTPRINT_LARGE,
+        },
+        Workload::RijndaelE => WorkloadMeta {
+            paper_input: "3.2 MB file",
+            scaled_input: "40 KB file (AES-128 encrypt)",
+            characteristics: "Memory intensive",
+            footprint: FOOTPRINT_LARGE,
+        },
+        Workload::RijndaelD => WorkloadMeta {
+            paper_input: "3.2 MB file",
+            scaled_input: "40 KB ciphertext (AES-128 decrypt)",
+            characteristics: "Memory intensive",
+            footprint: FOOTPRINT_LARGE,
+        },
+        Workload::StringSearch => WorkloadMeta {
+            paper_input: "1332 words in 1332 sentences",
+            scaled_input: "160 words in 160 sentences",
+            characteristics: "Memory intensive and control intensive",
+            footprint: FOOTPRINT_SMALL,
+        },
+        Workload::SusanC => WorkloadMeta {
+            paper_input: "76x95 pixels, 7.3 KB",
+            scaled_input: "40x48 pixels, ~1.9 KB",
+            characteristics: "CPU intensive",
+            footprint: FOOTPRINT_SMALL,
+        },
+        Workload::SusanE => WorkloadMeta {
+            paper_input: "76x95 pixels, 7.3 KB",
+            scaled_input: "40x48 pixels, ~1.9 KB",
+            characteristics: "CPU intensive",
+            footprint: FOOTPRINT_SMALL,
+        },
+        Workload::SusanS => WorkloadMeta {
+            paper_input: "76x95 pixels, 7.3 KB",
+            scaled_input: "40x48 pixels, ~1.9 KB",
+            characteristics: "CPU intensive",
+            footprint: FOOTPRINT_SMALL,
+        },
+    }
+}
+
+/// Rough input-bytes estimate for the footprint analysis (Default scale).
+pub fn input_bytes(w: Workload, scale: Scale) -> u32 {
+    let default = match w {
+        Workload::Crc32 => 96 * 1024,
+        Workload::Dijkstra => 24 * 24 * 4,
+        Workload::Fft => 1024 * 8,
+        Workload::JpegC => 48 * 48,
+        Workload::JpegD => 2 * 1024,
+        Workload::MatMul => 2 * 24 * 24 * 4,
+        Workload::Qsort => 12 * 1024 * 4,
+        Workload::RijndaelE | Workload::RijndaelD => 40 * 1024,
+        Workload::StringSearch => 160 * 64,
+        Workload::SusanC | Workload::SusanE | Workload::SusanS => 40 * 48,
+    };
+    match scale {
+        Scale::Default => default,
+        Scale::Tiny => (default / 16).max(64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_footprint_set_matches_paper() {
+        // §V-A: Dijkstra, MatMul, StringSearch and the Susans have the
+        // smallest inputs.
+        let small: Vec<_> = Workload::ALL
+            .iter()
+            .filter(|w| w.meta().footprint == FOOTPRINT_SMALL)
+            .collect();
+        assert_eq!(small.len(), 6);
+        for w in [Workload::Dijkstra, Workload::MatMul, Workload::StringSearch] {
+            assert_eq!(w.meta().footprint, FOOTPRINT_SMALL, "{w}");
+        }
+    }
+
+    #[test]
+    fn every_workload_has_metadata() {
+        for w in Workload::ALL {
+            let m = w.meta();
+            assert!(!m.paper_input.is_empty());
+            assert!(!m.characteristics.is_empty());
+            assert!(input_bytes(w, Scale::Default) > input_bytes(w, Scale::Tiny));
+        }
+    }
+}

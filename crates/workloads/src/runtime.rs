@@ -1,0 +1,125 @@
+//! Shared guest-side runtime: result hashing and the common epilogue.
+//!
+//! Every benchmark finishes the same way the paper's beam binaries do: an
+//! on-line check routine condenses the result buffer into a digest, then a
+//! short prefix of raw results plus the digest is shipped out through
+//! `write()` and the program exits. The check routine itself is guest code
+//! resident in the caches — the paper's §VI discussion of SDC-check
+//! routines applies to it directly.
+
+use sea_isa::{Asm, Cond, Label, Reg, Section};
+use sea_kernel::user;
+
+/// How many raw result bytes are shipped alongside the digest.
+pub const SAMPLE_BYTES: u32 = 256;
+
+/// FNV-1a offset basis.
+pub const FNV_OFFSET: u32 = 0x811C_9DC5;
+/// FNV-1a prime.
+pub const FNV_PRIME: u32 = 16_777_619;
+
+/// Host-side FNV-1a over a byte slice (the reference half of the on-line
+/// check routine).
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Builds the expected output bytes for a result buffer: FNV digest (LE)
+/// followed by the first [`SAMPLE_BYTES`] bytes of the results.
+pub fn expected_output(result: &[u8]) -> Vec<u8> {
+    let mut out = fnv1a(result).to_le_bytes().to_vec();
+    out.extend_from_slice(&result[..result.len().min(SAMPLE_BYTES as usize)]);
+    out
+}
+
+/// Emits the standard epilogue: hash `result_len` bytes at `result`,
+/// store the digest + a [`SAMPLE_BYTES`] prefix into a fresh output
+/// buffer, `write()` it, send a final `alive()`, and `exit(0)`.
+///
+/// The FNV routine body is emitted after the (non-returning) exit path,
+/// so the program simply ends at this call.
+pub fn emit_finish(a: &mut Asm, result: Label, result_len: u32) {
+    let out = a.label("out_buf");
+    let fnv = a.label("fnv_fn");
+    // Hash the results.
+    a.addr(Reg::R0, result);
+    a.mov32(Reg::R1, result_len);
+    a.bl(fnv);
+    // out[0..4] = digest.
+    a.addr(Reg::R4, out);
+    a.str(Reg::R0, Reg::R4, 0);
+    // Copy the sample prefix.
+    let n = result_len.min(SAMPLE_BYTES);
+    let cp = a.label("finish_copy");
+    a.addr(Reg::R1, result);
+    a.add_imm(Reg::R2, Reg::R4, 4);
+    a.mov32(Reg::R3, n);
+    let skip = a.label("finish_skip");
+    a.cmp_imm(Reg::R3, 0);
+    a.b_if(Cond::Eq, skip);
+    a.bind(cp).unwrap();
+    a.ldrb_post(Reg::R0, Reg::R1, 1);
+    a.strb_post(Reg::R0, Reg::R2, 1);
+    a.subs_imm(Reg::R3, Reg::R3, 1);
+    a.b_if(Cond::Ne, cp);
+    a.bind(skip).unwrap();
+    user::alive(a);
+    a.addr(Reg::R0, out);
+    a.mov32(Reg::R1, 4 + n);
+    user::write(a);
+    user::exit_with(a, 0);
+    // The FNV body sits after the exit path, which never falls through.
+    emit_fnv_fn_at(a, fnv);
+    // Output buffer lives in .bss.
+    a.section(Section::Bss);
+    a.bind(out).unwrap();
+    a.zero(4 + SAMPLE_BYTES);
+    a.section(Section::Text);
+}
+
+/// Emits the FNV-1a routine body bound to a caller-provided label.
+fn emit_fnv_fn_at(a: &mut Asm, f: Label) {
+    let lp = a.label("fnv_loop");
+    let done = a.label("fnv_done");
+    a.bind(f).unwrap();
+    a.mov32(Reg::R2, FNV_OFFSET);
+    a.mov32(Reg::R12, FNV_PRIME);
+    a.cmp_imm(Reg::R1, 0);
+    a.b_if(Cond::Eq, done);
+    a.bind(lp).unwrap();
+    a.ldrb_post(Reg::R3, Reg::R0, 1);
+    a.eor(Reg::R2, Reg::R2, Reg::R3);
+    a.mul(Reg::R2, Reg::R2, Reg::R12);
+    a.subs_imm(Reg::R1, Reg::R1, 1);
+    a.b_if(Cond::Ne, lp);
+    a.bind(done).unwrap();
+    a.mov(Reg::R0, Reg::R2);
+    a.bx(Reg::Lr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Known FNV-1a values.
+        assert_eq!(fnv1a(b""), 0x811C_9DC5);
+        assert_eq!(fnv1a(b"a"), 0xE40C_292C);
+        assert_eq!(fnv1a(b"foobar"), 0xBF9C_F968);
+    }
+
+    #[test]
+    fn expected_output_truncates_sample() {
+        let data = vec![7u8; 1000];
+        let out = expected_output(&data);
+        assert_eq!(out.len(), 4 + SAMPLE_BYTES as usize);
+        let short = expected_output(&[1, 2, 3]);
+        assert_eq!(short.len(), 7);
+    }
+}

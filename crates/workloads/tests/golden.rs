@@ -1,0 +1,140 @@
+//! Golden cross-validation: every guest benchmark, run fault-free on the
+//! full simulated stack (caches + MMU + kernel + board), must produce
+//! exactly the output of its host-side Rust reference.
+
+use sea_microarch::MachineConfig;
+use sea_platform::golden_run;
+use sea_workloads::{build_l1_probe, L1ProbeParams, Scale, Workload};
+
+fn check(w: Workload, scale: Scale, budget: u64) {
+    let built = w.build(scale);
+    let g = golden_run(
+        MachineConfig::cortex_a9(),
+        &built.image,
+        &sea_kernel::KernelConfig::default(),
+        budget,
+    )
+    .unwrap_or_else(|e| panic!("{w}: golden run failed: {e}"));
+    assert_eq!(
+        g.output, built.golden,
+        "{w}: guest output differs from the host reference"
+    );
+    assert!(g.cycles > 1000, "{w}: suspiciously short run");
+}
+
+#[test]
+fn crc32_tiny_matches_reference() {
+    check(Workload::Crc32, Scale::Tiny, 10_000_000);
+}
+
+#[test]
+fn dijkstra_tiny_matches_reference() {
+    check(Workload::Dijkstra, Scale::Tiny, 10_000_000);
+}
+
+#[test]
+fn fft_tiny_matches_reference() {
+    check(Workload::Fft, Scale::Tiny, 10_000_000);
+}
+
+#[test]
+fn jpeg_encode_tiny_matches_reference() {
+    check(Workload::JpegC, Scale::Tiny, 20_000_000);
+}
+
+#[test]
+fn jpeg_decode_tiny_matches_reference() {
+    check(Workload::JpegD, Scale::Tiny, 20_000_000);
+}
+
+#[test]
+fn matmul_tiny_matches_reference() {
+    check(Workload::MatMul, Scale::Tiny, 10_000_000);
+}
+
+#[test]
+fn qsort_tiny_matches_reference() {
+    check(Workload::Qsort, Scale::Tiny, 10_000_000);
+}
+
+#[test]
+fn rijndael_encrypt_tiny_matches_reference() {
+    check(Workload::RijndaelE, Scale::Tiny, 20_000_000);
+}
+
+#[test]
+fn rijndael_decrypt_tiny_matches_reference() {
+    check(Workload::RijndaelD, Scale::Tiny, 20_000_000);
+}
+
+#[test]
+fn stringsearch_tiny_matches_reference() {
+    check(Workload::StringSearch, Scale::Tiny, 10_000_000);
+}
+
+#[test]
+fn susan_corners_tiny_matches_reference() {
+    check(Workload::SusanC, Scale::Tiny, 20_000_000);
+}
+
+#[test]
+fn susan_edges_tiny_matches_reference() {
+    check(Workload::SusanE, Scale::Tiny, 20_000_000);
+}
+
+#[test]
+fn susan_smoothing_tiny_matches_reference() {
+    check(Workload::SusanS, Scale::Tiny, 20_000_000);
+}
+
+#[test]
+fn l1_probe_reports_zero_upsets_fault_free() {
+    let built = build_l1_probe(L1ProbeParams { buf_bytes: 4096, sweeps: 2, dwell_iters: 500 });
+    let g = golden_run(
+        MachineConfig::cortex_a9(),
+        &built.image,
+        &sea_kernel::KernelConfig::default(),
+        20_000_000,
+    )
+    .unwrap();
+    assert_eq!(g.output, built.golden);
+}
+
+/// Default-scale golden runs: slower, so gathered into one test that also
+/// records per-benchmark cycle counts stay within the campaign envelope.
+#[test]
+fn all_defaults_match_reference_within_cycle_budget() {
+    for w in Workload::ALL {
+        let built = w.build(Scale::Default);
+        let g = golden_run(
+            MachineConfig::cortex_a9(),
+            &built.image,
+            &sea_kernel::KernelConfig::default(),
+            80_000_000,
+        )
+        .unwrap_or_else(|e| panic!("{w}: golden run failed: {e}"));
+        assert_eq!(g.output, built.golden, "{w}: default-scale output mismatch");
+        assert!(
+            g.cycles < 40_000_000,
+            "{w}: {} cycles exceeds the campaign envelope",
+            g.cycles
+        );
+    }
+}
+
+/// The campaign profiles run the uniformly scaled machine; golden outputs
+/// are architectural and must be identical under it.
+#[test]
+fn scaled_machine_preserves_golden_outputs() {
+    for w in [Workload::Crc32, Workload::Fft, Workload::SusanC, Workload::Qsort] {
+        let built = w.build(Scale::Tiny);
+        let g = golden_run(
+            MachineConfig::cortex_a9_scaled(),
+            &built.image,
+            &sea_kernel::KernelConfig::default(),
+            80_000_000,
+        )
+        .unwrap_or_else(|e| panic!("{w}: {e}"));
+        assert_eq!(g.output, built.golden, "{w}: scaled-machine output mismatch");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests over the host-side reference implementations — the
+//! "oracle half" of every benchmark must itself be correct.
+
+use proptest::prelude::*;
+use sea_workloads::bench::{crc32, dijkstra, jpeg, qsort, rijndael, stringsearch, susan};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The iterative quicksort agrees with the standard library sort.
+    #[test]
+    fn qsort_matches_std_sort(mut data in prop::collection::vec(any::<u32>(), 0..500)) {
+        let ours = qsort::reference(&data);
+        data.sort_unstable();
+        prop_assert_eq!(ours, data);
+    }
+
+    /// AES: decrypt ∘ encrypt = identity on any 16-aligned buffer.
+    #[test]
+    fn aes_roundtrip(blocks in prop::collection::vec(any::<[u8; 16]>(), 1..16)) {
+        let data: Vec<u8> = blocks.concat();
+        let ct = rijndael::reference_encrypt(&data);
+        prop_assert_eq!(rijndael::reference_decrypt(&ct), data.clone());
+        // ECB determinism: same plaintext block → same ciphertext block.
+        if blocks.len() >= 2 && blocks[0] == blocks[1] {
+            prop_assert_eq!(&ct[0..16], &ct[16..32]);
+        }
+    }
+
+    /// CRC32 is sensitive to any single-bit change.
+    #[test]
+    fn crc_detects_single_bitflips(
+        data in prop::collection::vec(any::<u8>(), 1..200),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut mutated = data.clone();
+        let i = byte.index(mutated.len());
+        mutated[i] ^= 1 << bit;
+        prop_assert_ne!(crc32::reference(&data), crc32::reference(&mutated));
+    }
+
+    /// JPEG codec: decoding the encoded stream reconstructs to within the
+    /// quantization error bound for any image.
+    #[test]
+    fn jpeg_reconstruction_bounded(seed in any::<u32>()) {
+        let n = 16;
+        let img = sea_workloads::input::test_image(n, n, seed);
+        let stream = jpeg::reference_encode(&img, n);
+        let back = jpeg::reference_decode(&stream, n);
+        prop_assert_eq!(back.len(), img.len());
+        let max_err = img
+            .iter()
+            .zip(&back)
+            .map(|(&a, &b)| (a as i32 - b as i32).abs())
+            .max()
+            .unwrap();
+        // Coarse quantization (q up to 121) bounds the worst pixel error.
+        prop_assert!(max_err < 96, "max pixel error {max_err}");
+    }
+
+    /// Dijkstra distances satisfy the relaxation property: for every edge
+    /// (u, v), dist[v] <= dist[u] + w(u, v).
+    #[test]
+    fn dijkstra_satisfies_relaxation(_x in 0..1i32) {
+        let n = 8;
+        let adj = dijkstra::adjacency(n);
+        let d = dijkstra::reference(&adj, n);
+        const INF: u32 = 0x3FFF_FFFF;
+        for s in 0..n {
+            for u in 0..n {
+                if d[s * n + u] >= INF {
+                    continue;
+                }
+                for v in 0..n {
+                    let w = adj[u * n + v];
+                    if w != INF {
+                        prop_assert!(
+                            d[s * n + v] <= d[s * n + u].saturating_add(w),
+                            "relaxation violated {s}->{u}->{v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// BMH search result, when found, really is the first occurrence.
+    #[test]
+    fn stringsearch_results_are_first_occurrences(_x in 0..1i32) {
+        let n = 12;
+        let (sents, words) = stringsearch::generate(n);
+        let found = stringsearch::reference(&sents, &words, n);
+        for i in 0..n {
+            let s = &sents[i * 64..(i + 1) * 64];
+            let wlen = words[i * 12] as usize;
+            let w = &words[i * 12 + 1..i * 12 + 1 + wlen];
+            let naive = (0..=s.len().saturating_sub(wlen))
+                .find(|&p| &s[p..p + wlen] == w)
+                .map(|p| p as u32)
+                .unwrap_or(u32::MAX);
+            prop_assert_eq!(found[i], naive, "pair {}", i);
+        }
+    }
+
+    /// SUSAN smoothing never inverts contrast wildly: the output stays
+    /// within the input's min..=max range.
+    #[test]
+    fn susan_smoothing_stays_in_range(seed in any::<u32>()) {
+        let (w, h) = (16, 16);
+        let img = sea_workloads::input::test_image(w, h, seed);
+        let out = susan::reference(&img, w, h, susan::Variant::Smoothing);
+        let (lo, hi) = (
+            *img.iter().min().unwrap(),
+            *img.iter().max().unwrap(),
+        );
+        for (i, &p) in out.iter().enumerate() {
+            prop_assert!(p >= lo && p <= hi, "pixel {i}: {p} outside [{lo}, {hi}]");
+        }
+    }
+}

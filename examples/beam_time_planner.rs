@@ -1,0 +1,51 @@
+//! Beam-time planner: how many hours at LANSCE does a campaign need?
+//!
+//! Beam time is scarce and expensive; the paper's 260 effective hours had
+//! to cover 13 benchmarks. This tool runs each benchmark fault-free to get
+//! its execution time, estimates its error cross-section from a quick
+//! beam sample, and reports the facility hours needed to observe a target
+//! number of errors per benchmark.
+//!
+//! ```text
+//! cargo run --release --example beam_time_planner [target_errors]
+//! ```
+
+use sea_core::beam::{run_session, LANSCE_FLUX};
+use sea_core::{analysis::report, Scale, Study, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let study = Study::default();
+    let cfg = study.beam_config();
+
+    let mut rows = Vec::new();
+    let mut total_hours = 0.0;
+    for w in Workload::ALL {
+        let built = w.build(Scale::Default);
+        let r = run_session(w.name(), &built, &cfg, 150)?;
+        // Errors per beam-second at the accelerated flux.
+        let errors = (r.counts.total() - r.counts.masked) as f64;
+        let err_per_sec = errors / r.beam_seconds;
+        let hours_needed = target / err_per_sec / 3600.0;
+        total_hours += hours_needed;
+        rows.push(vec![
+            w.name().to_string(),
+            format!("{:.1} ms", 1e3 * r.golden_cycles as f64 / 667e6),
+            format!("{:.2e}", errors / r.fluence),
+            format!("{:.2}", err_per_sec * 3600.0),
+            format!("{:.1}", hours_needed),
+        ]);
+    }
+
+    println!("LANSCE flux: {LANSCE_FLUX:.1e} n/cm^2/s; target: {target} errors/benchmark\n");
+    println!(
+        "{}",
+        report::table(
+            &["benchmark", "exec time", "sigma (cm^2)", "errors/hour", "hours needed"],
+            &rows,
+        )
+    );
+    println!("total effective beam time: {total_hours:.0} hours");
+    println!("(the paper's campaign: ~260 effective hours for 2.9M NYC-years)");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Disassembles a guest benchmark's text section with symbol annotations —
+//! the debugging view used while porting the MiBench suite to AR32.
+//!
+//! ```text
+//! cargo run --release --example disasm_workload -- MatMul
+//! ```
+
+use sea_core::isa::decode;
+use sea_core::{Scale, Workload};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "CRC32".to_string());
+    let w = Workload::ALL
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(&name) || w.name().replace(' ', "").eq_ignore_ascii_case(&name))
+        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let built = w.build(Scale::Tiny);
+    let img = &built.image;
+    println!("{w} — entry {:#010x}", img.entry());
+    for seg in img.segments() {
+        if !seg.flags.execute {
+            println!(
+                "\n[{} segment at {:#010x}, {} bytes]",
+                seg.flags, seg.vaddr, seg.mem_size
+            );
+            continue;
+        }
+        println!("\n[text segment at {:#010x}, {} bytes]", seg.vaddr, seg.data.len());
+        for (i, word) in seg.data.chunks_exact(4).enumerate() {
+            let addr = seg.vaddr + 4 * i as u32;
+            if let Some((sym, 0)) = img.symbolize(addr) {
+                println!("\n{sym}:");
+            }
+            let w32 = u32::from_le_bytes(word.try_into().unwrap());
+            match decode(w32) {
+                Ok(insn) => println!("  {addr:#010x}:  {w32:08x}  {insn}"),
+                Err(_) => println!("  {addr:#010x}:  {w32:08x}  .word"),
+            }
+        }
+    }
+    println!("\ntext {} bytes, data {} bytes", img.text_bytes(), img.data_bytes());
+}

@@ -1,0 +1,62 @@
+//! Quickstart: assess one benchmark with both methodologies and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sea_core::{FaultClass, Scale, Study, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small but real study: 60 injected faults per component and 200
+    // sampled beam strikes for one benchmark. Scale the numbers up (the
+    // paper uses 1,000 faults per component) for tighter error margins.
+    let study = Study {
+        scale: Scale::Default,
+        samples_per_component: 60,
+        beam_strikes: 200,
+        ..Study::default()
+    };
+
+    let w = Workload::MatMul;
+    println!("running fault-injection campaign + beam session for {w}...");
+    let r = study.run_workload(w)?;
+
+    println!("\n== fault injection (GeFIN-style) ==");
+    for c in &r.campaign.per_component {
+        println!(
+            "  {:<5} AVF {:>5.1}%  (SDC {:>4.1}% / App {:>4.1}% / Sys {:>4.1}%)  ±{:.1}%",
+            c.component.short_name(),
+            100.0 * c.counts.avf(),
+            100.0 * c.counts.rate(FaultClass::Sdc),
+            100.0 * c.counts.rate(FaultClass::AppCrash),
+            100.0 * c.counts.rate(FaultClass::SysCrash),
+            100.0 * c.error_margin(),
+        );
+    }
+
+    println!("\n== beam session ==");
+    println!(
+        "  {:.0} runs represented, {:.1} beam-seconds, {:.0} NYC-years of natural exposure",
+        r.beam.runs_represented, r.beam.beam_seconds, r.beam.nyc_years
+    );
+
+    println!("\n== FIT comparison (failures per 10^9 device-hours) ==");
+    println!("  class      fault-injection      beam        ratio");
+    for class in [FaultClass::Sdc, FaultClass::AppCrash, FaultClass::SysCrash] {
+        println!(
+            "  {:<9}  {:>12.2}  {:>12.2}  {:>8}",
+            class.to_string(),
+            r.comparison.fi.class(class),
+            r.comparison.beam.class(class),
+            sea_core::analysis::report::ratio_label(r.comparison.ratio(class)),
+        );
+    }
+    println!(
+        "  {:<9}  {:>12.2}  {:>12.2}  {:>8}",
+        "Total",
+        r.comparison.fi.total(),
+        r.comparison.beam.total(),
+        sea_core::analysis::report::ratio_label(r.comparison.ratio_total()),
+    );
+    Ok(())
+}

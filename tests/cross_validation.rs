@@ -1,0 +1,89 @@
+//! Cross-validation of the paper's headline findings at reduced scale:
+//! the *shape* of the beam-vs-injection comparison must reproduce even
+//! with small campaigns.
+
+use sea_core::beam::measure_kernel_residency;
+use sea_core::{Scale, Study, Workload};
+
+#[test]
+fn beam_syscrash_dominates_fi_for_small_footprint_workloads() {
+    // §V-A/§VI: small-input benchmarks (here Susan C) have the largest
+    // beam System-Crash excess because the kernel stays cache-resident.
+    let study = Study {
+        scale: Scale::Default,
+        samples_per_component: 25,
+        beam_strikes: 250,
+        ..Study::default()
+    };
+    let r = study.run_workload(Workload::SusanC).unwrap();
+    let ratio = r.comparison.ratio(sea_core::FaultClass::SysCrash);
+    assert!(
+        ratio > 2.0 || ratio.is_infinite(),
+        "small-footprint SysCrash ratio should be strongly positive, got {ratio}"
+    );
+}
+
+#[test]
+fn kernel_residency_orders_with_footprint() {
+    // The measured mechanism behind Fig 8: bigger working sets evict more
+    // kernel state from the cache hierarchy.
+    let study = Study::default();
+    let cfg = study.beam_config();
+    let small = Workload::SusanC.build(Scale::Default);
+    let mid = Workload::Fft.build(Scale::Default);
+    let large = Workload::Crc32.build(Scale::Default);
+    let fs = measure_kernel_residency(&small, &cfg).unwrap();
+    let fm = measure_kernel_residency(&mid, &cfg).unwrap();
+    let fl = measure_kernel_residency(&large, &cfg).unwrap();
+    assert!(fs > fl, "SusanC {fs:.3} should exceed CRC32 {fl:.3}");
+    assert!(fs > 0.0 && fl < 1.0);
+    // The mid-size workload should not break the ordering badly.
+    assert!(fm <= fs + 0.1);
+}
+
+#[test]
+fn sdc_estimates_agree_within_an_order_of_magnitude() {
+    // Fig 6: for most benchmarks the two methodologies' SDC FIT rates are
+    // close; here a single mid-size benchmark must stay within 10×.
+    let study = Study {
+        scale: Scale::Default,
+        samples_per_component: 60,
+        beam_strikes: 400,
+        ..Study::default()
+    };
+    let r = study.run_workload(Workload::Qsort).unwrap();
+    let (beam, fi) = (r.comparison.beam.sdc, r.comparison.fi.sdc);
+    assert!(beam > 0.0 && fi > 0.0, "both setups must observe SDCs for Qsort");
+    let ratio = (beam / fi).max(fi / beam);
+    assert!(ratio < 10.0, "SDC estimates diverge {ratio:.1}x (beam {beam:.2}, fi {fi:.2})");
+}
+
+#[test]
+fn tlb_physical_target_dominates_tag_vulnerability() {
+    // §V-B: TLB faults matter through the physical page (target), while
+    // virtual-tag corruption mostly causes harmless re-walks.
+    let study = Study {
+        scale: Scale::Default,
+        samples_per_component: 200,
+        beam_strikes: 10,
+        ..Study::default()
+    };
+    let cfg = study.injection_config();
+    let built = Workload::Dijkstra.build(Scale::Default);
+    let res = sea_core::injection::run_campaign("Dijkstra", &built, &cfg).unwrap();
+    let dtlb = res.component(sea_core::Component::DTlb);
+    let tag_avf = dtlb.tag_counts.avf();
+    let tag_total = dtlb.tag_counts.total();
+    // With enough tag samples, their AVF must be clearly below the
+    // data-region AVF.
+    if tag_total >= 20 {
+        let data_counts_total = dtlb.counts.total() - tag_total;
+        let data_non_masked =
+            (dtlb.counts.total() - dtlb.counts.masked) - (tag_total - dtlb.tag_counts.masked);
+        let data_avf = data_non_masked as f64 / data_counts_total.max(1) as f64;
+        assert!(
+            tag_avf <= data_avf,
+            "tag AVF {tag_avf:.3} should not exceed data-region AVF {data_avf:.3}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Workspace-level end-to-end test: the full study pipeline over a small
+//! configuration, exercising every crate through the public facade.
+
+use sea_core::{FaultClass, Scale, Study, Workload};
+
+fn small_study() -> Study {
+    Study {
+        scale: Scale::Tiny,
+        samples_per_component: 30,
+        beam_strikes: 150,
+        ..Study::default()
+    }
+}
+
+#[test]
+fn single_workload_study_produces_consistent_numbers() {
+    let study = small_study();
+    let r = study.run_workload(Workload::Qsort).unwrap();
+
+    // Campaign structure.
+    assert_eq!(r.campaign.per_component.len(), 6);
+    assert_eq!(r.campaign.total_injections(), 30 * 6);
+
+    // FIT rates are finite and non-negative.
+    for class in [FaultClass::Sdc, FaultClass::AppCrash, FaultClass::SysCrash] {
+        assert!(r.comparison.fi.class(class) >= 0.0);
+        assert!(r.comparison.beam.class(class) >= 0.0);
+        assert!(r.comparison.beam.class(class).is_finite());
+    }
+
+    // The beam sees the unmodeled platform: its System-Crash FIT must
+    // exceed the injection prediction (the paper's Fig 8, universally).
+    assert!(
+        r.comparison.beam.sys_crash > r.comparison.fi.sys_crash,
+        "beam SysCrash {} must exceed FI {}",
+        r.comparison.beam.sys_crash,
+        r.comparison.fi.sys_crash
+    );
+}
+
+#[test]
+fn suite_study_aggregates_an_overview() {
+    let study = small_study();
+    let res = study.run_suite(&[Workload::MatMul, Workload::StringSearch]).unwrap();
+    assert_eq!(res.workloads.len(), 2);
+    let o = &res.overview;
+    // Adding crash classes must not lower either estimate.
+    assert!(o.beam_total >= o.beam_sdc_app && o.beam_sdc_app >= o.beam_sdc);
+    assert!(o.fi_total >= o.fi_sdc_app && o.fi_sdc_app >= o.fi_sdc);
+    // And the beam total must dominate the FI total (Fig 10's shape).
+    assert!(o.total_ratio() > 1.0, "total ratio {}", o.total_ratio());
+}
+
+#[test]
+fn fit_raw_measurement_is_in_the_papers_range() {
+    let study = small_study();
+    let r = study.measure_fit_raw(40);
+    assert!(r.detected_upsets > 0, "the probe must catch some upsets");
+    assert!(
+        (0.5e-5..12e-5).contains(&r.fit_raw_measured),
+        "FIT_raw {} outside plausible band",
+        r.fit_raw_measured
+    );
+}
+
+#[test]
+fn setup_rows_render() {
+    let rows = sea_core::setup_rows(&sea_core::MachineConfig::cortex_a9());
+    assert_eq!(rows.len(), 6);
+    assert!(rows.iter().any(|r| r.beam.contains("Zynq")));
+}
+
+#[test]
+fn studies_are_reproducible_for_a_fixed_seed() {
+    let study = small_study();
+    let a = study.run_workload(Workload::StringSearch).unwrap();
+    let b = study.run_workload(Workload::StringSearch).unwrap();
+    assert_eq!(a.comparison.fi.total(), b.comparison.fi.total());
+    assert_eq!(a.comparison.beam.total(), b.comparison.beam.total());
+    assert_eq!(a.beam.counts, b.beam.counts);
+}
+
+#[test]
+fn suite_overview_equals_manual_aggregation() {
+    let study = small_study();
+    let res = study.run_suite(&[Workload::Dijkstra, Workload::SusanS]).unwrap();
+    let manual = sea_core::Overview::from_comparisons(&res.comparisons());
+    assert_eq!(res.overview.beam_total, manual.beam_total);
+    assert_eq!(res.overview.fi_sdc, manual.fi_sdc);
+}
+
+#[test]
+fn field_test_math_contextualizes_the_fit_rates() {
+    // Close the Fig 1 triangle: given a measured beam FIT, how impractical
+    // is a field test? (paper §II-B)
+    use sea_core::analysis::field::{devices_needed, FieldTest};
+    let study = small_study();
+    let r = study.run_workload(Workload::MatMul).unwrap();
+    let fit = r.comparison.beam.total().max(1.0);
+    let devices = devices_needed(fit, 100.0, 1.0);
+    assert!(devices > 1_000.0, "a field test needs a large fleet, got {devices:.0}");
+    let plan = FieldTest { devices, years: 1.0 };
+    assert!((plan.expected_failures(fit) - 100.0).abs() < 1e-6);
+}
