@@ -131,13 +131,29 @@ mod tests {
         let cs = vec![
             Comparison {
                 workload: "a".into(),
-                fi: FitRates { sdc: 1.0, app_crash: 1.0, sys_crash: 1.0 },
-                beam: FitRates { sdc: 2.0, app_crash: 2.0, sys_crash: 20.0 },
+                fi: FitRates {
+                    sdc: 1.0,
+                    app_crash: 1.0,
+                    sys_crash: 1.0,
+                },
+                beam: FitRates {
+                    sdc: 2.0,
+                    app_crash: 2.0,
+                    sys_crash: 20.0,
+                },
             },
             Comparison {
                 workload: "b".into(),
-                fi: FitRates { sdc: 3.0, app_crash: 1.0, sys_crash: 1.0 },
-                beam: FitRates { sdc: 2.0, app_crash: 4.0, sys_crash: 40.0 },
+                fi: FitRates {
+                    sdc: 3.0,
+                    app_crash: 1.0,
+                    sys_crash: 1.0,
+                },
+                beam: FitRates {
+                    sdc: 2.0,
+                    app_crash: 4.0,
+                    sys_crash: 40.0,
+                },
             },
         ];
         let o = Overview::from_comparisons(&cs);

@@ -60,7 +60,10 @@ mod tests {
         // A 100-FIT device: one failure per ~1,141 device-years. A
         // thousand-device fleet needs about a decade for ~9 events — the
         // paper's "mostly unpractical".
-        let plan = FieldTest { devices: 1000.0, years: 10.0 };
+        let plan = FieldTest {
+            devices: 1000.0,
+            years: 10.0,
+        };
         let events = plan.expected_failures(100.0);
         assert!((8.0..10.0).contains(&events), "events {events}");
         let rel = plan.relative_error(100.0, 1.96).unwrap();
@@ -71,7 +74,10 @@ mod tests {
     fn inversions_are_consistent() {
         let fit = 33.0;
         let devices = devices_needed(fit, 100.0, 2.0);
-        let plan = FieldTest { devices, years: 2.0 };
+        let plan = FieldTest {
+            devices,
+            years: 2.0,
+        };
         assert!((plan.expected_failures(fit) - 100.0).abs() < 1e-6);
         let years = years_needed(fit, 100.0, devices);
         assert!((years - 2.0).abs() < 1e-9);
@@ -79,7 +85,10 @@ mod tests {
 
     #[test]
     fn sub_one_event_plans_report_no_error_bound() {
-        let plan = FieldTest { devices: 1.0, years: 1.0 };
+        let plan = FieldTest {
+            devices: 1.0,
+            years: 1.0,
+        };
         assert_eq!(plan.relative_error(10.0, 1.96), None);
     }
 }

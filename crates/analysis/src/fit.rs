@@ -74,11 +74,23 @@ mod tests {
     use sea_injection::{ClassCounts, ComponentResult};
     use sea_microarch::Component;
 
-    fn fake_component(c: Component, bits: u64, sdc: u64, app: u64, sys: u64, masked: u64) -> ComponentResult {
+    fn fake_component(
+        c: Component,
+        bits: u64,
+        sdc: u64,
+        app: u64,
+        sys: u64,
+        masked: u64,
+    ) -> ComponentResult {
         ComponentResult {
             component: c,
             bits,
-            counts: ClassCounts { masked, sdc, app_crash: app, sys_crash: sys },
+            counts: ClassCounts {
+                masked,
+                sdc,
+                app_crash: app,
+                sys_crash: sys,
+            },
             tag_counts: ClassCounts::default(),
             outcomes: vec![],
         }

@@ -10,6 +10,8 @@
 //! * [`Overview`] — the Fig 10 across-benchmark aggregate;
 //! * [`report`] — ASCII table/figure rendering for the regeneration
 //!   binaries;
+//! * [`trace_summary`] — activation-rate and propagation-latency views
+//!   over a `sea-trace` JSON-Lines capture;
 //! * [`poisson_ci`] — confidence intervals on beam event counts;
 //! * [`field`] — field-test planning (the third methodology of Fig 1).
 
@@ -20,6 +22,8 @@ mod compare;
 pub mod field;
 mod fit;
 pub mod report;
+pub mod trace_summary;
 
 pub use compare::{fit_ratio, poisson_ci, Comparison, Overview};
 pub use fit::{beam_fit, fi_fit, FitRates};
+pub use trace_summary::TraceSummary;

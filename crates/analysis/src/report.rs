@@ -58,7 +58,12 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
 /// rendered by direction markers.
 pub fn log_bar(value: f64, max_abs: f64, width: usize) -> String {
     if !value.is_finite() {
-        return (if value > 0.0 { ">".repeat(width) } else { "<".repeat(width) }).to_string();
+        return (if value > 0.0 {
+            ">".repeat(width)
+        } else {
+            "<".repeat(width)
+        })
+        .to_string();
     }
     let mag = value.abs().max(1.0);
     let max_mag = max_abs.abs().max(10.0);
@@ -107,7 +112,11 @@ pub fn grouped_bars(
 /// one-sided zeros.
 pub fn ratio_label(r: f64) -> String {
     if !r.is_finite() {
-        if r > 0.0 { "+inf".into() } else { "-inf".into() }
+        if r > 0.0 {
+            "+inf".into()
+        } else {
+            "-inf".into()
+        }
     } else {
         format!("{r:+.2}x")
     }
@@ -121,13 +130,15 @@ mod tests {
     fn table_alignment() {
         let t = table(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
         );
         assert!(t.contains("| name   | value |"));
         assert!(t.contains("| longer | 22    |"));
         // Every line has equal length.
-        let lens: std::collections::BTreeSet<_> =
-            t.lines().map(str::len).collect();
+        let lens: std::collections::BTreeSet<_> = t.lines().map(str::len).collect();
         assert_eq!(lens.len(), 1);
     }
 
@@ -136,7 +147,10 @@ mod tests {
         assert_eq!(bar(5.0, 10.0, 10).len(), 5);
         assert_eq!(bar(100.0, 10.0, 10).len(), 10);
         assert_eq!(bar(0.0, 10.0, 10).len(), 0);
-        assert!(!bar(0.001, 10.0, 10).is_empty(), "nonzero values stay visible");
+        assert!(
+            !bar(0.001, 10.0, 10).is_empty(),
+            "nonzero values stay visible"
+        );
     }
 
     #[test]

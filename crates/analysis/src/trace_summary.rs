@@ -1,0 +1,235 @@
+//! `trace summary` — post-hoc aggregation of a JSON-Lines trace.
+//!
+//! Parses the stream written by `--trace-out` (hand-rolled parser from
+//! `sea-trace`, no serde) and renders the observability views the paper's
+//! §V discussion needs: per-component **activation rates** (how often the
+//! flipped cell was ever read) and **propagation-latency histograms**
+//! (cycles from flip to first corrupt read, and flip to terminal class).
+
+use crate::report::bar;
+use sea_trace::json::{self, Json};
+use sea_trace::HistSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregates over the `injection.provenance` records of one component.
+#[derive(Clone, Debug)]
+pub struct ComponentStats {
+    /// Probed injections into this component.
+    pub injections: u64,
+    /// Runs whose corrupted cell was read before the run terminated.
+    pub activated: u64,
+    /// Runs where the corruption was first touched in kernel (SVC) mode.
+    pub kernel_touches: u64,
+    /// Flip → first corrupt read, in cycles (activated runs only).
+    pub activation_latency: HistSnapshot,
+    /// Flip → terminal classification, in cycles (activated runs only).
+    pub failure_latency: HistSnapshot,
+    /// Terminal class counts (masked / sdc / app-crash / sys-crash).
+    pub classes: BTreeMap<String, u64>,
+}
+
+impl ComponentStats {
+    fn new(component: &str) -> ComponentStats {
+        ComponentStats {
+            injections: 0,
+            activated: 0,
+            kernel_touches: 0,
+            activation_latency: HistSnapshot::empty(format!("{component} flip→read cycles")),
+            failure_latency: HistSnapshot::empty(format!("{component} flip→terminal cycles")),
+            classes: BTreeMap::new(),
+        }
+    }
+
+    /// Fraction of injections whose corrupted cell was read at all.
+    pub fn activation_rate(&self) -> f64 {
+        if self.injections == 0 {
+            0.0
+        } else {
+            self.activated as f64 / self.injections as f64
+        }
+    }
+}
+
+/// A parsed trace, aggregated for rendering.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Total parseable events seen.
+    pub events: u64,
+    /// Lines that failed JSON parsing (should be zero).
+    pub malformed: u64,
+    /// Event counts per event name.
+    pub by_name: BTreeMap<String, u64>,
+    /// Provenance aggregates keyed by component short name.
+    pub components: BTreeMap<String, ComponentStats>,
+}
+
+impl TraceSummary {
+    /// Aggregate every line of a JSON-Lines trace.
+    pub fn from_jsonl(text: &str) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            match json::parse(line) {
+                Ok(ev) => s.record(&ev),
+                Err(_) => s.malformed += 1,
+            }
+        }
+        s
+    }
+
+    /// Fold one parsed event into the aggregates.
+    pub fn record(&mut self, ev: &Json) {
+        self.events += 1;
+        let name = ev
+            .get("ev")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        *self.by_name.entry(name.clone()).or_insert(0) += 1;
+        if name != "injection.provenance" {
+            return;
+        }
+        let component = ev
+            .get("component")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let c = self
+            .components
+            .entry(component.clone())
+            .or_insert_with(|| ComponentStats::new(&component));
+        c.injections += 1;
+        let activated = ev.get("activated").and_then(Json::as_bool).unwrap_or(false);
+        if activated {
+            c.activated += 1;
+            if let Some(lat) = ev.get("act_cycles").and_then(Json::as_u64) {
+                c.activation_latency.record(lat);
+            }
+            if let Some(total) = ev.get("total_cycles").and_then(Json::as_u64) {
+                c.failure_latency.record(total);
+            }
+        }
+        if ev
+            .get("kernel_touch")
+            .and_then(Json::as_bool)
+            .unwrap_or(false)
+        {
+            c.kernel_touches += 1;
+        }
+        if let Some(class) = ev.get("class").and_then(Json::as_str) {
+            *c.classes.entry(class.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    /// Render the full summary: event counts, a per-component
+    /// activation-rate chart, and the two latency histograms per component.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "trace summary — {} events, {} malformed line(s)\n\n",
+            self.events, self.malformed
+        );
+        out.push_str("event counts\n");
+        let name_w = self.by_name.keys().map(String::len).max().unwrap_or(5);
+        for (name, n) in &self.by_name {
+            let _ = writeln!(out, "  {name:<name_w$}  {n:>10}");
+        }
+        if self.by_name.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        if self.components.is_empty() {
+            out.push_str("\nno injection.provenance records in trace\n");
+            return out;
+        }
+        out.push_str("\nactivation rate per component (corrupted cell ever read)\n");
+        let comp_w = self.components.keys().map(String::len).max().unwrap_or(4);
+        for (comp, c) in &self.components {
+            let rate = c.activation_rate();
+            let _ = writeln!(
+                out,
+                "  {comp:<comp_w$} |{:<30}| {:5.1}%  ({}/{} runs, {} kernel-first)",
+                bar(rate, 1.0, 30),
+                100.0 * rate,
+                c.activated,
+                c.injections,
+                c.kernel_touches,
+            );
+        }
+        out.push_str("\npropagation latency (log2 buckets)\n");
+        for c in self.components.values() {
+            out.push_str(&indent(&c.activation_latency.render(30)));
+            out.push_str(&indent(&c.failure_latency.render(30)));
+        }
+        out
+    }
+}
+
+fn indent(block: &str) -> String {
+    let mut out = String::with_capacity(block.len() + 16);
+    for line in block.lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(component: &str, activated: bool, act: u64, total: u64, class: &str) -> String {
+        format!(
+            "{{\"ev\":\"injection.provenance\",\"sub\":\"injection\",\"level\":\"info\",\
+             \"cycle\":10,\"component\":\"{component}\",\"bit\":3,\"activated\":{activated},\
+             \"act_cycles\":{act},\"kernel_touch\":false,\"class\":\"{class}\",\
+             \"total_cycles\":{total}}}"
+        )
+    }
+
+    #[test]
+    fn aggregates_provenance_records_per_component() {
+        let text = [
+            record("L1D$", true, 40, 900, "sdc"),
+            record("L1D$", false, 0, 100, "masked"),
+            record("RF", true, 2, 30, "app-crash"),
+            "{\"ev\":\"beam.strike\",\"sub\":\"beam\",\"level\":\"info\"}".to_string(),
+        ]
+        .join("\n");
+        let s = TraceSummary::from_jsonl(&text);
+        assert_eq!(s.events, 4);
+        assert_eq!(s.malformed, 0);
+        assert_eq!(s.by_name["injection.provenance"], 3);
+        let l1d = &s.components["L1D$"];
+        assert_eq!(l1d.injections, 2);
+        assert_eq!(l1d.activated, 1);
+        assert!((l1d.activation_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(l1d.activation_latency.count, 1);
+        assert_eq!(l1d.failure_latency.max, 900);
+        assert_eq!(l1d.classes["sdc"], 1);
+        assert_eq!(s.components["RF"].activated, 1);
+    }
+
+    #[test]
+    fn render_shows_rates_and_latency_histograms() {
+        let text = [
+            record("L2$", true, 128, 4096, "sys-crash"),
+            record("L2$", false, 0, 50, "masked"),
+        ]
+        .join("\n");
+        let out = TraceSummary::from_jsonl(&text).render();
+        assert!(out.contains("activation rate per component"), "{out}");
+        assert!(out.contains("50.0%"), "{out}");
+        assert!(out.contains("L2$ flip→read cycles"), "{out}");
+        assert!(out.contains("L2$ flip→terminal cycles"), "{out}");
+        assert!(out.contains('#'), "{out}");
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let s = TraceSummary::from_jsonl(
+            "{\"ev\":\"x\",\"sub\":\"harness\",\"level\":\"info\"}\nnot json\n",
+        );
+        assert_eq!(s.events, 1);
+        assert_eq!(s.malformed, 1);
+    }
+}

@@ -73,7 +73,9 @@ pub fn measure_fit_raw(cfg: &BeamConfig, strikes: u32) -> RawFitResult {
     let crashed_total = AtomicU32::new(0);
     let next = AtomicUsize::new(0);
     let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         cfg.threads
     };
@@ -87,8 +89,8 @@ pub fn measure_fit_raw(cfg: &BeamConfig, strikes: u32) -> RawFitResult {
                 let spec = specs[i];
                 // Re-run the probe with the strike; its own read-back
                 // output reports the upsets.
-                let (mut sysb, _) = sea_platform::boot(cfg.machine, &probe.image, &cfg.kernel)
-                    .expect("probe boot");
+                let (mut sysb, _) =
+                    sea_platform::boot(cfg.machine, &probe.image, &cfg.kernel).expect("probe boot");
                 while sysb.cycles() < spec.cycle {
                     sysb.step();
                 }

@@ -17,9 +17,10 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use sea_injection::{run_one, CampaignConfig, InjectionSpec};
+use sea_injection::{class_index, run_one, CampaignConfig, InjectionSpec, CLASS_LABELS};
 use sea_microarch::{Component, System};
 use sea_platform::{boot, run, ClassCounts, FaultClass, GoldenRun, RunLimits};
+use sea_trace::{event, Level, Progress, Subsystem};
 use sea_workloads::BuiltWorkload;
 
 use crate::config::{sigma_to_fit, BeamConfig, NYC_FLUX_PER_HOUR};
@@ -35,6 +36,16 @@ pub enum StrikeOrigin {
     CoreLatch,
     /// Modeled SRAM during the harness idle window (kernel-only live).
     IdleSram,
+}
+
+/// Stable lowercase name of a strike origin (used in trace records).
+fn origin_name(origin: StrikeOrigin) -> &'static str {
+    match origin {
+        StrikeOrigin::Sram(_) => "sram",
+        StrikeOrigin::PlatformLogic => "platform_logic",
+        StrikeOrigin::CoreLatch => "core_latch",
+        StrikeOrigin::IdleSram => "idle_sram",
+    }
 }
 
 /// One sampled strike and its classified effect.
@@ -111,7 +122,10 @@ pub fn measure_kernel_residency(
 ) -> Result<f64, BeamError> {
     let (mut sys, _) = boot(cfg.machine, &workload.image, &cfg.kernel)
         .map_err(|e| BeamError::Golden(sea_platform::GoldenError::Install(e)))?;
-    let limits = RunLimits { max_cycles: 500_000_000, tick_window: u64::MAX };
+    let limits = RunLimits {
+        max_cycles: 500_000_000,
+        tick_window: u64::MAX,
+    };
     let _ = run(&mut sys, limits);
     let mut kernel_bits = 0f64;
     let mut total_bits = 0f64;
@@ -191,8 +205,10 @@ pub fn run_session(
     };
 
     // Component selection within modeled SRAM is proportional to size.
-    let comp_bits: Vec<(Component, u64)> =
-        Component::ALL.iter().map(|&c| (c, probe.component_bits(c))).collect();
+    let comp_bits: Vec<(Component, u64)> = Component::ALL
+        .iter()
+        .map(|&c| (c, probe.component_bits(c)))
+        .collect();
 
     // Pre-sample every strike deterministically.
     #[derive(Clone, Copy)]
@@ -223,9 +239,15 @@ pub fn run_session(
                 cycle: rng.gen_range(0..golden.cycles),
             }));
         } else if x < w.sram_run + w.sys_run + w.sys_idle {
-            plans.push(Plan::Analytic(StrikeOrigin::PlatformLogic, FaultClass::SysCrash));
+            plans.push(Plan::Analytic(
+                StrikeOrigin::PlatformLogic,
+                FaultClass::SysCrash,
+            ));
         } else if x < w.sram_run + w.sys_run + w.sys_idle + w.app_run {
-            plans.push(Plan::Analytic(StrikeOrigin::CoreLatch, FaultClass::AppCrash));
+            plans.push(Plan::Analytic(
+                StrikeOrigin::CoreLatch,
+                FaultClass::AppCrash,
+            ));
         } else {
             // Idle-window SRAM strike: only kernel-resident lines are live;
             // a critical hit surfaces as a system crash at the next
@@ -252,29 +274,70 @@ pub fn run_session(
     let next = AtomicUsize::new(0);
     let outcomes: Mutex<Vec<StrikeOutcome>> = Mutex::new(Vec::with_capacity(plans.len()));
     let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         cfg.threads
     };
+    let session_span = sea_trace::span(Subsystem::Beam, Level::Info, "beam.session");
+    let progress = Progress::new(format!("beam {name}"), plans.len() as u64, &CLASS_LABELS);
     crossbeam::scope(|scope| {
+        let (next, outcomes, plans, progress, inj_cfg) =
+            (&next, &outcomes, &plans, &progress, &inj_cfg);
         for _ in 0..threads.min(plans.len().max(1)) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= plans.len() {
-                    break;
-                }
-                let out = match plans[i] {
-                    Plan::Analytic(origin, class) => StrikeOutcome { origin, class },
-                    Plan::Simulate(spec) => {
-                        let o = run_one(workload, &inj_cfg, spec, limits);
-                        StrikeOutcome { origin: StrikeOrigin::Sram(spec.component), class: o.class }
+            scope.spawn(move |_| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= plans.len() {
+                        break;
                     }
-                };
-                outcomes.lock().push(out);
+                    let out = match plans[i] {
+                        Plan::Analytic(origin, class) => {
+                            // Strikes into unmodeled logic take the PL-bridge
+                            // analytic path; log them with the same record shape
+                            // as simulated ones.
+                            event!(Subsystem::Beam, Level::Info, "beam.strike";
+                               "origin" => origin_name(origin),
+                               "modeled" => false,
+                               "class" => class.to_string());
+                            StrikeOutcome { origin, class }
+                        }
+                        Plan::Simulate(spec) => {
+                            let o = run_one(workload, inj_cfg, spec, limits);
+                            event!(Subsystem::Beam, Level::Info, "beam.strike";
+                               cycle = spec.cycle;
+                               "origin" => origin_name(StrikeOrigin::Sram(spec.component)),
+                               "component" => spec.component.short_name(),
+                               "bit" => spec.bit,
+                               "modeled" => true,
+                               "class" => o.class.to_string());
+                            StrikeOutcome {
+                                origin: StrikeOrigin::Sram(spec.component),
+                                class: o.class,
+                            }
+                        }
+                    };
+                    progress.record(Some(class_index(out.class)));
+                    outcomes.lock().push(out);
+                }
+                // Flush before the closure returns: the scope join can
+                // complete before this thread's TLS destructors run, so the
+                // drop-time ring flush may race with sink teardown.
+                sea_trace::flush_thread();
             });
         }
     })
     .expect("beam worker panicked");
+    let (done, secs) = progress.finish();
+    if let Some(mut s) = session_span {
+        s.field("workload", name.to_string());
+        s.field("strikes", done);
+        s.field(
+            "strikes_per_sec",
+            if secs > 0.0 { done as f64 / secs } else { 0.0 },
+        );
+    }
 
     let all = outcomes.into_inner();
     let mut counts = ClassCounts::default();
@@ -295,6 +358,13 @@ pub fn run_session(
     let beam_seconds = runs_represented * t_run;
     let fluence = cfg.flux * beam_seconds;
     let nyc_years = fluence / NYC_FLUX_PER_HOUR / 24.0 / 365.25;
+    event!(Subsystem::Beam, Level::Info, "beam.fluence";
+           "workload" => name.to_string(),
+           "strikes" => strikes,
+           "fluence_n_cm2" => fluence,
+           "beam_seconds" => beam_seconds,
+           "nyc_years" => nyc_years,
+           "runs_represented" => runs_represented);
 
     Ok(BeamResult {
         workload: name.to_string(),

@@ -12,7 +12,10 @@ fn session_accounting_is_self_consistent() {
     let r = run_session("MatMul", &w, &cfg, 120).unwrap();
     assert_eq!(r.counts.total(), 120);
     assert!(r.fluence > 0.0 && r.beam_seconds > 0.0);
-    assert!(r.runs_represented > 1.0, "importance sampling must compress many runs");
+    assert!(
+        r.runs_represented > 1.0,
+        "importance sampling must compress many runs"
+    );
     // Error rate per execution must respect the paper's <1/1000 design.
     let errors_per_run = r.counts.total() as f64 / r.runs_represented;
     assert!(errors_per_run < 1e-3, "errors/run = {errors_per_run}");

@@ -23,7 +23,9 @@ fn looping_system(cfg: MachineConfig) -> System<NullDevice> {
     let mut sys = System::new(cfg, NullDevice);
     for mib in 0..4u32 {
         let l2 = 0x8000 + mib * 0x400;
-        sys.mem.phys.write(0x4000 + mib * 4, MemSize::Word, l1_entry(l2));
+        sys.mem
+            .phys
+            .write(0x4000 + mib * 4, MemSize::Word, l1_entry(l2));
         for page in 0..256u32 {
             sys.mem.phys.write(
                 l2 + page * 4,
@@ -83,8 +85,13 @@ fn bench_injected_run(c: &mut Criterion) {
         threads: 1,
         ..CampaignConfig::default()
     };
-    let golden =
-        golden_run(cfg.machine, &built.image, &KernelConfig::default(), 100_000_000).unwrap();
+    let golden = golden_run(
+        cfg.machine,
+        &built.image,
+        &KernelConfig::default(),
+        100_000_000,
+    )
+    .unwrap();
     let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period);
     c.bench_function("campaign_single_injected_run", |b| {
         b.iter(|| {
@@ -103,7 +110,11 @@ fn bench_injected_run(c: &mut Criterion) {
 }
 
 fn bench_cache_ops(c: &mut Criterion) {
-    let cfg = CacheConfig { size_bytes: 32 * 1024, ways: 4, line_bytes: 32 };
+    let cfg = CacheConfig {
+        size_bytes: 32 * 1024,
+        ways: 4,
+        line_bytes: 32,
+    };
     c.bench_function("cache_probe_hit", |b| {
         let mut cache = Cache::new(cfg, true);
         let (idx, _) = cache.evict_for(0x1000);

@@ -40,7 +40,9 @@ fn bench_workload_build(c: &mut Criterion) {
     c.bench_function("build_rijndael_image", |b| {
         b.iter(|| Workload::RijndaelE.build(Scale::Tiny))
     });
-    c.bench_function("build_jpeg_image", |b| b.iter(|| Workload::JpegC.build(Scale::Tiny)));
+    c.bench_function("build_jpeg_image", |b| {
+        b.iter(|| Workload::JpegC.build(Scale::Tiny))
+    });
 }
 
 criterion_group!(benches, bench_golden_runs, bench_workload_build);

@@ -32,7 +32,12 @@ fn main() {
     println!(
         "{}",
         table(
-            &["benchmark", "footprint", "paper caches (32K/512K)", "scaled caches (8K/64K)"],
+            &[
+                "benchmark",
+                "footprint",
+                "paper caches (32K/512K)",
+                "scaled caches (8K/64K)"
+            ],
             &rows
         )
     );

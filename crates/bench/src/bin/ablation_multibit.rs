@@ -11,7 +11,11 @@ use sea_core::FaultClass;
 
 fn main() {
     let opts = sea_bench::parse_options();
-    let suite = if opts.suite.len() > 3 { &opts.suite[..3] } else { &opts.suite[..] };
+    let suite = if opts.suite.len() > 3 {
+        &opts.suite[..3]
+    } else {
+        &opts.suite[..]
+    };
     let mut rows = Vec::new();
     for &w in suite {
         let built = w.build(opts.study.scale);
@@ -42,7 +46,13 @@ fn main() {
         }
     }
     println!("Ablation — spatial fault model (all components pooled)\n");
-    println!("{}", table(&["benchmark", "model", "AVF", "SDC", "AppCrash", "SysCrash"], &rows));
+    println!(
+        "{}",
+        table(
+            &["benchmark", "model", "AVF", "SDC", "AppCrash", "SysCrash"],
+            &rows
+        )
+    );
     println!("expected: wider faults raise AVF — the single-bit model is a floor,");
     println!("one reason injection under-predicts the beam (paper Fig 1).");
 }

@@ -27,7 +27,10 @@ fn main() {
         ]);
     }
     println!("Ablation — L1D sample-size convergence ({w})\n");
-    println!("{}", table(&["faults", "AVF estimate", "99% margin"], &rows));
+    println!(
+        "{}",
+        table(&["faults", "AVF estimate", "99% margin"], &rows)
+    );
     println!("expected: the margin decays ~1/sqrt(n); 1,000 faults reach the paper's");
     println!("1.7%-4.0% band (Table IV).");
 }

@@ -22,8 +22,7 @@ fn main() {
         for c in &res.per_component {
             let tag = c.tag_counts;
             let data_total = c.counts.total() - tag.total();
-            let data_nonmasked =
-                (c.counts.total() - c.counts.masked) - (tag.total() - tag.masked);
+            let data_nonmasked = (c.counts.total() - c.counts.masked) - (tag.total() - tag.masked);
             let data_avf = if data_total > 0 {
                 data_nonmasked as f64 / data_total as f64
             } else {
@@ -38,7 +37,13 @@ fn main() {
         }
     }
     println!("Ablation — TLB tag vs physical-target AVF\n");
-    println!("{}", table(&["benchmark", "TLB", "tag-region AVF", "target-region AVF"], &rows));
+    println!(
+        "{}",
+        table(
+            &["benchmark", "TLB", "tag-region AVF", "target-region AVF"],
+            &rows
+        )
+    );
     println!("expected: the tag region's AVF is near zero (misses → re-walks);");
     println!("the physical target carries the vulnerability (paper §V-B).");
 }

@@ -29,7 +29,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["sigma_sys (FIT)", "beam SDC", "beam AppCrash", "beam SysCrash", "beam total"],
+            &[
+                "sigma_sys (FIT)",
+                "beam SDC",
+                "beam AppCrash",
+                "beam SysCrash",
+                "beam total"
+            ],
             &rows
         )
     );

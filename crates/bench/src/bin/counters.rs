@@ -19,12 +19,26 @@ fn main() {
     let mut rows = Vec::new();
     for &w in &opts.suite {
         let built = w.build(opts.study.scale);
-        let a = golden_run(MachineConfig::cortex_a9(), &built.image, &KernelConfig::default(), 500_000_000)
-            .expect("paper-config run");
-        let b = golden_run(MachineConfig::cortex_a9_scaled(), &built.image, &KernelConfig::default(), 500_000_000)
-            .expect("scaled-config run");
+        let a = golden_run(
+            MachineConfig::cortex_a9(),
+            &built.image,
+            &KernelConfig::default(),
+            500_000_000,
+        )
+        .expect("paper-config run");
+        let b = golden_run(
+            MachineConfig::cortex_a9_scaled(),
+            &built.image,
+            &KernelConfig::default(),
+            500_000_000,
+        )
+        .expect("scaled-config run");
         assert_eq!(a.output, b.output, "{w}: outputs must be identical");
-        for ((name, va), (_, vb)) in a.counters.paper_seven().iter().zip(b.counters.paper_seven())
+        for ((name, va), (_, vb)) in a
+            .counters
+            .paper_seven()
+            .iter()
+            .zip(b.counters.paper_seven())
         {
             let dev = if *va == 0 && vb == 0 {
                 0.0
@@ -43,7 +57,16 @@ fn main() {
     println!("§IV-D — counter comparison: paper-sized vs scaled-campaign machine\n");
     println!(
         "{}",
-        table(&["benchmark", "counter", "paper config", "scaled config", "deviation"], &rows)
+        table(
+            &[
+                "benchmark",
+                "counter",
+                "paper config",
+                "scaled config",
+                "deviation"
+            ],
+            &rows
+        )
     );
     println!("expected: program-property counters (branch misses within noise) agree;");
     println!("hierarchy-property counters (cache/TLB misses) deviate with capacity —");

@@ -9,7 +9,10 @@ fn main() {
     let items = vec![
         ("SDC only".to_string(), vec![o.fi_sdc, o.beam_sdc]),
         ("+ AppCrash".to_string(), vec![o.fi_sdc_app, o.beam_sdc_app]),
-        ("+ SysCrash (total)".to_string(), vec![o.fi_total, o.beam_total]),
+        (
+            "+ SysCrash (total)".to_string(),
+            vec![o.fi_total, o.beam_total],
+        ),
     ];
     println!(
         "{}",
@@ -20,7 +23,12 @@ fn main() {
             48,
         )
     );
-    println!("ratios: SDC {:.2}x | +AppCrash {:.2}x | total {:.2}x", o.sdc_ratio(), o.sdc_app_ratio(), o.total_ratio());
+    println!(
+        "ratios: SDC {:.2}x | +AppCrash {:.2}x | total {:.2}x",
+        o.sdc_ratio(),
+        o.sdc_app_ratio(),
+        o.total_ratio()
+    );
     println!("paper:  SDC ~1x   | +AppCrash 4.3x   | total 10.9x");
     println!("\nthe real FIT rate lies between the two estimates (paper Fig 1/Fig 10);");
     println!("the gap never exceeds one order of magnitude.");

@@ -29,7 +29,15 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Benchmark", "Component", "Masked", "SDC", "AppCrash", "SysCrash", "AVF"],
+            &[
+                "Benchmark",
+                "Component",
+                "Masked",
+                "SDC",
+                "AppCrash",
+                "SysCrash",
+                "AVF"
+            ],
             &rows
         )
     );

@@ -1,8 +1,8 @@
 //! Fig 5 — fault-injection-predicted FIT rates per benchmark
 //! (AVF × size × FIT_raw, summed over the six components).
 
-use sea_core::analysis::report::grouped_bars;
 use sea_core::analysis::fi_fit;
+use sea_core::analysis::report::grouped_bars;
 use sea_core::injection::run_campaign;
 
 fn main() {
@@ -14,7 +14,10 @@ fn main() {
         let built = w.build(opts.study.scale);
         let res = run_campaign(w.name(), &built, &cfg).expect("campaign");
         let fit = fi_fit(&res, opts.study.fit_raw);
-        items.push((w.name().to_string(), vec![fit.sdc, fit.app_crash, fit.sys_crash]));
+        items.push((
+            w.name().to_string(),
+            vec![fit.sdc, fit.app_crash, fit.sys_crash],
+        ));
     }
     println!(
         "{}",

@@ -7,8 +7,10 @@ use sea_core::FaultClass;
 fn main() {
     let opts = sea_bench::parse_options();
     let res = sea_bench::run_study(&opts);
-    ratio_figure("Fig 6 — SDC FIT ratio (beam vs fault injection)", &res, |c| {
-        c.ratio(FaultClass::Sdc)
-    });
+    ratio_figure(
+        "Fig 6 — SDC FIT ratio (beam vs fault injection)",
+        &res,
+        |c| c.ratio(FaultClass::Sdc),
+    );
     println!("\nexpected shape: most benchmarks within ±4x; low-SDC benchmarks noisier.");
 }

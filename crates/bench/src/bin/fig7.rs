@@ -6,9 +6,11 @@ use sea_core::FaultClass;
 fn main() {
     let opts = sea_bench::parse_options();
     let res = sea_bench::run_study(&opts);
-    ratio_figure("Fig 7 — AppCrash FIT ratio (beam vs fault injection)", &res, |c| {
-        c.ratio(FaultClass::AppCrash)
-    });
+    ratio_figure(
+        "Fig 7 — AppCrash FIT ratio (beam vs fault injection)",
+        &res,
+        |c| c.ratio(FaultClass::AppCrash),
+    );
     println!("\nexpected shape: beam consistently higher (unmodeled control latches);");
     println!("largest for small-code benchmarks whose text stays cache-resident.");
 }

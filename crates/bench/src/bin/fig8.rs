@@ -6,9 +6,11 @@ use sea_core::FaultClass;
 fn main() {
     let opts = sea_bench::parse_options();
     let res = sea_bench::run_study(&opts);
-    ratio_figure("Fig 8 — SysCrash FIT ratio (beam vs fault injection)", &res, |c| {
-        c.ratio(FaultClass::SysCrash)
-    });
+    ratio_figure(
+        "Fig 8 — SysCrash FIT ratio (beam vs fault injection)",
+        &res,
+        |c| c.ratio(FaultClass::SysCrash),
+    );
     println!("\nexpected shape: beam higher for every benchmark (platform logic +");
     println!("kernel-resident cache exposure); largest for small-footprint workloads.");
     for w in &res.workloads {

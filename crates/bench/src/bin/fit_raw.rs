@@ -13,5 +13,8 @@ fn main() {
     println!("  sigma per bit       : {:.3e} cm^2", r.sigma_bit_measured);
     println!("  FIT_raw (measured)  : {:.3e} per bit", r.fit_raw_measured);
     println!("  FIT_raw (paper)     : 2.760e-5 per bit");
-    println!("  detection efficiency: {:.2} (tag strikes detect as multi-word upsets)", r.efficiency);
+    println!(
+        "  detection efficiency: {:.2} (tag strikes detect as multi-word upsets)",
+        r.efficiency
+    );
 }

@@ -23,14 +23,32 @@ fn main() {
         .iter()
         .map(|w| {
             let m = w.meta();
-            vec![w.name().into(), m.paper_input.into(), m.scaled_input.into(), m.characteristics.into()]
+            vec![
+                w.name().into(),
+                m.paper_input.into(),
+                m.scaled_input.into(),
+                m.characteristics.into(),
+            ]
         })
         .collect();
-    println!("{}", table(&["Benchmark", "Paper input", "Scaled input", "Characteristics"], &rows));
+    println!(
+        "{}",
+        table(
+            &[
+                "Benchmark",
+                "Paper input",
+                "Scaled input",
+                "Characteristics"
+            ],
+            &rows
+        )
+    );
 
     // ---- FIT_raw (§VI) ----
     println!("\n--- FIT_raw measurement (Section VI) ---");
-    let r = opts.study.measure_fit_raw(opts.study.beam_strikes.min(200).max(60));
+    let r = opts
+        .study
+        .measure_fit_raw(opts.study.beam_strikes.clamp(60, 200));
     println!(
         "measured FIT_raw = {:.3e} per bit (paper: 2.76e-5); {} upsets / {} strikes",
         r.fit_raw_measured, r.detected_upsets, r.strikes
@@ -43,7 +61,10 @@ fn main() {
     let mut per_comp: std::collections::BTreeMap<_, Vec<f64>> = Default::default();
     for w in &res.workloads {
         for c in &w.campaign.per_component {
-            per_comp.entry(c.component).or_default().push(c.error_margin());
+            per_comp
+                .entry(c.component)
+                .or_default()
+                .push(c.error_margin());
         }
     }
     let rows: Vec<Vec<String>> = sea_core::Component::ALL
@@ -52,13 +73,19 @@ fn main() {
             let ms = &per_comp[c];
             vec![
                 c.short_name().to_string(),
-                format!("{:.1} %", 100.0 * ms.iter().copied().fold(f64::INFINITY, f64::min)),
+                format!(
+                    "{:.1} %",
+                    100.0 * ms.iter().copied().fold(f64::INFINITY, f64::min)
+                ),
                 format!("{:.1} %", 100.0 * ms.iter().copied().fold(0.0f64, f64::max)),
                 format!("{:.1} %", 100.0 * ms.iter().sum::<f64>() / ms.len() as f64),
             ]
         })
         .collect();
-    println!("{}", table(&["Component", "Min Err", "Max Err", "Avg Err"], &rows));
+    println!(
+        "{}",
+        table(&["Component", "Min Err", "Max Err", "Avg Err"], &rows)
+    );
 
     println!("\nFig 3 — beam FIT rates\n");
     let items: Vec<(String, Vec<f64>)> = res
@@ -67,11 +94,23 @@ fn main() {
         .map(|w| {
             (
                 w.comparison.workload.clone(),
-                vec![w.comparison.beam.sdc, w.comparison.beam.app_crash, w.comparison.beam.sys_crash],
+                vec![
+                    w.comparison.beam.sdc,
+                    w.comparison.beam.app_crash,
+                    w.comparison.beam.sys_crash,
+                ],
             )
         })
         .collect();
-    println!("{}", grouped_bars("beam FIT (per 10^9 h)", &items, &["SDC", "AppCrash", "SysCrash"], 40));
+    println!(
+        "{}",
+        grouped_bars(
+            "beam FIT (per 10^9 h)",
+            &items,
+            &["SDC", "AppCrash", "SysCrash"],
+            40
+        )
+    );
 
     println!("\nFig 4 — injection classification (summary: AVF per component)\n");
     let mut rows = Vec::new();
@@ -87,7 +126,10 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table(&["Benchmark", "Comp", "SDC", "App", "Sys", "AVF"], &rows));
+    println!(
+        "{}",
+        table(&["Benchmark", "Comp", "SDC", "App", "Sys", "AVF"], &rows)
+    );
 
     println!("\nFig 5 — fault-injection FIT rates\n");
     let items: Vec<(String, Vec<f64>)> = res
@@ -96,29 +138,55 @@ fn main() {
         .map(|w| {
             (
                 w.comparison.workload.clone(),
-                vec![w.comparison.fi.sdc, w.comparison.fi.app_crash, w.comparison.fi.sys_crash],
+                vec![
+                    w.comparison.fi.sdc,
+                    w.comparison.fi.app_crash,
+                    w.comparison.fi.sys_crash,
+                ],
             )
         })
         .collect();
-    println!("{}", grouped_bars("injection FIT (per 10^9 h)", &items, &["SDC", "AppCrash", "SysCrash"], 40));
+    println!(
+        "{}",
+        grouped_bars(
+            "injection FIT (per 10^9 h)",
+            &items,
+            &["SDC", "AppCrash", "SysCrash"],
+            40
+        )
+    );
 
     println!();
-    ratio_figure("Fig 6 — SDC FIT ratio", &res, |c| c.ratio(FaultClass::Sdc));
+    ratio_figure("Fig 6 — SDC FIT ratio", &res, |c| {
+        c.ratio(FaultClass::Sdc)
+    });
     println!();
-    ratio_figure("Fig 7 — AppCrash FIT ratio", &res, |c| c.ratio(FaultClass::AppCrash));
+    ratio_figure("Fig 7 — AppCrash FIT ratio", &res, |c| {
+        c.ratio(FaultClass::AppCrash)
+    });
     println!();
-    ratio_figure("Fig 8 — SysCrash FIT ratio", &res, |c| c.ratio(FaultClass::SysCrash));
+    ratio_figure("Fig 8 — SysCrash FIT ratio", &res, |c| {
+        c.ratio(FaultClass::SysCrash)
+    });
     println!();
-    ratio_figure("Fig 9 — (SDC+AppCrash) FIT ratio", &res, |c| c.ratio_sdc_app());
+    ratio_figure("Fig 9 — (SDC+AppCrash) FIT ratio", &res, |c| {
+        c.ratio_sdc_app()
+    });
 
     let o = &res.overview;
     println!("\nFig 10 — overview (average FIT across benchmarks)\n");
     let items = vec![
         ("SDC only".to_string(), vec![o.fi_sdc, o.beam_sdc]),
         ("+ AppCrash".to_string(), vec![o.fi_sdc_app, o.beam_sdc_app]),
-        ("+ SysCrash (total)".to_string(), vec![o.fi_total, o.beam_total]),
+        (
+            "+ SysCrash (total)".to_string(),
+            vec![o.fi_total, o.beam_total],
+        ),
     ];
-    println!("{}", grouped_bars("average FIT", &items, &["fault injection", "beam"], 40));
+    println!(
+        "{}",
+        grouped_bars("average FIT", &items, &["fault injection", "beam"], 40)
+    );
     println!(
         "ratios — SDC: {:.2}x | +AppCrash: {:.2}x | total: {:.2}x   (paper: ~1x | 4.3x | 10.9x)",
         o.sdc_ratio(),

@@ -43,10 +43,25 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Abstraction layer", "Model", "cycles/sec (measured)", "paper (gem5 era)"],
             &[
-                vec!["Software (native)".into(), "host CPU".into(), fmt(native), "2e9".into()],
-                vec!["Architecture".into(), "SEA atomic model".into(), fmt(atomic), "2e7".into()],
+                "Abstraction layer",
+                "Model",
+                "cycles/sec (measured)",
+                "paper (gem5 era)"
+            ],
+            &[
+                vec![
+                    "Software (native)".into(),
+                    "host CPU".into(),
+                    fmt(native),
+                    "2e9".into()
+                ],
+                vec![
+                    "Architecture".into(),
+                    "SEA atomic model".into(),
+                    fmt(atomic),
+                    "2e7".into()
+                ],
                 vec![
                     "Microarchitecture".into(),
                     "SEA detailed model".into(),

@@ -21,6 +21,15 @@ fn main() {
         .collect();
     println!(
         "{}",
-        table(&["Benchmark", "Paper input", "Scaled input", "Characteristics", "Footprint"], &rows)
+        table(
+            &[
+                "Benchmark",
+                "Paper input",
+                "Scaled input",
+                "Characteristics",
+                "Footprint"
+            ],
+            &rows
+        )
     );
 }

@@ -2,7 +2,7 @@
 //! across the workloads, after the paper's p-re-adjustment (99% conf.).
 
 use sea_core::analysis::report::table;
-use sea_core::{Component, injection::run_campaign};
+use sea_core::{injection::run_campaign, Component};
 
 fn main() {
     let opts = sea_bench::parse_options();
@@ -13,7 +13,10 @@ fn main() {
         let built = w.build(opts.study.scale);
         let res = run_campaign(w.name(), &built, &cfg).expect("campaign");
         for c in &res.per_component {
-            per_comp.entry(c.component).or_default().push(c.error_margin());
+            per_comp
+                .entry(c.component)
+                .or_default()
+                .push(c.error_margin());
         }
     }
     println!(
@@ -36,6 +39,9 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", table(&["Component", "Min Err", "Max Err", "Avg Err"], &rows));
+    println!(
+        "{}",
+        table(&["Component", "Min Err", "Max Err", "Avg Err"], &rows)
+    );
     println!("(the paper's 1,000-fault campaigns land between 1.7% and 4.0%;\n run with --samples 1000 for the same regime)");
 }

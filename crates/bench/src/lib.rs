@@ -23,14 +23,20 @@
 //!
 //! Every binary accepts `--samples N` (faults/component), `--strikes N`
 //! (beam strikes/benchmark), `--seed N`, `--threads N`, `--tiny`
-//! (tiny inputs for smoke runs) and `--suite A,B,…` (benchmark subset).
+//! (tiny inputs for smoke runs), `--suite A,B,…` (benchmark subset),
+//! `--trace-out FILE.jsonl` (capture a structured `sea-trace` event
+//! stream, with fault provenance, and print a trace summary at exit)
+//! and `--progress` (live per-class progress meter on stderr).
 //! Criterion microbenchmarks (`cargo bench -p sea-bench`) cover the
 //! simulator kernels the tables depend on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sea_core::{Overview, Scale, Study, StudyResult, Workload, WorkloadStudy};
+use sea_core::analysis::TraceSummary;
+use sea_core::{trace, Overview, Scale, Study, StudyResult, Workload, WorkloadStudy};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// CLI options shared by every regeneration binary.
 #[derive(Clone, Debug)]
@@ -39,11 +45,63 @@ pub struct Options {
     pub study: Study,
     /// Benchmarks to include.
     pub suite: Vec<Workload>,
+    /// Live tracing attached by `--trace-out`; flushes and summarizes when
+    /// the last clone drops (end of `main`).
+    pub trace: Option<Arc<TraceSession>>,
 }
 
 impl Default for Options {
     fn default() -> Options {
-        Options { study: Study::default(), suite: Workload::ALL.to_vec() }
+        Options {
+            study: Study::default(),
+            suite: Workload::ALL.to_vec(),
+            trace: None,
+        }
+    }
+}
+
+/// A `--trace-out` capture: installs a JSON-Lines sink and enables
+/// info-level events across all subsystems for the life of the value.
+/// Dropping it flushes the file and prints the
+/// [`trace summary`](TraceSummary) to stderr.
+#[derive(Debug)]
+pub struct TraceSession {
+    path: PathBuf,
+}
+
+impl TraceSession {
+    /// Start capturing to `path` (truncates an existing file).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be created.
+    pub fn start(path: PathBuf) -> TraceSession {
+        let sink = trace::JsonlSink::create(&path)
+            .unwrap_or_else(|e| panic!("--trace-out {}: {e}", path.display()));
+        trace::install_sink(Arc::new(sink));
+        trace::set_level_all(trace::Level::Info);
+        TraceSession { path }
+    }
+
+    /// Where the JSON-Lines stream is being written.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        trace::disable_all();
+        trace::shutdown();
+        trace::uninstall_sink();
+        match std::fs::read_to_string(&self.path) {
+            Ok(text) => {
+                let summary = TraceSummary::from_jsonl(&text);
+                eprintln!("\ntrace written to {}", self.path.display());
+                eprint!("{}", summary.render());
+            }
+            Err(e) => eprintln!("trace: cannot summarize {}: {e}", self.path.display()),
+        }
     }
 }
 
@@ -58,7 +116,9 @@ pub fn parse_options() -> Options {
     let mut i = 0;
     while i < args.len() {
         let need = |i: usize| -> String {
-            args.get(i + 1).unwrap_or_else(|| panic!("flag {} needs a value", args[i])).clone()
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("flag {} needs a value", args[i]))
+                .clone()
         };
         match args[i].as_str() {
             "--samples" => {
@@ -79,6 +139,14 @@ pub fn parse_options() -> Options {
             }
             "--tiny" => {
                 opts.study.scale = Scale::Tiny;
+                i += 1;
+            }
+            "--trace-out" => {
+                opts.trace = Some(Arc::new(TraceSession::start(PathBuf::from(need(i)))));
+                i += 2;
+            }
+            "--progress" => {
+                trace::set_progress(true);
                 i += 1;
             }
             "--suite" => {
@@ -138,11 +206,7 @@ pub mod figures {
     use sea_core::{Comparison, StudyResult};
 
     /// Prints a signed log-scale ratio chart, one row per benchmark.
-    pub fn ratio_figure(
-        title: &str,
-        res: &StudyResult,
-        metric: impl Fn(&Comparison) -> f64,
-    ) {
+    pub fn ratio_figure(title: &str, res: &StudyResult, metric: impl Fn(&Comparison) -> f64) {
         println!("{title}");
         println!("(negative ← fault injection higher | beam higher → positive; log scale)\n");
         let rows: Vec<(String, f64)> = res

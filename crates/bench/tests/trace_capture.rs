@@ -1,0 +1,73 @@
+//! End-to-end `--trace-out` acceptance: the fig4 binary must produce a
+//! valid JSON-Lines stream containing fault-provenance records, and the
+//! trace summary must render from it.
+
+use sea_core::analysis::TraceSummary;
+use sea_core::trace::json::{self, Json};
+
+#[test]
+fn fig4_trace_out_is_valid_jsonl_with_provenance() {
+    let path = std::env::temp_dir().join(format!("sea_fig4_trace_{}.jsonl", std::process::id()));
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_fig4"))
+        .args([
+            "--samples",
+            "3",
+            "--tiny",
+            "--suite",
+            "crc32",
+            "--threads",
+            "2",
+        ])
+        .arg("--trace-out")
+        .arg(&path)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn fig4");
+    assert!(status.success(), "fig4 exited with {status}");
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+
+    // Every line is one parseable JSON object with the envelope keys.
+    let mut provenance = 0u64;
+    let mut lines = 0u64;
+    for line in text.lines() {
+        lines += 1;
+        let ev = json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e:?}"));
+        let name = ev.get("ev").and_then(Json::as_str).expect("ev key");
+        assert!(ev.get("sub").and_then(Json::as_str).is_some(), "{line}");
+        assert!(ev.get("level").and_then(Json::as_str).is_some(), "{line}");
+        if name == "injection.provenance" {
+            provenance += 1;
+            // Activation status and flip→terminal latency are mandatory.
+            ev.get("activated")
+                .and_then(Json::as_bool)
+                .expect("activated");
+            ev.get("act_cycles")
+                .and_then(Json::as_u64)
+                .expect("act_cycles");
+            ev.get("total_cycles")
+                .and_then(Json::as_u64)
+                .expect("total_cycles");
+            ev.get("component")
+                .and_then(Json::as_str)
+                .expect("component");
+            ev.get("class").and_then(Json::as_str).expect("class");
+        }
+    }
+    // 3 samples × 6 components: every injection leaves a provenance record.
+    assert_eq!(provenance, 18, "of {lines} lines");
+
+    // The summary renderer reconstructs per-component views from the file.
+    let summary = TraceSummary::from_jsonl(&text);
+    assert_eq!(summary.malformed, 0);
+    assert_eq!(summary.events, lines);
+    let rendered = summary.render();
+    assert!(
+        rendered.contains("activation rate per component"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("flip→read cycles"), "{rendered}");
+    assert!(rendered.contains("flip→terminal cycles"), "{rendered}");
+}

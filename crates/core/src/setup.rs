@@ -20,9 +20,8 @@ pub struct SetupRow {
 /// pipeline *resembles* the Cortex-A9 without matching it exactly, and the
 /// physical part's second core is present but disabled.
 pub fn setup_rows(machine: &MachineConfig) -> Vec<SetupRow> {
-    let cache = |c: &sea_microarch::CacheConfig| {
-        format!("{} KB {}-way", c.size_bytes / 1024, c.ways)
-    };
+    let cache =
+        |c: &sea_microarch::CacheConfig| format!("{} KB {}-way", c.size_bytes / 1024, c.ways);
     vec![
         SetupRow {
             property: "Microarchitecture",
@@ -34,7 +33,11 @@ pub fn setup_rows(machine: &MachineConfig) -> Vec<SetupRow> {
             beam: "Zynq 7000 (ZedBoard)".into(),
             sim: "SEA board model".into(),
         },
-        SetupRow { property: "CPU cores", beam: "1*".into(), sim: "1".into() },
+        SetupRow {
+            property: "CPU cores",
+            beam: "1*".into(),
+            sim: "1".into(),
+        },
         SetupRow {
             property: "L1 Cache",
             beam: "32 KB 4-way".into(),

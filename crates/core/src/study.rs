@@ -34,7 +34,10 @@ pub struct StudyResult {
 impl StudyResult {
     /// All comparisons, borrowed.
     pub fn comparisons(&self) -> Vec<Comparison> {
-        self.workloads.iter().map(|w| w.comparison.clone()).collect()
+        self.workloads
+            .iter()
+            .map(|w| w.comparison.clone())
+            .collect()
     }
 }
 
@@ -141,7 +144,12 @@ impl Study {
             fi: fi_fit(&campaign, self.fit_raw),
             beam: beam_fit(&beam),
         };
-        Ok(WorkloadStudy { workload: w, campaign, beam, comparison })
+        Ok(WorkloadStudy {
+            workload: w,
+            campaign,
+            beam,
+            comparison,
+        })
     }
 
     /// Runs the full 13-benchmark study.
@@ -163,8 +171,7 @@ impl Study {
         for &w in suite {
             workloads.push(self.run_workload(w)?);
         }
-        let comparisons: Vec<Comparison> =
-            workloads.iter().map(|w| w.comparison.clone()).collect();
+        let comparisons: Vec<Comparison> = workloads.iter().map(|w| w.comparison.clone()).collect();
         Ok(StudyResult {
             overview: Overview::from_comparisons(&comparisons),
             workloads,

@@ -8,8 +8,23 @@ use rand::{Rng, SeedableRng};
 
 use sea_kernel::KernelConfig;
 use sea_microarch::{ArrayKind, Component, MachineConfig, System};
-use sea_platform::{boot, classify, golden_run, run, ClassCounts, FaultClass, GoldenRun, RunLimits};
+use sea_platform::{
+    boot, classify, golden_run, run, ClassCounts, FaultClass, GoldenRun, RunLimits,
+};
+use sea_trace::{event, Level, Progress, Subsystem};
 use sea_workloads::BuiltWorkload;
+
+/// Class-name labels for progress meters, index-aligned with
+/// [`FaultClass::ALL`].
+pub const CLASS_LABELS: [&str; 4] = ["masked", "sdc", "app", "sys"];
+
+/// Index of a class within [`FaultClass::ALL`] / [`CLASS_LABELS`].
+pub fn class_index(class: FaultClass) -> usize {
+    FaultClass::ALL
+        .iter()
+        .position(|&c| c == class)
+        .expect("class in ALL")
+}
 
 /// The spatial fault model of a strike.
 ///
@@ -108,7 +123,10 @@ pub struct CampaignResult {
 impl CampaignResult {
     /// Result for one component.
     pub fn component(&self, c: Component) -> &ComponentResult {
-        self.per_component.iter().find(|r| r.component == c).expect("component present")
+        self.per_component
+            .iter()
+            .find(|r| r.component == c)
+            .expect("component present")
     }
 
     /// Total injections across components.
@@ -187,18 +205,40 @@ pub fn run_one(
         sys.step();
     }
     let bits = sys.component_bits(spec.component);
-    let site = sys.flip_bit(spec.component, spec.bit);
-    // Multi-bit models upset the adjacent cells of the same array.
+    // Arm a provenance probe only when someone is listening — the probe adds
+    // a per-step drain to the run.
+    let provenance = sea_trace::enabled(Subsystem::Injection, Level::Info);
+    let site = if provenance {
+        sys.flip_bit_probed(spec.component, spec.bit)
+    } else {
+        sys.flip_bit(spec.component, spec.bit)
+    };
+    // Multi-bit models upset the adjacent cells of the same array. A strike
+    // starting near the array's last cell wraps onto the first cells (the
+    // flat bit index is a ring), so every model always flips its full
+    // width — previously the out-of-range remainder was silently dropped,
+    // under-injecting boundary strikes.
     for extra in 1..cfg.fault_model.width() {
-        let b = spec.bit + extra;
-        if b < bits {
-            sys.flip_bit(spec.component, b);
-        }
+        let b = (spec.bit + extra) % bits;
+        sys.flip_bit(spec.component, b);
+        event!(Subsystem::Injection, Level::Debug, "injection.multibit";
+               cycle = spec.cycle;
+               "component" => site.component.short_name(),
+               "bit" => b,
+               "wrapped" => b < spec.bit);
     }
     // Phase 2: run to a terminal state under the watchdog.
     let outcome = run(&mut sys, limits);
     let class = classify(&outcome, &workload.golden);
-    InjectionOutcome { spec, array: site.array, was_valid: site.was_valid, class }
+    if let Some(probe) = sys.take_probe() {
+        probe.emit_record(&class.to_string(), sys.cycles());
+    }
+    InjectionOutcome {
+        spec,
+        array: site.array,
+        was_valid: site.was_valid,
+        class,
+    }
 }
 
 /// Runs a full statistical campaign for one workload.
@@ -226,9 +266,8 @@ pub fn run_campaign(
     workload: &BuiltWorkload,
     cfg: &CampaignConfig,
 ) -> Result<CampaignResult, CampaignError> {
-    let golden: GoldenRun =
-        golden_run(cfg.machine, &workload.image, &cfg.kernel, 500_000_000)
-            .map_err(CampaignError::Golden)?;
+    let golden: GoldenRun = golden_run(cfg.machine, &workload.image, &cfg.kernel, 500_000_000)
+        .map_err(CampaignError::Golden)?;
     let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period);
 
     // Pre-generate all specs deterministically.
@@ -247,26 +286,57 @@ pub fn run_campaign(
     }
 
     let next = AtomicUsize::new(0);
-    let outcomes: Mutex<Vec<InjectionOutcome>> =
-        Mutex::new(Vec::with_capacity(specs.len()));
+    let outcomes: Mutex<Vec<InjectionOutcome>> = Mutex::new(Vec::with_capacity(specs.len()));
     let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         cfg.threads
     };
+    let campaign_span = sea_trace::span(Subsystem::Injection, Level::Info, "injection.campaign");
+    let progress = Progress::new(format!("inject {name}"), specs.len() as u64, &CLASS_LABELS);
     crossbeam::scope(|scope| {
-        for _ in 0..threads.min(specs.len().max(1)) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
+        let (next, outcomes, specs) = (&next, &outcomes, &specs);
+        for worker in 0..threads.min(specs.len().max(1)) {
+            let progress = &progress;
+            scope.spawn(move |_| {
+                let started = std::time::Instant::now();
+                let mut runs = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let out = run_one(workload, cfg, specs[i], limits);
+                    progress.record(Some(class_index(out.class)));
+                    runs += 1;
+                    outcomes.lock().push(out);
                 }
-                let out = run_one(workload, cfg, specs[i], limits);
-                outcomes.lock().push(out);
+                let secs = started.elapsed().as_secs_f64();
+                event!(Subsystem::Injection, Level::Info, "injection.worker";
+                       "worker" => worker,
+                       "runs" => runs,
+                       "secs" => secs,
+                       "runs_per_sec" => if secs > 0.0 { runs as f64 / secs } else { 0.0 });
+                // Flush before the closure returns: the scope join can
+                // complete before this thread's TLS destructors run, so the
+                // drop-time ring flush may race with sink teardown.
+                sea_trace::flush_thread();
             });
         }
     })
     .expect("campaign worker panicked");
+    let (done, secs) = progress.finish();
+    if let Some(mut s) = campaign_span {
+        s.field("workload", name.to_string());
+        s.field("runs", done);
+        s.field(
+            "runs_per_sec",
+            if secs > 0.0 { done as f64 / secs } else { 0.0 },
+        );
+        s.field("workers", threads.min(specs.len().max(1)));
+    }
 
     let all = outcomes.into_inner();
     let mut per_component = Vec::new();

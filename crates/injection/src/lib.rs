@@ -18,7 +18,7 @@ mod campaign;
 pub mod stats;
 
 pub use campaign::{
-    run_campaign, run_one, CampaignConfig, CampaignError, CampaignResult, ComponentResult,
-    FaultModel, InjectionOutcome, InjectionSpec,
+    class_index, run_campaign, run_one, CampaignConfig, CampaignError, CampaignResult,
+    ComponentResult, FaultModel, InjectionOutcome, InjectionSpec, CLASS_LABELS,
 };
 pub use sea_platform::ClassCounts;

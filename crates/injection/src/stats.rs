@@ -25,7 +25,11 @@ pub fn error_margin(population: u64, n: u64, z: f64, p: f64) -> f64 {
         return 1.0;
     }
     let nn = population as f64;
-    let fpc = if nn > 1.0 { (nn - n as f64) / (nn - 1.0) } else { 0.0 };
+    let fpc = if nn > 1.0 {
+        (nn - n as f64) / (nn - 1.0)
+    } else {
+        0.0
+    };
     z * (p * (1.0 - p) / n as f64 * fpc.max(0.0)).sqrt()
 }
 
@@ -78,8 +82,7 @@ mod tests {
         }
         // Small AVFs tighten the margin below the worst case.
         assert!(
-            adjusted_error_margin(bits, 1000, Z_99, 0.02)
-                < error_margin(bits, 1000, Z_99, 0.5)
+            adjusted_error_margin(bits, 1000, Z_99, 0.02) < error_margin(bits, 1000, Z_99, 0.5)
         );
     }
 

@@ -6,7 +6,10 @@ use sea_platform::{FaultClass, RunLimits};
 use sea_workloads::{Scale, Workload};
 
 fn tiny_cfg(samples: u32) -> CampaignConfig {
-    CampaignConfig { samples_per_component: samples, ..CampaignConfig::default() }
+    CampaignConfig {
+        samples_per_component: samples,
+        ..CampaignConfig::default()
+    }
 }
 
 #[test]
@@ -22,9 +25,15 @@ fn campaign_over_all_components_produces_all_counts() {
         assert!(c.error_margin() > 0.0 && c.error_margin() < 1.0);
     }
     // Injections must produce at least some non-masked outcomes somewhere.
-    let non_masked: u64 =
-        res.per_component.iter().map(|c| c.counts.total() - c.counts.masked).sum();
-    assert!(non_masked > 0, "150 injections with zero effect is implausible");
+    let non_masked: u64 = res
+        .per_component
+        .iter()
+        .map(|c| c.counts.total() - c.counts.masked)
+        .sum();
+    assert!(
+        non_masked > 0,
+        "150 injections with zero effect is implausible"
+    );
 }
 
 #[test]
@@ -47,7 +56,10 @@ fn directed_injection_into_dead_register_is_masked() {
     // r11 high bit very late in the run: the value is dead; must be masked.
     let w = Workload::Crc32.build(Scale::Tiny);
     let cfg = tiny_cfg(1);
-    let limits = RunLimits { max_cycles: 50_000_000, tick_window: 250_000 };
+    let limits = RunLimits {
+        max_cycles: 50_000_000,
+        tick_window: 250_000,
+    };
     // Bit in the FP bank (s31), never used by CRC32.
     let spec = InjectionSpec {
         component: Component::RegFile,
@@ -64,14 +76,11 @@ fn directed_injection_into_live_crc_accumulator_corrupts_output() {
     // any bit of r4 mid-loop must surface as an SDC.
     let w = Workload::Crc32.build(Scale::Tiny);
     let cfg = tiny_cfg(1);
-    let g = sea_platform::golden_run(
-        cfg.machine,
-        &w.image,
-        &cfg.kernel,
-        100_000_000,
-    )
-    .unwrap();
-    let limits = RunLimits { max_cycles: 50_000_000, tick_window: 250_000 };
+    let g = sea_platform::golden_run(cfg.machine, &w.image, &cfg.kernel, 100_000_000).unwrap();
+    let limits = RunLimits {
+        max_cycles: 50_000_000,
+        tick_window: 250_000,
+    };
     // Strike in the middle of the CRC loop.
     let spec = InjectionSpec {
         component: Component::RegFile,
@@ -79,7 +88,11 @@ fn directed_injection_into_live_crc_accumulator_corrupts_output() {
         cycle: g.cycles / 2,
     };
     let out = run_one(&w, &cfg, spec, limits);
-    assert_eq!(out.class, FaultClass::Sdc, "live CRC register flip must corrupt the result");
+    assert_eq!(
+        out.class,
+        FaultClass::Sdc,
+        "live CRC register flip must corrupt the result"
+    );
 }
 
 #[test]
@@ -110,9 +123,16 @@ fn injection_during_kernel_boot_is_handled() {
     // campaign machinery must classify it like any other run.
     let w = Workload::MatMul.build(Scale::Tiny);
     let cfg = tiny_cfg(1);
-    let limits = RunLimits { max_cycles: 50_000_000, tick_window: 250_000 };
+    let limits = RunLimits {
+        max_cycles: 50_000_000,
+        tick_window: 250_000,
+    };
     for component in Component::ALL {
-        let spec = InjectionSpec { component, bit: 0, cycle: 0 };
+        let spec = InjectionSpec {
+            component,
+            bit: 0,
+            cycle: 0,
+        };
         let out = run_one(&w, &cfg, spec, limits);
         // Any class is acceptable; the point is totality (no panic/hang).
         let _ = out.class;
@@ -128,7 +148,11 @@ fn injection_at_last_bit_of_every_component() {
     let probe = sea_microarch::System::new(cfg.machine, sea_microarch::NullDevice);
     for component in Component::ALL {
         let bits = probe.component_bits(component);
-        let spec = InjectionSpec { component, bit: bits - 1, cycle: g.cycles - 1 };
+        let spec = InjectionSpec {
+            component,
+            bit: bits - 1,
+            cycle: g.cycles - 1,
+        };
         let out = run_one(&w, &cfg, spec, limits);
         // A flip at the very end of the run is almost always masked, and
         // must never wedge the harness.
@@ -146,8 +170,53 @@ fn multibit_models_flip_more_state() {
     cfg.fault_model = FaultModel::Burst(8);
     let g = sea_platform::golden_run(cfg.machine, &w.image, &cfg.kernel, 100_000_000).unwrap();
     let limits = RunLimits::from_golden(g.cycles, cfg.kernel.tick_period);
-    let spec = InjectionSpec { component: Component::RegFile, bit: 4 * 32, cycle: g.cycles / 3 };
+    let spec = InjectionSpec {
+        component: Component::RegFile,
+        bit: 4 * 32,
+        cycle: g.cycles / 3,
+    };
     let a = run_one(&w, &cfg, spec, limits);
     let b = run_one(&w, &cfg, spec, limits);
     assert_eq!(a.class, b.class, "multi-bit runs must be deterministic");
+}
+
+#[test]
+fn traced_campaign_emits_provenance_records() {
+    let _guard = sea_trace::test_lock();
+    let mem = std::sync::Arc::new(sea_trace::MemorySink::new());
+    sea_trace::install_sink(mem.clone());
+    sea_trace::set_level_all(sea_trace::Level::Info);
+
+    let w = Workload::Crc32.build(Scale::Tiny);
+    let cfg = CampaignConfig {
+        samples_per_component: 4,
+        components: vec![
+            sea_microarch::Component::RegFile,
+            sea_microarch::Component::L1D,
+        ],
+        threads: 2,
+        ..CampaignConfig::default()
+    };
+    run_campaign("CRC32", &w, &cfg).unwrap();
+
+    sea_trace::disable_all();
+    sea_trace::flush_thread();
+    sea_trace::uninstall_sink();
+    let events = mem.take();
+    let prov: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "injection.provenance")
+        .collect();
+    assert_eq!(
+        prov.len(),
+        8,
+        "one provenance record per injection; got {}",
+        prov.len()
+    );
+    let ends = events
+        .iter()
+        .filter(|e| e.name == "platform.run_end")
+        .count();
+    assert!(ends >= 8, "worker run_end events missing: {ends}");
+    assert!(events.iter().any(|e| e.name == "injection.worker"));
 }

@@ -186,7 +186,10 @@ impl Asm {
 
     /// Creates a fresh (unbound) label.
     pub fn label(&mut self, name: &str) -> Label {
-        self.labels.push(LabelInfo { name: name.to_string(), bound: None });
+        self.labels.push(LabelInfo {
+            name: name.to_string(),
+            bound: None,
+        });
         Label(self.labels.len() - 1)
     }
 
@@ -199,7 +202,9 @@ impl Asm {
         let here = (self.cur, self.here());
         let info = &mut self.labels[label.0];
         if info.bound.is_some() {
-            return Err(AsmError::Rebound { name: info.name.clone() });
+            return Err(AsmError::Rebound {
+                name: info.name.clone(),
+            });
         }
         info.bound = Some(here);
         Ok(())
@@ -258,8 +263,7 @@ impl Asm {
     /// Panics if the text does not parse — assembly text in source code is
     /// programmer-authored, like the builder calls around it.
     pub fn text(&mut self, line: &str) -> &mut Asm {
-        let insn = crate::parse_insn(line)
-            .unwrap_or_else(|e| panic!("bad assembly `{line}`: {e}"));
+        let insn = crate::parse_insn(line).unwrap_or_else(|e| panic!("bad assembly `{line}`: {e}"));
         self.push(insn)
     }
 
@@ -334,8 +338,12 @@ impl Asm {
 
     /// Emits a data word that will hold the absolute address of `label`.
     pub fn word_label(&mut self, label: Label) -> &mut Asm {
-        let fix =
-            Fixup { section: self.cur, offset: self.here(), label, kind: FixupKind::AbsWord };
+        let fix = Fixup {
+            section: self.cur,
+            offset: self.here(),
+            label,
+            kind: FixupKind::AbsWord,
+        };
         self.word(0);
         self.fixups.push(fix);
         self
@@ -348,7 +356,14 @@ impl Asm {
         let s = s || op.is_compare();
         let rd = if op.is_compare() { Reg::R0 } else { rd };
         let rn = if op.ignores_rn() { Reg::R0 } else { rn };
-        self.push(Insn::Dp { cond: Cond::Al, op, s, rd, rn, op2 })
+        self.push(Insn::Dp {
+            cond: Cond::Al,
+            op,
+            s,
+            rd,
+            rn,
+            op2,
+        })
     }
 
     fn dp_imm(&mut self, op: DpOp, s: bool, rd: Reg, rn: Reg, imm: u32) -> &mut Asm {
@@ -359,7 +374,13 @@ impl Asm {
 
     /// `rd = rm`.
     pub fn mov(&mut self, rd: Reg, rm: Reg) -> &mut Asm {
-        self.dp(DpOp::Mov, false, rd, Reg::R0, Operand2::Reg(ShiftedReg::plain(rm)))
+        self.dp(
+            DpOp::Mov,
+            false,
+            rd,
+            Reg::R0,
+            Operand2::Reg(ShiftedReg::plain(rm)),
+        )
     }
 
     /// `rd = imm` for rotated-encodable immediates.
@@ -375,9 +396,19 @@ impl Asm {
     /// Loads an arbitrary 32-bit constant with a `movw`/`movt` pair (the
     /// `movt` is skipped when the top half is zero).
     pub fn mov32(&mut self, rd: Reg, value: u32) -> &mut Asm {
-        self.push(Insn::MovW { cond: Cond::Al, top: false, rd, imm: value as u16 });
+        self.push(Insn::MovW {
+            cond: Cond::Al,
+            top: false,
+            rd,
+            imm: value as u16,
+        });
         if value >> 16 != 0 {
-            self.push(Insn::MovW { cond: Cond::Al, top: true, rd, imm: (value >> 16) as u16 });
+            self.push(Insn::MovW {
+                cond: Cond::Al,
+                top: true,
+                rd,
+                imm: (value >> 16) as u16,
+            });
         }
         self
     }
@@ -387,16 +418,36 @@ impl Asm {
     pub fn addr(&mut self, rd: Reg, label: Label) -> &mut Asm {
         assert_eq!(self.cur, Section::Text);
         assert!(self.pending_cond.is_none(), "addr cannot be conditional");
-        let fix =
-            Fixup { section: self.cur, offset: self.here(), label, kind: FixupKind::MovAddr };
+        let fix = Fixup {
+            section: self.cur,
+            offset: self.here(),
+            label,
+            kind: FixupKind::MovAddr,
+        };
         self.fixups.push(fix);
-        self.push(Insn::MovW { cond: Cond::Al, top: false, rd, imm: 0 });
-        self.push(Insn::MovW { cond: Cond::Al, top: true, rd, imm: 0 })
+        self.push(Insn::MovW {
+            cond: Cond::Al,
+            top: false,
+            rd,
+            imm: 0,
+        });
+        self.push(Insn::MovW {
+            cond: Cond::Al,
+            top: true,
+            rd,
+            imm: 0,
+        })
     }
 
     /// `rd = rn + rm`.
     pub fn add(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
-        self.dp(DpOp::Add, false, rd, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+        self.dp(
+            DpOp::Add,
+            false,
+            rd,
+            rn,
+            Operand2::Reg(ShiftedReg::plain(rm)),
+        )
     }
 
     /// `rd = rn + imm`.
@@ -411,7 +462,13 @@ impl Asm {
 
     /// `rd = rn - rm`.
     pub fn sub(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
-        self.dp(DpOp::Sub, false, rd, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+        self.dp(
+            DpOp::Sub,
+            false,
+            rd,
+            rn,
+            Operand2::Reg(ShiftedReg::plain(rm)),
+        )
     }
 
     /// `rd = rn - imm`.
@@ -431,7 +488,13 @@ impl Asm {
 
     /// `rd = rn - rm`, setting flags.
     pub fn subs(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
-        self.dp(DpOp::Sub, true, rd, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+        self.dp(
+            DpOp::Sub,
+            true,
+            rd,
+            rn,
+            Operand2::Reg(ShiftedReg::plain(rm)),
+        )
     }
 
     /// `rd = rn + imm`, setting flags.
@@ -441,7 +504,13 @@ impl Asm {
 
     /// `rd = rn & rm`.
     pub fn and(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
-        self.dp(DpOp::And, false, rd, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+        self.dp(
+            DpOp::And,
+            false,
+            rd,
+            rn,
+            Operand2::Reg(ShiftedReg::plain(rm)),
+        )
     }
 
     /// `rd = rn & imm`.
@@ -451,7 +520,13 @@ impl Asm {
 
     /// `rd = rn | rm`.
     pub fn orr(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
-        self.dp(DpOp::Orr, false, rd, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+        self.dp(
+            DpOp::Orr,
+            false,
+            rd,
+            rn,
+            Operand2::Reg(ShiftedReg::plain(rm)),
+        )
     }
 
     /// `rd = rn | imm`.
@@ -466,7 +541,13 @@ impl Asm {
 
     /// `rd = rn ^ rm`.
     pub fn eor(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
-        self.dp(DpOp::Eor, false, rd, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+        self.dp(
+            DpOp::Eor,
+            false,
+            rd,
+            rn,
+            Operand2::Reg(ShiftedReg::plain(rm)),
+        )
     }
 
     /// `rd = rn ^ imm`.
@@ -486,7 +567,13 @@ impl Asm {
 
     /// `rd = !rm`.
     pub fn mvn(&mut self, rd: Reg, rm: Reg) -> &mut Asm {
-        self.dp(DpOp::Mvn, false, rd, Reg::R0, Operand2::Reg(ShiftedReg::plain(rm)))
+        self.dp(
+            DpOp::Mvn,
+            false,
+            rd,
+            Reg::R0,
+            Operand2::Reg(ShiftedReg::plain(rm)),
+        )
     }
 
     /// `rd = rm << amount` (immediate shift).
@@ -496,7 +583,11 @@ impl Asm {
             false,
             rd,
             Reg::R0,
-            Operand2::Reg(ShiftedReg { rm, shift: crate::Shift::Lsl, amount }),
+            Operand2::Reg(ShiftedReg {
+                rm,
+                shift: crate::Shift::Lsl,
+                amount,
+            }),
         )
     }
 
@@ -507,7 +598,11 @@ impl Asm {
             false,
             rd,
             Reg::R0,
-            Operand2::Reg(ShiftedReg { rm, shift: crate::Shift::Lsr, amount }),
+            Operand2::Reg(ShiftedReg {
+                rm,
+                shift: crate::Shift::Lsr,
+                amount,
+            }),
         )
     }
 
@@ -518,7 +613,11 @@ impl Asm {
             false,
             rd,
             Reg::R0,
-            Operand2::Reg(ShiftedReg { rm, shift: crate::Shift::Asr, amount }),
+            Operand2::Reg(ShiftedReg {
+                rm,
+                shift: crate::Shift::Asr,
+                amount,
+            }),
         )
     }
 
@@ -529,13 +628,23 @@ impl Asm {
             false,
             rd,
             Reg::R0,
-            Operand2::Reg(ShiftedReg { rm, shift: crate::Shift::Ror, amount }),
+            Operand2::Reg(ShiftedReg {
+                rm,
+                shift: crate::Shift::Ror,
+                amount,
+            }),
         )
     }
 
     /// Flags from `rn - rm`.
     pub fn cmp(&mut self, rn: Reg, rm: Reg) -> &mut Asm {
-        self.dp(DpOp::Cmp, true, Reg::R0, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+        self.dp(
+            DpOp::Cmp,
+            true,
+            Reg::R0,
+            rn,
+            Operand2::Reg(ShiftedReg::plain(rm)),
+        )
     }
 
     /// Flags from `rn - imm`.
@@ -550,13 +659,27 @@ impl Asm {
 
     /// Flags from `rn & rm`.
     pub fn tst(&mut self, rn: Reg, rm: Reg) -> &mut Asm {
-        self.dp(DpOp::Tst, true, Reg::R0, rn, Operand2::Reg(ShiftedReg::plain(rm)))
+        self.dp(
+            DpOp::Tst,
+            true,
+            Reg::R0,
+            rn,
+            Operand2::Reg(ShiftedReg::plain(rm)),
+        )
     }
 
     // ----- multiply / divide / variable shifts ----------------------------
 
     fn mul_op(&mut self, op: MulOp, rd: Reg, rn: Reg, rm: Reg, ra: Reg) -> &mut Asm {
-        self.push(Insn::Mul { cond: Cond::Al, op, s: false, rd, rn, rm, ra })
+        self.push(Insn::Mul {
+            cond: Cond::Al,
+            op,
+            s: false,
+            rd,
+            rn,
+            rm,
+            ra,
+        })
     }
 
     /// `rd = rn * rm`.
@@ -621,77 +744,183 @@ impl Asm {
         offset: MemOffset,
         mode: AddrMode,
     ) -> &mut Asm {
-        self.push(Insn::Mem { cond: Cond::Al, load, size, rd, rn, offset, mode })
+        self.push(Insn::Mem {
+            cond: Cond::Al,
+            load,
+            size,
+            rd,
+            rn,
+            offset,
+            mode,
+        })
     }
 
     /// `rd = mem32[rn + off]`.
     pub fn ldr(&mut self, rd: Reg, rn: Reg, off: u16) -> &mut Asm {
-        self.mem(true, MemSize::Word, rd, rn, MemOffset::Imm(off), AddrMode::offset())
+        self.mem(
+            true,
+            MemSize::Word,
+            rd,
+            rn,
+            MemOffset::Imm(off),
+            AddrMode::offset(),
+        )
     }
 
     /// `mem32[rn + off] = rd`.
     pub fn str(&mut self, rd: Reg, rn: Reg, off: u16) -> &mut Asm {
-        self.mem(false, MemSize::Word, rd, rn, MemOffset::Imm(off), AddrMode::offset())
+        self.mem(
+            false,
+            MemSize::Word,
+            rd,
+            rn,
+            MemOffset::Imm(off),
+            AddrMode::offset(),
+        )
     }
 
     /// `rd = mem8[rn + off]` (zero-extended).
     pub fn ldrb(&mut self, rd: Reg, rn: Reg, off: u16) -> &mut Asm {
-        self.mem(true, MemSize::Byte, rd, rn, MemOffset::Imm(off), AddrMode::offset())
+        self.mem(
+            true,
+            MemSize::Byte,
+            rd,
+            rn,
+            MemOffset::Imm(off),
+            AddrMode::offset(),
+        )
     }
 
     /// `mem8[rn + off] = rd`.
     pub fn strb(&mut self, rd: Reg, rn: Reg, off: u16) -> &mut Asm {
-        self.mem(false, MemSize::Byte, rd, rn, MemOffset::Imm(off), AddrMode::offset())
+        self.mem(
+            false,
+            MemSize::Byte,
+            rd,
+            rn,
+            MemOffset::Imm(off),
+            AddrMode::offset(),
+        )
     }
 
     /// `rd = mem16[rn + off]` (zero-extended).
     pub fn ldrh(&mut self, rd: Reg, rn: Reg, off: u16) -> &mut Asm {
-        self.mem(true, MemSize::Half, rd, rn, MemOffset::Imm(off), AddrMode::offset())
+        self.mem(
+            true,
+            MemSize::Half,
+            rd,
+            rn,
+            MemOffset::Imm(off),
+            AddrMode::offset(),
+        )
     }
 
     /// `mem16[rn + off] = rd`.
     pub fn strh(&mut self, rd: Reg, rn: Reg, off: u16) -> &mut Asm {
-        self.mem(false, MemSize::Half, rd, rn, MemOffset::Imm(off), AddrMode::offset())
+        self.mem(
+            false,
+            MemSize::Half,
+            rd,
+            rn,
+            MemOffset::Imm(off),
+            AddrMode::offset(),
+        )
     }
 
     /// `rd = mem32[rn + (rm << shl)]`.
     pub fn ldr_idx(&mut self, rd: Reg, rn: Reg, rm: Reg, shl: u8) -> &mut Asm {
-        self.mem(true, MemSize::Word, rd, rn, MemOffset::Reg { rm, shl }, AddrMode::offset())
+        self.mem(
+            true,
+            MemSize::Word,
+            rd,
+            rn,
+            MemOffset::Reg { rm, shl },
+            AddrMode::offset(),
+        )
     }
 
     /// `mem32[rn + (rm << shl)] = rd`.
     pub fn str_idx(&mut self, rd: Reg, rn: Reg, rm: Reg, shl: u8) -> &mut Asm {
-        self.mem(false, MemSize::Word, rd, rn, MemOffset::Reg { rm, shl }, AddrMode::offset())
+        self.mem(
+            false,
+            MemSize::Word,
+            rd,
+            rn,
+            MemOffset::Reg { rm, shl },
+            AddrMode::offset(),
+        )
     }
 
     /// `rd = mem8[rn + rm]`.
     pub fn ldrb_idx(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
-        self.mem(true, MemSize::Byte, rd, rn, MemOffset::Reg { rm, shl: 0 }, AddrMode::offset())
+        self.mem(
+            true,
+            MemSize::Byte,
+            rd,
+            rn,
+            MemOffset::Reg { rm, shl: 0 },
+            AddrMode::offset(),
+        )
     }
 
     /// `mem8[rn + rm] = rd`.
     pub fn strb_idx(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
-        self.mem(false, MemSize::Byte, rd, rn, MemOffset::Reg { rm, shl: 0 }, AddrMode::offset())
+        self.mem(
+            false,
+            MemSize::Byte,
+            rd,
+            rn,
+            MemOffset::Reg { rm, shl: 0 },
+            AddrMode::offset(),
+        )
     }
 
     /// Post-increment word load: `rd = mem32[rn]; rn += step`.
     pub fn ldr_post(&mut self, rd: Reg, rn: Reg, step: u16) -> &mut Asm {
-        self.mem(true, MemSize::Word, rd, rn, MemOffset::Imm(step), AddrMode::post())
+        self.mem(
+            true,
+            MemSize::Word,
+            rd,
+            rn,
+            MemOffset::Imm(step),
+            AddrMode::post(),
+        )
     }
 
     /// Post-increment word store: `mem32[rn] = rd; rn += step`.
     pub fn str_post(&mut self, rd: Reg, rn: Reg, step: u16) -> &mut Asm {
-        self.mem(false, MemSize::Word, rd, rn, MemOffset::Imm(step), AddrMode::post())
+        self.mem(
+            false,
+            MemSize::Word,
+            rd,
+            rn,
+            MemOffset::Imm(step),
+            AddrMode::post(),
+        )
     }
 
     /// Post-increment byte load.
     pub fn ldrb_post(&mut self, rd: Reg, rn: Reg, step: u16) -> &mut Asm {
-        self.mem(true, MemSize::Byte, rd, rn, MemOffset::Imm(step), AddrMode::post())
+        self.mem(
+            true,
+            MemSize::Byte,
+            rd,
+            rn,
+            MemOffset::Imm(step),
+            AddrMode::post(),
+        )
     }
 
     /// Post-increment byte store.
     pub fn strb_post(&mut self, rd: Reg, rn: Reg, step: u16) -> &mut Asm {
-        self.mem(false, MemSize::Byte, rd, rn, MemOffset::Imm(step), AddrMode::post())
+        self.mem(
+            false,
+            MemSize::Byte,
+            rd,
+            rn,
+            MemOffset::Imm(step),
+            AddrMode::post(),
+        )
     }
 
     /// Pushes registers (descending full stack, like ARM `push`).
@@ -725,10 +954,18 @@ impl Asm {
     fn branch_to(&mut self, label: Label, link: bool) -> &mut Asm {
         assert_eq!(self.cur, Section::Text);
         let cond = self.pending_cond.take().unwrap_or(Cond::Al);
-        let fix =
-            Fixup { section: self.cur, offset: self.here(), label, kind: FixupKind::Branch };
+        let fix = Fixup {
+            section: self.cur,
+            offset: self.here(),
+            label,
+            kind: FixupKind::Branch,
+        };
         self.fixups.push(fix);
-        self.push(Insn::Branch { cond, link, offset: 0 })
+        self.push(Insn::Branch {
+            cond,
+            link,
+            offset: 0,
+        })
     }
 
     /// Unconditional (or [`Asm::ifc`]-conditional) branch to `label`.
@@ -755,7 +992,13 @@ impl Asm {
 
     /// Generic two-source FP arithmetic.
     pub fn fp(&mut self, op: FpArithOp, sd: FReg, sn: FReg, sm: FReg) -> &mut Asm {
-        self.push(Insn::FpArith { cond: Cond::Al, op, sd, sn, sm })
+        self.push(Insn::FpArith {
+            cond: Cond::Al,
+            op,
+            sd,
+            sn,
+            sm,
+        })
     }
 
     /// `sd = sn + sm`.
@@ -785,74 +1028,137 @@ impl Asm {
 
     /// `sd = sqrt(sm)`.
     pub fn vsqrt(&mut self, sd: FReg, sm: FReg) -> &mut Asm {
-        self.push(Insn::FpUnary { cond: Cond::Al, op: FpUnaryOp::Sqrt, sd, sm })
+        self.push(Insn::FpUnary {
+            cond: Cond::Al,
+            op: FpUnaryOp::Sqrt,
+            sd,
+            sm,
+        })
     }
 
     /// `sd = -sm`.
     pub fn vneg(&mut self, sd: FReg, sm: FReg) -> &mut Asm {
-        self.push(Insn::FpUnary { cond: Cond::Al, op: FpUnaryOp::Neg, sd, sm })
+        self.push(Insn::FpUnary {
+            cond: Cond::Al,
+            op: FpUnaryOp::Neg,
+            sd,
+            sm,
+        })
     }
 
     /// `sd = |sm|`.
     pub fn vabs(&mut self, sd: FReg, sm: FReg) -> &mut Asm {
-        self.push(Insn::FpUnary { cond: Cond::Al, op: FpUnaryOp::Abs, sd, sm })
+        self.push(Insn::FpUnary {
+            cond: Cond::Al,
+            op: FpUnaryOp::Abs,
+            sd,
+            sm,
+        })
     }
 
     /// `sd = sm`.
     pub fn vmov(&mut self, sd: FReg, sm: FReg) -> &mut Asm {
-        self.push(Insn::FpUnary { cond: Cond::Al, op: FpUnaryOp::Mov, sd, sm })
+        self.push(Insn::FpUnary {
+            cond: Cond::Al,
+            op: FpUnaryOp::Mov,
+            sd,
+            sm,
+        })
     }
 
     /// FP compare, setting CPSR flags.
     pub fn vcmp(&mut self, sn: FReg, sm: FReg) -> &mut Asm {
-        self.push(Insn::FpCmp { cond: Cond::Al, sn, sm })
+        self.push(Insn::FpCmp {
+            cond: Cond::Al,
+            sn,
+            sm,
+        })
     }
 
     /// `rd = (i32) sm` (truncating).
     pub fn vcvt_to_int(&mut self, rd: Reg, sm: FReg) -> &mut Asm {
-        self.push(Insn::FpToInt { cond: Cond::Al, rd, sm })
+        self.push(Insn::FpToInt {
+            cond: Cond::Al,
+            rd,
+            sm,
+        })
     }
 
     /// `sd = (f32) rm`.
     pub fn vcvt_from_int(&mut self, sd: FReg, rm: Reg) -> &mut Asm {
-        self.push(Insn::IntToFp { cond: Cond::Al, sd, rm })
+        self.push(Insn::IntToFp {
+            cond: Cond::Al,
+            sd,
+            rm,
+        })
     }
 
     /// `rd = bits(sn)`.
     pub fn vmov_to_core(&mut self, rd: Reg, sn: FReg) -> &mut Asm {
-        self.push(Insn::FpToCore { cond: Cond::Al, rd, sn })
+        self.push(Insn::FpToCore {
+            cond: Cond::Al,
+            rd,
+            sn,
+        })
     }
 
     /// `sd = bits(rn)`.
     pub fn vmov_from_core(&mut self, sd: FReg, rn: Reg) -> &mut Asm {
-        self.push(Insn::CoreToFp { cond: Cond::Al, sd, rn })
+        self.push(Insn::CoreToFp {
+            cond: Cond::Al,
+            sd,
+            rn,
+        })
     }
 
     /// `sd = mem32[rn + 4*imm6]`.
     pub fn vldr(&mut self, sd: FReg, rn: Reg, imm6: u8) -> &mut Asm {
-        self.push(Insn::FpMem { cond: Cond::Al, load: true, sd, rn, imm6 })
+        self.push(Insn::FpMem {
+            cond: Cond::Al,
+            load: true,
+            sd,
+            rn,
+            imm6,
+        })
     }
 
     /// `mem32[rn + 4*imm6] = sd`.
     pub fn vstr(&mut self, sd: FReg, rn: Reg, imm6: u8) -> &mut Asm {
-        self.push(Insn::FpMem { cond: Cond::Al, load: false, sd, rn, imm6 })
+        self.push(Insn::FpMem {
+            cond: Cond::Al,
+            load: false,
+            sd,
+            rn,
+            imm6,
+        })
     }
 
     // ----- system ------------------------------------------------------------
 
     /// Supervisor call.
     pub fn svc(&mut self, imm: u16) -> &mut Asm {
-        self.push(Insn::Svc { cond: Cond::Al, imm })
+        self.push(Insn::Svc {
+            cond: Cond::Al,
+            imm,
+        })
     }
 
     /// `rd = <system register>`.
     pub fn mrs(&mut self, rd: Reg, sys: SysReg) -> &mut Asm {
-        self.push(Insn::Mrs { cond: Cond::Al, rd, sys })
+        self.push(Insn::Mrs {
+            cond: Cond::Al,
+            rd,
+            sys,
+        })
     }
 
     /// `<system register> = rn`.
     pub fn msr(&mut self, sys: SysReg, rn: Reg) -> &mut Asm {
-        self.push(Insn::Msr { cond: Cond::Al, sys, rn })
+        self.push(Insn::Msr {
+            cond: Cond::Al,
+            sys,
+            rn,
+        })
     }
 
     /// No-op.
@@ -864,9 +1170,9 @@ impl Asm {
 
     fn addr_of(&self, label: Label) -> Result<u32, AsmError> {
         let info = &self.labels[label.0];
-        let (sec, off) = info
-            .bound
-            .ok_or_else(|| AsmError::UnboundLabel { name: info.name.clone() })?;
+        let (sec, off) = info.bound.ok_or_else(|| AsmError::UnboundLabel {
+            name: info.name.clone(),
+        })?;
         Ok(self.section_base(sec) + off)
     }
 
@@ -877,8 +1183,7 @@ impl Asm {
             Section::Data => self.bases[2],
             // .bss lives immediately after .data, word aligned.
             Section::Bss => {
-                (self.bases[2] + self.bufs[Section::Data.index()].len() as u32)
-                    .next_multiple_of(4)
+                (self.bases[2] + self.bufs[Section::Data.index()].len() as u32).next_multiple_of(4)
             }
         }
     }
@@ -982,25 +1287,92 @@ pub fn reg_mask(regs: &[Reg]) -> u16 {
 fn with_cond(insn: Insn, cond: Cond) -> Insn {
     use Insn::*;
     match insn {
-        Dp { op, s, rd, rn, op2, .. } => Dp { cond, op, s, rd, rn, op2 },
+        Dp {
+            op, s, rd, rn, op2, ..
+        } => Dp {
+            cond,
+            op,
+            s,
+            rd,
+            rn,
+            op2,
+        },
         MovW { top, rd, imm, .. } => MovW { cond, top, rd, imm },
-        Mul { op, s, rd, rn, rm, ra, .. } => Mul { cond, op, s, rd, rn, rm, ra },
-        Mem { load, size, rd, rn, offset, mode, .. } => {
-            Mem { cond, load, size, rd, rn, offset, mode }
-        }
-        MemMulti { load, rn, writeback, up, before, regs, .. } => {
-            MemMulti { cond, load, rn, writeback, up, before, regs }
-        }
+        Mul {
+            op,
+            s,
+            rd,
+            rn,
+            rm,
+            ra,
+            ..
+        } => Mul {
+            cond,
+            op,
+            s,
+            rd,
+            rn,
+            rm,
+            ra,
+        },
+        Mem {
+            load,
+            size,
+            rd,
+            rn,
+            offset,
+            mode,
+            ..
+        } => Mem {
+            cond,
+            load,
+            size,
+            rd,
+            rn,
+            offset,
+            mode,
+        },
+        MemMulti {
+            load,
+            rn,
+            writeback,
+            up,
+            before,
+            regs,
+            ..
+        } => MemMulti {
+            cond,
+            load,
+            rn,
+            writeback,
+            up,
+            before,
+            regs,
+        },
         Branch { link, offset, .. } => Branch { cond, link, offset },
         Bx { rm, .. } => Bx { cond, rm },
-        FpArith { op, sd, sn, sm, .. } => FpArith { cond, op, sd, sn, sm },
+        FpArith { op, sd, sn, sm, .. } => FpArith {
+            cond,
+            op,
+            sd,
+            sn,
+            sm,
+        },
         FpUnary { op, sd, sm, .. } => FpUnary { cond, op, sd, sm },
         FpCmp { sn, sm, .. } => FpCmp { cond, sn, sm },
         FpToInt { rd, sm, .. } => FpToInt { cond, rd, sm },
         IntToFp { sd, rm, .. } => IntToFp { cond, sd, rm },
         FpToCore { rd, sn, .. } => FpToCore { cond, rd, sn },
         CoreToFp { sd, rn, .. } => CoreToFp { cond, sd, rn },
-        FpMem { load, sd, rn, imm6, .. } => FpMem { cond, load, sd, rn, imm6 },
+        FpMem {
+            load, sd, rn, imm6, ..
+        } => FpMem {
+            cond,
+            load,
+            sd,
+            rn,
+            imm6,
+        },
         Svc { imm, .. } => Svc { cond, imm },
         Mrs { rd, sys, .. } => Mrs { cond, rd, sys },
         Msr { sys, rn, .. } => Msr { cond, sys, rn },
@@ -1048,7 +1420,10 @@ mod tests {
         let nowhere = a.label("nowhere");
         a.bind(entry).unwrap();
         a.b(nowhere);
-        assert!(matches!(a.finish(entry), Err(AsmError::UnboundLabel { .. })));
+        assert!(matches!(
+            a.finish(entry),
+            Err(AsmError::UnboundLabel { .. })
+        ));
     }
 
     #[test]
@@ -1076,8 +1451,16 @@ mod tests {
         let hi = u32::from_le_bytes(text[4..8].try_into().unwrap());
         match (decode(lo).unwrap(), decode(hi).unwrap()) {
             (
-                Insn::MovW { top: false, imm: lo16, .. },
-                Insn::MovW { top: true, imm: hi16, .. },
+                Insn::MovW {
+                    top: false,
+                    imm: lo16,
+                    ..
+                },
+                Insn::MovW {
+                    top: true,
+                    imm: hi16,
+                    ..
+                },
             ) => {
                 let addr = (lo16 as u32) | ((hi16 as u32) << 16);
                 assert_eq!(addr, DATA_BASE);

@@ -78,9 +78,19 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
                     amount: bits(word, 4, 0) as u8,
                 })
             } else {
-                Operand2::Imm { base: bits(word, 10, 3) as u8, ror4: bits(word, 2, 0) as u8 }
+                Operand2::Imm {
+                    base: bits(word, 10, 3) as u8,
+                    ror4: bits(word, 2, 0) as u8,
+                }
             };
-            Ok(Insn::Dp { cond, op, s, rd, rn, op2 })
+            Ok(Insn::Dp {
+                cond,
+                op,
+                s,
+                rd,
+                rn,
+                op2,
+            })
         }
         0x2 => {
             let opbits = bits(word, 23, 20);
@@ -109,7 +119,11 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
                 return err;
             }
             let size = MemSize::ALL[sizebits as usize];
-            let mode = AddrMode { up: bit(word, 20), pre: bit(word, 19), writeback: bit(word, 18) };
+            let mode = AddrMode {
+                up: bit(word, 20),
+                pre: bit(word, 19),
+                writeback: bit(word, 18),
+            };
             // Post-index implies writeback; a post-index encoding without
             // writeback is not canonical.
             if !mode.pre && !mode.writeback {
@@ -119,7 +133,10 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
                 if bits(word, 1, 0) != 0 {
                     return err;
                 }
-                MemOffset::Reg { rm: reg(word, 5), shl: bits(word, 4, 2) as u8 }
+                MemOffset::Reg {
+                    rm: reg(word, 5),
+                    shl: bits(word, 4, 2) as u8,
+                }
             } else {
                 MemOffset::Imm(bits(word, 8, 0) as u16)
             };
@@ -152,7 +169,11 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
             let raw = bits(word, 22, 0);
             // Sign-extend the 23-bit offset.
             let offset = ((raw << 9) as i32) >> 9;
-            Ok(Insn::Branch { cond, link: bit(word, 23), offset })
+            Ok(Insn::Branch {
+                cond,
+                link: bit(word, 23),
+                offset,
+            })
         }
         0x6 => {
             let sub = bits(word, 23, 19);
@@ -188,31 +209,51 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
                     if !zero15_18 || a5 != 0 {
                         return err;
                     }
-                    Ok(Insn::FpCmp { cond, sn: FReg::new(b5), sm: FReg::new(c5) })
+                    Ok(Insn::FpCmp {
+                        cond,
+                        sn: FReg::new(b5),
+                        sm: FReg::new(c5),
+                    })
                 }
                 13 => {
                     if !zero15_18 || a5 > 15 || b5 != 0 {
                         return err;
                     }
-                    Ok(Insn::FpToInt { cond, rd: Reg::from_index(a5), sm: FReg::new(c5) })
+                    Ok(Insn::FpToInt {
+                        cond,
+                        rd: Reg::from_index(a5),
+                        sm: FReg::new(c5),
+                    })
                 }
                 14 => {
                     if !zero15_18 || b5 > 15 || c5 != 0 {
                         return err;
                     }
-                    Ok(Insn::IntToFp { cond, sd: FReg::new(a5), rm: Reg::from_index(b5) })
+                    Ok(Insn::IntToFp {
+                        cond,
+                        sd: FReg::new(a5),
+                        rm: Reg::from_index(b5),
+                    })
                 }
                 15 => {
                     if !zero15_18 || a5 > 15 || b5 != 0 {
                         return err;
                     }
-                    Ok(Insn::FpToCore { cond, rd: Reg::from_index(a5), sn: FReg::new(c5) })
+                    Ok(Insn::FpToCore {
+                        cond,
+                        rd: Reg::from_index(a5),
+                        sn: FReg::new(c5),
+                    })
                 }
                 16 => {
                     if !zero15_18 || b5 > 15 || c5 != 0 {
                         return err;
                     }
-                    Ok(Insn::CoreToFp { cond, sd: FReg::new(a5), rn: Reg::from_index(b5) })
+                    Ok(Insn::CoreToFp {
+                        cond,
+                        sd: FReg::new(a5),
+                        rn: Reg::from_index(b5),
+                    })
                 }
                 17 | 18 => {
                     if bits(word, 18, 16) != 0 || b5 > 15 {
@@ -239,30 +280,36 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
                     if bits(word, 19, 16) != 0 {
                         return err;
                     }
-                    Ok(Insn::Svc { cond, imm: bits(word, 15, 0) as u16 })
+                    Ok(Insn::Svc {
+                        cond,
+                        imm: bits(word, 15, 0) as u16,
+                    })
                 }
                 0x1 if bits(word, 19, 0) == 0 => Ok(Insn::Nop { cond }),
                 0x2 if bits(word, 19, 0) == 0 => Ok(Insn::Halt { cond }),
-                0x3 if !bit(word, 19) && low >> 4 == 0 && bits(word, 3, 0) < 9 => {
-                    Ok(Insn::Mrs {
-                        cond,
-                        rd: Reg::from_index(a4),
-                        sys: SysReg::ALL[bits(word, 3, 0) as usize],
-                    })
-                }
-                0x4 if !bit(word, 19) && low >> 4 == 0 && bits(word, 3, 0) < 9 => {
-                    Ok(Insn::Msr {
-                        cond,
-                        sys: SysReg::ALL[bits(word, 3, 0) as usize],
-                        rn: Reg::from_index(a4),
-                    })
-                }
+                0x3 if !bit(word, 19) && low >> 4 == 0 && bits(word, 3, 0) < 9 => Ok(Insn::Mrs {
+                    cond,
+                    rd: Reg::from_index(a4),
+                    sys: SysReg::ALL[bits(word, 3, 0) as usize],
+                }),
+                0x4 if !bit(word, 19) && low >> 4 == 0 && bits(word, 3, 0) < 9 => Ok(Insn::Msr {
+                    cond,
+                    sys: SysReg::ALL[bits(word, 3, 0) as usize],
+                    rn: Reg::from_index(a4),
+                }),
                 0x5 if bits(word, 19, 0) == 0 => Ok(Insn::Eret { cond }),
-                0x6 if bits(word, 19, 0) == 0 => Ok(Insn::Cps { cond, enable_irq: false }),
-                0x7 if bits(word, 19, 0) == 0 => Ok(Insn::Cps { cond, enable_irq: true }),
-                0x8 if !bit(word, 19) && low == 0 => {
-                    Ok(Insn::Bx { cond, rm: Reg::from_index(a4) })
-                }
+                0x6 if bits(word, 19, 0) == 0 => Ok(Insn::Cps {
+                    cond,
+                    enable_irq: false,
+                }),
+                0x7 if bits(word, 19, 0) == 0 => Ok(Insn::Cps {
+                    cond,
+                    enable_irq: true,
+                }),
+                0x8 if !bit(word, 19) && low == 0 => Ok(Insn::Bx {
+                    cond,
+                    rm: Reg::from_index(a4),
+                }),
                 0x9 if bits(word, 19, 0) == 0 => Ok(Insn::Wfi { cond }),
                 _ => err,
             }
@@ -324,11 +371,23 @@ mod tests {
 
     #[test]
     fn branch_offset_sign_extension() {
-        let insn = Insn::Branch { cond: Cond::Al, link: false, offset: -2 };
+        let insn = Insn::Branch {
+            cond: Cond::Al,
+            link: false,
+            offset: -2,
+        };
         assert_eq!(decode(encode(&insn)).unwrap(), insn);
-        let insn = Insn::Branch { cond: Cond::Al, link: true, offset: (1 << 22) - 1 };
+        let insn = Insn::Branch {
+            cond: Cond::Al,
+            link: true,
+            offset: (1 << 22) - 1,
+        };
         assert_eq!(decode(encode(&insn)).unwrap(), insn);
-        let insn = Insn::Branch { cond: Cond::Al, link: true, offset: -(1 << 22) };
+        let insn = Insn::Branch {
+            cond: Cond::Al,
+            link: true,
+            offset: -(1 << 22),
+        };
         assert_eq!(decode(encode(&insn)).unwrap(), insn);
     }
 }

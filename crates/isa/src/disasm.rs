@@ -71,7 +71,9 @@ impl fmt::Display for Insn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let c = self.cond();
         match *self {
-            Insn::Dp { op, s, rd, rn, op2, .. } => {
+            Insn::Dp {
+                op, s, rd, rn, op2, ..
+            } => {
                 let sfx = if s && !op.is_compare() { "s" } else { "" };
                 let m = dp_mnemonic(op);
                 if op.is_compare() {
@@ -83,9 +85,21 @@ impl fmt::Display for Insn {
                 }
             }
             Insn::MovW { top, rd, imm, .. } => {
-                write!(f, "{}{c} {rd}, #{imm:#x}", if top { "movt" } else { "movw" })
+                write!(
+                    f,
+                    "{}{c} {rd}, #{imm:#x}",
+                    if top { "movt" } else { "movw" }
+                )
             }
-            Insn::Mul { op, s, rd, rn, rm, ra, .. } => {
+            Insn::Mul {
+                op,
+                s,
+                rd,
+                rn,
+                rm,
+                ra,
+                ..
+            } => {
                 let sfx = if s { "s" } else { "" };
                 let m = mul_mnemonic(op);
                 match op {
@@ -96,7 +110,15 @@ impl fmt::Display for Insn {
                     _ => write!(f, "{m}{c}{sfx} {rd}, {rn}, {rm}"),
                 }
             }
-            Insn::Mem { load, size, rd, rn, offset, mode, .. } => {
+            Insn::Mem {
+                load,
+                size,
+                rd,
+                rn,
+                offset,
+                mode,
+                ..
+            } => {
                 let m = if load { "ldr" } else { "str" };
                 let sz = match size {
                     MemSize::Word => "",
@@ -106,7 +128,7 @@ impl fmt::Display for Insn {
                 let sign = if mode.up { "" } else { "-" };
                 let off = |f: &mut fmt::Formatter<'_>| match offset {
                     MemOffset::Imm(i) => write!(f, "#{sign}{i}"),
-                    MemOffset::Reg { rm, shl } if shl == 0 => write!(f, "{sign}{rm}"),
+                    MemOffset::Reg { rm, shl: 0 } => write!(f, "{sign}{rm}"),
                     MemOffset::Reg { rm, shl } => write!(f, "{sign}{rm}, lsl #{shl}"),
                 };
                 write!(f, "{m}{c}{sz} {rd}, [{rn}")?;
@@ -119,7 +141,15 @@ impl fmt::Display for Insn {
                     off(f)
                 }
             }
-            Insn::MemMulti { load, rn, writeback, up, before, regs, .. } => {
+            Insn::MemMulti {
+                load,
+                rn,
+                writeback,
+                up,
+                before,
+                regs,
+                ..
+            } => {
                 let m = if load { "ldm" } else { "stm" };
                 let am = match (up, before) {
                     (true, false) => "ia",
@@ -142,7 +172,12 @@ impl fmt::Display for Insn {
                 write!(f, "}}")
             }
             Insn::Branch { link, offset, .. } => {
-                write!(f, "b{}{c} .{:+}", if link { "l" } else { "" }, (offset + 1) * 4)
+                write!(
+                    f,
+                    "b{}{c} .{:+}",
+                    if link { "l" } else { "" },
+                    (offset + 1) * 4
+                )
             }
             Insn::Bx { rm, .. } => write!(f, "bx{c} {rm}"),
             Insn::FpArith { op, sd, sn, sm, .. } => {
@@ -171,7 +206,9 @@ impl fmt::Display for Insn {
             Insn::IntToFp { sd, rm, .. } => write!(f, "vcvt.f32.s32{c} {sd}, {rm}"),
             Insn::FpToCore { rd, sn, .. } => write!(f, "vmov{c} {rd}, {sn}"),
             Insn::CoreToFp { sd, rn, .. } => write!(f, "vmov{c} {sd}, {rn}"),
-            Insn::FpMem { load, sd, rn, imm6, .. } => {
+            Insn::FpMem {
+                load, sd, rn, imm6, ..
+            } => {
                 let m = if load { "vldr" } else { "vstr" };
                 write!(f, "{m}{c} {sd}, [{rn}, #{}]", imm6 as u32 * 4)
             }

@@ -27,11 +27,16 @@ fn freg5(r: crate::FReg) -> u32 {
 pub fn encode(insn: &Insn) -> u32 {
     let cond = insn.cond().bits() << 28;
     cond | match *insn {
-        Insn::Dp { op, s, rd, rn, op2, cond: _ } => {
-            let common = ((op as u32) << 20)
-                | ((s as u32) << 19)
-                | (reg4(rd) << 15)
-                | (reg4(rn) << 11);
+        Insn::Dp {
+            op,
+            s,
+            rd,
+            rn,
+            op2,
+            cond: _,
+        } => {
+            let common =
+                ((op as u32) << 20) | ((s as u32) << 19) | (reg4(rd) << 15) | (reg4(rn) << 11);
             match op2 {
                 Operand2::Reg(sr) => {
                     assert!(sr.amount < 32, "shift amount out of range: {}", sr.amount);
@@ -47,10 +52,21 @@ pub fn encode(insn: &Insn) -> u32 {
                 }
             }
         }
-        Insn::MovW { top, rd, imm, cond: _ } => {
-            cls(0x8) | ((top as u32) << 23) | (reg4(rd) << 19) | (imm as u32)
-        }
-        Insn::Mul { op, s, rd, rn, rm, ra, cond: _ } => {
+        Insn::MovW {
+            top,
+            rd,
+            imm,
+            cond: _,
+        } => cls(0x8) | ((top as u32) << 23) | (reg4(rd) << 19) | (imm as u32),
+        Insn::Mul {
+            op,
+            s,
+            rd,
+            rn,
+            rm,
+            ra,
+            cond: _,
+        } => {
             cls(0x2)
                 | ((op as u32) << 20)
                 | ((s as u32) << 19)
@@ -59,7 +75,15 @@ pub fn encode(insn: &Insn) -> u32 {
                 | (reg4(rm) << 7)
                 | (reg4(ra) << 3)
         }
-        Insn::Mem { load, size, rd, rn, offset, mode, cond: _ } => {
+        Insn::Mem {
+            load,
+            size,
+            rd,
+            rn,
+            offset,
+            mode,
+            cond: _,
+        } => {
             let AddrMode { pre, writeback, up } = mode;
             let common = cls(0x3)
                 | ((size as u32) << 22)
@@ -80,7 +104,15 @@ pub fn encode(insn: &Insn) -> u32 {
                 }
             }
         }
-        Insn::MemMulti { load, rn, writeback, up, before, regs, cond: _ } => {
+        Insn::MemMulti {
+            load,
+            rn,
+            writeback,
+            up,
+            before,
+            regs,
+            cond: _,
+        } => {
             cls(0x4)
                 | ((load as u32) << 23)
                 | ((writeback as u32) << 22)
@@ -89,7 +121,11 @@ pub fn encode(insn: &Insn) -> u32 {
                 | (reg4(rn) << 16)
                 | (regs as u32)
         }
-        Insn::Branch { link, offset, cond: _ } => {
+        Insn::Branch {
+            link,
+            offset,
+            cond: _,
+        } => {
             assert!(
                 (-(1 << 22)..(1 << 22)).contains(&offset),
                 "branch offset out of range: {offset}"
@@ -97,32 +133,35 @@ pub fn encode(insn: &Insn) -> u32 {
             cls(0x5) | ((link as u32) << 23) | ((offset as u32) & 0x7F_FFFF)
         }
         Insn::Bx { rm, cond: _ } => cls(0x7) | (0x8 << 20) | (reg4(rm) << 15),
-        Insn::FpArith { op, sd, sn, sm, cond: _ } => {
-            cls(0x6)
-                | ((op as u32) << 19)
-                | (freg5(sd) << 10)
-                | (freg5(sn) << 5)
-                | freg5(sm)
-        }
-        Insn::FpUnary { op, sd, sm, cond: _ } => {
-            cls(0x6) | ((8 + op as u32) << 19) | (freg5(sd) << 10) | freg5(sm)
-        }
-        Insn::FpCmp { sn, sm, cond: _ } => {
-            cls(0x6) | (12 << 19) | (freg5(sn) << 5) | freg5(sm)
-        }
-        Insn::FpToInt { rd, sm, cond: _ } => {
-            cls(0x6) | (13 << 19) | (reg4(rd) << 10) | freg5(sm)
-        }
+        Insn::FpArith {
+            op,
+            sd,
+            sn,
+            sm,
+            cond: _,
+        } => cls(0x6) | ((op as u32) << 19) | (freg5(sd) << 10) | (freg5(sn) << 5) | freg5(sm),
+        Insn::FpUnary {
+            op,
+            sd,
+            sm,
+            cond: _,
+        } => cls(0x6) | ((8 + op as u32) << 19) | (freg5(sd) << 10) | freg5(sm),
+        Insn::FpCmp { sn, sm, cond: _ } => cls(0x6) | (12 << 19) | (freg5(sn) << 5) | freg5(sm),
+        Insn::FpToInt { rd, sm, cond: _ } => cls(0x6) | (13 << 19) | (reg4(rd) << 10) | freg5(sm),
         Insn::IntToFp { sd, rm, cond: _ } => {
             cls(0x6) | (14 << 19) | (freg5(sd) << 10) | (reg4(rm) << 5)
         }
-        Insn::FpToCore { rd, sn, cond: _ } => {
-            cls(0x6) | (15 << 19) | (reg4(rd) << 10) | freg5(sn)
-        }
+        Insn::FpToCore { rd, sn, cond: _ } => cls(0x6) | (15 << 19) | (reg4(rd) << 10) | freg5(sn),
         Insn::CoreToFp { sd, rn, cond: _ } => {
             cls(0x6) | (16 << 19) | (freg5(sd) << 10) | (reg4(rn) << 5)
         }
-        Insn::FpMem { load, sd, rn, imm6, cond: _ } => {
+        Insn::FpMem {
+            load,
+            sd,
+            rn,
+            imm6,
+            cond: _,
+        } => {
             assert!(imm6 < 64, "FP memory offset out of range: {imm6}");
             let sub = if load { 17 } else { 18 };
             cls(0x6)
@@ -135,16 +174,13 @@ pub fn encode(insn: &Insn) -> u32 {
         Insn::Svc { imm, cond: _ } => cls(0x7) | (imm as u32),
         Insn::Nop { cond: _ } => cls(0x7) | (0x1 << 20),
         Insn::Halt { cond: _ } => cls(0x7) | (0x2 << 20),
-        Insn::Mrs { rd, sys, cond: _ } => {
-            cls(0x7) | (0x3 << 20) | (reg4(rd) << 15) | (sys as u32)
-        }
-        Insn::Msr { sys, rn, cond: _ } => {
-            cls(0x7) | (0x4 << 20) | (reg4(rn) << 15) | (sys as u32)
-        }
+        Insn::Mrs { rd, sys, cond: _ } => cls(0x7) | (0x3 << 20) | (reg4(rd) << 15) | (sys as u32),
+        Insn::Msr { sys, rn, cond: _ } => cls(0x7) | (0x4 << 20) | (reg4(rn) << 15) | (sys as u32),
         Insn::Eret { cond: _ } => cls(0x7) | (0x5 << 20),
-        Insn::Cps { enable_irq, cond: _ } => {
-            cls(0x7) | (if enable_irq { 0x7 } else { 0x6 } << 20)
-        }
+        Insn::Cps {
+            enable_irq,
+            cond: _,
+        } => cls(0x7) | (if enable_irq { 0x7 } else { 0x6 } << 20),
         Insn::Wfi { cond: _ } => cls(0x7) | (0x9 << 20),
     }
 }

@@ -21,11 +21,23 @@ pub struct SegmentFlags {
 
 impl SegmentFlags {
     /// Read + execute (text).
-    pub const TEXT: SegmentFlags = SegmentFlags { read: true, write: false, execute: true };
+    pub const TEXT: SegmentFlags = SegmentFlags {
+        read: true,
+        write: false,
+        execute: true,
+    };
     /// Read + write (data, bss, stack).
-    pub const DATA: SegmentFlags = SegmentFlags { read: true, write: true, execute: false };
+    pub const DATA: SegmentFlags = SegmentFlags {
+        read: true,
+        write: true,
+        execute: false,
+    };
     /// Read only (rodata).
-    pub const RODATA: SegmentFlags = SegmentFlags { read: true, write: false, execute: false };
+    pub const RODATA: SegmentFlags = SegmentFlags {
+        read: true,
+        write: false,
+        execute: false,
+    };
 }
 
 impl fmt::Display for SegmentFlags {
@@ -121,10 +133,17 @@ impl Image {
         segments.sort_by_key(|s| s.vaddr);
         for pair in segments.windows(2) {
             if pair[0].end() > pair[1].vaddr {
-                return Err(ImageError::Overlap { first: pair[0].vaddr, second: pair[1].vaddr });
+                return Err(ImageError::Overlap {
+                    first: pair[0].vaddr,
+                    second: pair[1].vaddr,
+                });
             }
         }
-        Ok(Image { segments, entry, symbols })
+        Ok(Image {
+            segments,
+            entry,
+            symbols,
+        })
     }
 
     /// The segments, sorted by virtual address.
@@ -154,12 +173,20 @@ impl Image {
     /// paper correlates small `.text` footprints with beam-only
     /// Application-Crash excess).
     pub fn text_bytes(&self) -> u32 {
-        self.segments.iter().filter(|s| s.flags.execute).map(|s| s.mem_size).sum()
+        self.segments
+            .iter()
+            .filter(|s| s.flags.execute)
+            .map(|s| s.mem_size)
+            .sum()
     }
 
     /// Total initialized + zero-filled data bytes (non-executable segments).
     pub fn data_bytes(&self) -> u32 {
-        self.segments.iter().filter(|s| !s.flags.execute).map(|s| s.mem_size).sum()
+        self.segments
+            .iter()
+            .filter(|s| !s.flags.execute)
+            .map(|s| s.mem_size)
+            .sum()
     }
 
     /// Symbol table: address → name, for diagnostics.
@@ -169,7 +196,10 @@ impl Image {
 
     /// Name of the nearest symbol at or below `addr`, with offset.
     pub fn symbolize(&self, addr: u32) -> Option<(&str, u32)> {
-        self.symbols.range(..=addr).next_back().map(|(base, name)| (name.as_str(), addr - base))
+        self.symbols
+            .range(..=addr)
+            .next_back()
+            .map(|(base, name)| (name.as_str(), addr - base))
     }
 }
 
@@ -178,13 +208,21 @@ mod tests {
     use super::*;
 
     fn seg(vaddr: u32, len: u32, flags: SegmentFlags) -> Segment {
-        Segment { vaddr, data: vec![0; len as usize], mem_size: len, flags }
+        Segment {
+            vaddr,
+            data: vec![0; len as usize],
+            mem_size: len,
+            flags,
+        }
     }
 
     #[test]
     fn rejects_overlapping_segments() {
         let e = Image::new(
-            vec![seg(0x1000, 0x100, SegmentFlags::TEXT), seg(0x10F0, 0x10, SegmentFlags::DATA)],
+            vec![
+                seg(0x1000, 0x100, SegmentFlags::TEXT),
+                seg(0x10F0, 0x10, SegmentFlags::DATA),
+            ],
             0x1000,
             BTreeMap::new(),
         );
@@ -194,7 +232,10 @@ mod tests {
     #[test]
     fn accepts_adjacent_segments_and_sorts() {
         let img = Image::new(
-            vec![seg(0x2000, 0x100, SegmentFlags::DATA), seg(0x1000, 0x1000, SegmentFlags::TEXT)],
+            vec![
+                seg(0x2000, 0x100, SegmentFlags::DATA),
+                seg(0x1000, 0x1000, SegmentFlags::TEXT),
+            ],
             0x1000,
             BTreeMap::new(),
         )
@@ -222,8 +263,7 @@ mod tests {
         let mut syms = BTreeMap::new();
         syms.insert(0x1000, "main".to_string());
         syms.insert(0x1040, "loop".to_string());
-        let img =
-            Image::new(vec![seg(0x1000, 0x100, SegmentFlags::TEXT)], 0x1000, syms).unwrap();
+        let img = Image::new(vec![seg(0x1000, 0x100, SegmentFlags::TEXT)], 0x1000, syms).unwrap();
         assert_eq!(img.symbolize(0x1044), Some(("loop", 4)));
         assert_eq!(img.symbolize(0x103C), Some(("main", 0x3C)));
         assert_eq!(img.symbolize(0xFFF), None);

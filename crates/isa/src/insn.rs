@@ -147,7 +147,11 @@ pub struct ShiftedReg {
 impl ShiftedReg {
     /// A plain, unshifted register operand.
     pub fn plain(rm: Reg) -> ShiftedReg {
-        ShiftedReg { rm, shift: Shift::Lsl, amount: 0 }
+        ShiftedReg {
+            rm,
+            shift: Shift::Lsl,
+            amount: 0,
+        }
     }
 }
 
@@ -173,7 +177,10 @@ impl Operand2 {
         for ror4 in 0..8u8 {
             let unrotated = value.rotate_left(4 * ror4 as u32);
             if unrotated <= 0xFF {
-                return Some(Operand2::Imm { base: unrotated as u8, ror4 });
+                return Some(Operand2::Imm {
+                    base: unrotated as u8,
+                    ror4,
+                });
             }
         }
         None
@@ -278,17 +285,29 @@ pub struct AddrMode {
 impl AddrMode {
     /// Plain `[rn, #+off]` addressing without writeback.
     pub fn offset() -> AddrMode {
-        AddrMode { pre: true, writeback: false, up: true }
+        AddrMode {
+            pre: true,
+            writeback: false,
+            up: true,
+        }
     }
 
     /// Pre-indexed with writeback: `[rn, #+off]!`.
     pub fn pre_wb() -> AddrMode {
-        AddrMode { pre: true, writeback: true, up: true }
+        AddrMode {
+            pre: true,
+            writeback: true,
+            up: true,
+        }
     }
 
     /// Post-indexed: `[rn], #+off`.
     pub fn post() -> AddrMode {
-        AddrMode { pre: false, writeback: true, up: true }
+        AddrMode {
+            pre: false,
+            writeback: true,
+            up: true,
+        }
     }
 
     /// Flips the offset direction to subtraction.
@@ -402,7 +421,12 @@ pub enum FpUnaryOp {
 
 impl FpUnaryOp {
     /// All one-source FP ops in encoding order.
-    pub const ALL: [FpUnaryOp; 4] = [FpUnaryOp::Abs, FpUnaryOp::Neg, FpUnaryOp::Sqrt, FpUnaryOp::Mov];
+    pub const ALL: [FpUnaryOp; 4] = [
+        FpUnaryOp::Abs,
+        FpUnaryOp::Neg,
+        FpUnaryOp::Sqrt,
+        FpUnaryOp::Mov,
+    ];
 }
 
 /// One decoded AR32 instruction.

@@ -52,11 +52,11 @@ pub use cond::Cond;
 pub use decode::{decode, DecodeError};
 pub use encode::encode;
 pub use image::{Image, ImageError, Segment, SegmentFlags};
-pub use parse::{parse_insn, ParseError};
 pub use insn::{
     AddrMode, DpOp, FpArithOp, FpUnaryOp, Insn, MemOffset, MemSize, MulOp, Operand2, Shift,
     ShiftedReg, SysReg,
 };
+pub use parse::{parse_insn, ParseError};
 pub use reg::{s, FReg, Reg};
 
 /// Size of one AR32 instruction in bytes. All instructions are fixed width.

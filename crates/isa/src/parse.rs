@@ -24,7 +24,9 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into() }
+        ParseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -172,7 +174,11 @@ fn parse_op2(toks: &[String]) -> Result<Operand2> {
             if amount > 31 {
                 return Err(ParseError::new("shift amount out of range"));
             }
-            Ok(Operand2::Reg(ShiftedReg { rm, shift: kind, amount }))
+            Ok(Operand2::Reg(ShiftedReg {
+                rm,
+                shift: kind,
+                amount,
+            }))
         }
         _ => Err(ParseError::new("malformed flexible operand")),
     }
@@ -241,9 +247,11 @@ fn parse_mem(cond: Cond, load: bool, rest: &str, ops: &[String]) -> Result<Insn>
         _ => return Err(ParseError::new(format!("bad load/store suffix `{rest}`"))),
     };
     if ops.len() < 2 {
-        return Err(ParseError::new("load/store needs a register and an address"));
+        return Err(ParseError::new(
+            "load/store needs a register and an address",
+        ));
     }
-    let rd = parse_reg(operand(&ops, 0)?)?;
+    let rd = parse_reg(operand(ops, 0)?)?;
     // Address forms: "[rn, off]" | "[rn, off]!" | "[rn]" | "[rn], off".
     let addr = ops[1..].join(", ");
     let (pre, writeback, inner, tail) = if let Some(stripped) = addr.strip_suffix('!') {
@@ -292,7 +300,13 @@ fn parse_mem(cond: Cond, load: bool, rest: &str, ops: &[String]) -> Result<Insn>
                     Some(rest) => (true, rest),
                     None => (false, t),
                 };
-                (MemOffset::Reg { rm: parse_reg(t.trim())? , shl: 0 }, !neg)
+                (
+                    MemOffset::Reg {
+                        rm: parse_reg(t.trim())?,
+                        shl: 0,
+                    },
+                    !neg,
+                )
             }
         }
         3 => {
@@ -312,7 +326,15 @@ fn parse_mem(cond: Cond, load: bool, rest: &str, ops: &[String]) -> Result<Insn>
         }
         _ => return Err(ParseError::new("malformed address expression")),
     };
-    Ok(Insn::Mem { cond, load, size, rd, rn, offset, mode: AddrMode { pre, writeback, up } })
+    Ok(Insn::Mem {
+        cond,
+        load,
+        size,
+        rd,
+        rn,
+        offset,
+        mode: AddrMode { pre, writeback, up },
+    })
 }
 
 fn parse_reg_list(tok: &str) -> Result<u16> {
@@ -334,9 +356,10 @@ fn parse_reg_list(tok: &str) -> Result<u16> {
     Ok(mask)
 }
 
-
 fn operand(ops: &[String], i: usize) -> Result<&str> {
-    ops.get(i).map(String::as_str).ok_or_else(|| ParseError::new("missing operand"))
+    ops.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| ParseError::new("missing operand"))
 }
 
 /// Parses one instruction from its textual form.
@@ -359,15 +382,27 @@ pub fn parse_insn(text: &str) -> Result<Insn> {
         if !rest.is_empty() {
             return Err(ParseError::new("trailing characters on vcmp"));
         }
-        return Ok(Insn::FpCmp { cond, sn: parse_freg(operand(&ops, 0)?)?, sm: parse_freg(operand(&ops, 1)?)? });
+        return Ok(Insn::FpCmp {
+            cond,
+            sn: parse_freg(operand(&ops, 0)?)?,
+            sm: parse_freg(operand(&ops, 1)?)?,
+        });
     }
     if let Some(rest) = mnemonic.strip_prefix("vcvt.s32.f32") {
         let (cond, _) = take_cond(rest);
-        return Ok(Insn::FpToInt { cond, rd: parse_reg(operand(&ops, 0)?)?, sm: parse_freg(operand(&ops, 1)?)? });
+        return Ok(Insn::FpToInt {
+            cond,
+            rd: parse_reg(operand(&ops, 0)?)?,
+            sm: parse_freg(operand(&ops, 1)?)?,
+        });
     }
     if let Some(rest) = mnemonic.strip_prefix("vcvt.f32.s32") {
         let (cond, _) = take_cond(rest);
-        return Ok(Insn::IntToFp { cond, sd: parse_freg(operand(&ops, 0)?)?, rm: parse_reg(operand(&ops, 1)?)? });
+        return Ok(Insn::IntToFp {
+            cond,
+            sd: parse_freg(operand(&ops, 0)?)?,
+            rm: parse_reg(operand(&ops, 1)?)?,
+        });
     }
     for (name, op) in [
         ("vadd.f32", FpArithOp::Add),
@@ -415,12 +450,23 @@ pub fn parse_insn(text: &str) -> Result<Insn> {
                 .ok_or_else(|| ParseError::new("vldr/vstr need [rn, #off]"))?;
             let parts = split_operands(inner);
             let rn = parse_reg(parts[0].trim())?;
-            let byte_off =
-                if parts.len() > 1 { parse_imm(parts[1].trim())? } else { 0 };
+            let byte_off = if parts.len() > 1 {
+                parse_imm(parts[1].trim())?
+            } else {
+                0
+            };
             if byte_off % 4 != 0 || !(0..256).contains(&byte_off) {
-                return Err(ParseError::new("vldr/vstr offset must be 4-aligned, 0..=252"));
+                return Err(ParseError::new(
+                    "vldr/vstr offset must be 4-aligned, 0..=252",
+                ));
             }
-            return Ok(Insn::FpMem { cond, load, sd, rn, imm6: (byte_off / 4) as u8 });
+            return Ok(Insn::FpMem {
+                cond,
+                load,
+                sd,
+                rn,
+                imm6: (byte_off / 4) as u8,
+            });
         }
     }
     if let Some(rest) = mnemonic.strip_prefix("vmov") {
@@ -434,7 +480,11 @@ pub fn parse_insn(text: &str) -> Result<Insn> {
                     rn: parse_reg(operand(&ops, 1)?)?,
                 });
             }
-            return Ok(Insn::FpToCore { cond, rd: parse_reg(operand(&ops, 0)?)?, sn: parse_freg(operand(&ops, 1)?)? });
+            return Ok(Insn::FpToCore {
+                cond,
+                rd: parse_reg(operand(&ops, 0)?)?,
+                sn: parse_freg(operand(&ops, 1)?)?,
+            });
         }
         return Err(ParseError::new("malformed vmov"));
     }
@@ -528,27 +578,46 @@ pub fn parse_insn(text: &str) -> Result<Insn> {
                 return Err(ParseError::new("trailing characters on movw/movt"));
             }
             let imm = parse_imm(operand(&ops, 1)?)?;
-            return Ok(Insn::MovW { cond, top, rd: parse_reg(operand(&ops, 0)?)?, imm: imm as u16 });
+            return Ok(Insn::MovW {
+                cond,
+                top,
+                rd: parse_reg(operand(&ops, 0)?)?,
+                imm: imm as u16,
+            });
         }
     }
 
     // ---- system ----
     if let Some(rest) = mnemonic.strip_prefix("svc") {
         let (cond, _) = take_cond(rest);
-        return Ok(Insn::Svc { cond, imm: parse_imm(operand(&ops, 0)?)? as u16 });
+        return Ok(Insn::Svc {
+            cond,
+            imm: parse_imm(operand(&ops, 0)?)? as u16,
+        });
     }
     if let Some(rest) = mnemonic.strip_prefix("mrs") {
         let (cond, _) = take_cond(rest);
-        return Ok(Insn::Mrs { cond, rd: parse_reg(operand(&ops, 0)?)?, sys: sys_reg(operand(&ops, 1)?)? });
+        return Ok(Insn::Mrs {
+            cond,
+            rd: parse_reg(operand(&ops, 0)?)?,
+            sys: sys_reg(operand(&ops, 1)?)?,
+        });
     }
     if let Some(rest) = mnemonic.strip_prefix("msr") {
         let (cond, _) = take_cond(rest);
-        return Ok(Insn::Msr { cond, sys: sys_reg(operand(&ops, 0)?)?, rn: parse_reg(operand(&ops, 1)?)? });
+        return Ok(Insn::Msr {
+            cond,
+            sys: sys_reg(operand(&ops, 0)?)?,
+            rn: parse_reg(operand(&ops, 1)?)?,
+        });
     }
     for (name, enable) in [("cpsie", true), ("cpsid", false)] {
         if let Some(rest) = mnemonic.strip_prefix(name) {
             let (cond, _) = take_cond(rest);
-            return Ok(Insn::Cps { cond, enable_irq: enable });
+            return Ok(Insn::Cps {
+                cond,
+                enable_irq: enable,
+            });
         }
     }
     for (name, make) in [
@@ -573,17 +642,27 @@ pub fn parse_insn(text: &str) -> Result<Insn> {
     }
     if let Some(rest) = mnemonic.strip_prefix("bx") {
         let (cond, _) = take_cond(rest);
-        return Ok(Insn::Bx { cond, rm: parse_reg(operand(&ops, 0)?)? });
+        return Ok(Insn::Bx {
+            cond,
+            rm: parse_reg(operand(&ops, 0)?)?,
+        });
     }
 
     // ---- branches: `b{l}{cond} .+N` ----
     if let Some(rest) = mnemonic.strip_prefix('b') {
         let (link, rest) = match rest.strip_prefix('l') {
             // Careful: "ble"/"bls"/"blt" are conditional b, not bl.
-            Some(after) if parse_cond(rest).is_none() || after.is_empty() || parse_cond(after).is_some() => {
+            Some(after)
+                if parse_cond(rest).is_none()
+                    || after.is_empty()
+                    || parse_cond(after).is_some() =>
+            {
                 // Decide: if `rest` itself is a valid cond ("le", "ls", "lt"),
                 // treat as conditional branch without link.
-                if parse_cond(rest).map(|(_, tail)| tail.is_empty()).unwrap_or(false) {
+                if parse_cond(rest)
+                    .map(|(_, tail)| tail.is_empty())
+                    .unwrap_or(false)
+                {
                     (false, rest)
                 } else {
                     (true, after)
@@ -599,19 +678,24 @@ pub fn parse_insn(text: &str) -> Result<Insn> {
             let t = target
                 .strip_prefix('.')
                 .ok_or_else(|| ParseError::new("branch target must be .+N"))?;
-            let bytes: i64 =
-                t.parse().map_err(|_| ParseError::new(format!("bad branch target `{target}`")))?;
+            let bytes: i64 = t
+                .parse()
+                .map_err(|_| ParseError::new(format!("bad branch target `{target}`")))?;
             if bytes % 4 != 0 {
                 return Err(ParseError::new("branch target must be word aligned"));
             }
-            return Ok(Insn::Branch { cond, link, offset: (bytes / 4 - 1) as i32 });
+            return Ok(Insn::Branch {
+                cond,
+                link,
+                offset: (bytes / 4 - 1) as i32,
+            });
         }
     }
 
     // ---- data processing (last: shortest mnemonics) ----
     for base in [
-        "and", "eor", "sub", "rsb", "add", "adc", "sbc", "orr", "mov", "bic", "mvn", "cmp",
-        "cmn", "tst", "teq",
+        "and", "eor", "sub", "rsb", "add", "adc", "sbc", "orr", "mov", "bic", "mvn", "cmp", "cmn",
+        "tst", "teq",
     ] {
         if let Some(rest) = mnemonic.strip_prefix(base) {
             let op = dp_op(base).unwrap();
@@ -667,7 +751,10 @@ mod tests {
     fn parses_dp_forms() {
         assert_eq!(roundtrip("adds r0, r1, #0x4"), "adds r0, r1, #0x4");
         assert_eq!(roundtrip("mov r2, r3"), "mov r2, r3");
-        assert_eq!(roundtrip("orrne r1, r2, r3, lsl #4"), "orrne r1, r2, r3, lsl #4");
+        assert_eq!(
+            roundtrip("orrne r1, r2, r3, lsl #4"),
+            "orrne r1, r2, r3, lsl #4"
+        );
         assert_eq!(roundtrip("cmp r1, #0x10"), "cmp r1, #0x10");
         assert_eq!(roundtrip("mvn r0, r0"), "mvn r0, r0");
     }
@@ -677,19 +764,35 @@ mod tests {
         // `ble` is branch-if-less-or-equal, not bl+garbage.
         assert!(matches!(
             parse_insn("ble .+8").unwrap(),
-            Insn::Branch { link: false, cond: Cond::Le, offset: 1 }
+            Insn::Branch {
+                link: false,
+                cond: Cond::Le,
+                offset: 1
+            }
         ));
         assert!(matches!(
             parse_insn("bl .+8").unwrap(),
-            Insn::Branch { link: true, cond: Cond::Al, offset: 1 }
+            Insn::Branch {
+                link: true,
+                cond: Cond::Al,
+                offset: 1
+            }
         ));
         assert!(matches!(
             parse_insn("blle .-4").unwrap(),
-            Insn::Branch { link: true, cond: Cond::Le, offset: -2 }
+            Insn::Branch {
+                link: true,
+                cond: Cond::Le,
+                offset: -2
+            }
         ));
         assert!(matches!(
             parse_insn("b .+0"),
-            Ok(Insn::Branch { link: false, cond: Cond::Al, offset: -1 })
+            Ok(Insn::Branch {
+                link: false,
+                cond: Cond::Al,
+                offset: -1
+            })
         ));
     }
 
@@ -699,9 +802,15 @@ mod tests {
         assert_eq!(roundtrip("strb r0, [r1, r2]"), "strb r0, [r1, r2]");
         assert_eq!(roundtrip("ldr r0, [r1, #-4]!"), "ldr r0, [r1, #-4]!");
         assert_eq!(roundtrip("ldr r0, [r1], #4"), "ldr r0, [r1], #4");
-        assert_eq!(roundtrip("ldr r0, [r1, r2, lsl #2]"), "ldr r0, [r1, r2, lsl #2]");
+        assert_eq!(
+            roundtrip("ldr r0, [r1, r2, lsl #2]"),
+            "ldr r0, [r1, r2, lsl #2]"
+        );
         assert_eq!(roundtrip("stmdb sp!, {r0, lr}"), "stmdb sp!, {r0, lr}");
-        assert_eq!(roundtrip("ldmia sp!, {r0, r1, r2}"), "ldmia sp!, {r0, r1, r2}");
+        assert_eq!(
+            roundtrip("ldmia sp!, {r0, r1, r2}"),
+            "ldmia sp!, {r0, r1, r2}"
+        );
     }
 
     #[test]
@@ -711,7 +820,10 @@ mod tests {
         assert_eq!(roundtrip("vmov r1, s2"), "vmov r1, s2");
         assert_eq!(roundtrip("vmov s3, r4"), "vmov s3, r4");
         assert_eq!(roundtrip("svc #42"), "svc #42");
-        assert_eq!(roundtrip("mrs r1, Cycles".to_lowercase().as_str()), "mrs r1, Cycles");
+        assert_eq!(
+            roundtrip("mrs r1, Cycles".to_lowercase().as_str()),
+            "mrs r1, Cycles"
+        );
         assert_eq!(roundtrip("cpsie"), "cpsie");
         assert_eq!(roundtrip("wfi"), "wfi");
     }

@@ -22,26 +22,51 @@ fn any_freg() -> impl Strategy<Value = FReg> {
 fn any_op2() -> impl Strategy<Value = Operand2> {
     prop_oneof![
         (any_reg(), 0usize..4, 0u8..32).prop_map(|(rm, sh, amount)| {
-            Operand2::Reg(ShiftedReg { rm, shift: Shift::ALL[sh], amount })
+            Operand2::Reg(ShiftedReg {
+                rm,
+                shift: Shift::ALL[sh],
+                amount,
+            })
         }),
         (any::<u8>(), 0u8..8).prop_map(|(base, ror4)| Operand2::Imm { base, ror4 }),
     ]
 }
 
 fn any_insn() -> impl Strategy<Value = Insn> {
-    let dp = (any_cond(), 0usize..15, any::<bool>(), any_reg(), any_reg(), any_op2()).prop_map(
-        |(cond, op, s, rd, rn, op2)| {
+    let dp = (
+        any_cond(),
+        0usize..15,
+        any::<bool>(),
+        any_reg(),
+        any_reg(),
+        any_op2(),
+    )
+        .prop_map(|(cond, op, s, rd, rn, op2)| {
             let op = DpOp::ALL[op];
             // Canonicalize the must-be-zero fields the decoder enforces.
             let s = s || op.is_compare();
             let rd = if op.is_compare() { Reg::R0 } else { rd };
             let rn = if op.ignores_rn() { Reg::R0 } else { rn };
-            Insn::Dp { cond, op, s, rd, rn, op2 }
-        },
-    );
+            Insn::Dp {
+                cond,
+                op,
+                s,
+                rd,
+                rn,
+                op2,
+            }
+        });
     let movw = (any_cond(), any::<bool>(), any_reg(), any::<u16>())
         .prop_map(|(cond, top, rd, imm)| Insn::MovW { cond, top, rd, imm });
-    let mul = (any_cond(), 0usize..12, any::<bool>(), any_reg(), any_reg(), any_reg(), any_reg())
+    let mul = (
+        any_cond(),
+        0usize..12,
+        any::<bool>(),
+        any_reg(),
+        any_reg(),
+        any_reg(),
+        any_reg(),
+    )
         .prop_map(|(cond, op, s, rd, rn, rm, ra)| {
             let op = MulOp::ALL[op];
             let ra = if matches!(op, MulOp::Mla | MulOp::Umull | MulOp::Smull) {
@@ -49,7 +74,15 @@ fn any_insn() -> impl Strategy<Value = Insn> {
             } else {
                 Reg::R0
             };
-            Insn::Mul { cond, op, s, rd, rn, rm, ra }
+            Insn::Mul {
+                cond,
+                op,
+                s,
+                rd,
+                rn,
+                rm,
+                ra,
+            }
         });
     let mem = (
         any_cond(),
@@ -76,9 +109,15 @@ fn any_insn() -> impl Strategy<Value = Insn> {
                 mode: AddrMode { pre, writeback, up },
             }
         });
-    let memmulti =
-        (any_cond(), any::<bool>(), any_reg(), any::<(bool, bool, bool)>(), 1u16..=u16::MAX)
-            .prop_map(|(cond, load, rn, (writeback, up, before), regs)| Insn::MemMulti {
+    let memmulti = (
+        any_cond(),
+        any::<bool>(),
+        any_reg(),
+        any::<(bool, bool, bool)>(),
+        1u16..=u16::MAX,
+    )
+        .prop_map(
+            |(cond, load, rn, (writeback, up, before), regs)| Insn::MemMulti {
                 cond,
                 load,
                 rn,
@@ -86,37 +125,76 @@ fn any_insn() -> impl Strategy<Value = Insn> {
                 up,
                 before,
                 regs,
-            });
+            },
+        );
     let branch = (any_cond(), any::<bool>(), -(1i32 << 22)..(1 << 22))
         .prop_map(|(cond, link, offset)| Insn::Branch { cond, link, offset });
     let fp = prop_oneof![
         (any_cond(), 0usize..7, any_freg(), any_freg(), any_freg()).prop_map(
-            |(cond, op, sd, sn, sm)| Insn::FpArith { cond, op: FpArithOp::ALL[op], sd, sn, sm }
+            |(cond, op, sd, sn, sm)| Insn::FpArith {
+                cond,
+                op: FpArithOp::ALL[op],
+                sd,
+                sn,
+                sm
+            }
         ),
         (any_cond(), 0usize..4, any_freg(), any_freg()).prop_map(|(cond, op, sd, sm)| {
-            Insn::FpUnary { cond, op: FpUnaryOp::ALL[op], sd, sm }
+            Insn::FpUnary {
+                cond,
+                op: FpUnaryOp::ALL[op],
+                sd,
+                sm,
+            }
         }),
-        (any_cond(), any_freg(), any_freg())
-            .prop_map(|(cond, sn, sm)| Insn::FpCmp { cond, sn, sm }),
-        (any_cond(), any_reg(), any_freg())
-            .prop_map(|(cond, rd, sm)| Insn::FpToInt { cond, rd, sm }),
-        (any_cond(), any_freg(), any_reg())
-            .prop_map(|(cond, sd, rm)| Insn::IntToFp { cond, sd, rm }),
-        (any_cond(), any_reg(), any_freg())
-            .prop_map(|(cond, rd, sn)| Insn::FpToCore { cond, rd, sn }),
-        (any_cond(), any_freg(), any_reg())
-            .prop_map(|(cond, sd, rn)| Insn::CoreToFp { cond, sd, rn }),
-        (any_cond(), any::<bool>(), any_freg(), any_reg(), 0u8..64)
-            .prop_map(|(cond, load, sd, rn, imm6)| Insn::FpMem { cond, load, sd, rn, imm6 }),
+        (any_cond(), any_freg(), any_freg()).prop_map(|(cond, sn, sm)| Insn::FpCmp {
+            cond,
+            sn,
+            sm
+        }),
+        (any_cond(), any_reg(), any_freg()).prop_map(|(cond, rd, sm)| Insn::FpToInt {
+            cond,
+            rd,
+            sm
+        }),
+        (any_cond(), any_freg(), any_reg()).prop_map(|(cond, sd, rm)| Insn::IntToFp {
+            cond,
+            sd,
+            rm
+        }),
+        (any_cond(), any_reg(), any_freg()).prop_map(|(cond, rd, sn)| Insn::FpToCore {
+            cond,
+            rd,
+            sn
+        }),
+        (any_cond(), any_freg(), any_reg()).prop_map(|(cond, sd, rn)| Insn::CoreToFp {
+            cond,
+            sd,
+            rn
+        }),
+        (any_cond(), any::<bool>(), any_freg(), any_reg(), 0u8..64).prop_map(
+            |(cond, load, sd, rn, imm6)| Insn::FpMem {
+                cond,
+                load,
+                sd,
+                rn,
+                imm6
+            }
+        ),
     ];
     let sys = prop_oneof![
         (any_cond(), any::<u16>()).prop_map(|(cond, imm)| Insn::Svc { cond, imm }),
-        (any_cond(), any_reg(), 0usize..9)
-            .prop_map(|(cond, rd, s)| Insn::Mrs { cond, rd, sys: SysReg::ALL[s] }),
-        (any_cond(), any_reg(), 0usize..9)
-            .prop_map(|(cond, rn, s)| Insn::Msr { cond, rn, sys: SysReg::ALL[s] }),
-        (any_cond(), any::<bool>())
-            .prop_map(|(cond, enable_irq)| Insn::Cps { cond, enable_irq }),
+        (any_cond(), any_reg(), 0usize..9).prop_map(|(cond, rd, s)| Insn::Mrs {
+            cond,
+            rd,
+            sys: SysReg::ALL[s]
+        }),
+        (any_cond(), any_reg(), 0usize..9).prop_map(|(cond, rn, s)| Insn::Msr {
+            cond,
+            rn,
+            sys: SysReg::ALL[s]
+        }),
+        (any_cond(), any::<bool>()).prop_map(|(cond, enable_irq)| Insn::Cps { cond, enable_irq }),
         (any_cond(), any_reg()).prop_map(|(cond, rm)| Insn::Bx { cond, rm }),
         any_cond().prop_map(|cond| Insn::Eret { cond }),
         any_cond().prop_map(|cond| Insn::Nop { cond }),

@@ -282,13 +282,24 @@ pub fn build_kernel(p: KernelParams) -> Result<Image, AsmError> {
     a.mrs(Reg::R0, SysReg::Esr);
     a.mov32(Reg::R1, DEVICE_VA);
     a.str(Reg::R0, Reg::R1, mmio::MBOX_PANIC as u16);
-    a.push(Insn::Cps { cond: Cond::Al, enable_irq: false });
+    a.push(Insn::Cps {
+        cond: Cond::Al,
+        enable_irq: false,
+    });
     a.bind(kdead)?;
     a.b(kdead); // ticks stop: the board will see a dead kernel
 
     // ----- timer IRQ -------------------------------------------------------------
     a.bind(irq_h)?;
-    a.push_regs(&[Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::Lr]);
+    a.push_regs(&[
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::Lr,
+    ]);
     a.mov32(Reg::R0, DEVICE_VA);
     a.str(Reg::R0, Reg::R0, mmio::TIMER_ACK as u16);
     // ticks += 1; publish the tick heartbeat.
@@ -311,12 +322,23 @@ pub fn build_kernel(p: KernelParams) -> Result<Image, AsmError> {
     a.ldr(Reg::R3, Reg::R3, 0); // follow next
     a.subs_imm(Reg::R4, Reg::R4, 1);
     a.b_if(Cond::Ne, tick_loop);
-    a.pop_regs(&[Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::Lr]);
+    a.pop_regs(&[
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::Lr,
+    ]);
     a.push(Insn::Eret { cond: Cond::Al });
 
     // ----- idle (application finished or was killed) ----------------------------
     a.bind(idle)?;
-    a.push(Insn::Cps { cond: Cond::Al, enable_irq: true });
+    a.push(Insn::Cps {
+        cond: Cond::Al,
+        enable_irq: true,
+    });
     a.bind(idle_loop)?;
     a.push(Insn::Wfi { cond: Cond::Al });
     a.b(idle_loop);
@@ -364,9 +386,15 @@ mod tests {
     fn kernel_assembles_and_fits_the_layout() {
         let img = build_kernel(params()).unwrap();
         assert_eq!(img.entry(), KERNEL_BASE);
-        assert!(img.text_bytes() < KERNEL_RODATA, "kernel text overflows its region");
+        assert!(
+            img.text_bytes() < KERNEL_RODATA,
+            "kernel text overflows its region"
+        );
         // Data segment: ticks + brk + kstat + run queue.
-        assert_eq!(img.data_bytes() as u32, 4 + 4 + 4 + RUNQ_NODES * RUNQ_NODE_WORDS * 4);
+        assert_eq!(
+            img.data_bytes(),
+            4 + 4 + 4 + RUNQ_NODES * RUNQ_NODE_WORDS * 4
+        );
     }
 
     #[test]

@@ -103,7 +103,10 @@ impl<D: Device> Tables<'_, D> {
     fn map_page(&mut self, va: u32, pa: u32, flags: u32) {
         let l2 = self.l2_for(va);
         let idx = (va >> 12) & 0xFF;
-        self.sys.mem.phys.write(l2 + idx * 4, MemSize::Word, pte(pa >> 12, flags));
+        self.sys
+            .mem
+            .phys
+            .write(l2 + idx * 4, MemSize::Word, pte(pa >> 12, flags));
     }
 
     fn alloc_user_page(&mut self) -> Result<u32, InstallError> {
@@ -131,9 +134,17 @@ impl<D: Device> Tables<'_, D> {
     /// Translates a user VA through the just-built tables (install-time
     /// only, for copying segment data).
     fn resolve(&self, va: u32) -> u32 {
-        let l1e = self.sys.mem.phys.read(PT_L1_BASE + (va >> 20) * 4, MemSize::Word);
+        let l1e = self
+            .sys
+            .mem
+            .phys
+            .read(PT_L1_BASE + (va >> 20) * 4, MemSize::Word);
         let l2 = l1e & !0x3FF;
-        let raw = self.sys.mem.phys.read(l2 + ((va >> 12) & 0xFF) * 4, MemSize::Word);
+        let raw = self
+            .sys
+            .mem
+            .phys
+            .read(l2 + ((va >> 12) & 0xFF) * 4, MemSize::Word);
         (raw & !0xFFF) | (va & 0xFFF)
     }
 }
@@ -151,7 +162,12 @@ pub fn install<D: Device>(
     cfg: &KernelConfig,
 ) -> Result<BootInfo, InstallError> {
     // Heap placement: first page boundary after the highest user segment.
-    let seg_end = user.segments().iter().map(|s| s.end()).max().unwrap_or(0x0020_0000);
+    let seg_end = user
+        .segments()
+        .iter()
+        .map(|s| s.end())
+        .max()
+        .unwrap_or(0x0020_0000);
     let heap_base = seg_end.next_multiple_of(PAGE_BYTES);
     let heap_end = heap_base + cfg.heap_bytes;
 
@@ -168,7 +184,11 @@ pub fn install<D: Device>(
         sys.mem.phys.write_bytes(seg.vaddr, &seg.data);
     }
 
-    let mut t = Tables { sys, next_l2: PT_L2_POOL, next_user_page: USER_POOL_BASE };
+    let mut t = Tables {
+        sys,
+        next_l2: PT_L2_POOL,
+        next_user_page: USER_POOL_BASE,
+    };
 
     // Kernel identity map: [0, KERNEL_STACK_TOP), supervisor rwx.
     let mut va = 0;
@@ -183,9 +203,7 @@ pub fn install<D: Device>(
     }
     // User segments.
     for seg in user.segments() {
-        if seg.vaddr < crate::layout::USER_VA_BASE
-            || seg.end() > crate::layout::USER_VA_LIMIT
-        {
+        if seg.vaddr < crate::layout::USER_VA_BASE || seg.end() > crate::layout::USER_VA_LIMIT {
             return Err(InstallError::BadSegment { vaddr: seg.vaddr });
         }
         let mut flags = PTE_USER;

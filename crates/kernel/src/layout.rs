@@ -45,11 +45,16 @@ mod tests {
 
     #[test]
     fn kernel_regions_do_not_overlap_user() {
-        assert!(KERNEL_STACK_TOP <= USER_VA_BASE);
-        assert!(KERNEL_RODATA < KERNEL_STACK_TOP);
-        assert!(KERNEL_DATA < KERNEL_STACK_TOP);
-        assert!(PT_L1_BASE % 0x4000 == 0, "L1 table must be 16 KB aligned");
-        assert!(PT_L2_POOL % 0x400 == 0);
-        assert!(USER_POOL_BASE > PT_L2_POOL);
+        const {
+            assert!(KERNEL_STACK_TOP <= USER_VA_BASE);
+            assert!(KERNEL_RODATA < KERNEL_STACK_TOP);
+            assert!(KERNEL_DATA < KERNEL_STACK_TOP);
+            assert!(
+                PT_L1_BASE.is_multiple_of(0x4000),
+                "L1 table must be 16 KB aligned"
+            );
+            assert!(PT_L2_POOL.is_multiple_of(0x400));
+            assert!(USER_POOL_BASE > PT_L2_POOL);
+        }
     }
 }

@@ -45,8 +45,14 @@ fn oversized_heap_exhausts_physical_memory() {
     cfg.mem_bytes = 8 * 1024 * 1024;
     let mut sys = System::new(cfg, NullDevice);
     let img = tiny_image_at(USER_VA_BASE);
-    let kc = KernelConfig { heap_bytes: 32 * 1024 * 1024, ..KernelConfig::default() };
-    assert!(matches!(install(&mut sys, &img, &kc), Err(InstallError::OutOfMemory)));
+    let kc = KernelConfig {
+        heap_bytes: 32 * 1024 * 1024,
+        ..KernelConfig::default()
+    };
+    assert!(matches!(
+        install(&mut sys, &img, &kc),
+        Err(InstallError::OutOfMemory)
+    ));
 }
 
 #[test]
@@ -63,7 +69,10 @@ fn install_reports_boot_info_consistently() {
     let info = install(&mut sys, &img, &KernelConfig::default()).unwrap();
     assert_eq!(info.user_entry, img.entry());
     assert!(info.heap_base >= img.segments().iter().map(|s| s.end()).max().unwrap());
-    assert_eq!(info.heap_end - info.heap_base, KernelConfig::default().heap_bytes);
+    assert_eq!(
+        info.heap_end - info.heap_base,
+        KernelConfig::default().heap_bytes
+    );
     assert!(info.user_pages > 0);
     assert!(info.kernel_text_bytes > 0);
     // The CPU is parked at the reset vector in supervisor mode.

@@ -1,7 +1,9 @@
 //! Rough simulator throughput measurement (cycles/sec), used to sanity-check
 //! campaign budgets. Run with --release.
 use sea_isa::{Asm, Cond, MemSize, Reg};
-use sea_microarch::{l1_entry, pte, MachineConfig, NullDevice, StepOutcome, System, PTE_EXEC, PTE_WRITE};
+use sea_microarch::{
+    l1_entry, pte, MachineConfig, NullDevice, StepOutcome, System, PTE_EXEC, PTE_WRITE,
+};
 
 fn main() {
     for (name, cfg) in [
@@ -12,9 +14,15 @@ fn main() {
         // identity map 8MB
         for mib in 0..8u32 {
             let l2 = 0x8000 + mib * 0x400;
-            sys.mem.phys.write(0x4000 + mib * 4, MemSize::Word, l1_entry(l2));
+            sys.mem
+                .phys
+                .write(0x4000 + mib * 4, MemSize::Word, l1_entry(l2));
             for page in 0..256u32 {
-                sys.mem.phys.write(l2 + page * 4, MemSize::Word, pte((mib << 8) + page, PTE_WRITE | PTE_EXEC));
+                sys.mem.phys.write(
+                    l2 + page * 4,
+                    MemSize::Word,
+                    pte((mib << 8) + page, PTE_WRITE | PTE_EXEC),
+                );
             }
         }
         sys.cpu.ttbr = 0x4000;

@@ -28,6 +28,17 @@ pub enum ArrayKind {
     State,
 }
 
+impl ArrayKind {
+    /// Stable lowercase name (used in trace records).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrayKind::Data => "data",
+            ArrayKind::Tag => "tag",
+            ArrayKind::State => "state",
+        }
+    }
+}
+
 /// Outcome of a fault injection into a cache array.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct FlipInfo {
@@ -37,6 +48,33 @@ pub struct FlipInfo {
     /// line's data/tag bits are dead and the fault is architecturally
     /// masked).
     pub was_valid: bool,
+}
+
+/// Fault-provenance observations on the watched line since the last
+/// [`Cache::take_watch_report`] (see the `provenance` module): what happened
+/// to the cache line holding injected corruption.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct WatchReport {
+    /// The watched line was hit by a probe (its bytes were consumed or
+    /// partially overwritten — either way the corruption was activated).
+    pub touched: bool,
+    /// The watched line was evicted with a write-back: the corruption moved
+    /// to the next level. The watch is cleared; the caller re-arms it at
+    /// the destination.
+    pub evicted_writeback: bool,
+    /// The watched line was evicted or overwritten without a write-back:
+    /// the corrupted copy is gone from this cache.
+    pub evicted_dropped: bool,
+    /// Line base address the write-back targeted (set with
+    /// `evicted_writeback`), so the caller can re-arm at the next level.
+    pub writeback_addr: Option<u32>,
+}
+
+impl WatchReport {
+    /// Any observation recorded?
+    pub fn any(&self) -> bool {
+        self.touched || self.evicted_writeback || self.evicted_dropped
+    }
 }
 
 /// One set-associative cache.
@@ -58,6 +96,10 @@ pub struct Cache {
     /// When false (L1I), evictions never write back even if a corrupted
     /// dirty bit says otherwise — the hardware has no write-back port.
     writeback: bool,
+    /// Fault-provenance watch: line index holding injected corruption.
+    watch: Option<u32>,
+    /// Observations on the watched line since the last drain.
+    report: WatchReport,
 }
 
 impl Cache {
@@ -87,6 +129,8 @@ impl Cache {
             rank,
             data: vec![0; (lines * cfg.line_bytes) as usize],
             writeback,
+            watch: None,
+            report: WatchReport::default(),
         }
     }
 
@@ -128,6 +172,9 @@ impl Cache {
             let idx = self.line_index(set, way);
             if self.valid[idx as usize] && self.addr[idx as usize] == base {
                 self.touch(set, way);
+                if self.watch == Some(idx) {
+                    self.report.touched = true;
+                }
                 return Probe::Hit(idx);
             }
         }
@@ -162,6 +209,15 @@ impl Cache {
         } else {
             None
         };
+        if self.watch == Some(idx) {
+            if let Some((addr, _)) = wb {
+                self.report.evicted_writeback = true;
+                self.report.writeback_addr = Some(addr);
+            } else {
+                self.report.evicted_dropped = true;
+            }
+            self.watch = None;
+        }
         self.valid[i] = false;
         self.dirty[i] = false;
         (idx, wb)
@@ -170,6 +226,12 @@ impl Cache {
     /// Installs a line.
     pub fn fill(&mut self, idx: u32, paddr: u32, line: &[u8], dirty: bool) {
         debug_assert_eq!(line.len(), self.line_bytes as usize);
+        if self.watch == Some(idx) {
+            // A fill over the watched line without a prior eviction (direct
+            // refill) overwrites the corrupted copy.
+            self.report.evicted_dropped = true;
+            self.watch = None;
+        }
         let i = idx as usize;
         let base = paddr & !(self.line_bytes - 1);
         self.addr[i] = base;
@@ -226,9 +288,17 @@ impl Cache {
         for i in 0..self.lines() as usize {
             if self.valid[i] && self.dirty[i] && self.writeback {
                 sink(self.addr[i], &self.data[i * lb..(i + 1) * lb]);
+                if self.watch == Some(i as u32) {
+                    self.report.evicted_writeback = true;
+                    self.report.writeback_addr = Some(self.addr[i]);
+                    self.watch = None;
+                }
             }
             self.valid[i] = false;
             self.dirty[i] = false;
+        }
+        if self.watch.take().is_some() {
+            self.report.evicted_dropped = true;
         }
     }
 
@@ -269,17 +339,29 @@ impl Cache {
         if within < data_bits {
             let byte = line * self.line_bytes as usize + (within / 8) as usize;
             self.data[byte] ^= 1 << (within % 8);
-            FlipInfo { array: ArrayKind::Data, was_valid }
+            FlipInfo {
+                array: ArrayKind::Data,
+                was_valid,
+            }
         } else if within < data_bits + self.tag_bits() as u64 {
             let tagbit = (within - data_bits) as u32;
             self.addr[line] ^= 1 << (self.set_bits + self.off_bits + tagbit);
-            FlipInfo { array: ArrayKind::Tag, was_valid }
+            FlipInfo {
+                array: ArrayKind::Tag,
+                was_valid,
+            }
         } else if within == data_bits + self.tag_bits() as u64 {
             self.valid[line] = !self.valid[line];
-            FlipInfo { array: ArrayKind::State, was_valid }
+            FlipInfo {
+                array: ArrayKind::State,
+                was_valid,
+            }
         } else {
             self.dirty[line] = !self.dirty[line];
-            FlipInfo { array: ArrayKind::State, was_valid }
+            FlipInfo {
+                array: ArrayKind::State,
+                was_valid,
+            }
         }
     }
 
@@ -305,7 +387,65 @@ impl Cache {
 
     /// Iterates over the base addresses of all valid lines.
     pub fn valid_line_addrs(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.lines() as usize).filter(|&i| self.valid[i]).map(move |i| self.addr[i])
+        (0..self.lines() as usize)
+            .filter(|&i| self.valid[i])
+            .map(move |i| self.addr[i])
+    }
+
+    // ----- fault-provenance watch -------------------------------------------
+
+    /// Arm the provenance watch on `line` (the line holding an injected
+    /// flip). Replaces any previous watch.
+    pub fn set_watch(&mut self, line: u32) {
+        debug_assert!(line < self.lines());
+        self.watch = Some(line);
+    }
+
+    /// Disarm the watch and clear pending observations.
+    pub fn clear_watch(&mut self) {
+        self.watch = None;
+        self.report = WatchReport::default();
+    }
+
+    /// Line currently watched, if any.
+    pub fn watched_line(&self) -> Option<u32> {
+        self.watch
+    }
+
+    /// Drain observations accumulated since the last call.
+    pub fn take_watch_report(&mut self) -> WatchReport {
+        std::mem::take(&mut self.report)
+    }
+
+    /// Peek (without draining) whether the watched line was touched.
+    pub fn watch_touched(&self) -> bool {
+        self.report.touched
+    }
+
+    /// Base address of a line if it is valid (provenance re-arm helper).
+    pub fn line_addr(&self, idx: u32) -> Option<u32> {
+        if self.valid[idx as usize] {
+            Some(self.addr[idx as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Find the resident line for `paddr` without touching LRU or watch
+    /// state.
+    pub fn find_line(&self, paddr: u32) -> Option<u32> {
+        let base = paddr & !(self.line_bytes - 1);
+        let set = self.set_of(paddr);
+        (0..self.ways)
+            .map(|w| self.line_index(set, w))
+            .find(|&idx| self.valid[idx as usize] && self.addr[idx as usize] == base)
+    }
+
+    /// Which line a given flat SRAM bit index belongs to (provenance arm
+    /// helper; same layout as [`Cache::flip_bit`]).
+    pub fn line_of_bit(&self, bit: u64) -> u32 {
+        assert!(bit < self.total_bits(), "cache bit index out of range");
+        (bit / self.bits_per_line()) as u32
     }
 }
 
@@ -315,7 +455,14 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets × 2 ways × 16-byte lines = 128 bytes.
-        Cache::new(CacheConfig { size_bytes: 128, ways: 2, line_bytes: 16 }, true)
+        Cache::new(
+            CacheConfig {
+                size_bytes: 128,
+                ways: 2,
+                line_bytes: 16,
+            },
+            true,
+        )
     }
 
     #[test]
@@ -366,7 +513,14 @@ mod tests {
 
     #[test]
     fn no_writeback_port_drops_dirty_lines() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 128, ways: 2, line_bytes: 16 }, false);
+        let mut c = Cache::new(
+            CacheConfig {
+                size_bytes: 128,
+                ways: 2,
+                line_bytes: 16,
+            },
+            false,
+        );
         let (idx, _) = c.evict_for(0x0);
         c.fill(idx, 0x0, &[0u8; 16], false);
         c.write(idx, 0x0, 4, 1);
@@ -414,7 +568,11 @@ mod tests {
     fn bit_accounting_matches_paper_sizes() {
         // Paper L1: 32 KB of data; our array additionally models tag+state.
         let c = Cache::new(
-            CacheConfig { size_bytes: 32 * 1024, ways: 4, line_bytes: 32 },
+            CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 4,
+                line_bytes: 32,
+            },
             true,
         );
         assert_eq!(c.lines(), 1024);

@@ -26,7 +26,7 @@ impl CacheConfig {
     pub fn validate(&self) -> bool {
         self.line_bytes.is_power_of_two()
             && self.ways > 0
-            && self.size_bytes % (self.ways * self.line_bytes) == 0
+            && self.size_bytes.is_multiple_of(self.ways * self.line_bytes)
             && self.sets().is_power_of_two()
     }
 }
@@ -116,9 +116,21 @@ impl MachineConfig {
     /// caches, 512 KB 8-way L2, 64-entry TLBs (512 bytes each).
     pub fn cortex_a9() -> MachineConfig {
         MachineConfig {
-            l1i: CacheConfig { size_bytes: 32 * 1024, ways: 4, line_bytes: 32 },
-            l1d: CacheConfig { size_bytes: 32 * 1024, ways: 4, line_bytes: 32 },
-            l2: CacheConfig { size_bytes: 512 * 1024, ways: 8, line_bytes: 32 },
+            l1i: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 4,
+                line_bytes: 32,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 4,
+                line_bytes: 32,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 * 1024,
+                ways: 8,
+                line_bytes: 32,
+            },
             itlb_entries: 64,
             dtlb_entries: 64,
             mem_bytes: 64 * 1024 * 1024,
@@ -133,9 +145,21 @@ impl MachineConfig {
     /// ratios (see DESIGN.md §1). Used by the default campaign profiles.
     pub fn cortex_a9_scaled() -> MachineConfig {
         MachineConfig {
-            l1i: CacheConfig { size_bytes: 8 * 1024, ways: 4, line_bytes: 32 },
-            l1d: CacheConfig { size_bytes: 8 * 1024, ways: 4, line_bytes: 32 },
-            l2: CacheConfig { size_bytes: 64 * 1024, ways: 8, line_bytes: 32 },
+            l1i: CacheConfig {
+                size_bytes: 8 * 1024,
+                ways: 4,
+                line_bytes: 32,
+            },
+            l1d: CacheConfig {
+                size_bytes: 8 * 1024,
+                ways: 4,
+                line_bytes: 32,
+            },
+            l2: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 8,
+                line_bytes: 32,
+            },
             itlb_entries: 64,
             dtlb_entries: 64,
             mem_bytes: 64 * 1024 * 1024,
@@ -189,7 +213,11 @@ mod tests {
 
     #[test]
     fn cache_geometry_math() {
-        let c = CacheConfig { size_bytes: 32 * 1024, ways: 4, line_bytes: 32 };
+        let c = CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            line_bytes: 32,
+        };
         assert_eq!(c.sets(), 256);
         assert_eq!(c.lines(), 1024);
     }

@@ -101,8 +101,14 @@ mod tests {
         let exs = [
             Exception::Undefined { word: 0 },
             Exception::Svc { imm: 0 },
-            Exception::PrefetchAbort { vaddr: 0, cause: AbortCause::Translation },
-            Exception::DataAbort { vaddr: 0, cause: AbortCause::Permission },
+            Exception::PrefetchAbort {
+                vaddr: 0,
+                cause: AbortCause::Translation,
+            },
+            Exception::DataAbort {
+                vaddr: 0,
+                cause: AbortCause::Permission,
+            },
             Exception::Irq,
         ];
         let mut seen = std::collections::BTreeSet::new();
@@ -117,7 +123,12 @@ mod tests {
         assert_eq!(Exception::Svc { imm: 7 }.class(), ESR_CLASS_SVC);
         assert_eq!(Exception::Svc { imm: 7 }.esr() & 0xFFFF, 7);
         assert_eq!(
-            Exception::DataAbort { vaddr: 0, cause: AbortCause::Alignment }.esr() & 0xFFFF,
+            Exception::DataAbort {
+                vaddr: 0,
+                cause: AbortCause::Alignment
+            }
+            .esr()
+                & 0xFFFF,
             3
         );
     }

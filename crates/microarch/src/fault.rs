@@ -116,14 +116,33 @@ impl<D: Device> System<D> {
             }
             Component::ITlb => {
                 let (is_tag, was_valid) = self.itlb.flip_bit(bit);
-                (if is_tag { ArrayKind::Tag } else { ArrayKind::Data }, was_valid)
+                (
+                    if is_tag {
+                        ArrayKind::Tag
+                    } else {
+                        ArrayKind::Data
+                    },
+                    was_valid,
+                )
             }
             Component::DTlb => {
                 let (is_tag, was_valid) = self.dtlb.flip_bit(bit);
-                (if is_tag { ArrayKind::Tag } else { ArrayKind::Data }, was_valid)
+                (
+                    if is_tag {
+                        ArrayKind::Tag
+                    } else {
+                        ArrayKind::Data
+                    },
+                    was_valid,
+                )
             }
         };
-        InjectionSite { component: c, bit, array, was_valid }
+        InjectionSite {
+            component: c,
+            bit,
+            array,
+            was_valid,
+        }
     }
 }
 

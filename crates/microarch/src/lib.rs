@@ -38,11 +38,12 @@ mod fault;
 mod mem;
 mod memsys;
 mod mmu;
+mod provenance;
 mod regfile;
 mod system;
 mod tlb;
 
-pub use cache::{ArrayKind, Cache, FlipInfo, Probe};
+pub use cache::{ArrayKind, Cache, FlipInfo, Probe, WatchReport};
 pub use config::{CacheConfig, ExecMode, Latencies, MachineConfig};
 pub use counters::Counters;
 pub use exception::{
@@ -56,6 +57,7 @@ pub use mmu::{
     decode_pte, l1_entry, l1_entry_addr, l2_entry_addr, pte, split_vaddr, PteView, L1_ENTRIES,
     L2_ENTRIES, PAGE_BYTES, PAGE_SHIFT, PTE_EXEC, PTE_USER, PTE_VALID, PTE_WRITE,
 };
+pub use provenance::{FaultProbe, Hop, HopKind, Residence};
 pub use regfile::{Cpsr, Mode, RegFile, REGFILE_BITS};
 pub use system::{Cpu, StepOutcome, System};
 pub use tlb::{Tlb, TlbEntry};

@@ -56,7 +56,9 @@ pub struct PhysMemory {
 impl PhysMemory {
     /// Allocates `size` bytes of zeroed memory.
     pub fn new(size: u32) -> PhysMemory {
-        PhysMemory { bytes: vec![0; size as usize] }
+        PhysMemory {
+            bytes: vec![0; size as usize],
+        }
     }
 
     /// Memory size in bytes.

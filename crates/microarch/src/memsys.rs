@@ -115,7 +115,10 @@ impl MemSystem {
         let mut buf = vec![0u8; self.line as usize];
         let lat = self.l2_read_line(paddr, &mut buf, ctr);
         let off = (paddr & (self.line - 1)) as usize;
-        (u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()), lat)
+        (
+            u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()),
+            lat,
+        )
     }
 
     // ----- data path -------------------------------------------------------
@@ -198,14 +201,16 @@ impl MemSystem {
     /// Cleans (writes back) and invalidates every cache level, top down.
     pub fn clean_invalidate_all(&mut self) {
         let mut l1_spill: Vec<(u32, Vec<u8>)> = Vec::new();
-        self.l1d.clean_invalidate_all(|addr, data| l1_spill.push((addr, data.to_vec())));
+        self.l1d
+            .clean_invalidate_all(|addr, data| l1_spill.push((addr, data.to_vec())));
         let mut scratch = Counters::default();
         for (addr, data) in l1_spill {
             self.l2_write_line(addr, &data, &mut scratch);
         }
         self.l1i.clean_invalidate_all(|_, _| {});
         let phys = &mut self.phys;
-        self.l2.clean_invalidate_all(|addr, data| dram_write_line(phys, addr, data));
+        self.l2
+            .clean_invalidate_all(|addr, data| dram_write_line(phys, addr, data));
     }
 
     /// Debug read that sees committed state top-down (L1D, then L2, then

@@ -1,0 +1,538 @@
+//! Fault provenance: what happened to an injected bit after the flip.
+//!
+//! The paper classifies injection outcomes only by their terminal effect
+//! (Masked / SDC / Crash …). This module adds the *story in between*: when
+//! was the corrupted cell first read (activation), where did the corruption
+//! travel (write-backs down the hierarchy, refills back up, loads into
+//! registers), and did it cross from user code into the kernel. Campaigns
+//! use it through [`System::flip_bit_probed`] / [`System::take_probe`]; the
+//! drained [`FaultProbe`] becomes one `injection.provenance` trace record.
+//!
+//! The mechanism is a single *watch* per storage structure — the cache line
+//! / TLB entry / register word holding the flipped bit — plus one drain at
+//! the end of each [`System::step`]. With no probe armed the per-step cost
+//! is one `Option` test.
+
+use sea_trace::{event, Level, Subsystem};
+
+use crate::fault::{Component, InjectionSite};
+use crate::mem::Device;
+use crate::regfile::{Mode, RegFile};
+use crate::system::System;
+
+/// Where the corrupted state currently resides while being tracked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Residence {
+    /// In a register-file word.
+    Reg,
+    /// In an L1 instruction-cache line.
+    L1I,
+    /// In an L1 data-cache line.
+    L1D,
+    /// In a unified-L2 line.
+    L2,
+    /// Written back to DRAM at this line base address.
+    Dram(u32),
+    /// In an instruction-TLB entry.
+    ITlb,
+    /// In a data-TLB entry.
+    DTlb,
+    /// Overwritten or invalidated — the corrupted copy no longer exists.
+    Gone,
+}
+
+impl Residence {
+    /// Stable lowercase name (used in trace records).
+    pub fn name(self) -> &'static str {
+        match self {
+            Residence::Reg => "regfile",
+            Residence::L1I => "l1i",
+            Residence::L1D => "l1d",
+            Residence::L2 => "l2",
+            Residence::Dram(_) => "dram",
+            Residence::ITlb => "itlb",
+            Residence::DTlb => "dtlb",
+            Residence::Gone => "gone",
+        }
+    }
+}
+
+/// One propagation step of the injected corruption.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HopKind {
+    /// The corrupted cell was read for the first time (activation).
+    CorruptRead,
+    /// First corrupted read that happened in supervisor mode: the fault
+    /// crossed from the application into the kernel.
+    KernelTouch,
+    /// The corrupted line was written back from L1D into L2.
+    WritebackL2,
+    /// The corrupted line was written back into DRAM.
+    WritebackDram,
+    /// The corrupted DRAM line was refilled back into L2.
+    RefillFromDram,
+    /// A load instruction consumed the corrupted line into a register.
+    RegisterFill,
+    /// The corrupted copy was overwritten/invalidated without propagating.
+    Dropped,
+}
+
+impl HopKind {
+    /// Stable lowercase name (used in trace records).
+    pub fn name(self) -> &'static str {
+        match self {
+            HopKind::CorruptRead => "corrupt_read",
+            HopKind::KernelTouch => "kernel_touch",
+            HopKind::WritebackL2 => "writeback_l2",
+            HopKind::WritebackDram => "writeback_dram",
+            HopKind::RefillFromDram => "refill_from_dram",
+            HopKind::RegisterFill => "register_fill",
+            HopKind::Dropped => "dropped",
+        }
+    }
+}
+
+/// One recorded hop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Hop {
+    /// What happened.
+    pub kind: HopKind,
+    /// Simulated cycle it was observed at.
+    pub cycle: u64,
+}
+
+/// The provenance record of one injected bit flip, updated as the machine
+/// runs and drained by the campaign at classification time.
+#[derive(Clone, Debug)]
+pub struct FaultProbe {
+    /// Where the bit was flipped.
+    pub site: InjectionSite,
+    /// Cycle count at flip time.
+    pub flip_cycle: u64,
+    /// Privilege mode at flip time.
+    pub flip_mode: Mode,
+    /// Where the corruption currently lives.
+    pub residence: Residence,
+    /// Cycle of the first corrupted read, if any.
+    pub activated_at: Option<u64>,
+    /// Number of steps in which the corrupted cell was accessed.
+    pub touches: u64,
+    /// Did a corrupted read happen in supervisor mode?
+    pub kernel_touch: bool,
+    /// Propagation hops, in order. Bounded: state-transition hops only,
+    /// repeated same-residence touches increment [`touches`](Self::touches).
+    pub hops: Vec<Hop>,
+}
+
+impl FaultProbe {
+    fn new(site: InjectionSite, flip_cycle: u64, flip_mode: Mode, residence: Residence) -> Self {
+        FaultProbe {
+            site,
+            flip_cycle,
+            flip_mode,
+            residence,
+            activated_at: None,
+            touches: 0,
+            kernel_touch: false,
+            hops: Vec::new(),
+        }
+    }
+
+    /// Was the corrupted cell ever read?
+    pub fn activated(&self) -> bool {
+        self.activated_at.is_some()
+    }
+
+    /// Cycles from the flip to the first corrupted read.
+    pub fn activation_latency(&self) -> Option<u64> {
+        self.activated_at.map(|c| c.saturating_sub(self.flip_cycle))
+    }
+
+    fn hop(&mut self, kind: HopKind, cycle: u64) {
+        self.hops.push(Hop { kind, cycle });
+        event!(Subsystem::Microarch, Level::Debug, "provenance.hop";
+               cycle = cycle;
+               "kind" => kind.name(),
+               "component" => self.site.component.short_name(),
+               "residence" => self.residence.name());
+    }
+
+    fn touched(&mut self, cycle: u64, mode: Mode) {
+        self.touches += 1;
+        if self.activated_at.is_none() {
+            self.activated_at = Some(cycle);
+            self.hop(HopKind::CorruptRead, cycle);
+        }
+        if mode == Mode::Svc && !self.kernel_touch {
+            self.kernel_touch = true;
+            self.hop(HopKind::KernelTouch, cycle);
+        }
+    }
+
+    fn dropped(&mut self, cycle: u64) {
+        if self.residence != Residence::Gone {
+            self.residence = Residence::Gone;
+            self.hop(HopKind::Dropped, cycle);
+        }
+    }
+
+    /// Emit the terminal `injection.provenance` record: the probe's whole
+    /// story plus the campaign's final classification. `end_cycle` is the
+    /// machine's cycle count when the run terminated.
+    pub fn emit_record(&self, class: &str, end_cycle: u64) {
+        event!(Subsystem::Injection, Level::Info, "injection.provenance";
+               cycle = self.flip_cycle;
+               "component" => self.site.component.short_name(),
+               "bit" => self.site.bit,
+               "array" => self.site.array.name(),
+               "was_valid" => self.site.was_valid,
+               "activated" => self.activated(),
+               "act_cycles" => self.activation_latency().unwrap_or(0),
+               "touches" => self.touches,
+               "kernel_touch" => self.kernel_touch,
+               "hops" => self.hops.len(),
+               "residence" => self.residence.name(),
+               "class" => class.to_string(),
+               "total_cycles" => end_cycle.saturating_sub(self.flip_cycle));
+    }
+}
+
+impl<D: Device> System<D> {
+    /// Like [`System::flip_bit`], but also arms a provenance probe on the
+    /// storage holding the flipped bit. The probe is updated as the machine
+    /// steps; drain it with [`System::take_probe`] at classification time.
+    pub fn flip_bit_probed(&mut self, c: Component, bit: u64) -> InjectionSite {
+        let site = self.flip_bit(c, bit);
+        let residence = match c {
+            Component::RegFile => {
+                self.cpu.regs.set_watch(RegFile::word_of_bit(bit));
+                Residence::Reg
+            }
+            Component::L1I => {
+                let line = self.mem.l1i.line_of_bit(bit);
+                self.mem.l1i.set_watch(line);
+                Residence::L1I
+            }
+            Component::L1D => {
+                let line = self.mem.l1d.line_of_bit(bit);
+                self.mem.l1d.set_watch(line);
+                Residence::L1D
+            }
+            Component::L2 => {
+                let line = self.mem.l2.line_of_bit(bit);
+                self.mem.l2.set_watch(line);
+                Residence::L2
+            }
+            Component::ITlb => {
+                let e = self.itlb.entry_of_bit(bit);
+                self.itlb.set_watch(e);
+                Residence::ITlb
+            }
+            Component::DTlb => {
+                let e = self.dtlb.entry_of_bit(bit);
+                self.dtlb.set_watch(e);
+                Residence::DTlb
+            }
+        };
+        let cycle = self.cpu.counters.cycles;
+        let mode = self.cpu.cpsr.mode;
+        event!(Subsystem::Microarch, Level::Debug, "provenance.armed";
+               cycle = cycle;
+               "component" => site.component.short_name(),
+               "bit" => bit,
+               "array" => site.array.name(),
+               "was_valid" => site.was_valid);
+        self.probe = Some(Box::new(FaultProbe::new(site, cycle, mode, residence)));
+        site
+    }
+
+    /// Detach and return the provenance probe, disarming all watches.
+    pub fn take_probe(&mut self) -> Option<Box<FaultProbe>> {
+        self.cpu.regs.clear_watch();
+        self.mem.l1i.clear_watch();
+        self.mem.l1d.clear_watch();
+        self.mem.l2.clear_watch();
+        self.itlb.clear_watch();
+        self.dtlb.clear_watch();
+        self.probe.take()
+    }
+
+    /// Is the watched data-side cache line currently flagged as touched?
+    /// Used inside the load path to spot register fills.
+    pub(crate) fn probe_data_touched(&self) -> bool {
+        match self.probe.as_deref() {
+            Some(p) => match p.residence {
+                Residence::L1D => self.mem.l1d.watch_touched(),
+                Residence::L2 => self.mem.l2.watch_touched(),
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Record a register-fill hop (a load consumed the corrupted line).
+    pub(crate) fn note_register_fill(&mut self) {
+        let cycle = self.cpu.counters.cycles;
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.hop(HopKind::RegisterFill, cycle);
+        }
+    }
+
+    /// End-of-step drain: fold the watch reports of the structure currently
+    /// holding the corruption into the probe, following write-backs down
+    /// the hierarchy and refills back up.
+    pub(crate) fn drain_probe(&mut self) {
+        let Some(mut probe) = self.probe.take() else {
+            return;
+        };
+        let cycle = self.cpu.counters.cycles;
+        let mode = self.cpu.cpsr.mode;
+        match probe.residence {
+            Residence::Reg => {
+                let rep = self.cpu.regs.take_watch_report();
+                if rep.touched {
+                    probe.touched(cycle, mode);
+                }
+                if rep.evicted_dropped {
+                    probe.dropped(cycle);
+                }
+            }
+            Residence::L1I => {
+                let rep = self.mem.l1i.take_watch_report();
+                if rep.touched {
+                    probe.touched(cycle, mode);
+                }
+                // The L1I never writes back; any eviction drops the copy.
+                if rep.evicted_writeback || rep.evicted_dropped {
+                    probe.dropped(cycle);
+                }
+            }
+            Residence::L1D => {
+                let rep = self.mem.l1d.take_watch_report();
+                if rep.touched {
+                    probe.touched(cycle, mode);
+                }
+                if rep.evicted_writeback {
+                    let addr = rep.writeback_addr.unwrap_or(0);
+                    if let Some(idx) = self.mem.l2.find_line(addr) {
+                        self.mem.l2.set_watch(idx);
+                        probe.residence = Residence::L2;
+                        probe.hop(HopKind::WritebackL2, cycle);
+                    } else {
+                        // Passed straight through a flushed L2 to DRAM.
+                        probe.residence = Residence::Dram(addr);
+                        probe.hop(HopKind::WritebackDram, cycle);
+                    }
+                } else if rep.evicted_dropped {
+                    probe.dropped(cycle);
+                }
+            }
+            Residence::L2 => {
+                let rep = self.mem.l2.take_watch_report();
+                if rep.touched {
+                    probe.touched(cycle, mode);
+                }
+                if rep.evicted_writeback {
+                    let addr = rep.writeback_addr.unwrap_or(0);
+                    probe.residence = Residence::Dram(addr);
+                    probe.hop(HopKind::WritebackDram, cycle);
+                } else if rep.evicted_dropped {
+                    probe.dropped(cycle);
+                }
+            }
+            Residence::Dram(addr) => {
+                // A refill of the corrupted line back into L2 re-activates
+                // tracking there.
+                if let Some(idx) = self.mem.l2.find_line(addr) {
+                    self.mem.l2.set_watch(idx);
+                    probe.residence = Residence::L2;
+                    probe.hop(HopKind::RefillFromDram, cycle);
+                }
+            }
+            Residence::ITlb => {
+                let rep = self.itlb.take_watch_report();
+                if rep.touched {
+                    probe.touched(cycle, mode);
+                }
+                if rep.evicted_dropped {
+                    probe.dropped(cycle);
+                }
+            }
+            Residence::DTlb => {
+                let rep = self.dtlb.take_watch_report();
+                if rep.touched {
+                    probe.touched(cycle, mode);
+                }
+                if rep.evicted_dropped {
+                    probe.dropped(cycle);
+                }
+            }
+            Residence::Gone => {}
+        }
+        self.probe = Some(probe);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::mem::NullDevice;
+
+    fn boot_minimal() -> System<NullDevice> {
+        // An identity-mapped machine (first 1 MiB) so memory and TLB state
+        // exists to corrupt. Reuses the MMU helpers directly.
+        use crate::mmu;
+        let mut sys = System::new(MachineConfig::cortex_a9(), NullDevice);
+        let l1_base = 0x10_0000;
+        let l2_base = 0x11_0000;
+        let l1e = mmu::l1_entry(l2_base);
+        for vpn in 0..256u32 {
+            let vaddr = vpn << mmu::PAGE_SHIFT;
+            sys.mem.phys.write(
+                mmu::l1_entry_addr(l1_base, vaddr),
+                sea_isa::MemSize::Word,
+                l1e,
+            );
+            sys.mem.phys.write(
+                mmu::l2_entry_addr(l1e, vaddr),
+                sea_isa::MemSize::Word,
+                mmu::pte(vpn, mmu::PTE_WRITE | mmu::PTE_USER | mmu::PTE_EXEC),
+            );
+        }
+        sys.cpu.ttbr = l1_base;
+        sys
+    }
+
+    #[test]
+    fn l1d_flip_activates_on_read() {
+        let mut sys = boot_minimal();
+        // Write a word so a valid dirty line exists in L1D at paddr 0x2000.
+        let mut ctr = Counters::default();
+        sys.mem
+            .write_data(0x2000, sea_isa::MemSize::Word, 0xABCD_1234, &mut ctr);
+        let idx = sys.mem.l1d.find_line(0x2000).expect("line resident");
+        // Flip a data bit inside that exact line.
+        let bit = idx as u64 * sys.mem.l1d.bits_per_line();
+        sys.flip_bit_probed(crate::fault::Component::L1D, bit);
+        assert!(!sys.probe.as_ref().unwrap().activated());
+        // Read it back through the data path: activation.
+        sys.mem.read_data(0x2000, sea_isa::MemSize::Word, &mut ctr);
+        sys.drain_probe();
+        let probe = sys.take_probe().expect("probe armed");
+        assert!(probe.activated(), "read of corrupted line must activate");
+        assert_eq!(
+            probe.hops.first().map(|h| h.kind),
+            Some(HopKind::CorruptRead)
+        );
+    }
+
+    use crate::counters::Counters;
+
+    #[test]
+    fn l1d_writeback_moves_watch_to_l2() {
+        let mut sys = boot_minimal();
+        let mut ctr = Counters::default();
+        sys.mem
+            .write_data(0x2000, sea_isa::MemSize::Word, 0xDEAD_BEEF, &mut ctr);
+        let idx = sys.mem.l1d.find_line(0x2000).expect("line resident");
+        let bit = idx as u64 * sys.mem.l1d.bits_per_line();
+        sys.flip_bit_probed(crate::fault::Component::L1D, bit);
+        // Force the line out by cleaning the whole hierarchy level by hand:
+        // evict_for on its own set via conflicting fills.
+        sys.mem.clean_invalidate_all();
+        sys.drain_probe();
+        let probe = sys.take_probe().expect("probe armed");
+        // clean_invalidate_all pushes L1D through L2 to DRAM; the watch
+        // follows the write-back chain.
+        assert!(
+            probe
+                .hops
+                .iter()
+                .any(|h| matches!(h.kind, HopKind::WritebackL2 | HopKind::WritebackDram)),
+            "eviction of a dirty corrupted line must record a write-back hop, got {:?}",
+            probe.hops
+        );
+    }
+
+    #[test]
+    fn regfile_flip_activates_on_get() {
+        let mut sys = boot_minimal();
+        sys.cpu.regs.set(sea_isa::Reg::R3, Mode::Svc, 7);
+        sys.flip_bit_probed(crate::fault::Component::RegFile, 3 * 32 + 1);
+        let _ = sys.cpu.regs.get(sea_isa::Reg::R3, Mode::Svc);
+        sys.drain_probe();
+        let probe = sys.take_probe().unwrap();
+        assert!(probe.activated());
+        assert!(probe.kernel_touch, "Svc-mode read must flag kernel touch");
+        // Overwrite after take_probe: nothing tracked anymore.
+        sys.cpu.regs.set(sea_isa::Reg::R3, Mode::Svc, 0);
+        assert!(sys.take_probe().is_none());
+    }
+
+    #[test]
+    fn regfile_overwrite_drops_corruption() {
+        let mut sys = boot_minimal();
+        sys.flip_bit_probed(crate::fault::Component::RegFile, 5 * 32);
+        sys.cpu.regs.set(sea_isa::Reg::R5, Mode::Svc, 0);
+        sys.drain_probe();
+        let probe = sys.take_probe().unwrap();
+        assert!(!probe.activated());
+        assert_eq!(probe.residence, Residence::Gone);
+        assert_eq!(probe.hops.last().map(|h| h.kind), Some(HopKind::Dropped));
+    }
+
+    #[test]
+    fn tlb_flip_touch_and_flush() {
+        let mut sys = boot_minimal();
+        sys.dtlb
+            .insert(crate::tlb::TlbEntry::new(0x5, 0x5, true, true, false));
+        sys.flip_bit_probed(crate::fault::Component::DTlb, 0);
+        sys.dtlb.lookup(0x5);
+        sys.drain_probe();
+        assert!(sys.probe.as_ref().unwrap().activated());
+        sys.dtlb.flush();
+        sys.drain_probe();
+        let probe = sys.take_probe().unwrap();
+        assert_eq!(probe.residence, Residence::Gone);
+    }
+
+    #[test]
+    fn emit_record_shape() {
+        // The record must parse as one JSON line with the acceptance fields.
+        let _guard = sea_trace::test_lock();
+        let sink = std::sync::Arc::new(sea_trace::MemorySink::new());
+        sea_trace::set_level(Subsystem::Injection, Level::Info);
+        sea_trace::install_sink(sink.clone());
+
+        let mut sys = boot_minimal();
+        sys.flip_bit_probed(crate::fault::Component::RegFile, 0);
+        let _ = sys.cpu.regs.get(sea_isa::Reg::R0, Mode::Svc);
+        sys.drain_probe();
+        let probe = sys.take_probe().unwrap();
+        probe.emit_record("Masked", sys.cpu.counters.cycles + 100);
+        sea_trace::flush_thread();
+
+        let evs = sink.take();
+        let rec = evs
+            .iter()
+            .find(|e| e.name == "injection.provenance")
+            .expect("provenance record emitted");
+        let mut line = String::new();
+        sea_trace::json::write_event(rec, &mut line);
+        let parsed = sea_trace::json::parse(&line).expect("valid JSON");
+        assert_eq!(
+            parsed.get("ev").and_then(|v| v.as_str()),
+            Some("injection.provenance")
+        );
+        assert_eq!(
+            parsed.get("activated").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        assert!(parsed.get("act_cycles").and_then(|v| v.as_u64()).is_some());
+        assert_eq!(parsed.get("class").and_then(|v| v.as_str()), Some("Masked"));
+
+        sea_trace::uninstall_sink();
+        sea_trace::disable_all();
+    }
+}

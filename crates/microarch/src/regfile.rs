@@ -1,6 +1,8 @@
 //! Architectural register files and the program status register.
 
+use crate::cache::WatchReport;
 use sea_isa::{FReg, Reg};
+use std::cell::Cell;
 
 /// Privilege mode.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -31,7 +33,14 @@ pub struct Cpsr {
 impl Cpsr {
     /// Reset state: supervisor mode, IRQs masked, flags clear.
     pub fn reset() -> Cpsr {
-        Cpsr { n: false, z: false, c: false, v: false, irq_off: true, mode: Mode::Svc }
+        Cpsr {
+            n: false,
+            z: false,
+            c: false,
+            v: false,
+            irq_off: true,
+            mode: Mode::Svc,
+        }
     }
 
     /// Packs into the architectural bit layout (N=31, Z=30, C=29, V=28,
@@ -57,7 +66,11 @@ impl Cpsr {
             c: bits & (1 << 29) != 0,
             v: bits & (1 << 28) != 0,
             irq_off: bits & (1 << 7) != 0,
-            mode: if bits & 0x1F == 0x13 { Mode::Svc } else { Mode::User },
+            mode: if bits & 0x1F == 0x13 {
+                Mode::Svc
+            } else {
+                Mode::User
+            },
         }
     }
 }
@@ -75,6 +88,11 @@ pub struct RegFile {
     sp_svc: u32,
     lr: u32,
     fp: [u32; 32],
+    /// Fault-provenance watch: flat word index (layout of [`RegFile::flip_bit`])
+    /// holding injected corruption. `Cell` so read paths can stay `&self`.
+    watch: Cell<Option<u8>>,
+    watch_touched: Cell<bool>,
+    watch_dropped: Cell<bool>,
 }
 
 /// SRAM bits in the integer + FP register files: 16 × 32 + 32 × 32.
@@ -83,7 +101,43 @@ pub const REGFILE_BITS: u64 = (13 + 3) as u64 * 32 + 32 * 32;
 impl RegFile {
     /// All registers zeroed.
     pub fn new() -> RegFile {
-        RegFile { r: [0; 13], sp_usr: 0, sp_svc: 0, lr: 0, fp: [0; 32] }
+        RegFile {
+            r: [0; 13],
+            sp_usr: 0,
+            sp_svc: 0,
+            lr: 0,
+            fp: [0; 32],
+            watch: Cell::new(None),
+            watch_touched: Cell::new(false),
+            watch_dropped: Cell::new(false),
+        }
+    }
+
+    /// Flat word index (layout of [`RegFile::flip_bit`]) of an integer
+    /// register in the given mode.
+    fn word_of(reg: Reg, mode: Mode) -> usize {
+        match reg {
+            Reg::Pc => panic!("pc is not a register-file operand"),
+            Reg::Sp => match mode {
+                Mode::User => 13,
+                Mode::Svc => 14,
+            },
+            Reg::Lr => 15,
+            r => r.index(),
+        }
+    }
+
+    fn note_read(&self, word: usize) {
+        if self.watch.get() == Some(word as u8) {
+            self.watch_touched.set(true);
+        }
+    }
+
+    fn note_overwrite(&self, word: usize) {
+        if self.watch.get() == Some(word as u8) {
+            self.watch.set(None);
+            self.watch_dropped.set(true);
+        }
     }
 
     /// Reads an integer register in the given mode.
@@ -92,6 +146,7 @@ impl RegFile {
     ///
     /// Panics on `pc` — the CPU must intercept it first.
     pub fn get(&self, reg: Reg, mode: Mode) -> u32 {
+        self.note_read(Self::word_of(reg, mode));
         match reg {
             Reg::Pc => panic!("pc is not a register-file operand"),
             Reg::Sp => match mode {
@@ -109,6 +164,7 @@ impl RegFile {
     ///
     /// Panics on `pc`.
     pub fn set(&mut self, reg: Reg, mode: Mode, value: u32) {
+        self.note_overwrite(Self::word_of(reg, mode));
         match reg {
             Reg::Pc => panic!("pc is not a register-file operand"),
             Reg::Sp => match mode {
@@ -123,31 +179,37 @@ impl RegFile {
     /// Reads the user-mode stack pointer regardless of current mode
     /// (`MRS rd, SpUsr`).
     pub fn sp_usr(&self) -> u32 {
+        self.note_read(13);
         self.sp_usr
     }
 
     /// Writes the user-mode stack pointer (`MSR SpUsr, rn`).
     pub fn set_sp_usr(&mut self, value: u32) {
+        self.note_overwrite(13);
         self.sp_usr = value;
     }
 
     /// Reads an FP register.
     pub fn fget(&self, reg: FReg) -> f32 {
+        self.note_read(16 + reg.index());
         f32::from_bits(self.fp[reg.index()])
     }
 
     /// Reads an FP register's raw bits.
     pub fn fget_bits(&self, reg: FReg) -> u32 {
+        self.note_read(16 + reg.index());
         self.fp[reg.index()]
     }
 
     /// Writes an FP register.
     pub fn fset(&mut self, reg: FReg, value: f32) {
+        self.note_overwrite(16 + reg.index());
         self.fp[reg.index()] = value.to_bits();
     }
 
     /// Writes an FP register's raw bits.
     pub fn fset_bits(&mut self, reg: FReg, bits: u32) {
+        self.note_overwrite(16 + reg.index());
         self.fp[reg.index()] = bits;
     }
 
@@ -174,6 +236,55 @@ impl RegFile {
             _ => self.fp[word - 16] ^= mask,
         }
     }
+
+    // ----- fault-provenance watch -------------------------------------------
+
+    /// Which flat word a register-file bit index belongs to (same layout as
+    /// [`RegFile::flip_bit`]).
+    pub fn word_of_bit(bit: u64) -> usize {
+        assert!(bit < REGFILE_BITS, "register-file bit index out of range");
+        (bit / 32) as usize
+    }
+
+    /// Human-readable name of a flat word index (`r0`..`r12`, `sp_usr`,
+    /// `sp_svc`, `lr`, `s0`..`s31`).
+    pub fn word_name(word: usize) -> String {
+        match word {
+            0..=12 => format!("r{word}"),
+            13 => "sp_usr".to_string(),
+            14 => "sp_svc".to_string(),
+            15 => "lr".to_string(),
+            _ => format!("s{}", word - 16),
+        }
+    }
+
+    /// Arm the provenance watch on flat `word`. Replaces any previous watch.
+    pub fn set_watch(&mut self, word: usize) {
+        debug_assert!(word < (REGFILE_BITS / 32) as usize);
+        self.watch.set(Some(word as u8));
+    }
+
+    /// Disarm the watch and clear pending observations.
+    pub fn clear_watch(&mut self) {
+        self.watch.set(None);
+        self.watch_touched.set(false);
+        self.watch_dropped.set(false);
+    }
+
+    /// Drain observations accumulated since the last call
+    /// (`evicted_writeback` is never set — registers have no write-back).
+    pub fn take_watch_report(&mut self) -> WatchReport {
+        let rep = WatchReport {
+            touched: self.watch_touched.take(),
+            evicted_writeback: false,
+            evicted_dropped: self.watch_dropped.take(),
+            writeback_addr: None,
+        };
+        if rep.evicted_dropped {
+            self.watch.set(None);
+        }
+        rep
+    }
 }
 
 impl Default for RegFile {
@@ -188,9 +299,20 @@ mod tests {
 
     #[test]
     fn cpsr_roundtrip() {
-        let c = Cpsr { n: true, z: false, c: true, v: false, irq_off: true, mode: Mode::Svc };
+        let c = Cpsr {
+            n: true,
+            z: false,
+            c: true,
+            v: false,
+            irq_off: true,
+            mode: Mode::Svc,
+        };
         assert_eq!(Cpsr::from_bits(c.to_bits()), c);
-        let u = Cpsr { mode: Mode::User, irq_off: false, ..c };
+        let u = Cpsr {
+            mode: Mode::User,
+            irq_off: false,
+            ..c
+        };
         assert_eq!(Cpsr::from_bits(u.to_bits()), u);
     }
 

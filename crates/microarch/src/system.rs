@@ -1,8 +1,8 @@
 //! The full-system model: core + MMU + cache hierarchy + device block.
 
 use sea_isa::{
-    decode, Cond, DpOp, FpArithOp, FpUnaryOp, Insn, MemOffset, MemSize, MulOp, Operand2,
-    Shift, SysReg,
+    decode, Cond, DpOp, FpArithOp, FpUnaryOp, Insn, MemOffset, MemSize, MulOp, Operand2, Shift,
+    SysReg,
 };
 
 use crate::config::MachineConfig;
@@ -11,6 +11,7 @@ use crate::exception::{AbortCause, Exception, VECTOR_BASE};
 use crate::mem::{Device, DEVICE_BASE};
 use crate::memsys::MemSystem;
 use crate::mmu;
+use crate::provenance::FaultProbe;
 use crate::regfile::{Cpsr, Mode, RegFile};
 use crate::tlb::{Tlb, TlbEntry};
 
@@ -107,12 +108,19 @@ impl Cpu {
     /// standard crash-diagnosis view: where was the core in its final
     /// moments before a lock-up or panic.
     pub fn enable_trace(&mut self, depth: usize) {
-        self.trace = Some(TraceRing { buf: vec![0; depth.max(1)], head: 0, filled: false });
+        self.trace = Some(TraceRing {
+            buf: vec![0; depth.max(1)],
+            head: 0,
+            filled: false,
+        });
     }
 
     /// The recently retired PCs, oldest first. Empty when tracing is off.
     pub fn trace(&self) -> Vec<u32> {
-        self.trace.as_ref().map(TraceRing::snapshot).unwrap_or_default()
+        self.trace
+            .as_ref()
+            .map(TraceRing::snapshot)
+            .unwrap_or_default()
     }
 }
 
@@ -145,6 +153,8 @@ pub struct System<D> {
     pub dtlb: Tlb,
     /// The memory-mapped device block.
     pub dev: D,
+    /// Fault-provenance probe, armed by [`System::flip_bit_probed`].
+    pub(crate) probe: Option<Box<FaultProbe>>,
 }
 
 impl<D: Device> System<D> {
@@ -162,6 +172,7 @@ impl<D: Device> System<D> {
             dtlb: Tlb::new(cfg.dtlb_entries),
             dev,
             cfg,
+            probe: None,
         }
     }
 
@@ -238,7 +249,13 @@ impl<D: Device> System<D> {
         let (raw, lat2) = self.mem.walk_read(l2a, &mut self.cpu.counters);
         self.cpu.counters.cycles += lat2 as u64;
         let pte = mmu::decode_pte(raw).ok_or_else(|| abort(AbortCause::Translation))?;
-        Ok(TlbEntry::new(vaddr >> mmu::PAGE_SHIFT, pte.ppn, pte.write, pte.user, pte.exec))
+        Ok(TlbEntry::new(
+            vaddr >> mmu::PAGE_SHIFT,
+            pte.ppn,
+            pte.write,
+            pte.user,
+            pte.exec,
+        ))
     }
 
     fn check_phys_range(
@@ -251,11 +268,17 @@ impl<D: Device> System<D> {
         // Returns Ok(true) when the access targets the device window.
         if paddr >= DEVICE_BASE {
             if matches!(access, Access::Fetch) {
-                return Err(Exception::PrefetchAbort { vaddr, cause: AbortCause::OutOfRange });
+                return Err(Exception::PrefetchAbort {
+                    vaddr,
+                    cause: AbortCause::OutOfRange,
+                });
             }
             return Ok(true);
         }
-        if paddr.checked_add(bytes).map_or(true, |end| end > self.mem.phys.size()) {
+        if paddr
+            .checked_add(bytes)
+            .is_none_or(|end| end > self.mem.phys.size())
+        {
             let cause = AbortCause::OutOfRange;
             return Err(match access {
                 Access::Fetch => Exception::PrefetchAbort { vaddr, cause },
@@ -266,8 +289,11 @@ impl<D: Device> System<D> {
     }
 
     fn read_mem(&mut self, vaddr: u32, size: MemSize) -> Result<u32, Exception> {
-        if vaddr % size.bytes() != 0 {
-            return Err(Exception::DataAbort { vaddr, cause: AbortCause::Alignment });
+        if !vaddr.is_multiple_of(size.bytes()) {
+            return Err(Exception::DataAbort {
+                vaddr,
+                cause: AbortCause::Alignment,
+            });
         }
         let (paddr, lat) = self.translate(vaddr, Access::Read)?;
         self.cpu.counters.cycles += lat as u64;
@@ -280,8 +306,11 @@ impl<D: Device> System<D> {
     }
 
     fn write_mem(&mut self, vaddr: u32, size: MemSize, value: u32) -> Result<(), Exception> {
-        if vaddr % size.bytes() != 0 {
-            return Err(Exception::DataAbort { vaddr, cause: AbortCause::Alignment });
+        if !vaddr.is_multiple_of(size.bytes()) {
+            return Err(Exception::DataAbort {
+                vaddr,
+                cause: AbortCause::Alignment,
+            });
         }
         let (paddr, lat) = self.translate(vaddr, Access::Write)?;
         self.cpu.counters.cycles += lat as u64;
@@ -289,14 +318,19 @@ impl<D: Device> System<D> {
             self.dev.write(paddr - DEVICE_BASE, size, value);
             return Ok(());
         }
-        let lat = self.mem.write_data(paddr, size, value, &mut self.cpu.counters);
+        let lat = self
+            .mem
+            .write_data(paddr, size, value, &mut self.cpu.counters);
         self.cpu.counters.cycles += lat as u64;
         Ok(())
     }
 
     fn fetch_insn(&mut self, vaddr: u32) -> Result<u32, Exception> {
-        if vaddr % 4 != 0 {
-            return Err(Exception::PrefetchAbort { vaddr, cause: AbortCause::Alignment });
+        if !vaddr.is_multiple_of(4) {
+            return Err(Exception::PrefetchAbort {
+                vaddr,
+                cause: AbortCause::Alignment,
+            });
         }
         let (paddr, lat) = self.translate(vaddr, Access::Fetch)?;
         self.cpu.counters.cycles += lat as u64;
@@ -377,6 +411,14 @@ impl<D: Device> System<D> {
 
     /// Executes one instruction (or vectors one exception).
     pub fn step(&mut self) -> StepOutcome {
+        let out = self.step_inner();
+        if self.probe.is_some() {
+            self.drain_probe();
+        }
+        out
+    }
+
+    fn step_inner(&mut self) -> StepOutcome {
         let irq = {
             let now = self.cpu.counters.cycles;
             self.dev.poll_irq(now)
@@ -466,8 +508,11 @@ impl<D: Device> System<D> {
             self.cpu.counters.branch_misses += 1;
             self.cpu.counters.cycles += self.cfg.lat.branch_miss as u64;
         }
-        self.cpu.predictor[idx] =
-            if taken { (ctr + 1).min(3) } else { ctr.saturating_sub(1) };
+        self.cpu.predictor[idx] = if taken {
+            (ctr + 1).min(3)
+        } else {
+            ctr.saturating_sub(1)
+        };
     }
 
     #[allow(clippy::too_many_lines)]
@@ -476,10 +521,16 @@ impl<D: Device> System<D> {
         let (mul_lat, div_lat, fp_lat, fdiv_lat, fsqrt_lat) =
             (lat.mul, lat.div, lat.fp, lat.fdiv, lat.fsqrt);
         match insn {
-            Insn::Dp { op, s, rd, rn, op2, .. } => {
+            Insn::Dp {
+                op, s, rd, rn, op2, ..
+            } => {
                 self.cpu.counters.cycles += 1;
                 let (b, shifter_c) = self.eval_op2(op2)?;
-                let a = if op.ignores_rn() { 0 } else { self.reg_read(rn)? };
+                let a = if op.ignores_rn() {
+                    0
+                } else {
+                    self.reg_read(rn)?
+                };
                 let c_in = self.cpu.cpsr.c;
                 let (result, carry, overflow) = alu(op, a, b, c_in, shifter_c);
                 if s {
@@ -504,7 +555,15 @@ impl<D: Device> System<D> {
                 self.reg_write(rd, v)?;
                 Ok(Flow::Next)
             }
-            Insn::Mul { op, s, rd, rn, rm, ra, .. } => {
+            Insn::Mul {
+                op,
+                s,
+                rd,
+                rn,
+                rm,
+                ra,
+                ..
+            } => {
                 let a = self.reg_read(rn)?;
                 let b = self.reg_read(rm)?;
                 let result = match op {
@@ -530,7 +589,7 @@ impl<D: Device> System<D> {
                     }
                     MulOp::Udiv => {
                         self.cpu.counters.cycles += div_lat as u64;
-                        if b == 0 { 0 } else { a / b }
+                        a.checked_div(b).unwrap_or(0)
                     }
                     MulOp::Sdiv => {
                         self.cpu.counters.cycles += div_lat as u64;
@@ -542,7 +601,7 @@ impl<D: Device> System<D> {
                     }
                     MulOp::Urem => {
                         self.cpu.counters.cycles += div_lat as u64;
-                        if b == 0 { 0 } else { a % b }
+                        a.checked_rem(b).unwrap_or(0)
                     }
                     MulOp::Srem => {
                         self.cpu.counters.cycles += div_lat as u64;
@@ -576,18 +635,34 @@ impl<D: Device> System<D> {
                 self.reg_write(rd, result)?;
                 Ok(Flow::Next)
             }
-            Insn::Mem { load, size, rd, rn, offset, mode, .. } => {
+            Insn::Mem {
+                load,
+                size,
+                rd,
+                rn,
+                offset,
+                mode,
+                ..
+            } => {
                 self.cpu.counters.cycles += 1;
                 let base = self.reg_read(rn)?;
                 let off = match offset {
                     MemOffset::Imm(i) => i as u32,
                     MemOffset::Reg { rm, shl } => self.reg_read(rm)? << shl,
                 };
-                let indexed =
-                    if mode.up { base.wrapping_add(off) } else { base.wrapping_sub(off) };
+                let indexed = if mode.up {
+                    base.wrapping_add(off)
+                } else {
+                    base.wrapping_sub(off)
+                };
                 let vaddr = if mode.pre { indexed } else { base };
                 if load {
+                    let pre = self.probe_data_touched();
                     let v = self.read_mem(vaddr, size)?;
+                    if !pre && self.probe_data_touched() {
+                        // This load consumed the corrupted cache line.
+                        self.note_register_fill();
+                    }
                     if mode.writeback {
                         self.reg_write(rn, indexed)?;
                     }
@@ -601,7 +676,15 @@ impl<D: Device> System<D> {
                 }
                 Ok(Flow::Next)
             }
-            Insn::MemMulti { load, rn, writeback, up, before, regs, .. } => {
+            Insn::MemMulti {
+                load,
+                rn,
+                writeback,
+                up,
+                before,
+                regs,
+                ..
+            } => {
                 if regs & 0x8000 != 0 {
                     // pc in a register list is not architecturally valid.
                     return Err(Exception::Undefined { word: 0x8000 });
@@ -609,13 +692,16 @@ impl<D: Device> System<D> {
                 let n = regs.count_ones();
                 let base = self.reg_read(rn)?;
                 let lowest = match (up, before) {
-                    (true, false) => base,                        // ia
-                    (true, true) => base.wrapping_add(4),         // ib
+                    (true, false) => base,                                      // ia
+                    (true, true) => base.wrapping_add(4),                       // ib
                     (false, false) => base.wrapping_sub(4 * n).wrapping_add(4), // da
-                    (false, true) => base.wrapping_sub(4 * n),    // db
+                    (false, true) => base.wrapping_sub(4 * n),                  // db
                 };
-                let final_base =
-                    if up { base.wrapping_add(4 * n) } else { base.wrapping_sub(4 * n) };
+                let final_base = if up {
+                    base.wrapping_add(4 * n)
+                } else {
+                    base.wrapping_sub(4 * n)
+                };
                 let mut addr = lowest;
                 for i in 0..15 {
                     if regs & (1 << i) == 0 {
@@ -644,9 +730,13 @@ impl<D: Device> System<D> {
                     self.predict_and_train(pc, true);
                 }
                 if link {
-                    self.cpu.regs.set(sea_isa::Reg::Lr, self.cpu.cpsr.mode, pc.wrapping_add(4));
+                    self.cpu
+                        .regs
+                        .set(sea_isa::Reg::Lr, self.cpu.cpsr.mode, pc.wrapping_add(4));
                 }
-                Ok(Flow::Jump(pc.wrapping_add(4).wrapping_add((offset as u32) << 2)))
+                Ok(Flow::Jump(
+                    pc.wrapping_add(4).wrapping_add((offset as u32) << 2),
+                ))
             }
             Insn::Bx { rm, .. } => {
                 self.cpu.counters.cycles += 1 + self.cfg.lat.branch_miss as u64 / 2;
@@ -728,7 +818,9 @@ impl<D: Device> System<D> {
                 self.cpu.regs.fset_bits(sd, bits);
                 Ok(Flow::Next)
             }
-            Insn::FpMem { load, sd, rn, imm6, .. } => {
+            Insn::FpMem {
+                load, sd, rn, imm6, ..
+            } => {
                 self.cpu.counters.cycles += 1;
                 let base = self.reg_read(rn)?;
                 let vaddr = base.wrapping_add(4 * imm6 as u32);

@@ -83,6 +83,8 @@ impl TlbEntry {
     }
 }
 
+use crate::cache::WatchReport;
+
 /// A fully associative TLB.
 #[derive(Clone, Debug)]
 pub struct Tlb {
@@ -94,6 +96,11 @@ pub struct Tlb {
     pub lookups: u64,
     /// Miss count.
     pub misses: u64,
+    /// Fault-provenance watch: entry index holding injected corruption.
+    watch: Option<usize>,
+    /// Observations on the watched entry since the last drain
+    /// (`evicted_writeback` is never set — TLBs have no write-back path).
+    report: WatchReport,
 }
 
 impl Tlb {
@@ -105,6 +112,8 @@ impl Tlb {
             clock: 0,
             lookups: 0,
             misses: 0,
+            watch: None,
+            report: WatchReport::default(),
         }
     }
 
@@ -115,7 +124,10 @@ impl Tlb {
         for (i, e) in self.entries.iter().enumerate() {
             if e.valid() && e.vpn() == vpn {
                 self.stamp[i] = self.clock;
-                return Some(*e);
+                if self.watch == Some(i) {
+                    self.report.touched = true;
+                }
+                return Some(self.entries[i]);
             }
         }
         self.misses += 1;
@@ -137,12 +149,19 @@ impl Tlb {
                 victim = i;
             }
         }
+        if self.watch == Some(victim) {
+            self.report.evicted_dropped = true;
+            self.watch = None;
+        }
         self.entries[victim] = entry;
         self.stamp[victim] = self.clock;
     }
 
     /// Invalidates all entries (TLB flush).
     pub fn flush(&mut self) {
+        if self.watch.take().is_some() {
+            self.report.evicted_dropped = true;
+        }
         for e in &mut self.entries {
             *e = TlbEntry::invalid();
         }
@@ -167,6 +186,32 @@ impl Tlb {
     /// Number of valid entries.
     pub fn valid_entries(&self) -> u32 {
         self.entries.iter().filter(|e| e.valid()).count() as u32
+    }
+
+    // ----- fault-provenance watch -------------------------------------------
+
+    /// Which entry a flat SRAM bit index belongs to (same layout as
+    /// [`Tlb::flip_bit`]).
+    pub fn entry_of_bit(&self, bit: u64) -> usize {
+        assert!(bit < self.total_bits(), "TLB bit index out of range");
+        (bit / 64) as usize
+    }
+
+    /// Arm the provenance watch on `entry`. Replaces any previous watch.
+    pub fn set_watch(&mut self, entry: usize) {
+        debug_assert!(entry < self.entries.len());
+        self.watch = Some(entry);
+    }
+
+    /// Disarm the watch and clear pending observations.
+    pub fn clear_watch(&mut self) {
+        self.watch = None;
+        self.report = WatchReport::default();
+    }
+
+    /// Drain observations accumulated since the last call.
+    pub fn take_watch_report(&mut self) -> WatchReport {
+        std::mem::take(&mut self.report)
     }
 }
 

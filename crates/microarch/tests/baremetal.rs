@@ -4,8 +4,8 @@
 
 use sea_isa::{Asm, Cond, MemSize, Reg, SysReg};
 use sea_microarch::{
-    l1_entry, pte, Device, MachineConfig, NullDevice, StepOutcome, System, PAGE_SHIFT,
-    PTE_EXEC, PTE_USER, PTE_VALID, PTE_WRITE,
+    l1_entry, pte, Device, MachineConfig, NullDevice, StepOutcome, System, PAGE_SHIFT, PTE_EXEC,
+    PTE_USER, PTE_VALID, PTE_WRITE,
 };
 
 const TTBR: u32 = 0x0000_4000; // 16 KB L1 table at 16 KB
@@ -24,7 +24,9 @@ fn build_tables<D: Device>(sys: &mut System<D>) {
     // Identity map 8 MB = 8 × 1 MB L1 entries.
     for mib in 0..8u32 {
         let l2 = alloc_l2();
-        sys.mem.phys.write(TTBR + mib * 4, MemSize::Word, l1_entry(l2));
+        sys.mem
+            .phys
+            .write(TTBR + mib * 4, MemSize::Word, l1_entry(l2));
         for page in 0..256u32 {
             let ppn = (mib << 8) + page;
             sys.mem.phys.write(
@@ -36,8 +38,16 @@ fn build_tables<D: Device>(sys: &mut System<D>) {
     }
     // Device window: identity-map the first device page.
     let l2 = alloc_l2();
-    sys.mem.phys.write(TTBR + (0xF000_0000u32 >> 20) * 4, MemSize::Word, l1_entry(l2));
-    sys.mem.phys.write(l2, MemSize::Word, pte(0xF000_0000 >> PAGE_SHIFT, PTE_WRITE | PTE_VALID));
+    sys.mem.phys.write(
+        TTBR + (0xF000_0000u32 >> 20) * 4,
+        MemSize::Word,
+        l1_entry(l2),
+    );
+    sys.mem.phys.write(
+        l2,
+        MemSize::Word,
+        pte(0xF000_0000 >> PAGE_SHIFT, PTE_WRITE | PTE_VALID),
+    );
     sys.cpu.ttbr = TTBR;
 }
 
@@ -66,7 +76,10 @@ fn run_to_halt<D: Device>(sys: &mut System<D>, max_steps: u64) {
             StepOutcome::Executed => {}
         }
     }
-    panic!("program did not halt within {max_steps} steps (pc={:#x})", sys.cpu.pc);
+    panic!(
+        "program did not halt within {max_steps} steps (pc={:#x})",
+        sys.cpu.pc
+    );
 }
 
 fn halt(a: &mut Asm) {
@@ -113,10 +126,16 @@ fn atomic_and_detailed_modes_agree_architecturally() {
     let mut atm = machine_with(MachineConfig::cortex_a9().atomic(), build);
     run_to_halt(&mut det, 10_000);
     run_to_halt(&mut atm, 10_000);
-    assert_eq!(det.cpu.regs.get(Reg::R0, sea_microarch::Mode::Svc), atm.cpu.regs.get(Reg::R0, sea_microarch::Mode::Svc));
+    assert_eq!(
+        det.cpu.regs.get(Reg::R0, sea_microarch::Mode::Svc),
+        atm.cpu.regs.get(Reg::R0, sea_microarch::Mode::Svc)
+    );
     for i in 1..=37u32 {
         let addr = 0x0030_0000 + i * 4;
-        assert_eq!(det.mem.peek(addr, MemSize::Word), atm.mem.peek(addr, MemSize::Word));
+        assert_eq!(
+            det.mem.peek(addr, MemSize::Word),
+            atm.mem.peek(addr, MemSize::Word)
+        );
     }
     // Detailed mode pays cache/mispredict latency; atomic must be faster.
     assert!(det.cpu.counters.cycles > atm.cpu.counters.cycles);
@@ -166,7 +185,7 @@ fn svc_vectors_to_handler_and_eret_returns() {
     let b = sea_isa::encode(&sea_isa::Insn::Branch {
         cond: Cond::Al,
         link: false,
-        offset: ((0x100 - 0x8 - 4) / 4) as i32,
+        offset: (0x100 - 0x8 - 4) / 4,
     });
     sys.mem.phys.write(0x8, MemSize::Word, b);
     run_to_halt(&mut sys, 1_000);
@@ -237,14 +256,23 @@ impl Device for OneShotTimer {
 
 #[test]
 fn irq_is_taken_when_unmasked_and_wfi_wakes() {
-    let mut sys = System::new(MachineConfig::cortex_a9(), OneShotTimer { deadline: 200, fired: false });
+    let mut sys = System::new(
+        MachineConfig::cortex_a9(),
+        OneShotTimer {
+            deadline: 200,
+            fired: false,
+        },
+    );
     build_tables(&mut sys);
     // Program: enable IRQs, spin WFI; IRQ handler acknowledges the device
     // and halts.
     let mut a = Asm::new();
     let entry = a.label("entry");
     a.bind(entry).unwrap();
-    a.push(sea_isa::Insn::Cps { cond: Cond::Al, enable_irq: true });
+    a.push(sea_isa::Insn::Cps {
+        cond: Cond::Al,
+        enable_irq: true,
+    });
     let spin = a.label("spin");
     a.bind(spin).unwrap();
     a.push(sea_isa::Insn::Wfi { cond: Cond::Al });
@@ -267,7 +295,7 @@ fn irq_is_taken_when_unmasked_and_wfi_wakes() {
     let b = sea_isa::encode(&sea_isa::Insn::Branch {
         cond: Cond::Al,
         link: false,
-        offset: ((0x200 - 0x14 - 4) / 4) as i32,
+        offset: (0x200 - 0x14 - 4) / 4,
     });
     sys.mem.phys.write(0x14, MemSize::Word, b);
     run_to_halt(&mut sys, 10_000);
@@ -310,7 +338,11 @@ fn lockup_when_vector_page_unmapped_is_reported() {
     let l2 = L2_POOL;
     sys.mem.phys.write(TTBR, MemSize::Word, l1_entry(l2));
     for page in 1..256u32 {
-        sys.mem.phys.write(l2 + page * 4, MemSize::Word, pte(page, PTE_WRITE | PTE_EXEC | PTE_USER));
+        sys.mem.phys.write(
+            l2 + page * 4,
+            MemSize::Word,
+            pte(page, PTE_WRITE | PTE_EXEC | PTE_USER),
+        );
     }
     sys.cpu.ttbr = TTBR;
     let mut a = Asm::new();

@@ -5,7 +5,11 @@ use proptest::prelude::*;
 use sea_microarch::{Cache, CacheConfig, Probe};
 
 fn small_cfg() -> CacheConfig {
-    CacheConfig { size_bytes: 512, ways: 4, line_bytes: 32 } // 4 sets × 4 ways
+    CacheConfig {
+        size_bytes: 512,
+        ways: 4,
+        line_bytes: 32,
+    } // 4 sets × 4 ways
 }
 
 proptest! {

@@ -14,7 +14,9 @@ fn machine(cfg: MachineConfig) -> System<NullDevice> {
     let mut sys = System::new(cfg, NullDevice);
     for mib in 0..2u32 {
         let l2 = 0x8000 + mib * 0x400;
-        sys.mem.phys.write(TTBR + mib * 4, MemSize::Word, l1_entry(l2));
+        sys.mem
+            .phys
+            .write(TTBR + mib * 4, MemSize::Word, l1_entry(l2));
         for page in 0..256u32 {
             sys.mem.phys.write(
                 l2 + page * 4,
@@ -51,21 +53,36 @@ fn any_safe_insn() -> impl Strategy<Value = Insn> {
         Just(DpOp::Teq),
     ];
     let op2 = prop_oneof![
-        (any_low_reg(), 0usize..4, 0u8..32).prop_map(|(rm, s, amount)| Operand2::Reg(
-            ShiftedReg { rm, shift: Shift::ALL[s], amount }
-        )),
+        (any_low_reg(), 0usize..4, 0u8..32).prop_map(|(rm, s, amount)| Operand2::Reg(ShiftedReg {
+            rm,
+            shift: Shift::ALL[s],
+            amount
+        })),
         (any::<u8>(), 0u8..8).prop_map(|(base, ror4)| Operand2::Imm { base, ror4 }),
     ];
     let cond = (0u32..15).prop_map(Cond::from_bits); // skip Nv for variety
     prop_oneof![
-        (cond.clone(), dp_ops, any::<bool>(), any_low_reg(), any_low_reg(), op2).prop_map(
-            |(cond, op, s, rd, rn, op2)| {
+        (
+            cond.clone(),
+            dp_ops,
+            any::<bool>(),
+            any_low_reg(),
+            any_low_reg(),
+            op2
+        )
+            .prop_map(|(cond, op, s, rd, rn, op2)| {
                 let s = s || op.is_compare();
                 let rd = if op.is_compare() { Reg::R0 } else { rd };
                 let rn = if op.ignores_rn() { Reg::R0 } else { rn };
-                Insn::Dp { cond, op, s, rd, rn, op2 }
-            }
-        ),
+                Insn::Dp {
+                    cond,
+                    op,
+                    s,
+                    rd,
+                    rn,
+                    op2,
+                }
+            }),
         (cond.clone(), any::<bool>(), any_low_reg(), any::<u16>())
             .prop_map(|(cond, top, rd, imm)| Insn::MovW { cond, top, rd, imm }),
         (
@@ -105,7 +122,9 @@ fn load_program(sys: &mut System<NullDevice>, insns: &[Insn], seeds: &[u32; 11])
         sys.mem.phys.write(addr, MemSize::Word, encode(insn));
         addr += 4;
     }
-    sys.mem.phys.write(addr, MemSize::Word, encode(&Insn::Halt { cond: Cond::Al }));
+    sys.mem
+        .phys
+        .write(addr, MemSize::Word, encode(&Insn::Halt { cond: Cond::Al }));
     sys.cpu.pc = base;
     for (i, &v) in seeds.iter().enumerate() {
         sys.cpu.regs.set(Reg::from_index(i as u32), Mode::Svc, v);

@@ -8,10 +8,21 @@ use sea_microarch::{Counters, MachineConfig, MemSystem};
 
 #[derive(Clone, Debug)]
 enum Op {
-    Write { addr: u32, size: MemSize, value: u32 },
-    Read { addr: u32, size: MemSize },
-    Fetch { addr: u32 },
-    WalkRead { addr: u32 },
+    Write {
+        addr: u32,
+        size: MemSize,
+        value: u32,
+    },
+    Read {
+        addr: u32,
+        size: MemSize,
+    },
+    Fetch {
+        addr: u32,
+    },
+    WalkRead {
+        addr: u32,
+    },
     Flush,
 }
 
@@ -20,15 +31,25 @@ fn aligned(addr: u32, size: MemSize) -> u32 {
 }
 
 fn any_size() -> impl Strategy<Value = MemSize> {
-    prop_oneof![Just(MemSize::Word), Just(MemSize::Byte), Just(MemSize::Half)]
+    prop_oneof![
+        Just(MemSize::Word),
+        Just(MemSize::Byte),
+        Just(MemSize::Half)
+    ]
 }
 
 fn any_op(mem_bytes: u32) -> impl Strategy<Value = Op> {
     let addr = 0u32..(mem_bytes - 4);
     prop_oneof![
-        (addr.clone(), any_size(), any::<u32>())
-            .prop_map(|(a, s, v)| Op::Write { addr: aligned(a, s), size: s, value: v }),
-        (addr.clone(), any_size()).prop_map(|(a, s)| Op::Read { addr: aligned(a, s), size: s }),
+        (addr.clone(), any_size(), any::<u32>()).prop_map(|(a, s, v)| Op::Write {
+            addr: aligned(a, s),
+            size: s,
+            value: v
+        }),
+        (addr.clone(), any_size()).prop_map(|(a, s)| Op::Read {
+            addr: aligned(a, s),
+            size: s
+        }),
         addr.clone().prop_map(|a| Op::Fetch { addr: a & !3 }),
         addr.prop_map(|a| Op::WalkRead { addr: a & !3 }),
         Just(Op::Flush),

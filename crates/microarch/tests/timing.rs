@@ -10,7 +10,9 @@ fn machine() -> System<NullDevice> {
     let mut sys = System::new(MachineConfig::cortex_a9(), NullDevice);
     for mib in 0..2u32 {
         let l2 = 0x8000 + mib * 0x400;
-        sys.mem.phys.write(0x4000 + mib * 4, MemSize::Word, l1_entry(l2));
+        sys.mem
+            .phys
+            .write(0x4000 + mib * 4, MemSize::Word, l1_entry(l2));
         for page in 0..256u32 {
             sys.mem.phys.write(
                 l2 + page * 4,
@@ -113,7 +115,10 @@ fn mispredicted_branches_are_charged() {
     });
     // Not a strict accounting check — just that the alternating pattern
     // pays noticeably more than pure loop overhead would explain.
-    assert!(alternating > trained, "alternating {alternating} vs trained {trained}");
+    assert!(
+        alternating > trained,
+        "alternating {alternating} vs trained {trained}"
+    );
     let mut sys = machine();
     assert_eq!(sys.cpu.counters.branch_misses, 0);
     let _ = sys.step(); // touch the system so the variable is used
@@ -150,8 +155,16 @@ fn tlb_misses_are_counted_and_bounded() {
         }
     }
     let c = sys.cpu.counters;
-    assert!(c.dtlb_miss >= 128, "every new page must miss: {}", c.dtlb_miss);
-    assert!(c.dtlb_miss <= 140, "re-misses should be rare: {}", c.dtlb_miss);
+    assert!(
+        c.dtlb_miss >= 128,
+        "every new page must miss: {}",
+        c.dtlb_miss
+    );
+    assert!(
+        c.dtlb_miss <= 140,
+        "re-misses should be rare: {}",
+        c.dtlb_miss
+    );
     assert!(c.itlb_miss >= 1);
 }
 

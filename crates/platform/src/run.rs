@@ -6,6 +6,7 @@ use std::fmt;
 use sea_isa::Image;
 use sea_kernel::{install, BootInfo, InstallError, KernelConfig};
 use sea_microarch::{MachineConfig, StepOutcome, System};
+use sea_trace::{event, Level, Subsystem};
 
 use crate::board::Board;
 
@@ -66,8 +67,12 @@ pub enum FaultClass {
 
 impl FaultClass {
     /// All classes in reporting order.
-    pub const ALL: [FaultClass; 4] =
-        [FaultClass::Masked, FaultClass::Sdc, FaultClass::AppCrash, FaultClass::SysCrash];
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::Masked,
+        FaultClass::Sdc,
+        FaultClass::AppCrash,
+        FaultClass::SysCrash,
+    ];
 }
 
 impl fmt::Display for FaultClass {
@@ -80,7 +85,6 @@ impl fmt::Display for FaultClass {
         })
     }
 }
-
 
 /// Per-class tallies of classified runs.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
@@ -139,11 +143,28 @@ impl ClassCounts {
 }
 
 /// Classifies a finished run against the golden output.
+///
+/// Output-overflow handling: an exit with overflowed output whose captured
+/// bytes never deviated from the golden stream (one is a prefix of the
+/// other) shows *runaway output*, not data corruption — the fault broke the
+/// application's control flow, so it counts as an application crash, the
+/// same bucket the beam harness uses when it must restart a flooding app.
+/// Any byte deviation in the captured output is evidence of corruption and
+/// stays SDC.
 pub fn classify(outcome: &RunOutcome, golden: &[u8]) -> FaultClass {
     match outcome {
-        RunOutcome::Exited { code, output, overflow } => {
+        RunOutcome::Exited {
+            code,
+            output,
+            overflow,
+        } => {
             if *code == 0 && !*overflow && output == golden {
                 FaultClass::Masked
+            } else if *code == 0
+                && *overflow
+                && (output.starts_with(golden) || golden.starts_with(output))
+            {
+                FaultClass::AppCrash
             } else {
                 FaultClass::Sdc
             }
@@ -180,6 +201,29 @@ impl RunLimits {
 /// application exit, vector lock-up, unexpected halt, cycle budget
 /// exhaustion (split into app-hang vs kernel-hang by the tick heartbeat).
 pub fn run(sys: &mut System<Board>, limits: RunLimits) -> RunOutcome {
+    let outcome = run_inner(sys, limits);
+    event!(Subsystem::Platform, Level::Info, "platform.run_end";
+           cycle = sys.cycles();
+           "outcome" => outcome_name(&outcome),
+           "ticks" => sys.dev.tick_count(),
+           "output_bytes" => sys.dev.output().len());
+    outcome
+}
+
+/// Short stable name of a terminal state (used in trace records).
+fn outcome_name(outcome: &RunOutcome) -> &'static str {
+    match outcome {
+        RunOutcome::Exited { .. } => "exited",
+        RunOutcome::AppCrash(AppCrashKind::Signal(_)) => "signal",
+        RunOutcome::AppCrash(AppCrashKind::Hang) => "hang",
+        RunOutcome::SysCrash(SysCrashKind::Panic(_)) => "panic",
+        RunOutcome::SysCrash(SysCrashKind::KernelHang) => "kernel_hang",
+        RunOutcome::SysCrash(SysCrashKind::LockedUp) => "locked_up",
+        RunOutcome::SysCrash(SysCrashKind::UnexpectedHalt) => "unexpected_halt",
+    }
+}
+
+fn run_inner(sys: &mut System<Board>, limits: RunLimits) -> RunOutcome {
     loop {
         let step = sys.step();
         let now = sys.cycles();
@@ -293,16 +337,31 @@ pub fn golden_run(
     budget_cycles: u64,
 ) -> Result<GoldenRun, GoldenError> {
     let (mut sys, boot) = boot(machine, user, kernel).map_err(GoldenError::Install)?;
-    let limits = RunLimits { max_cycles: budget_cycles, tick_window: u64::MAX };
+    let limits = RunLimits {
+        max_cycles: budget_cycles,
+        tick_window: u64::MAX,
+    };
+    let span = sea_trace::span(Subsystem::Platform, Level::Info, "platform.golden");
     match run(&mut sys, limits) {
-        RunOutcome::Exited { code: 0, output, overflow: false } => Ok(GoldenRun {
+        RunOutcome::Exited {
+            code: 0,
             output,
-            exit_code: 0,
-            cycles: sys.cycles(),
-            instructions: sys.cpu.counters.instructions,
-            counters: sys.cpu.counters,
-            boot,
-        }),
+            overflow: false,
+        } => {
+            if let Some(mut s) = span {
+                s.field("cycles", sys.cycles());
+                s.field("instructions", sys.cpu.counters.instructions);
+                s.field("output_bytes", output.len());
+            }
+            Ok(GoldenRun {
+                output,
+                exit_code: 0,
+                cycles: sys.cycles(),
+                instructions: sys.cpu.counters.instructions,
+                counters: sys.cpu.counters,
+                boot,
+            })
+        }
         other => Err(GoldenError::NotClean(other)),
     }
 }

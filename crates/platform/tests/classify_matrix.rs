@@ -5,26 +5,105 @@ use sea_platform::{classify, AppCrashKind, ClassCounts, FaultClass, RunOutcome, 
 
 #[test]
 fn exit_zero_matching_output_is_masked() {
-    let out = RunOutcome::Exited { code: 0, output: b"ok".to_vec(), overflow: false };
+    let out = RunOutcome::Exited {
+        code: 0,
+        output: b"ok".to_vec(),
+        overflow: false,
+    };
     assert_eq!(classify(&out, b"ok"), FaultClass::Masked);
 }
 
 #[test]
 fn any_output_deviation_is_sdc() {
     for out in [
-        RunOutcome::Exited { code: 0, output: b"bad".to_vec(), overflow: false },
-        RunOutcome::Exited { code: 1, output: b"ok".to_vec(), overflow: false },
-        RunOutcome::Exited { code: 0, output: b"ok".to_vec(), overflow: true },
-        RunOutcome::Exited { code: 0, output: Vec::new(), overflow: false },
+        RunOutcome::Exited {
+            code: 0,
+            output: b"bad".to_vec(),
+            overflow: false,
+        },
+        RunOutcome::Exited {
+            code: 1,
+            output: b"ok".to_vec(),
+            overflow: false,
+        },
+        RunOutcome::Exited {
+            code: 0,
+            output: b"oops".to_vec(),
+            overflow: true,
+        },
+        RunOutcome::Exited {
+            code: 0,
+            output: Vec::new(),
+            overflow: false,
+        },
     ] {
         assert_eq!(classify(&out, b"ok"), FaultClass::Sdc, "{out:?}");
     }
 }
 
 #[test]
+fn overflow_with_correct_bytes_is_app_crash_not_sdc() {
+    // Runaway writer: the board cap truncated the stream, but every byte
+    // captured matches the golden prefix. No corruption evidence — the
+    // paper's beam harness restarts such apps, it does not count an SDC.
+    let truncated = RunOutcome::Exited {
+        code: 0,
+        output: b"ok".to_vec(),
+        overflow: true,
+    };
+    assert_eq!(classify(&truncated, b"okok"), FaultClass::AppCrash);
+    // Symmetric case: the run emitted *more* correct output than golden
+    // before hitting the cap (e.g. the loop bound was corrupted upward).
+    let extended = RunOutcome::Exited {
+        code: 0,
+        output: b"okokok".to_vec(),
+        overflow: true,
+    };
+    assert_eq!(classify(&extended, b"okok"), FaultClass::AppCrash);
+}
+
+#[test]
+fn overflow_with_deviating_bytes_stays_sdc() {
+    let out = RunOutcome::Exited {
+        code: 0,
+        output: b"oXok".to_vec(),
+        overflow: true,
+    };
+    assert_eq!(classify(&out, b"okok"), FaultClass::Sdc);
+    // Nonzero exit code disqualifies the runaway-output carve-out.
+    let bad_exit = RunOutcome::Exited {
+        code: 1,
+        output: b"ok".to_vec(),
+        overflow: true,
+    };
+    assert_eq!(classify(&bad_exit, b"okok"), FaultClass::Sdc);
+}
+
+#[test]
+fn unexpected_halt_is_sys_crash() {
+    let out = RunOutcome::SysCrash(SysCrashKind::UnexpectedHalt);
+    assert_eq!(classify(&out, b"ok"), FaultClass::SysCrash);
+}
+
+#[test]
+fn app_hang_and_kernel_hang_land_in_different_classes() {
+    // §IV-D: an application stuck while the kernel tick still fires is an
+    // application crash (the workload can be restarted); a dead kernel
+    // heartbeat is a system crash (the board needs a power cycle).
+    let app = RunOutcome::AppCrash(AppCrashKind::Hang);
+    let kernel = RunOutcome::SysCrash(SysCrashKind::KernelHang);
+    assert_eq!(classify(&app, b"ok"), FaultClass::AppCrash);
+    assert_eq!(classify(&kernel, b"ok"), FaultClass::SysCrash);
+    assert_ne!(classify(&app, b"ok"), classify(&kernel, b"ok"));
+}
+
+#[test]
 fn crash_kinds_map_to_their_classes() {
     for kind in [AppCrashKind::Signal(7), AppCrashKind::Hang] {
-        assert_eq!(classify(&RunOutcome::AppCrash(kind), b""), FaultClass::AppCrash);
+        assert_eq!(
+            classify(&RunOutcome::AppCrash(kind), b""),
+            FaultClass::AppCrash
+        );
     }
     for kind in [
         SysCrashKind::Panic(1),
@@ -32,7 +111,10 @@ fn crash_kinds_map_to_their_classes() {
         SysCrashKind::LockedUp,
         SysCrashKind::UnexpectedHalt,
     ] {
-        assert_eq!(classify(&RunOutcome::SysCrash(kind), b""), FaultClass::SysCrash);
+        assert_eq!(
+            classify(&RunOutcome::SysCrash(kind), b""),
+            FaultClass::SysCrash
+        );
     }
 }
 

@@ -8,8 +8,7 @@ use sea_microarch::{
     MachineConfig, ESR_CLASS_DATA_ABORT, ESR_CLASS_PREFETCH_ABORT, ESR_CLASS_UNDEFINED,
 };
 use sea_platform::{
-    boot, classify, golden_run, run, AppCrashKind, FaultClass, RunLimits, RunOutcome,
-    SysCrashKind,
+    boot, classify, golden_run, run, AppCrashKind, FaultClass, RunLimits, RunOutcome, SysCrashKind,
 };
 
 fn build_user(body: impl FnOnce(&mut Asm)) -> Image {
@@ -21,7 +20,10 @@ fn build_user(body: impl FnOnce(&mut Asm)) -> Image {
 }
 
 fn limits() -> RunLimits {
-    RunLimits { max_cycles: 3_000_000, tick_window: 200_000 }
+    RunLimits {
+        max_cycles: 3_000_000,
+        tick_window: 200_000,
+    }
 }
 
 #[test]
@@ -39,7 +41,11 @@ fn hello_exits_cleanly_with_output() {
     let (mut sys, _) = boot(MachineConfig::cortex_a9(), &img, &KernelConfig::default()).unwrap();
     let out = run(&mut sys, limits());
     match &out {
-        RunOutcome::Exited { code, output, overflow } => {
+        RunOutcome::Exited {
+            code,
+            output,
+            overflow,
+        } => {
             assert_eq!(*code, 0);
             assert_eq!(output.as_slice(), b"hello, world\n");
             assert!(!overflow);
@@ -62,8 +68,13 @@ fn golden_run_captures_counters_and_cycles() {
         a.bytes(b"data");
         a.section(sea_isa::Section::Text);
     });
-    let g = golden_run(MachineConfig::cortex_a9(), &img, &KernelConfig::default(), 3_000_000)
-        .unwrap();
+    let g = golden_run(
+        MachineConfig::cortex_a9(),
+        &img,
+        &KernelConfig::default(),
+        3_000_000,
+    )
+    .unwrap();
     assert_eq!(g.output, b"data");
     assert!(g.cycles > 0 && g.instructions > 0);
     assert!(g.counters.l1i_miss > 0, "cold caches must miss");
@@ -84,7 +95,11 @@ fn timer_ticks_arrive_during_long_runs() {
     let (mut sys, _) = boot(MachineConfig::cortex_a9(), &img, &KernelConfig::default()).unwrap();
     let out = run(&mut sys, limits());
     assert!(matches!(out, RunOutcome::Exited { code: 0, .. }));
-    assert!(sys.dev.tick_count() >= 3, "expected several scheduler ticks, got {}", sys.dev.tick_count());
+    assert!(
+        sys.dev.tick_count() >= 3,
+        "expected several scheduler ticks, got {}",
+        sys.dev.tick_count()
+    );
 }
 
 #[test]
@@ -160,7 +175,13 @@ fn infinite_loop_is_an_app_hang_not_a_system_crash() {
         a.b(lp);
     });
     let (mut sys, _) = boot(MachineConfig::cortex_a9(), &img, &KernelConfig::default()).unwrap();
-    let out = run(&mut sys, RunLimits { max_cycles: 500_000, tick_window: 200_000 });
+    let out = run(
+        &mut sys,
+        RunLimits {
+            max_cycles: 500_000,
+            tick_window: 200_000,
+        },
+    );
     // The kernel keeps ticking under the spinning app, so the watchdog
     // attributes the hang to the application.
     assert_eq!(out, RunOutcome::AppCrash(AppCrashKind::Hang));
@@ -268,7 +289,13 @@ fn corrupted_kernel_text_escalates_to_system_crash() {
     for off in (0x100..0x400u32).step_by(4) {
         sys.mem.phys.write(off, sea_isa::MemSize::Word, 0xE900_0000);
     }
-    let out = run(&mut sys, RunLimits { max_cycles: 2_000_000, tick_window: 200_000 });
+    let out = run(
+        &mut sys,
+        RunLimits {
+            max_cycles: 2_000_000,
+            tick_window: 200_000,
+        },
+    );
     match out {
         RunOutcome::SysCrash(SysCrashKind::Panic(_) | SysCrashKind::KernelHang) => {}
         other => panic!("expected a system crash, got {other:?}"),
@@ -293,11 +320,23 @@ fn corrupted_runqueue_pointer_panics_the_kernel() {
     // Node 0's `next` word lives at KERNEL_DATA + 12 bytes (after ticks,
     // brk, kstat); point it at an unmapped kernel address.
     let next_addr = sea_kernel::KERNEL_DATA + 12;
-    sys.mem.phys.write(next_addr, sea_isa::MemSize::Word, 0x00F0_0000);
-    let out = run(&mut sys, RunLimits { max_cycles: 3_000_000, tick_window: 200_000 });
+    sys.mem
+        .phys
+        .write(next_addr, sea_isa::MemSize::Word, 0x00F0_0000);
+    let out = run(
+        &mut sys,
+        RunLimits {
+            max_cycles: 3_000_000,
+            tick_window: 200_000,
+        },
+    );
     match out {
         RunOutcome::SysCrash(SysCrashKind::Panic(esr)) => {
-            assert_eq!(esr >> 24, ESR_CLASS_DATA_ABORT, "panic cause should be a data abort");
+            assert_eq!(
+                esr >> 24,
+                ESR_CLASS_DATA_ABORT,
+                "panic cause should be a data abort"
+            );
         }
         other => panic!("expected kernel panic, got {other:?}"),
     }
@@ -317,7 +356,10 @@ fn postmortem_reports_crash_state_and_trace() {
     let report = sea_platform::postmortem(&sys);
     assert!(report.contains("far=0x60000000"), "report: {report}");
     assert!(report.contains("signal=Some"), "report: {report}");
-    assert!(report.contains("trace:"), "trace must be present when enabled");
+    assert!(
+        report.contains("trace:"),
+        "trace must be present when enabled"
+    );
 }
 
 #[test]
@@ -344,9 +386,10 @@ fn write_of_unmapped_user_range_is_a_kernel_panic_by_design() {
 }
 
 #[test]
-fn output_overflow_is_flagged_and_classified_sdc() {
+fn output_overflow_is_flagged_and_never_masked() {
     // A runaway writer hits the board's output cap; the run still exits
-    // but can never be Masked.
+    // but can never be Masked. Every captured byte matches the golden
+    // prefix, so this is a runaway app (AppCrash), not data corruption.
     let img = build_user(|a| {
         let lp = a.label("lp");
         let buf = a.label("buf");
@@ -368,11 +411,29 @@ fn output_overflow_is_flagged_and_classified_sdc() {
     sea_kernel::install(&mut sys, &img, &KernelConfig::default()).unwrap();
     let out = run(&mut sys, limits());
     match &out {
-        RunOutcome::Exited { overflow, output, .. } => {
+        RunOutcome::Exited {
+            overflow, output, ..
+        } => {
             assert!(*overflow);
             assert_eq!(output.len(), 512);
         }
         other => panic!("unexpected outcome: {other:?}"),
     }
-    assert_eq!(classify(&out, &vec![0u8; 4096]), FaultClass::Sdc);
+    assert_eq!(classify(&out, &vec![0u8; 4096]), FaultClass::AppCrash);
+    // A deviating byte inside the truncated capture is still corruption.
+    if let RunOutcome::Exited {
+        output,
+        overflow,
+        code,
+    } = out
+    {
+        let mut corrupted = output;
+        corrupted[17] ^= 0x40;
+        let tampered = RunOutcome::Exited {
+            code,
+            output: corrupted,
+            overflow,
+        };
+        assert_eq!(classify(&tampered, &vec![0u8; 4096]), FaultClass::Sdc);
+    }
 }

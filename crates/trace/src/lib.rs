@@ -1,0 +1,342 @@
+//! # sea-trace — structured tracing for the SEA simulator stack
+//!
+//! A zero-dependency (deliberately no `serde`, see DESIGN.md §5) structured
+//! event and metrics layer. Every campaign becomes an inspectable dataset:
+//! fault-provenance records from `sea-microarch`, per-worker throughput and
+//! class distributions from `sea-injection`, strike logs and fluence
+//! accounting from `sea-beam` — all as JSON-Lines or ASCII summaries.
+//!
+//! ## Design
+//!
+//! * **Fast path first.** [`enabled`] is a single `Relaxed` atomic load of a
+//!   packed per-subsystem level filter. With tracing disabled (the default)
+//!   no event is constructed, so the hot simulator loop pays one predictable
+//!   branch and **zero heap allocations** (guarded by a test).
+//! * **Lock-free-ish collection.** Emitted events land in a per-thread ring
+//!   buffer and are flushed to the installed [`Sink`] in batches, so worker
+//!   threads do not contend on a lock per event.
+//! * **Hand-rolled JSON.** Events serialize to JSON-Lines through
+//!   [`json::write_event`]; [`json::parse`] is a small validating parser so
+//!   tests (and downstream tools) can round-trip traces without serde.
+//!
+//! ## Quick use
+//!
+//! ```ignore
+//! sea_trace::set_level_all(sea_trace::Level::Info);
+//! sea_trace::install_sink(std::sync::Arc::new(
+//!     sea_trace::JsonlSink::create("campaign.jsonl")?,
+//! ));
+//! sea_trace::event!(Subsystem::Injection, Level::Info, "injection.flip",
+//!     "component" => "L1D", "bit" => 1234u64);
+//! sea_trace::shutdown(); // flush rings + sink
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+mod progress;
+mod ring;
+mod sink;
+mod span;
+
+pub use metrics::{Counter, HistSnapshot, Histogram};
+pub use progress::{progress_enabled, set_progress, Progress};
+pub use ring::{drain_thread_ring, flush_thread};
+#[doc(hidden)]
+pub use sink::test_lock;
+pub use sink::{
+    install_sink, shutdown, uninstall_sink, JsonlSink, MemorySink, Sink, SummarySink, Tee,
+};
+pub use span::{span, SpanGuard};
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// The originating layer of an event. Each subsystem carries its own level
+/// filter, packed 3 bits wide into one shared atomic word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Subsystem {
+    /// CPU/cache/TLB model (`sea-microarch`), incl. fault provenance.
+    Microarch = 0,
+    /// Guest kernel and platform harness (`sea-platform`).
+    Platform = 1,
+    /// Statistical fault-injection campaigns (`sea-injection`).
+    Injection = 2,
+    /// Beam-session Monte Carlo (`sea-beam`).
+    Beam = 3,
+    /// Post-processing and reporting (`sea-analysis`).
+    Analysis = 4,
+    /// Entry points and study orchestration (`sea-bench`, `sea-core`).
+    Harness = 5,
+}
+
+impl Subsystem {
+    /// All subsystems, index-aligned with the discriminant.
+    pub const ALL: [Subsystem; 6] = [
+        Subsystem::Microarch,
+        Subsystem::Platform,
+        Subsystem::Injection,
+        Subsystem::Beam,
+        Subsystem::Analysis,
+        Subsystem::Harness,
+    ];
+
+    /// Stable lowercase name (used as the JSON `sub` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsystem::Microarch => "microarch",
+            Subsystem::Platform => "platform",
+            Subsystem::Injection => "injection",
+            Subsystem::Beam => "beam",
+            Subsystem::Analysis => "analysis",
+            Subsystem::Harness => "harness",
+        }
+    }
+
+    /// Parse a subsystem from its [`name`](Subsystem::name).
+    pub fn from_name(s: &str) -> Option<Subsystem> {
+        Subsystem::ALL.into_iter().find(|sub| sub.name() == s)
+    }
+}
+
+/// Event severity / verbosity. Level `n` is emitted when the subsystem's
+/// filter is `>= n`; a filter of 0 means off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-corrupting conditions.
+    Error = 1,
+    /// Suspicious but survivable conditions.
+    Warn = 2,
+    /// Campaign-grade records (provenance, strikes, worker stats).
+    Info = 3,
+    /// Per-hop propagation detail.
+    Debug = 4,
+    /// Firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// Stable lowercase name (used as the JSON `level` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Packed per-subsystem level filter: 3 bits per subsystem, all in one
+/// atomic so [`enabled`] is a single load.
+static FILTER: AtomicU32 = AtomicU32::new(0);
+
+/// Is an event at `level` from `sub` currently recorded? This is the hot-
+/// path check: exactly one `Relaxed` atomic load, a shift, and a compare.
+#[inline]
+pub fn enabled(sub: Subsystem, level: Level) -> bool {
+    let f = FILTER.load(Ordering::Relaxed);
+    (f >> (3 * sub as u32)) & 0x7 >= level as u32
+}
+
+/// Set one subsystem's maximum recorded level.
+pub fn set_level(sub: Subsystem, level: Level) {
+    let shift = 3 * sub as u32;
+    let mut cur = FILTER.load(Ordering::Relaxed);
+    loop {
+        let next = (cur & !(0x7 << shift)) | ((level as u32) << shift);
+        match FILTER.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Set every subsystem to the same maximum level.
+pub fn set_level_all(level: Level) {
+    let mut word = 0u32;
+    for sub in Subsystem::ALL {
+        word |= (level as u32) << (3 * sub as u32);
+    }
+    FILTER.store(word, Ordering::Relaxed);
+}
+
+/// Turn all tracing off (the default state).
+pub fn disable_all() {
+    FILTER.store(0, Ordering::Relaxed);
+}
+
+/// A field value. Numbers keep their native width; `Str` carries static
+/// names, `Text` owned strings.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Static string (no allocation).
+    Str(&'static str),
+    /// Owned string.
+    Text(String),
+}
+
+macro_rules! value_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::$variant(v as $conv) }
+        }
+    )*};
+}
+
+value_from! {
+    u64 => U64 as u64, u32 => U64 as u64, u16 => U64 as u64, u8 => U64 as u64,
+    usize => U64 as u64, i64 => I64 as i64, i32 => I64 as i64,
+    f64 => F64 as f64, f32 => F64 as f64,
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Text(v)
+    }
+}
+
+/// One structured trace record.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Originating subsystem.
+    pub sub: Subsystem,
+    /// Severity.
+    pub level: Level,
+    /// Dotted event name, e.g. `injection.provenance`.
+    pub name: &'static str,
+    /// Simulated cycle the event refers to, if meaningful.
+    pub cycle: Option<u64>,
+    /// Named payload fields, in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Build an event with no fields.
+    pub fn new(sub: Subsystem, level: Level, name: &'static str) -> Event {
+        Event {
+            sub,
+            level,
+            name,
+            cycle: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach the simulated cycle.
+    pub fn at_cycle(mut self, cycle: u64) -> Event {
+        self.cycle = Some(cycle);
+        self
+    }
+
+    /// Attach one field.
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Event {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Look up a field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Record an event. Call only after [`enabled`] returned true (the
+/// [`event!`] macro does this for you); calling it unconditionally is
+/// correct but wastes the event construction when tracing is off.
+pub fn emit(event: Event) {
+    ring::push(event);
+}
+
+/// Emit a structured event if its (subsystem, level) is enabled. Fields are
+/// not even constructed when disabled — this is the zero-allocation fast
+/// path.
+///
+/// ```ignore
+/// event!(Subsystem::Injection, Level::Info, "injection.flip";
+///        cycle = 1234; "component" => "L1D", "bit" => 77u64);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($sub:expr, $level:expr, $name:expr; cycle = $cycle:expr $(; $($k:expr => $v:expr),+ $(,)?)?) => {
+        if $crate::enabled($sub, $level) {
+            let ev = $crate::Event::new($sub, $level, $name).at_cycle($cycle);
+            $($(let ev = ev.field($k, $v);)+)?
+            $crate::emit(ev);
+        }
+    };
+    ($sub:expr, $level:expr, $name:expr $(; $($k:expr => $v:expr),+ $(,)?)?) => {
+        if $crate::enabled($sub, $level) {
+            let ev = $crate::Event::new($sub, $level, $name);
+            $($(let ev = ev.field($k, $v);)+)?
+            $crate::emit(ev);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_is_per_subsystem() {
+        disable_all();
+        assert!(!enabled(Subsystem::Injection, Level::Error));
+        set_level(Subsystem::Injection, Level::Info);
+        assert!(enabled(Subsystem::Injection, Level::Info));
+        assert!(!enabled(Subsystem::Injection, Level::Debug));
+        assert!(!enabled(Subsystem::Beam, Level::Error));
+        set_level_all(Level::Trace);
+        for sub in Subsystem::ALL {
+            assert!(enabled(sub, Level::Trace));
+        }
+        disable_all();
+        for sub in Subsystem::ALL {
+            assert!(!enabled(sub, Level::Error));
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for sub in Subsystem::ALL {
+            assert_eq!(Subsystem::from_name(sub.name()), Some(sub));
+        }
+        assert_eq!(Subsystem::from_name("nope"), None);
+    }
+
+    #[test]
+    fn event_builder_and_get() {
+        let ev = Event::new(Subsystem::Beam, Level::Info, "beam.strike")
+            .at_cycle(42)
+            .field("bit", 7u64)
+            .field("origin", "Sram");
+        assert_eq!(ev.cycle, Some(42));
+        assert_eq!(ev.get("bit"), Some(&Value::U64(7)));
+        assert_eq!(ev.get("origin"), Some(&Value::Str("Sram")));
+        assert_eq!(ev.get("missing"), None);
+    }
+}

@@ -1,0 +1,277 @@
+//! Monotonic counters and log2-bucketed histograms.
+//!
+//! Both are atomic and cheap enough to live in hot loops; both render to
+//! ASCII for the trace summary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named monotonic counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter (usable in statics).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: bucket `i` holds values whose bit length is `i`
+/// (bucket 0 is the value 0, bucket 1 is 1, bucket 2 is 2–3, …, bucket 64
+/// is values ≥ 2^63).
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Bucket index of a value: its bit length.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Lower bound of bucket `i` (inclusive).
+pub fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Upper bound of bucket `i` (inclusive).
+pub fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (usable in statics).
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for rendering.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            name: self.name.to_string(),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`] (also buildable directly from
+/// samples, e.g. when reconstructing from trace events).
+#[derive(Clone, Debug)]
+pub struct HistSnapshot {
+    /// Display name.
+    pub name: String,
+    /// Per-bucket counts (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot with a name.
+    pub fn empty(name: impl Into<String>) -> HistSnapshot {
+        HistSnapshot {
+            name: name.into(),
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record a sample into the snapshot (builder use).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Mean sample value.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in [0,1]: upper bound of the bucket holding
+    /// the q-th sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_hi(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Render as an ASCII bar chart, one row per non-empty bucket range.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = format!(
+            "{}: n={} mean={:.1} p50≈{} p99≈{} max={}\n",
+            self.name,
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max,
+        );
+        if self.count == 0 {
+            out.push_str("  (no samples)\n");
+            return out;
+        }
+        let lo = self.buckets.iter().position(|&n| n > 0).unwrap_or(0);
+        let hi = BUCKETS - 1 - self.buckets.iter().rev().position(|&n| n > 0).unwrap_or(0);
+        let peak = *self.buckets.iter().max().unwrap();
+        for i in lo..=hi {
+            let n = self.buckets[i];
+            let bar = (n as f64 / peak as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "  [{:>12} .. {:>12}] {:>8} |{}\n",
+                bucket_lo(i),
+                bucket_hi(i),
+                n,
+                "#".repeat(bar),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        static C: Counter = Counter::new("test.counter");
+        C.add(5);
+        C.inc();
+        assert_eq!(C.get(), 6);
+        assert_eq!(C.name(), "test.counter");
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..64 {
+            assert_eq!(bucket_of(bucket_lo(i)), i);
+            assert_eq!(bucket_of(bucket_hi(i)), i);
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_render() {
+        let h = Histogram::new("lat");
+        for v in [0, 1, 2, 3, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 101_106);
+        assert_eq!(s.max, 100_000);
+        assert!(s.mean() > 14_000.0 && s.mean() < 15_000.0);
+        assert!(s.quantile(1.0) >= 100_000);
+        assert!(s.quantile(0.01) <= 1);
+        let r = s.render(40);
+        assert!(r.contains("lat: n=7"), "{r}");
+        assert!(r.contains('#'), "{r}");
+    }
+
+    #[test]
+    fn snapshot_builder_matches_atomic_path() {
+        let h = Histogram::new("x");
+        let mut b = HistSnapshot::empty("x");
+        for v in [7u64, 9, 11, 13_000] {
+            h.record(v);
+            b.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, b.buckets);
+        assert_eq!(s.count, b.count);
+        assert_eq!(s.sum, b.sum);
+        assert_eq!(s.max, b.max);
+    }
+}

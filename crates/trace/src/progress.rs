@@ -1,0 +1,175 @@
+//! Live campaign progress: runs/sec, class distribution, ETA.
+//!
+//! Shared by injection campaigns and beam sessions. Workers call
+//! [`Progress::record`] after each run; one of them (whichever crosses the
+//! throttle window first) prints a single-line status to stderr. All state
+//! is atomic — no locks on the worker path.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Global switch for progress meters (the `--progress` flag).
+static PROGRESS_ON: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable progress meters process-wide.
+pub fn set_progress(on: bool) {
+    PROGRESS_ON.store(on, Ordering::Relaxed);
+}
+
+/// Are progress meters enabled?
+pub fn progress_enabled() -> bool {
+    PROGRESS_ON.load(Ordering::Relaxed)
+}
+
+/// Minimum milliseconds between printed status lines.
+const THROTTLE_MS: u64 = 200;
+
+/// A progress meter over a known number of runs, with per-class counts.
+pub struct Progress {
+    label: String,
+    total: u64,
+    class_names: &'static [&'static str],
+    done: AtomicU64,
+    classes: Vec<AtomicU64>,
+    start: Instant,
+    last_print_ms: AtomicU64,
+    active: bool,
+}
+
+impl Progress {
+    /// A meter for `total` runs labeled `label`, tracking one counter per
+    /// entry of `class_names`. Inactive (all methods cheap no-ops beyond
+    /// counting) unless [`set_progress`] was turned on.
+    pub fn new(
+        label: impl Into<String>,
+        total: u64,
+        class_names: &'static [&'static str],
+    ) -> Progress {
+        Progress {
+            label: label.into(),
+            total,
+            class_names,
+            done: AtomicU64::new(0),
+            classes: (0..class_names.len()).map(|_| AtomicU64::new(0)).collect(),
+            start: Instant::now(),
+            last_print_ms: AtomicU64::new(0),
+            active: progress_enabled(),
+        }
+    }
+
+    /// Record one completed run of class `class` (index into the meter's
+    /// class names; `None` counts only the total).
+    pub fn record(&self, class: Option<usize>) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(c) = class {
+            if let Some(slot) = self.classes.get(c) {
+                slot.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if self.active {
+            self.maybe_print(done, false);
+        }
+    }
+
+    /// Runs completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Elapsed wall-clock seconds since creation.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Overall runs/second so far.
+    pub fn runs_per_sec(&self) -> f64 {
+        let secs = self.elapsed_secs();
+        if secs > 0.0 {
+            self.done() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Per-class counts, index-aligned with the constructor's names.
+    pub fn class_counts(&self) -> Vec<u64> {
+        self.classes
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Print a final status line (if active) and return (done, secs).
+    pub fn finish(&self) -> (u64, f64) {
+        let done = self.done();
+        if self.active {
+            self.maybe_print(done, true);
+            eprintln!();
+        }
+        (done, self.elapsed_secs())
+    }
+
+    fn maybe_print(&self, done: u64, force: bool) {
+        let now_ms = self.start.elapsed().as_millis() as u64;
+        let last = self.last_print_ms.load(Ordering::Relaxed);
+        if !force && (now_ms < last.saturating_add(THROTTLE_MS)) {
+            return;
+        }
+        // One printer at a time; losers just skip.
+        if self
+            .last_print_ms
+            .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+            && !force
+        {
+            return;
+        }
+        let secs = self.elapsed_secs();
+        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        let eta = if rate > 0.0 && self.total > done {
+            (self.total - done) as f64 / rate
+        } else {
+            0.0
+        };
+        let mut line = format!(
+            "\r{}: {}/{} ({:.0}/s, ETA {:.0}s)",
+            self.label, done, self.total, rate, eta
+        );
+        for (name, slot) in self.class_names.iter().zip(&self.classes) {
+            line.push_str(&format!(" {}={}", name, slot.load(Ordering::Relaxed)));
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = err.write_all(line.as_bytes());
+        let _ = err.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_without_printing_when_disabled() {
+        set_progress(false);
+        let p = Progress::new("test", 10, &["a", "b"]);
+        for i in 0..10 {
+            p.record(Some(i % 2));
+        }
+        assert_eq!(p.done(), 10);
+        assert_eq!(p.class_counts(), vec![5, 5]);
+        let (done, secs) = p.finish();
+        assert_eq!(done, 10);
+        assert!(secs >= 0.0);
+        assert!(p.runs_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn out_of_range_class_is_ignored() {
+        let p = Progress::new("test", 2, &["only"]);
+        p.record(Some(5));
+        p.record(None);
+        assert_eq!(p.done(), 2);
+        assert_eq!(p.class_counts(), vec![0]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-thread ring-buffer collection.
+//!
+//! Events are pushed to a thread-local buffer and flushed to the global
+//! [`Sink`](crate::Sink) in batches (on buffer-full, explicit flush, or
+//! thread exit), so worker threads never contend on a lock per event.
+
+use crate::sink;
+use crate::Event;
+use std::cell::RefCell;
+
+/// Events buffered per thread before a batch flush.
+const BATCH: usize = 128;
+
+struct Ring {
+    buf: Vec<Event>,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring { buf: Vec::new() }
+    }
+
+    fn push(&mut self, ev: Event) {
+        if self.buf.capacity() == 0 {
+            self.buf.reserve(BATCH);
+        }
+        self.buf.push(ev);
+        if self.buf.len() >= BATCH {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            sink::deliver(&self.buf);
+            self.buf.clear();
+        }
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static RING: RefCell<Ring> = RefCell::new(Ring::new());
+}
+
+pub(crate) fn push(ev: Event) {
+    // `try_with` so emission during thread teardown degrades to a direct
+    // delivery instead of a panic.
+    let mut ev = Some(ev);
+    let delivered = RING
+        .try_with(|r| r.borrow_mut().push(ev.take().expect("event")))
+        .is_ok();
+    if !delivered {
+        if let Some(ev) = ev {
+            sink::deliver(std::slice::from_ref(&ev));
+        }
+    }
+}
+
+/// Flush this thread's buffered events to the installed sink.
+pub fn flush_thread() {
+    let _ = RING.try_with(|r| r.borrow_mut().flush());
+}
+
+/// Flush and return this thread's buffered events *without* delivering them
+/// to the sink — for tests that inspect the stream directly.
+pub fn drain_thread_ring() -> Vec<Event> {
+    RING.try_with(|r| std::mem::take(&mut r.borrow_mut().buf))
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{set_level_all, sink, Event, Level, MemorySink, Subsystem};
+    use std::sync::Arc;
+
+    #[test]
+    fn batches_flush_on_boundary_and_shutdown() {
+        let _guard = sink::test_lock();
+        let mem = Arc::new(MemorySink::new());
+        sink::install_sink(mem.clone());
+        set_level_all(Level::Trace);
+
+        for i in 0..super::BATCH + 3 {
+            crate::emit(
+                Event::new(Subsystem::Harness, Level::Info, "ring.test").field("i", i as u64),
+            );
+        }
+        // One full batch must already have landed; the tail is buffered.
+        let landed = mem
+            .snapshot()
+            .iter()
+            .filter(|e| e.name == "ring.test")
+            .count();
+        assert!(landed >= super::BATCH, "landed {landed}");
+        super::flush_thread();
+        let landed = mem
+            .snapshot()
+            .iter()
+            .filter(|e| e.name == "ring.test")
+            .count();
+        assert_eq!(landed, super::BATCH + 3);
+
+        crate::disable_all();
+        sink::uninstall_sink();
+    }
+}

@@ -1,0 +1,284 @@
+//! Event sinks: where flushed batches go.
+
+use crate::json;
+use crate::Event;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A destination for event batches. Implementations must not emit events
+/// themselves (delivery happens under the per-thread ring borrow).
+pub trait Sink: Send + Sync {
+    /// Receive one flushed batch, in emission order for the source thread.
+    fn record(&self, events: &[Event]);
+
+    /// Push any buffered output to its final destination.
+    fn flush(&self) {}
+}
+
+static SINK: Mutex<Option<Arc<dyn Sink>>> = Mutex::new(None);
+static HAS_SINK: AtomicBool = AtomicBool::new(false);
+
+/// Install the process-wide sink (replacing any previous one, which is
+/// flushed first).
+pub fn install_sink(sink: Arc<dyn Sink>) {
+    let prev = SINK.lock().unwrap_or_else(|e| e.into_inner()).replace(sink);
+    HAS_SINK.store(true, Ordering::Release);
+    if let Some(prev) = prev {
+        prev.flush();
+    }
+}
+
+/// Remove the process-wide sink, flushing it. Buffered per-thread events
+/// emitted before this call but not yet flushed are dropped silently when
+/// their threads exit — call [`crate::flush_thread`] (or [`shutdown`]) from
+/// the emitting thread first.
+pub fn uninstall_sink() {
+    let prev = SINK.lock().unwrap_or_else(|e| e.into_inner()).take();
+    HAS_SINK.store(false, Ordering::Release);
+    if let Some(prev) = prev {
+        prev.flush();
+    }
+}
+
+/// Flush the calling thread's ring and the installed sink. Call once per
+/// thread of interest before process exit when writing JSONL files.
+pub fn shutdown() {
+    crate::flush_thread();
+    if let Some(s) = current() {
+        s.flush();
+    }
+}
+
+fn current() -> Option<Arc<dyn Sink>> {
+    if !HAS_SINK.load(Ordering::Acquire) {
+        return None;
+    }
+    SINK.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+pub(crate) fn deliver(events: &[Event]) {
+    if let Some(s) = current() {
+        s.record(events);
+    }
+}
+
+/// Serialize the global sink/filter state for tests that install sinks:
+/// hold this lock around install → emit → assert → uninstall.
+#[doc(hidden)]
+pub fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// JSON-Lines file sink: one event per line, hand-rolled serialization.
+pub struct JsonlSink {
+    w: Mutex<BufWriter<File>>,
+    lines: std::sync::atomic::AtomicU64,
+}
+
+impl JsonlSink {
+    /// Create (truncate) the target file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let f = File::create(path)?;
+        Ok(JsonlSink {
+            w: Mutex::new(BufWriter::new(f)),
+            lines: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Number of lines written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, events: &[Event]) {
+        let mut line = String::with_capacity(160);
+        let mut w = self.w.lock().unwrap_or_else(|e| e.into_inner());
+        for ev in events {
+            line.clear();
+            json::write_event(ev, &mut line);
+            line.push('\n');
+            if w.write_all(line.as_bytes()).is_ok() {
+                self.lines.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.w.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+}
+
+/// In-memory sink for tests and post-run summaries.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+    keep: Option<&'static [&'static str]>,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl MemorySink {
+    /// Keep every event.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Keep only events whose name is in `names`; others are counted but
+    /// not stored (bounds memory on long campaigns).
+    pub fn keeping(names: &'static [&'static str]) -> MemorySink {
+        MemorySink {
+            keep: Some(names),
+            ..MemorySink::default()
+        }
+    }
+
+    /// Copy of everything captured so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Take the captured events, leaving the sink empty.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Events filtered out by [`MemorySink::keeping`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, events: &[Event]) {
+        let mut store = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        for ev in events {
+            match self.keep {
+                Some(names) if !names.contains(&ev.name) => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => store.push(ev.clone()),
+            }
+        }
+    }
+}
+
+/// ASCII summary sink: counts events per name and renders a table.
+#[derive(Default)]
+pub struct SummarySink {
+    counts: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl SummarySink {
+    /// An empty summary.
+    pub fn new() -> SummarySink {
+        SummarySink::default()
+    }
+
+    /// Render the per-name counts as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let counts = self.counts.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::from("event counts\n");
+        let width = counts.keys().map(|k| k.len()).max().unwrap_or(0).max(5);
+        for (name, n) in counts.iter() {
+            out.push_str(&format!("  {name:<width$}  {n:>10}\n"));
+        }
+        if counts.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        out
+    }
+}
+
+impl Sink for SummarySink {
+    fn record(&self, events: &[Event]) {
+        let mut counts = self.counts.lock().unwrap_or_else(|e| e.into_inner());
+        for ev in events {
+            *counts.entry(ev.name).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Fan a batch out to several sinks.
+pub struct Tee(pub Vec<Arc<dyn Sink>>);
+
+impl Sink for Tee {
+    fn record(&self, events: &[Event]) {
+        for s in &self.0 {
+            s.record(events);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.0 {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Level, Subsystem};
+
+    fn ev(name: &'static str) -> Event {
+        Event::new(Subsystem::Harness, Level::Info, name).field("k", 1u64)
+    }
+
+    #[test]
+    fn memory_sink_filters_and_counts() {
+        let m = MemorySink::keeping(&["keep.me"]);
+        m.record(&[ev("keep.me"), ev("drop.me"), ev("keep.me")]);
+        assert_eq!(m.snapshot().len(), 2);
+        assert_eq!(m.dropped(), 1);
+        assert_eq!(m.take().len(), 2);
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn summary_sink_renders_counts() {
+        let s = SummarySink::new();
+        s.record(&[ev("a.b"), ev("a.b"), ev("c.d")]);
+        let r = s.render();
+        assert!(r.contains("a.b"), "{r}");
+        assert!(r.contains('2'), "{r}");
+        assert!(r.contains("c.d"), "{r}");
+    }
+
+    #[test]
+    fn tee_duplicates_batches() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let t = Tee(vec![a.clone(), b.clone()]);
+        t.record(&[ev("x")]);
+        assert_eq!(a.snapshot().len(), 1);
+        assert_eq!(b.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("sea_trace_sink_{}.jsonl", std::process::id()));
+        let s = JsonlSink::create(&path).unwrap();
+        s.record(&[ev("j.one"), ev("j.two")]);
+        s.flush();
+        assert_eq!(s.lines_written(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            crate::json::parse(l).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

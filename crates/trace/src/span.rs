@@ -1,0 +1,88 @@
+//! Wall-clock span timing.
+
+use crate::{enabled, Event, Level, Subsystem};
+use std::time::Instant;
+
+/// Open a timing span; when the returned guard drops, an event named
+/// `name` with a `dur_us` field is emitted. Returns `None` (and does no
+/// work, not even reading the clock) when the (subsystem, level) is
+/// disabled.
+#[must_use]
+pub fn span(sub: Subsystem, level: Level, name: &'static str) -> Option<SpanGuard> {
+    if !enabled(sub, level) {
+        return None;
+    }
+    Some(SpanGuard {
+        sub,
+        level,
+        name,
+        start: Instant::now(),
+        fields: Vec::new(),
+    })
+}
+
+/// Live span; emits on drop.
+pub struct SpanGuard {
+    sub: Subsystem,
+    level: Level,
+    name: &'static str,
+    start: Instant,
+    fields: Vec<(&'static str, crate::Value)>,
+}
+
+impl SpanGuard {
+    /// Attach a field to the closing event.
+    pub fn field(&mut self, key: &'static str, value: impl Into<crate::Value>) {
+        self.fields.push((key, value.into()));
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let mut ev = Event::new(self.sub, self.level, self.name)
+            .field("dur_us", self.start.elapsed().as_micros() as u64);
+        ev.fields.append(&mut self.fields);
+        crate::emit(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sink, MemorySink};
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_span_is_none() {
+        let _guard = sink::test_lock();
+        crate::disable_all();
+        assert!(span(Subsystem::Harness, Level::Info, "s").is_none());
+    }
+
+    #[test]
+    fn span_emits_duration_event() {
+        let _guard = sink::test_lock();
+        let mem = Arc::new(MemorySink::new());
+        sink::install_sink(mem.clone());
+        crate::set_level_all(Level::Debug);
+        {
+            let mut s = span(Subsystem::Harness, Level::Debug, "span.test").unwrap();
+            s.field("tag", 7u64);
+        }
+        crate::flush_thread();
+        let evs = mem.snapshot();
+        let ev = evs
+            .iter()
+            .find(|e| e.name == "span.test")
+            .expect("span event");
+        assert!(ev.get("dur_us").is_some());
+        assert_eq!(ev.get("tag"), Some(&crate::Value::U64(7)));
+        crate::disable_all();
+        sink::uninstall_sink();
+    }
+}

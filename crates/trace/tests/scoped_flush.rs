@@ -1,0 +1,33 @@
+//! Events emitted from scoped worker threads must reach the sink.
+//!
+//! `std::thread::scope` considers a thread joined once its closure returns,
+//! but thread-local destructors (which flush the per-thread ring) may run
+//! *after* that — racing with sink teardown on the spawning thread. The
+//! contract is therefore: worker closures call `flush_thread()` before
+//! returning. This test pins that convention.
+
+#[test]
+fn scoped_thread_events_reach_sink() {
+    let _g = sea_trace::test_lock();
+    let mem = std::sync::Arc::new(sea_trace::MemorySink::new());
+    sea_trace::install_sink(mem.clone());
+    sea_trace::set_level_all(sea_trace::Level::Info);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            sea_trace::event!(
+                sea_trace::Subsystem::Platform,
+                sea_trace::Level::Info,
+                "x.worker"
+            );
+            sea_trace::flush_thread();
+        });
+    });
+    sea_trace::disable_all();
+    sea_trace::uninstall_sink();
+    let n = mem
+        .snapshot()
+        .iter()
+        .filter(|e| e.name == "x.worker")
+        .count();
+    assert_eq!(n, 1, "worker-thread event lost");
+}

@@ -4,10 +4,19 @@ use sea_microarch::MachineConfig;
 use sea_platform::golden_run;
 use sea_workloads::{Scale, Workload};
 fn main() {
-    println!("{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}", "bench", "br/kinst", "brmiss%", "l1d/kinst", "l1dmiss%", "l2miss/ki", "dtlb/ki");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "bench", "br/kinst", "brmiss%", "l1d/kinst", "l1dmiss%", "l2miss/ki", "dtlb/ki"
+    );
     for w in Workload::ALL {
         let b = w.build(Scale::Default);
-        let g = golden_run(MachineConfig::cortex_a9_scaled(), &b.image, &sea_kernel::KernelConfig::default(), 200_000_000).unwrap();
+        let g = golden_run(
+            MachineConfig::cortex_a9_scaled(),
+            &b.image,
+            &sea_kernel::KernelConfig::default(),
+            200_000_000,
+        )
+        .unwrap();
         let c = g.counters;
         let ki = g.instructions as f64 / 1000.0;
         println!(

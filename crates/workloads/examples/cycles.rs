@@ -6,8 +6,21 @@ fn main() {
     for w in Workload::ALL {
         let b = w.build(Scale::Default);
         let t0 = std::time::Instant::now();
-        let g = golden_run(MachineConfig::cortex_a9(), &b.image, &sea_kernel::KernelConfig::default(), 200_000_000).unwrap();
-        println!("{:<14} {:>10} cycles {:>10} insts  {:>7.1}ms wall  out={}B", w.name(), g.cycles, g.instructions, t0.elapsed().as_secs_f64()*1e3, g.output.len());
+        let g = golden_run(
+            MachineConfig::cortex_a9(),
+            &b.image,
+            &sea_kernel::KernelConfig::default(),
+            200_000_000,
+        )
+        .unwrap();
+        println!(
+            "{:<14} {:>10} cycles {:>10} insts  {:>7.1}ms wall  out={}B",
+            w.name(),
+            g.cycles,
+            g.instructions,
+            t0.elapsed().as_secs_f64() * 1e3,
+            g.output.len()
+        );
         total += g.cycles;
     }
     println!("total: {total} cycles");

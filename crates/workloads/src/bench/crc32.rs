@@ -26,7 +26,11 @@ pub fn crc_table() -> [u32; 256] {
     for (i, e) in t.iter_mut().enumerate() {
         let mut c = i as u32;
         for _ in 0..8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
         }
         *e = c;
     }
@@ -92,7 +96,10 @@ pub fn build(scale: Scale) -> BuiltWorkload {
     a.section(Section::Text);
 
     let image = a.finish(entry).unwrap();
-    BuiltWorkload { image, golden: expected_output(&result) }
+    BuiltWorkload {
+        image,
+        golden: expected_output(&result),
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,9 @@ fn points(scale: Scale) -> usize {
 /// Bit-reversal permutation table for `n` (power of two).
 pub fn bitrev_table(n: usize) -> Vec<u16> {
     let bits = n.trailing_zeros();
-    (0..n).map(|i| ((i as u32).reverse_bits() >> (32 - bits)) as u16).collect()
+    (0..n)
+        .map(|i| ((i as u32).reverse_bits() >> (32 - bits)) as u16)
+        .collect()
 }
 
 /// Twiddle factors `w_k = exp(-2πik/n)` for `k` in `0..n/2`, interleaved
@@ -44,8 +46,8 @@ pub fn twiddles(n: usize) -> Vec<f32> {
 pub fn reference(data: &[f32], n: usize) -> Vec<f32> {
     let mut a = data.to_vec();
     let rev = bitrev_table(n);
-    for i in 0..n {
-        let j = rev[i] as usize;
+    for (i, &r) in rev.iter().enumerate().take(n) {
+        let j = r as usize;
         if i < j {
             a.swap(2 * i, 2 * j);
             a.swap(2 * i + 1, 2 * j + 1);
@@ -118,14 +120,33 @@ pub fn build(scale: Scale) -> BuiltWorkload {
         sea_isa::MemSize::Half,
         Reg::R5,
         Reg::R9,
-        sea_isa::MemOffset::Reg { rm: Reg::R0, shl: 0 },
+        sea_isa::MemOffset::Reg {
+            rm: Reg::R0,
+            shl: 0,
+        },
         sea_isa::AddrMode::offset(),
     );
     a.cmp(Reg::R4, Reg::R5);
     a.b_if(Cond::Cs, brv_skip); // only swap when i < j
-    // swap complex elements i and j (each 8 bytes).
-    a.add_shifted(Reg::R0, Reg::R8, ShiftedReg { rm: Reg::R4, shift: Shift::Lsl, amount: 3 });
-    a.add_shifted(Reg::R1, Reg::R8, ShiftedReg { rm: Reg::R5, shift: Shift::Lsl, amount: 3 });
+                                // swap complex elements i and j (each 8 bytes).
+    a.add_shifted(
+        Reg::R0,
+        Reg::R8,
+        ShiftedReg {
+            rm: Reg::R4,
+            shift: Shift::Lsl,
+            amount: 3,
+        },
+    );
+    a.add_shifted(
+        Reg::R1,
+        Reg::R8,
+        ShiftedReg {
+            rm: Reg::R5,
+            shift: Shift::Lsl,
+            amount: 3,
+        },
+    );
     a.ldr(Reg::R2, Reg::R0, 0);
     a.ldr(Reg::R3, Reg::R1, 0);
     a.str(Reg::R3, Reg::R0, 0);
@@ -158,26 +179,50 @@ pub fn build(scale: Scale) -> BuiltWorkload {
     a.bind(bfly).unwrap();
     // twiddle index = j*step → address = tw + (j*step)*8
     a.mul(Reg::R0, Reg::R11, Reg::R5);
-    a.add_shifted(Reg::R1, Reg::R10, ShiftedReg { rm: Reg::R0, shift: Shift::Lsl, amount: 3 });
+    a.add_shifted(
+        Reg::R1,
+        Reg::R10,
+        ShiftedReg {
+            rm: Reg::R0,
+            shift: Shift::Lsl,
+            amount: 3,
+        },
+    );
     a.vldr(s(4), Reg::R1, 0); // wr
     a.vldr(s(5), Reg::R1, 1); // wi
-    // u index = base + j; v index = u + half
+                              // u index = base + j; v index = u + half
     a.add(Reg::R0, Reg::R6, Reg::R11);
-    a.add_shifted(Reg::R1, Reg::R8, ShiftedReg { rm: Reg::R0, shift: Shift::Lsl, amount: 3 });
+    a.add_shifted(
+        Reg::R1,
+        Reg::R8,
+        ShiftedReg {
+            rm: Reg::R0,
+            shift: Shift::Lsl,
+            amount: 3,
+        },
+    );
     a.add(Reg::R0, Reg::R0, Reg::R4);
-    a.add_shifted(Reg::R2, Reg::R8, ShiftedReg { rm: Reg::R0, shift: Shift::Lsl, amount: 3 });
+    a.add_shifted(
+        Reg::R2,
+        Reg::R8,
+        ShiftedReg {
+            rm: Reg::R0,
+            shift: Shift::Lsl,
+            amount: 3,
+        },
+    );
     a.vldr(s(0), Reg::R1, 0); // ur
     a.vldr(s(1), Reg::R1, 1); // ui
     a.vldr(s(2), Reg::R2, 0); // vr
     a.vldr(s(3), Reg::R2, 1); // vi
-    // tr = vr*wr - vi*wi ; ti = vr*wi + vi*wr
+                              // tr = vr*wr - vi*wi ; ti = vr*wi + vi*wr
     a.vmul(s(6), s(2), s(4));
     a.vmul(s(7), s(3), s(5));
     a.vsub(s(6), s(6), s(7)); // tr
     a.vmul(s(7), s(2), s(5));
     a.vmul(s(8), s(3), s(4));
     a.vadd(s(7), s(7), s(8)); // ti
-    // u' = u + t ; v' = u - t
+                              // u' = u + t ; v' = u - t
     a.vadd(s(9), s(0), s(6));
     a.vadd(s(10), s(1), s(7));
     a.vsub(s(11), s(0), s(6));
@@ -217,7 +262,10 @@ pub fn build(scale: Scale) -> BuiltWorkload {
     a.section(Section::Text);
 
     let image = a.finish(entry).unwrap();
-    BuiltWorkload { image, golden: expected_output(&result) }
+    BuiltWorkload {
+        image,
+        golden: expected_output(&result),
+    }
 }
 
 #[cfg(test)]

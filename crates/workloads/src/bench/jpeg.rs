@@ -31,22 +31,17 @@ fn dims(scale: Scale) -> usize {
 
 /// Standard JPEG luminance quantization table (quality ~50), row major.
 pub const QUANT: [i32; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61,
-    12, 12, 14, 19, 26, 58, 60, 55,
-    14, 13, 16, 24, 40, 57, 69, 56,
-    14, 17, 22, 29, 51, 87, 80, 62,
-    18, 22, 37, 56, 68, 109, 103, 77,
-    24, 35, 55, 64, 81, 104, 113, 92,
-    49, 64, 78, 87, 103, 121, 120, 101,
-    72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// Zigzag scan order: `ZIGZAG[k]` is the (row-major) index of the k-th
 /// coefficient.
 pub const ZIGZAG: [u8; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// End-of-block marker in the entropy stream.
@@ -251,9 +246,9 @@ fn emit_pass(a: &mut Asm, src: Reg, dst: Reg, ctab: Reg, pass: Pass) {
     a.add_imm(Reg::R2, Reg::R2, 2048);
     a.asr(Reg::R2, Reg::R2, 12);
     let (d_hi, d_lo) = match pass {
-        Pass::Rows => (Reg::R0, Reg::R1),       // dst[y,u]
-        Pass::Cols => (Reg::R1, Reg::R0),       // dst[v,u]
-        Pass::IdctCols => (Reg::R1, Reg::R0),   // dst[y,u]
+        Pass::Rows => (Reg::R0, Reg::R1),     // dst[y,u]
+        Pass::Cols => (Reg::R1, Reg::R0),     // dst[v,u]
+        Pass::IdctCols => (Reg::R1, Reg::R0), // dst[y,u]
     };
     a.lsl(Reg::R12, d_hi, 3);
     a.add(Reg::R12, Reg::R12, d_lo);
@@ -435,7 +430,10 @@ pub fn build_encode(scale: Scale) -> BuiltWorkload {
     a.section(Section::Text);
 
     let image = a.finish(entry).unwrap();
-    BuiltWorkload { image, golden: expected_output(&stream) }
+    BuiltWorkload {
+        image,
+        golden: expected_output(&stream),
+    }
 }
 
 // ----- guest decoder ------------------------------------------------------------
@@ -492,7 +490,7 @@ pub fn build_decode(scale: Scale) -> BuiltWorkload {
         a.cmp_imm(Reg::R0, EOB as u32);
         a.b_if(Cond::Eq, ldone);
         a.add(Reg::R1, Reg::R1, Reg::R0); // k += run
-        // varint → r2 (z), shift in r3
+                                          // varint → r2 (z), shift in r3
         a.mov_imm(Reg::R2, 0);
         a.mov_imm(Reg::R3, 0);
         a.bind(lvread).unwrap();
@@ -590,7 +588,10 @@ pub fn build_decode(scale: Scale) -> BuiltWorkload {
     a.section(Section::Text);
 
     let image = a.finish(entry).unwrap();
-    BuiltWorkload { image, golden: expected_output(&decoded) }
+    BuiltWorkload {
+        image,
+        golden: expected_output(&decoded),
+    }
 }
 
 #[cfg(test)]
@@ -602,7 +603,10 @@ mod tests {
         let n = 48;
         let img = test_image(n, n, SEED);
         let stream = reference_encode(&img, n);
-        assert!(stream.len() < n * n, "compression must shrink the test image");
+        assert!(
+            stream.len() < n * n,
+            "compression must shrink the test image"
+        );
         let back = reference_decode(&stream, n);
         assert_eq!(back.len(), img.len());
         // Lossy codec: mean absolute error should be modest.

@@ -24,7 +24,11 @@ pub struct L1ProbeParams {
 
 impl Default for L1ProbeParams {
     fn default() -> L1ProbeParams {
-        L1ProbeParams { buf_bytes: 32 * 1024, sweeps: 4, dwell_iters: 20_000 }
+        L1ProbeParams {
+            buf_bytes: 32 * 1024,
+            sweeps: 4,
+            dwell_iters: 20_000,
+        }
     }
 }
 
@@ -116,7 +120,10 @@ pub fn build_l1_probe(p: L1ProbeParams) -> BuiltWorkload {
     a.section(Section::Text);
 
     let image = a.finish(entry).unwrap();
-    BuiltWorkload { image, golden: expected_output(&result) }
+    BuiltWorkload {
+        image,
+        golden: expected_output(&result),
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +138,11 @@ mod tests {
 
     #[test]
     fn probe_builds() {
-        let b = build_l1_probe(L1ProbeParams { buf_bytes: 1024, sweeps: 1, dwell_iters: 10 });
+        let b = build_l1_probe(L1ProbeParams {
+            buf_bytes: 1024,
+            sweeps: 1,
+            dwell_iters: 10,
+        });
         assert!(b.image.text_bytes() > 0);
         assert_eq!(b.golden.len(), 4 + 8);
     }

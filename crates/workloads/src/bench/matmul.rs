@@ -3,7 +3,7 @@
 //! matrices fit comfortably in the L1 data cache, which is exactly what
 //! drives its outsized beam System-Crash rate (§V-A).
 
-use sea_isa::{s, Asm, Cond, Reg, Section, ShiftedReg, Shift};
+use sea_isa::{s, Asm, Cond, Reg, Section, Shift, ShiftedReg};
 use sea_kernel::user;
 
 use crate::input::random_floats;
@@ -73,11 +73,27 @@ pub fn build(scale: Scale) -> BuiltWorkload {
     a.bind(lk).unwrap();
     // s1 = A[i*n + k]
     a.mla(Reg::R0, Reg::R4, Reg::R11, Reg::R6); // i*n + k
-    a.add_shifted(Reg::R1, Reg::R8, ShiftedReg { rm: Reg::R0, shift: Shift::Lsl, amount: 2 });
+    a.add_shifted(
+        Reg::R1,
+        Reg::R8,
+        ShiftedReg {
+            rm: Reg::R0,
+            shift: Shift::Lsl,
+            amount: 2,
+        },
+    );
     a.vldr(s(1), Reg::R1, 0);
     // s2 = B[k*n + j]
     a.mla(Reg::R0, Reg::R6, Reg::R11, Reg::R5);
-    a.add_shifted(Reg::R1, Reg::R9, ShiftedReg { rm: Reg::R0, shift: Shift::Lsl, amount: 2 });
+    a.add_shifted(
+        Reg::R1,
+        Reg::R9,
+        ShiftedReg {
+            rm: Reg::R0,
+            shift: Shift::Lsl,
+            amount: 2,
+        },
+    );
     a.vldr(s(2), Reg::R1, 0);
     // acc += s1 * s2
     a.vmla(s(0), s(1), s(2));
@@ -86,7 +102,15 @@ pub fn build(scale: Scale) -> BuiltWorkload {
     a.b_if(Cond::Ne, lk);
     // C[i*n + j] = acc
     a.mla(Reg::R0, Reg::R4, Reg::R11, Reg::R5);
-    a.add_shifted(Reg::R1, Reg::R10, ShiftedReg { rm: Reg::R0, shift: Shift::Lsl, amount: 2 });
+    a.add_shifted(
+        Reg::R1,
+        Reg::R10,
+        ShiftedReg {
+            rm: Reg::R0,
+            shift: Shift::Lsl,
+            amount: 2,
+        },
+    );
     a.vstr(s(0), Reg::R1, 0);
     a.add_imm(Reg::R5, Reg::R5, 1);
     a.cmp(Reg::R5, Reg::R11);
@@ -108,7 +132,10 @@ pub fn build(scale: Scale) -> BuiltWorkload {
     a.section(Section::Text);
 
     let image = a.finish(entry).unwrap();
-    BuiltWorkload { image, golden: expected_output(&result) }
+    BuiltWorkload {
+        image,
+        golden: expected_output(&result),
+    }
 }
 
 #[cfg(test)]

@@ -150,7 +150,10 @@ pub fn build(scale: Scale) -> BuiltWorkload {
     a.section(Section::Text);
 
     let image = a.finish(entry).unwrap();
-    BuiltWorkload { image, golden: expected_output(&result) }
+    BuiltWorkload {
+        image,
+        golden: expected_output(&result),
+    }
 }
 
 #[cfg(test)]

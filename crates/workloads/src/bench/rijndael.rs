@@ -18,8 +18,7 @@ use crate::{BuiltWorkload, Scale};
 const SEED: u32 = 0xAE50_0001;
 /// The fixed AES-128 key used by both directions.
 pub const KEY: [u8; 16] = [
-    0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
-    0x3C,
+    0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C,
 ];
 
 fn input_len(scale: Scale) -> usize {
@@ -121,7 +120,12 @@ pub fn expand_key(key: &[u8; 16]) -> [u32; 44] {
         if i % 4 == 0 {
             t = t.rotate_left(8);
             let b = t.to_be_bytes();
-            t = u32::from_be_bytes([s[b[0] as usize], s[b[1] as usize], s[b[2] as usize], s[b[3] as usize]]);
+            t = u32::from_be_bytes([
+                s[b[0] as usize],
+                s[b[1] as usize],
+                s[b[2] as usize],
+                s[b[3] as usize],
+            ]);
             t ^= (rcon as u32) << 24;
             rcon = xtime(rcon);
         }
@@ -215,7 +219,13 @@ pub fn reference_decrypt(data: &[u8]) -> Vec<u8> {
     let si = inv_sbox();
     let mut out = Vec::with_capacity(data.len());
     for blk in data.chunks_exact(16) {
-        out.extend_from_slice(&cipher_block(blk.try_into().unwrap(), &rk, &td, &si, &DEC_IDX));
+        out.extend_from_slice(&cipher_block(
+            blk.try_into().unwrap(),
+            &rk,
+            &td,
+            &si,
+            &DEC_IDX,
+        ));
     }
     out
 }
@@ -266,9 +276,25 @@ fn guest_cipher(input: &[u8], g: &GuestTables) -> (sea_isa::Image, Vec<u8>) {
         a.ldrb(Reg::R0, Reg::R8, (4 * col) as u16);
         a.lsl(dst, Reg::R0, 24);
         a.ldrb(Reg::R0, Reg::R8, (4 * col + 1) as u16);
-        a.orr_shifted(dst, dst, sea_isa::ShiftedReg { rm: Reg::R0, shift: sea_isa::Shift::Lsl, amount: 16 });
+        a.orr_shifted(
+            dst,
+            dst,
+            sea_isa::ShiftedReg {
+                rm: Reg::R0,
+                shift: sea_isa::Shift::Lsl,
+                amount: 16,
+            },
+        );
         a.ldrb(Reg::R0, Reg::R8, (4 * col + 2) as u16);
-        a.orr_shifted(dst, dst, sea_isa::ShiftedReg { rm: Reg::R0, shift: sea_isa::Shift::Lsl, amount: 8 });
+        a.orr_shifted(
+            dst,
+            dst,
+            sea_isa::ShiftedReg {
+                rm: Reg::R0,
+                shift: sea_isa::Shift::Lsl,
+                amount: 8,
+            },
+        );
         a.ldrb(Reg::R0, Reg::R8, (4 * col + 3) as u16);
         a.orr(dst, dst, Reg::R0);
         a.ldr(Reg::R0, Reg::R11, (4 * col) as u16);
@@ -288,8 +314,7 @@ fn guest_cipher(input: &[u8], g: &GuestTables) -> (sea_isa::Image, Vec<u8>) {
     for c in (0..4).rev() {
         // n = T0[s(idx0)>>24] ^ T1[(s(idx1)>>16)&ff] ^ T2[(s(idx2)>>8)&ff]
         //     ^ T3[s(idx3)&ff] ^ rk[c]
-        let (i0, i1, i2, i3) =
-            (g.idx[c][0], g.idx[c][1], g.idx[c][2], g.idx[c][3]);
+        let (i0, i1, i2, i3) = (g.idx[c][0], g.idx[c][1], g.idx[c][2], g.idx[c][3]);
         a.addr(Reg::R12, lt0);
         a.lsr(Reg::R0, srcs[i0], 24);
         a.ldr_idx(Reg::R1, Reg::R12, Reg::R0, 2);
@@ -325,19 +350,34 @@ fn guest_cipher(input: &[u8], g: &GuestTables) -> (sea_isa::Image, Vec<u8>) {
     // Final round with the plain (inverse) S-box.
     a.addr(Reg::R12, lfinal);
     for c in 0..4 {
-        let (i0, i1, i2, i3) =
-            (g.idx[c][0], g.idx[c][1], g.idx[c][2], g.idx[c][3]);
+        let (i0, i1, i2, i3) = (g.idx[c][0], g.idx[c][1], g.idx[c][2], g.idx[c][3]);
         a.lsr(Reg::R0, srcs[i0], 24);
         a.ldrb_idx(Reg::R1, Reg::R12, Reg::R0);
         a.lsl(Reg::R1, Reg::R1, 24);
         a.lsr(Reg::R0, srcs[i1], 16);
         a.and_imm(Reg::R0, Reg::R0, 0xFF);
         a.ldrb_idx(Reg::R2, Reg::R12, Reg::R0);
-        a.orr_shifted(Reg::R1, Reg::R1, sea_isa::ShiftedReg { rm: Reg::R2, shift: sea_isa::Shift::Lsl, amount: 16 });
+        a.orr_shifted(
+            Reg::R1,
+            Reg::R1,
+            sea_isa::ShiftedReg {
+                rm: Reg::R2,
+                shift: sea_isa::Shift::Lsl,
+                amount: 16,
+            },
+        );
         a.lsr(Reg::R0, srcs[i2], 8);
         a.and_imm(Reg::R0, Reg::R0, 0xFF);
         a.ldrb_idx(Reg::R2, Reg::R12, Reg::R0);
-        a.orr_shifted(Reg::R1, Reg::R1, sea_isa::ShiftedReg { rm: Reg::R2, shift: sea_isa::Shift::Lsl, amount: 8 });
+        a.orr_shifted(
+            Reg::R1,
+            Reg::R1,
+            sea_isa::ShiftedReg {
+                rm: Reg::R2,
+                shift: sea_isa::Shift::Lsl,
+                amount: 8,
+            },
+        );
         a.and_imm(Reg::R0, srcs[i3], 0xFF);
         a.ldrb_idx(Reg::R2, Reg::R12, Reg::R0);
         a.orr(Reg::R1, Reg::R1, Reg::R2);
@@ -393,9 +433,17 @@ const DEC_IDX: [[usize; 4]; 4] = [[0, 3, 2, 1], [1, 0, 3, 2], [2, 1, 0, 3], [3, 
 pub fn build_encrypt(scale: Scale) -> BuiltWorkload {
     let data = random_bytes(SEED, input_len(scale));
     let ct = reference_encrypt(&data);
-    let g = GuestTables { t: enc_tables(), final_box: sbox(), rk: expand_key(&KEY), idx: ENC_IDX };
+    let g = GuestTables {
+        t: enc_tables(),
+        final_box: sbox(),
+        rk: expand_key(&KEY),
+        idx: ENC_IDX,
+    };
     let (image, _) = guest_cipher(&data, &g);
-    BuiltWorkload { image, golden: expected_output(&ct) }
+    BuiltWorkload {
+        image,
+        golden: expected_output(&ct),
+    }
 }
 
 /// Builds the decryption benchmark (input is the reference ciphertext).
@@ -409,7 +457,10 @@ pub fn build_decrypt(scale: Scale) -> BuiltWorkload {
         idx: DEC_IDX,
     };
     let (image, _) = guest_cipher(&ct, &g);
-    BuiltWorkload { image, golden: expected_output(&data) }
+    BuiltWorkload {
+        image,
+        golden: expected_output(&data),
+    }
 }
 
 #[cfg(test)]

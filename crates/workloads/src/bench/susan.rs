@@ -21,11 +21,27 @@ const BT: i32 = 20;
 /// The 21-pixel quasi-circular USAN mask (5×5 without corners), as
 /// (dx, dy) offsets.
 pub const MASK: [(i32, i32); 21] = [
-    (-1, -2), (0, -2), (1, -2),
-    (-2, -1), (-1, -1), (0, -1), (1, -1), (2, -1),
-    (-2, 0), (-1, 0), (0, 0), (1, 0), (2, 0),
-    (-2, 1), (-1, 1), (0, 1), (1, 1), (2, 1),
-    (-1, 2), (0, 2), (1, 2),
+    (-1, -2),
+    (0, -2),
+    (1, -2),
+    (-2, -1),
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+    (2, -1),
+    (-2, 0),
+    (-1, 0),
+    (0, 0),
+    (1, 0),
+    (2, 0),
+    (-2, 1),
+    (-1, 1),
+    (0, 1),
+    (1, 1),
+    (2, 1),
+    (-1, 2),
+    (0, 2),
+    (1, 2),
 ];
 
 /// Which SUSAN variant to build.
@@ -127,7 +143,7 @@ pub fn reference(img: &[u8], w: usize, h: usize, variant: Variant) -> Vec<u8> {
                         num += wgt * p;
                         den += wgt;
                     }
-                    out[y * w + x] = if den == 0 { c as u8 } else { (num / den) as u8 };
+                    out[y * w + x] = num.checked_div(den).map_or(c as u8, |v| v as u8);
                 }
             }
             out
@@ -216,7 +232,7 @@ pub fn build(scale: Scale, variant: Variant) -> BuiltWorkload {
     a.mov32(Reg::R0, w32);
     a.mla(Reg::R2, Reg::R2, Reg::R0, Reg::R1);
     a.ldrb_idx(Reg::R2, Reg::R8, Reg::R2); // p
-    // d = |p - c|; wgt = lut[d]
+                                           // d = |p - c|; wgt = lut[d]
     a.subs(Reg::R1, Reg::R2, Reg::R6);
     a.ifc(Cond::Mi).rsb_imm(Reg::R1, Reg::R1, 0);
     a.ldrb_idx(Reg::R1, Reg::R9, Reg::R1); // wgt
@@ -299,7 +315,10 @@ pub fn build(scale: Scale, variant: Variant) -> BuiltWorkload {
     a.section(Section::Text);
 
     let image = a.finish(entry).unwrap();
-    BuiltWorkload { image, golden: expected_output(&result) }
+    BuiltWorkload {
+        image,
+        golden: expected_output(&result),
+    }
 }
 
 #[cfg(test)]

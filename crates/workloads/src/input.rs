@@ -15,7 +15,9 @@ pub struct XorShift32 {
 impl XorShift32 {
     /// Creates a generator; a zero seed is remapped to a fixed constant.
     pub fn new(seed: u32) -> XorShift32 {
-        XorShift32 { state: if seed == 0 { 0x9E37_79B9 } else { seed } }
+        XorShift32 {
+            state: if seed == 0 { 0x9E37_79B9 } else { seed },
+        }
     }
 
     /// Next 32-bit value.
@@ -110,7 +112,7 @@ mod tests {
     #[test]
     fn floats_are_positive_and_finite() {
         for f in random_floats(3, 1000) {
-            assert!(f.is_finite() && f >= 0.0 && f < 1000.0);
+            assert!(f.is_finite() && (0.0..1000.0).contains(&f));
         }
     }
 

@@ -89,7 +89,11 @@ fn susan_smoothing_tiny_matches_reference() {
 
 #[test]
 fn l1_probe_reports_zero_upsets_fault_free() {
-    let built = build_l1_probe(L1ProbeParams { buf_bytes: 4096, sweeps: 2, dwell_iters: 500 });
+    let built = build_l1_probe(L1ProbeParams {
+        buf_bytes: 4096,
+        sweeps: 2,
+        dwell_iters: 500,
+    });
     let g = golden_run(
         MachineConfig::cortex_a9(),
         &built.image,
@@ -126,7 +130,12 @@ fn all_defaults_match_reference_within_cycle_budget() {
 /// are architectural and must be identical under it.
 #[test]
 fn scaled_machine_preserves_golden_outputs() {
-    for w in [Workload::Crc32, Workload::Fft, Workload::SusanC, Workload::Qsort] {
+    for w in [
+        Workload::Crc32,
+        Workload::Fft,
+        Workload::SusanC,
+        Workload::Qsort,
+    ] {
         let built = w.build(Scale::Tiny);
         let g = golden_run(
             MachineConfig::cortex_a9_scaled(),
@@ -135,6 +144,9 @@ fn scaled_machine_preserves_golden_outputs() {
             80_000_000,
         )
         .unwrap_or_else(|e| panic!("{w}: {e}"));
-        assert_eq!(g.output, built.golden, "{w}: scaled-machine output mismatch");
+        assert_eq!(
+            g.output, built.golden,
+            "{w}: scaled-machine output mismatch"
+        );
     }
 }

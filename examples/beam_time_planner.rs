@@ -14,7 +14,10 @@ use sea_core::beam::{run_session, LANSCE_FLUX};
 use sea_core::{analysis::report, Scale, Study, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let target: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let target: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100.0);
     let study = Study::default();
     let cfg = study.beam_config();
 
@@ -41,7 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         report::table(
-            &["benchmark", "exec time", "sigma (cm^2)", "errors/hour", "hours needed"],
+            &[
+                "benchmark",
+                "exec time",
+                "sigma (cm^2)",
+                "errors/hour",
+                "hours needed"
+            ],
             &rows,
         )
     );

@@ -9,10 +9,15 @@ use sea_core::isa::decode;
 use sea_core::{Scale, Workload};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "CRC32".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "CRC32".to_string());
     let w = Workload::ALL
         .into_iter()
-        .find(|w| w.name().eq_ignore_ascii_case(&name) || w.name().replace(' ', "").eq_ignore_ascii_case(&name))
+        .find(|w| {
+            w.name().eq_ignore_ascii_case(&name)
+                || w.name().replace(' ', "").eq_ignore_ascii_case(&name)
+        })
         .unwrap_or_else(|| panic!("unknown workload `{name}`"));
     let built = w.build(Scale::Tiny);
     let img = &built.image;
@@ -25,7 +30,11 @@ fn main() {
             );
             continue;
         }
-        println!("\n[text segment at {:#010x}, {} bytes]", seg.vaddr, seg.data.len());
+        println!(
+            "\n[text segment at {:#010x}, {} bytes]",
+            seg.vaddr,
+            seg.data.len()
+        );
         for (i, word) in seg.data.chunks_exact(4).enumerate() {
             let addr = seg.vaddr + 4 * i as u32;
             if let Some((sym, 0)) = img.symbolize(addr) {
@@ -38,5 +47,9 @@ fn main() {
             }
         }
     }
-    println!("\ntext {} bytes, data {} bytes", img.text_bytes(), img.data_bytes());
+    println!(
+        "\ntext {} bytes, data {} bytes",
+        img.text_bytes(),
+        img.data_bytes()
+    );
 }

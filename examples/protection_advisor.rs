@@ -15,8 +15,14 @@ use sea_core::injection::run_campaign;
 use sea_core::{analysis::report, Component, FaultClass, Scale, Study, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let samples: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
-    let study = Study { samples_per_component: samples, ..Study::default() };
+    let samples: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let study = Study {
+        samples_per_component: samples,
+        ..Study::default()
+    };
     let cfg = study.injection_config();
 
     // The advisor weighs a mixed deployment: one control-heavy, one
@@ -37,8 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let scale = study.fit_raw * c.bits as f64 / mix.len() as f64;
             let fit = scale * c.counts.avf();
             let sdc = scale * c.counts.rate(FaultClass::Sdc);
-            let slot =
-                contribution.iter_mut().find(|(cc, _, _)| *cc == c.component).unwrap();
+            let slot = contribution
+                .iter_mut()
+                .find(|(cc, _, _)| *cc == c.component)
+                .unwrap();
             slot.1 += fit;
             slot.2 += sdc;
             total_fit += fit;
@@ -63,7 +71,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         report::table(
-            &["component", "FIT if unprotected", "SDC FIT", "share of total", ""],
+            &[
+                "component",
+                "FIT if unprotected",
+                "SDC FIT",
+                "share of total",
+                ""
+            ],
             &rows,
         )
     );

@@ -53,9 +53,15 @@ fn sdc_estimates_agree_within_an_order_of_magnitude() {
     };
     let r = study.run_workload(Workload::Qsort).unwrap();
     let (beam, fi) = (r.comparison.beam.sdc, r.comparison.fi.sdc);
-    assert!(beam > 0.0 && fi > 0.0, "both setups must observe SDCs for Qsort");
+    assert!(
+        beam > 0.0 && fi > 0.0,
+        "both setups must observe SDCs for Qsort"
+    );
     let ratio = (beam / fi).max(fi / beam);
-    assert!(ratio < 10.0, "SDC estimates diverge {ratio:.1}x (beam {beam:.2}, fi {fi:.2})");
+    assert!(
+        ratio < 10.0,
+        "SDC estimates diverge {ratio:.1}x (beam {beam:.2}, fi {fi:.2})"
+    );
 }
 
 #[test]

@@ -41,7 +41,9 @@ fn single_workload_study_produces_consistent_numbers() {
 #[test]
 fn suite_study_aggregates_an_overview() {
     let study = small_study();
-    let res = study.run_suite(&[Workload::MatMul, Workload::StringSearch]).unwrap();
+    let res = study
+        .run_suite(&[Workload::MatMul, Workload::StringSearch])
+        .unwrap();
     assert_eq!(res.workloads.len(), 2);
     let o = &res.overview;
     // Adding crash classes must not lower either estimate.
@@ -83,7 +85,9 @@ fn studies_are_reproducible_for_a_fixed_seed() {
 #[test]
 fn suite_overview_equals_manual_aggregation() {
     let study = small_study();
-    let res = study.run_suite(&[Workload::Dijkstra, Workload::SusanS]).unwrap();
+    let res = study
+        .run_suite(&[Workload::Dijkstra, Workload::SusanS])
+        .unwrap();
     let manual = sea_core::Overview::from_comparisons(&res.comparisons());
     assert_eq!(res.overview.beam_total, manual.beam_total);
     assert_eq!(res.overview.fi_sdc, manual.fi_sdc);
@@ -98,7 +102,13 @@ fn field_test_math_contextualizes_the_fit_rates() {
     let r = study.run_workload(Workload::MatMul).unwrap();
     let fit = r.comparison.beam.total().max(1.0);
     let devices = devices_needed(fit, 100.0, 1.0);
-    assert!(devices > 1_000.0, "a field test needs a large fleet, got {devices:.0}");
-    let plan = FieldTest { devices, years: 1.0 };
+    assert!(
+        devices > 1_000.0,
+        "a field test needs a large fleet, got {devices:.0}"
+    );
+    let plan = FieldTest {
+        devices,
+        years: 1.0,
+    };
     assert!((plan.expected_failures(fit) - 100.0).abs() < 1e-6);
 }

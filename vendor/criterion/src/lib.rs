@@ -1,0 +1,213 @@
+//! Vendored stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Keeps the structural API (`criterion_group!` / `criterion_main!`,
+//! `Criterion`, benchmark groups, `Bencher::iter*`) but replaces the
+//! statistical engine with a bounded timing loop that prints one
+//! `name: ~N ns/iter` line per benchmark. Good enough to exercise the
+//! bench code paths and give a coarse throughput signal without any
+//! dependencies; not a precision measurement tool.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+/// Per-benchmark time budget for the shim's measurement loop.
+const BUDGET: Duration = Duration::from_millis(20);
+/// Hard cap on iterations regardless of speed.
+const MAX_ITERS: u64 = 10_000;
+
+/// How batched inputs are grouped (accepted, ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Time repeated calls of `routine` within the shim's budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters += 1;
+            self.total = start.elapsed();
+            if self.total >= BUDGET || self.iters >= MAX_ITERS {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if self.total >= BUDGET || self.iters >= MAX_ITERS {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{name}: no iterations");
+            return;
+        }
+        let per_iter = self.total.as_nanos() / self.iters as u128;
+        let mut line = format!("{name}: ~{per_iter} ns/iter ({} iters)", self.iters);
+        if per_iter > 0 {
+            if let Some(Throughput::Elements(n)) = throughput {
+                let rate = n as f64 * 1e9 / per_iter as f64;
+                line.push_str(&format!(", ~{rate:.0} elem/s"));
+            }
+            if let Some(Throughput::Bytes(n)) = throughput {
+                let rate = n as f64 * 1e9 / per_iter as f64;
+                line.push_str(&format!(", ~{rate:.0} B/s"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted, ignored by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name.as_ref()), self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` executes bench binaries with harness
+            // flags; a smoke pass is plenty there and in `cargo bench`.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion;
+        let mut ran = 0u64;
+        c.bench_function("shim_smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iters_run() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4)).sample_size(10);
+        let mut total = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |x| total += x, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(total >= 2);
+    }
+}

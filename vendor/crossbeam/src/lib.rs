@@ -1,0 +1,70 @@
+//! Vendored stand-in for `crossbeam` (see `vendor/README.md`).
+//!
+//! Provides the scoped-thread API shape this workspace uses, implemented
+//! over `std::thread::scope`: `crossbeam::scope(|s| { s.spawn(|_| ...); })`
+//! returning `Err` (instead of propagating the panic) when any spawned
+//! thread panicked.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Error payload of a panicked scope: the boxed panic value.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to the closure given to [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to the scope. The closure receives a unit
+    /// placeholder where crossbeam passes a nested scope handle (every
+    /// caller in this workspace ignores it).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Run `f` with a scope in which threads borrowing from the environment can
+/// be spawned; all are joined before `scope` returns. A panic in any spawned
+/// thread (or in `f` itself) surfaces as `Err(payload)`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(move || {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let hits = AtomicUsize::new(0);
+        let n = 8;
+        super::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .expect("workers");
+        assert_eq!(hits.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

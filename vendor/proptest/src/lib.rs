@@ -1,0 +1,775 @@
+//! Vendored stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Implements the slice of the proptest API this workspace's property tests
+//! use: the [`proptest!`] / [`prop_assert!`] family, [`strategy::Strategy`]
+//! with `prop_map`, [`prop_oneof!`] unions, [`strategy::Just`],
+//! [`arbitrary::any`], range strategies (including a tiny regex-string
+//! strategy for `&str` patterns), [`collection::vec`],
+//! [`array::uniform11`]-style array strategies and
+//! [`sample::Index`]. Case generation is deterministic (seeded from the
+//! test name and case number); there is no shrinking — a failing case
+//! panics with the generated inputs left to the assertion message.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG driving generation.
+
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Subset of proptest's `Config`: how many cases to run.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-test random source.
+    pub struct TestRng {
+        base: u64,
+        rng: SmallRng,
+    }
+
+    impl TestRng {
+        /// Seeded from the property name so each test gets its own stream.
+        pub fn for_test(name: &str) -> TestRng {
+            // FNV-1a over the name.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                base: h,
+                rng: SmallRng::seed_from_u64(h),
+            }
+        }
+
+        /// Re-seed for case `n` so each case is independently reproducible.
+        pub fn reseed_case(&mut self, n: u32) {
+            self.rng =
+                SmallRng::seed_from_u64(self.base ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.rng.next_u64()
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            use rand::Rng;
+            self.rng.gen_range(0..bound.max(1))
+        }
+
+        /// Uniform value in `[lo, hi)` as f64.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        variants: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from a non-empty set of alternatives.
+        pub fn new(variants: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(
+                !variants.is_empty(),
+                "prop_oneof! needs at least one variant"
+            );
+            Union { variants }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.variants.len() as u64) as usize;
+            self.variants[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+        (A, B, C, D, E, F, G, H, I)
+        (A, B, C, D, E, F, G, H, I, J)
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::string::generate_matching(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! Tiny regex-shaped string generator backing `&str` strategies.
+    //!
+    //! Supports the pattern features the repo's tests use: literal chars,
+    //! `.`, `\PC` (printable), `\d`, `\w`, `\s`, `[a-z0-9_]` classes, and
+    //! the quantifiers `{a,b}`, `{n}`, `{a,}`, `*`, `+`, `?`.
+
+    use super::test_runner::TestRng;
+
+    enum Class {
+        Printable,
+        Digit,
+        Word,
+        Space,
+        Dot,
+        Literal(char),
+        Set(Vec<(char, char)>),
+    }
+
+    struct Atom {
+        class: Class,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let class = match c {
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        // proptest's `\PC`: printable (non-control) chars.
+                        let _ = chars.next(); // consume the category letter
+                        Class::Printable
+                    }
+                    Some('d') => Class::Digit,
+                    Some('w') => Class::Word,
+                    Some('s') => Class::Space,
+                    Some(l) => Class::Literal(l),
+                    None => Class::Literal('\\'),
+                },
+                '.' => Class::Dot,
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    for sc in chars.by_ref() {
+                        if sc == ']' {
+                            break;
+                        }
+                        if sc == '-' {
+                            if let Some(p) = prev {
+                                set.pop();
+                                set.push((p, '\0')); // fill end on next char
+                                prev = None;
+                                continue;
+                            }
+                        }
+                        if let Some(&(lo, '\0')) = set.last() {
+                            *set.last_mut().unwrap() = (lo, sc);
+                        } else {
+                            set.push((sc, sc));
+                        }
+                        prev = Some(sc);
+                    }
+                    Class::Set(set)
+                }
+                lit => Class::Literal(lit),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for qc in chars.by_ref() {
+                        if qc == '}' {
+                            break;
+                        }
+                        spec.push(qc);
+                    }
+                    match spec.split_once(',') {
+                        Some((a, "")) => {
+                            let lo: u32 = a.parse().unwrap_or(0);
+                            (lo, lo + 8)
+                        }
+                        Some((a, b)) => (a.parse().unwrap_or(0), b.parse().unwrap_or(8)),
+                        None => {
+                            let n: u32 = spec.parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            atoms.push(Atom { class, min, max });
+        }
+        atoms
+    }
+
+    fn sample_char(class: &Class, rng: &mut TestRng) -> char {
+        match class {
+            Class::Literal(c) => *c,
+            Class::Digit => (b'0' + rng.below(10) as u8) as char,
+            Class::Space => *[' ', '\t'].get(rng.below(2) as usize).unwrap(),
+            Class::Word => {
+                const POOL: &[u8] =
+                    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+                POOL[rng.below(POOL.len() as u64) as usize] as char
+            }
+            Class::Dot => (0x20 + rng.below(0x5F) as u8) as char,
+            Class::Printable => {
+                // Mostly ASCII graphic/space, sometimes wider codepoints so
+                // multi-byte handling gets exercised.
+                if rng.below(8) == 0 {
+                    const WIDE: &[char] = &['é', 'λ', 'ß', '→', '日', '𝕏', '¤', 'ё'];
+                    WIDE[rng.below(WIDE.len() as u64) as usize]
+                } else {
+                    (0x20 + rng.below(0x5F) as u8) as char
+                }
+            }
+            Class::Set(ranges) => {
+                if ranges.is_empty() {
+                    return 'x';
+                }
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = hi as u32 - lo as u32 + 1;
+                char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap_or(lo)
+            }
+        }
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32;
+            for _ in 0..n {
+                out.push(sample_char(&atom.class, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the [`Arbitrary`] trait.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 != 0
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('a')
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64() * 2e9 - 1e9
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    macro_rules! arb_tuple {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($name::arbitrary(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    arb_tuple! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for Any<T> {}
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-exclusive size bound for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length in range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose elements come from `element` and whose length falls
+    /// in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies (`prop::array::uniformN`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; N]` drawing each element from `S`.
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident => $n:literal),* $(,)?) => {$(
+            /// Array strategy with independently drawn elements.
+            pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray { element }
+            }
+        )*};
+    }
+
+    uniform_fns! {
+        uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4,
+        uniform5 => 5, uniform6 => 6, uniform7 => 7, uniform8 => 8,
+        uniform9 => 9, uniform10 => 10, uniform11 => 11, uniform12 => 12,
+        uniform16 => 16, uniform32 => 32,
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`prop::sample::Index`).
+
+    use super::arbitrary::Arbitrary;
+    use super::test_runner::TestRng;
+
+    /// A position into any collection, fixed at generation time and scaled
+    /// to a concrete length via [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Resolve to an index in `[0, len)`. `len` must be non-zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod prelude {
+    //! The standard glob import for property tests.
+
+    pub use super::arbitrary::{any, Arbitrary};
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(..)` etc. resolve.
+    pub mod prop {
+        pub use super::super::array;
+        pub use super::super::collection;
+        pub use super::super::sample;
+    }
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }` runs
+/// `cases` deterministic generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::test_runner::Config as Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($p:pat in $s:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    __rng.reseed_case(__case);
+                    $( let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Kind {
+        A(u32),
+        B(bool),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps(x in 3u32..17, y in (0usize..4).prop_map(|v| v * 2)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y % 2 == 0 && y < 8);
+        }
+
+        #[test]
+        fn oneof_tuples_vecs(
+            k in prop_oneof![
+                (1u32..5).prop_map(Kind::A),
+                any::<bool>().prop_map(Kind::B),
+            ],
+            v in prop::collection::vec((0u8..4, any::<bool>()), 2..6),
+            arr in prop::array::uniform4(any::<u16>()),
+            idx in any::<prop::sample::Index>(),
+            f in 0.25f64..0.75,
+        ) {
+            match k {
+                Kind::A(n) => prop_assert!((1..5).contains(&n)),
+                Kind::B(_) => {}
+            }
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&(a, _)| a < 4));
+            prop_assert_eq!(arr.len(), 4);
+            prop_assert!(idx.index(10) < 10);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn string_pattern(s in "\\PC{0,40}") {
+            prop_assert!(s.chars().count() <= 40);
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        let mut r1 = crate::test_runner::TestRng::for_test("det");
+        let mut r2 = crate::test_runner::TestRng::for_test("det");
+        let s = (0u32..1000, 0u32..1000);
+        for case in 0..32 {
+            r1.reseed_case(case);
+            r2.reseed_case(case);
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_bounds() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::for_test("incl");
+        let s = 1u16..=u16::MAX;
+        for case in 0..256 {
+            rng.reseed_case(case);
+            let v = s.generate(&mut rng);
+            assert!(v >= 1);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Vendored stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace uses: [`rngs::SmallRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] over half-open
+//! integer and `f64` ranges. The generator is xoshiro256++ (the same family
+//! the real `SmallRng` uses on 64-bit targets), seeded through splitmix64,
+//! so streams are deterministic, well distributed, and cheap.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Core random-number source: 64 bits at a time.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling of a value of type `T` from a range-like set, used by
+/// [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// High-level convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open `lo..hi`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// A bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        sample_unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+fn sample_unit_f64(bits: u64) -> f64 {
+    // 53 random bits scaled into [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+// Unbiased bounded sampling via Lemire's multiply-shift with rejection.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = x as u128 * bound as u128;
+        let low = m as u64;
+        if low >= bound {
+            return (m >> 64) as u64;
+        }
+        // Rejection zone: retry only when within the biased remainder.
+        let threshold = bound.wrapping_neg() % bound;
+        if low >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = sample_unit_f64(rng.next_u64());
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = sample_unit_f64(rng.next_u64()) as f32;
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Generators intended for in-process, non-cryptographic use.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the small fast generator, splitmix64-seeded.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // All-zero state is the one degenerate case; splitmix64 never
+            // yields four zero words from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 1;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let same: Vec<u64> = (0..16).map(|_| c.gen_range(0u64..1 << 60)).collect();
+        let mut a2 = SmallRng::seed_from_u64(42);
+        let other: Vec<u64> = (0..16).map(|_| a2.gen_range(0u64..1 << 60)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(5u64..17);
+            assert!((5..17).contains(&v));
+            let f = r.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let s = r.gen_range(3usize..4);
+            assert_eq!(s, 3);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut buckets = [0u32; 8];
+        for _ in 0..80_000 {
+            buckets[r.gen_range(0usize..8)] += 1;
+        }
+        for b in buckets {
+            assert!(
+                (9_000..11_000).contains(&b),
+                "bucket count {b} out of range"
+            );
+        }
+    }
+}
