@@ -105,6 +105,8 @@ mod tests {
                 fake_component(Component::L1D, 1000, 10, 5, 5, 80),
                 fake_component(Component::L2, 4000, 0, 0, 50, 50),
             ],
+            anomalies: vec![],
+            supervision: Default::default(),
         };
         let raw = 1e-5;
         let r = fi_fit(&campaign, raw);

@@ -107,6 +107,72 @@ pub fn grouped_bars(
     out
 }
 
+/// Renders the campaign-supervision summary: one row per workload with
+/// the injection-campaign and beam-session supervision counters merged,
+/// including the anomaly rate (quarantined panics per completed run).
+/// Rows where nothing noteworthy happened still render, so the table
+/// doubles as a "the harness saw N runs" audit.
+pub fn supervision_table(
+    rows: &[(
+        String,
+        sea_injection::SupervisionStats,
+        sea_injection::SupervisionStats,
+    )],
+) -> String {
+    let mut body: Vec<Vec<String>> = Vec::new();
+    let mut total = sea_injection::SupervisionStats::default();
+    for (name, inj, beam) in rows {
+        let merged = sea_injection::SupervisionStats {
+            completed: inj.completed + beam.completed,
+            resumed: inj.resumed + beam.resumed,
+            quarantined: inj.quarantined + beam.quarantined,
+            flaky_recovered: inj.flaky_recovered + beam.flaky_recovered,
+            worker_respawns: inj.worker_respawns + beam.worker_respawns,
+            lost: inj.lost + beam.lost,
+        };
+        body.push(supervision_row(name, &merged));
+        total.completed += merged.completed;
+        total.resumed += merged.resumed;
+        total.quarantined += merged.quarantined;
+        total.flaky_recovered += merged.flaky_recovered;
+        total.worker_respawns += merged.worker_respawns;
+        total.lost += merged.lost;
+    }
+    body.push(supervision_row("TOTAL", &total));
+    table(
+        &[
+            "workload",
+            "runs",
+            "resumed",
+            "anomalies",
+            "anomaly rate",
+            "flaky",
+            "respawns",
+            "lost",
+        ],
+        &body,
+    )
+}
+
+fn supervision_row(name: &str, s: &sea_injection::SupervisionStats) -> Vec<String> {
+    let denominator = s.completed + s.quarantined.saturating_sub(s.flaky_recovered);
+    let rate = if denominator == 0 {
+        0.0
+    } else {
+        s.quarantined as f64 / denominator as f64
+    };
+    vec![
+        name.to_string(),
+        s.completed.to_string(),
+        s.resumed.to_string(),
+        s.quarantined.to_string(),
+        format!("{:.3}%", 100.0 * rate),
+        s.flaky_recovered.to_string(),
+        s.worker_respawns.to_string(),
+        s.lost.to_string(),
+    ]
+}
+
 /// Formats a signed ratio the way the paper's Fig 6–9 axes read:
 /// `12.3x` (beam higher) or `-4.5x` (injection higher), `inf` for
 /// one-sided zeros.
@@ -158,6 +224,36 @@ mod tests {
         assert!(log_bar(100.0, 100.0, 20).starts_with('#'));
         assert!(log_bar(-100.0, 100.0, 20).starts_with('-'));
         assert_eq!(log_bar(f64::INFINITY, 100.0, 5), ">>>>>");
+    }
+
+    #[test]
+    fn supervision_table_rates_and_totals() {
+        use sea_injection::SupervisionStats;
+        let rows = vec![
+            (
+                "CRC32".to_string(),
+                SupervisionStats {
+                    completed: 99,
+                    quarantined: 1,
+                    ..SupervisionStats::default()
+                },
+                SupervisionStats {
+                    completed: 100,
+                    ..SupervisionStats::default()
+                },
+            ),
+            (
+                "Qsort".to_string(),
+                SupervisionStats::default(),
+                SupervisionStats::default(),
+            ),
+        ];
+        let t = supervision_table(&rows);
+        assert!(t.contains("anomaly rate"));
+        assert!(t.contains("CRC32"));
+        assert!(t.contains("TOTAL"));
+        // 1 anomaly over (199 completed + 1 deterministic) = 0.5%.
+        assert!(t.contains("0.500%"), "{t}");
     }
 
     #[test]

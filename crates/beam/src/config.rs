@@ -84,6 +84,16 @@ pub struct BeamConfig {
     pub seed: u64,
     /// Worker threads; 0 = available parallelism.
     pub threads: usize,
+    /// Cycle budget for the fault-free reference run and the residency
+    /// measurement.
+    pub golden_budget_cycles: u64,
+    /// Supervision policy (panic isolation, retry, quarantine, respawn) —
+    /// the simulated counterpart of the paper's watchdog/restart protocol.
+    pub supervisor: sea_injection::SupervisorConfig,
+    /// Strike-log journal location and resume behavior (None = no
+    /// journal). Mirrors the paper's restart-without-losing-fluence
+    /// protocol: a resumed session skips already-simulated strikes.
+    pub journal: Option<sea_injection::JournalSpec>,
 }
 
 impl Default for BeamConfig {
@@ -100,6 +110,9 @@ impl Default for BeamConfig {
             kernel_critical_frac: 0.35,
             seed: 0xBEA0_0001,
             threads: 0,
+            golden_budget_cycles: 500_000_000,
+            supervisor: sea_injection::SupervisorConfig::default(),
+            journal: None,
         }
     }
 }

@@ -10,20 +10,34 @@
 //! replayed through the same simulator and classifier the injection
 //! campaigns use; strikes into the unmodeled platform logic take the
 //! analytic paths of [`crate::UnmodeledLogic`].
+//!
+//! Sessions run under the same supervisor as injection campaigns
+//! (`sea_injection::supervisor`): strike simulations are panic-isolated
+//! and quarantined, and with [`BeamConfig::journal`] set the strike log is
+//! journaled so an interrupted session resumes without losing fluence
+//! accounting — the paper's watchdog/restart protocol (§IV-B).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use sea_injection::{class_index, run_one, CampaignConfig, InjectionSpec, CLASS_LABELS};
+use sea_injection::supervisor::{
+    attempt_run, fnv1a, golden_hash, open_journal, run_supervised, JournalError, JournalHeader,
+    PoolStats, Quarantine, RunIdentity,
+};
+use sea_injection::{
+    class_index, CampaignConfig, InjectionSpec, RunAnomaly, SupervisionStats, CLASS_LABELS,
+};
 use sea_microarch::{Component, System};
 use sea_platform::{boot, run, ClassCounts, FaultClass, GoldenRun, RunLimits};
+use sea_trace::json::{Json, ObjWriter};
 use sea_trace::{event, Level, Progress, Subsystem};
 use sea_workloads::BuiltWorkload;
 
 use crate::config::{sigma_to_fit, BeamConfig, NYC_FLUX_PER_HOUR};
+
+/// What the supervised pool yields per strike: a classified outcome,
+/// an anomaly record, or (for a flaky panic) both.
+type StrikeVerdict = (Option<StrikeOutcome>, Option<RunAnomaly>);
 
 /// Where a sampled strike landed.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -82,6 +96,11 @@ pub struct BeamResult {
     /// Measured I-cache residency of the program text,
     /// `min(1, L1I bytes / text bytes)` (§VI's check-routine discussion).
     pub code_residency: f64,
+    /// Anomalies (panicking strike simulations) captured by the
+    /// supervisor, in strike-index order.
+    pub anomalies: Vec<RunAnomaly>,
+    /// Supervision counters.
+    pub supervision: SupervisionStats,
 }
 
 impl BeamResult {
@@ -101,12 +120,16 @@ impl BeamResult {
 pub enum BeamError {
     /// The fault-free run failed.
     Golden(sea_platform::GoldenError),
+    /// The strike-log journal could not be opened or does not match this
+    /// session.
+    Journal(JournalError),
 }
 
 impl std::fmt::Display for BeamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BeamError::Golden(e) => write!(f, "golden run failed: {e}"),
+            BeamError::Journal(e) => write!(f, "{e}"),
         }
     }
 }
@@ -123,8 +146,9 @@ pub fn measure_kernel_residency(
     let (mut sys, _) = boot(cfg.machine, &workload.image, &cfg.kernel)
         .map_err(|e| BeamError::Golden(sea_platform::GoldenError::Install(e)))?;
     let limits = RunLimits {
-        max_cycles: 500_000_000,
+        max_cycles: cfg.golden_budget_cycles,
         tick_window: u64::MAX,
+        wall_ms: 0,
     };
     let _ = run(&mut sys, limits);
     let mut kernel_bits = 0f64;
@@ -155,6 +179,91 @@ impl Weights {
     }
 }
 
+/// Hash of everything that shapes a session's physics (machine, kernel,
+/// beam parameters, strike count). Runtime knobs (threads, journal,
+/// supervision) are excluded — resuming with a different thread count is
+/// valid, resuming against different physics is not.
+fn beam_config_hash(cfg: &BeamConfig, strikes: u32) -> u64 {
+    fnv1a(
+        format!(
+            "{:?}|{:?}|{}|{}|{}|{:?}|{}|{}|{}|{}",
+            cfg.machine,
+            cfg.kernel,
+            cfg.clock_hz,
+            cfg.flux,
+            cfg.sigma_bit,
+            cfg.unmodeled,
+            cfg.idle_frac,
+            cfg.kernel_critical_frac,
+            cfg.golden_budget_cycles,
+            strikes,
+        )
+        .as_bytes(),
+    )
+}
+
+/// Serializes one completed strike as a journal entry line.
+fn strike_line(i: u64, out: Option<&StrikeOutcome>, anomaly: Option<&RunAnomaly>) -> String {
+    let mut w = ObjWriter::new();
+    w.u64_field("i", i);
+    match (out, anomaly) {
+        (Some(o), flaky) => {
+            w.str_field("origin", origin_name(o.origin));
+            if let StrikeOrigin::Sram(c) = o.origin {
+                w.str_field("component", c.short_name());
+            }
+            w.str_field("class", &o.class.to_string());
+            if flaky.is_some() {
+                w.bool_field("flaky", true);
+            }
+        }
+        (None, Some(a)) => {
+            w.bool_field("anomaly", true)
+                .bool_field("deterministic", a.deterministic)
+                .u64_field("attempts", a.attempts as u64)
+                .str_field("panic", &a.panic_msg);
+        }
+        (None, None) => unreachable!("a strike yields an outcome or an anomaly"),
+    }
+    w.finish()
+}
+
+/// Decodes a journal entry back into a strike record.
+fn decode_strike(
+    j: &Json,
+    specs: &[Option<InjectionSpec>],
+    id: &RunIdentity,
+) -> Option<(usize, Option<StrikeOutcome>, Option<RunAnomaly>)> {
+    let i = j.get("i")?.as_u64()? as usize;
+    if i >= specs.len() {
+        return None;
+    }
+    if j.get("anomaly").and_then(Json::as_bool) == Some(true) {
+        let anomaly = RunAnomaly {
+            index: i as u64,
+            spec: (*specs.get(i)?)?,
+            workload: id.workload.clone(),
+            seed: id.seed,
+            config_hash: id.config_hash,
+            golden_hash: id.golden_hash,
+            attempts: j.get("attempts")?.as_u64()? as u32,
+            deterministic: j.get("deterministic")?.as_bool()?,
+            panic_msg: j.get("panic")?.as_str()?.to_string(),
+            postmortem: String::new(),
+        };
+        return Some((i, None, Some(anomaly)));
+    }
+    let origin = match j.get("origin")?.as_str()? {
+        "sram" => StrikeOrigin::Sram(Component::from_short_name(j.get("component")?.as_str()?)?),
+        "platform_logic" => StrikeOrigin::PlatformLogic,
+        "core_latch" => StrikeOrigin::CoreLatch,
+        "idle_sram" => StrikeOrigin::IdleSram,
+        _ => return None,
+    };
+    let class = FaultClass::from_name(j.get("class")?.as_str()?)?;
+    Some((i, Some(StrikeOutcome { origin, class }), None))
+}
+
 /// Runs a beam session sampling `strikes` struck executions.
 ///
 /// ```no_run
@@ -175,17 +284,23 @@ impl Weights {
 ///
 /// # Errors
 ///
-/// Fails if the fault-free run does not complete cleanly.
+/// Fails if the fault-free run does not complete cleanly, or if a resumed
+/// strike-log journal does not match this session.
 pub fn run_session(
     name: &str,
     workload: &BuiltWorkload,
     cfg: &BeamConfig,
     strikes: u32,
 ) -> Result<BeamResult, BeamError> {
-    let golden: GoldenRun =
-        sea_platform::golden_run(cfg.machine, &workload.image, &cfg.kernel, 500_000_000)
-            .map_err(BeamError::Golden)?;
-    let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period);
+    let golden: GoldenRun = sea_platform::golden_run(
+        cfg.machine,
+        &workload.image,
+        &cfg.kernel,
+        cfg.golden_budget_cycles,
+    )
+    .map_err(BeamError::Golden)?;
+    let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period)
+        .with_wall_ms(cfg.supervisor.run_wall_ms);
     let kernel_frac = measure_kernel_residency(workload, cfg)?;
 
     let probe = System::new(cfg.machine, sea_microarch::NullDevice);
@@ -260,8 +375,16 @@ pub fn run_session(
             plans.push(Plan::Analytic(StrikeOrigin::IdleSram, class));
         }
     }
+    let plan_specs: Vec<Option<InjectionSpec>> = plans
+        .iter()
+        .map(|p| match p {
+            Plan::Simulate(spec) => Some(*spec),
+            Plan::Analytic(..) => None,
+        })
+        .collect();
 
-    // Simulate the SRAM strikes in parallel.
+    // Simulated SRAM strikes reuse the injection machinery (and its
+    // supervisor policy) with an inline config.
     let inj_cfg = CampaignConfig {
         machine: cfg.machine,
         kernel: cfg.kernel,
@@ -270,9 +393,61 @@ pub fn run_session(
         seed: cfg.seed,
         threads: cfg.threads,
         fault_model: sea_injection::FaultModel::SingleBit,
+        golden_budget_cycles: cfg.golden_budget_cycles,
+        supervisor: cfg.supervisor.clone(),
+        journal: None,
     };
-    let next = AtomicUsize::new(0);
-    let outcomes: Mutex<Vec<StrikeOutcome>> = Mutex::new(Vec::with_capacity(plans.len()));
+    let id = RunIdentity {
+        workload: name.to_string(),
+        seed: cfg.seed,
+        config_hash: beam_config_hash(cfg, strikes),
+        golden_hash: golden_hash(workload),
+    };
+
+    // Journal: open (or resume, skipping already-simulated strikes so the
+    // fluence accounting continues across restarts).
+    let mut outcome_by_idx: Vec<Option<StrikeOutcome>> = vec![None; plans.len()];
+    let mut anomalies: Vec<RunAnomaly> = Vec::new();
+    let mut done = vec![false; plans.len()];
+    let mut resumed = 0u64;
+    let journal = match &cfg.journal {
+        Some(spec) => {
+            let header = JournalHeader {
+                kind: "beam",
+                workload: id.workload.clone(),
+                seed: id.seed,
+                config_hash: id.config_hash,
+                golden_hash: id.golden_hash,
+                total: plans.len() as u64,
+            };
+            let (journal, entries) = open_journal(spec, &header).map_err(BeamError::Journal)?;
+            for e in &entries {
+                let Some((i, outcome, anomaly)) = decode_strike(e, &plan_specs, &id) else {
+                    continue;
+                };
+                if done[i] {
+                    continue;
+                }
+                done[i] = true;
+                resumed += 1;
+                outcome_by_idx[i] = outcome;
+                anomalies.extend(anomaly);
+            }
+            Some(journal)
+        }
+        None => None,
+    };
+    let pending: Vec<u64> = (0..plans.len() as u64)
+        .filter(|&i| !done[i as usize])
+        .collect();
+
+    let quarantine = match &cfg.supervisor.quarantine {
+        Some(path) => {
+            Some(Quarantine::open(path).map_err(|e| BeamError::Journal(JournalError::Io(e)))?)
+        }
+        None => None,
+    };
+
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -281,72 +456,94 @@ pub fn run_session(
         cfg.threads
     };
     let session_span = sea_trace::span(Subsystem::Beam, Level::Info, "beam.session");
-    let progress = Progress::new(format!("beam {name}"), plans.len() as u64, &CLASS_LABELS);
-    crossbeam::scope(|scope| {
-        let (next, outcomes, plans, progress, inj_cfg) =
-            (&next, &outcomes, &plans, &progress, &inj_cfg);
-        for _ in 0..threads.min(plans.len().max(1)) {
-            scope.spawn(move |_| {
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= plans.len() {
-                        break;
-                    }
-                    let out = match plans[i] {
-                        Plan::Analytic(origin, class) => {
-                            // Strikes into unmodeled logic take the PL-bridge
-                            // analytic path; log them with the same record shape
-                            // as simulated ones.
-                            event!(Subsystem::Beam, Level::Info, "beam.strike";
-                               "origin" => origin_name(origin),
-                               "modeled" => false,
-                               "class" => class.to_string());
-                            StrikeOutcome { origin, class }
-                        }
-                        Plan::Simulate(spec) => {
-                            let o = run_one(workload, inj_cfg, spec, limits);
-                            event!(Subsystem::Beam, Level::Info, "beam.strike";
+    let progress = Progress::new(format!("beam {name}"), pending.len() as u64, &CLASS_LABELS);
+    let (fresh, pool): (Vec<(u64, StrikeVerdict)>, PoolStats) = run_supervised(
+        &pending,
+        threads,
+        &cfg.supervisor,
+        Subsystem::Beam,
+        "beam.worker",
+        |i| {
+            let (out, anomaly) = match plans[i as usize] {
+                Plan::Analytic(origin, class) => {
+                    // Strikes into unmodeled logic take the PL-bridge
+                    // analytic path; log them with the same record shape
+                    // as simulated ones.
+                    event!(Subsystem::Beam, Level::Info, "beam.strike";
+                           "origin" => origin_name(origin),
+                           "modeled" => false,
+                           "class" => class.to_string());
+                    (Some(StrikeOutcome { origin, class }), None)
+                }
+                Plan::Simulate(spec) => {
+                    let v = attempt_run(
+                        workload,
+                        &inj_cfg,
+                        &id,
+                        i,
+                        spec,
+                        limits,
+                        quarantine.as_ref(),
+                    );
+                    let out = v.outcome.map(|o| {
+                        event!(Subsystem::Beam, Level::Info, "beam.strike";
                                cycle = spec.cycle;
                                "origin" => origin_name(StrikeOrigin::Sram(spec.component)),
                                "component" => spec.component.short_name(),
                                "bit" => spec.bit,
                                "modeled" => true,
                                "class" => o.class.to_string());
-                            StrikeOutcome {
-                                origin: StrikeOrigin::Sram(spec.component),
-                                class: o.class,
-                            }
+                        StrikeOutcome {
+                            origin: StrikeOrigin::Sram(spec.component),
+                            class: o.class,
                         }
-                    };
-                    progress.record(Some(class_index(out.class)));
-                    outcomes.lock().push(out);
+                    });
+                    (out, v.anomaly)
                 }
-                // Flush before the closure returns: the scope join can
-                // complete before this thread's TLS destructors run, so the
-                // drop-time ring flush may race with sink teardown.
-                sea_trace::flush_thread();
-            });
-        }
-    })
-    .expect("beam worker panicked");
-    let (done, secs) = progress.finish();
+            };
+            if let Some(j) = &journal {
+                j.append(&strike_line(i, out.as_ref(), anomaly.as_ref()));
+            }
+            progress.record(out.as_ref().map(|o| class_index(o.class)));
+            (out, anomaly)
+        },
+    );
+    let (done_strikes, secs) = progress.finish();
     if let Some(mut s) = session_span {
         s.field("workload", name.to_string());
-        s.field("strikes", done);
+        s.field("strikes", done_strikes);
         s.field(
             "strikes_per_sec",
-            if secs > 0.0 { done as f64 / secs } else { 0.0 },
+            if secs > 0.0 {
+                done_strikes as f64 / secs
+            } else {
+                0.0
+            },
         );
+        s.field("resumed", resumed);
     }
 
-    let all = outcomes.into_inner();
+    for (i, (out, anomaly)) in fresh {
+        outcome_by_idx[i as usize] = out;
+        anomalies.extend(anomaly);
+    }
+    anomalies.sort_by_key(|a| a.index);
+
     let mut counts = ClassCounts::default();
     let mut by_origin: std::collections::BTreeMap<StrikeOrigin, ClassCounts> =
         std::collections::BTreeMap::new();
-    for o in &all {
+    for o in outcome_by_idx.iter().flatten() {
         counts.add(o.class);
         by_origin.entry(o.origin).or_default().add(o.class);
     }
+    let supervision = SupervisionStats {
+        completed: counts.total(),
+        resumed,
+        quarantined: anomalies.len() as u64,
+        flaky_recovered: anomalies.iter().filter(|a| !a.deterministic).count() as u64,
+        worker_respawns: pool.respawns,
+        lost: pool.lost.len() as u64,
+    };
 
     // Represented exposure: strikes arrive at flux × Σ(σ·t) per execution.
     let runs_represented = strikes as f64 / (cfg.flux * w.total());
@@ -377,5 +574,7 @@ pub fn run_session(
         golden_cycles: golden.cycles,
         kernel_resident_frac: kernel_frac,
         code_residency,
+        anomalies,
+        supervision,
     })
 }

@@ -15,6 +15,7 @@
 //! | `fig10` | Fig 10 — aggregate comparison overview |
 //! | `fit_raw` | §VI — the L1 per-bit raw-FIT measurement |
 //! | `counters` | §IV-D — the 7-counter setup cross-check |
+//! | `replay` | re-execute a quarantined anomaly deterministically |
 //! | `reproduce_all` | everything above, in order |
 //!
 //! Ablation binaries (`ablation_multibit`, `ablation_unmodeled`,
@@ -27,6 +28,12 @@
 //! `--trace-out FILE.jsonl` (capture a structured `sea-trace` event
 //! stream, with fault provenance, and print a trace summary at exit)
 //! and `--progress` (live per-class progress meter on stderr).
+//!
+//! Campaign robustness flags (see README "Robustness"): `--journal DIR`
+//! writes an append-only outcome journal per workload, `--resume`
+//! validates and continues an interrupted journal, `--quarantine FILE`
+//! collects panicking runs as replayable anomaly records, and
+//! `--run-timeout-ms N` puts a wall-clock watchdog on every run.
 //! Criterion microbenchmarks (`cargo bench -p sea-bench`) cover the
 //! simulator kernels the tables depend on.
 
@@ -149,6 +156,22 @@ pub fn parse_options() -> Options {
                 trace::set_progress(true);
                 i += 1;
             }
+            "--journal" => {
+                opts.study.journal_dir = Some(PathBuf::from(need(i)));
+                i += 2;
+            }
+            "--resume" => {
+                opts.study.resume = true;
+                i += 1;
+            }
+            "--quarantine" => {
+                opts.study.quarantine = Some(PathBuf::from(need(i)));
+                i += 2;
+            }
+            "--run-timeout-ms" => {
+                opts.study.run_wall_ms = need(i).parse().expect("--run-timeout-ms N");
+                i += 2;
+            }
             "--suite" => {
                 opts.suite = need(i)
                     .split(',')
@@ -193,6 +216,30 @@ pub fn run_study(opts: &Options) -> StudyResult {
     }
     let comparisons: Vec<_> = workloads.iter().map(|w| w.comparison.clone()).collect();
     eprintln!("study done in {:.1}s", t0.elapsed().as_secs_f64());
+    // Supervision audit goes to stderr so stdout (the artifact itself)
+    // stays byte-stable for diffing clean vs resumed runs.
+    let sup_rows: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            (
+                w.workload.name().to_string(),
+                w.campaign.supervision,
+                w.beam.supervision,
+            )
+        })
+        .collect();
+    let noteworthy = sup_rows.iter().any(|(_, i, b)| {
+        i.quarantined + i.lost + b.quarantined + b.lost > 0
+            || i.worker_respawns + b.worker_respawns > 0
+            || i.resumed + b.resumed > 0
+    });
+    if noteworthy {
+        eprintln!("\nsupervision summary:");
+        eprint!(
+            "{}",
+            sea_core::analysis::report::supervision_table(&sup_rows)
+        );
+    }
     StudyResult {
         overview: Overview::from_comparisons(&comparisons),
         workloads,

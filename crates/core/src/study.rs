@@ -85,6 +85,17 @@ pub struct Study {
     pub seed: u64,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
+    /// Cycle budget for fault-free reference runs.
+    pub golden_budget_cycles: u64,
+    /// Journal directory for outcome/strike logs (None = no journal).
+    pub journal_dir: Option<std::path::PathBuf>,
+    /// Resume from an existing journal instead of starting over.
+    pub resume: bool,
+    /// Quarantine file for anomaly records (None = no quarantine file;
+    /// anomalies are still counted in results).
+    pub quarantine: Option<std::path::PathBuf>,
+    /// Per-run wall-clock budget in milliseconds (0 = disabled).
+    pub run_wall_ms: u64,
 }
 
 impl Default for Study {
@@ -98,11 +109,36 @@ impl Default for Study {
             fit_raw: 2.76e-5,
             seed: 0x5EA_0001,
             threads: 0,
+            golden_budget_cycles: 500_000_000,
+            journal_dir: None,
+            resume: false,
+            quarantine: None,
+            run_wall_ms: 0,
         }
     }
 }
 
 impl Study {
+    /// The supervision policy both methodologies run under.
+    fn supervisor_config(&self) -> sea_injection::SupervisorConfig {
+        sea_injection::SupervisorConfig {
+            run_wall_ms: self.run_wall_ms,
+            quarantine: self.quarantine.clone(),
+            ..sea_injection::SupervisorConfig::default()
+        }
+    }
+
+    /// The journal location both methodologies write to (they use
+    /// distinct file suffixes inside the directory).
+    fn journal_spec(&self) -> Option<sea_injection::JournalSpec> {
+        self.journal_dir
+            .as_ref()
+            .map(|dir| sea_injection::JournalSpec {
+                dir: dir.clone(),
+                resume: self.resume,
+            })
+    }
+
     /// The injection-campaign configuration this study uses.
     pub fn injection_config(&self) -> CampaignConfig {
         CampaignConfig {
@@ -113,6 +149,9 @@ impl Study {
             seed: self.seed,
             threads: self.threads,
             fault_model: sea_injection::FaultModel::SingleBit,
+            golden_budget_cycles: self.golden_budget_cycles,
+            supervisor: self.supervisor_config(),
+            journal: self.journal_spec(),
         }
     }
 
@@ -124,6 +163,9 @@ impl Study {
             sigma_bit: sea_beam::fit_to_sigma(self.fit_raw),
             seed: self.seed,
             threads: self.threads,
+            golden_budget_cycles: self.golden_budget_cycles,
+            supervisor: self.supervisor_config(),
+            journal: self.journal_spec(),
             ..BeamConfig::default()
         }
     }

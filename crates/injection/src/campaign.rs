@@ -1,18 +1,22 @@
 //! Statistical fault-injection campaigns (the GeFIN equivalent, §IV-C).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use sea_kernel::KernelConfig;
 use sea_microarch::{ArrayKind, Component, MachineConfig, System};
 use sea_platform::{
-    boot, classify, golden_run, run, ClassCounts, FaultClass, GoldenRun, RunLimits,
+    boot, classify, golden_run, run, Board, ClassCounts, FaultClass, GoldenRun, RunLimits,
 };
+use sea_trace::json::{Json, ObjWriter};
 use sea_trace::{event, Level, Progress, Subsystem};
 use sea_workloads::BuiltWorkload;
+
+use crate::supervisor::{
+    attempt_run, config_hash, golden_hash, open_journal, run_supervised, Journal, JournalError,
+    JournalHeader, JournalSpec, PoolStats, Quarantine, RunAnomaly, RunIdentity, RunVerdict,
+    SupervisorConfig,
+};
 
 /// Class-name labels for progress meters, index-aligned with
 /// [`FaultClass::ALL`].
@@ -81,7 +85,7 @@ pub struct InjectionOutcome {
 }
 
 /// Per-component campaign results.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ComponentResult {
     /// The component.
     pub component: Component,
@@ -92,7 +96,8 @@ pub struct ComponentResult {
     /// Tallies restricted to faults that landed in tag arrays (for the
     /// paper's TLB tag-vs-target analysis, §V-B).
     pub tag_counts: ClassCounts,
-    /// Every raw outcome, in execution order.
+    /// Every raw outcome, in spec-index order (deterministic across thread
+    /// interleavings).
     pub outcomes: Vec<InjectionOutcome>,
 }
 
@@ -109,8 +114,26 @@ impl ComponentResult {
     }
 }
 
+/// What the supervisor observed while running a campaign.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisionStats {
+    /// Runs with a classified outcome (including resumed ones).
+    pub completed: u64,
+    /// Runs skipped because a resumed journal already recorded them.
+    pub resumed: u64,
+    /// Anomalies recorded (panicking runs, deterministic or flaky).
+    pub quarantined: u64,
+    /// Anomalies that recovered on retry (flaky panics).
+    pub flaky_recovered: u64,
+    /// Worker threads respawned after dying mid-campaign.
+    pub worker_respawns: u32,
+    /// Runs abandoned entirely (kept killing workers outside the per-run
+    /// panic boundary even after the respawn budget was spent).
+    pub lost: u64,
+}
+
 /// Full campaign result for one workload.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CampaignResult {
     /// Workload display name.
     pub workload: String,
@@ -118,6 +141,11 @@ pub struct CampaignResult {
     pub golden_cycles: u64,
     /// Per-component results, in [`Component::ALL`] order.
     pub per_component: Vec<ComponentResult>,
+    /// Anomalies (panicking runs) captured by the supervisor, in
+    /// spec-index order.
+    pub anomalies: Vec<RunAnomaly>,
+    /// Supervision counters.
+    pub supervision: SupervisionStats,
 }
 
 impl CampaignResult {
@@ -152,6 +180,12 @@ pub struct CampaignConfig {
     pub threads: usize,
     /// Spatial fault model (default: single bit, as in the paper).
     pub fault_model: FaultModel,
+    /// Cycle budget for the fault-free reference run.
+    pub golden_budget_cycles: u64,
+    /// Supervision policy: panic isolation, retry, quarantine, respawn.
+    pub supervisor: SupervisorConfig,
+    /// Outcome journal location and resume behavior (None = no journal).
+    pub journal: Option<JournalSpec>,
 }
 
 impl Default for CampaignConfig {
@@ -168,6 +202,9 @@ impl Default for CampaignConfig {
             seed: 0xDEFA_0001,
             threads: 0,
             fault_model: FaultModel::SingleBit,
+            golden_budget_cycles: 500_000_000,
+            supervisor: SupervisorConfig::default(),
+            journal: None,
         }
     }
 }
@@ -177,12 +214,16 @@ impl Default for CampaignConfig {
 pub enum CampaignError {
     /// The fault-free run failed; the workload/setup is broken.
     Golden(sea_platform::GoldenError),
+    /// The outcome journal could not be opened or does not match this
+    /// campaign.
+    Journal(JournalError),
 }
 
 impl std::fmt::Display for CampaignError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CampaignError::Golden(e) => write!(f, "golden run failed: {e}"),
+            CampaignError::Journal(e) => write!(f, "{e}"),
         }
     }
 }
@@ -199,6 +240,19 @@ pub fn run_one(
 ) -> InjectionOutcome {
     let (mut sys, _) = boot(cfg.machine, &workload.image, &cfg.kernel)
         .expect("boot succeeded for the golden run, must succeed here");
+    inject_and_run(&mut sys, workload, cfg, spec, limits)
+}
+
+/// The injection body shared by [`run_one`] and the supervised path
+/// (`supervisor::run_one_caught`, which boots outside the panic boundary
+/// so the machine survives an unwind for the post-mortem).
+pub(crate) fn inject_and_run(
+    sys: &mut System<Board>,
+    workload: &BuiltWorkload,
+    cfg: &CampaignConfig,
+    spec: InjectionSpec,
+    limits: RunLimits,
+) -> InjectionOutcome {
     // Phase 1: fault-free prefix (no terminal event can fire before the
     // golden run's end, and spec.cycle < golden cycles).
     while sys.cycles() < spec.cycle {
@@ -228,7 +282,7 @@ pub fn run_one(
                "wrapped" => b < spec.bit);
     }
     // Phase 2: run to a terminal state under the watchdog.
-    let outcome = run(&mut sys, limits);
+    let outcome = run(sys, limits);
     let class = classify(&outcome, &workload.golden);
     if let Some(probe) = sys.take_probe() {
         probe.emit_record(&class.to_string(), sys.cycles());
@@ -239,6 +293,88 @@ pub fn run_one(
         was_valid: site.was_valid,
         class,
     }
+}
+
+/// Serializes one completed run as a journal entry line.
+fn verdict_line(i: u64, v: &RunVerdict) -> String {
+    let mut w = ObjWriter::new();
+    w.u64_field("i", i);
+    match (&v.outcome, &v.anomaly) {
+        (Some(o), anomaly) => {
+            w.str_field("class", &o.class.to_string())
+                .str_field("array", o.array.name())
+                .bool_field("valid", o.was_valid);
+            if anomaly.is_some() {
+                // Flaky: panicked, then a retry succeeded. The outcome is
+                // authoritative; the anomaly lives in the quarantine file.
+                w.bool_field("flaky", true);
+            }
+        }
+        (None, Some(a)) => {
+            w.bool_field("anomaly", true)
+                .bool_field("deterministic", a.deterministic)
+                .u64_field("attempts", a.attempts as u64)
+                .str_field("panic", &a.panic_msg);
+        }
+        (None, None) => unreachable!("attempt_run yields an outcome or an anomaly"),
+    }
+    w.finish()
+}
+
+/// Decodes one journal entry back into a completed-run record. The spec is
+/// regenerated from the seed, so only the index and the classification
+/// travel through the journal.
+fn decode_entry(
+    j: &Json,
+    specs: &[InjectionSpec],
+    id: &RunIdentity,
+) -> Option<(usize, Option<InjectionOutcome>, Option<RunAnomaly>)> {
+    let i = j.get("i")?.as_u64()? as usize;
+    let spec = *specs.get(i)?;
+    if j.get("anomaly").and_then(Json::as_bool) == Some(true) {
+        let anomaly = RunAnomaly {
+            index: i as u64,
+            spec,
+            workload: id.workload.clone(),
+            seed: id.seed,
+            config_hash: id.config_hash,
+            golden_hash: id.golden_hash,
+            attempts: j.get("attempts")?.as_u64()? as u32,
+            deterministic: j.get("deterministic")?.as_bool()?,
+            panic_msg: j.get("panic")?.as_str()?.to_string(),
+            // The snapshot lives in the quarantine file, not the journal.
+            postmortem: String::new(),
+        };
+        Some((i, None, Some(anomaly)))
+    } else {
+        let outcome = InjectionOutcome {
+            spec,
+            array: ArrayKind::from_name(j.get("array")?.as_str()?)?,
+            was_valid: j.get("valid")?.as_bool()?,
+            class: FaultClass::from_name(j.get("class")?.as_str()?)?,
+        };
+        Some((i, Some(outcome), None))
+    }
+}
+
+/// Generates the campaign's deterministic spec sequence (shared with the
+/// `replay` binary, which must regenerate the exact sequence from the
+/// seed).
+pub fn generate_specs(cfg: &CampaignConfig, golden_cycles: u64) -> Vec<InjectionSpec> {
+    let probe = System::new(cfg.machine, sea_microarch::NullDevice);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut specs: Vec<InjectionSpec> = Vec::new();
+    for &component in &cfg.components {
+        let bits = probe.component_bits(component);
+        for _ in 0..cfg.samples_per_component {
+            specs.push(InjectionSpec {
+                component,
+                bit: rng.gen_range(0..bits),
+                cycle: rng.gen_range(0..golden_cycles),
+            });
+        }
+    }
+    specs
 }
 
 /// Runs a full statistical campaign for one workload.
@@ -258,35 +394,83 @@ pub fn run_one(
 /// # }
 /// ```
 ///
+/// Runs execute under the campaign supervisor: a simulator panic is
+/// captured per-run (with bounded retry and quarantine) instead of
+/// aborting the campaign, and with [`CampaignConfig::journal`] set,
+/// completed runs are journaled so an interrupted campaign can resume.
+///
 /// # Errors
 ///
-/// Fails only if the fault-free run does not complete cleanly.
+/// Fails if the fault-free run does not complete cleanly, or if a resumed
+/// journal does not match this campaign.
 pub fn run_campaign(
     name: &str,
     workload: &BuiltWorkload,
     cfg: &CampaignConfig,
 ) -> Result<CampaignResult, CampaignError> {
-    let golden: GoldenRun = golden_run(cfg.machine, &workload.image, &cfg.kernel, 500_000_000)
-        .map_err(CampaignError::Golden)?;
-    let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period);
+    let golden: GoldenRun = golden_run(
+        cfg.machine,
+        &workload.image,
+        &cfg.kernel,
+        cfg.golden_budget_cycles,
+    )
+    .map_err(CampaignError::Golden)?;
+    let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period)
+        .with_wall_ms(cfg.supervisor.run_wall_ms);
 
     // Pre-generate all specs deterministically.
     let probe = System::new(cfg.machine, sea_microarch::NullDevice);
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut specs: Vec<InjectionSpec> = Vec::new();
-    for &component in &cfg.components {
-        let bits = probe.component_bits(component);
-        for _ in 0..cfg.samples_per_component {
-            specs.push(InjectionSpec {
-                component,
-                bit: rng.gen_range(0..bits),
-                cycle: rng.gen_range(0..golden.cycles),
-            });
-        }
-    }
+    let specs = generate_specs(cfg, golden.cycles);
+    let id = RunIdentity {
+        workload: name.to_string(),
+        seed: cfg.seed,
+        config_hash: config_hash(cfg),
+        golden_hash: golden_hash(workload),
+    };
 
-    let next = AtomicUsize::new(0);
-    let outcomes: Mutex<Vec<InjectionOutcome>> = Mutex::new(Vec::with_capacity(specs.len()));
+    // Journal: open (or resume, skipping already-completed runs).
+    let mut outcome_by_idx: Vec<Option<InjectionOutcome>> = vec![None; specs.len()];
+    let mut anomalies: Vec<RunAnomaly> = Vec::new();
+    let mut done = vec![false; specs.len()];
+    let mut resumed = 0u64;
+    let journal: Option<Journal> = match &cfg.journal {
+        Some(spec) => {
+            let header = JournalHeader {
+                kind: "inject",
+                workload: id.workload.clone(),
+                seed: id.seed,
+                config_hash: id.config_hash,
+                golden_hash: id.golden_hash,
+                total: specs.len() as u64,
+            };
+            let (journal, entries) = open_journal(spec, &header).map_err(CampaignError::Journal)?;
+            for e in &entries {
+                let Some((i, outcome, anomaly)) = decode_entry(e, &specs, &id) else {
+                    continue;
+                };
+                if done[i] {
+                    continue;
+                }
+                done[i] = true;
+                resumed += 1;
+                outcome_by_idx[i] = outcome;
+                anomalies.extend(anomaly);
+            }
+            Some(journal)
+        }
+        None => None,
+    };
+    let pending: Vec<u64> = (0..specs.len() as u64)
+        .filter(|&i| !done[i as usize])
+        .collect();
+
+    let quarantine = match &cfg.supervisor.quarantine {
+        Some(path) => {
+            Some(Quarantine::open(path).map_err(|e| CampaignError::Journal(JournalError::Io(e)))?)
+        }
+        None => None,
+    };
+
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -295,57 +479,67 @@ pub fn run_campaign(
         cfg.threads
     };
     let campaign_span = sea_trace::span(Subsystem::Injection, Level::Info, "injection.campaign");
-    let progress = Progress::new(format!("inject {name}"), specs.len() as u64, &CLASS_LABELS);
-    crossbeam::scope(|scope| {
-        let (next, outcomes, specs) = (&next, &outcomes, &specs);
-        for worker in 0..threads.min(specs.len().max(1)) {
-            let progress = &progress;
-            scope.spawn(move |_| {
-                let started = std::time::Instant::now();
-                let mut runs = 0u64;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= specs.len() {
-                        break;
-                    }
-                    let out = run_one(workload, cfg, specs[i], limits);
-                    progress.record(Some(class_index(out.class)));
-                    runs += 1;
-                    outcomes.lock().push(out);
-                }
-                let secs = started.elapsed().as_secs_f64();
-                event!(Subsystem::Injection, Level::Info, "injection.worker";
-                       "worker" => worker,
-                       "runs" => runs,
-                       "secs" => secs,
-                       "runs_per_sec" => if secs > 0.0 { runs as f64 / secs } else { 0.0 });
-                // Flush before the closure returns: the scope join can
-                // complete before this thread's TLS destructors run, so the
-                // drop-time ring flush may race with sink teardown.
-                sea_trace::flush_thread();
-            });
-        }
-    })
-    .expect("campaign worker panicked");
-    let (done, secs) = progress.finish();
+    let progress = Progress::new(
+        format!("inject {name}"),
+        pending.len() as u64,
+        &CLASS_LABELS,
+    );
+    let (fresh, pool): (Vec<(u64, RunVerdict)>, PoolStats) = run_supervised(
+        &pending,
+        threads,
+        &cfg.supervisor,
+        Subsystem::Injection,
+        "injection.worker",
+        |i| {
+            let verdict = attempt_run(
+                workload,
+                cfg,
+                &id,
+                i,
+                specs[i as usize],
+                limits,
+                quarantine.as_ref(),
+            );
+            if let Some(j) = &journal {
+                j.append(&verdict_line(i, &verdict));
+            }
+            progress.record(verdict.outcome.as_ref().map(|o| class_index(o.class)));
+            verdict
+        },
+    );
+    let (done_runs, secs) = progress.finish();
     if let Some(mut s) = campaign_span {
         s.field("workload", name.to_string());
-        s.field("runs", done);
+        s.field("runs", done_runs);
         s.field(
             "runs_per_sec",
-            if secs > 0.0 { done as f64 / secs } else { 0.0 },
+            if secs > 0.0 {
+                done_runs as f64 / secs
+            } else {
+                0.0
+            },
         );
-        s.field("workers", threads.min(specs.len().max(1)));
+        s.field("workers", pool.workers);
+        s.field("resumed", resumed);
     }
 
-    let all = outcomes.into_inner();
+    for (i, v) in fresh {
+        outcome_by_idx[i as usize] = v.outcome;
+        anomalies.extend(v.anomaly);
+    }
+    anomalies.sort_by_key(|a| a.index);
+
     let mut per_component = Vec::new();
     for &component in &cfg.components {
         let bits = probe.component_bits(component);
         let mut counts = ClassCounts::default();
         let mut tag_counts = ClassCounts::default();
         let mut outs = Vec::new();
-        for o in all.iter().filter(|o| o.spec.component == component) {
+        for o in outcome_by_idx
+            .iter()
+            .flatten()
+            .filter(|o| o.spec.component == component)
+        {
             counts.add(o.class);
             if o.array == ArrayKind::Tag {
                 tag_counts.add(o.class);
@@ -361,9 +555,29 @@ pub fn run_campaign(
         });
     }
 
+    let completed = outcome_by_idx.iter().flatten().count() as u64;
+    let supervision = SupervisionStats {
+        completed,
+        resumed,
+        quarantined: anomalies.len() as u64,
+        flaky_recovered: anomalies.iter().filter(|a| !a.deterministic).count() as u64,
+        worker_respawns: pool.respawns,
+        lost: pool.lost.len() as u64,
+    };
+    if supervision.quarantined > 0 || supervision.lost > 0 || supervision.worker_respawns > 0 {
+        event!(Subsystem::Injection, Level::Warn, "injection.supervision";
+               "workload" => name.to_string(),
+               "quarantined" => supervision.quarantined,
+               "flaky_recovered" => supervision.flaky_recovered,
+               "worker_respawns" => supervision.worker_respawns,
+               "lost" => supervision.lost);
+    }
+
     Ok(CampaignResult {
         workload: name.to_string(),
         golden_cycles: golden.cycles,
         per_component,
+        anomalies,
+        supervision,
     })
 }

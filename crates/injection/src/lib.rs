@@ -10,15 +10,24 @@
 //! and carry the statistical machinery of Leveugle et al. used by the
 //! paper: sample-size selection at 99% confidence and the post-campaign
 //! error-margin re-adjustment behind Table IV.
+//!
+//! Campaigns run under a [supervisor](crate::supervisor): per-run panic
+//! isolation with bounded retry and anomaly quarantine, an append-only
+//! outcome journal with crash-safe resume, worker respawn, and a per-run
+//! wall-clock watchdog — the simulated counterpart of the paper's beam
+//! harness surviving 260 beam-hours of crashes (§IV-B).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod campaign;
 pub mod stats;
+pub mod supervisor;
 
 pub use campaign::{
-    class_index, run_campaign, run_one, CampaignConfig, CampaignError, CampaignResult,
-    ComponentResult, FaultModel, InjectionOutcome, InjectionSpec, CLASS_LABELS,
+    class_index, generate_specs, run_campaign, run_one, CampaignConfig, CampaignError,
+    CampaignResult, ComponentResult, FaultModel, InjectionOutcome, InjectionSpec, SupervisionStats,
+    CLASS_LABELS,
 };
 pub use sea_platform::ClassCounts;
+pub use supervisor::{load_quarantine, run_one_caught, JournalSpec, RunAnomaly, SupervisorConfig};

@@ -1,0 +1,859 @@
+//! Campaign supervision: panic isolation, retry, quarantine, journals.
+//!
+//! The paper's beam methodology survives 260 beam-hours only because the
+//! harness itself is resilient: a watchdog watches the "Alive" heartbeat,
+//! crashed boards are power-cycled, and the fluence accounting continues
+//! across restarts (§IV-B). This module gives the *campaign runners* the
+//! same property:
+//!
+//! * **Per-run panic isolation** — [`run_one_caught`] wraps each injected
+//!   execution in `catch_unwind`, so a simulator panic triggered by
+//!   corrupted microarchitectural state becomes a [`RunAnomaly`] record
+//!   (with a post-mortem snapshot) instead of killing the campaign.
+//! * **Bounded retry + quarantine** — [`attempt_run`] retries a panicking
+//!   run up to [`SupervisorConfig::max_attempts`] times, distinguishing
+//!   deterministic panics from flaky ones, and appends every anomaly to a
+//!   replayable JSONL [`Quarantine`] file (see the `replay` bench binary).
+//! * **Journal + resume** — [`Journal`] is an append-only JSONL outcome
+//!   log (reusing the hand-rolled `sea-trace` serializer); on resume the
+//!   header (seed, config hash, golden hash, total) is validated and
+//!   completed runs are skipped, so a killed campaign continues where it
+//!   stopped without re-simulating finished work.
+//! * **Worker supervision** — [`run_supervised`] pulls work through a
+//!   self-healing pool: a worker that dies mid-campaign is respawned (its
+//!   in-flight item is requeued), degrading gracefully to fewer threads
+//!   once the respawn budget is exhausted.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use sea_platform::{boot, postmortem, RunLimits};
+use sea_trace::json::{self, Json, ObjWriter};
+use sea_trace::{event, Level, Subsystem};
+use sea_workloads::BuiltWorkload;
+
+use crate::campaign::{CampaignConfig, InjectionOutcome, InjectionSpec};
+
+/// Supervision knobs shared by injection campaigns and beam sessions.
+///
+/// The two function-pointer hooks exist for fault-injection *into the
+/// harness itself* (tests and the CI resume job): `panic_hook` fires
+/// inside the caught region (a panic there is captured as an anomaly),
+/// `worker_hook` fires outside it (a panic there kills the worker thread
+/// and exercises the respawn path).
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Attempts per run before the spec is quarantined without an outcome
+    /// (≥ 1; the paper's harness likewise bounds per-board restarts).
+    pub max_attempts: u32,
+    /// Per-run wall-clock budget in milliseconds (0 = disabled). This
+    /// complements the cycle budget: a pathological run that burns host
+    /// time without advancing simulated cycles cannot stall a worker
+    /// forever.
+    pub run_wall_ms: u64,
+    /// Total worker respawns allowed before the pool degrades to fewer
+    /// threads.
+    pub max_worker_respawns: usize,
+    /// Quarantine file for anomaly records (append-only JSONL).
+    pub quarantine: Option<PathBuf>,
+    /// Test-only fault hook, called *inside* the caught region with the
+    /// spec index before each attempt.
+    pub panic_hook: Option<fn(u64, &InjectionSpec)>,
+    /// Test-only fault hook, called in the worker loop *outside* the
+    /// caught region with (worker, spec index).
+    pub worker_hook: Option<fn(usize, u64)>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            max_attempts: 2,
+            run_wall_ms: 0,
+            max_worker_respawns: 4,
+            quarantine: None,
+            panic_hook: None,
+            worker_hook: None,
+        }
+    }
+}
+
+/// One supervised run that panicked: everything needed to report, count,
+/// and deterministically replay it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunAnomaly {
+    /// Spec index within the campaign's deterministic spec sequence.
+    pub index: u64,
+    /// The injected fault.
+    pub spec: InjectionSpec,
+    /// Workload display name.
+    pub workload: String,
+    /// Campaign RNG seed (spec regeneration key).
+    pub seed: u64,
+    /// Campaign configuration hash (see [`config_hash`]).
+    pub config_hash: u64,
+    /// Golden-output hash (pins the workload build/scale).
+    pub golden_hash: u64,
+    /// Attempts made (1..=max_attempts).
+    pub attempts: u32,
+    /// Whether every attempt panicked (true) or a retry succeeded (false).
+    pub deterministic: bool,
+    /// The panic payload, stringified.
+    pub panic_msg: String,
+    /// `sea_platform::postmortem` snapshot at the failed attempt, plus the
+    /// architectural state fingerprint.
+    pub postmortem: String,
+}
+
+/// A panic captured at the simulator boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaughtPanic {
+    /// The panic payload, stringified.
+    pub message: String,
+    /// Post-mortem snapshot of the machine the panic unwound out of.
+    pub postmortem: String,
+}
+
+/// Stringify a panic payload (the common `&str`/`String` cases).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// 64-bit FNV-1a over raw bytes (journal/quarantine config hashing).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic hash of everything that shapes a campaign's *physics*:
+/// machine, kernel, sample count, targeted components, fault model, and
+/// golden budget. Runtime-only knobs (threads, journal, supervision) are
+/// deliberately excluded — resuming with a different thread count is
+/// valid, resuming against a different machine is not.
+pub fn config_hash(cfg: &CampaignConfig) -> u64 {
+    fnv1a(
+        format!(
+            "{:?}|{:?}|{}|{:?}|{:?}|{}",
+            cfg.machine,
+            cfg.kernel,
+            cfg.samples_per_component,
+            cfg.components,
+            cfg.fault_model,
+            cfg.golden_budget_cycles,
+        )
+        .as_bytes(),
+    )
+}
+
+/// Hash of the workload's golden output (plus image text size): pins the
+/// exact benchmark build and input scale a journal or quarantine record
+/// was produced against.
+pub fn golden_hash(workload: &BuiltWorkload) -> u64 {
+    let mut h = fnv1a(&workload.golden);
+    h = h.wrapping_mul(0x100_0000_01b3) ^ workload.image.text_bytes() as u64;
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine
+// ---------------------------------------------------------------------------
+
+/// Append-only JSONL file of [`RunAnomaly`] records, shared by all workers
+/// of a campaign.
+pub struct Quarantine {
+    w: Mutex<File>,
+    written: AtomicU64,
+}
+
+impl Quarantine {
+    /// Opens (creating if needed) the quarantine file for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Quarantine> {
+        let f = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Quarantine {
+            w: Mutex::new(f),
+            written: AtomicU64::new(0),
+        })
+    }
+
+    /// Appends one anomaly record (one line, flushed immediately so a
+    /// subsequent campaign crash cannot lose it).
+    pub fn record(&self, a: &RunAnomaly) {
+        let mut o = ObjWriter::new();
+        o.str_field("rec", "anomaly")
+            .str_field("workload", &a.workload)
+            .str_field("seed", &format!("{:016x}", a.seed))
+            .str_field("cfg", &format!("{:016x}", a.config_hash))
+            .str_field("golden", &format!("{:016x}", a.golden_hash))
+            .u64_field("i", a.index)
+            .str_field("component", a.spec.component.short_name())
+            .u64_field("bit", a.spec.bit)
+            .u64_field("cycle", a.spec.cycle)
+            .u64_field("attempts", a.attempts as u64)
+            .bool_field("deterministic", a.deterministic)
+            .str_field("panic", &a.panic_msg)
+            .str_field("postmortem", &a.postmortem);
+        let mut line = o.finish();
+        line.push('\n');
+        let mut w = self.w.lock();
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+        self.written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of records appended by this handle.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+}
+
+fn parse_hex64(j: Option<&Json>) -> Option<u64> {
+    u64::from_str_radix(j?.as_str()?, 16).ok()
+}
+
+/// Loads every parseable anomaly record from a quarantine file.
+///
+/// Lines that do not parse (e.g. a torn tail write) are skipped.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn load_quarantine(path: impl AsRef<Path>) -> std::io::Result<Vec<RunAnomaly>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Ok(j) = json::parse(line) else { continue };
+        if j.get("rec").and_then(Json::as_str) != Some("anomaly") {
+            continue;
+        }
+        let Some(a) = decode_anomaly(&j) else {
+            continue;
+        };
+        out.push(a);
+    }
+    Ok(out)
+}
+
+fn decode_anomaly(j: &Json) -> Option<RunAnomaly> {
+    let component = sea_microarch::Component::from_short_name(
+        j.get("component").and_then(Json::as_str).unwrap_or(""),
+    )?;
+    Some(RunAnomaly {
+        index: j.get("i")?.as_u64()?,
+        spec: InjectionSpec {
+            component,
+            bit: j.get("bit")?.as_u64()?,
+            cycle: j.get("cycle")?.as_u64()?,
+        },
+        workload: j.get("workload")?.as_str()?.to_string(),
+        seed: parse_hex64(j.get("seed"))?,
+        config_hash: parse_hex64(j.get("cfg"))?,
+        golden_hash: parse_hex64(j.get("golden"))?,
+        attempts: j.get("attempts")?.as_u64()? as u32,
+        deterministic: j.get("deterministic")?.as_bool()?,
+        panic_msg: j.get("panic")?.as_str()?.to_string(),
+        postmortem: j.get("postmortem")?.as_str()?.to_string(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+/// Where (and whether) a campaign journals its outcomes.
+#[derive(Clone, Debug)]
+pub struct JournalSpec {
+    /// Directory holding one journal file per (workload, kind).
+    pub dir: PathBuf,
+    /// Validate an existing journal and skip its completed runs instead of
+    /// truncating it.
+    pub resume: bool,
+}
+
+/// The identity a journal is bound to; all fields are validated on resume.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalHeader {
+    /// `"inject"` or `"beam"`.
+    pub kind: &'static str,
+    /// Workload display name.
+    pub workload: String,
+    /// Campaign RNG seed (specs regenerate deterministically from it).
+    pub seed: u64,
+    /// Campaign configuration hash.
+    pub config_hash: u64,
+    /// Golden-output hash.
+    pub golden_hash: u64,
+    /// Total planned runs.
+    pub total: u64,
+}
+
+/// Journal open/validation error.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// An existing journal does not match this campaign (wrong seed,
+    /// config, workload build, or run count).
+    Header(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Header(s) => write!(f, "journal header mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// The journal file for one (workload, kind) pair inside a journal dir.
+pub fn journal_file(dir: &Path, kind: &str, workload: &str) -> PathBuf {
+    let slug: String = workload
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    dir.join(format!("{slug}.{kind}.jsonl"))
+}
+
+/// An open append-only outcome journal. Every appended line is flushed so
+/// a killed campaign loses at most the in-flight runs.
+pub struct Journal {
+    w: Mutex<File>,
+}
+
+impl Journal {
+    /// Appends one entry line (the caller provides the serialized object,
+    /// without trailing newline).
+    pub fn append(&self, line: &str) {
+        let mut w = self.w.lock();
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+        let _ = w.flush();
+    }
+}
+
+fn header_line(h: &JournalHeader) -> String {
+    let mut o = ObjWriter::new();
+    o.str_field("journal", "sea-campaign")
+        .u64_field("v", 1)
+        .str_field("kind", h.kind)
+        .str_field("workload", &h.workload)
+        .str_field("seed", &format!("{:016x}", h.seed))
+        .str_field("cfg", &format!("{:016x}", h.config_hash))
+        .str_field("golden", &format!("{:016x}", h.golden_hash))
+        .u64_field("total", h.total);
+    o.finish()
+}
+
+fn validate_header(line: &str, want: &JournalHeader) -> Result<(), String> {
+    let j = json::parse(line).map_err(|e| format!("unreadable header: {e}"))?;
+    if j.get("journal").and_then(Json::as_str) != Some("sea-campaign") {
+        return Err("not a sea-campaign journal".to_string());
+    }
+    let checks: [(&str, String, Option<String>); 5] = [
+        (
+            "kind",
+            want.kind.to_string(),
+            j.get("kind").and_then(Json::as_str).map(String::from),
+        ),
+        (
+            "workload",
+            want.workload.clone(),
+            j.get("workload").and_then(Json::as_str).map(String::from),
+        ),
+        (
+            "seed",
+            format!("{:016x}", want.seed),
+            j.get("seed").and_then(Json::as_str).map(String::from),
+        ),
+        (
+            "cfg",
+            format!("{:016x}", want.config_hash),
+            j.get("cfg").and_then(Json::as_str).map(String::from),
+        ),
+        (
+            "golden",
+            format!("{:016x}", want.golden_hash),
+            j.get("golden").and_then(Json::as_str).map(String::from),
+        ),
+    ];
+    for (name, want_v, got) in checks {
+        match got {
+            Some(g) if g == want_v => {}
+            got => {
+                return Err(format!(
+                    "{name}: journal has {got:?}, campaign wants {want_v:?}"
+                ))
+            }
+        }
+    }
+    if j.get("total").and_then(Json::as_u64) != Some(want.total) {
+        return Err(format!("total: campaign plans {} runs", want.total));
+    }
+    Ok(())
+}
+
+/// Opens (or resumes) the journal for `header`, returning the open journal
+/// plus the already-completed entry objects (empty for a fresh journal).
+///
+/// On resume, the header line is validated against `header`; any
+/// non-parsing entry line (a torn write from the crash) ends the replay of
+/// the journal — everything after it is re-run.
+///
+/// # Errors
+///
+/// I/O failures and header mismatches.
+pub fn open_journal(
+    spec: &JournalSpec,
+    header: &JournalHeader,
+) -> Result<(Journal, Vec<Json>), JournalError> {
+    std::fs::create_dir_all(&spec.dir).map_err(JournalError::Io)?;
+    let path = journal_file(&spec.dir, header.kind, &header.workload);
+    if spec.resume && path.exists() {
+        let text = std::fs::read_to_string(&path).map_err(JournalError::Io)?;
+        let mut lines = text.lines();
+        let first = lines.next().unwrap_or("");
+        validate_header(first, header).map_err(JournalError::Header)?;
+        let mut entries = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        for line in lines {
+            let Ok(j) = json::parse(line) else {
+                // Torn tail write from the crash: runs after this point
+                // are simply re-executed.
+                break;
+            };
+            let Some(i) = j.get("i").and_then(Json::as_u64) else {
+                break;
+            };
+            if i < header.total && seen.insert(i) {
+                entries.push(j);
+            }
+        }
+        let f = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(JournalError::Io)?;
+        let sub = if header.kind == "beam" {
+            Subsystem::Beam
+        } else {
+            Subsystem::Injection
+        };
+        event!(sub, Level::Info, "supervisor.resume";
+               "kind" => header.kind,
+               "workload" => header.workload.clone(),
+               "done" => entries.len() as u64,
+               "total" => header.total);
+        Ok((Journal { w: Mutex::new(f) }, entries))
+    } else {
+        let mut f = File::create(&path).map_err(JournalError::Io)?;
+        let mut line = header_line(header);
+        line.push('\n');
+        f.write_all(line.as_bytes()).map_err(JournalError::Io)?;
+        f.flush().map_err(JournalError::Io)?;
+        Ok((Journal { w: Mutex::new(f) }, Vec::new()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic-isolated runs
+// ---------------------------------------------------------------------------
+
+/// Runs one injected execution with the simulator panic boundary: a panic
+/// anywhere between the bit flip and the terminal state is captured
+/// together with a post-mortem snapshot of the wedged machine.
+///
+/// Unwind-safety audit: the `System` crosses the `catch_unwind` boundary
+/// under `AssertUnwindSafe`. After a panic it is only *read* (the
+/// post-mortem snapshot and state fingerprint) and then dropped — every
+/// attempt boots a fresh machine from the image, so no half-mutated
+/// microarchitectural state can leak into another run.
+///
+/// # Errors
+///
+/// Returns the captured panic when the simulator panicked.
+pub fn run_one_caught(
+    workload: &BuiltWorkload,
+    cfg: &CampaignConfig,
+    index: u64,
+    spec: InjectionSpec,
+    limits: RunLimits,
+) -> Result<InjectionOutcome, CaughtPanic> {
+    let (mut sys, _) = boot(cfg.machine, &workload.image, &cfg.kernel)
+        .expect("boot succeeded for the golden run, must succeed here");
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(hook) = cfg.supervisor.panic_hook {
+            hook(index, &spec);
+        }
+        crate::campaign::inject_and_run(&mut sys, workload, cfg, spec, limits)
+    }));
+    caught.map_err(|payload| {
+        let message = panic_message(payload.as_ref());
+        let pm = format!(
+            "{}state_fingerprint={:#018x}\n",
+            postmortem(&sys),
+            sys.state_fingerprint()
+        );
+        event!(Subsystem::Injection, Level::Info, "supervisor.panic";
+               cycle = sys.cycles();
+               "index" => index,
+               "component" => spec.component.short_name(),
+               "bit" => spec.bit,
+               "panic" => message.clone());
+        CaughtPanic {
+            message,
+            postmortem: pm,
+        }
+    })
+}
+
+/// A supervised run's result: an outcome, an anomaly, or both (a flaky
+/// panic that succeeded on retry yields an outcome *and* an anomaly
+/// record).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunVerdict {
+    /// The classified outcome, absent when every attempt panicked.
+    pub outcome: Option<InjectionOutcome>,
+    /// The anomaly record, present when any attempt panicked.
+    pub anomaly: Option<RunAnomaly>,
+}
+
+/// Identity fields stamped onto anomaly records.
+#[derive(Clone, Debug)]
+pub struct RunIdentity {
+    /// Workload display name.
+    pub workload: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Campaign configuration hash.
+    pub config_hash: u64,
+    /// Golden-output hash.
+    pub golden_hash: u64,
+}
+
+/// Runs one spec under the full supervision policy: panic isolation plus
+/// bounded retry, quarantining any anomaly.
+pub fn attempt_run(
+    workload: &BuiltWorkload,
+    cfg: &CampaignConfig,
+    id: &RunIdentity,
+    index: u64,
+    spec: InjectionSpec,
+    limits: RunLimits,
+    quarantine: Option<&Quarantine>,
+) -> RunVerdict {
+    let max_attempts = cfg.supervisor.max_attempts.max(1);
+    let mut last_panic: Option<CaughtPanic> = None;
+    let mut attempts = 0u32;
+    let mut outcome = None;
+    while attempts < max_attempts {
+        attempts += 1;
+        match run_one_caught(workload, cfg, index, spec, limits) {
+            Ok(out) => {
+                outcome = Some(out);
+                break;
+            }
+            Err(p) => last_panic = Some(p),
+        }
+    }
+    let anomaly = last_panic.map(|p| {
+        let a = RunAnomaly {
+            index,
+            spec,
+            workload: id.workload.clone(),
+            seed: id.seed,
+            config_hash: id.config_hash,
+            golden_hash: id.golden_hash,
+            attempts,
+            deterministic: outcome.is_none(),
+            panic_msg: p.message,
+            postmortem: p.postmortem,
+        };
+        if let Some(q) = quarantine {
+            q.record(&a);
+        }
+        a
+    });
+    RunVerdict { outcome, anomaly }
+}
+
+// ---------------------------------------------------------------------------
+// Supervised worker pool
+// ---------------------------------------------------------------------------
+
+/// What the pool observed while draining the work list.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PoolStats {
+    /// Worker threads started initially.
+    pub workers: usize,
+    /// Workers respawned after dying mid-campaign.
+    pub respawns: u32,
+    /// Items abandoned because they kept killing workers even after the
+    /// respawn budget was spent.
+    pub lost: Vec<u64>,
+}
+
+const IDLE: u64 = u64::MAX;
+
+/// Runs `f` over every index in `pending` on a supervised worker pool.
+///
+/// Results are batched per worker (no shared mutex on the hot path) and
+/// collected when the pool drains. A worker that panics is respawned (its
+/// in-flight item requeued) until `max_worker_respawns` is exhausted;
+/// after that the pool degrades to the surviving workers, and any item
+/// left over is retried once on the supervisor thread itself so a
+/// poisoned item cannot discard the rest of the campaign.
+pub fn run_supervised<T, F>(
+    pending: &[u64],
+    threads: usize,
+    sup: &SupervisorConfig,
+    sub: Subsystem,
+    worker_event: &'static str,
+    f: F,
+) -> (Vec<(u64, T)>, PoolStats)
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let threads = threads.min(pending.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let retry: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let slots: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(IDLE)).collect();
+    let outs: Vec<Mutex<Vec<(u64, T)>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    let respawns = AtomicUsize::new(0);
+
+    let body = |w: usize| {
+        let started = std::time::Instant::now();
+        let mut runs = 0u64;
+        loop {
+            let i = retry.lock().pop().or_else(|| {
+                let n = next.fetch_add(1, Ordering::Relaxed);
+                pending.get(n).copied()
+            });
+            let Some(i) = i else { break };
+            slots[w].store(i, Ordering::SeqCst);
+            if let Some(hook) = sup.worker_hook {
+                hook(w, i);
+            }
+            let t = f(i);
+            outs[w].lock().push((i, t));
+            slots[w].store(IDLE, Ordering::SeqCst);
+            runs += 1;
+        }
+        let secs = started.elapsed().as_secs_f64();
+        event!(sub, Level::Info, worker_event;
+               "worker" => w,
+               "runs" => runs,
+               "secs" => secs,
+               "runs_per_sec" => if secs > 0.0 { runs as f64 / secs } else { 0.0 });
+        // Flush before the closure returns: the scope join can complete
+        // before this thread's TLS destructors run, so the drop-time ring
+        // flush may race with sink teardown.
+        sea_trace::flush_thread();
+    };
+
+    crossbeam::scope(|scope| {
+        let body = &body;
+        let mut handles: Vec<_> = (0..threads)
+            .map(|w| (w, scope.spawn(move |_| body(w))))
+            .collect();
+        let mut budget = sup.max_worker_respawns;
+        while let Some((w, h)) = handles.pop() {
+            if h.join().is_ok() {
+                continue;
+            }
+            // The worker died outside the per-run panic boundary. Requeue
+            // whatever it was holding and, budget permitting, respawn it.
+            let inflight = slots[w].swap(IDLE, Ordering::SeqCst);
+            if inflight != IDLE {
+                retry.lock().push(inflight);
+            }
+            event!(sub, Level::Warn, "supervisor.worker_died";
+                   "worker" => w,
+                   "inflight" => if inflight == IDLE { -1i64 } else { inflight as i64 },
+                   "respawns_left" => budget as u64);
+            if budget > 0 {
+                budget -= 1;
+                respawns.fetch_add(1, Ordering::Relaxed);
+                handles.push((w, scope.spawn(move |_| body(w))));
+            }
+        }
+    })
+    .expect("supervisor thread panicked");
+
+    // Anything still queued (or never claimed, if every worker died with
+    // the respawn budget spent) has no live worker left to take it. Run it
+    // on this thread, still behind a panic guard; items that *still* panic
+    // outside the run boundary are recorded as lost, not fatal.
+    let mut lost = Vec::new();
+    let mut leftovers = std::mem::take(&mut *retry.lock());
+    loop {
+        let n = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&i) = pending.get(n) else { break };
+        leftovers.push(i);
+    }
+    let mut results: Vec<(u64, T)> = Vec::with_capacity(pending.len());
+    for i in leftovers {
+        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+            Ok(t) => results.push((i, t)),
+            Err(_) => lost.push(i),
+        }
+    }
+
+    for o in outs {
+        results.append(&mut o.into_inner());
+    }
+    results.sort_by_key(|(i, _)| *i);
+    results.dedup_by_key(|(i, _)| *i);
+    lost.sort_unstable();
+    (
+        results,
+        PoolStats {
+            workers: threads,
+            respawns: respawns.load(Ordering::Relaxed) as u32,
+            lost,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"campaign"), fnv1a(b"campaign"));
+    }
+
+    #[test]
+    fn journal_file_slugs_workload_names() {
+        let p = journal_file(Path::new("j"), "inject", "Jpeg C");
+        assert_eq!(p, PathBuf::from("j/jpeg_c.inject.jsonl"));
+        let p = journal_file(Path::new("j"), "beam", "CRC32");
+        assert_eq!(p, PathBuf::from("j/crc32.beam.jsonl"));
+    }
+
+    #[test]
+    fn header_round_trips_and_rejects_mismatch() {
+        let h = JournalHeader {
+            kind: "inject",
+            workload: "Qsort".to_string(),
+            seed: 0xDEFA_0001,
+            config_hash: 0x1234,
+            golden_hash: 0x5678,
+            total: 900,
+        };
+        let line = header_line(&h);
+        assert!(validate_header(&line, &h).is_ok());
+        let mut other = h.clone();
+        other.seed = 1;
+        assert!(validate_header(&line, &other).is_err());
+        let mut other = h.clone();
+        other.total = 901;
+        assert!(validate_header(&line, &other).is_err());
+        assert!(validate_header("{\"x\":1}", &h).is_err());
+        assert!(validate_header("not json", &h).is_err());
+    }
+
+    #[test]
+    fn pool_completes_all_items_and_batches_per_worker() {
+        let pending: Vec<u64> = (0..200).collect();
+        let sup = SupervisorConfig::default();
+        let (results, stats) = run_supervised(
+            &pending,
+            4,
+            &sup,
+            Subsystem::Injection,
+            "test.worker",
+            |i| i * 2,
+        );
+        assert_eq!(results.len(), 200);
+        assert_eq!(stats.respawns, 0);
+        assert!(stats.lost.is_empty());
+        for (i, v) in &results {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn pool_survives_worker_death_and_requeues_inflight() {
+        static FIRED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        FIRED.store(false, Ordering::SeqCst);
+        fn kill_once(_w: usize, i: u64) {
+            if i == 7 && !FIRED.swap(true, Ordering::SeqCst) {
+                panic!("induced worker death");
+            }
+        }
+        let pending: Vec<u64> = (0..32).collect();
+        let sup = SupervisorConfig {
+            worker_hook: Some(kill_once),
+            ..SupervisorConfig::default()
+        };
+        let (results, stats) = run_supervised(
+            &pending,
+            3,
+            &sup,
+            Subsystem::Injection,
+            "test.worker",
+            |i| i,
+        );
+        assert_eq!(results.len(), 32, "item 7 must be requeued and completed");
+        assert_eq!(stats.respawns, 1);
+        assert!(stats.lost.is_empty());
+    }
+
+    #[test]
+    fn pool_abandons_items_that_exhaust_the_respawn_budget() {
+        fn kill_always(_w: usize, i: u64) {
+            if i == 5 {
+                panic!("hard worker killer");
+            }
+        }
+        let pending: Vec<u64> = (0..16).collect();
+        let sup = SupervisorConfig {
+            worker_hook: Some(kill_always),
+            max_worker_respawns: 2,
+            ..SupervisorConfig::default()
+        };
+        let (results, stats) = run_supervised(
+            &pending,
+            2,
+            &sup,
+            Subsystem::Injection,
+            "test.worker",
+            |i| i,
+        );
+        // Item 5 keeps killing workers; everything else must finish. The
+        // final inline retry does not run the worker hook, so item 5 is
+        // recovered there (f itself is panic-free here).
+        assert_eq!(stats.respawns, 2);
+        assert_eq!(results.len(), 16);
+        assert!(stats.lost.is_empty());
+    }
+}

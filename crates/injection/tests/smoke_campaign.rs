@@ -59,6 +59,7 @@ fn directed_injection_into_dead_register_is_masked() {
     let limits = RunLimits {
         max_cycles: 50_000_000,
         tick_window: 250_000,
+        wall_ms: 0,
     };
     // Bit in the FP bank (s31), never used by CRC32.
     let spec = InjectionSpec {
@@ -80,6 +81,7 @@ fn directed_injection_into_live_crc_accumulator_corrupts_output() {
     let limits = RunLimits {
         max_cycles: 50_000_000,
         tick_window: 250_000,
+        wall_ms: 0,
     };
     // Strike in the middle of the CRC loop.
     let spec = InjectionSpec {
@@ -126,6 +128,7 @@ fn injection_during_kernel_boot_is_handled() {
     let limits = RunLimits {
         max_cycles: 50_000_000,
         tick_window: 250_000,
+        wall_ms: 0,
     };
     for component in Component::ALL {
         let spec = InjectionSpec {

@@ -37,6 +37,14 @@ impl ArrayKind {
             ArrayKind::State => "state",
         }
     }
+
+    /// Parse an array kind from its [`name`](ArrayKind::name) (used when
+    /// decoding journal records).
+    pub fn from_name(s: &str) -> Option<ArrayKind> {
+        [ArrayKind::Data, ArrayKind::Tag, ArrayKind::State]
+            .into_iter()
+            .find(|k| k.name() == s)
+    }
 }
 
 /// Outcome of a fault injection into a cache array.

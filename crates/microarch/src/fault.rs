@@ -51,6 +51,12 @@ impl Component {
             Component::DTlb => "DTLB",
         }
     }
+
+    /// Parse a component from its [`short_name`](Component::short_name)
+    /// (used when decoding quarantine/journal records).
+    pub fn from_short_name(s: &str) -> Option<Component> {
+        Component::ALL.into_iter().find(|c| c.short_name() == s)
+    }
 }
 
 impl fmt::Display for Component {

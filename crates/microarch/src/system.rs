@@ -181,6 +181,37 @@ impl<D: Device> System<D> {
         self.cpu.counters.cycles
     }
 
+    /// FNV-1a fingerprint of the architectural core state: PC, status and
+    /// fault registers, and the progress counters. Two machines stopped in
+    /// the same state fingerprint identically, so a deterministic replay of
+    /// a quarantined run can be checked against the original post-mortem
+    /// without storing the whole machine.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        let cpu = &self.cpu;
+        mix(cpu.pc as u64);
+        let flags = (cpu.cpsr.n as u64)
+            | (cpu.cpsr.z as u64) << 1
+            | (cpu.cpsr.c as u64) << 2
+            | (cpu.cpsr.v as u64) << 3
+            | (cpu.cpsr.irq_off as u64) << 4
+            | (cpu.cpsr.mode as u64) << 5;
+        mix(flags);
+        mix(cpu.spsr as u64);
+        mix(cpu.elr as u64);
+        mix(cpu.esr as u64);
+        mix(cpu.far as u64);
+        mix(cpu.ttbr as u64);
+        mix(cpu.counters.cycles);
+        mix(cpu.counters.instructions);
+        h
+    }
+
     // ----- translation ------------------------------------------------------
 
     fn translate(&mut self, vaddr: u32, access: Access) -> Result<(u32, u32), Exception> {

@@ -73,6 +73,18 @@ impl FaultClass {
         FaultClass::AppCrash,
         FaultClass::SysCrash,
     ];
+
+    /// Parse a class from its display name (used when decoding campaign
+    /// journals).
+    pub fn from_name(s: &str) -> Option<FaultClass> {
+        match s {
+            "Masked" => Some(FaultClass::Masked),
+            "SDC" => Some(FaultClass::Sdc),
+            "AppCrash" => Some(FaultClass::AppCrash),
+            "SysCrash" => Some(FaultClass::SysCrash),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for FaultClass {
@@ -182,16 +194,30 @@ pub struct RunLimits {
     /// If the kernel's tick heartbeat is older than this when the budget
     /// expires (or terminal states never arrive), the kernel is dead.
     pub tick_window: u64,
+    /// Wall-clock budget in milliseconds, 0 = disabled. Complements the
+    /// cycle budget: a run that burns host time without advancing
+    /// simulated cycles fast enough cannot stall a campaign worker
+    /// forever. Expiry classifies through the same tick-heartbeat split
+    /// as cycle-budget exhaustion.
+    pub wall_ms: u64,
 }
 
 impl RunLimits {
     /// Limits derived from a golden run: budget = `factor`× golden cycles
-    /// (+ slack), tick window = 10 tick periods.
+    /// (+ slack), tick window = 10 tick periods. Saturates instead of
+    /// overflowing for budgets near `u64::MAX`.
     pub fn from_golden(golden_cycles: u64, tick_period: u32) -> RunLimits {
         RunLimits {
-            max_cycles: golden_cycles * 3 + 100_000,
+            max_cycles: golden_cycles.saturating_mul(3).saturating_add(100_000),
             tick_window: 10 * tick_period as u64,
+            wall_ms: 0,
         }
+    }
+
+    /// The same limits with a wall-clock budget attached.
+    pub fn with_wall_ms(mut self, wall_ms: u64) -> RunLimits {
+        self.wall_ms = wall_ms;
+        self
     }
 }
 
@@ -223,7 +249,23 @@ fn outcome_name(outcome: &RunOutcome) -> &'static str {
     }
 }
 
+/// Budget-expiry classification: the kernel tick heartbeat decides
+/// app-hang vs kernel-hang, exactly like the beam harness's "board
+/// reachable?" check.
+fn hang_outcome(sys: &System<Board>, limits: RunLimits, now: u64) -> RunOutcome {
+    let kernel_alive =
+        sys.dev.tick_count() > 0 && now.saturating_sub(sys.dev.last_tick()) <= limits.tick_window;
+    if kernel_alive {
+        RunOutcome::AppCrash(AppCrashKind::Hang)
+    } else {
+        RunOutcome::SysCrash(SysCrashKind::KernelHang)
+    }
+}
+
 fn run_inner(sys: &mut System<Board>, limits: RunLimits) -> RunOutcome {
+    let deadline = (limits.wall_ms > 0)
+        .then(|| std::time::Instant::now() + std::time::Duration::from_millis(limits.wall_ms));
+    let mut steps = 0u32;
     loop {
         let step = sys.step();
         let now = sys.cycles();
@@ -246,13 +288,20 @@ fn run_inner(sys: &mut System<Board>, limits: RunLimits) -> RunOutcome {
             StepOutcome::Executed => {}
         }
         if now > limits.max_cycles {
-            let kernel_alive = sys.dev.tick_count() > 0
-                && now.saturating_sub(sys.dev.last_tick()) <= limits.tick_window;
-            return if kernel_alive {
-                RunOutcome::AppCrash(AppCrashKind::Hang)
-            } else {
-                RunOutcome::SysCrash(SysCrashKind::KernelHang)
-            };
+            return hang_outcome(sys, limits, now);
+        }
+        // The wall-clock watchdog only needs coarse resolution; polling
+        // the host clock every step would dominate the simulator loop.
+        steps = steps.wrapping_add(1);
+        if steps & 0x1fff == 0 {
+            if let Some(d) = deadline {
+                if std::time::Instant::now() >= d {
+                    event!(Subsystem::Platform, Level::Warn, "platform.wall_timeout";
+                           cycle = now;
+                           "wall_ms" => limits.wall_ms);
+                    return hang_outcome(sys, limits, now);
+                }
+            }
         }
     }
 }
@@ -340,6 +389,7 @@ pub fn golden_run(
     let limits = RunLimits {
         max_cycles: budget_cycles,
         tick_window: u64::MAX,
+        wall_ms: 0,
     };
     let span = sea_trace::span(Subsystem::Platform, Level::Info, "platform.golden");
     match run(&mut sys, limits) {
@@ -405,4 +455,39 @@ pub fn postmortem(sys: &System<Board>) -> String {
         let _ = writeln!(out);
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_golden_saturates_instead_of_overflowing() {
+        // Small budgets behave exactly as before.
+        let l = RunLimits::from_golden(1_000_000, 20_000);
+        assert_eq!(l.max_cycles, 3_100_000);
+        assert_eq!(l.tick_window, 200_000);
+        assert_eq!(l.wall_ms, 0);
+        // The boundary: golden_cycles * 3 would overflow u64.
+        let boundary = u64::MAX / 3;
+        assert_eq!(RunLimits::from_golden(boundary + 1, 1).max_cycles, u64::MAX);
+        // Exactly at the multiplication limit, the +100_000 slack saturates.
+        assert_eq!(RunLimits::from_golden(boundary, 1).max_cycles, u64::MAX);
+        assert_eq!(RunLimits::from_golden(u64::MAX, 1).max_cycles, u64::MAX);
+    }
+
+    #[test]
+    fn with_wall_ms_sets_only_the_wall_budget() {
+        let l = RunLimits::from_golden(500, 10).with_wall_ms(2_000);
+        assert_eq!(l.wall_ms, 2_000);
+        assert_eq!(l.max_cycles, 101_500);
+    }
+
+    #[test]
+    fn fault_class_names_round_trip() {
+        for c in FaultClass::ALL {
+            assert_eq!(FaultClass::from_name(&c.to_string()), Some(c));
+        }
+        assert_eq!(FaultClass::from_name("Sdc"), None);
+    }
 }

@@ -23,6 +23,7 @@ fn limits() -> RunLimits {
     RunLimits {
         max_cycles: 3_000_000,
         tick_window: 200_000,
+        wall_ms: 0,
     }
 }
 
@@ -180,6 +181,7 @@ fn infinite_loop_is_an_app_hang_not_a_system_crash() {
         RunLimits {
             max_cycles: 500_000,
             tick_window: 200_000,
+            wall_ms: 0,
         },
     );
     // The kernel keeps ticking under the spinning app, so the watchdog
@@ -294,6 +296,7 @@ fn corrupted_kernel_text_escalates_to_system_crash() {
         RunLimits {
             max_cycles: 2_000_000,
             tick_window: 200_000,
+            wall_ms: 0,
         },
     );
     match out {
@@ -328,6 +331,7 @@ fn corrupted_runqueue_pointer_panics_the_kernel() {
         RunLimits {
             max_cycles: 3_000_000,
             tick_window: 200_000,
+            wall_ms: 0,
         },
     );
     match out {

@@ -1,0 +1,82 @@
+//! The hang split: budget expiry is attributed to the app or the kernel
+//! by the tick heartbeat — the simulator equivalent of the beam harness
+//! asking "is the board still reachable?" — and the wall-clock watchdog
+//! feeds the same classification.
+
+use sea_isa::{Asm, Image};
+use sea_kernel::KernelConfig;
+use sea_microarch::MachineConfig;
+use sea_platform::{boot, run, AppCrashKind, RunLimits, RunOutcome, SysCrashKind};
+
+fn spin_forever() -> Image {
+    let mut a = Asm::new();
+    let e = a.label("main");
+    a.bind(e).unwrap();
+    let lp = a.label("lp");
+    a.bind(lp).unwrap();
+    a.b(lp);
+    a.finish(e).unwrap()
+}
+
+#[test]
+fn spinning_app_under_a_live_kernel_is_an_app_hang() {
+    let kernel = KernelConfig::default();
+    let (mut sys, _) = boot(MachineConfig::cortex_a9(), &spin_forever(), &kernel).unwrap();
+    let out = run(
+        &mut sys,
+        RunLimits {
+            max_cycles: 500_000,
+            tick_window: 10 * kernel.tick_period as u64,
+            wall_ms: 0,
+        },
+    );
+    assert!(sys.dev.tick_count() > 0, "the kernel heartbeat kept going");
+    assert_eq!(out, RunOutcome::AppCrash(AppCrashKind::Hang));
+}
+
+#[test]
+fn spinning_app_under_a_silent_kernel_is_a_kernel_hang() {
+    // Same program, but the timer is configured so slow the kernel never
+    // ticks inside the budget: the heartbeat is silent, and the very same
+    // budget expiry must now be charged to the system.
+    let kernel = KernelConfig {
+        tick_period: 1 << 30,
+        ..KernelConfig::default()
+    };
+    let (mut sys, _) = boot(MachineConfig::cortex_a9(), &spin_forever(), &kernel).unwrap();
+    let out = run(
+        &mut sys,
+        RunLimits {
+            max_cycles: 500_000,
+            tick_window: 200_000,
+            wall_ms: 0,
+        },
+    );
+    assert_eq!(sys.dev.tick_count(), 0, "the kernel never got to tick");
+    assert_eq!(out, RunOutcome::SysCrash(SysCrashKind::KernelHang));
+}
+
+#[test]
+fn wall_clock_watchdog_ends_a_run_the_cycle_budget_would_not() {
+    // A cycle budget far beyond what the host can simulate in this test:
+    // only the wall-clock watchdog can end the run, and it must classify
+    // through the same heartbeat split (the kernel is ticking, so this is
+    // an app hang).
+    let kernel = KernelConfig::default();
+    let (mut sys, _) = boot(MachineConfig::cortex_a9(), &spin_forever(), &kernel).unwrap();
+    let t0 = std::time::Instant::now();
+    let out = run(
+        &mut sys,
+        RunLimits {
+            max_cycles: u64::MAX / 4,
+            tick_window: 10 * kernel.tick_period as u64,
+            wall_ms: 200,
+        },
+    );
+    let elapsed = t0.elapsed();
+    assert_eq!(out, RunOutcome::AppCrash(AppCrashKind::Hang));
+    assert!(
+        elapsed < std::time::Duration::from_secs(30),
+        "watchdog fired at {elapsed:?}, not anywhere near the cycle budget"
+    );
+}

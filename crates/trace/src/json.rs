@@ -69,6 +69,74 @@ pub fn write_event(ev: &Event, out: &mut String) {
     out.push('}');
 }
 
+/// Incremental builder for a single-line JSON object, for writers that are
+/// not [`Event`]s (campaign journals, quarantine records). Keeps the
+/// serializer hand-rolled and in one place (DESIGN.md §5).
+///
+/// ```
+/// use sea_trace::json::ObjWriter;
+/// let mut o = ObjWriter::new();
+/// o.str_field("kind", "inject").u64_field("i", 7).bool_field("ok", true);
+/// assert_eq!(o.finish(), r#"{"kind":"inject","i":7,"ok":true}"#);
+/// ```
+#[derive(Default)]
+pub struct ObjWriter {
+    buf: String,
+}
+
+impl ObjWriter {
+    /// Starts an empty object.
+    pub fn new() -> ObjWriter {
+        ObjWriter { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        self.buf.push(if self.buf.is_empty() { '{' } else { ',' });
+        write_escaped(k, &mut self.buf);
+        self.buf.push(':');
+        &mut self.buf
+    }
+
+    /// Appends a string member.
+    pub fn str_field(&mut self, k: &str, v: &str) -> &mut ObjWriter {
+        let buf = self.key(k);
+        write_escaped(v, buf);
+        self
+    }
+
+    /// Appends an unsigned-integer member. Note JSON numbers are only
+    /// exact to 2^53; store full-width hashes/seeds as hex strings.
+    pub fn u64_field(&mut self, k: &str, v: u64) -> &mut ObjWriter {
+        let buf = self.key(k);
+        let _ = write!(buf, "{v}");
+        self
+    }
+
+    /// Appends a float member (non-finite values become `null`).
+    pub fn f64_field(&mut self, k: &str, v: f64) -> &mut ObjWriter {
+        let buf = self.key(k);
+        write_f64(v, buf);
+        self
+    }
+
+    /// Appends a boolean member.
+    pub fn bool_field(&mut self, k: &str, v: bool) -> &mut ObjWriter {
+        let buf = self.key(k);
+        buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Closes the object and returns the serialized line (no newline).
+    pub fn finish(&mut self) -> String {
+        if self.buf.is_empty() {
+            return "{}".to_string();
+        }
+        let mut out = std::mem::take(&mut self.buf);
+        out.push('}');
+        out
+    }
+}
+
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {
@@ -411,6 +479,27 @@ mod tests {
         let mut s = String::new();
         write_escaped("héllo λ 日本", &mut s);
         assert_eq!(parse(&s).unwrap().as_str(), Some("héllo λ 日本"));
+    }
+
+    #[test]
+    fn obj_writer_output_parses_back() {
+        let mut o = ObjWriter::new();
+        o.str_field("panic", "index out of bounds: len 4\n")
+            .u64_field("i", 12)
+            .f64_field("rate", 0.5)
+            .f64_field("bad", f64::INFINITY)
+            .bool_field("deterministic", false);
+        let line = o.finish();
+        let j = parse(&line).unwrap();
+        assert_eq!(
+            j.get("panic").unwrap().as_str(),
+            Some("index out of bounds: len 4\n")
+        );
+        assert_eq!(j.get("i").unwrap().as_u64(), Some(12));
+        assert_eq!(j.get("rate").unwrap().as_f64(), Some(0.5));
+        assert_eq!(j.get("bad"), Some(&Json::Null));
+        assert_eq!(j.get("deterministic").unwrap().as_bool(), Some(false));
+        assert_eq!(ObjWriter::new().finish(), "{}");
     }
 
     #[test]
