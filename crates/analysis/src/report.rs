@@ -154,6 +154,81 @@ pub fn supervision_table(
     )
 }
 
+/// Renders the checkpoint-usage summary: one row per workload with the
+/// injection-campaign and beam-session [`CheckpointStats`] merged. The
+/// "prefix saved" column is the share of simulated work the restores
+/// skipped, measured against the cycles every run would have spent
+/// re-executing the fault-free prefix from reset
+/// (`restores × golden_cycles / 2` on average for uniform injection
+/// cycles, so the column regularly approaches 100%).
+///
+/// [`CheckpointStats`]: sea_platform::CheckpointStats
+pub fn checkpoint_table(
+    rows: &[(
+        String,
+        u64,
+        Option<sea_platform::CheckpointStats>,
+        Option<sea_platform::CheckpointStats>,
+    )],
+) -> String {
+    use sea_platform::CheckpointStats;
+    let mut body: Vec<Vec<String>> = Vec::new();
+    let mut total = CheckpointStats::default();
+    let mut total_golden_weighted = 0u128;
+    for (name, golden_cycles, inj, beam) in rows {
+        let inj = inj.unwrap_or_default();
+        let beam = beam.unwrap_or_default();
+        let merged = CheckpointStats {
+            epochs: inj.epochs + beam.epochs,
+            restores: inj.restores + beam.restores,
+            prefix_cycles_saved: inj.prefix_cycles_saved + beam.prefix_cycles_saved,
+        };
+        body.push(checkpoint_row(name, *golden_cycles, &merged));
+        total.epochs += merged.epochs;
+        total.restores += merged.restores;
+        total.prefix_cycles_saved += merged.prefix_cycles_saved;
+        total_golden_weighted += merged.restores as u128 * *golden_cycles as u128;
+    }
+    let total_golden = if total.restores == 0 {
+        0
+    } else {
+        (total_golden_weighted / total.restores as u128) as u64
+    };
+    body.push(checkpoint_row("TOTAL", total_golden, &total));
+    table(
+        &[
+            "workload",
+            "epochs",
+            "restores",
+            "cycles saved",
+            "prefix saved",
+        ],
+        &body,
+    )
+}
+
+fn checkpoint_row(
+    name: &str,
+    golden_cycles: u64,
+    s: &sea_platform::CheckpointStats,
+) -> Vec<String> {
+    // Expected fault-free prefix without checkpoints: injection cycles are
+    // uniform over the golden run, so on average half of it per restore.
+    let expected = s.restores as f64 * golden_cycles as f64 / 2.0;
+    let frac = if expected <= 0.0 {
+        0.0
+    } else {
+        (s.prefix_cycles_saved as f64 / expected).min(1.0)
+    };
+    vec![
+        name.to_string(),
+        s.epochs.to_string(),
+        s.restores.to_string(),
+        s.prefix_cycles_saved.to_string(),
+        format!("{:.1}%", 100.0 * frac),
+    ]
+}
+
 fn supervision_row(name: &str, s: &sea_injection::SupervisionStats) -> Vec<String> {
     let denominator = s.completed + s.quarantined.saturating_sub(s.flaky_recovered);
     let rate = if denominator == 0 {
@@ -254,6 +329,29 @@ mod tests {
         assert!(t.contains("TOTAL"));
         // 1 anomaly over (199 completed + 1 deterministic) = 0.5%.
         assert!(t.contains("0.500%"), "{t}");
+    }
+
+    #[test]
+    fn checkpoint_table_fractions_and_totals() {
+        use sea_platform::CheckpointStats;
+        let rows = vec![
+            (
+                "CRC32".to_string(),
+                1000u64,
+                Some(CheckpointStats {
+                    epochs: 8,
+                    restores: 10,
+                    prefix_cycles_saved: 4000,
+                }),
+                None,
+            ),
+            ("Qsort".to_string(), 1000u64, None, None),
+        ];
+        let t = checkpoint_table(&rows);
+        assert!(t.contains("prefix saved"));
+        // 4000 cycles saved of an expected 10 × 1000 / 2 = 5000.
+        assert!(t.contains("80.0%"), "{t}");
+        assert!(t.contains("TOTAL"));
     }
 
     #[test]

@@ -94,6 +94,10 @@ pub struct BeamConfig {
     /// journal). Mirrors the paper's restart-without-losing-fluence
     /// protocol: a resumed session skips already-simulated strikes.
     pub journal: Option<sea_injection::JournalSpec>,
+    /// Checkpoint/restore policy for simulated SRAM strikes (None = every
+    /// strike boots from reset). A runtime-only knob like `threads`: it is
+    /// excluded from the session hash and never changes an outcome.
+    pub checkpoints: Option<sea_injection::CheckpointPolicy>,
 }
 
 impl Default for BeamConfig {
@@ -113,6 +117,7 @@ impl Default for BeamConfig {
             golden_budget_cycles: 500_000_000,
             supervisor: sea_injection::SupervisorConfig::default(),
             journal: None,
+            checkpoints: None,
         }
     }
 }

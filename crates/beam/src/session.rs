@@ -25,10 +25,12 @@ use sea_injection::supervisor::{
     PoolStats, Quarantine, RunIdentity,
 };
 use sea_injection::{
-    class_index, CampaignConfig, InjectionSpec, RunAnomaly, SupervisionStats, CLASS_LABELS,
+    acquire_golden_and_checkpoints, class_index, CampaignConfig, InjectionSpec, RunAnomaly,
+    SupervisionStats, CLASS_LABELS,
 };
 use sea_microarch::{Component, System};
-use sea_platform::{boot, run, ClassCounts, FaultClass, GoldenRun, RunLimits};
+use sea_platform::{boot, run, CheckpointStats, ClassCounts, FaultClass, GoldenRun, RunLimits};
+use sea_snapshot::CheckpointMeta;
 use sea_trace::json::{Json, ObjWriter};
 use sea_trace::{event, Level, Progress, Subsystem};
 use sea_workloads::BuiltWorkload;
@@ -101,6 +103,9 @@ pub struct BeamResult {
     pub anomalies: Vec<RunAnomaly>,
     /// Supervision counters.
     pub supervision: SupervisionStats,
+    /// Checkpoint usage for simulated strikes (None when checkpointing
+    /// was disabled).
+    pub checkpoints: Option<CheckpointStats>,
 }
 
 impl BeamResult {
@@ -292,13 +297,34 @@ pub fn run_session(
     cfg: &BeamConfig,
     strikes: u32,
 ) -> Result<BeamResult, BeamError> {
-    let golden: GoldenRun = sea_platform::golden_run(
-        cfg.machine,
-        &workload.image,
-        &cfg.kernel,
-        cfg.golden_budget_cycles,
-    )
-    .map_err(BeamError::Golden)?;
+    // Simulated SRAM strikes reuse the injection machinery (and its
+    // supervisor policy) with an inline config; the same config carries
+    // the checkpoint policy into the shared golden-run acquisition.
+    let inj_cfg = CampaignConfig {
+        machine: cfg.machine,
+        kernel: cfg.kernel,
+        samples_per_component: 0,
+        components: vec![],
+        seed: cfg.seed,
+        threads: cfg.threads,
+        fault_model: sea_injection::FaultModel::SingleBit,
+        golden_budget_cycles: cfg.golden_budget_cycles,
+        supervisor: cfg.supervisor.clone(),
+        journal: None,
+        checkpoints: cfg.checkpoints.clone(),
+    };
+    let id = RunIdentity {
+        workload: name.to_string(),
+        seed: cfg.seed,
+        config_hash: beam_config_hash(cfg, strikes),
+        golden_hash: golden_hash(workload),
+    };
+    let (golden, ckpts): (GoldenRun, _) =
+        acquire_golden_and_checkpoints(workload, &inj_cfg, id.config_hash, id.golden_hash)
+            .map_err(|e| match e {
+                sea_injection::CampaignError::Golden(g) => BeamError::Golden(g),
+                sea_injection::CampaignError::Journal(j) => BeamError::Journal(j),
+            })?;
     let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period)
         .with_wall_ms(cfg.supervisor.run_wall_ms);
     let kernel_frac = measure_kernel_residency(workload, cfg)?;
@@ -383,27 +409,6 @@ pub fn run_session(
         })
         .collect();
 
-    // Simulated SRAM strikes reuse the injection machinery (and its
-    // supervisor policy) with an inline config.
-    let inj_cfg = CampaignConfig {
-        machine: cfg.machine,
-        kernel: cfg.kernel,
-        samples_per_component: 0,
-        components: vec![],
-        seed: cfg.seed,
-        threads: cfg.threads,
-        fault_model: sea_injection::FaultModel::SingleBit,
-        golden_budget_cycles: cfg.golden_budget_cycles,
-        supervisor: cfg.supervisor.clone(),
-        journal: None,
-    };
-    let id = RunIdentity {
-        workload: name.to_string(),
-        seed: cfg.seed,
-        config_hash: beam_config_hash(cfg, strikes),
-        golden_hash: golden_hash(workload),
-    };
-
     // Journal: open (or resume, skipping already-simulated strikes so the
     // fluence accounting continues across restarts).
     let mut outcome_by_idx: Vec<Option<StrikeOutcome>> = vec![None; plans.len()];
@@ -418,6 +423,10 @@ pub fn run_session(
                 seed: id.seed,
                 config_hash: id.config_hash,
                 golden_hash: id.golden_hash,
+                // Stamped whether or not checkpointing is on (the value is
+                // interval-independent), so checkpointed and from-reset
+                // sessions write byte-identical strike logs.
+                ckpt: CheckpointMeta::provenance(id.config_hash, id.golden_hash),
                 total: plans.len() as u64,
             };
             let (journal, entries) = open_journal(spec, &header).map_err(BeamError::Journal)?;
@@ -480,6 +489,7 @@ pub fn run_session(
                         workload,
                         &inj_cfg,
                         &id,
+                        ckpts.as_ref(),
                         i,
                         spec,
                         limits,
@@ -544,6 +554,15 @@ pub fn run_session(
         worker_respawns: pool.respawns,
         lost: pool.lost.len() as u64,
     };
+    let ckpt_stats = ckpts.as_ref().map(|c| c.stats());
+    if let Some(s) = ckpt_stats {
+        event!(Subsystem::Beam, Level::Info, "beam.checkpoints";
+               "workload" => name.to_string(),
+               "epochs" => s.epochs,
+               "restores" => s.restores,
+               "prefix_cycles_saved" => s.prefix_cycles_saved,
+               "golden_cycles" => golden.cycles);
+    }
 
     // Represented exposure: strikes arrive at flux × Σ(σ·t) per execution.
     let runs_represented = strikes as f64 / (cfg.flux * w.total());
@@ -576,5 +595,6 @@ pub fn run_session(
         code_residency,
         anomalies,
         supervision,
+        checkpoints: ckpt_stats,
     })
 }

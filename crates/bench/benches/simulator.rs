@@ -98,6 +98,7 @@ fn bench_injected_run(c: &mut Criterion) {
             run_one(
                 &built,
                 &cfg,
+                None,
                 InjectionSpec {
                     component: Component::L1D,
                     bit: 12345,

@@ -1,0 +1,247 @@
+//! `bench_snapshot` — measures the wall-clock speedup checkpoint/restore
+//! gives injection runs and records it as `BENCH_snapshot.json`.
+//!
+//! Two measurements:
+//!
+//! 1. **Campaign**: the same full campaign twice — every run booted from
+//!    reset, then with golden-run epoch checkpoints restored before each
+//!    injection — verifying identical classifications (the sea-snapshot
+//!    determinism contract). Injection cycles are uniform over the whole
+//!    run here, so half the simulated work is post-injection suffix that
+//!    no checkpoint can skip; the speedup ceiling is 2×.
+//! 2. **Hot path**: injected runs whose cycles land in the second half of
+//!    the golden run (median injection cycle = 75% — the "median ≥ half
+//!    the golden run" regime where prefix sharing pays), from reset vs.
+//!    from the nearest checkpoint, outcome-checked pairwise. This is the
+//!    headline `speedup` field and what `--require` gates on.
+//!
+//! Usage: `bench_snapshot [--samples N] [--workload NAME] [--seed N]
+//! [--interval CYCLES] [--out FILE] [--require X]`
+//!
+//! `--require X` exits nonzero unless the hot-path speedup is ≥ X
+//! (CI gates on `--require 2`).
+
+use sea_core::injection::{run_campaign, run_one, CampaignConfig, CheckpointPolicy, InjectionSpec};
+use sea_core::microarch::Component;
+use sea_core::platform::{golden_run_with_checkpoints, RunLimits};
+use sea_core::trace::json::ObjWriter;
+use sea_core::{Scale, Workload};
+use std::time::Instant;
+
+/// Deterministic spec sampler (xorshift64*) — sea-bench deliberately has
+/// no RNG dependency of its own.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+struct Args {
+    samples: u32,
+    workload: Workload,
+    seed: u64,
+    interval: u64,
+    out: std::path::PathBuf,
+    require: f64,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        samples: 40,
+        workload: Workload::Crc32,
+        seed: 0x5EA0_0C40,
+        // Tiny-scale golden runs are ~50k cycles; 2048-cycle epochs keep
+        // the residual prefix (the cycles re-stepped after a restore)
+        // under ~2% of the run. Pass 0 for the recorder's auto interval.
+        interval: 2048,
+        out: std::path::PathBuf::from("BENCH_snapshot.json"),
+        require: 0.0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| panic!("flag {} needs a value", argv[i]))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--samples" => a.samples = need(i).parse().expect("--samples N"),
+            "--seed" => a.seed = need(i).parse().expect("--seed N"),
+            "--interval" => a.interval = need(i).parse().expect("--interval CYCLES"),
+            "--out" => a.out = need(i).into(),
+            "--require" => a.require = need(i).parse().expect("--require X"),
+            "--workload" => {
+                let name = need(i);
+                a.workload = Workload::ALL
+                    .into_iter()
+                    .find(|w| w.name().eq_ignore_ascii_case(&name))
+                    .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+            }
+            other => panic!(
+                "unknown flag `{other}` (usage: bench_snapshot [--samples N] \
+                 [--workload NAME] [--seed N] [--interval CYCLES] [--out FILE] [--require X])"
+            ),
+        }
+        i += 2;
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    let built = args.workload.build(Scale::Tiny);
+    // Single-threaded so the two timings compare simulator work, not
+    // scheduler noise.
+    let cfg = CampaignConfig {
+        samples_per_component: args.samples,
+        seed: args.seed,
+        threads: 1,
+        ..CampaignConfig::default()
+    };
+
+    // --- Measurement 1: the full campaign, uniform injection cycles. ---
+    eprintln!(
+        "bench_snapshot: {} × {} injections/component, from reset…",
+        args.workload, args.samples
+    );
+    let t0 = Instant::now();
+    let reset = run_campaign(args.workload.name(), &built, &cfg).expect("reset campaign");
+    let campaign_reset_wall = t0.elapsed().as_secs_f64();
+
+    eprintln!("bench_snapshot: same campaign with checkpoint restore…");
+    let mut ckpt_cfg = cfg.clone();
+    ckpt_cfg.checkpoints = Some(CheckpointPolicy {
+        dir: None,
+        interval: args.interval,
+    });
+    let t1 = Instant::now();
+    let ckpt = run_campaign(args.workload.name(), &built, &ckpt_cfg).expect("checkpoint campaign");
+    let campaign_ckpt_wall = t1.elapsed().as_secs_f64();
+
+    // The determinism contract: restore changes nothing but the clock.
+    assert_eq!(
+        reset.per_component, ckpt.per_component,
+        "checkpointed campaign diverged from the reset campaign"
+    );
+    let campaign_stats = ckpt.checkpoints.expect("checkpointing was on");
+    let campaign_speedup = campaign_reset_wall / campaign_ckpt_wall.max(1e-9);
+
+    // --- Measurement 2: the hot path at median injection cycle ≥ half. ---
+    let probe = sea_core::microarch::System::new(cfg.machine, sea_core::microarch::NullDevice);
+    let (golden, ckpts) = golden_run_with_checkpoints(
+        cfg.machine,
+        &built.image,
+        &cfg.kernel,
+        cfg.golden_budget_cycles,
+        args.interval,
+    )
+    .expect("golden run");
+    let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period);
+    let mut rng = XorShift(args.seed | 1);
+    let n = (args.samples as usize * Component::ALL.len()).max(1);
+    let mut specs: Vec<InjectionSpec> = (0..n)
+        .map(|i| {
+            let component = Component::ALL[i % Component::ALL.len()];
+            InjectionSpec {
+                component,
+                bit: rng.next() % probe.component_bits(component),
+                // Uniform over the second half: median = 75% of the run.
+                cycle: golden.cycles / 2 + rng.next() % golden.cycles.div_ceil(2),
+            }
+        })
+        .collect();
+    specs.sort_by_key(|s| s.cycle);
+
+    eprintln!("bench_snapshot: {n} late-half injections, from reset…");
+    let t2 = Instant::now();
+    let out_reset: Vec<_> = specs
+        .iter()
+        .map(|&s| run_one(&built, &cfg, None, s, limits))
+        .collect();
+    let hot_reset_wall = t2.elapsed().as_secs_f64();
+    eprintln!("bench_snapshot: same injections from the nearest checkpoint…");
+    let t3 = Instant::now();
+    let out_ckpt: Vec<_> = specs
+        .iter()
+        .map(|&s| run_one(&built, &cfg, Some(&ckpts), s, limits))
+        .collect();
+    let hot_ckpt_wall = t3.elapsed().as_secs_f64();
+    assert_eq!(out_reset, out_ckpt, "restore path diverged from reset path");
+    let hot_stats = ckpts.stats();
+    let speedup = hot_reset_wall / hot_ckpt_wall.max(1e-9);
+    let median_cycle = specs[specs.len() / 2].cycle;
+
+    let mut w = ObjWriter::new();
+    w.str_field("bench", "snapshot")
+        .str_field("workload", args.workload.name())
+        .str_field("scale", "tiny")
+        .u64_field("golden_cycles", golden.cycles)
+        // Hot path (median injection cycle ≥ half the golden run).
+        .u64_field("injections", n as u64)
+        .u64_field("median_injection_cycle", median_cycle)
+        .f64_field(
+            "median_cycle_frac",
+            median_cycle as f64 / golden.cycles.max(1) as f64,
+        )
+        .f64_field("reset_wall_s", hot_reset_wall)
+        .f64_field("checkpoint_wall_s", hot_ckpt_wall)
+        .f64_field("speedup", speedup)
+        .u64_field("epochs", ckpts.len() as u64)
+        .u64_field("restores", hot_stats.restores)
+        .u64_field("prefix_cycles_saved", hot_stats.prefix_cycles_saved)
+        // Full campaign, uniform cycles (speedup ceiling 2×: half the
+        // work is post-injection suffix).
+        .u64_field("campaign_injections", reset.total_injections())
+        .f64_field("campaign_reset_wall_s", campaign_reset_wall)
+        .f64_field("campaign_checkpoint_wall_s", campaign_ckpt_wall)
+        .f64_field("campaign_speedup", campaign_speedup)
+        .u64_field("campaign_epochs", campaign_stats.epochs)
+        .u64_field(
+            "campaign_prefix_cycles_saved",
+            campaign_stats.prefix_cycles_saved,
+        );
+    let json = w.finish();
+    std::fs::write(&args.out, format!("{json}\n"))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out.display()));
+
+    println!(
+        "{}: golden {} cycles, {} epoch checkpoints",
+        args.workload.name(),
+        golden.cycles,
+        ckpts.len(),
+    );
+    println!(
+        "campaign (uniform cycles, {} injections): {:.3}s → {:.3}s  ({:.2}x, {} prefix cycles saved)",
+        reset.total_injections(),
+        campaign_reset_wall,
+        campaign_ckpt_wall,
+        campaign_speedup,
+        campaign_stats.prefix_cycles_saved,
+    );
+    println!(
+        "hot path (median cycle {:.0}% of run, {} injections): {:.3}s → {:.3}s  ({:.2}x, {} prefix cycles saved)",
+        100.0 * median_cycle as f64 / golden.cycles.max(1) as f64,
+        n,
+        hot_reset_wall,
+        hot_ckpt_wall,
+        speedup,
+        hot_stats.prefix_cycles_saved,
+    );
+    println!("written to {}", args.out.display());
+
+    if args.require > 0.0 && speedup < args.require {
+        eprintln!(
+            "FAIL: hot-path speedup {speedup:.2}x below the required {:.2}x",
+            args.require
+        );
+        std::process::exit(1);
+    }
+}

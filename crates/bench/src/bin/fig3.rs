@@ -6,11 +6,11 @@ use sea_core::FaultClass;
 
 fn main() {
     let opts = sea_bench::parse_options();
-    let cfg = opts.study.beam_config();
     let mut items = Vec::new();
     for &w in &opts.suite {
         eprintln!("  {w}...");
         let built = w.build(opts.study.scale);
+        let cfg = opts.study.beam_config_for(w);
         let r = run_session(w.name(), &built, &cfg, opts.study.beam_strikes).expect("session");
         items.push((
             w.name().to_string(),

@@ -7,11 +7,11 @@ use sea_core::FaultClass;
 
 fn main() {
     let opts = sea_bench::parse_options();
-    let cfg = opts.study.injection_config();
     let mut rows = Vec::new();
     for &w in &opts.suite {
         eprintln!("  {w}...");
         let built = w.build(opts.study.scale);
+        let cfg = opts.study.injection_config_for(w);
         let res = run_campaign(w.name(), &built, &cfg).expect("campaign");
         for c in &res.per_component {
             rows.push(vec![

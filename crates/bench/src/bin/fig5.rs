@@ -7,11 +7,11 @@ use sea_core::injection::run_campaign;
 
 fn main() {
     let opts = sea_bench::parse_options();
-    let cfg = opts.study.injection_config();
     let mut items = Vec::new();
     for &w in &opts.suite {
         eprintln!("  {w}...");
         let built = w.build(opts.study.scale);
+        let cfg = opts.study.injection_config_for(w);
         let res = run_campaign(w.name(), &built, &cfg).expect("campaign");
         let fit = fi_fit(&res, opts.study.fit_raw);
         items.push((

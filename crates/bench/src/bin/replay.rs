@@ -7,11 +7,20 @@
 //! classifies normally on replay. Use `--trace-out FILE.jsonl` to capture
 //! the full `sea-trace` provenance stream of the replayed run.
 //!
-//! Usage: `replay --quarantine FILE [--index N] [--trace-out FILE]`
+//! With `--checkpoint-dir DIR` (the same directory a checkpointed
+//! campaign persisted to), the replay restores the nearest golden-run
+//! checkpoint at or before the anomaly's injection cycle instead of
+//! re-running the whole fault-free prefix from reset — restore and reset
+//! are bit-equivalent, so the reproduction verdict is unchanged.
+//!
+//! Usage: `replay --quarantine FILE [--index N] [--trace-out FILE]
+//! [--checkpoint-dir DIR]`
 
 use sea_core::injection::supervisor::{config_hash, golden_hash};
-use sea_core::injection::{load_quarantine, run_one_caught, RunAnomaly};
-use sea_core::platform::{golden_run, RunLimits};
+use sea_core::injection::{
+    acquire_golden_and_checkpoints, load_quarantine, run_one_caught, CheckpointPolicy, RunAnomaly,
+};
+use sea_core::platform::RunLimits;
 use sea_core::{Scale, Study, Workload};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -20,6 +29,7 @@ struct Args {
     quarantine: PathBuf,
     index: Option<u64>,
     trace: Option<Arc<sea_bench::TraceSession>>,
+    checkpoint_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -27,6 +37,7 @@ fn parse_args() -> Args {
     let mut quarantine = None;
     let mut index = None;
     let mut trace = None;
+    let mut checkpoint_dir = None;
     let mut i = 0;
     while i < argv.len() {
         let need = |i: usize| -> String {
@@ -49,13 +60,18 @@ fn parse_args() -> Args {
                 ))));
                 i += 2;
             }
-            other => panic!("unknown flag `{other}` (usage: replay --quarantine FILE [--index N] [--trace-out FILE])"),
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(PathBuf::from(need(i)));
+                i += 2;
+            }
+            other => panic!("unknown flag `{other}` (usage: replay --quarantine FILE [--index N] [--trace-out FILE] [--checkpoint-dir DIR])"),
         }
     }
     Args {
         quarantine: quarantine.expect("replay needs --quarantine FILE"),
         index,
         trace,
+        checkpoint_dir,
     }
 }
 
@@ -75,7 +91,7 @@ fn detect_scale(w: Workload, recorded: u64) -> Scale {
     Scale::Default
 }
 
-fn replay_one(a: &RunAnomaly) {
+fn replay_one(a: &RunAnomaly, checkpoint_dir: Option<&std::path::Path>) {
     println!(
         "replay #{}: {} into {} bit {} @ cycle {} ({})",
         a.index,
@@ -100,7 +116,13 @@ fn replay_one(a: &RunAnomaly) {
         seed: a.seed,
         ..Study::default()
     };
-    let cfg = study.injection_config();
+    let mut cfg = study.injection_config();
+    // Same per-workload subdirectory layout as a checkpointed study run,
+    // so `replay --checkpoint-dir` reuses the campaign's persisted set.
+    cfg.checkpoints = checkpoint_dir.map(|d| CheckpointPolicy {
+        dir: Some(d.join(format!("{}-inject", a.workload.replace(' ', "_")))),
+        interval: 0,
+    });
     let cfg_hash = config_hash(&cfg);
     if cfg_hash != a.config_hash {
         eprintln!(
@@ -109,15 +131,11 @@ fn replay_one(a: &RunAnomaly) {
             a.config_hash
         );
     }
-    let golden = golden_run(
-        cfg.machine,
-        &built.image,
-        &cfg.kernel,
-        cfg.golden_budget_cycles,
-    )
-    .expect("golden run");
+    let (golden, ckpts) =
+        acquire_golden_and_checkpoints(&built, &cfg, cfg_hash, golden_hash(&built))
+            .expect("golden run");
     let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period);
-    match run_one_caught(&built, &cfg, a.index, a.spec, limits) {
+    match run_one_caught(&built, &cfg, ckpts.as_ref(), a.index, a.spec, limits) {
         Ok(out) => {
             println!(
                 "  completed normally: class {} (array {:?}, valid {})",
@@ -179,7 +197,7 @@ fn main() {
         args.quarantine.display()
     );
     for a in selected {
-        replay_one(a);
+        replay_one(a, args.checkpoint_dir.as_deref());
         println!();
     }
     drop(args.trace);

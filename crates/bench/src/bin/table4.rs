@@ -6,11 +6,11 @@ use sea_core::{injection::run_campaign, Component};
 
 fn main() {
     let opts = sea_bench::parse_options();
-    let cfg = opts.study.injection_config();
     let mut per_comp: std::collections::BTreeMap<Component, Vec<f64>> = Default::default();
     for &w in &opts.suite {
         eprintln!("  {w}...");
         let built = w.build(opts.study.scale);
+        let cfg = opts.study.injection_config_for(w);
         let res = run_campaign(w.name(), &built, &cfg).expect("campaign");
         for c in &res.per_component {
             per_comp

@@ -34,6 +34,11 @@
 //! validates and continues an interrupted journal, `--quarantine FILE`
 //! collects panicking runs as replayable anomaly records, and
 //! `--run-timeout-ms N` puts a wall-clock watchdog on every run.
+//!
+//! Checkpoint flags (see README "Performance"): `--checkpoint-interval N`
+//! captures golden-run epoch checkpoints every ~N cycles (0 = auto) and
+//! restores the nearest one instead of re-booting before each injection;
+//! `--checkpoint-dir DIR` additionally persists them across invocations.
 //! Criterion microbenchmarks (`cargo bench -p sea-bench`) cover the
 //! simulator kernels the tables depend on.
 
@@ -172,6 +177,15 @@ pub fn parse_options() -> Options {
                 opts.study.run_wall_ms = need(i).parse().expect("--run-timeout-ms N");
                 i += 2;
             }
+            "--checkpoint-dir" => {
+                opts.study.checkpoint_dir = Some(PathBuf::from(need(i)));
+                i += 2;
+            }
+            "--checkpoint-interval" => {
+                opts.study.checkpoint_interval =
+                    need(i).parse().expect("--checkpoint-interval CYCLES");
+                i += 2;
+            }
             "--suite" => {
                 opts.suite = need(i)
                     .split(',')
@@ -238,6 +252,29 @@ pub fn run_study(opts: &Options) -> StudyResult {
         eprint!(
             "{}",
             sea_core::analysis::report::supervision_table(&sup_rows)
+        );
+    }
+    // Checkpoint audit: only rendered when a checkpoint policy was active
+    // (stderr, like the supervision table, so artifacts stay byte-stable).
+    let ckpt_rows: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            (
+                w.workload.name().to_string(),
+                w.campaign.golden_cycles,
+                w.campaign.checkpoints,
+                w.beam.checkpoints,
+            )
+        })
+        .collect();
+    if ckpt_rows
+        .iter()
+        .any(|(_, _, i, b)| i.is_some() || b.is_some())
+    {
+        eprintln!("\ncheckpoint summary:");
+        eprint!(
+            "{}",
+            sea_core::analysis::report::checkpoint_table(&ckpt_rows)
         );
     }
     StudyResult {

@@ -96,6 +96,15 @@ pub struct Study {
     pub quarantine: Option<std::path::PathBuf>,
     /// Per-run wall-clock budget in milliseconds (0 = disabled).
     pub run_wall_ms: u64,
+    /// Persist golden-run checkpoints under this directory (one
+    /// subdirectory per workload and methodology) and reuse matching ones
+    /// on later runs. None with `checkpoint_interval == 0` disables
+    /// checkpointing entirely.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Initial checkpoint epoch interval in cycles (0 = auto). Setting
+    /// this without `checkpoint_dir` keeps checkpoints in memory for the
+    /// duration of each campaign/session.
+    pub checkpoint_interval: u64,
 }
 
 impl Default for Study {
@@ -114,6 +123,8 @@ impl Default for Study {
             resume: false,
             quarantine: None,
             run_wall_ms: 0,
+            checkpoint_dir: None,
+            checkpoint_interval: 0,
         }
     }
 }
@@ -126,6 +137,28 @@ impl Study {
             quarantine: self.quarantine.clone(),
             ..sea_injection::SupervisorConfig::default()
         }
+    }
+
+    /// The checkpoint policy for one workload under one methodology.
+    /// Checkpoint provenance hashes differ between injection and beam
+    /// (and between workloads), so each (workload, kind) pair gets its own
+    /// subdirectory — sharing one directory would make the two
+    /// methodologies endlessly invalidate each other's checkpoints.
+    fn checkpoint_policy(
+        &self,
+        workload: &str,
+        kind: &str,
+    ) -> Option<sea_injection::CheckpointPolicy> {
+        if self.checkpoint_dir.is_none() && self.checkpoint_interval == 0 {
+            return None;
+        }
+        Some(sea_injection::CheckpointPolicy {
+            dir: self
+                .checkpoint_dir
+                .as_ref()
+                .map(|d| d.join(format!("{}-{kind}", workload.replace(' ', "_")))),
+            interval: self.checkpoint_interval,
+        })
     }
 
     /// The journal location both methodologies write to (they use
@@ -152,6 +185,7 @@ impl Study {
             golden_budget_cycles: self.golden_budget_cycles,
             supervisor: self.supervisor_config(),
             journal: self.journal_spec(),
+            checkpoints: None,
         }
     }
 
@@ -170,6 +204,23 @@ impl Study {
         }
     }
 
+    /// The injection-campaign configuration for one workload, with the
+    /// study's checkpoint policy applied (the policy is per-workload
+    /// because persisted checkpoints carry per-workload provenance).
+    pub fn injection_config_for(&self, w: Workload) -> CampaignConfig {
+        let mut cfg = self.injection_config();
+        cfg.checkpoints = self.checkpoint_policy(w.name(), "inject");
+        cfg
+    }
+
+    /// The beam configuration for one workload, with the study's
+    /// checkpoint policy applied.
+    pub fn beam_config_for(&self, w: Workload) -> BeamConfig {
+        let mut cfg = self.beam_config();
+        cfg.checkpoints = self.checkpoint_policy(w.name(), "beam");
+        cfg
+    }
+
     /// Runs both methodologies for one workload.
     ///
     /// # Errors
@@ -177,10 +228,11 @@ impl Study {
     /// Propagates campaign/beam failures (broken golden runs).
     pub fn run_workload(&self, w: Workload) -> Result<WorkloadStudy, StudyError> {
         let built = w.build(self.scale);
-        let campaign = run_campaign(w.name(), &built, &self.injection_config())
-            .map_err(StudyError::Campaign)?;
-        let beam = run_session(w.name(), &built, &self.beam_config(), self.beam_strikes)
-            .map_err(StudyError::Beam)?;
+        let icfg = self.injection_config_for(w);
+        let campaign = run_campaign(w.name(), &built, &icfg).map_err(StudyError::Campaign)?;
+        let bcfg = self.beam_config_for(w);
+        let beam =
+            run_session(w.name(), &built, &bcfg, self.beam_strikes).map_err(StudyError::Beam)?;
         let comparison = Comparison {
             workload: w.name().to_string(),
             fi: fi_fit(&campaign, self.fit_raw),

@@ -6,8 +6,10 @@ use rand::{Rng, SeedableRng};
 use sea_kernel::KernelConfig;
 use sea_microarch::{ArrayKind, Component, MachineConfig, System};
 use sea_platform::{
-    boot, classify, golden_run, run, Board, ClassCounts, FaultClass, GoldenRun, RunLimits,
+    boot, classify, golden_run, golden_run_with_checkpoints, run, Board, CheckpointSet,
+    CheckpointStats, ClassCounts, FaultClass, GoldenRun, RunLimits,
 };
+use sea_snapshot::CheckpointMeta;
 use sea_trace::json::{Json, ObjWriter};
 use sea_trace::{event, Level, Progress, Subsystem};
 use sea_workloads::BuiltWorkload;
@@ -146,6 +148,8 @@ pub struct CampaignResult {
     pub anomalies: Vec<RunAnomaly>,
     /// Supervision counters.
     pub supervision: SupervisionStats,
+    /// Checkpoint usage (None when checkpointing was disabled).
+    pub checkpoints: Option<CheckpointStats>,
 }
 
 impl CampaignResult {
@@ -186,6 +190,23 @@ pub struct CampaignConfig {
     pub supervisor: SupervisorConfig,
     /// Outcome journal location and resume behavior (None = no journal).
     pub journal: Option<JournalSpec>,
+    /// Checkpoint/restore policy (None = every run boots from reset).
+    ///
+    /// A runtime-only knob, like `threads`: it changes how fast a campaign
+    /// runs, never what it computes, so it is excluded from the campaign
+    /// configuration hash and a journal written either way is byte-identical.
+    pub checkpoints: Option<CheckpointPolicy>,
+}
+
+/// How a campaign checkpoints and restores the fault-free prefix.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointPolicy {
+    /// Persist checkpoints here and reuse matching ones on the next run
+    /// (None = keep them in memory for this campaign only).
+    pub dir: Option<std::path::PathBuf>,
+    /// Initial epoch interval in cycles (0 = auto). The recorder adapts
+    /// the stride to the golden run's actual length either way.
+    pub interval: u64,
 }
 
 impl Default for CampaignConfig {
@@ -205,6 +226,7 @@ impl Default for CampaignConfig {
             golden_budget_cycles: 500_000_000,
             supervisor: SupervisorConfig::default(),
             journal: None,
+            checkpoints: None,
         }
     }
 }
@@ -230,16 +252,36 @@ impl std::fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
-/// Runs one injected execution: boots a fresh machine, advances it to
-/// `spec.cycle`, flips the bit, and runs to a terminal state.
+/// A machine ready to run toward `cycle`: the nearest checkpoint at or
+/// before the injection cycle when a set is available, a from-reset boot
+/// otherwise. Restore and reset are bit-equivalent by the determinism
+/// contract (held by the `checkpoint_equivalence` tests), so which path is
+/// taken never changes an outcome.
+pub(crate) fn machine_toward(
+    workload: &BuiltWorkload,
+    cfg: &CampaignConfig,
+    ckpts: Option<&CheckpointSet>,
+    cycle: u64,
+) -> System<Board> {
+    if let Some(sys) = ckpts.and_then(|c| c.restore_at(cycle)) {
+        return sys;
+    }
+    boot(cfg.machine, &workload.image, &cfg.kernel)
+        .expect("boot succeeded for the golden run, must succeed here")
+        .0
+}
+
+/// Runs one injected execution: boots a fresh machine (or restores the
+/// nearest checkpoint), advances it to `spec.cycle`, flips the bit, and
+/// runs to a terminal state.
 pub fn run_one(
     workload: &BuiltWorkload,
     cfg: &CampaignConfig,
+    ckpts: Option<&CheckpointSet>,
     spec: InjectionSpec,
     limits: RunLimits,
 ) -> InjectionOutcome {
-    let (mut sys, _) = boot(cfg.machine, &workload.image, &cfg.kernel)
-        .expect("boot succeeded for the golden run, must succeed here");
+    let mut sys = machine_toward(workload, cfg, ckpts, spec.cycle);
     inject_and_run(&mut sys, workload, cfg, spec, limits)
 }
 
@@ -374,6 +416,12 @@ pub fn generate_specs(cfg: &CampaignConfig, golden_cycles: u64) -> Vec<Injection
             });
         }
     }
+    // Order by injection cycle (stable, so equal cycles keep their seeded
+    // draw order). The *set* of specs is untouched — the RNG draws above
+    // are already made — but cycle order gives checkpointed campaigns
+    // restore locality: a worker claiming a contiguous index block keeps
+    // re-cloning the same hot checkpoint instead of hopping across epochs.
+    specs.sort_by_key(|s| s.cycle);
     specs
 }
 
@@ -408,13 +456,10 @@ pub fn run_campaign(
     workload: &BuiltWorkload,
     cfg: &CampaignConfig,
 ) -> Result<CampaignResult, CampaignError> {
-    let golden: GoldenRun = golden_run(
-        cfg.machine,
-        &workload.image,
-        &cfg.kernel,
-        cfg.golden_budget_cycles,
-    )
-    .map_err(CampaignError::Golden)?;
+    let chash = config_hash(cfg);
+    let ghash = golden_hash(workload);
+    let (golden, ckpts): (GoldenRun, Option<CheckpointSet>) =
+        acquire_golden_and_checkpoints(workload, cfg, chash, ghash)?;
     let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period)
         .with_wall_ms(cfg.supervisor.run_wall_ms);
 
@@ -424,8 +469,8 @@ pub fn run_campaign(
     let id = RunIdentity {
         workload: name.to_string(),
         seed: cfg.seed,
-        config_hash: config_hash(cfg),
-        golden_hash: golden_hash(workload),
+        config_hash: chash,
+        golden_hash: ghash,
     };
 
     // Journal: open (or resume, skipping already-completed runs).
@@ -441,6 +486,10 @@ pub fn run_campaign(
                 seed: id.seed,
                 config_hash: id.config_hash,
                 golden_hash: id.golden_hash,
+                // Stamped whether or not checkpointing is on (the value is
+                // interval-independent), so checkpointed and from-reset
+                // campaigns write byte-identical journals.
+                ckpt: CheckpointMeta::provenance(id.config_hash, id.golden_hash),
                 total: specs.len() as u64,
             };
             let (journal, entries) = open_journal(spec, &header).map_err(CampaignError::Journal)?;
@@ -495,6 +544,7 @@ pub fn run_campaign(
                 workload,
                 cfg,
                 &id,
+                ckpts.as_ref(),
                 i,
                 specs[i as usize],
                 limits,
@@ -573,11 +623,85 @@ pub fn run_campaign(
                "lost" => supervision.lost);
     }
 
+    let ckpt_stats = ckpts.as_ref().map(|c| c.stats());
+    if let Some(s) = ckpt_stats {
+        event!(Subsystem::Injection, Level::Info, "injection.checkpoints";
+               "workload" => name.to_string(),
+               "epochs" => s.epochs,
+               "restores" => s.restores,
+               "prefix_cycles_saved" => s.prefix_cycles_saved,
+               "golden_cycles" => golden.cycles);
+    }
+
     Ok(CampaignResult {
         workload: name.to_string(),
         golden_cycles: golden.cycles,
         per_component,
         anomalies,
         supervision,
+        checkpoints: ckpt_stats,
     })
+}
+
+/// Runs the golden reference, wiring in the checkpoint policy: with
+/// checkpointing off this is exactly [`golden_run`]; with it on, epoch
+/// checkpoints are captured during the run (or, when a persistence
+/// directory already holds checkpoints with matching provenance, loaded
+/// from disk instead of re-captured). A stale or foreign directory is
+/// never trusted — it is re-captured and overwritten.
+///
+/// Public because `sea-beam` sessions share the same golden-run +
+/// checkpoint acquisition (with their own provenance hashes).
+pub fn acquire_golden_and_checkpoints(
+    workload: &BuiltWorkload,
+    cfg: &CampaignConfig,
+    chash: u64,
+    ghash: u64,
+) -> Result<(GoldenRun, Option<CheckpointSet>), CampaignError> {
+    let Some(policy) = &cfg.checkpoints else {
+        let golden = golden_run(
+            cfg.machine,
+            &workload.image,
+            &cfg.kernel,
+            cfg.golden_budget_cycles,
+        )
+        .map_err(CampaignError::Golden)?;
+        return Ok((golden, None));
+    };
+    if let Some(dir) = policy.dir.as_deref().filter(|d| d.is_dir()) {
+        match CheckpointSet::load_dir(dir, chash, ghash) {
+            Ok(set) if !set.is_empty() => {
+                let golden = golden_run(
+                    cfg.machine,
+                    &workload.image,
+                    &cfg.kernel,
+                    cfg.golden_budget_cycles,
+                )
+                .map_err(CampaignError::Golden)?;
+                return Ok((golden, Some(set)));
+            }
+            Ok(_) => {}
+            Err(e) => {
+                event!(Subsystem::Injection, Level::Warn, "injection.checkpoint_dir_rejected";
+                       "dir" => dir.display().to_string(),
+                       "error" => e.to_string());
+            }
+        }
+    }
+    let (golden, set) = golden_run_with_checkpoints(
+        cfg.machine,
+        &workload.image,
+        &cfg.kernel,
+        cfg.golden_budget_cycles,
+        policy.interval,
+    )
+    .map_err(CampaignError::Golden)?;
+    if let Some(dir) = &policy.dir {
+        if let Err(e) = set.persist(dir, chash, ghash) {
+            event!(Subsystem::Injection, Level::Warn, "injection.checkpoint_persist_failed";
+                   "dir" => dir.display().to_string(),
+                   "error" => e.to_string());
+        }
+    }
+    Ok((golden, Some(set)))
 }

@@ -25,9 +25,9 @@ pub mod stats;
 pub mod supervisor;
 
 pub use campaign::{
-    class_index, generate_specs, run_campaign, run_one, CampaignConfig, CampaignError,
-    CampaignResult, ComponentResult, FaultModel, InjectionOutcome, InjectionSpec, SupervisionStats,
-    CLASS_LABELS,
+    acquire_golden_and_checkpoints, class_index, generate_specs, run_campaign, run_one,
+    CampaignConfig, CampaignError, CampaignResult, CheckpointPolicy, ComponentResult, FaultModel,
+    InjectionOutcome, InjectionSpec, SupervisionStats, CLASS_LABELS,
 };
 pub use sea_platform::ClassCounts;
 pub use supervisor::{load_quarantine, run_one_caught, JournalSpec, RunAnomaly, SupervisorConfig};

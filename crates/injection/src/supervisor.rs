@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-use sea_platform::{boot, postmortem, RunLimits};
+use sea_platform::{postmortem, CheckpointSet, RunLimits};
 use sea_trace::json::{self, Json, ObjWriter};
 use sea_trace::{event, Level, Subsystem};
 use sea_workloads::BuiltWorkload;
@@ -300,6 +300,12 @@ pub struct JournalHeader {
     pub config_hash: u64,
     /// Golden-output hash.
     pub golden_hash: u64,
+    /// Checkpoint provenance hash
+    /// ([`sea_snapshot::CheckpointMeta::provenance`]); stamped whether or
+    /// not the campaign checkpoints, and deliberately independent of the
+    /// epoch interval, so enabling checkpointing never forks journal
+    /// identity.
+    pub ckpt: u64,
     /// Total planned runs.
     pub total: u64,
 }
@@ -357,15 +363,21 @@ impl Journal {
     }
 }
 
+/// Journal format version. v2 added the `ckpt` provenance field and, in
+/// the same change, cycle-sorted spec sequences — a v1 journal's indices
+/// mean different specs, so v1 files are rejected rather than misread.
+const JOURNAL_VERSION: u64 = 2;
+
 fn header_line(h: &JournalHeader) -> String {
     let mut o = ObjWriter::new();
     o.str_field("journal", "sea-campaign")
-        .u64_field("v", 1)
+        .u64_field("v", JOURNAL_VERSION)
         .str_field("kind", h.kind)
         .str_field("workload", &h.workload)
         .str_field("seed", &format!("{:016x}", h.seed))
         .str_field("cfg", &format!("{:016x}", h.config_hash))
         .str_field("golden", &format!("{:016x}", h.golden_hash))
+        .str_field("ckpt", &format!("{:016x}", h.ckpt))
         .u64_field("total", h.total);
     o.finish()
 }
@@ -375,7 +387,15 @@ fn validate_header(line: &str, want: &JournalHeader) -> Result<(), String> {
     if j.get("journal").and_then(Json::as_str) != Some("sea-campaign") {
         return Err("not a sea-campaign journal".to_string());
     }
-    let checks: [(&str, String, Option<String>); 5] = [
+    match j.get("v").and_then(Json::as_u64) {
+        Some(JOURNAL_VERSION) => {}
+        v => {
+            return Err(format!(
+                "format version: journal has {v:?}, this build writes {JOURNAL_VERSION}"
+            ))
+        }
+    }
+    let checks: [(&str, String, Option<String>); 6] = [
         (
             "kind",
             want.kind.to_string(),
@@ -400,6 +420,11 @@ fn validate_header(line: &str, want: &JournalHeader) -> Result<(), String> {
             "golden",
             format!("{:016x}", want.golden_hash),
             j.get("golden").and_then(Json::as_str).map(String::from),
+        ),
+        (
+            "ckpt",
+            format!("{:016x}", want.ckpt),
+            j.get("ckpt").and_then(Json::as_str).map(String::from),
         ),
     ];
     for (name, want_v, got) in checks {
@@ -490,8 +515,9 @@ pub fn open_journal(
 /// Unwind-safety audit: the `System` crosses the `catch_unwind` boundary
 /// under `AssertUnwindSafe`. After a panic it is only *read* (the
 /// post-mortem snapshot and state fingerprint) and then dropped — every
-/// attempt boots a fresh machine from the image, so no half-mutated
-/// microarchitectural state can leak into another run.
+/// attempt acquires a fresh machine (a from-reset boot, or an independent
+/// COW clone of a checkpoint), so no half-mutated microarchitectural state
+/// can leak into another run.
 ///
 /// # Errors
 ///
@@ -499,12 +525,12 @@ pub fn open_journal(
 pub fn run_one_caught(
     workload: &BuiltWorkload,
     cfg: &CampaignConfig,
+    ckpts: Option<&CheckpointSet>,
     index: u64,
     spec: InjectionSpec,
     limits: RunLimits,
 ) -> Result<InjectionOutcome, CaughtPanic> {
-    let (mut sys, _) = boot(cfg.machine, &workload.image, &cfg.kernel)
-        .expect("boot succeeded for the golden run, must succeed here");
+    let mut sys = crate::campaign::machine_toward(workload, cfg, ckpts, spec.cycle);
     let caught = catch_unwind(AssertUnwindSafe(|| {
         if let Some(hook) = cfg.supervisor.panic_hook {
             hook(index, &spec);
@@ -557,10 +583,12 @@ pub struct RunIdentity {
 
 /// Runs one spec under the full supervision policy: panic isolation plus
 /// bounded retry, quarantining any anomaly.
+#[allow(clippy::too_many_arguments)] // the supervised-run plumbing: every field is a distinct concern
 pub fn attempt_run(
     workload: &BuiltWorkload,
     cfg: &CampaignConfig,
     id: &RunIdentity,
+    ckpts: Option<&CheckpointSet>,
     index: u64,
     spec: InjectionSpec,
     limits: RunLimits,
@@ -572,7 +600,7 @@ pub fn attempt_run(
     let mut outcome = None;
     while attempts < max_attempts {
         attempts += 1;
-        match run_one_caught(workload, cfg, index, spec, limits) {
+        match run_one_caught(workload, cfg, ckpts, index, spec, limits) {
             Ok(out) => {
                 outcome = Some(out);
                 break;
@@ -621,12 +649,17 @@ const IDLE: u64 = u64::MAX;
 
 /// Runs `f` over every index in `pending` on a supervised worker pool.
 ///
+/// Work is claimed in contiguous blocks, not single items: campaign specs
+/// are cycle-sorted, so a block of adjacent indices shares (or neighbors)
+/// one restore checkpoint, and the worker that claimed it keeps that
+/// machine state hot instead of interleaving with every other worker.
 /// Results are batched per worker (no shared mutex on the hot path) and
 /// collected when the pool drains. A worker that panics is respawned (its
-/// in-flight item requeued) until `max_worker_respawns` is exhausted;
-/// after that the pool degrades to the surviving workers, and any item
-/// left over is retried once on the supervisor thread itself so a
-/// poisoned item cannot discard the rest of the campaign.
+/// in-flight item *and* the unprocessed remainder of its claimed block
+/// requeued) until `max_worker_respawns` is exhausted; after that the pool
+/// degrades to the surviving workers, and any item left over is retried
+/// once on the supervisor thread itself so a poisoned item cannot discard
+/// the rest of the campaign.
 pub fn run_supervised<T, F>(
     pending: &[u64],
     threads: usize,
@@ -640,9 +673,16 @@ where
     F: Fn(u64) -> T + Sync,
 {
     let threads = threads.min(pending.len()).max(1);
+    // Block size balances locality (bigger = fewer checkpoint switches per
+    // worker) against tail imbalance (smaller = the last blocks spread
+    // evenly). Eight blocks per worker keeps the tail short.
+    let block = (pending.len() / (threads * 8)).clamp(1, 64);
     let next = AtomicUsize::new(0);
     let retry: Mutex<Vec<u64>> = Mutex::new(Vec::new());
     let slots: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(IDLE)).collect();
+    // Per-worker claimed-block remainders, drained back into `retry` if
+    // the worker dies before finishing its block.
+    let claims: Vec<Mutex<Vec<u64>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
     let outs: Vec<Mutex<Vec<(u64, T)>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
     let respawns = AtomicUsize::new(0);
 
@@ -650,11 +690,29 @@ where
         let started = std::time::Instant::now();
         let mut runs = 0u64;
         loop {
-            let i = retry.lock().pop().or_else(|| {
-                let n = next.fetch_add(1, Ordering::Relaxed);
-                pending.get(n).copied()
-            });
-            let Some(i) = i else { break };
+            // Claim order: own block remainder, then the shared retry
+            // queue, then a fresh block. Each lock is taken and released
+            // in its own statement — chaining them in one expression would
+            // hold the first guard across the later acquisitions (guard
+            // temporaries live to the end of the statement), and the
+            // fresh-block arm re-locks `claims[w]`.
+            let mut item = claims[w].lock().pop();
+            if item.is_none() {
+                item = retry.lock().pop();
+            }
+            if item.is_none() {
+                let start = next.fetch_add(block, Ordering::Relaxed);
+                if start < pending.len() {
+                    let end = (start + block).min(pending.len());
+                    // Stash the block tail (reversed, so pop() walks it in
+                    // ascending cycle order) and take the head now.
+                    claims[w]
+                        .lock()
+                        .extend(pending[start + 1..end].iter().rev().copied());
+                    item = Some(pending[start]);
+                }
+            }
+            let Some(i) = item else { break };
             slots[w].store(i, Ordering::SeqCst);
             if let Some(hook) = sup.worker_hook {
                 hook(w, i);
@@ -687,14 +745,23 @@ where
                 continue;
             }
             // The worker died outside the per-run panic boundary. Requeue
-            // whatever it was holding and, budget permitting, respawn it.
+            // whatever it was holding — the in-flight item and the
+            // unprocessed remainder of its claimed block — and, budget
+            // permitting, respawn it.
             let inflight = slots[w].swap(IDLE, Ordering::SeqCst);
-            if inflight != IDLE {
-                retry.lock().push(inflight);
+            let unclaimed = std::mem::take(&mut *claims[w].lock());
+            let requeued_block = unclaimed.len();
+            {
+                let mut r = retry.lock();
+                if inflight != IDLE {
+                    r.push(inflight);
+                }
+                r.extend(unclaimed);
             }
             event!(sub, Level::Warn, "supervisor.worker_died";
                    "worker" => w,
                    "inflight" => if inflight == IDLE { -1i64 } else { inflight as i64 },
+                   "requeued_block" => requeued_block as u64,
                    "respawns_left" => budget as u64);
             if budget > 0 {
                 budget -= 1;
@@ -711,10 +778,16 @@ where
     // outside the run boundary are recorded as lost, not fatal.
     let mut lost = Vec::new();
     let mut leftovers = std::mem::take(&mut *retry.lock());
+    for q in &claims {
+        leftovers.append(&mut q.lock());
+    }
     loop {
-        let n = next.fetch_add(1, Ordering::Relaxed);
-        let Some(&i) = pending.get(n) else { break };
-        leftovers.push(i);
+        let start = next.fetch_add(block, Ordering::Relaxed);
+        if start >= pending.len() {
+            break;
+        }
+        let end = (start + block).min(pending.len());
+        leftovers.extend_from_slice(&pending[start..end]);
     }
     let mut results: Vec<(u64, T)> = Vec::with_capacity(pending.len());
     for i in leftovers {
@@ -767,6 +840,7 @@ mod tests {
             seed: 0xDEFA_0001,
             config_hash: 0x1234,
             golden_hash: 0x5678,
+            ckpt: 0x9ABC,
             total: 900,
         };
         let line = header_line(&h);
@@ -777,8 +851,16 @@ mod tests {
         let mut other = h.clone();
         other.total = 901;
         assert!(validate_header(&line, &other).is_err());
+        let mut other = h.clone();
+        other.ckpt = 0x9ABD;
+        assert!(validate_header(&line, &other).is_err());
         assert!(validate_header("{\"x\":1}", &h).is_err());
         assert!(validate_header("not json", &h).is_err());
+        // A v1 journal predates cycle-sorted specs: its indices mean
+        // different specs, so it must be rejected, not resumed.
+        let v1 = line.replacen("\"v\":2", "\"v\":1", 1);
+        let err = validate_header(&v1, &h).unwrap_err();
+        assert!(err.contains("format version"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! The sea-snapshot correctness bar: restoring a checkpoint and running
+//! forward must be bit-identical to running from reset, and a checkpointed
+//! campaign must produce byte-identical journals and identical results to
+//! a from-reset campaign.
+
+use sea_injection::{run_campaign, CampaignConfig, CheckpointPolicy, JournalSpec};
+use sea_microarch::Component;
+use sea_platform::{boot, golden_run_with_checkpoints};
+use sea_workloads::{Scale, Workload};
+use std::fs;
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sea_ckpt_eq_{}_{}", name, std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tiny_cfg() -> CampaignConfig {
+    CampaignConfig {
+        samples_per_component: 6,
+        components: vec![Component::RegFile, Component::L1D, Component::DTlb],
+        threads: 1,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn restore_then_run_is_bit_identical_to_run_from_reset() {
+    let w = Workload::Crc32.build(Scale::Tiny);
+    let cfg = tiny_cfg();
+    let (golden, ckpts) = golden_run_with_checkpoints(
+        cfg.machine,
+        &w.image,
+        &cfg.kernel,
+        cfg.golden_budget_cycles,
+        10_000,
+    )
+    .unwrap();
+    assert!(!ckpts.is_empty());
+
+    // A target cycle past at least one non-zero checkpoint.
+    let target = golden.cycles * 2 / 3;
+    let mut restored = ckpts
+        .restore_at(target)
+        .expect("checkpoint at or before target");
+    assert!(restored.cycles() <= target);
+    let mut reset = boot(cfg.machine, &w.image, &cfg.kernel).unwrap().0;
+    while restored.cycles() < target {
+        restored.step();
+    }
+    while reset.cycles() < target {
+        reset.step();
+    }
+    assert_eq!(
+        restored.state_fingerprint_deep(),
+        reset.state_fingerprint_deep(),
+        "restore-then-run diverged from run-from-reset at cycle {target}"
+    );
+    // And they stay in lockstep past the restore point.
+    for _ in 0..5_000 {
+        restored.step();
+        reset.step();
+    }
+    assert_eq!(
+        restored.state_fingerprint_deep(),
+        reset.state_fingerprint_deep()
+    );
+}
+
+#[test]
+fn checkpointed_campaign_journal_is_byte_identical_to_reset_campaign() {
+    let w = Workload::Crc32.build(Scale::Tiny);
+    let plain_dir = scratch("plain");
+    let ckpt_dir = scratch("ckpt");
+
+    let mut plain = tiny_cfg();
+    plain.journal = Some(JournalSpec {
+        dir: plain_dir.clone(),
+        resume: false,
+    });
+    let a = run_campaign("CRC32", &w, &plain).unwrap();
+    assert!(a.checkpoints.is_none());
+
+    let mut ckpt = tiny_cfg();
+    ckpt.journal = Some(JournalSpec {
+        dir: ckpt_dir.clone(),
+        resume: false,
+    });
+    ckpt.checkpoints = Some(CheckpointPolicy {
+        dir: None,
+        interval: 10_000,
+    });
+    let b = run_campaign("CRC32", &w, &ckpt).unwrap();
+    let stats = b.checkpoints.expect("checkpointing was on");
+    assert!(stats.epochs > 0);
+    assert!(stats.restores > 0, "no injection restored a checkpoint");
+    assert!(stats.prefix_cycles_saved > 0);
+
+    // Same classifications, same per-component tallies…
+    assert_eq!(a.per_component, b.per_component);
+    // …and the journals agree byte for byte.
+    let ja = fs::read(plain_dir.join("crc32.inject.jsonl")).unwrap();
+    let jb = fs::read(ckpt_dir.join("crc32.inject.jsonl")).unwrap();
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "checkpointed journal differs from reset journal");
+
+    let _ = fs::remove_dir_all(&plain_dir);
+    let _ = fs::remove_dir_all(&ckpt_dir);
+}
+
+#[test]
+fn persisted_checkpoints_are_reloaded_and_give_identical_results() {
+    let w = Workload::MatMul.build(Scale::Tiny);
+    let dir = scratch("persist");
+    let mut cfg = tiny_cfg();
+    cfg.checkpoints = Some(CheckpointPolicy {
+        dir: Some(dir.clone()),
+        interval: 10_000,
+    });
+
+    // First run captures during the golden run and persists.
+    let a = run_campaign("MatMul", &w, &cfg).unwrap();
+    let files: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "seackpt"))
+        .collect();
+    assert_eq!(
+        files.len() as u64,
+        a.checkpoints.unwrap().epochs,
+        "one .seackpt file per epoch"
+    );
+
+    // Second run loads the persisted set instead of re-capturing, and
+    // classifies every injection identically.
+    let b = run_campaign("MatMul", &w, &cfg).unwrap();
+    assert_eq!(a.per_component, b.per_component);
+    assert_eq!(a.checkpoints.unwrap().epochs, b.checkpoints.unwrap().epochs);
+
+    let _ = fs::remove_dir_all(&dir);
+}

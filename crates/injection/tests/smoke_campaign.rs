@@ -67,7 +67,7 @@ fn directed_injection_into_dead_register_is_masked() {
         bit: (16 + 31) * 32 + 7,
         cycle: 60_000,
     };
-    let out = run_one(&w, &cfg, spec, limits);
+    let out = run_one(&w, &cfg, None, spec, limits);
     assert_eq!(out.class, FaultClass::Masked);
 }
 
@@ -89,7 +89,7 @@ fn directed_injection_into_live_crc_accumulator_corrupts_output() {
         bit: 4 * 32 + 13,
         cycle: g.cycles / 2,
     };
-    let out = run_one(&w, &cfg, spec, limits);
+    let out = run_one(&w, &cfg, None, spec, limits);
     assert_eq!(
         out.class,
         FaultClass::Sdc,
@@ -136,7 +136,7 @@ fn injection_during_kernel_boot_is_handled() {
             bit: 0,
             cycle: 0,
         };
-        let out = run_one(&w, &cfg, spec, limits);
+        let out = run_one(&w, &cfg, None, spec, limits);
         // Any class is acceptable; the point is totality (no panic/hang).
         let _ = out.class;
     }
@@ -156,7 +156,7 @@ fn injection_at_last_bit_of_every_component() {
             bit: bits - 1,
             cycle: g.cycles - 1,
         };
-        let out = run_one(&w, &cfg, spec, limits);
+        let out = run_one(&w, &cfg, None, spec, limits);
         // A flip at the very end of the run is almost always masked, and
         // must never wedge the harness.
         let _ = out.class;
@@ -178,8 +178,8 @@ fn multibit_models_flip_more_state() {
         bit: 4 * 32,
         cycle: g.cycles / 3,
     };
-    let a = run_one(&w, &cfg, spec, limits);
-    let b = run_one(&w, &cfg, spec, limits);
+    let a = run_one(&w, &cfg, None, spec, limits);
+    let b = run_one(&w, &cfg, None, spec, limits);
     assert_eq!(a.class, b.class, "multi-bit runs must be deterministic");
 }
 

@@ -79,7 +79,7 @@ fn panicking_run_is_quarantined_and_the_campaign_completes() {
         sea_platform::golden_run(cfg.machine, &w.image, &cfg.kernel, cfg.golden_budget_cycles)
             .unwrap();
     let limits = sea_platform::RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period);
-    let caught = run_one_caught(&w, &cfg, loaded[0].index, loaded[0].spec, limits)
+    let caught = run_one_caught(&w, &cfg, None, loaded[0].index, loaded[0].spec, limits)
         .expect_err("deterministic anomaly must panic again");
     assert_eq!(caught.message, a.panic_msg);
     assert_eq!(caught.postmortem, a.postmortem, "terminal state reproduced");

@@ -7,6 +7,7 @@
 //! resurrect lines.
 
 use crate::config::CacheConfig;
+use sea_snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// Result of a cache probe.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -457,6 +458,66 @@ impl Cache {
     }
 }
 
+impl Snapshot for Cache {
+    /// Captures geometry plus the full SRAM image: address/valid/dirty/rank
+    /// arrays and the data array. The provenance watch is deliberately
+    /// *not* captured — checkpoints are taken during fault-free golden runs
+    /// (a restored machine re-arms its own watch at injection time) — so
+    /// restore always yields a disarmed watch.
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(*b"CACH");
+        w.u32(self.sets);
+        w.u32(self.ways);
+        w.u32(self.line_bytes);
+        w.bool(self.writeback);
+        self.addr.save(w);
+        self.valid.save(w);
+        self.dirty.save(w);
+        self.rank.save(w);
+        w.bytes(&self.data);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Cache, SnapError> {
+        r.tag(*b"CACH")?;
+        let sets = r.u32()?;
+        let ways = r.u32()?;
+        let line_bytes = r.u32()?;
+        let cfg = CacheConfig {
+            size_bytes: sets
+                .checked_mul(ways)
+                .and_then(|l| l.checked_mul(line_bytes))
+                .ok_or(SnapError::Malformed("cache geometry overflows"))?,
+            ways,
+            line_bytes,
+        };
+        if !cfg.validate() {
+            return Err(SnapError::Malformed("invalid cache geometry"));
+        }
+        let writeback = r.bool()?;
+        let mut c = Cache::new(cfg, writeback);
+        let lines = c.lines() as usize;
+        let addr: Vec<u32> = Vec::load(r)?;
+        let valid: Vec<bool> = Vec::load(r)?;
+        let dirty: Vec<bool> = Vec::load(r)?;
+        let rank: Vec<u8> = Vec::load(r)?;
+        let data = r.bytes()?;
+        if addr.len() != lines
+            || valid.len() != lines
+            || dirty.len() != lines
+            || rank.len() != lines
+            || data.len() != lines * line_bytes as usize
+        {
+            return Err(SnapError::Malformed("cache array length mismatch"));
+        }
+        c.addr = addr;
+        c.valid = valid;
+        c.dirty = dirty;
+        c.rank = rank;
+        c.data.copy_from_slice(data);
+        Ok(c)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -587,5 +648,41 @@ mod tests {
         let data_bits = 32 * 1024 * 8u64;
         assert!(c.total_bits() > data_bits);
         assert_eq!(c.total_bits(), 1024 * (256 + (32 - 8 - 5) as u64 + 2));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_lru_and_dirt() {
+        let mut c = small();
+        // Fill both ways of set 0, then dirty + LRU-promote 0x000.
+        for a in [0x000u32, 0x040] {
+            let (idx, _) = c.evict_for(a);
+            c.fill(idx, a, &[a as u8; 16], false);
+        }
+        match c.probe(0x000) {
+            Probe::Hit(idx) => c.write(idx, 0x0, 4, 0xFEED_FACE),
+            Probe::Miss => panic!("line 0x000 must be resident"),
+        }
+        let mut w = SnapWriter::new();
+        c.save(&mut w);
+        let buf = w.into_bytes();
+        let mut t = Cache::load(&mut SnapReader::new(&buf)).unwrap();
+        assert_eq!(t.valid_lines(), c.valid_lines());
+        assert_eq!(t.peek(0x000, 4), Some(0xFEED_FACE));
+        // LRU order survives: filling set 0 again must evict 0x040 (the
+        // stale way), not the just-promoted 0x000.
+        let (_, wb) = t.evict_for(0x080);
+        assert!(wb.is_none(), "clean victim expected");
+        assert!(t.peek(0x000, 1).is_some());
+        assert!(t.peek(0x040, 1).is_none());
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupt_geometry() {
+        let c = small();
+        let mut w = SnapWriter::new();
+        c.save(&mut w);
+        let mut buf = w.into_bytes();
+        buf[4] = 0xFF; // sets := garbage (low LE byte after the tag)
+        assert!(Cache::load(&mut SnapReader::new(&buf)).is_err());
     }
 }

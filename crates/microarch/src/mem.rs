@@ -1,6 +1,7 @@
 //! Physical memory and the device (MMIO) interface.
 
 use sea_isa::MemSize;
+use sea_snapshot::{PageStore, SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// Base physical address of the memory-mapped device window.
 ///
@@ -43,27 +44,43 @@ impl Device for NullDevice {
     }
 }
 
-/// Flat physical memory (the board's DDR).
+impl Snapshot for NullDevice {
+    fn save(&self, _w: &mut SnapWriter) {}
+
+    fn load(_r: &mut SnapReader<'_>) -> Result<NullDevice, SnapError> {
+        Ok(NullDevice)
+    }
+}
+
+/// Physical memory (the board's DDR), stored as copy-on-write 4 KiB pages.
 ///
 /// In the beam model DDR is *outside* the irradiated chip (the LANSCE spot
 /// covers only the SoC), so this array is never a fault-injection target —
 /// matching §IV-B of the paper.
-#[derive(Clone, Debug)]
+///
+/// The paged backing ([`sea_snapshot::PageStore`]) exists for checkpointing:
+/// cloning a restored machine bumps per-page refcounts instead of copying
+/// the whole DDR image, and a run pays for a page only when it first writes
+/// it. The access API is unchanged from the flat array it replaced, and all
+/// simulator accesses remain aligned (≤ 4 bytes) or line-granular, so the
+/// page seams are invisible to the timing model.
+#[derive(Clone, Debug, PartialEq)]
 pub struct PhysMemory {
-    bytes: Vec<u8>,
+    pages: PageStore,
 }
 
 impl PhysMemory {
-    /// Allocates `size` bytes of zeroed memory.
+    /// Allocates `size` bytes of zeroed memory (lazily — untouched pages
+    /// all share one zero page).
     pub fn new(size: u32) -> PhysMemory {
         PhysMemory {
-            bytes: vec![0; size as usize],
+            pages: PageStore::new(size),
         }
     }
 
     /// Memory size in bytes.
     pub fn size(&self) -> u32 {
-        self.bytes.len() as u32
+        self.pages.size()
     }
 
     /// Reads an aligned value of `size` at `paddr`.
@@ -73,45 +90,70 @@ impl PhysMemory {
     /// Panics if `paddr` is out of range (physical ranges are validated by
     /// the MMU before reaching memory).
     pub fn read(&self, paddr: u32, size: MemSize) -> u32 {
-        let i = paddr as usize;
         match size {
-            MemSize::Byte => self.bytes[i] as u32,
-            MemSize::Half => u16::from_le_bytes(self.bytes[i..i + 2].try_into().unwrap()) as u32,
-            MemSize::Word => u32::from_le_bytes(self.bytes[i..i + 4].try_into().unwrap()),
+            MemSize::Byte => {
+                let mut b = [0u8; 1];
+                self.pages.read_bytes(paddr, &mut b);
+                b[0] as u32
+            }
+            MemSize::Half => {
+                let mut b = [0u8; 2];
+                self.pages.read_bytes(paddr, &mut b);
+                u16::from_le_bytes(b) as u32
+            }
+            MemSize::Word => {
+                let mut b = [0u8; 4];
+                self.pages.read_bytes(paddr, &mut b);
+                u32::from_le_bytes(b)
+            }
         }
     }
 
     /// Writes an aligned value of `size` at `paddr`.
     pub fn write(&mut self, paddr: u32, size: MemSize, value: u32) {
-        let i = paddr as usize;
         match size {
-            MemSize::Byte => self.bytes[i] = value as u8,
-            MemSize::Half => self.bytes[i..i + 2].copy_from_slice(&(value as u16).to_le_bytes()),
-            MemSize::Word => self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes()),
+            MemSize::Byte => self.pages.write_bytes(paddr, &[value as u8]),
+            MemSize::Half => self.pages.write_bytes(paddr, &(value as u16).to_le_bytes()),
+            MemSize::Word => self.pages.write_bytes(paddr, &value.to_le_bytes()),
         }
     }
 
     /// Copies a byte slice into memory (used by the loader).
     pub fn write_bytes(&mut self, paddr: u32, data: &[u8]) {
-        let i = paddr as usize;
-        self.bytes[i..i + data.len()].copy_from_slice(data);
+        self.pages.write_bytes(paddr, data);
     }
 
     /// Reads a whole cache line.
     pub fn read_line(&self, paddr: u32, buf: &mut [u8]) {
-        let i = paddr as usize;
-        buf.copy_from_slice(&self.bytes[i..i + buf.len()]);
+        self.pages.read_bytes(paddr, buf);
     }
 
     /// Writes a whole cache line.
     pub fn write_line(&mut self, paddr: u32, buf: &[u8]) {
-        let i = paddr as usize;
-        self.bytes[i..i + buf.len()].copy_from_slice(buf);
+        self.pages.write_bytes(paddr, buf);
     }
 
-    /// Borrow of the raw bytes (diagnostics only).
-    pub fn bytes(&self) -> &[u8] {
-        &self.bytes
+    /// Number of pages physically shared (same allocation) with `other` —
+    /// the COW diagnostic surfaced by checkpoint metrics and tests.
+    pub fn shared_pages_with(&self, other: &PhysMemory) -> usize {
+        self.pages.shared_pages_with(&other.pages)
+    }
+
+    /// Number of pages privately materialized beyond the shared zero page.
+    pub fn populated_pages(&self) -> usize {
+        self.pages.populated_pages()
+    }
+}
+
+impl Snapshot for PhysMemory {
+    fn save(&self, w: &mut SnapWriter) {
+        self.pages.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<PhysMemory, SnapError> {
+        Ok(PhysMemory {
+            pages: PageStore::load(r)?,
+        })
     }
 }
 
@@ -138,5 +180,30 @@ mod tests {
         let mut back = [0u8; 32];
         m.read_line(32, &mut back);
         assert_eq!(&back[..], &line[..]);
+    }
+
+    #[test]
+    fn clone_is_cow_and_isolated() {
+        let mut a = PhysMemory::new(64 * 1024);
+        a.write(0, MemSize::Word, 0x1111_2222);
+        let mut b = a.clone();
+        assert_eq!(b.shared_pages_with(&a), 16);
+        b.write(0, MemSize::Word, 0x9999_8888);
+        assert_eq!(a.read(0, MemSize::Word), 0x1111_2222);
+        assert_eq!(b.read(0, MemSize::Word), 0x9999_8888);
+        assert_eq!(b.shared_pages_with(&a), 15);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut m = PhysMemory::new(64 * 1024);
+        m.write(4096, MemSize::Word, 0xCAFE_F00D);
+        let mut w = SnapWriter::new();
+        m.save(&mut w);
+        let buf = w.into_bytes();
+        let t = PhysMemory::load(&mut SnapReader::new(&buf)).unwrap();
+        assert_eq!(t, m);
+        assert_eq!(t.read(4096, MemSize::Word), 0xCAFE_F00D);
+        assert_eq!(t.populated_pages(), 1);
     }
 }

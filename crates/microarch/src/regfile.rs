@@ -2,6 +2,7 @@
 
 use crate::cache::WatchReport;
 use sea_isa::{FReg, Reg};
+use sea_snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use std::cell::Cell;
 
 /// Privilege mode.
@@ -218,6 +219,20 @@ impl RegFile {
         REGFILE_BITS
     }
 
+    /// Every architectural word in [`RegFile::flip_bit`] layout order
+    /// (r0–r12, sp_usr, sp_svc, lr, s0–s31). Unlike [`RegFile::get`], this
+    /// does not touch the provenance watch — it exists for state
+    /// fingerprinting, which must be a pure observer.
+    pub fn words(&self) -> [u32; 48] {
+        let mut out = [0u32; 48];
+        out[..13].copy_from_slice(&self.r);
+        out[13] = self.sp_usr;
+        out[14] = self.sp_svc;
+        out[15] = self.lr;
+        out[16..].copy_from_slice(&self.fp);
+        out
+    }
+
     /// Flips one bit. Layout: r0–r12, sp_usr, sp_svc, lr, then s0–s31,
     /// 32 bits each, LSB first.
     ///
@@ -293,6 +308,51 @@ impl Default for RegFile {
     }
 }
 
+impl Snapshot for Cpsr {
+    /// Serialized via the architectural bit layout, so the snapshot format
+    /// and the SPSR save/restore path agree on one encoding.
+    fn save(&self, w: &mut SnapWriter) {
+        w.u32(self.to_bits());
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Cpsr, SnapError> {
+        Ok(Cpsr::from_bits(r.u32()?))
+    }
+}
+
+impl Snapshot for RegFile {
+    /// Captures every architectural word: r0–r12, both banked stack
+    /// pointers, lr, and the 32 FP registers. The provenance watch cells
+    /// are not captured; restore yields a disarmed watch.
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(*b"REGF");
+        for v in self.r {
+            w.u32(v);
+        }
+        w.u32(self.sp_usr);
+        w.u32(self.sp_svc);
+        w.u32(self.lr);
+        for v in self.fp {
+            w.u32(v);
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<RegFile, SnapError> {
+        r.tag(*b"REGF")?;
+        let mut rf = RegFile::new();
+        for v in rf.r.iter_mut() {
+            *v = r.u32()?;
+        }
+        rf.sp_usr = r.u32()?;
+        rf.sp_svc = r.u32()?;
+        rf.lr = r.u32()?;
+        for v in rf.fp.iter_mut() {
+            *v = r.u32()?;
+        }
+        Ok(rf)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,5 +408,23 @@ mod tests {
     #[should_panic]
     fn pc_access_panics() {
         RegFile::new().get(Reg::Pc, Mode::User);
+    }
+
+    #[test]
+    fn snapshot_round_trip_covers_every_word() {
+        let mut rf = RegFile::new();
+        // Give every flat word a distinct value via the flip_bit layout.
+        for word in 0..(REGFILE_BITS / 32) {
+            rf.flip_bit(word * 32 + (word % 32));
+        }
+        let mut w = SnapWriter::new();
+        rf.save(&mut w);
+        let buf = w.into_bytes();
+        let back = RegFile::load(&mut SnapReader::new(&buf)).unwrap();
+        assert_eq!(back.r, rf.r);
+        assert_eq!(back.sp_usr, rf.sp_usr);
+        assert_eq!(back.sp_svc, rf.sp_svc);
+        assert_eq!(back.lr, rf.lr);
+        assert_eq!(back.fp, rf.fp);
     }
 }

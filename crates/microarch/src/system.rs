@@ -5,6 +5,8 @@ use sea_isa::{
     SysReg,
 };
 
+use sea_snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
+
 use crate::config::MachineConfig;
 use crate::counters::Counters;
 use crate::exception::{AbortCause, Exception, VECTOR_BASE};
@@ -75,13 +77,37 @@ impl TraceRing {
         }
     }
 
-    fn snapshot(&self) -> Vec<u32> {
+    /// Linearized view of the ring, oldest first. (Named to stay clear of
+    /// the machine-state [`Snapshot`] trait — this is a trace readout, not
+    /// a checkpoint.)
+    fn trace_snapshot(&self) -> Vec<u32> {
         let mut out = Vec::new();
         if self.filled {
             out.extend_from_slice(&self.buf[self.head..]);
         }
         out.extend_from_slice(&self.buf[..self.head]);
         out
+    }
+}
+
+impl Snapshot for TraceRing {
+    fn save(&self, w: &mut SnapWriter) {
+        self.buf.save(w);
+        w.u32(self.head as u32);
+        w.bool(self.filled);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<TraceRing, SnapError> {
+        let buf: Vec<u32> = Vec::load(r)?;
+        let head = r.u32()? as usize;
+        if buf.is_empty() || head >= buf.len() {
+            return Err(SnapError::Malformed("trace ring head out of range"));
+        }
+        Ok(TraceRing {
+            buf,
+            head,
+            filled: r.bool()?,
+        })
     }
 }
 
@@ -119,8 +145,72 @@ impl Cpu {
     pub fn trace(&self) -> Vec<u32> {
         self.trace
             .as_ref()
-            .map(TraceRing::snapshot)
+            .map(TraceRing::trace_snapshot)
             .unwrap_or_default()
+    }
+}
+
+impl Snapshot for Cpu {
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(*b"CPU ");
+        self.regs.save(w);
+        self.cpsr.save(w);
+        w.u32(self.pc);
+        w.u32(self.spsr);
+        w.u32(self.elr);
+        w.u32(self.esr);
+        w.u32(self.far);
+        w.u32(self.ttbr);
+        self.counters.save(w);
+        self.predictor.save(w);
+        w.u32(self.pred_mask);
+        w.bool(self.wfi);
+        match &self.trace {
+            Some(t) => {
+                w.bool(true);
+                t.save(w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Cpu, SnapError> {
+        r.tag(*b"CPU ")?;
+        let regs = RegFile::load(r)?;
+        let cpsr = Cpsr::load(r)?;
+        let pc = r.u32()?;
+        let spsr = r.u32()?;
+        let elr = r.u32()?;
+        let esr = r.u32()?;
+        let far = r.u32()?;
+        let ttbr = r.u32()?;
+        let counters = Counters::load(r)?;
+        let predictor: Vec<u8> = Vec::load(r)?;
+        let pred_mask = r.u32()?;
+        if predictor.len() as u64 != pred_mask as u64 + 1 || !predictor.len().is_power_of_two() {
+            return Err(SnapError::Malformed("predictor table/mask mismatch"));
+        }
+        let wfi = r.bool()?;
+        let trace = if r.bool()? {
+            Some(TraceRing::load(r)?)
+        } else {
+            None
+        };
+        Ok(Cpu {
+            regs,
+            cpsr,
+            pc,
+            spsr,
+            elr,
+            esr,
+            far,
+            ttbr,
+            counters,
+            predictor,
+            pred_mask,
+            wfi,
+            trace,
+        })
     }
 }
 
@@ -209,6 +299,38 @@ impl<D: Device> System<D> {
         mix(cpu.ttbr as u64);
         mix(cpu.counters.cycles);
         mix(cpu.counters.instructions);
+        h
+    }
+
+    /// Extended fingerprint: everything [`System::state_fingerprint`]
+    /// covers, plus every architectural register word and a valid-line
+    /// summary of each cache and TLB. Where the base fingerprint certifies
+    /// "the core stopped in the same place", this one certifies "the whole
+    /// machine is in the same microarchitectural state" — the equivalence
+    /// bar for checkpoint/restore (a restored run must be bit-identical to
+    /// a from-reset run, including which lines are resident).
+    pub fn state_fingerprint_deep(&self) -> u64 {
+        let mut h = self.state_fingerprint();
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for w in self.cpu.regs.words() {
+            mix(w as u64);
+        }
+        for cache in [&self.mem.l1i, &self.mem.l1d, &self.mem.l2] {
+            mix(cache.valid_lines() as u64);
+            for addr in cache.valid_line_addrs() {
+                mix(addr as u64);
+            }
+        }
+        for tlb in [&self.itlb, &self.dtlb] {
+            mix(tlb.valid_entries() as u64);
+            for word in tlb.valid_entry_words() {
+                mix(word);
+            }
+        }
         h
     }
 
@@ -945,6 +1067,44 @@ impl<D: Device> System<D> {
                 Ok(Flow::Wfi)
             }
         }
+    }
+}
+
+impl<D: Device + Snapshot> Snapshot for System<D> {
+    /// Captures the complete machine: configuration, core, memory system
+    /// (including the COW physical-memory image), both TLBs, and the
+    /// device block.
+    ///
+    /// The fault-provenance probe is *not* captured: checkpoints are taken
+    /// during fault-free golden runs, before any probe is armed. Saving a
+    /// machine with an armed probe is a caller bug (debug-asserted); the
+    /// restored machine always comes back probe-free.
+    fn save(&self, w: &mut SnapWriter) {
+        debug_assert!(
+            self.probe.is_none(),
+            "checkpointing an injected machine loses its provenance probe"
+        );
+        w.tag(*b"SYS ");
+        self.cfg.save(w);
+        self.cpu.save(w);
+        self.mem.save(w);
+        self.itlb.save(w);
+        self.dtlb.save(w);
+        self.dev.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<System<D>, SnapError> {
+        r.tag(*b"SYS ")?;
+        let cfg = MachineConfig::load(r)?;
+        Ok(System {
+            cfg,
+            cpu: Cpu::load(r)?,
+            mem: MemSystem::load(r)?,
+            itlb: Tlb::load(r)?,
+            dtlb: Tlb::load(r)?,
+            dev: D::load(r)?,
+            probe: None,
+        })
     }
 }
 

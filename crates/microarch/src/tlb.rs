@@ -84,6 +84,7 @@ impl TlbEntry {
 }
 
 use crate::cache::WatchReport;
+use sea_snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// A fully associative TLB.
 #[derive(Clone, Debug)]
@@ -188,6 +189,13 @@ impl Tlb {
         self.entries.iter().filter(|e| e.valid()).count() as u32
     }
 
+    /// Raw packed words of the valid entries, in slot order. A pure
+    /// observer (no LRU or watch side effects), used by deep state
+    /// fingerprinting.
+    pub fn valid_entry_words(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().filter(|e| e.valid()).map(|e| e.0)
+    }
+
     // ----- fault-provenance watch -------------------------------------------
 
     /// Which entry a flat SRAM bit index belongs to (same layout as
@@ -212,6 +220,49 @@ impl Tlb {
     /// Drain observations accumulated since the last call.
     pub fn take_watch_report(&mut self) -> WatchReport {
         std::mem::take(&mut self.report)
+    }
+}
+
+impl Snapshot for TlbEntry {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.0);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<TlbEntry, SnapError> {
+        Ok(TlbEntry(r.u64()?))
+    }
+}
+
+impl Snapshot for Tlb {
+    /// Captures entries, LRU stamps, the LRU clock, and the hit/miss
+    /// statistics (the statistics feed the §IV-D counter comparison, so a
+    /// restored run must keep counting from the checkpointed values). The
+    /// provenance watch is not captured; restore yields a disarmed watch.
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(*b"TLB ");
+        self.entries.save(w);
+        self.stamp.save(w);
+        w.u64(self.clock);
+        w.u64(self.lookups);
+        w.u64(self.misses);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Tlb, SnapError> {
+        r.tag(*b"TLB ")?;
+        let entries: Vec<TlbEntry> = Vec::load(r)?;
+        let stamp: Vec<u64> = Vec::load(r)?;
+        if entries.is_empty() || entries.len() != stamp.len() {
+            return Err(SnapError::Malformed("TLB entry/stamp length mismatch"));
+        }
+        Ok(Tlb {
+            entries,
+            stamp,
+            clock: r.u64()?,
+            lookups: r.u64()?,
+            misses: r.u64()?,
+            watch: None,
+            report: WatchReport::default(),
+        })
     }
 }
 
@@ -270,5 +321,25 @@ mod tests {
     fn paper_tlb_size_is_512_bytes() {
         let t = Tlb::new(64);
         assert_eq!(t.total_bits(), 4096); // 512 bytes, as quoted in §V-B
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_lru_and_stats() {
+        let mut t = Tlb::new(2);
+        t.insert(TlbEntry::new(1, 0x10, true, true, false));
+        t.insert(TlbEntry::new(2, 0x20, true, false, true));
+        t.lookup(1); // vpn=1 is now the most recent
+        t.lookup(9); // one miss
+        let mut w = SnapWriter::new();
+        t.save(&mut w);
+        let buf = w.into_bytes();
+        let mut back = Tlb::load(&mut SnapReader::new(&buf)).unwrap();
+        assert_eq!(back.lookups, t.lookups);
+        assert_eq!(back.misses, t.misses);
+        assert_eq!(back.valid_entries(), 2);
+        // LRU state survives: the next insert must evict vpn=2, not vpn=1.
+        back.insert(TlbEntry::new(3, 0x30, true, true, false));
+        assert!(back.lookup(1).is_some());
+        assert!(back.lookup(2).is_none());
     }
 }

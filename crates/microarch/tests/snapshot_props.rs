@@ -1,0 +1,165 @@
+//! Property tests for checkpoint/restore: under any operation mix, saving
+//! a component, mutating the original further, and loading the saved bytes
+//! must reproduce the component exactly as it was at save time — observably
+//! (identical subsequent behavior) and byte-exactly (re-saving the restored
+//! component yields the same stream).
+
+use proptest::prelude::*;
+use sea_isa::MemSize;
+use sea_microarch::{Counters, MachineConfig, MemSystem, RegFile, Tlb, TlbEntry};
+use sea_snapshot::{SnapReader, SnapWriter, Snapshot};
+
+fn save_bytes<T: Snapshot>(v: &T) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    v.save(&mut w);
+    w.into_bytes()
+}
+
+fn load<T: Snapshot>(bytes: &[u8]) -> T {
+    let mut r = SnapReader::new(bytes);
+    let v = T::load(&mut r).expect("round-trip load");
+    assert!(r.is_exhausted(), "loader left trailing bytes");
+    v
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write { addr: u32, value: u32 },
+    Read { addr: u32 },
+    Fetch { addr: u32 },
+    Flush,
+}
+
+fn any_op(mem_bytes: u32) -> impl Strategy<Value = Op> {
+    let addr = 0u32..(mem_bytes - 4);
+    prop_oneof![
+        (addr.clone(), any::<u32>()).prop_map(|(a, v)| Op::Write {
+            addr: a & !3,
+            value: v
+        }),
+        addr.clone().prop_map(|a| Op::Read { addr: a & !3 }),
+        addr.prop_map(|a| Op::Fetch { addr: a & !3 }),
+        Just(Op::Flush),
+    ]
+}
+
+fn tiny_machine() -> MachineConfig {
+    let mut cfg = MachineConfig::cortex_a9_scaled();
+    cfg.l1i.size_bytes = 512;
+    cfg.l1i.ways = 2;
+    cfg.l1d.size_bytes = 512;
+    cfg.l1d.ways = 2;
+    cfg.l2.size_bytes = 2048;
+    cfg.l2.ways = 2;
+    cfg.mem_bytes = 64 * 1024;
+    cfg
+}
+
+fn apply(sys: &mut MemSystem, ctr: &mut Counters, ops: &[Op]) -> Vec<u32> {
+    let mut observed = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Write { addr, value } => {
+                sys.write_data(addr, MemSize::Word, value, ctr);
+            }
+            Op::Read { addr } => observed.push(sys.read_data(addr, MemSize::Word, ctr).0),
+            Op::Fetch { addr } => observed.push(sys.fetch(addr, ctr).0),
+            Op::Flush => sys.clean_invalidate_all(),
+        }
+    }
+    observed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// save → mutate → load: the restored memory system is byte-identical
+    /// to the one saved, behaves identically afterwards, and its COW pages
+    /// never alias the diverged original.
+    #[test]
+    fn memsys_restore_is_bit_identical(
+        prefix in prop::collection::vec(any_op(64 * 1024), 1..100),
+        mutation in prop::collection::vec(any_op(64 * 1024), 1..100),
+        suffix in prop::collection::vec(any_op(64 * 1024), 1..100),
+    ) {
+        let cfg = tiny_machine();
+        let mut sys = MemSystem::new(&cfg);
+        let mut ctr = Counters::default();
+        apply(&mut sys, &mut ctr, &prefix);
+
+        let saved = save_bytes(&sys);
+        // Mutate the original well past the save point.
+        apply(&mut sys, &mut ctr, &mutation);
+
+        let mut restored: MemSystem = load(&saved);
+        prop_assert_eq!(save_bytes(&restored), saved.clone(),
+            "re-saving a restored machine must reproduce the stream");
+
+        // The restored machine and a twin restored from the same bytes
+        // behave identically on the suffix.
+        let mut twin: MemSystem = load(&saved);
+        let mut ctr_a = Counters::default();
+        let mut ctr_b = Counters::default();
+        let obs_a = apply(&mut restored, &mut ctr_a, &suffix);
+        let obs_b = apply(&mut twin, &mut ctr_b, &suffix);
+        prop_assert_eq!(obs_a, obs_b);
+        prop_assert_eq!(ctr_a, ctr_b);
+    }
+
+    /// Restored machines sharing a golden image never see each other's
+    /// writes (COW isolation at the DRAM layer).
+    #[test]
+    fn cow_restores_are_isolated(
+        addr in (0u32..64 * 1024 - 4).prop_map(|a| a & !3),
+        va in any::<u32>(),
+    ) {
+        let vb = !va; // always differs from va
+        let cfg = tiny_machine();
+        let golden = MemSystem::new(&cfg);
+        let mut a = golden.clone();
+        let mut b = golden.clone();
+        let mut ctr = Counters::default();
+        a.write_data(addr, MemSize::Word, va, &mut ctr);
+        b.write_data(addr, MemSize::Word, vb, &mut ctr);
+        a.clean_invalidate_all();
+        b.clean_invalidate_all();
+        prop_assert_eq!(a.phys.read(addr, MemSize::Word), va);
+        prop_assert_eq!(b.phys.read(addr, MemSize::Word), vb);
+        prop_assert_eq!(golden.phys.read(addr, MemSize::Word), 0);
+    }
+
+    /// TLB round-trip under random insert/lookup traffic.
+    #[test]
+    fn tlb_restore_is_bit_identical(
+        inserts in prop::collection::vec((0u32..64, 0u32..1024), 1..80),
+        lookups in prop::collection::vec(0u32..64, 1..80),
+    ) {
+        let mut t = Tlb::new(16);
+        for &(vpn, ppn) in &inserts {
+            t.insert(TlbEntry::new(vpn, ppn, true, vpn % 2 == 0, vpn % 3 == 0));
+        }
+        for &vpn in &lookups {
+            t.lookup(vpn);
+        }
+        let saved = save_bytes(&t);
+        let restored: Tlb = load(&saved);
+        prop_assert_eq!(save_bytes(&restored), saved);
+        prop_assert_eq!(restored.lookups, t.lookups);
+        prop_assert_eq!(restored.misses, t.misses);
+    }
+
+    /// Register-file round-trip under random bit flips.
+    #[test]
+    fn regfile_restore_is_bit_identical(
+        bits in prop::collection::vec(0u64..sea_microarch::REGFILE_BITS, 1..64),
+    ) {
+        let mut rf = RegFile::new();
+        for &b in &bits {
+            rf.flip_bit(b);
+        }
+        let saved = save_bytes(&rf);
+        let restored: RegFile = load(&saved);
+        prop_assert_eq!(save_bytes(&restored), saved);
+        prop_assert_eq!(restored.words(), rf.words());
+    }
+}

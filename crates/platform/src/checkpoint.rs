@@ -1,0 +1,485 @@
+//! Machine checkpoints: capture, restore, epoch collection, and disk
+//! persistence.
+//!
+//! gem5 — the paper's microarchitectural fault-injection vehicle —
+//! amortizes the fault-free boot prefix with checkpoints and restores each
+//! injection run from the nearest one. This module is the SEA equivalent:
+//! the golden run captures epoch checkpoints as it executes, and every
+//! injected run restores the nearest checkpoint at or before its injection
+//! cycle instead of re-simulating from reset. Physical memory is
+//! copy-on-write ([`sea_snapshot::PageStore`] pages), so hundreds of
+//! restored machines share the golden DRAM image and each pays only for
+//! the pages it actually dirties.
+//!
+//! Determinism contract: the simulator is single-threaded and
+//! deterministic, so a machine restored at cycle *c* and stepped to cycle
+//! *t* is bit-identical to a machine booted from reset and stepped to *t*.
+//! The equivalence tests in `sea-injection` hold this to the deep state
+//! fingerprint.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sea_microarch::System;
+use sea_snapshot::{
+    decode_checkpoint, encode_checkpoint, CheckpointMeta, SnapError, SnapReader, SnapWriter,
+    Snapshot,
+};
+use sea_trace::{event, Counter, Level, Subsystem};
+
+use crate::board::Board;
+
+/// Process-wide count of checkpoint captures (trace metric).
+static CKPT_SAVES: Counter = Counter::new("snapshot.saves");
+/// Process-wide count of checkpoint restores (trace metric).
+static CKPT_RESTORES: Counter = Counter::new("snapshot.restores");
+/// Process-wide sum of fault-free prefix cycles skipped by restoring
+/// instead of re-simulating from reset (trace metric).
+static CKPT_PREFIX_SAVED: Counter = Counter::new("snapshot.prefix_cycles_saved");
+
+/// Process-wide checkpoint metrics: `(saves, restores, prefix_cycles_saved)`.
+pub fn snapshot_metrics() -> (u64, u64, u64) {
+    (
+        CKPT_SAVES.get(),
+        CKPT_RESTORES.get(),
+        CKPT_PREFIX_SAVED.get(),
+    )
+}
+
+/// One captured machine state: the full [`System`] (CPU, caches, TLBs,
+/// board, COW memory) frozen at a cycle boundary of a fault-free run.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    cycle: u64,
+    sys: System<Board>,
+}
+
+impl Checkpoint {
+    /// Captures the machine as it stands. Cloning is cheap where it
+    /// matters: DRAM pages are reference-bumped, not copied.
+    pub fn capture(sys: &System<Board>) -> Checkpoint {
+        CKPT_SAVES.inc();
+        Checkpoint {
+            cycle: sys.cycles(),
+            sys: sys.clone(),
+        }
+    }
+
+    /// The cycle this checkpoint was captured at.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// A fresh machine identical to the captured one. Each call yields an
+    /// independent COW clone; concurrent restored runs never observe each
+    /// other's writes.
+    pub fn restore(&self) -> System<Board> {
+        self.sys.clone()
+    }
+
+    /// Serializes into the versioned, hashed checkpoint container,
+    /// stamping the campaign provenance into the header.
+    pub fn encode(&self, config_hash: u64, golden_hash: u64) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        self.sys.save(&mut w);
+        let meta = CheckpointMeta {
+            cycle: self.cycle,
+            config_hash,
+            golden_hash,
+        };
+        encode_checkpoint(meta, &w.into_bytes())
+    }
+
+    /// Decodes a checkpoint container, rejecting foreign provenance and
+    /// internally inconsistent state.
+    ///
+    /// # Errors
+    ///
+    /// Container-level rejections ([`SnapError`]) and provenance
+    /// mismatches against this campaign's hashes.
+    pub fn decode(
+        bytes: &[u8],
+        config_hash: u64,
+        golden_hash: u64,
+    ) -> Result<Checkpoint, CheckpointError> {
+        let (meta, payload) = decode_checkpoint(bytes).map_err(CheckpointError::Snap)?;
+        if meta.config_hash != config_hash {
+            return Err(CheckpointError::Provenance {
+                field: "config_hash",
+                want: config_hash,
+                found: meta.config_hash,
+            });
+        }
+        if meta.golden_hash != golden_hash {
+            return Err(CheckpointError::Provenance {
+                field: "golden_hash",
+                want: golden_hash,
+                found: meta.golden_hash,
+            });
+        }
+        let mut r = SnapReader::new(payload);
+        let sys = System::<Board>::load(&mut r).map_err(CheckpointError::Snap)?;
+        if !r.is_exhausted() {
+            return Err(CheckpointError::Snap(SnapError::Malformed(
+                "trailing bytes after machine state",
+            )));
+        }
+        if sys.cycles() != meta.cycle {
+            return Err(CheckpointError::Snap(SnapError::Malformed(
+                "header cycle disagrees with machine cycle counter",
+            )));
+        }
+        Ok(Checkpoint {
+            cycle: meta.cycle,
+            sys,
+        })
+    }
+}
+
+/// Boots a machine from a checkpoint instead of from reset: the
+/// restore-side counterpart of [`crate::boot`].
+pub fn boot_from_checkpoint(ckpt: &Checkpoint) -> System<Board> {
+    ckpt.restore()
+}
+
+/// Why a persisted checkpoint was rejected.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+    /// Container or payload rejection (magic, version, hash, layout).
+    Snap(SnapError),
+    /// The checkpoint belongs to a different campaign.
+    Provenance {
+        /// Which provenance field mismatched.
+        field: &'static str,
+        /// Hash this campaign expects.
+        want: u64,
+        /// Hash found in the container.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Snap(e) => write!(f, "checkpoint rejected: {e}"),
+            CheckpointError::Provenance { field, want, found } => write!(
+                f,
+                "checkpoint provenance mismatch: {field} is {found:#018x}, campaign wants {want:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// What a [`CheckpointSet`] has done so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Checkpoints held.
+    pub epochs: u64,
+    /// Restores served.
+    pub restores: u64,
+    /// Fault-free prefix cycles skipped across all restores.
+    pub prefix_cycles_saved: u64,
+}
+
+/// The epoch checkpoints of one golden run, shared read-only by every
+/// campaign worker.
+///
+/// Interior mutex: [`System`] holds `Cell`-based provenance watches and is
+/// not `Sync`, so the checkpoint list lives behind a lock and restores hand
+/// out clones. The critical section is one COW clone — microseconds — so
+/// worker contention is negligible next to a run's simulation time.
+#[derive(Debug, Default)]
+pub struct CheckpointSet {
+    inner: Mutex<Vec<Checkpoint>>,
+    restores: AtomicU64,
+    prefix_cycles_saved: AtomicU64,
+}
+
+impl CheckpointSet {
+    /// An empty set.
+    pub fn new() -> CheckpointSet {
+        CheckpointSet::default()
+    }
+
+    /// Adds a checkpoint, keeping the set ordered by cycle.
+    pub fn push(&self, ckpt: Checkpoint) {
+        let mut inner = self.inner.lock().expect("checkpoint set poisoned");
+        let at = inner.partition_point(|c| c.cycle <= ckpt.cycle);
+        inner.insert(at, ckpt);
+    }
+
+    /// Number of checkpoints held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("checkpoint set poisoned").len()
+    }
+
+    /// True when no checkpoint has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The capture cycles, ascending.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.inner
+            .lock()
+            .expect("checkpoint set poisoned")
+            .iter()
+            .map(|c| c.cycle)
+            .collect()
+    }
+
+    /// Restores the nearest checkpoint at or before `cycle`, or `None` if
+    /// every held checkpoint is later. Accounts the restore and the prefix
+    /// cycles it skipped.
+    pub fn restore_at(&self, cycle: u64) -> Option<System<Board>> {
+        let inner = self.inner.lock().expect("checkpoint set poisoned");
+        let at = inner.partition_point(|c| c.cycle <= cycle);
+        let ckpt = inner.get(at.checked_sub(1)?)?;
+        let sys = ckpt.restore();
+        drop(inner);
+        self.restores.fetch_add(1, Ordering::Relaxed);
+        self.prefix_cycles_saved
+            .fetch_add(sys.cycles(), Ordering::Relaxed);
+        CKPT_RESTORES.inc();
+        CKPT_PREFIX_SAVED.add(sys.cycles());
+        Some(sys)
+    }
+
+    /// Usage statistics for campaign reporting.
+    pub fn stats(&self) -> CheckpointStats {
+        CheckpointStats {
+            epochs: self.len() as u64,
+            restores: self.restores.load(Ordering::Relaxed),
+            prefix_cycles_saved: self.prefix_cycles_saved.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Writes every checkpoint into `dir` as one container file each,
+    /// returning how many were written. Existing checkpoint files in the
+    /// directory are replaced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O failures.
+    pub fn persist(
+        &self,
+        dir: &Path,
+        config_hash: u64,
+        golden_hash: u64,
+    ) -> std::io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        for old in std::fs::read_dir(dir)? {
+            let old = old?.path();
+            if old.extension().is_some_and(|e| e == "seackpt") {
+                std::fs::remove_file(old)?;
+            }
+        }
+        let inner = self.inner.lock().expect("checkpoint set poisoned");
+        for ckpt in inner.iter() {
+            let path = dir.join(format!("ckpt_{:016x}.seackpt", ckpt.cycle));
+            std::fs::write(path, ckpt.encode(config_hash, golden_hash))?;
+        }
+        event!(Subsystem::Platform, Level::Info, "snapshot.persist";
+               "dir" => dir.display().to_string(),
+               "epochs" => inner.len() as u64);
+        Ok(inner.len())
+    }
+
+    /// Loads every `*.seackpt` file in `dir`, validating each against this
+    /// campaign's provenance. Any rejected file fails the whole load — a
+    /// directory of mixed-campaign checkpoints is a setup error, not
+    /// something to paper over.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and per-file [`CheckpointError`] rejections.
+    pub fn load_dir(
+        dir: &Path,
+        config_hash: u64,
+        golden_hash: u64,
+    ) -> Result<CheckpointSet, CheckpointError> {
+        let set = CheckpointSet::new();
+        let mut files: Vec<_> = std::fs::read_dir(dir)
+            .map_err(CheckpointError::Io)?
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CheckpointError::Io)?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "seackpt"))
+            .collect();
+        files.sort();
+        for path in files {
+            let bytes = std::fs::read(&path).map_err(CheckpointError::Io)?;
+            set.push(Checkpoint::decode(&bytes, config_hash, golden_hash)?);
+        }
+        event!(Subsystem::Platform, Level::Info, "snapshot.load_dir";
+               "dir" => dir.display().to_string(),
+               "epochs" => set.len() as u64);
+        Ok(set)
+    }
+}
+
+/// Collects epoch checkpoints while a golden run executes.
+///
+/// The interval adapts: the run length is unknown up front, so when the
+/// set outgrows its cap the recorder drops every other checkpoint and
+/// doubles the interval. The result is 17–32 checkpoints spread over the
+/// actual run, whatever its length — deterministic, since it depends only
+/// on the cycle stream.
+pub(crate) struct EpochRecorder {
+    interval: u64,
+    next: u64,
+    cap: usize,
+    taken: Vec<Checkpoint>,
+}
+
+/// Default initial epoch interval when the caller passes 0 (auto).
+const AUTO_INITIAL_INTERVAL: u64 = 8_192;
+/// Checkpoints held before the recorder thins and doubles the interval.
+const EPOCH_CAP: usize = 32;
+
+impl EpochRecorder {
+    pub(crate) fn new(interval: u64) -> EpochRecorder {
+        let interval = if interval == 0 {
+            AUTO_INITIAL_INTERVAL
+        } else {
+            interval
+        };
+        EpochRecorder {
+            interval,
+            next: interval,
+            cap: EPOCH_CAP,
+            taken: Vec::new(),
+        }
+    }
+
+    /// Captures the pre-run machine (cycle 0, right after install): the
+    /// floor checkpoint every injection can fall back to.
+    pub(crate) fn epoch_zero(&mut self, sys: &System<Board>) {
+        debug_assert_eq!(sys.cycles(), 0, "epoch zero must precede the run");
+        self.taken.push(Checkpoint::capture(sys));
+    }
+
+    /// Called between steps of the golden run; captures when the next
+    /// epoch boundary has been crossed.
+    pub(crate) fn observe(&mut self, sys: &System<Board>) {
+        if sys.cycles() < self.next {
+            return;
+        }
+        self.taken.push(Checkpoint::capture(sys));
+        self.next = self.next.saturating_add(self.interval);
+        if self.taken.len() > self.cap {
+            self.thin();
+        }
+    }
+
+    /// Keeps every other checkpoint (the cycle-0 floor always survives at
+    /// index 0) and doubles the stride going forward.
+    fn thin(&mut self) {
+        let mut i = 0;
+        self.taken.retain(|_| {
+            i += 1;
+            (i - 1) % 2 == 0
+        });
+        self.interval = self.interval.saturating_mul(2);
+        let last = self.taken.last().map_or(0, Checkpoint::cycle);
+        self.next = last.saturating_add(self.interval);
+    }
+
+    /// Finishes the collection into a shareable set.
+    pub(crate) fn into_set(self) -> CheckpointSet {
+        let set = CheckpointSet::new();
+        for ckpt in self.taken {
+            set.push(ckpt);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_microarch::MachineConfig;
+
+    fn tiny_sys() -> System<Board> {
+        let mut cfg = MachineConfig::cortex_a9_scaled();
+        cfg.mem_bytes = 1024 * 1024;
+        System::new(cfg, Board::new())
+    }
+
+    #[test]
+    fn restore_at_picks_nearest_at_or_before() {
+        let set = CheckpointSet::new();
+        let sys = tiny_sys();
+        // Fabricate epochs by capturing the same machine; cycles are all 0,
+        // so push distinct cycles via capture-then-step is overkill here —
+        // exercise ordering with the real capture path instead.
+        set.push(Checkpoint::capture(&sys));
+        assert_eq!(set.epochs(), vec![0]);
+        assert!(set.restore_at(5).is_some());
+        let stats = set.stats();
+        assert_eq!(stats.restores, 1);
+        assert_eq!(stats.prefix_cycles_saved, 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_and_provenance_rejection() {
+        let sys = tiny_sys();
+        let ckpt = Checkpoint::capture(&sys);
+        let bytes = ckpt.encode(0xAB, 0xCD);
+        let back = Checkpoint::decode(&bytes, 0xAB, 0xCD).unwrap();
+        assert_eq!(back.cycle(), 0);
+        assert!(matches!(
+            Checkpoint::decode(&bytes, 0xAB, 0xCE),
+            Err(CheckpointError::Provenance {
+                field: "golden_hash",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Checkpoint::decode(&bytes, 0xAC, 0xCD),
+            Err(CheckpointError::Provenance {
+                field: "config_hash",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn persist_and_load_dir_round_trip() {
+        let dir =
+            std::env::temp_dir().join(format!("sea_ckpt_test_{}_{}", std::process::id(), line!()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let set = CheckpointSet::new();
+        set.push(Checkpoint::capture(&tiny_sys()));
+        assert_eq!(set.persist(&dir, 1, 2).unwrap(), 1);
+        let back = CheckpointSet::load_dir(&dir, 1, 2).unwrap();
+        assert_eq!(back.epochs(), set.epochs());
+        // Wrong provenance rejects the whole directory.
+        assert!(CheckpointSet::load_dir(&dir, 1, 3).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recorder_thins_and_doubles_past_the_cap() {
+        let mut rec = EpochRecorder::new(1);
+        let sys = tiny_sys();
+        rec.epoch_zero(&sys);
+        for _ in 0..100 {
+            rec.taken.push(Checkpoint::capture(&sys));
+            if rec.taken.len() > rec.cap {
+                rec.thin();
+            }
+        }
+        assert!(rec.taken.len() <= rec.cap + 1);
+        assert!(rec.interval > 1, "stride must have doubled at least once");
+        // The cycle-0 floor survives thinning.
+        assert_eq!(rec.taken.first().map(Checkpoint::cycle), Some(0));
+    }
+}

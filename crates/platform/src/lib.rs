@@ -10,15 +10,24 @@
 //! * [`run`] / [`RunLimits`] — step the machine to a terminal state.
 //! * [`classify`] / [`FaultClass`] — the paper's four effect classes.
 //! * [`golden_run`] — fault-free reference execution.
+//! * [`golden_run_with_checkpoints`] / [`CheckpointSet`] — epoch
+//!   checkpoints of the reference run, restored by injection campaigns to
+//!   skip the fault-free prefix (the gem5-checkpoint workflow of the
+//!   paper's simulation arm).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod board;
+mod checkpoint;
 mod run;
 
 pub use board::{Board, DEFAULT_OUTPUT_CAP};
+pub use checkpoint::{
+    boot_from_checkpoint, snapshot_metrics, Checkpoint, CheckpointError, CheckpointSet,
+    CheckpointStats,
+};
 pub use run::{
-    boot, classify, golden_run, postmortem, run, AppCrashKind, ClassCounts, FaultClass,
-    GoldenError, GoldenRun, RunLimits, RunOutcome, SysCrashKind,
+    boot, classify, golden_run, golden_run_with_checkpoints, postmortem, run, AppCrashKind,
+    ClassCounts, FaultClass, GoldenError, GoldenRun, RunLimits, RunOutcome, SysCrashKind,
 };

@@ -9,6 +9,7 @@ use sea_microarch::{MachineConfig, StepOutcome, System};
 use sea_trace::{event, Level, Subsystem};
 
 use crate::board::Board;
+use crate::checkpoint::{CheckpointSet, EpochRecorder};
 
 /// Why a run counted as an Application Crash.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -227,7 +228,17 @@ impl RunLimits {
 /// application exit, vector lock-up, unexpected halt, cycle budget
 /// exhaustion (split into app-hang vs kernel-hang by the tick heartbeat).
 pub fn run(sys: &mut System<Board>, limits: RunLimits) -> RunOutcome {
-    let outcome = run_inner(sys, limits);
+    run_with_epochs(sys, limits, None)
+}
+
+/// [`run`] with an optional epoch-checkpoint recorder riding along (the
+/// golden run uses this; injected runs never checkpoint).
+fn run_with_epochs(
+    sys: &mut System<Board>,
+    limits: RunLimits,
+    epochs: Option<&mut EpochRecorder>,
+) -> RunOutcome {
+    let outcome = run_inner(sys, limits, epochs);
     event!(Subsystem::Platform, Level::Info, "platform.run_end";
            cycle = sys.cycles();
            "outcome" => outcome_name(&outcome),
@@ -262,7 +273,11 @@ fn hang_outcome(sys: &System<Board>, limits: RunLimits, now: u64) -> RunOutcome 
     }
 }
 
-fn run_inner(sys: &mut System<Board>, limits: RunLimits) -> RunOutcome {
+fn run_inner(
+    sys: &mut System<Board>,
+    limits: RunLimits,
+    mut epochs: Option<&mut EpochRecorder>,
+) -> RunOutcome {
     let deadline = (limits.wall_ms > 0)
         .then(|| std::time::Instant::now() + std::time::Duration::from_millis(limits.wall_ms));
     let mut steps = 0u32;
@@ -289,6 +304,12 @@ fn run_inner(sys: &mut System<Board>, limits: RunLimits) -> RunOutcome {
         }
         if now > limits.max_cycles {
             return hang_outcome(sys, limits, now);
+        }
+        // Epoch checkpoints are only captured on clean, non-terminal cycle
+        // boundaries — a checkpoint of a machine that is about to be
+        // declared dead would be useless to restore.
+        if let Some(rec) = epochs.as_deref_mut() {
+            rec.observe(sys);
         }
         // The wall-clock watchdog only needs coarse resolution; polling
         // the host clock every step would dominate the simulator loop.
@@ -385,14 +406,52 @@ pub fn golden_run(
     kernel: &KernelConfig,
     budget_cycles: u64,
 ) -> Result<GoldenRun, GoldenError> {
+    golden_run_observed(machine, user, kernel, budget_cycles, None)
+}
+
+/// [`golden_run`] that additionally captures epoch checkpoints while the
+/// reference execution runs, for prefix-sharing injection campaigns.
+///
+/// `interval` is the initial epoch stride in cycles (0 = auto). The stride
+/// adapts to the run's actual length, so the set stays small whatever the
+/// workload. The returned [`GoldenRun`] is computed by the *same* code
+/// path as [`golden_run`] — checkpointing cannot change the reference.
+///
+/// # Errors
+///
+/// Same failure modes as [`golden_run`].
+pub fn golden_run_with_checkpoints(
+    machine: MachineConfig,
+    user: &Image,
+    kernel: &KernelConfig,
+    budget_cycles: u64,
+    interval: u64,
+) -> Result<(GoldenRun, CheckpointSet), GoldenError> {
+    let mut rec = EpochRecorder::new(interval);
+    let golden = golden_run_observed(machine, user, kernel, budget_cycles, Some(&mut rec))?;
+    Ok((golden, rec.into_set()))
+}
+
+fn golden_run_observed(
+    machine: MachineConfig,
+    user: &Image,
+    kernel: &KernelConfig,
+    budget_cycles: u64,
+    mut epochs: Option<&mut EpochRecorder>,
+) -> Result<GoldenRun, GoldenError> {
     let (mut sys, boot) = boot(machine, user, kernel).map_err(GoldenError::Install)?;
+    if let Some(rec) = epochs.as_deref_mut() {
+        // The post-install, pre-run machine: the floor checkpoint every
+        // injection cycle can fall back to.
+        rec.epoch_zero(&sys);
+    }
     let limits = RunLimits {
         max_cycles: budget_cycles,
         tick_window: u64::MAX,
         wall_ms: 0,
     };
     let span = sea_trace::span(Subsystem::Platform, Level::Info, "platform.golden");
-    match run(&mut sys, limits) {
+    match run_with_epochs(&mut sys, limits, epochs) {
         RunOutcome::Exited {
             code: 0,
             output,

@@ -1,0 +1,156 @@
+//! The on-disk checkpoint container: magic, format version, provenance,
+//! and a content hash around an opaque machine-state payload.
+//!
+//! Restoring foreign state into a campaign is the one way checkpointing
+//! can silently invalidate results, so the container front-loads every
+//! rejection: wrong file type ([`SnapError::BadMagic`]), wrong format
+//! generation ([`SnapError::Version`]), bit rot or a torn write
+//! ([`SnapError::HashMismatch`]) — all before the payload is parsed. The
+//! *semantic* check (does this checkpoint belong to this campaign?) is the
+//! caller's, via the [`CheckpointMeta`] provenance fields.
+
+use crate::{fnv1a, SnapError, SnapReader, SnapWriter};
+
+/// Container magic: "SEACKPT" plus a format-generation byte.
+pub const SNAP_MAGIC: [u8; 8] = *b"SEACKPT\x01";
+
+/// Current container format version. Bump on any layout change to the
+/// machine-state payload; old files are then rejected, never reinterpreted.
+pub const SNAP_VERSION: u32 = 1;
+
+/// Identifying metadata carried in a checkpoint container header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Simulated cycle at which the machine state was captured.
+    pub cycle: u64,
+    /// Campaign configuration hash (physics-shaping knobs only), as
+    /// computed by the injection supervisor.
+    pub config_hash: u64,
+    /// Golden-run hash binding the checkpoint to one workload image.
+    pub golden_hash: u64,
+}
+
+impl CheckpointMeta {
+    /// The provenance hash recorded in campaign journal headers: a single
+    /// value derived from everything that must match for a checkpoint to
+    /// be usable. Deliberately independent of whether checkpointing is
+    /// enabled or how often epochs are taken, so a checkpointed and a
+    /// from-reset campaign write byte-identical journals.
+    pub fn provenance(config_hash: u64, golden_hash: u64) -> u64 {
+        let mut bytes = Vec::with_capacity(20);
+        bytes.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&config_hash.to_le_bytes());
+        bytes.extend_from_slice(&golden_hash.to_le_bytes());
+        fnv1a(&bytes)
+    }
+}
+
+/// Wrap `payload` in a validated container.
+pub fn encode_checkpoint(meta: CheckpointMeta, payload: &[u8]) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.raw(&SNAP_MAGIC);
+    w.u32(SNAP_VERSION);
+    w.u64(meta.cycle);
+    w.u64(meta.config_hash);
+    w.u64(meta.golden_hash);
+    w.u64(fnv1a(payload));
+    w.bytes(payload);
+    w.into_bytes()
+}
+
+/// Unwrap and validate a container, returning its metadata and payload.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<(CheckpointMeta, &[u8]), SnapError> {
+    let mut r = SnapReader::new(bytes);
+    if r.raw(8)? != SNAP_MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != SNAP_VERSION {
+        return Err(SnapError::Version {
+            found: version,
+            expected: SNAP_VERSION,
+        });
+    }
+    let meta = CheckpointMeta {
+        cycle: r.u64()?,
+        config_hash: r.u64()?,
+        golden_hash: r.u64()?,
+    };
+    let recorded = r.u64()?;
+    let payload = r.bytes()?;
+    if !r.is_exhausted() {
+        return Err(SnapError::Malformed("trailing bytes after payload"));
+    }
+    let actual = fnv1a(payload);
+    if actual != recorded {
+        return Err(SnapError::HashMismatch { recorded, actual });
+    }
+    Ok((meta, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const META: CheckpointMeta = CheckpointMeta {
+        cycle: 123_456,
+        config_hash: 0xAAAA,
+        golden_hash: 0xBBBB,
+    };
+
+    #[test]
+    fn container_round_trip() {
+        let enc = encode_checkpoint(META, b"machine state");
+        let (meta, payload) = decode_checkpoint(&enc).unwrap();
+        assert_eq!(meta, META);
+        assert_eq!(payload, b"machine state");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut enc = encode_checkpoint(META, b"x");
+        enc[0] ^= 0xFF;
+        assert_eq!(decode_checkpoint(&enc), Err(SnapError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut enc = encode_checkpoint(META, b"x");
+        enc[8] = 0xFE; // little-endian low byte of the version field
+        assert_eq!(
+            decode_checkpoint(&enc),
+            Err(SnapError::Version {
+                found: 0xFE,
+                expected: SNAP_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn payload_corruption_rejected() {
+        let mut enc = encode_checkpoint(META, b"golden image");
+        let n = enc.len();
+        enc[n - 3] ^= 0x01; // flip one payload bit
+        assert!(matches!(
+            decode_checkpoint(&enc),
+            Err(SnapError::HashMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let enc = encode_checkpoint(META, b"golden image");
+        assert!(matches!(
+            decode_checkpoint(&enc[..enc.len() - 4]),
+            Err(SnapError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn provenance_depends_on_both_hashes() {
+        let p = CheckpointMeta::provenance(1, 2);
+        assert_ne!(p, CheckpointMeta::provenance(2, 1));
+        assert_ne!(p, CheckpointMeta::provenance(1, 3));
+        assert_eq!(p, CheckpointMeta::provenance(1, 2));
+    }
+}

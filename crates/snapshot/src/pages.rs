@@ -1,0 +1,299 @@
+//! Physical memory as copy-on-write 4 KiB pages.
+//!
+//! The simulator's DDR is by far the largest piece of checkpointed state
+//! (64 MiB under the default configuration, dwarfing the ~100 KiB of
+//! caches/TLBs/registers). Campaigns restore the same golden image
+//! thousands of times, so the store keeps each page behind an `Arc`:
+//!
+//! * **Clone is cheap** — `PageStore::clone` bumps one refcount per page;
+//!   no data moves. N restored machines share one copy of the image.
+//! * **Writes privatize lazily** — the first write to a shared page clones
+//!   that page only (`Arc::make_mut`); untouched pages stay shared for the
+//!   run's whole lifetime. Two diverging restored machines can never alias
+//!   each other's writes.
+//! * **Zero pages are free** — a fresh store points every page at one
+//!   shared zero page, so the serialized form stores only pages that ever
+//!   held data.
+
+use crate::{SnapError, SnapReader, SnapWriter, Snapshot};
+use std::sync::Arc;
+
+/// Copy-on-write granularity, in bytes.
+pub const PAGE_BYTES: usize = 4096;
+
+/// One page of physical memory. Kept as a concrete sized type so
+/// `Arc::make_mut` can clone it on first write.
+#[derive(Clone)]
+struct Page([u8; PAGE_BYTES]);
+
+/// A copy-on-write paged byte store with a flat `u32` address space.
+///
+/// Out-of-range accesses panic, matching the contract of the flat byte
+/// array it replaces: physical ranges are validated by the MMU before
+/// reaching memory, so an OOB address here is a simulator bug.
+#[derive(Clone)]
+pub struct PageStore {
+    pages: Vec<Arc<Page>>,
+    /// The canonical all-zero page; pages still pointing here are omitted
+    /// from the serialized form.
+    zero: Arc<Page>,
+    size: u32,
+}
+
+impl PageStore {
+    /// Allocates `size` addressable bytes, all zero. Only the shared zero
+    /// page is materialized regardless of `size`.
+    pub fn new(size: u32) -> PageStore {
+        let zero = Arc::new(Page([0; PAGE_BYTES]));
+        let n = (size as usize).div_ceil(PAGE_BYTES);
+        PageStore {
+            pages: vec![Arc::clone(&zero); n],
+            zero,
+            size,
+        }
+    }
+
+    /// Addressable bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    #[inline]
+    fn check(&self, addr: u32, len: usize) {
+        assert!(
+            (addr as usize) + len <= self.size as usize,
+            "physical access out of range: {addr:#010x}+{len} > {:#010x}",
+            self.size
+        );
+    }
+
+    /// Copy `out.len()` bytes starting at `addr` into `out`.
+    #[inline]
+    pub fn read_bytes(&self, addr: u32, out: &mut [u8]) {
+        self.check(addr, out.len());
+        let mut off = addr as usize;
+        let mut done = 0;
+        while done < out.len() {
+            let page = off / PAGE_BYTES;
+            let in_page = off % PAGE_BYTES;
+            let n = (PAGE_BYTES - in_page).min(out.len() - done);
+            out[done..done + n].copy_from_slice(&self.pages[page].0[in_page..in_page + n]);
+            off += n;
+            done += n;
+        }
+    }
+
+    /// Copy `data` into the store starting at `addr`, privatizing each
+    /// touched page.
+    #[inline]
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
+        self.check(addr, data.len());
+        let mut off = addr as usize;
+        let mut done = 0;
+        while done < data.len() {
+            let page = off / PAGE_BYTES;
+            let in_page = off % PAGE_BYTES;
+            let n = (PAGE_BYTES - in_page).min(data.len() - done);
+            Arc::make_mut(&mut self.pages[page]).0[in_page..in_page + n]
+                .copy_from_slice(&data[done..done + n]);
+            off += n;
+            done += n;
+        }
+    }
+
+    /// Number of pages physically shared (same allocation) with `other`.
+    /// Diagnostic for COW-isolation tests and the checkpoint metrics.
+    pub fn shared_pages_with(&self, other: &PageStore) -> usize {
+        self.pages
+            .iter()
+            .zip(&other.pages)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Number of pages backed by a private (non-zero-page) allocation —
+    /// the store's resident footprint beyond the shared zero page.
+    pub fn populated_pages(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|p| !Arc::ptr_eq(p, &self.zero))
+            .count()
+    }
+
+    /// Total page slots.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl Snapshot for PageStore {
+    /// Sparse form: only pages that ever diverged from the zero page are
+    /// stored, as `(index, bytes)` pairs in ascending index order.
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(*b"PAGE");
+        w.u32(self.size);
+        let populated: Vec<u32> = self
+            .pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !Arc::ptr_eq(p, &self.zero))
+            .map(|(i, _)| i as u32)
+            .collect();
+        w.u32(populated.len() as u32);
+        for i in populated {
+            w.u32(i);
+            w.raw(&self.pages[i as usize].0);
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<PageStore, SnapError> {
+        r.tag(*b"PAGE")?;
+        let size = r.u32()?;
+        let mut store = PageStore::new(size);
+        let n = r.u32()?;
+        let mut prev: Option<u32> = None;
+        for _ in 0..n {
+            let idx = r.u32()?;
+            if idx as usize >= store.pages.len() {
+                return Err(SnapError::Malformed("page index past store size"));
+            }
+            if prev.is_some_and(|p| idx <= p) {
+                return Err(SnapError::Malformed("page indices not ascending"));
+            }
+            prev = Some(idx);
+            let bytes: [u8; PAGE_BYTES] = r
+                .raw(PAGE_BYTES)?
+                .try_into()
+                .expect("raw() returned the requested length");
+            store.pages[idx as usize] = Arc::new(Page(bytes));
+        }
+        Ok(store)
+    }
+}
+
+impl PartialEq for PageStore {
+    fn eq(&self, other: &PageStore) -> bool {
+        if self.size != other.size {
+            return false;
+        }
+        self.pages
+            .iter()
+            .zip(&other.pages)
+            .all(|(a, b)| Arc::ptr_eq(a, b) || a.0 == b.0)
+    }
+}
+
+impl std::fmt::Debug for PageStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageStore")
+            .field("size", &self.size)
+            .field("pages", &self.pages.len())
+            .field("populated", &self.populated_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SnapReader;
+
+    #[test]
+    fn fresh_store_is_zero_and_unmaterialized() {
+        let s = PageStore::new(64 * 1024);
+        assert_eq!(s.size(), 64 * 1024);
+        assert_eq!(s.page_count(), 16);
+        assert_eq!(s.populated_pages(), 0);
+        let mut buf = [0xFFu8; 8];
+        s.read_bytes(60 * 1024, &mut buf);
+        assert_eq!(buf, [0; 8]);
+    }
+
+    #[test]
+    fn rw_across_page_boundary() {
+        let mut s = PageStore::new(3 * PAGE_BYTES as u32);
+        let data: Vec<u8> = (0..600).map(|i| (i % 251) as u8).collect();
+        let addr = PAGE_BYTES as u32 - 100; // straddles pages 0 and 1
+        s.write_bytes(addr, &data);
+        let mut back = vec![0u8; data.len()];
+        s.read_bytes(addr, &mut back);
+        assert_eq!(back, data);
+        assert_eq!(s.populated_pages(), 2);
+    }
+
+    #[test]
+    fn clone_shares_until_write() {
+        let mut a = PageStore::new(4 * PAGE_BYTES as u32);
+        a.write_bytes(0, &[1, 2, 3]);
+        let mut b = a.clone();
+        assert_eq!(b.shared_pages_with(&a), 4);
+        b.write_bytes(0, &[9]);
+        // b privatized page 0; a is untouched.
+        assert_eq!(b.shared_pages_with(&a), 3);
+        let mut av = [0u8; 3];
+        let mut bv = [0u8; 3];
+        a.read_bytes(0, &mut av);
+        b.read_bytes(0, &mut bv);
+        assert_eq!(av, [1, 2, 3]);
+        assert_eq!(bv, [9, 2, 3]);
+    }
+
+    #[test]
+    fn divergent_clones_never_alias() {
+        let base = PageStore::new(2 * PAGE_BYTES as u32);
+        let mut x = base.clone();
+        let mut y = base.clone();
+        x.write_bytes(100, b"xx");
+        y.write_bytes(100, b"yy");
+        let mut xv = [0u8; 2];
+        let mut yv = [0u8; 2];
+        let mut bv = [0u8; 2];
+        x.read_bytes(100, &mut xv);
+        y.read_bytes(100, &mut yv);
+        base.read_bytes(100, &mut bv);
+        assert_eq!(&xv, b"xx");
+        assert_eq!(&yv, b"yy");
+        assert_eq!(bv, [0u8; 2]);
+    }
+
+    #[test]
+    fn sparse_snapshot_round_trip() {
+        let mut s = PageStore::new(8 * PAGE_BYTES as u32);
+        s.write_bytes(3 * PAGE_BYTES as u32 + 7, b"deep");
+        s.write_bytes(0, b"front");
+        let mut w = SnapWriter::new();
+        s.save(&mut w);
+        let buf = w.into_bytes();
+        // Only two pages stored: far less than the full 32 KiB.
+        assert!(buf.len() < 3 * PAGE_BYTES);
+        let t = PageStore::load(&mut SnapReader::new(&buf)).unwrap();
+        assert_eq!(t.size(), s.size());
+        assert_eq!(t.populated_pages(), 2);
+        let mut v = [0u8; 4];
+        t.read_bytes(3 * PAGE_BYTES as u32 + 7, &mut v);
+        assert_eq!(&v, b"deep");
+    }
+
+    #[test]
+    fn bad_page_index_rejected() {
+        let mut w = SnapWriter::new();
+        w.tag(*b"PAGE");
+        w.u32(PAGE_BYTES as u32); // one page
+        w.u32(1);
+        w.u32(5); // index out of range
+        w.raw(&[0; PAGE_BYTES]);
+        let buf = w.into_bytes();
+        assert_eq!(
+            PageStore::load(&mut SnapReader::new(&buf)),
+            Err(SnapError::Malformed("page index past store size"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "physical access out of range")]
+    fn oob_access_panics() {
+        let s = PageStore::new(16);
+        let mut buf = [0u8; 4];
+        s.read_bytes(14, &mut buf);
+    }
+}
