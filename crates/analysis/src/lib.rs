@@ -10,8 +10,10 @@
 //! * [`Overview`] — the Fig 10 across-benchmark aggregate;
 //! * [`report`] — ASCII table/figure rendering for the regeneration
 //!   binaries;
-//! * [`trace_summary`] — activation-rate and propagation-latency views
-//!   over a `sea-trace` JSON-Lines capture;
+//! * [`trace_summary`] — activation-rate, propagation-latency and
+//!   span-duration views over a `sea-trace` JSON-Lines capture;
+//! * [`profile`] — cycle-hotspot and predicted-vs-measured-AVF rendering
+//!   for `sea-profile` attribution data;
 //! * [`poisson_ci`] — confidence intervals on beam event counts;
 //! * [`field`] — field-test planning (the third methodology of Fig 1).
 
@@ -21,6 +23,7 @@
 mod compare;
 pub mod field;
 mod fit;
+pub mod profile;
 pub mod report;
 pub mod trace_summary;
 

@@ -60,6 +60,9 @@ pub struct TraceSummary {
     pub malformed: u64,
     /// Event counts per event name.
     pub by_name: BTreeMap<String, u64>,
+    /// Span durations (µs) per event name, for every event carrying a
+    /// `dur_us` field (i.e. every closed `sea_trace::span`).
+    pub spans: BTreeMap<String, HistSnapshot>,
     /// Provenance aggregates keyed by component short name.
     pub components: BTreeMap<String, ComponentStats>,
 }
@@ -86,6 +89,12 @@ impl TraceSummary {
             .unwrap_or("?")
             .to_string();
         *self.by_name.entry(name.clone()).or_insert(0) += 1;
+        if let Some(dur) = ev.get("dur_us").and_then(Json::as_u64) {
+            self.spans
+                .entry(name.clone())
+                .or_insert_with(|| HistSnapshot::empty(format!("{name} µs")))
+                .record(dur);
+        }
         if name != "injection.provenance" {
             return;
         }
@@ -135,6 +144,25 @@ impl TraceSummary {
         }
         if self.by_name.is_empty() {
             out.push_str("  (none)\n");
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\nspan durations (µs, log2-bucket approximations)\n");
+            let span_w = self.spans.keys().map(String::len).max().unwrap_or(5);
+            let _ = writeln!(
+                out,
+                "  {:<span_w$}  {:>8} {:>10} {:>10} {:>10}",
+                "span", "count", "p50", "p95", "max"
+            );
+            for (name, h) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {name:<span_w$}  {:>8} {:>10} {:>10} {:>10}",
+                    h.count,
+                    h.percentile(50.0),
+                    h.percentile(95.0),
+                    h.max,
+                );
+            }
         }
         if self.components.is_empty() {
             out.push_str("\nno injection.provenance records in trace\n");
@@ -222,6 +250,29 @@ mod tests {
         assert!(out.contains("L2$ flip→read cycles"), "{out}");
         assert!(out.contains("L2$ flip→terminal cycles"), "{out}");
         assert!(out.contains('#'), "{out}");
+    }
+
+    #[test]
+    fn span_durations_aggregate_per_name_with_percentiles() {
+        let mut lines: Vec<String> = (1..=100u64)
+            .map(|d| {
+                format!(
+                    "{{\"ev\":\"injection.worker\",\"sub\":\"injection\",\
+                     \"level\":\"info\",\"dur_us\":{d}}}"
+                )
+            })
+            .collect();
+        // An event without dur_us contributes to counts but not to spans.
+        lines.push("{\"ev\":\"beam.strike\",\"sub\":\"beam\",\"level\":\"info\"}".to_string());
+        let s = TraceSummary::from_jsonl(&lines.join("\n"));
+        let h = &s.spans["injection.worker"];
+        assert_eq!(h.count, 100);
+        assert_eq!(h.max, 100);
+        assert!(h.percentile(95.0) >= 95);
+        assert!(!s.spans.contains_key("beam.strike"));
+        let out = s.render();
+        assert!(out.contains("span durations"), "{out}");
+        assert!(out.contains("p95"), "{out}");
     }
 
     #[test]

@@ -21,6 +21,9 @@ fn main() {
             ],
         ));
     }
+    // Beam-only artifact: no injection-measured AVF to compare against, so
+    // the report carries the predicted column alone.
+    sea_bench::write_profile_report(&opts, &[]);
     println!(
         "{}",
         grouped_bars(

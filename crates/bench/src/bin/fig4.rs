@@ -8,6 +8,7 @@ use sea_core::FaultClass;
 fn main() {
     let opts = sea_bench::parse_options();
     let mut rows = Vec::new();
+    let mut campaigns = Vec::new();
     for &w in &opts.suite {
         eprintln!("  {w}...");
         let built = w.build(opts.study.scale);
@@ -24,7 +25,10 @@ fn main() {
                 format!("{:5.1}%", 100.0 * c.counts.avf()),
             ]);
         }
+        campaigns.push((w, res));
     }
+    let measured: Vec<_> = campaigns.iter().map(|(w, c)| (*w, c)).collect();
+    sea_bench::write_profile_report(&opts, &measured);
     println!("Fig 4 — injection effect classification per benchmark & component\n");
     println!(
         "{}",

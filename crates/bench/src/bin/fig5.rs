@@ -8,6 +8,7 @@ use sea_core::injection::run_campaign;
 fn main() {
     let opts = sea_bench::parse_options();
     let mut items = Vec::new();
+    let mut campaigns = Vec::new();
     for &w in &opts.suite {
         eprintln!("  {w}...");
         let built = w.build(opts.study.scale);
@@ -18,7 +19,10 @@ fn main() {
             w.name().to_string(),
             vec![fit.sdc, fit.app_crash, fit.sys_crash],
         ));
+        campaigns.push((w, res));
     }
+    let measured: Vec<_> = campaigns.iter().map(|(w, c)| (*w, c)).collect();
+    sea_bench::write_profile_report(&opts, &measured);
     println!(
         "{}",
         grouped_bars(

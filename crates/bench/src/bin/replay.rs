@@ -5,7 +5,9 @@
 //! panic boundary the campaign used. A deterministic anomaly reproduces
 //! its panic (the post-mortems are compared); a flaky one usually
 //! classifies normally on replay. Use `--trace-out FILE.jsonl` to capture
-//! the full `sea-trace` provenance stream of the replayed run.
+//! the full `sea-trace` provenance stream of the replayed run, and
+//! `--chrome-trace FILE.json` to render the same capture as Chrome
+//! trace-event JSON for `chrome://tracing` / Perfetto.
 //!
 //! With `--checkpoint-dir DIR` (the same directory a checkpointed
 //! campaign persisted to), the replay restores the nearest golden-run
@@ -14,7 +16,7 @@
 //! are bit-equivalent, so the reproduction verdict is unchanged.
 //!
 //! Usage: `replay --quarantine FILE [--index N] [--trace-out FILE]
-//! [--checkpoint-dir DIR]`
+//! [--chrome-trace FILE] [--checkpoint-dir DIR]`
 
 use sea_core::injection::supervisor::{config_hash, golden_hash};
 use sea_core::injection::{
@@ -36,7 +38,8 @@ fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut quarantine = None;
     let mut index = None;
-    let mut trace = None;
+    let mut trace_out = None;
+    let mut chrome_trace = None;
     let mut checkpoint_dir = None;
     let mut i = 0;
     while i < argv.len() {
@@ -55,22 +58,24 @@ fn parse_args() -> Args {
                 i += 2;
             }
             "--trace-out" => {
-                trace = Some(Arc::new(sea_bench::TraceSession::start(PathBuf::from(
-                    need(i),
-                ))));
+                trace_out = Some(PathBuf::from(need(i)));
+                i += 2;
+            }
+            "--chrome-trace" => {
+                chrome_trace = Some(PathBuf::from(need(i)));
                 i += 2;
             }
             "--checkpoint-dir" => {
                 checkpoint_dir = Some(PathBuf::from(need(i)));
                 i += 2;
             }
-            other => panic!("unknown flag `{other}` (usage: replay --quarantine FILE [--index N] [--trace-out FILE] [--checkpoint-dir DIR])"),
+            other => panic!("unknown flag `{other}` (usage: replay --quarantine FILE [--index N] [--trace-out FILE] [--chrome-trace FILE] [--checkpoint-dir DIR])"),
         }
     }
     Args {
         quarantine: quarantine.expect("replay needs --quarantine FILE"),
         index,
-        trace,
+        trace: sea_bench::TraceSession::start(trace_out, chrome_trace).map(Arc::new),
         checkpoint_dir,
     }
 }
@@ -136,7 +141,7 @@ fn replay_one(a: &RunAnomaly, checkpoint_dir: Option<&std::path::Path>) {
             .expect("golden run");
     let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period);
     match run_one_caught(&built, &cfg, ckpts.as_ref(), a.index, a.spec, limits) {
-        Ok(out) => {
+        Ok((out, _sim_cycles)) => {
             println!(
                 "  completed normally: class {} (array {:?}, valid {})",
                 out.class, out.array, out.was_valid

@@ -7,6 +7,7 @@ use sea_core::{injection::run_campaign, Component};
 fn main() {
     let opts = sea_bench::parse_options();
     let mut per_comp: std::collections::BTreeMap<Component, Vec<f64>> = Default::default();
+    let mut campaigns = Vec::new();
     for &w in &opts.suite {
         eprintln!("  {w}...");
         let built = w.build(opts.study.scale);
@@ -18,7 +19,10 @@ fn main() {
                 .or_default()
                 .push(c.error_margin());
         }
+        campaigns.push((w, res));
     }
+    let measured: Vec<_> = campaigns.iter().map(|(w, c)| (*w, c)).collect();
+    sea_bench::write_profile_report(&opts, &measured);
     println!(
         "Table IV — error margins per component across {} workloads ({} faults each, 99% confidence)\n",
         opts.suite.len(),

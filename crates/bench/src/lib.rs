@@ -39,6 +39,13 @@
 //! captures golden-run epoch checkpoints every ~N cycles (0 = auto) and
 //! restores the nearest one instead of re-booting before each injection;
 //! `--checkpoint-dir DIR` additionally persists them across invocations.
+//!
+//! Profiling flags (see README "Profiling"): `--profile-out FILE` writes a
+//! per-workload attribution report (cycle hotspots + predicted-vs-measured
+//! AVF from a profiled golden run), `--chrome-trace FILE.json` renders the
+//! captured trace as Chrome trace-event JSON (`chrome://tracing` /
+//! Perfetto), and `--prom-out FILE.prom` rewrites a Prometheus
+//! text-exposition snapshot of live campaign metrics about once a second.
 //! Criterion microbenchmarks (`cargo bench -p sea-bench`) cover the
 //! simulator kernels the tables depend on.
 
@@ -46,7 +53,9 @@
 #![warn(missing_docs)]
 
 use sea_core::analysis::TraceSummary;
-use sea_core::{trace, Overview, Scale, Study, StudyResult, Workload, WorkloadStudy};
+use sea_core::{
+    trace, CampaignResult, Overview, Scale, Study, StudyResult, Workload, WorkloadStudy,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -57,8 +66,8 @@ pub struct Options {
     pub study: Study,
     /// Benchmarks to include.
     pub suite: Vec<Workload>,
-    /// Live tracing attached by `--trace-out`; flushes and summarizes when
-    /// the last clone drops (end of `main`).
+    /// Live tracing attached by `--trace-out` / `--chrome-trace`; flushes
+    /// and summarizes when the last clone drops (end of `main`).
     pub trace: Option<Arc<TraceSession>>,
 }
 
@@ -72,32 +81,61 @@ impl Default for Options {
     }
 }
 
-/// A `--trace-out` capture: installs a JSON-Lines sink and enables
-/// info-level events across all subsystems for the life of the value.
-/// Dropping it flushes the file and prints the
-/// [`trace summary`](TraceSummary) to stderr.
-#[derive(Debug)]
+/// A live trace capture: installs the sinks `--trace-out` and/or
+/// `--chrome-trace` ask for and enables info-level events across all
+/// subsystems for the life of the value. Dropping it flushes the capture:
+/// the JSON-Lines file gets a [`trace summary`](TraceSummary) on stderr,
+/// and the Chrome file is rendered from the in-memory capture via
+/// [`sea_core::profile::chrome_trace`].
 pub struct TraceSession {
-    path: PathBuf,
+    jsonl: Option<PathBuf>,
+    chrome: Option<(PathBuf, Arc<trace::MemorySink>)>,
+}
+
+impl std::fmt::Debug for TraceSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSession")
+            .field("jsonl", &self.jsonl)
+            .field("chrome", &self.chrome.as_ref().map(|(p, _)| p))
+            .finish()
+    }
 }
 
 impl TraceSession {
-    /// Start capturing to `path` (truncates an existing file).
+    /// Start capturing to a JSON-Lines file, a Chrome trace-event file, or
+    /// both (truncates existing files). Returns `None` when neither target
+    /// is requested.
     ///
     /// # Panics
     ///
-    /// Panics if the file cannot be created.
-    pub fn start(path: PathBuf) -> TraceSession {
-        let sink = trace::JsonlSink::create(&path)
-            .unwrap_or_else(|e| panic!("--trace-out {}: {e}", path.display()));
-        trace::install_sink(Arc::new(sink));
+    /// Panics if the JSON-Lines file cannot be created.
+    pub fn start(jsonl: Option<PathBuf>, chrome: Option<PathBuf>) -> Option<TraceSession> {
+        if jsonl.is_none() && chrome.is_none() {
+            return None;
+        }
+        let mut sinks: Vec<Arc<dyn trace::Sink>> = Vec::new();
+        if let Some(path) = &jsonl {
+            let sink = trace::JsonlSink::create(path)
+                .unwrap_or_else(|e| panic!("--trace-out {}: {e}", path.display()));
+            sinks.push(Arc::new(sink));
+        }
+        let chrome = chrome.map(|path| (path, Arc::new(trace::MemorySink::new())));
+        if let Some((_, mem)) = &chrome {
+            sinks.push(mem.clone() as Arc<dyn trace::Sink>);
+        }
+        let sink = if sinks.len() == 1 {
+            sinks.pop().expect("one sink")
+        } else {
+            Arc::new(trace::Tee(sinks))
+        };
+        trace::install_sink(sink);
         trace::set_level_all(trace::Level::Info);
-        TraceSession { path }
+        Some(TraceSession { jsonl, chrome })
     }
 
-    /// Where the JSON-Lines stream is being written.
-    pub fn path(&self) -> &std::path::Path {
-        &self.path
+    /// Where the JSON-Lines stream is being written, if anywhere.
+    pub fn path(&self) -> Option<&std::path::Path> {
+        self.jsonl.as_deref()
     }
 }
 
@@ -106,13 +144,21 @@ impl Drop for TraceSession {
         trace::disable_all();
         trace::shutdown();
         trace::uninstall_sink();
-        match std::fs::read_to_string(&self.path) {
+        if let Some((path, mem)) = self.chrome.take() {
+            let doc = sea_core::profile::chrome_trace(&mem.take());
+            match std::fs::write(&path, doc) {
+                Ok(()) => eprintln!("\nchrome trace written to {}", path.display()),
+                Err(e) => eprintln!("chrome trace: cannot write {}: {e}", path.display()),
+            }
+        }
+        let Some(jsonl) = &self.jsonl else { return };
+        match std::fs::read_to_string(jsonl) {
             Ok(text) => {
                 let summary = TraceSummary::from_jsonl(&text);
-                eprintln!("\ntrace written to {}", self.path.display());
+                eprintln!("\ntrace written to {}", jsonl.display());
                 eprint!("{}", summary.render());
             }
-            Err(e) => eprintln!("trace: cannot summarize {}: {e}", self.path.display()),
+            Err(e) => eprintln!("trace: cannot summarize {}: {e}", jsonl.display()),
         }
     }
 }
@@ -125,6 +171,7 @@ impl Drop for TraceSession {
 pub fn parse_options() -> Options {
     let mut opts = Options::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         let need = |i: usize| -> String {
@@ -154,7 +201,19 @@ pub fn parse_options() -> Options {
                 i += 1;
             }
             "--trace-out" => {
-                opts.trace = Some(Arc::new(TraceSession::start(PathBuf::from(need(i)))));
+                trace_out = Some(PathBuf::from(need(i)));
+                i += 2;
+            }
+            "--chrome-trace" => {
+                opts.study.chrome_trace = Some(PathBuf::from(need(i)));
+                i += 2;
+            }
+            "--profile-out" => {
+                opts.study.profile_out = Some(PathBuf::from(need(i)));
+                i += 2;
+            }
+            "--prom-out" => {
+                opts.study.prom_out = Some(PathBuf::from(need(i)));
                 i += 2;
             }
             "--progress" => {
@@ -204,7 +263,38 @@ pub fn parse_options() -> Options {
             other => panic!("unknown flag `{other}` (see sea-bench docs for usage)"),
         }
     }
+    opts.trace = TraceSession::start(trace_out, opts.study.chrome_trace.clone()).map(Arc::new);
+    sea_core::profile::set_prom_out(opts.study.prom_out.as_deref());
     opts
+}
+
+/// Profiles every workload's golden run and writes the attribution report
+/// (cycle hotspots + predicted-vs-measured AVF) to `--profile-out`.
+/// `campaigns` supplies injection-measured AVFs where available; workloads
+/// without one still get their predicted column. A no-op when
+/// `--profile-out` was not given.
+pub fn write_profile_report(opts: &Options, campaigns: &[(Workload, &CampaignResult)]) {
+    let Some(path) = &opts.study.profile_out else {
+        return;
+    };
+    let mut out = String::new();
+    for &w in &opts.suite {
+        let Some(profile) = opts.study.profile_workload(w) else {
+            eprintln!("profile: golden run for {w} not clean, skipped");
+            continue;
+        };
+        let measured = campaigns.iter().find(|(cw, _)| *cw == w).map(|(_, c)| *c);
+        out.push_str(&sea_core::analysis::profile::render_profile(
+            w.name(),
+            &profile,
+            measured,
+        ));
+        out.push('\n');
+    }
+    match std::fs::write(path, out) {
+        Ok(()) => eprintln!("profile report written to {}", path.display()),
+        Err(e) => eprintln!("profile: cannot write {}: {e}", path.display()),
+    }
 }
 
 /// Runs the full study for the configured suite, printing progress to
@@ -277,11 +367,18 @@ pub fn run_study(opts: &Options) -> StudyResult {
             sea_core::analysis::report::checkpoint_table(&ckpt_rows)
         );
     }
-    StudyResult {
+    let res = StudyResult {
         overview: Overview::from_comparisons(&comparisons),
         workloads,
         fit_raw: opts.study.fit_raw,
-    }
+    };
+    let campaigns: Vec<(Workload, &CampaignResult)> = res
+        .workloads
+        .iter()
+        .map(|w| (w.workload, &w.campaign))
+        .collect();
+    write_profile_report(opts, &campaigns);
+    res
 }
 
 /// Shared rendering for the ratio figures (Figs 6–9).

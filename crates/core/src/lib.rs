@@ -12,7 +12,7 @@
 //! This crate is the facade: [`Study`] orchestrates both methodologies,
 //! and the building blocks re-export from the subsystem crates
 //! ([`isa`], [`microarch`], [`kernel`], [`platform`], [`workloads`],
-//! [`injection`], [`beam`], [`analysis`], [`trace`]).
+//! [`injection`], [`beam`], [`analysis`], [`trace`], [`profile`]).
 //!
 //! # Quickstart
 //!
@@ -48,6 +48,7 @@ pub use sea_isa as isa;
 pub use sea_kernel as kernel;
 pub use sea_microarch as microarch;
 pub use sea_platform as platform;
+pub use sea_profile as profile;
 pub use sea_trace as trace;
 pub use sea_workloads as workloads;
 

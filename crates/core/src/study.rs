@@ -105,6 +105,17 @@ pub struct Study {
     /// this without `checkpoint_dir` keeps checkpoints in memory for the
     /// duration of each campaign/session.
     pub checkpoint_interval: u64,
+    /// Write per-workload attribution profiles (hotspots + predicted-vs-
+    /// measured AVF) to this file. None = profiling stays off and no
+    /// profiler is ever attached to any machine.
+    pub profile_out: Option<std::path::PathBuf>,
+    /// Write a Chrome trace-event JSON rendering of the captured trace to
+    /// this file at the end of the run (load via `chrome://tracing` or
+    /// Perfetto).
+    pub chrome_trace: Option<std::path::PathBuf>,
+    /// Rewrite a Prometheus text-exposition snapshot of live campaign
+    /// metrics to this file (~1 Hz) while campaigns run.
+    pub prom_out: Option<std::path::PathBuf>,
 }
 
 impl Default for Study {
@@ -125,6 +136,9 @@ impl Default for Study {
             run_wall_ms: 0,
             checkpoint_dir: None,
             checkpoint_interval: 0,
+            profile_out: None,
+            chrome_trace: None,
+            prom_out: None,
         }
     }
 }
@@ -276,5 +290,25 @@ impl Study {
     /// Runs the paper's §VI FIT_raw measurement (the L1 probe under beam).
     pub fn measure_fit_raw(&self, strikes: u32) -> RawFitResult {
         measure_fit_raw(&self.beam_config(), strikes)
+    }
+
+    /// Profiles one workload's golden run (residency/ACE tracking plus the
+    /// per-PC cycle sampler), when `profile_out` asks for profiling.
+    ///
+    /// Runs on a dedicated boot — campaign machines never carry profilers,
+    /// so journals and checkpoints are byte-identical with profiling on or
+    /// off. Returns `None` when profiling is off or the golden run is not
+    /// clean (campaigns will surface that error themselves).
+    pub fn profile_workload(&self, w: Workload) -> Option<sea_profile::ProfileData> {
+        self.profile_out.as_ref()?;
+        let built = w.build(self.scale);
+        sea_platform::profiled_golden_run(
+            self.machine,
+            &built.image,
+            &self.kernel,
+            self.golden_budget_cycles,
+        )
+        .ok()
+        .map(|(_, profile)| profile)
     }
 }

@@ -11,7 +11,7 @@ use sea_platform::{
 };
 use sea_snapshot::CheckpointMeta;
 use sea_trace::json::{Json, ObjWriter};
-use sea_trace::{event, Level, Progress, Subsystem};
+use sea_trace::{event, Histogram, Level, Progress, Subsystem};
 use sea_workloads::BuiltWorkload;
 
 use crate::supervisor::{
@@ -23,6 +23,10 @@ use crate::supervisor::{
 /// Class-name labels for progress meters, index-aligned with
 /// [`FaultClass::ALL`].
 pub const CLASS_LABELS: [&str; 4] = ["masked", "sdc", "app", "sys"];
+
+/// Cycles actually simulated per injection run (the post-restore suffix).
+/// Feeds the work-weighted ETA and the Prometheus campaign snapshot.
+static RUN_SIM_CYCLES: Histogram = Histogram::new("inject.run_sim_cycles");
 
 /// Index of a class within [`FaultClass::ALL`] / [`CLASS_LABELS`].
 pub fn class_index(class: FaultClass) -> usize {
@@ -425,6 +429,49 @@ pub fn generate_specs(cfg: &CampaignConfig, golden_cycles: u64) -> Vec<Injection
     specs
 }
 
+/// Renders the live campaign state as a Prometheus text-exposition
+/// document. Rewritten (atomically, throttled) to the `--prom-out` target
+/// while a campaign runs, so a textfile collector or plain `watch cat`
+/// gives a live dashboard of a long campaign.
+fn prom_snapshot(progress: &Progress) -> String {
+    let mut w = sea_profile::PromWriter::new();
+    w.gauge(
+        "sea_campaign_runs_done",
+        "Injection runs completed this session.",
+        progress.done() as f64,
+    );
+    w.gauge(
+        "sea_campaign_runs_per_sec",
+        "Current campaign throughput.",
+        progress.runs_per_sec(),
+    );
+    for (label, count) in CLASS_LABELS.iter().zip(progress.class_counts()) {
+        w.counter(
+            &format!("sea_campaign_class_{label}_total"),
+            "Runs classified into this fault-effect class.",
+            count,
+        );
+    }
+    let (saves, restores, prefix_saved) = sea_platform::snapshot_metrics();
+    w.counter("sea_checkpoint_saves_total", "Checkpoints captured.", saves);
+    w.counter(
+        "sea_checkpoint_restores_total",
+        "Injection runs started from a restored checkpoint.",
+        restores,
+    );
+    w.counter(
+        "sea_checkpoint_prefix_cycles_saved_total",
+        "Fault-free prefix cycles skipped by checkpoint restores.",
+        prefix_saved,
+    );
+    w.histogram(
+        "sea_campaign_run_sim_cycles",
+        "Cycles simulated per injection run (post-restore suffix).",
+        &RUN_SIM_CYCLES.snapshot(),
+    );
+    w.finish()
+}
+
 /// Runs a full statistical campaign for one workload.
 ///
 /// ```no_run
@@ -513,6 +560,24 @@ pub fn run_campaign(
         .filter(|&i| !done[i as usize])
         .collect();
 
+    // Expected cost of a run: the golden suffix it must simulate after
+    // restoring the nearest checkpoint at or before its strike cycle (the
+    // whole run, from reset, when no checkpoints exist). Seeds the
+    // work-weighted ETA so restored short-suffix runs don't make the meter
+    // wildly optimistic about the from-reset stragglers.
+    let epochs = ckpts.as_ref().map(|c| c.epochs());
+    let expected_work = |cycle: u64| -> u64 {
+        let restored = epochs.as_ref().map_or(0, |e| {
+            let k = e.partition_point(|&c| c <= cycle);
+            if k == 0 {
+                0
+            } else {
+                e[k - 1]
+            }
+        });
+        golden.cycles.saturating_sub(restored)
+    };
+
     let quarantine = match &cfg.supervisor.quarantine {
         Some(path) => {
             Some(Quarantine::open(path).map_err(|e| CampaignError::Journal(JournalError::Io(e)))?)
@@ -532,6 +597,12 @@ pub fn run_campaign(
         format!("inject {name}"),
         pending.len() as u64,
         &CLASS_LABELS,
+    );
+    progress.set_total_work(
+        pending
+            .iter()
+            .map(|&i| expected_work(specs[i as usize].cycle))
+            .sum(),
     );
     let (fresh, pool): (Vec<(u64, RunVerdict)>, PoolStats) = run_supervised(
         &pending,
@@ -554,10 +625,14 @@ pub fn run_campaign(
                 j.append(&verdict_line(i, &verdict));
             }
             progress.record(verdict.outcome.as_ref().map(|o| class_index(o.class)));
+            progress.record_work(verdict.sim_cycles);
+            RUN_SIM_CYCLES.record(verdict.sim_cycles);
+            sea_profile::prom_flush(false, || prom_snapshot(&progress));
             verdict
         },
     );
     let (done_runs, secs) = progress.finish();
+    sea_profile::prom_flush(true, || prom_snapshot(&progress));
     if let Some(mut s) = campaign_span {
         s.field("workload", name.to_string());
         s.field("runs", done_runs);

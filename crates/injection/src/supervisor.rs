@@ -519,6 +519,11 @@ pub fn open_journal(
 /// COW clone of a checkpoint), so no half-mutated microarchitectural state
 /// can leak into another run.
 ///
+/// On success also returns the number of cycles this attempt actually
+/// simulated (terminal cycle minus the restored checkpoint's cycle) — the
+/// work-weighted progress unit that keeps ETA honest when checkpoint
+/// restores skip fault-free prefixes of wildly different lengths.
+///
 /// # Errors
 ///
 /// Returns the captured panic when the simulator panicked.
@@ -529,14 +534,17 @@ pub fn run_one_caught(
     index: u64,
     spec: InjectionSpec,
     limits: RunLimits,
-) -> Result<InjectionOutcome, CaughtPanic> {
+) -> Result<(InjectionOutcome, u64), CaughtPanic> {
     let mut sys = crate::campaign::machine_toward(workload, cfg, ckpts, spec.cycle);
+    let start_cycles = sys.cycles();
     let caught = catch_unwind(AssertUnwindSafe(|| {
         if let Some(hook) = cfg.supervisor.panic_hook {
             hook(index, &spec);
         }
         crate::campaign::inject_and_run(&mut sys, workload, cfg, spec, limits)
     }));
+    let sim_cycles = sys.cycles().saturating_sub(start_cycles);
+    let caught = caught.map(|out| (out, sim_cycles));
     caught.map_err(|payload| {
         let message = panic_message(payload.as_ref());
         let pm = format!(
@@ -566,6 +574,13 @@ pub struct RunVerdict {
     pub outcome: Option<InjectionOutcome>,
     /// The anomaly record, present when any attempt panicked.
     pub anomaly: Option<RunAnomaly>,
+    /// Cycles the successful attempt actually simulated (post-restore
+    /// suffix only). Zero when every attempt panicked or when the verdict
+    /// was recovered from a journal rather than re-run. Deliberately *not*
+    /// part of [`InjectionOutcome`]: it depends on which checkpoint was
+    /// restored, so it must never feed journal lines or cross-campaign
+    /// equivalence checks.
+    pub sim_cycles: u64,
 }
 
 /// Identity fields stamped onto anomaly records.
@@ -598,11 +613,13 @@ pub fn attempt_run(
     let mut last_panic: Option<CaughtPanic> = None;
     let mut attempts = 0u32;
     let mut outcome = None;
+    let mut sim_cycles = 0u64;
     while attempts < max_attempts {
         attempts += 1;
         match run_one_caught(workload, cfg, ckpts, index, spec, limits) {
-            Ok(out) => {
+            Ok((out, sim)) => {
                 outcome = Some(out);
+                sim_cycles = sim;
                 break;
             }
             Err(p) => last_panic = Some(p),
@@ -626,7 +643,11 @@ pub fn attempt_run(
         }
         a
     });
-    RunVerdict { outcome, anomaly }
+    RunVerdict {
+        outcome,
+        anomaly,
+        sim_cycles,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -687,6 +708,10 @@ where
     let respawns = AtomicUsize::new(0);
 
     let body = |w: usize| {
+        // A span (not a bare event) so the worker's lifetime lands in the
+        // capture with `ts_us`/`dur_us` — the Chrome-trace export renders
+        // one timeline slice per worker from exactly these fields.
+        let mut wspan = sea_trace::span(sub, Level::Info, worker_event);
         let started = std::time::Instant::now();
         let mut runs = 0u64;
         loop {
@@ -723,11 +748,16 @@ where
             runs += 1;
         }
         let secs = started.elapsed().as_secs_f64();
-        event!(sub, Level::Info, worker_event;
-               "worker" => w,
-               "runs" => runs,
-               "secs" => secs,
-               "runs_per_sec" => if secs > 0.0 { runs as f64 / secs } else { 0.0 });
+        if let Some(s) = wspan.as_mut() {
+            s.field("worker", w as u64);
+            s.field("runs", runs);
+            s.field("secs", secs);
+            s.field(
+                "runs_per_sec",
+                if secs > 0.0 { runs as f64 / secs } else { 0.0 },
+            );
+        }
+        drop(wspan);
         // Flush before the closure returns: the scope join can complete
         // before this thread's TLS destructors run, so the drop-time ring
         // flush may race with sink teardown.

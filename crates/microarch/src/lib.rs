@@ -38,6 +38,7 @@ mod fault;
 mod mem;
 mod memsys;
 mod mmu;
+mod profiler;
 mod provenance;
 mod regfile;
 mod system;
@@ -57,6 +58,7 @@ pub use mmu::{
     decode_pte, l1_entry, l1_entry_addr, l2_entry_addr, pte, split_vaddr, PteView, L1_ENTRIES,
     L2_ENTRIES, PAGE_BYTES, PAGE_SHIFT, PTE_EXEC, PTE_USER, PTE_VALID, PTE_WRITE,
 };
+pub use profiler::{MemProfiler, SysProfiler};
 pub use provenance::{FaultProbe, Hop, HopKind, Residence};
 pub use regfile::{Cpsr, Mode, RegFile, REGFILE_BITS};
 pub use system::{Cpu, StepOutcome, System};

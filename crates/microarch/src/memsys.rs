@@ -7,6 +7,7 @@ use crate::cache::{Cache, Probe};
 use crate::config::{ExecMode, MachineConfig};
 use crate::counters::Counters;
 use crate::mem::PhysMemory;
+use crate::profiler::MemProfiler;
 
 /// The memory system below the core.
 #[derive(Clone, Debug)]
@@ -24,6 +25,9 @@ pub struct MemSystem {
     lat_l2: u32,
     lat_mem: u32,
     line: u32,
+    /// Cache-line residency trackers; `None` (the fast path) unless a
+    /// profiled run attached them. Never snapshotted.
+    pub(crate) prof: Option<Box<MemProfiler>>,
 }
 
 /// DRAM line write with a bus-error guard: a write-back whose (possibly
@@ -58,6 +62,7 @@ impl MemSystem {
             lat_l2: cfg.lat.l2_hit,
             lat_mem: cfg.lat.mem,
             line: cfg.l1d.line_bytes,
+            prof: None,
         }
     }
 
@@ -69,12 +74,18 @@ impl MemSystem {
         ctr.l2_access += 1;
         match self.l2.probe(paddr) {
             Probe::Hit(idx) => {
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.l2.touch(idx as usize, ctr.cycles);
+                }
                 self.l2.read_full_line(idx, buf);
                 self.lat_l2
             }
             Probe::Miss => {
                 ctr.l2_miss += 1;
                 let (idx, wb) = self.l2.evict_for(paddr);
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.l2.fill(idx as usize, ctr.cycles, wb.is_some());
+                }
                 if let Some((addr, data)) = wb {
                     dram_write_line(&mut self.phys, addr, &data);
                 }
@@ -92,12 +103,18 @@ impl MemSystem {
         ctr.l2_access += 1;
         match self.l2.probe(paddr) {
             Probe::Hit(idx) => {
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.l2.touch(idx as usize, ctr.cycles);
+                }
                 self.l2.write_full_line(idx, data);
                 self.lat_l2
             }
             Probe::Miss => {
                 ctr.l2_miss += 1;
                 let (idx, wb) = self.l2.evict_for(paddr);
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.l2.fill(idx as usize, ctr.cycles, wb.is_some());
+                }
                 if let Some((addr, old)) = wb {
                     dram_write_line(&mut self.phys, addr, &old);
                 }
@@ -131,11 +148,19 @@ impl MemSystem {
         }
         ctr.l1d_access += 1;
         match self.l1d.probe(paddr) {
-            Probe::Hit(idx) => (self.l1d.read(idx, paddr, size.bytes()), self.lat_l1),
+            Probe::Hit(idx) => {
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.l1d.touch(idx as usize, ctr.cycles);
+                }
+                (self.l1d.read(idx, paddr, size.bytes()), self.lat_l1)
+            }
             Probe::Miss => {
                 ctr.l1d_miss += 1;
                 let mut extra = 0;
                 let (idx, wb) = self.l1d.evict_for(paddr);
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.l1d.fill(idx as usize, ctr.cycles, wb.is_some());
+                }
                 if let Some((addr, data)) = wb {
                     extra += self.l2_write_line(addr, &data, ctr);
                 }
@@ -157,6 +182,9 @@ impl MemSystem {
         ctr.l1d_access += 1;
         match self.l1d.probe(paddr) {
             Probe::Hit(idx) => {
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.l1d.touch(idx as usize, ctr.cycles);
+                }
                 self.l1d.write(idx, paddr, size.bytes(), value);
                 self.lat_l1
             }
@@ -164,6 +192,9 @@ impl MemSystem {
                 ctr.l1d_miss += 1;
                 let mut extra = 0;
                 let (idx, wb) = self.l1d.evict_for(paddr);
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.l1d.fill(idx as usize, ctr.cycles, wb.is_some());
+                }
                 if let Some((addr, data)) = wb {
                     extra += self.l2_write_line(addr, &data, ctr);
                 }
@@ -185,10 +216,18 @@ impl MemSystem {
         }
         ctr.l1i_access += 1;
         match self.l1i.probe(paddr) {
-            Probe::Hit(idx) => (self.l1i.read(idx, paddr, 4), self.lat_l1),
+            Probe::Hit(idx) => {
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.l1i.touch(idx as usize, ctr.cycles);
+                }
+                (self.l1i.read(idx, paddr, 4), self.lat_l1)
+            }
             Probe::Miss => {
                 ctr.l1i_miss += 1;
                 let (idx, _) = self.l1i.evict_for(paddr);
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.l1i.fill(idx as usize, ctr.cycles, false);
+                }
                 let mut buf = vec![0u8; self.line as usize];
                 let lat = self.l2_read_line(paddr, &mut buf, ctr);
                 self.l1i.fill(idx, paddr, &buf, false);
@@ -201,6 +240,11 @@ impl MemSystem {
 
     /// Cleans (writes back) and invalidates every cache level, top down.
     pub fn clean_invalidate_all(&mut self) {
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.l1i.flush_all();
+            p.l1d.flush_all();
+            p.l2.flush_all();
+        }
         let mut l1_spill: Vec<(u32, Vec<u8>)> = Vec::new();
         self.l1d
             .clean_invalidate_all(|addr, data| l1_spill.push((addr, data.to_vec())));
@@ -227,6 +271,10 @@ impl MemSystem {
 
 impl Snapshot for MemSystem {
     fn save(&self, w: &mut SnapWriter) {
+        debug_assert!(
+            self.prof.is_none(),
+            "profiler must be detached before snapshotting"
+        );
         w.tag(*b"MSYS");
         self.l1i.save(w);
         self.l1d.save(w);
@@ -258,6 +306,7 @@ impl Snapshot for MemSystem {
             lat_l2: r.u32()?,
             lat_mem: r.u32()?,
             line: r.u32()?,
+            prof: None,
         })
     }
 }

@@ -1,0 +1,143 @@
+//! Residency/liveness profilers attached to a running [`System`].
+//!
+//! The profilers compose `sea-profile` primitives with this crate's
+//! structure geometry: one [`StructureResidency`] per injectable SRAM
+//! array (the six [`Component`]s), fed by hooks on the simulator's
+//! fill/lookup paths, plus the per-PC cycle sampler. They are *transient*
+//! observers — never part of snapshots (save asserts they are detached,
+//! load leaves them detached), so profiling can't perturb checkpoint
+//! bytes or campaign determinism.
+//!
+//! [`System`]: crate::System
+//! [`Component`]: crate::Component
+
+use crate::cache::Cache;
+use crate::config::MachineConfig;
+use crate::counters::Counters;
+use crate::regfile::REGFILE_BITS;
+use sea_profile::{PcSampler, SampleCounters, StructureReport, StructureResidency};
+use std::cell::RefCell;
+
+/// Sampling period for the per-PC profiler: every step, because a step
+/// already costs a full decode/execute and the sampler is only attached
+/// to golden runs, where exactness beats speed.
+const PC_SAMPLE_PERIOD: u32 = 1;
+
+/// TLB entry payload bits that are ACE while the entry is live: PPN
+/// `[19:0]` plus the permission/valid bits `[43:40]` — corrupting any of
+/// them misroutes or faults accesses through the entry.
+const TLB_BITS_ACE: u64 = 24;
+/// TLB virtual-tag bits (VPN `[39:20]`), ACE over the whole residency: a
+/// tag flip mis-homes the entry for as long as it is valid.
+const TLB_BITS_AUX: u64 = 20;
+/// TLB unimplemented filler cells `[63:44]`, never ACE but injected into.
+const TLB_BITS_DEAD: u64 = 20;
+
+/// Mirror the machine counters into the dependency-free sample struct.
+pub(crate) fn sample_counters(c: &Counters) -> SampleCounters {
+    SampleCounters {
+        cycles: c.cycles,
+        instructions: c.instructions,
+        l1d_miss: c.l1d_miss,
+        l1i_miss: c.l1i_miss,
+        l2_miss: c.l2_miss,
+        dtlb_miss: c.dtlb_miss,
+        itlb_miss: c.itlb_miss,
+        branch_misses: c.branch_misses,
+    }
+}
+
+fn cache_residency(name: &'static str, cache: &Cache) -> StructureResidency {
+    // Payload = the data bytes (ACE fill→last-use, or to eviction on
+    // write-back); aux = tag + valid + dirty (a flip in any mis-homes or
+    // spuriously dirties the line for its whole residency).
+    StructureResidency::new(
+        name,
+        cache.lines() as usize,
+        8 * cache.line_bytes() as u64,
+        cache.tag_bits() as u64 + 2,
+        0,
+    )
+}
+
+/// Residency trackers owned by the CPU side of the system: register file,
+/// both TLBs, and the per-PC cycle sampler.
+#[derive(Clone, Debug)]
+pub struct SysProfiler {
+    /// Per-PC cycle attribution.
+    pub(crate) pc: PcSampler,
+    /// Register-file word residency. `RefCell` because operand reads go
+    /// through `&self` accessors; the simulator is single-threaded per
+    /// `System`, so the dynamic borrow never contends.
+    pub(crate) regs: RefCell<StructureResidency>,
+    /// Instruction-TLB entry residency.
+    pub(crate) itlb: StructureResidency,
+    /// Data-TLB entry residency.
+    pub(crate) dtlb: StructureResidency,
+}
+
+impl SysProfiler {
+    /// Trackers sized for `config`'s machine.
+    pub fn new(config: &MachineConfig) -> SysProfiler {
+        SysProfiler {
+            pc: PcSampler::new(PC_SAMPLE_PERIOD),
+            // 48 words of 32 bits each (r0–r12, banked SPs, lr, s0–s31).
+            // FP reads/writes are not hooked, so the 32 FP words simply
+            // accumulate no ACE time — a conservative under-estimate for
+            // FP-heavy workloads, exact for the integer suite.
+            regs: RefCell::new(StructureResidency::new(
+                "RF",
+                (REGFILE_BITS / 32) as usize,
+                32,
+                0,
+                0,
+            )),
+            itlb: StructureResidency::new(
+                "ITLB",
+                config.itlb_entries as usize,
+                TLB_BITS_ACE,
+                TLB_BITS_AUX,
+                TLB_BITS_DEAD,
+            ),
+            dtlb: StructureResidency::new(
+                "DTLB",
+                config.dtlb_entries as usize,
+                TLB_BITS_ACE,
+                TLB_BITS_AUX,
+                TLB_BITS_DEAD,
+            ),
+        }
+    }
+}
+
+/// Residency trackers owned by the memory hierarchy: the three caches.
+#[derive(Clone, Debug)]
+pub struct MemProfiler {
+    /// L1 instruction-cache line residency.
+    pub(crate) l1i: StructureResidency,
+    /// L1 data-cache line residency.
+    pub(crate) l1d: StructureResidency,
+    /// Unified L2 line residency.
+    pub(crate) l2: StructureResidency,
+}
+
+impl MemProfiler {
+    /// Trackers matching the three caches' geometry.
+    pub fn new(l1i: &Cache, l1d: &Cache, l2: &Cache) -> MemProfiler {
+        MemProfiler {
+            l1i: cache_residency("L1I$", l1i),
+            l1d: cache_residency("L1D$", l1d),
+            l2: cache_residency("L2$", l2),
+        }
+    }
+
+    /// Finalize all three trackers at `end_cycle`, in the paper's
+    /// component order.
+    pub(crate) fn finalize(self, end_cycle: u64) -> [StructureReport; 3] {
+        [
+            self.l1i.finalize(end_cycle),
+            self.l1d.finalize(end_cycle),
+            self.l2.finalize(end_cycle),
+        ]
+    }
+}

@@ -115,8 +115,13 @@ impl RegFile {
     }
 
     /// Flat word index (layout of [`RegFile::flip_bit`]) of an integer
-    /// register in the given mode.
-    fn word_of(reg: Reg, mode: Mode) -> usize {
+    /// register in the given mode. Used by residency profiling to map
+    /// operand reads/writes onto register-file slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `pc` — it lives in the CPU, not the register file.
+    pub fn word_index(reg: Reg, mode: Mode) -> usize {
         match reg {
             Reg::Pc => panic!("pc is not a register-file operand"),
             Reg::Sp => match mode {
@@ -147,7 +152,7 @@ impl RegFile {
     ///
     /// Panics on `pc` — the CPU must intercept it first.
     pub fn get(&self, reg: Reg, mode: Mode) -> u32 {
-        self.note_read(Self::word_of(reg, mode));
+        self.note_read(Self::word_index(reg, mode));
         match reg {
             Reg::Pc => panic!("pc is not a register-file operand"),
             Reg::Sp => match mode {
@@ -165,7 +170,7 @@ impl RegFile {
     ///
     /// Panics on `pc`.
     pub fn set(&mut self, reg: Reg, mode: Mode, value: u32) {
-        self.note_overwrite(Self::word_of(reg, mode));
+        self.note_overwrite(Self::word_index(reg, mode));
         match reg {
             Reg::Pc => panic!("pc is not a register-file operand"),
             Reg::Sp => match mode {

@@ -13,9 +13,11 @@ use crate::exception::{AbortCause, Exception, VECTOR_BASE};
 use crate::mem::{Device, DEVICE_BASE};
 use crate::memsys::MemSystem;
 use crate::mmu;
+use crate::profiler::{sample_counters, MemProfiler, SysProfiler};
 use crate::provenance::FaultProbe;
 use crate::regfile::{Cpsr, Mode, RegFile};
 use crate::tlb::{Tlb, TlbEntry};
+use sea_profile::ProfileData;
 
 /// Result of one [`System::step`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -245,6 +247,10 @@ pub struct System<D> {
     pub dev: D,
     /// Fault-provenance probe, armed by [`System::flip_bit_probed`].
     pub(crate) probe: Option<Box<FaultProbe>>,
+    /// Residency + per-PC profilers, attached by
+    /// [`System::profile_attach`]. `None` (the fast path) on every
+    /// campaign machine; never snapshotted.
+    pub(crate) prof: Option<Box<SysProfiler>>,
 }
 
 impl<D: Device> System<D> {
@@ -263,7 +269,47 @@ impl<D: Device> System<D> {
             dev,
             cfg,
             probe: None,
+            prof: None,
         }
+    }
+
+    // ----- profiling --------------------------------------------------------
+
+    /// Attach residency trackers and the per-PC sampler to this machine
+    /// (golden runs only — profilers must be detached with
+    /// [`System::profile_take`] before the machine is snapshotted).
+    pub fn profile_attach(&mut self) {
+        self.prof = Some(Box::new(SysProfiler::new(&self.cfg)));
+        self.mem.prof = Some(Box::new(MemProfiler::new(
+            &self.mem.l1i,
+            &self.mem.l1d,
+            &self.mem.l2,
+        )));
+    }
+
+    /// Detach the profilers and fold them into a [`ProfileData`]: the
+    /// per-PC profile plus one residency report per structure, in the
+    /// paper's component order (RF, L1I$, L1D$, L2$, ITLB, DTLB). Returns
+    /// `None` when nothing was attached.
+    pub fn profile_take(&mut self) -> Option<ProfileData> {
+        let sysp = *self.prof.take()?;
+        let memp = *self.mem.prof.take()?;
+        let end = self.cpu.counters.cycles;
+        let [l1i, l1d, l2] = memp.finalize(end);
+        let structures = vec![
+            sysp.regs.into_inner().finalize(end),
+            l1i,
+            l1d,
+            l2,
+            sysp.itlb.finalize(end),
+            sysp.dtlb.finalize(end),
+        ];
+        Some(ProfileData {
+            total_cycles: end,
+            instructions: self.cpu.counters.instructions,
+            pc: sysp.pc.finish(),
+            structures,
+        })
     }
 
     /// Current cycle count.
@@ -338,24 +384,45 @@ impl<D: Device> System<D> {
 
     fn translate(&mut self, vaddr: u32, access: Access) -> Result<(u32, u32), Exception> {
         let vpn = vaddr >> mmu::PAGE_SHIFT;
-        let (tlb, miss_ctr) = match access {
-            Access::Fetch => (&mut self.itlb, true),
-            _ => (&mut self.dtlb, false),
+        let is_fetch = matches!(access, Access::Fetch);
+        let hit = if is_fetch {
+            self.itlb.lookup_slot(vpn)
+        } else {
+            self.dtlb.lookup_slot(vpn)
         };
         let mut lat = 0;
-        let entry = match tlb.lookup(vpn) {
-            Some(e) => e,
+        let entry = match hit {
+            Some((slot, e)) => {
+                let cyc = self.cpu.counters.cycles;
+                if let Some(p) = self.prof.as_deref_mut() {
+                    if is_fetch {
+                        p.itlb.touch(slot, cyc);
+                    } else {
+                        p.dtlb.touch(slot, cyc);
+                    }
+                }
+                e
+            }
             None => {
-                if miss_ctr {
+                if is_fetch {
                     self.cpu.counters.itlb_miss += 1;
                 } else {
                     self.cpu.counters.dtlb_miss += 1;
                 }
                 let e = self.walk(vaddr, access)?;
                 lat += 2 * self.cfg.lat.walk_step;
-                match access {
-                    Access::Fetch => self.itlb.insert(e),
-                    _ => self.dtlb.insert(e),
+                let slot = if is_fetch {
+                    self.itlb.insert_slot(e)
+                } else {
+                    self.dtlb.insert_slot(e)
+                };
+                let cyc = self.cpu.counters.cycles;
+                if let Some(p) = self.prof.as_deref_mut() {
+                    if is_fetch {
+                        p.itlb.fill(slot, cyc, false);
+                    } else {
+                        p.dtlb.fill(slot, cyc, false);
+                    }
                 }
                 e
             }
@@ -542,12 +609,27 @@ impl<D: Device> System<D> {
             // encoding on real hardware.
             return Err(Exception::Undefined { word: 0xFFFF });
         }
+        if let Some(p) = self.prof.as_deref() {
+            p.regs.borrow_mut().touch(
+                RegFile::word_index(r, self.cpu.cpsr.mode),
+                self.cpu.counters.cycles,
+            );
+        }
         Ok(self.cpu.regs.get(r, self.cpu.cpsr.mode))
     }
 
     fn reg_write(&mut self, r: sea_isa::Reg, v: u32) -> Result<(), Exception> {
         if r == sea_isa::Reg::Pc {
             return Err(Exception::Undefined { word: 0xFFFF });
+        }
+        if let Some(p) = self.prof.as_deref() {
+            // A write is a def: it closes the old value's interval (its
+            // last read bounds its ACE time) and opens a new one.
+            p.regs.borrow_mut().fill(
+                RegFile::word_index(r, self.cpu.cpsr.mode),
+                self.cpu.counters.cycles,
+                false,
+            );
         }
         self.cpu.regs.set(r, self.cpu.cpsr.mode, v);
         Ok(())
@@ -564,7 +646,15 @@ impl<D: Device> System<D> {
 
     /// Executes one instruction (or vectors one exception).
     pub fn step(&mut self) -> StepOutcome {
+        let pc = self.cpu.pc;
         let out = self.step_inner();
+        // Same zero-cost-when-off shape as sea-trace: one relaxed atomic
+        // load, and the profiler slot is `None` on campaign machines.
+        if sea_profile::enabled() {
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.pc.step(pc, sample_counters(&self.cpu.counters));
+            }
+        }
         if self.probe.is_some() {
             self.drain_probe();
         }
@@ -1025,6 +1115,10 @@ impl<D: Device> System<D> {
                         self.cpu.ttbr = v;
                         self.itlb.flush();
                         self.dtlb.flush();
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.itlb.flush_all();
+                            p.dtlb.flush_all();
+                        }
                     }
                     SysReg::SpUsr => self.cpu.regs.set_sp_usr(v),
                     SysReg::CacheOp => {
@@ -1035,6 +1129,10 @@ impl<D: Device> System<D> {
                         if v & 2 != 0 {
                             self.itlb.flush();
                             self.dtlb.flush();
+                            if let Some(p) = self.prof.as_deref_mut() {
+                                p.itlb.flush_all();
+                                p.dtlb.flush_all();
+                            }
                         }
                     }
                 }
@@ -1084,6 +1182,10 @@ impl<D: Device + Snapshot> Snapshot for System<D> {
             self.probe.is_none(),
             "checkpointing an injected machine loses its provenance probe"
         );
+        debug_assert!(
+            self.prof.is_none(),
+            "profiler must be detached (profile_take) before snapshotting"
+        );
         w.tag(*b"SYS ");
         self.cfg.save(w);
         self.cpu.save(w);
@@ -1104,6 +1206,7 @@ impl<D: Device + Snapshot> Snapshot for System<D> {
             dtlb: Tlb::load(r)?,
             dev: D::load(r)?,
             probe: None,
+            prof: None,
         })
     }
 }

@@ -120,6 +120,12 @@ impl Tlb {
 
     /// Looks up `vpn`, updating LRU and statistics.
     pub fn lookup(&mut self, vpn: u32) -> Option<TlbEntry> {
+        self.lookup_slot(vpn).map(|(_, e)| e)
+    }
+
+    /// Like [`Tlb::lookup`], but also reports which slot hit — the handle
+    /// residency profiling keys its intervals on.
+    pub fn lookup_slot(&mut self, vpn: u32) -> Option<(usize, TlbEntry)> {
         self.lookups += 1;
         self.clock += 1;
         for (i, e) in self.entries.iter().enumerate() {
@@ -128,7 +134,7 @@ impl Tlb {
                 if self.watch == Some(i) {
                     self.report.touched = true;
                 }
-                return Some(self.entries[i]);
+                return Some((i, self.entries[i]));
             }
         }
         self.misses += 1;
@@ -137,6 +143,11 @@ impl Tlb {
 
     /// Inserts an entry, evicting the LRU slot.
     pub fn insert(&mut self, entry: TlbEntry) {
+        self.insert_slot(entry);
+    }
+
+    /// Like [`Tlb::insert`], but reports which slot the entry landed in.
+    pub fn insert_slot(&mut self, entry: TlbEntry) -> usize {
         self.clock += 1;
         let mut victim = 0;
         let mut oldest = u64::MAX;
@@ -156,6 +167,7 @@ impl Tlb {
         }
         self.entries[victim] = entry;
         self.stamp[victim] = self.clock;
+        victim
     }
 
     /// Invalidates all entries (TLB flush).

@@ -20,6 +20,7 @@
 
 mod board;
 mod checkpoint;
+mod profile;
 mod run;
 
 pub use board::{Board, DEFAULT_OUTPUT_CAP};
@@ -27,6 +28,7 @@ pub use checkpoint::{
     boot_from_checkpoint, snapshot_metrics, Checkpoint, CheckpointError, CheckpointSet,
     CheckpointStats,
 };
+pub use profile::profiled_golden_run;
 pub use run::{
     boot, classify, golden_run, golden_run_with_checkpoints, postmortem, run, AppCrashKind,
     ClassCounts, FaultClass, GoldenError, GoldenRun, RunLimits, RunOutcome, SysCrashKind,

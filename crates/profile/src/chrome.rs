@@ -1,0 +1,190 @@
+//! Chrome trace-event JSON export.
+//!
+//! Converts captured sea-trace events into the [trace-event format] that
+//! `chrome://tracing` and Perfetto load: spans (events carrying the
+//! `ts_us`/`dur_us` fields sea-trace attaches on span close) become
+//! complete (`"ph":"X"`) slices, everything else becomes an instant
+//! (`"ph":"i"`). Worker timelines fall out naturally: an event's `worker`
+//! field is used as the `tid`, so each campaign worker gets its own track.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use sea_trace::json::write_escaped;
+use sea_trace::{Event, Value};
+use std::fmt::Write as _;
+
+fn field_u64(ev: &Event, key: &str) -> Option<u64> {
+    match ev.get(key) {
+        Some(Value::U64(n)) => Some(*n),
+        Some(Value::I64(n)) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn write_args(ev: &Event, skip: &[&str], out: &mut String) {
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    if let Some(cycle) = ev.cycle {
+        let _ = write!(out, "\"cycle\":{cycle}");
+        first = false;
+    }
+    for (k, v) in &ev.fields {
+        if skip.contains(k) {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_escaped(k, out);
+        out.push(':');
+        match v {
+            Value::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::F64(f) if f.is_finite() => {
+                let _ = write!(out, "{f}");
+            }
+            Value::F64(_) => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Str(s) => write_escaped(s, out),
+            Value::Text(s) => write_escaped(s, out),
+        }
+    }
+    out.push('}');
+}
+
+/// Serialize captured events as one Chrome trace-event JSON document
+/// (`{"traceEvents":[...]}`). Events carrying `ts_us` + `dur_us` become
+/// `"X"` slices at their recorded timestamps; other events become `"i"`
+/// instants pinned to the latest timestamp seen so far, keeping the
+/// stream's timestamps monotonic.
+pub fn chrome_trace(events: &[Event]) -> String {
+    // Slices first sorted by start: Perfetto accepts any order, but a
+    // monotonic stream is easier to validate and diff.
+    let mut indexed: Vec<(u64, usize)> = Vec::with_capacity(events.len());
+    let mut cursor = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let key = match field_u64(ev, "ts_us") {
+            Some(ts) => {
+                cursor = cursor.max(ts);
+                ts
+            }
+            // Timestamp-free events ride at the latest timestamp seen so
+            // far in capture order.
+            None => cursor,
+        };
+        indexed.push((key, i));
+    }
+    indexed.sort_by_key(|&(ts, i)| (ts, i));
+
+    let mut out = String::with_capacity(events.len() * 128 + 32);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (ts, i) in indexed {
+        let ev = &events[i];
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let tid = field_u64(ev, "worker").unwrap_or(0);
+        out.push_str("{\"name\":");
+        write_escaped(ev.name, &mut out);
+        out.push_str(",\"cat\":");
+        write_escaped(ev.sub.name(), &mut out);
+        match (field_u64(ev, "ts_us"), field_u64(ev, "dur_us")) {
+            (Some(start), Some(dur)) => {
+                let _ = write!(out, ",\"ph\":\"X\",\"ts\":{start},\"dur\":{dur}");
+                let _ = write!(out, ",\"pid\":0,\"tid\":{tid}");
+                write_args(ev, &["ts_us", "dur_us", "worker"], &mut out);
+            }
+            _ => {
+                let _ = write!(out, ",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts}");
+                let _ = write!(out, ",\"pid\":0,\"tid\":{tid}");
+                write_args(ev, &["worker"], &mut out);
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_trace::json::{self, Json};
+    use sea_trace::{Level, Subsystem};
+
+    fn span_ev(name: &'static str, ts: u64, dur: u64, worker: u64) -> Event {
+        Event::new(Subsystem::Injection, Level::Info, name)
+            .field("dur_us", dur)
+            .field("ts_us", ts)
+            .field("worker", worker)
+            .field("runs", 12u64)
+    }
+
+    #[test]
+    fn spans_become_complete_slices() {
+        let events = [
+            span_ev("injection.worker", 100, 50, 3),
+            Event::new(Subsystem::Microarch, Level::Info, "injection.flip").at_cycle(77),
+        ];
+        let doc = chrome_trace(&events);
+        let j = json::parse(&doc).expect("valid JSON");
+        let Some(Json::Arr(items)) = j.get("traceEvents") else {
+            panic!("traceEvents array missing: {doc}");
+        };
+        assert_eq!(items.len(), 2);
+        let slice = items
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("one X slice");
+        assert_eq!(
+            slice.get("name").unwrap().as_str(),
+            Some("injection.worker")
+        );
+        assert_eq!(slice.get("ts").unwrap().as_u64(), Some(100));
+        assert_eq!(slice.get("dur").unwrap().as_u64(), Some(50));
+        assert_eq!(slice.get("tid").unwrap().as_u64(), Some(3));
+        let args = slice.get("args").expect("args");
+        assert_eq!(args.get("runs").unwrap().as_u64(), Some(12));
+        assert!(args.get("ts_us").is_none(), "ts_us folded into ts");
+        let inst = items
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .expect("one instant");
+        assert_eq!(
+            inst.get("args").unwrap().get("cycle").unwrap().as_u64(),
+            Some(77)
+        );
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let events = [
+            span_ev("b", 500, 10, 0),
+            Event::new(Subsystem::Harness, Level::Info, "plain"),
+            span_ev("a", 100, 10, 0),
+        ];
+        let doc = chrome_trace(&events);
+        let j = json::parse(&doc).unwrap();
+        let Some(Json::Arr(items)) = j.get("traceEvents") else {
+            panic!()
+        };
+        let ts: Vec<u64> = items
+            .iter()
+            .map(|e| e.get("ts").unwrap().as_u64().unwrap())
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn empty_capture_is_valid() {
+        let doc = chrome_trace(&[]);
+        assert!(json::parse(&doc).is_ok(), "{doc}");
+    }
+}

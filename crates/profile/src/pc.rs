@@ -1,0 +1,220 @@
+//! Flat per-guest-PC cycle attribution.
+//!
+//! A sampling hook in `System::step` calls [`PcSampler::step`] with the PC
+//! of the instruction that just executed and the machine's cumulative
+//! counters. Every `period` steps the sampler attributes the counter
+//! deltas since the previous sample to the current PC — classic sampled
+//! attribution, deterministic because it is step-driven, not timer-driven.
+
+use std::collections::HashMap;
+
+/// The counter fields the sampler attributes. A plain mirror of the
+/// simulator's performance counters (sea-profile cannot see
+/// `sea_microarch::Counters` without a dependency cycle).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SampleCounters {
+    /// CPU cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// L1 data-cache misses.
+    pub l1d_miss: u64,
+    /// L1 instruction-cache misses.
+    pub l1i_miss: u64,
+    /// L2 misses.
+    pub l2_miss: u64,
+    /// Data-TLB misses.
+    pub dtlb_miss: u64,
+    /// Instruction-TLB misses.
+    pub itlb_miss: u64,
+    /// Branch mispredictions.
+    pub branch_misses: u64,
+}
+
+impl SampleCounters {
+    fn delta(&self, earlier: &SampleCounters) -> SampleCounters {
+        SampleCounters {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            l1d_miss: self.l1d_miss.saturating_sub(earlier.l1d_miss),
+            l1i_miss: self.l1i_miss.saturating_sub(earlier.l1i_miss),
+            l2_miss: self.l2_miss.saturating_sub(earlier.l2_miss),
+            dtlb_miss: self.dtlb_miss.saturating_sub(earlier.dtlb_miss),
+            itlb_miss: self.itlb_miss.saturating_sub(earlier.itlb_miss),
+            branch_misses: self.branch_misses.saturating_sub(earlier.branch_misses),
+        }
+    }
+
+    fn add(&mut self, d: &SampleCounters) {
+        self.cycles += d.cycles;
+        self.instructions += d.instructions;
+        self.l1d_miss += d.l1d_miss;
+        self.l1i_miss += d.l1i_miss;
+        self.l2_miss += d.l2_miss;
+        self.dtlb_miss += d.dtlb_miss;
+        self.itlb_miss += d.itlb_miss;
+        self.branch_misses += d.branch_misses;
+    }
+}
+
+/// Accumulated attribution for one PC.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PcStats {
+    /// Attributed counter deltas.
+    pub counters: SampleCounters,
+    /// Samples that landed on this PC.
+    pub samples: u64,
+}
+
+impl PcStats {
+    /// The dominant stall reason among the attributed miss counters, or
+    /// `"busy"` when no miss dominates — an indicative label, not a
+    /// pipeline model.
+    pub fn stall_bucket(&self) -> &'static str {
+        let c = &self.counters;
+        let buckets = [
+            ("l2", c.l2_miss),
+            ("l1d", c.l1d_miss),
+            ("l1i", c.l1i_miss),
+            ("tlb", c.dtlb_miss + c.itlb_miss),
+            ("branch", c.branch_misses),
+        ];
+        let (name, n) = buckets
+            .into_iter()
+            .max_by_key(|&(_, n)| n)
+            .unwrap_or(("busy", 0));
+        if n == 0 {
+            "busy"
+        } else {
+            name
+        }
+    }
+}
+
+/// The per-PC sampler attached to a profiled machine.
+#[derive(Clone, Debug)]
+pub struct PcSampler {
+    period: u32,
+    countdown: u32,
+    last: SampleCounters,
+    map: HashMap<u32, PcStats>,
+}
+
+impl PcSampler {
+    /// A sampler attributing counter deltas every `period` steps
+    /// (`period == 1` attributes exactly; 0 is clamped to 1).
+    pub fn new(period: u32) -> PcSampler {
+        let period = period.max(1);
+        PcSampler {
+            period,
+            countdown: period,
+            last: SampleCounters::default(),
+            map: HashMap::new(),
+        }
+    }
+
+    /// Per-step hook: `pc` is the guest PC of the instruction that just
+    /// executed, `now` the cumulative counters after it.
+    #[inline]
+    pub fn step(&mut self, pc: u32, now: SampleCounters) {
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return;
+        }
+        self.countdown = self.period;
+        let d = now.delta(&self.last);
+        self.last = now;
+        let e = self.map.entry(pc).or_default();
+        e.counters.add(&d);
+        e.samples += 1;
+    }
+
+    /// Fold the sampler into a profile, sorted by attributed cycles
+    /// descending (ties broken by PC for determinism).
+    pub fn finish(self) -> PcProfile {
+        let mut total = SampleCounters::default();
+        let mut entries: Vec<(u32, PcStats)> = self.map.into_iter().collect();
+        for (_, s) in &entries {
+            total.add(&s.counters);
+        }
+        entries.sort_by_key(|&(pc, s)| (std::cmp::Reverse(s.counters.cycles), pc));
+        PcProfile { entries, total }
+    }
+}
+
+/// The finished flat profile.
+#[derive(Clone, Debug, Default)]
+pub struct PcProfile {
+    /// `(pc, stats)` pairs, hottest first.
+    pub entries: Vec<(u32, PcStats)>,
+    /// Sum over all entries.
+    pub total: SampleCounters,
+}
+
+impl PcProfile {
+    /// The `n` hottest PCs.
+    pub fn top(&self, n: usize) -> &[(u32, PcStats)] {
+        &self.entries[..n.min(self.entries.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(cycles: u64, l1d: u64) -> SampleCounters {
+        SampleCounters {
+            cycles,
+            instructions: cycles / 2,
+            l1d_miss: l1d,
+            ..SampleCounters::default()
+        }
+    }
+
+    #[test]
+    fn period_one_attributes_every_step() {
+        let mut s = PcSampler::new(1);
+        s.step(0x100, at(10, 0));
+        s.step(0x104, at(15, 1));
+        s.step(0x100, at(40, 1));
+        let p = s.finish();
+        assert_eq!(p.total.cycles, 40);
+        assert_eq!(p.entries[0].0, 0x100, "hottest PC first");
+        assert_eq!(p.entries[0].1.counters.cycles, 35);
+        assert_eq!(p.entries[1].1.counters.l1d_miss, 1);
+    }
+
+    #[test]
+    fn sampling_period_coarsens_but_conserves() {
+        let mut s = PcSampler::new(4);
+        for i in 1..=16u64 {
+            s.step(0x200 + (i as u32 % 2) * 4, at(i * 10, 0));
+        }
+        let p = s.finish();
+        // 4 samples landed (steps 4, 8, 12, 16), total delta = 160 cycles.
+        assert_eq!(p.total.cycles, 160);
+        assert_eq!(p.entries.iter().map(|(_, s)| s.samples).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn stall_bucket_picks_dominant_miss() {
+        let mut st = PcStats::default();
+        assert_eq!(st.stall_bucket(), "busy");
+        st.counters.l1d_miss = 3;
+        st.counters.l2_miss = 7;
+        assert_eq!(st.stall_bucket(), "l2");
+        st.counters.dtlb_miss = 10;
+        assert_eq!(st.stall_bucket(), "tlb");
+    }
+
+    #[test]
+    fn hottest_sort_is_deterministic_on_ties() {
+        let mut s = PcSampler::new(1);
+        s.step(0x300, at(10, 0));
+        s.step(0x200, at(20, 0)); // both PCs attributed 10 cycles
+        let p = s.finish();
+        assert_eq!(p.entries[0].0, 0x200, "ties break by PC ascending");
+        assert_eq!(p.top(1).len(), 1);
+        assert_eq!(p.top(99).len(), 2);
+    }
+}

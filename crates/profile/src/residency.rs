@@ -1,0 +1,290 @@
+//! ACE-style residency/liveness tracking for one SRAM structure.
+//!
+//! Every slot (cache line, TLB entry, register word) cycles through
+//! fill → reads → eviction intervals. A bit is *ACE* (Architecturally
+//! Correct Execution, Mukherjee et al.) while corrupting it could change
+//! the program's result: for payload bits that is fill → last read (or
+//! fill → eviction when the victim is written back, since the write-back
+//! consumes the bits); for tag/state bits it is the whole residency, since
+//! a tag flip mis-homes the line for as long as it is valid. Dead bits
+//! (e.g. the unimplemented TLB filler cells) are never ACE but still sit
+//! in the denominator, because injection campaigns sample them uniformly.
+//!
+//! The predicted AVF of a structure is then
+//!
+//! ```text
+//!        bits_ace · Σ ace_interval  +  bits_aux · Σ residency_interval
+//! AVF = ────────────────────────────────────────────────────────────────
+//!                  bits_per_slot · slots · total_cycles
+//! ```
+//!
+//! a cheap analytical estimate to cross-check the injection-measured AVF.
+
+/// Lifetime state of one slot.
+#[derive(Clone, Copy, Debug, Default)]
+struct SlotState {
+    open: bool,
+    fill: u64,
+    last_use: u64,
+}
+
+/// Residency tracker for one structure (one slot per cache line / TLB
+/// entry / register word).
+#[derive(Clone, Debug)]
+pub struct StructureResidency {
+    name: &'static str,
+    bits_ace: u64,
+    bits_aux: u64,
+    bits_dead: u64,
+    slots: Vec<SlotState>,
+    ace_cycles: u64,
+    resident_cycles: u64,
+    fills: u64,
+    touches: u64,
+    /// Largest cycle observed, for hooks that have no cycle at hand
+    /// (e.g. cache clean-invalidate-all).
+    now: u64,
+}
+
+impl StructureResidency {
+    /// A tracker for `slots` slots. Per slot, `bits_ace` payload bits are
+    /// ACE over fill→last-use, `bits_aux` tag/state bits over the whole
+    /// residency, and `bits_dead` modeled-but-inert bits are never ACE.
+    pub fn new(
+        name: &'static str,
+        slots: usize,
+        bits_ace: u64,
+        bits_aux: u64,
+        bits_dead: u64,
+    ) -> StructureResidency {
+        StructureResidency {
+            name,
+            bits_ace,
+            bits_aux,
+            bits_dead,
+            slots: vec![SlotState::default(); slots],
+            ace_cycles: 0,
+            resident_cycles: 0,
+            fills: 0,
+            touches: 0,
+            now: 0,
+        }
+    }
+
+    /// The structure's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn close(&mut self, slot: usize, end: u64, consumed_at_end: bool) {
+        let s = self.slots[slot];
+        if !s.open {
+            return;
+        }
+        let ace_end = if consumed_at_end { end } else { s.last_use };
+        self.ace_cycles += ace_end.saturating_sub(s.fill);
+        self.resident_cycles += end.saturating_sub(s.fill);
+        self.slots[slot].open = false;
+    }
+
+    /// A new value entered `slot` at `cycle`, displacing whatever lived
+    /// there. `victim_writeback` means the displaced value's payload was
+    /// read out on the way (dirty cache line written back), extending its
+    /// ACE interval to the eviction itself.
+    pub fn fill(&mut self, slot: usize, cycle: u64, victim_writeback: bool) {
+        self.now = self.now.max(cycle);
+        self.close(slot, cycle, victim_writeback);
+        self.slots[slot] = SlotState {
+            open: true,
+            fill: cycle,
+            last_use: cycle,
+        };
+        self.fills += 1;
+    }
+
+    /// The value in `slot` was read (or partially rewritten in place) at
+    /// `cycle`. A touch on a slot the tracker never saw filled (resident
+    /// before attach) opens its interval at `cycle`.
+    pub fn touch(&mut self, slot: usize, cycle: u64) {
+        self.now = self.now.max(cycle);
+        let s = &mut self.slots[slot];
+        if !s.open {
+            *s = SlotState {
+                open: true,
+                fill: cycle,
+                last_use: cycle,
+            };
+        } else {
+            s.last_use = s.last_use.max(cycle);
+        }
+        self.touches += 1;
+    }
+
+    /// The whole structure was invalidated (TLB flush, cache
+    /// clean-invalidate). Closes every open interval at the latest cycle
+    /// seen, counting payload bits ACE only up to their last use — a
+    /// conservative choice for caches, where the flush may write dirty
+    /// lines back.
+    pub fn flush_all(&mut self) {
+        let end = self.now;
+        for slot in 0..self.slots.len() {
+            self.close(slot, end, false);
+        }
+    }
+
+    /// Closes every interval still open at `end_cycle` and emits the
+    /// report. Residency intervals end at `end_cycle`; payload ACE ends at
+    /// the last observed use.
+    pub fn finalize(mut self, end_cycle: u64) -> StructureReport {
+        let end = self.now.max(end_cycle);
+        for slot in 0..self.slots.len() {
+            self.close(slot, end, false);
+        }
+        StructureReport {
+            name: self.name.to_string(),
+            slots: self.slots.len() as u64,
+            bits_ace: self.bits_ace,
+            bits_aux: self.bits_aux,
+            bits_dead: self.bits_dead,
+            ace_cycles: self.ace_cycles,
+            resident_cycles: self.resident_cycles,
+            fills: self.fills,
+            touches: self.touches,
+            total_cycles: end,
+        }
+    }
+}
+
+/// Final residency/ACE numbers for one structure over one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructureReport {
+    /// Structure short name (matches `Component::short_name`).
+    pub name: String,
+    /// Tracked slots (cache lines / TLB entries / register words).
+    pub slots: u64,
+    /// Payload bits per slot (ACE over fill→last-use).
+    pub bits_ace: u64,
+    /// Tag/state bits per slot (ACE over the whole residency).
+    pub bits_aux: u64,
+    /// Modeled-but-inert bits per slot (never ACE, still injected into).
+    pub bits_dead: u64,
+    /// Σ per-slot ACE interval cycles.
+    pub ace_cycles: u64,
+    /// Σ per-slot residency interval cycles.
+    pub resident_cycles: u64,
+    /// Intervals opened by fills/defs.
+    pub fills: u64,
+    /// Reads/uses observed.
+    pub touches: u64,
+    /// Cycles the profiled run covered.
+    pub total_cycles: u64,
+}
+
+impl StructureReport {
+    /// Bits per slot, payload + tag/state + dead.
+    pub fn bits_per_slot(&self) -> u64 {
+        self.bits_ace + self.bits_aux + self.bits_dead
+    }
+
+    /// Mean fraction of slots holding live data.
+    pub fn occupancy(&self) -> f64 {
+        let denom = self.slots * self.total_cycles;
+        if denom == 0 {
+            0.0
+        } else {
+            self.resident_cycles as f64 / denom as f64
+        }
+    }
+
+    /// The ACE-style predicted AVF: fraction of (bit, cycle) pairs whose
+    /// corruption would have reached architectural state.
+    pub fn predicted_avf(&self) -> f64 {
+        let denom = self.bits_per_slot() * self.slots * self.total_cycles;
+        if denom == 0 {
+            return 0.0;
+        }
+        let ace = self.bits_ace as u128 * self.ace_cycles as u128
+            + self.bits_aux as u128 * self.resident_cycles as u128;
+        ace as f64 / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_interval_ace_ends_at_last_read() {
+        // 1 slot, 8 payload bits, 2 aux bits: fill at 10, read at 40,
+        // evicted clean at 100, run ends at 200.
+        let mut t = StructureResidency::new("X", 1, 8, 2, 0);
+        t.fill(0, 10, false);
+        t.touch(0, 40);
+        t.fill(0, 100, false); // displaces the first interval
+        let r = t.finalize(200);
+        // First interval: ace 40-10=30, resident 100-10=90.
+        // Second interval: ace 100-100=0 (never read), resident 200-100=100.
+        assert_eq!(r.ace_cycles, 30);
+        assert_eq!(r.resident_cycles, 190);
+        assert_eq!(r.fills, 2);
+        assert_eq!(r.touches, 1);
+        let expect = (8.0 * 30.0 + 2.0 * 190.0) / (10.0 * 1.0 * 200.0);
+        assert!(
+            (r.predicted_avf() - expect).abs() < 1e-12,
+            "{}",
+            r.predicted_avf()
+        );
+    }
+
+    #[test]
+    fn writeback_extends_ace_to_eviction() {
+        let mut t = StructureResidency::new("X", 1, 8, 0, 0);
+        t.fill(0, 0, false);
+        t.touch(0, 10);
+        t.fill(0, 50, true); // victim written back: ACE to 50, not 10
+        let r = t.finalize(50);
+        assert_eq!(r.ace_cycles, 50);
+    }
+
+    #[test]
+    fn touch_before_fill_opens_interval() {
+        // Slot resident before the profiler attached.
+        let mut t = StructureResidency::new("X", 2, 4, 0, 0);
+        t.touch(1, 30);
+        t.touch(1, 60);
+        let r = t.finalize(100);
+        assert_eq!(r.ace_cycles, 30); // 60 - 30
+        assert_eq!(r.resident_cycles, 70); // 100 - 30
+    }
+
+    #[test]
+    fn flush_closes_at_latest_seen_cycle() {
+        let mut t = StructureResidency::new("X", 1, 4, 4, 0);
+        t.fill(0, 0, false);
+        t.touch(0, 20);
+        t.flush_all();
+        let r = t.finalize(1000);
+        assert_eq!(r.ace_cycles, 20);
+        assert_eq!(r.resident_cycles, 20, "residency ends at the flush");
+    }
+
+    #[test]
+    fn dead_bits_dilute_predicted_avf() {
+        let mut a = StructureResidency::new("A", 1, 10, 0, 0);
+        let mut b = StructureResidency::new("B", 1, 10, 0, 10);
+        for t in [&mut a, &mut b] {
+            t.fill(0, 0, false);
+            t.touch(0, 100);
+        }
+        let (ra, rb) = (a.finalize(100), b.finalize(100));
+        assert!((ra.predicted_avf() - 2.0 * rb.predicted_avf()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_structure_reports_zero() {
+        let t = StructureResidency::new("X", 8, 32, 0, 0);
+        let r = t.finalize(1_000_000);
+        assert_eq!(r.predicted_avf(), 0.0);
+        assert_eq!(r.occupancy(), 0.0);
+    }
+}

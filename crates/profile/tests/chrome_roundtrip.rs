@@ -1,0 +1,74 @@
+//! End-to-end Chrome-trace round trip: real `sea_trace::span` guards →
+//! `MemorySink` capture → [`sea_profile::chrome_trace`] → validated back
+//! through sea-trace's own `json::parse`.
+//!
+//! This is the in-tree equivalent of loading the file in
+//! `chrome://tracing`: every event must be well-formed JSON with the
+//! trace-event-format fields (`ph`, `ts`, `dur`, `pid`, `tid`), and the
+//! stream must be laid out in non-decreasing timestamp order.
+
+use sea_trace::json::{self, Json};
+use sea_trace::{self as trace, Level, MemorySink, Subsystem};
+use std::sync::Arc;
+
+#[test]
+fn spans_round_trip_through_chrome_trace_json() {
+    let _guard = trace::test_lock();
+    let mem = Arc::new(MemorySink::new());
+    trace::install_sink(mem.clone());
+    trace::set_level_all(Level::Info);
+
+    for worker in 0..3u64 {
+        let mut s = trace::span(Subsystem::Injection, Level::Info, "injection.worker").unwrap();
+        s.field("worker", worker);
+        s.field("runs", 10 + worker);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    {
+        let mut s = trace::span(Subsystem::Platform, Level::Info, "platform.golden").unwrap();
+        s.field("cycles", 123_456u64);
+    }
+    trace::event!(Subsystem::Injection, Level::Info, "injection.checkpoints";
+                  "epochs" => 4u64);
+    trace::flush_thread();
+    trace::disable_all();
+    trace::uninstall_sink();
+
+    let doc = sea_profile::chrome_trace(&mem.take());
+    let parsed = json::parse(&doc).expect("chrome trace must be valid JSON");
+    let Some(Json::Arr(events)) = parsed.get("traceEvents") else {
+        panic!("traceEvents array missing:\n{doc}");
+    };
+    assert_eq!(events.len(), 5, "{doc}");
+
+    let mut last_ts = 0u64;
+    let mut slices = 0;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph field");
+        let ts = ev.get("ts").and_then(Json::as_u64).expect("ts field");
+        assert!(ts >= last_ts, "timestamps must be non-decreasing:\n{doc}");
+        last_ts = ts;
+        assert!(ev.get("pid").and_then(Json::as_u64).is_some());
+        assert!(ev.get("tid").and_then(Json::as_u64).is_some());
+        assert!(ev.get("name").and_then(Json::as_str).is_some());
+        match ph {
+            "X" => {
+                slices += 1;
+                assert!(ev.get("dur").and_then(Json::as_u64).is_some(), "{doc}");
+            }
+            "i" => assert_eq!(ev.get("s").and_then(Json::as_str), Some("t"), "{doc}"),
+            other => panic!("unexpected phase {other:?}:\n{doc}"),
+        }
+    }
+    assert_eq!(slices, 4, "every span must become a complete slice:\n{doc}");
+
+    // Worker spans land on their own tracks: tid comes from the `worker`
+    // field the supervisor attaches.
+    let tids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("injection.worker"))
+        .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+        .collect();
+    assert_eq!(tids.len(), 3);
+    assert!(tids.contains(&0) && tids.contains(&1) && tids.contains(&2));
+}

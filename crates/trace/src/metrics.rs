@@ -108,6 +108,12 @@ impl Histogram {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Approximate `p`-th percentile (`p` in [0,100]) of the recorded
+    /// samples; see [`HistSnapshot::percentile`].
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.snapshot().percentile(p)
+    }
+
     /// A consistent-enough snapshot for rendering.
     pub fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {
@@ -180,6 +186,13 @@ impl HistSnapshot {
             }
         }
         self.max
+    }
+
+    /// Approximate `p`-th percentile (`p` in [0,100], so `percentile(95.0)`
+    /// is p95). Same bucket resolution as [`HistSnapshot::quantile`] —
+    /// exact up to log2-bucket granularity, capped at the observed max.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.quantile(p / 100.0)
     }
 
     /// Render as an ASCII bar chart, one row per non-empty bucket range.
@@ -258,6 +271,24 @@ mod tests {
         let r = s.render(40);
         assert!(r.contains("lat: n=7"), "{r}");
         assert!(r.contains('#'), "{r}");
+    }
+
+    #[test]
+    fn percentile_is_quantile_times_100() {
+        let h = Histogram::new("p");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(50.0), s.quantile(0.5));
+        assert_eq!(s.percentile(95.0), s.quantile(0.95));
+        assert_eq!(h.percentile(95.0), s.percentile(95.0));
+        // p100 is capped at the observed max, and within the p95 bucket's
+        // log2 resolution the estimate brackets the true value.
+        assert_eq!(s.percentile(100.0), 1000);
+        assert!(s.percentile(95.0) >= 950);
+        assert!(s.percentile(50.0) >= 500 && s.percentile(50.0) <= 1000);
+        assert_eq!(HistSnapshot::empty("e").percentile(95.0), 0);
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub struct Progress {
     class_names: &'static [&'static str],
     done: AtomicU64,
     classes: Vec<AtomicU64>,
+    /// Total expected work units (e.g. cycles to simulate across all
+    /// runs); 0 means unknown, falling back to run-count ETA.
+    total_work: AtomicU64,
+    /// Work units actually completed so far.
+    work_done: AtomicU64,
     start: Instant,
     last_print_ms: AtomicU64,
     active: bool,
@@ -52,6 +57,8 @@ impl Progress {
             class_names,
             done: AtomicU64::new(0),
             classes: (0..class_names.len()).map(|_| AtomicU64::new(0)).collect(),
+            total_work: AtomicU64::new(0),
+            work_done: AtomicU64::new(0),
             start: Instant::now(),
             last_print_ms: AtomicU64::new(0),
             active: progress_enabled(),
@@ -70,6 +77,23 @@ impl Progress {
         if self.active {
             self.maybe_print(done, false);
         }
+    }
+
+    /// Declare the total expected work units (e.g. cycles to simulate
+    /// across all pending runs). When set, the ETA is computed from the
+    /// work rate instead of the run rate — with checkpoint restores, runs
+    /// differ wildly in cost (a run restored near its injection cycle
+    /// simulates far fewer cycles than one replayed from boot), so a
+    /// run-count ETA whipsaws while a work-weighted one stays calibrated.
+    pub fn set_total_work(&self, work: u64) {
+        self.total_work.store(work, Ordering::Relaxed);
+    }
+
+    /// Record `work` completed work units for the current run (call next
+    /// to [`Progress::record`], with the cycles the run actually
+    /// simulated).
+    pub fn record_work(&self, work: u64) {
+        self.work_done.fetch_add(work, Ordering::Relaxed);
     }
 
     /// Runs completed so far.
@@ -127,11 +151,7 @@ impl Progress {
         }
         let secs = self.elapsed_secs();
         let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
-        let eta = if rate > 0.0 && self.total > done {
-            (self.total - done) as f64 / rate
-        } else {
-            0.0
-        };
+        let eta = self.eta_secs(done, secs, rate);
         let mut line = format!(
             "\r{}: {}/{} ({:.0}/s, ETA {:.0}s)",
             self.label, done, self.total, rate, eta
@@ -142,6 +162,28 @@ impl Progress {
         let mut err = std::io::stderr().lock();
         let _ = err.write_all(line.as_bytes());
         let _ = err.flush();
+    }
+
+    /// Remaining-time estimate. Work-weighted (remaining work units over
+    /// the observed work rate) when [`Progress::set_total_work`] was
+    /// called; otherwise run-count based.
+    fn eta_secs(&self, done: u64, secs: f64, run_rate: f64) -> f64 {
+        let total_work = self.total_work.load(Ordering::Relaxed);
+        if total_work > 0 && secs > 0.0 {
+            let work_done = self.work_done.load(Ordering::Relaxed);
+            let work_rate = work_done as f64 / secs;
+            if work_rate > 0.0 && total_work > work_done {
+                return (total_work - work_done) as f64 / work_rate;
+            }
+            if work_done >= total_work {
+                return 0.0;
+            }
+        }
+        if run_rate > 0.0 && self.total > done {
+            (self.total - done) as f64 / run_rate
+        } else {
+            0.0
+        }
     }
 }
 
@@ -162,6 +204,43 @@ mod tests {
         assert_eq!(done, 10);
         assert!(secs >= 0.0);
         assert!(p.runs_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn work_weighted_eta_tracks_cycles_not_runs() {
+        let p = Progress::new("test", 10, &[]);
+        // 8 of 10 runs done, but they were the cheap (checkpoint-restored)
+        // ones: only 20% of the total cycles are simulated.
+        p.set_total_work(1_000_000);
+        for _ in 0..8 {
+            p.record(None);
+            p.record_work(25_000);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let secs = p.elapsed_secs();
+        let run_rate = p.runs_per_sec();
+        let eta = p.eta_secs(p.done(), secs, run_rate);
+        // 800k cycles remain at 200k/secs elapsed: work ETA = 4 * secs.
+        // A run-count ETA would claim 2 runs / (8/secs) = secs / 4 —
+        // sixteen times too optimistic here.
+        assert!(
+            (eta - 4.0 * secs).abs() < 0.2 * secs,
+            "eta={eta} secs={secs}"
+        );
+
+        // Without total work declared, fall back to the run-count ETA.
+        let q = Progress::new("test", 10, &[]);
+        for _ in 0..8 {
+            q.record(None);
+            q.record_work(25_000);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let qsecs = q.elapsed_secs();
+        let qeta = q.eta_secs(q.done(), qsecs, q.runs_per_sec());
+        assert!(
+            (qeta - qsecs / 4.0).abs() < 0.2 * qsecs,
+            "eta={qeta} secs={qsecs}"
+        );
     }
 
     #[test]

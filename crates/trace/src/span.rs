@@ -1,21 +1,34 @@
 //! Wall-clock span timing.
 
 use crate::{enabled, Event, Level, Subsystem};
+use std::sync::OnceLock;
 use std::time::Instant;
 
+/// Process-wide epoch spans are timestamped against, so `ts_us` fields
+/// from different threads share one timeline (what the Chrome trace
+/// export needs to lay spans out on worker tracks).
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
 /// Open a timing span; when the returned guard drops, an event named
-/// `name` with a `dur_us` field is emitted. Returns `None` (and does no
-/// work, not even reading the clock) when the (subsystem, level) is
-/// disabled.
+/// `name` with `dur_us` and `ts_us` (microseconds since the first span in
+/// the process) fields is emitted. Returns `None` (and does no work, not
+/// even reading the clock) when the (subsystem, level) is disabled.
 #[must_use]
 pub fn span(sub: Subsystem, level: Level, name: &'static str) -> Option<SpanGuard> {
     if !enabled(sub, level) {
         return None;
     }
+    // Pin the epoch before reading the clock so start >= epoch always.
+    let epoch = epoch();
     Some(SpanGuard {
         sub,
         level,
         name,
+        epoch,
         start: Instant::now(),
         fields: Vec::new(),
     })
@@ -26,6 +39,7 @@ pub struct SpanGuard {
     sub: Subsystem,
     level: Level,
     name: &'static str,
+    epoch: Instant,
     start: Instant,
     fields: Vec<(&'static str, crate::Value)>,
 }
@@ -44,8 +58,10 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        let ts = self.start.saturating_duration_since(self.epoch);
         let mut ev = Event::new(self.sub, self.level, self.name)
-            .field("dur_us", self.start.elapsed().as_micros() as u64);
+            .field("dur_us", self.start.elapsed().as_micros() as u64)
+            .field("ts_us", ts.as_micros() as u64);
         ev.fields.append(&mut self.fields);
         crate::emit(ev);
     }
@@ -81,6 +97,7 @@ mod tests {
             .find(|e| e.name == "span.test")
             .expect("span event");
         assert!(ev.get("dur_us").is_some());
+        assert!(ev.get("ts_us").is_some());
         assert_eq!(ev.get("tag"), Some(&crate::Value::U64(7)));
         crate::disable_all();
         sink::uninstall_sink();
