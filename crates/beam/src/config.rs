@@ -98,6 +98,10 @@ pub struct BeamConfig {
     /// strike boots from reset). A runtime-only knob like `threads`: it is
     /// excluded from the session hash and never changes an outcome.
     pub checkpoints: Option<sea_injection::CheckpointPolicy>,
+    /// Arm the microarchitectural execution fast path on every simulated
+    /// strike's machine. A runtime-only knob like `checkpoints`: bit-exact
+    /// by construction, excluded from the session hash.
+    pub fast_path: bool,
 }
 
 impl Default for BeamConfig {
@@ -118,6 +122,7 @@ impl Default for BeamConfig {
             supervisor: sea_injection::SupervisorConfig::default(),
             journal: None,
             checkpoints: None,
+            fast_path: false,
         }
     }
 }

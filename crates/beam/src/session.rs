@@ -312,6 +312,7 @@ pub fn run_session(
         supervisor: cfg.supervisor.clone(),
         journal: None,
         checkpoints: cfg.checkpoints.clone(),
+        fast_path: cfg.fast_path,
     };
     let id = RunIdentity {
         workload: name.to_string(),

@@ -38,7 +38,9 @@
 //! Checkpoint flags (see README "Performance"): `--checkpoint-interval N`
 //! captures golden-run epoch checkpoints every ~N cycles (0 = auto) and
 //! restores the nearest one instead of re-booting before each injection;
-//! `--checkpoint-dir DIR` additionally persists them across invocations.
+//! `--checkpoint-dir DIR` additionally persists them across invocations;
+//! `--fast-path` arms the bit-exact microarchitectural execution fast
+//! path (µop cache + translation latches) on every injected machine.
 //!
 //! Profiling flags (see README "Profiling"): `--profile-out FILE` writes a
 //! per-workload attribution report (cycle hotspots + predicted-vs-measured
@@ -244,6 +246,10 @@ pub fn parse_options() -> Options {
                 opts.study.checkpoint_interval =
                     need(i).parse().expect("--checkpoint-interval CYCLES");
                 i += 2;
+            }
+            "--fast-path" => {
+                opts.study.fast_path = true;
+                i += 1;
             }
             "--suite" => {
                 opts.suite = need(i)

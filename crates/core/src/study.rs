@@ -116,6 +116,11 @@ pub struct Study {
     /// Rewrite a Prometheus text-exposition snapshot of live campaign
     /// metrics to this file (~1 Hz) while campaigns run.
     pub prom_out: Option<std::path::PathBuf>,
+    /// Arm the microarchitectural execution fast path (µop cache +
+    /// translation latches) on every injected/struck machine. Bit-exact by
+    /// construction — journals, counters and verdicts are byte-identical
+    /// either way — so this is a pure speed knob like `threads`.
+    pub fast_path: bool,
 }
 
 impl Default for Study {
@@ -139,6 +144,7 @@ impl Default for Study {
             profile_out: None,
             chrome_trace: None,
             prom_out: None,
+            fast_path: false,
         }
     }
 }
@@ -200,6 +206,7 @@ impl Study {
             supervisor: self.supervisor_config(),
             journal: self.journal_spec(),
             checkpoints: None,
+            fast_path: self.fast_path,
         }
     }
 
@@ -214,6 +221,7 @@ impl Study {
             golden_budget_cycles: self.golden_budget_cycles,
             supervisor: self.supervisor_config(),
             journal: self.journal_spec(),
+            fast_path: self.fast_path,
             ..BeamConfig::default()
         }
     }

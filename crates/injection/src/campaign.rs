@@ -200,6 +200,15 @@ pub struct CampaignConfig {
     /// runs, never what it computes, so it is excluded from the campaign
     /// configuration hash and a journal written either way is byte-identical.
     pub checkpoints: Option<CheckpointPolicy>,
+    /// Arm the execution fast path (µop cache + translation latches) on
+    /// every injected run's machine.
+    ///
+    /// Like `checkpoints`, a runtime-only speed knob: the fast path is
+    /// bit-for-bit transparent (identical counters, verdicts and journal
+    /// bytes — held by the `fastpath_equivalence` tests and the CI
+    /// `fastpath-equivalence` job), so it is excluded from the campaign
+    /// configuration hash.
+    pub fast_path: bool,
 }
 
 /// How a campaign checkpoints and restores the fault-free prefix.
@@ -231,6 +240,7 @@ impl Default for CampaignConfig {
             supervisor: SupervisorConfig::default(),
             journal: None,
             checkpoints: None,
+            fast_path: false,
         }
     }
 }
@@ -267,12 +277,20 @@ pub(crate) fn machine_toward(
     ckpts: Option<&CheckpointSet>,
     cycle: u64,
 ) -> System<Board> {
-    if let Some(sys) = ckpts.and_then(|c| c.restore_at(cycle)) {
-        return sys;
+    let mut sys = match ckpts.and_then(|c| c.restore_at(cycle)) {
+        Some(sys) => sys,
+        None => {
+            boot(cfg.machine, &workload.image, &cfg.kernel)
+                .expect("boot succeeded for the golden run, must succeed here")
+                .0
+        }
+    };
+    if cfg.fast_path {
+        // Armed cold on both the restore and the reset path (restored
+        // machines never carry fast-path state — it is not snapshotted).
+        sys.fastpath_enable(sea_microarch::FastPathConfig::default());
     }
-    boot(cfg.machine, &workload.image, &cfg.kernel)
-        .expect("boot succeeded for the golden run, must succeed here")
-        .0
+    sys
 }
 
 /// Runs one injected execution: boots a fresh machine (or restores the

@@ -116,19 +116,22 @@ impl Shift {
     /// All shift kinds in encoding order.
     pub const ALL: [Shift; 4] = [Shift::Lsl, Shift::Lsr, Shift::Asr, Shift::Ror];
 
-    /// Applies the shift to `value` by `amount` (taken modulo 32 for `Ror`;
-    /// `Lsr`/`Asr`/`Lsl` by 32 or more saturate as on ARM for amounts up to
-    /// 31, which is all the encoding can express).
+    /// Applies the shift to `value` by `amount`, with ARM boundary
+    /// semantics for amounts the encoding itself cannot express (the
+    /// immediate field holds `0..=31`, but register-specified shifts on
+    /// real ARM reach 32 and beyond): `Lsl`/`Lsr` by 32 or more yield 0,
+    /// `Asr` by 32 or more fills with the sign bit, and `Ror` rotates
+    /// modulo 32.
     pub fn apply(self, value: u32, amount: u8) -> u32 {
         let amount = amount as u32;
         if amount == 0 {
             return value;
         }
         match self {
-            Shift::Lsl => value << amount,
-            Shift::Lsr => value >> amount,
-            Shift::Asr => ((value as i32) >> amount) as u32,
-            Shift::Ror => value.rotate_right(amount),
+            Shift::Lsl => value.checked_shl(amount).unwrap_or(0),
+            Shift::Lsr => value.checked_shr(amount).unwrap_or(0),
+            Shift::Asr => ((value as i32) >> amount.min(31)) as u32,
+            Shift::Ror => value.rotate_right(amount & 31),
         }
     }
 }
@@ -745,5 +748,75 @@ impl Insn {
             self,
             Insn::Branch { .. } | Insn::Bx { .. } | Insn::Svc { .. } | Insn::Eret { .. }
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLES: [u32; 7] = [
+        0,
+        1,
+        0x8000_0000,
+        0x8000_0001,
+        0x7FFF_FFFF,
+        0xFFFF_FFFF,
+        0xDEAD_BEEF,
+    ];
+
+    #[test]
+    fn lsl_lsr_saturate_at_32_and_beyond() {
+        for v in SAMPLES {
+            for amount in 32..=255u8 {
+                assert_eq!(Shift::Lsl.apply(v, amount), 0, "lsl {v:#x} by {amount}");
+                assert_eq!(Shift::Lsr.apply(v, amount), 0, "lsr {v:#x} by {amount}");
+            }
+        }
+    }
+
+    #[test]
+    fn asr_fills_with_sign_at_32_and_beyond() {
+        for v in SAMPLES {
+            let sign = if v & 0x8000_0000 != 0 { u32::MAX } else { 0 };
+            for amount in 32..=255u8 {
+                assert_eq!(Shift::Asr.apply(v, amount), sign, "asr {v:#x} by {amount}");
+            }
+        }
+    }
+
+    #[test]
+    fn ror_rotates_modulo_32() {
+        for v in SAMPLES {
+            for amount in 1..=255u8 {
+                assert_eq!(
+                    Shift::Ror.apply(v, amount),
+                    v.rotate_right(amount as u32 % 32),
+                    "ror {v:#x} by {amount}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn amount_zero_is_identity_for_every_kind() {
+        for v in SAMPLES {
+            for kind in [Shift::Lsl, Shift::Lsr, Shift::Asr, Shift::Ror] {
+                assert_eq!(kind.apply(v, 0), v);
+            }
+        }
+    }
+
+    #[test]
+    fn in_encoding_range_amounts_match_plain_shifts() {
+        for v in SAMPLES {
+            for amount in 1..=31u8 {
+                let n = amount as u32;
+                assert_eq!(Shift::Lsl.apply(v, amount), v << n);
+                assert_eq!(Shift::Lsr.apply(v, amount), v >> n);
+                assert_eq!(Shift::Asr.apply(v, amount), ((v as i32) >> n) as u32);
+                assert_eq!(Shift::Ror.apply(v, amount), v.rotate_right(n));
+            }
+        }
     }
 }

@@ -1,0 +1,126 @@
+//! Criterion microbenchmarks of the per-step cost under the execution
+//! fast path: a µop-cache decode hit, a forced µop-cache decode miss, and
+//! a translation-latch-hit memory step, each against the reference slow
+//! path on the identical machine and workload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sea_isa::{Asm, Cond, MemSize, Reg};
+use sea_microarch::{
+    l1_entry, pte, FastPathConfig, MachineConfig, NullDevice, StepOutcome, System, PTE_EXEC,
+    PTE_WRITE,
+};
+
+/// A bare-metal machine with 4 MiB identity-mapped and the given program
+/// installed at its entry point.
+fn machine_with(build: impl FnOnce(&mut Asm)) -> System<NullDevice> {
+    let mut sys = System::new(MachineConfig::cortex_a9(), NullDevice);
+    for mib in 0..4u32 {
+        let l2 = 0x8000 + mib * 0x400;
+        sys.mem
+            .phys
+            .write(0x4000 + mib * 4, MemSize::Word, l1_entry(l2));
+        for page in 0..256u32 {
+            sys.mem.phys.write(
+                l2 + page * 4,
+                MemSize::Word,
+                pte((mib << 8) + page, PTE_WRITE | PTE_EXEC),
+            );
+        }
+    }
+    sys.cpu.ttbr = 0x4000;
+    let mut a = Asm::new();
+    let e = a.label("e");
+    a.bind(e).unwrap();
+    build(&mut a);
+    let img = a.finish(e).unwrap();
+    for seg in img.segments() {
+        sys.mem.phys.write_bytes(seg.vaddr, &seg.data);
+    }
+    sys.cpu.pc = img.entry();
+    sys
+}
+
+/// Tight ALU loop: every warm fetch is a µop-cache hit.
+fn alu_loop(a: &mut Asm) {
+    let lp = a.label("lp");
+    a.mov32(Reg::R1, u32::MAX);
+    a.bind(lp).unwrap();
+    a.add(Reg::R0, Reg::R0, Reg::R1);
+    a.subs_imm(Reg::R1, Reg::R1, 1);
+    a.b_if(Cond::Ne, lp);
+}
+
+/// A 256-instruction straight-line body looped forever: with a 16-entry
+/// µop cache every slot cycles through 16 different word addresses, so
+/// every fetch is a µop-cache conflict miss (full decode) while the
+/// translation latch and L1I line latch still engage.
+fn unrolled_loop(a: &mut Asm) {
+    let lp = a.label("lp");
+    a.mov32(Reg::R1, u32::MAX);
+    a.bind(lp).unwrap();
+    for _ in 0..256 {
+        a.add(Reg::R0, Reg::R0, Reg::R1);
+    }
+    a.b(lp);
+}
+
+/// Load/store loop over one page: every step exercises the fetch latch
+/// plus a data-side translation-latch and L1D line-latch hit.
+fn mem_loop(a: &mut Asm) {
+    let lp = a.label("lp");
+    a.mov32(Reg::R1, u32::MAX);
+    a.mov32(Reg::R3, 0x0030_0000);
+    a.bind(lp).unwrap();
+    a.and_imm(Reg::R2, Reg::R1, 0xFF0);
+    a.ldr_idx(Reg::R0, Reg::R3, Reg::R2, 0);
+    a.add(Reg::R0, Reg::R0, Reg::R1);
+    a.str_idx(Reg::R0, Reg::R3, Reg::R2, 0);
+    a.subs_imm(Reg::R1, Reg::R1, 1);
+    a.b_if(Cond::Ne, lp);
+}
+
+fn steps(sys: &mut System<NullDevice>, n: u32) {
+    for _ in 0..n {
+        if sys.step() != StepOutcome::Executed {
+            unreachable!("loop never terminates");
+        }
+    }
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step");
+    g.throughput(Throughput::Elements(10_000));
+
+    type Case = (&'static str, fn(&mut Asm), Option<FastPathConfig>);
+    let cases: [Case; 4] = [
+        // µop + latch hits on every warm step.
+        ("decode_hit", alu_loop, Some(FastPathConfig::default())),
+        // µop conflict miss (full decode) on every step.
+        (
+            "decode_miss",
+            unrolled_loop,
+            Some(FastPathConfig { uop_entries: 16 }),
+        ),
+        // Data-side translation-latch + line-latch hits on every step.
+        (
+            "translation_latch_hit",
+            mem_loop,
+            Some(FastPathConfig::default()),
+        ),
+        // The reference path on the same memory workload, for scale.
+        ("reference_slow_path", mem_loop, None),
+    ];
+    for (name, build, fast) in cases {
+        let mut sys = machine_with(build);
+        if let Some(cfg) = fast {
+            sys.fastpath_enable(cfg);
+        }
+        // Warm caches, TLBs and the fast path out of the measurement.
+        steps(&mut sys, 20_000);
+        g.bench_function(name, |b| b.iter(|| steps(&mut sys, 10_000)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

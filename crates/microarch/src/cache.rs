@@ -190,6 +190,33 @@ impl Cache {
         Probe::Miss
     }
 
+    /// Bit-exact repeat-hit shortcut: serves `paddr` from line `idx` (a
+    /// line some earlier [`Cache::probe`] hit for the same base) without
+    /// the set scan, provided the line is still valid, still holds
+    /// `paddr`'s base, and is already its set's most-recent way. With
+    /// `rank == 0`, [`Cache::touch`] is a no-op — the one case where
+    /// skipping it changes nothing — and the watch report is updated
+    /// exactly as a scan hit would. Any intervening fill, eviction,
+    /// flush or injected flip breaks one of the three conditions and the
+    /// caller falls back to the reference [`Cache::probe`].
+    ///
+    /// Duplicate tags (two ways of a set holding the same base, reachable
+    /// only through tag flips — fills only happen after a whole-set miss)
+    /// cannot desynchronize this from `probe`'s first-match scan order:
+    /// callers latch `idx` from a `probe`/[`Cache::find_line`] result
+    /// (both first-match) and drop every latch on `flip_bit`.
+    pub fn hit_mru(&mut self, idx: u32, paddr: u32) -> bool {
+        let i = idx as usize;
+        let base = paddr & !(self.line_bytes - 1);
+        if !self.valid[i] || self.addr[i] != base || self.rank[i] != 0 {
+            return false;
+        }
+        if self.watch == Some(idx) {
+            self.report.touched = true;
+        }
+        true
+    }
+
     /// Selects (and logically evicts) the LRU victim line for `paddr`.
     ///
     /// Returns the line index to fill and, if the victim was valid and dirty
@@ -257,19 +284,36 @@ impl Cache {
     pub fn read(&self, idx: u32, paddr: u32, bytes: u32) -> u32 {
         let off = (paddr & (self.line_bytes - 1)) as usize;
         let base = idx as usize * self.line_bytes as usize + off;
-        let mut v = 0u32;
-        for b in 0..bytes as usize {
-            v |= (self.data[base + b] as u32) << (8 * b);
+        // Little-endian assembly either way; the sized arms just do it in
+        // one bounds check instead of one per byte (this is the hottest
+        // load in the simulator — every fetch and every data hit).
+        match bytes {
+            4 => u32::from_le_bytes(self.data[base..base + 4].try_into().unwrap()),
+            2 => u16::from_le_bytes(self.data[base..base + 2].try_into().unwrap()) as u32,
+            1 => self.data[base] as u32,
+            _ => {
+                let mut v = 0u32;
+                for b in 0..bytes as usize {
+                    v |= (self.data[base + b] as u32) << (8 * b);
+                }
+                v
+            }
         }
-        v
     }
 
     /// Writes up to 4 bytes into a resident line, marking it dirty.
     pub fn write(&mut self, idx: u32, paddr: u32, bytes: u32, value: u32) {
         let off = (paddr & (self.line_bytes - 1)) as usize;
         let base = idx as usize * self.line_bytes as usize + off;
-        for b in 0..bytes as usize {
-            self.data[base + b] = (value >> (8 * b)) as u8;
+        match bytes {
+            4 => self.data[base..base + 4].copy_from_slice(&value.to_le_bytes()),
+            2 => self.data[base..base + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            1 => self.data[base] = value as u8,
+            _ => {
+                for b in 0..bytes as usize {
+                    self.data[base + b] = (value >> (8 * b)) as u8;
+                }
+            }
         }
         self.dirty[idx as usize] = true;
     }

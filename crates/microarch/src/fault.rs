@@ -99,10 +99,18 @@ impl<D: Device> System<D> {
 
     /// Flips one bit of `c`, returning the injection site description.
     ///
+    /// If the execution fast path is armed, all of its memoized state
+    /// (µop cache + translation latches) is invalidated so that nothing
+    /// predating the fault can be replayed across it. This is defense in
+    /// depth — the µop `(paddr, raw_word)` key and the revalidated latches
+    /// already self-invalidate on corruption — and it is free at
+    /// one-flip-per-run campaign rates.
+    ///
     /// # Panics
     ///
     /// Panics if `bit >= component_bits(c)`.
     pub fn flip_bit(&mut self, c: Component, bit: u64) -> InjectionSite {
+        self.fastpath_invalidate();
         let (array, was_valid) = match c {
             Component::RegFile => {
                 self.cpu.regs.flip_bit(bit);

@@ -34,6 +34,7 @@ mod cache;
 mod config;
 mod counters;
 mod exception;
+mod fastpath;
 mod fault;
 mod mem;
 mod memsys;
@@ -51,6 +52,7 @@ pub use exception::{
     AbortCause, Exception, ESR_CLASS_DATA_ABORT, ESR_CLASS_IRQ, ESR_CLASS_PREFETCH_ABORT,
     ESR_CLASS_SVC, ESR_CLASS_UNDEFINED, VECTOR_BASE,
 };
+pub use fastpath::{FastPathConfig, FastPathStats};
 pub use fault::{Component, InjectionSite};
 pub use mem::{Device, NullDevice, PhysMemory, DEVICE_BASE};
 pub use memsys::MemSystem;

@@ -236,6 +236,70 @@ impl MemSystem {
         }
     }
 
+    // ----- repeat-hit shortcuts (the execution fast path) -----------------
+
+    /// [`MemSystem::fetch`] served through a latched L1I line (see
+    /// [`Cache::hit_mru`]): bit-identical to the reference hit path, or
+    /// `None` when anything about the line changed (caller re-fetches the
+    /// reference way). `idx` must come from a prior
+    /// [`Cache::find_line`]/probe of the same line base.
+    pub fn fetch_mru(&mut self, idx: u32, paddr: u32, ctr: &mut Counters) -> Option<(u32, u32)> {
+        if !self.l1i.hit_mru(idx, paddr) {
+            return None;
+        }
+        ctr.l1i_access += 1;
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.l1i.touch(idx as usize, ctr.cycles);
+        }
+        Some((self.l1i.read(idx, paddr, 4), self.lat_l1))
+    }
+
+    /// [`MemSystem::read_data`] served through a latched L1D line;
+    /// contract as for [`MemSystem::fetch_mru`].
+    pub fn read_data_mru(
+        &mut self,
+        idx: u32,
+        paddr: u32,
+        size: MemSize,
+        ctr: &mut Counters,
+    ) -> Option<(u32, u32)> {
+        if !self.l1d.hit_mru(idx, paddr) {
+            return None;
+        }
+        ctr.l1d_access += 1;
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.l1d.touch(idx as usize, ctr.cycles);
+        }
+        Some((self.l1d.read(idx, paddr, size.bytes()), self.lat_l1))
+    }
+
+    /// [`MemSystem::write_data`] served through a latched L1D line;
+    /// contract as for [`MemSystem::fetch_mru`].
+    pub fn write_data_mru(
+        &mut self,
+        idx: u32,
+        paddr: u32,
+        size: MemSize,
+        value: u32,
+        ctr: &mut Counters,
+    ) -> Option<u32> {
+        if !self.l1d.hit_mru(idx, paddr) {
+            return None;
+        }
+        ctr.l1d_access += 1;
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.l1d.touch(idx as usize, ctr.cycles);
+        }
+        self.l1d.write(idx, paddr, size.bytes(), value);
+        Some(self.lat_l1)
+    }
+
+    /// Whether the hierarchy is modeled at all (the latches are useless —
+    /// and never filled — under [`ExecMode::Atomic`]).
+    pub fn is_detailed(&self) -> bool {
+        self.mode == ExecMode::Detailed
+    }
+
     // ----- maintenance ----------------------------------------------------------
 
     /// Cleans (writes back) and invalidates every cache level, top down.

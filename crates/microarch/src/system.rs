@@ -10,6 +10,7 @@ use sea_snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use crate::config::MachineConfig;
 use crate::counters::Counters;
 use crate::exception::{AbortCause, Exception, VECTOR_BASE};
+use crate::fastpath::{FastPath, FastPathConfig, FastPathStats};
 use crate::mem::{Device, DEVICE_BASE};
 use crate::memsys::MemSystem;
 use crate::mmu;
@@ -251,6 +252,10 @@ pub struct System<D> {
     /// [`System::profile_attach`]. `None` (the fast path) on every
     /// campaign machine; never snapshotted.
     pub(crate) prof: Option<Box<SysProfiler>>,
+    /// Execution fast path (µop cache + translation latches), armed by
+    /// [`System::fastpath_enable`]. Pure memoization — never snapshotted,
+    /// and dropping it is always equivalence-preserving.
+    pub(crate) fast: Option<Box<FastPath>>,
 }
 
 impl<D: Device> System<D> {
@@ -270,6 +275,65 @@ impl<D: Device> System<D> {
             cfg,
             probe: None,
             prof: None,
+            fast: None,
+        }
+    }
+
+    // ----- the execution fast path ------------------------------------------
+
+    /// Arms the execution fast path: a predecoded µop cache plus
+    /// per-access-class translation latches (see [`crate::fastpath`]).
+    /// Starts cold; replaces any previous fast-path state. The machine
+    /// remains bit-for-bit equivalent to a slow-path machine — every
+    /// counter, cache/TLB LRU decision, exception and fault outcome is
+    /// identical — so campaigns may enable it freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn fastpath_enable(&mut self, cfg: FastPathConfig) {
+        self.fast = Some(Box::new(FastPath::new(&cfg)));
+    }
+
+    /// Drops the fast path; subsequent steps take the reference path.
+    pub fn fastpath_disable(&mut self) {
+        self.fast = None;
+    }
+
+    /// Whether the fast path is armed.
+    pub fn fastpath_enabled(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// Fast-path effectiveness counters; `None` when disarmed.
+    pub fn fastpath_stats(&self) -> Option<FastPathStats> {
+        self.fast.as_deref().map(FastPath::stats)
+    }
+
+    /// The fast-path state. Only reachable from `FAST` instantiations,
+    /// whose dispatch guarantees the slot is occupied.
+    fn fast_state(&mut self) -> &mut FastPath {
+        self.fast
+            .as_deref_mut()
+            .expect("fast-path step without fast-path state")
+    }
+
+    /// Forgets the translation latches (if the fast path is armed). Called
+    /// wherever the reference path invalidates or re-keys TLB state: TLB
+    /// flushes, CPSR/mode changes, exception entry and return.
+    fn fastpath_clear_latches(&mut self) {
+        if let Some(f) = self.fast.as_deref_mut() {
+            f.clear_latches();
+        }
+    }
+
+    /// Full fast-path invalidation: µop cache and translation latches.
+    /// Called by [`System::flip_bit`] so that no memoized state spans an
+    /// injected fault — belt-and-braces on top of the self-invalidating
+    /// `(paddr, raw_word)` µop key and the revalidated latches.
+    pub(crate) fn fastpath_invalidate(&mut self) {
+        if let Some(f) = self.fast.as_deref_mut() {
+            f.invalidate_all();
         }
     }
 
@@ -382,26 +446,57 @@ impl<D: Device> System<D> {
 
     // ----- translation ------------------------------------------------------
 
-    fn translate(&mut self, vaddr: u32, access: Access) -> Result<(u32, u32), Exception> {
+    fn translate<const FAST: bool>(
+        &mut self,
+        vaddr: u32,
+        access: Access,
+    ) -> Result<(u32, u32), Exception> {
         let vpn = vaddr >> mmu::PAGE_SHIFT;
         let is_fetch = matches!(access, Access::Fetch);
+        if FAST {
+            // Same-page streak: revalidate the last (vpn, slot) latched for
+            // this access class against the live TLB. A hit replays exactly
+            // the bookkeeping a scan hit would (see Tlb::hit_latched); a
+            // stale latch falls through to the reference scan, untouched.
+            if let Some((lvpn, slot)) = self.fast_state().latch_get(access as usize) {
+                if lvpn == vpn {
+                    let tlb = if is_fetch {
+                        &mut self.itlb
+                    } else {
+                        &mut self.dtlb
+                    };
+                    if let Some(entry) = tlb.hit_latched(slot, vpn) {
+                        self.fast_state().latch_hits += 1;
+                        return Self::check_translation(
+                            vaddr,
+                            access,
+                            self.cpu.cpsr.mode,
+                            entry,
+                            0,
+                        );
+                    }
+                }
+            }
+        }
         let hit = if is_fetch {
             self.itlb.lookup_slot(vpn)
         } else {
             self.dtlb.lookup_slot(vpn)
         };
         let mut lat = 0;
-        let entry = match hit {
+        let (slot, entry) = match hit {
             Some((slot, e)) => {
-                let cyc = self.cpu.counters.cycles;
-                if let Some(p) = self.prof.as_deref_mut() {
-                    if is_fetch {
-                        p.itlb.touch(slot, cyc);
-                    } else {
-                        p.dtlb.touch(slot, cyc);
+                if !FAST {
+                    let cyc = self.cpu.counters.cycles;
+                    if let Some(p) = self.prof.as_deref_mut() {
+                        if is_fetch {
+                            p.itlb.touch(slot, cyc);
+                        } else {
+                            p.dtlb.touch(slot, cyc);
+                        }
                     }
                 }
-                e
+                (slot, e)
             }
             None => {
                 if is_fetch {
@@ -416,20 +511,36 @@ impl<D: Device> System<D> {
                 } else {
                     self.dtlb.insert_slot(e)
                 };
-                let cyc = self.cpu.counters.cycles;
-                if let Some(p) = self.prof.as_deref_mut() {
-                    if is_fetch {
-                        p.itlb.fill(slot, cyc, false);
-                    } else {
-                        p.dtlb.fill(slot, cyc, false);
+                if !FAST {
+                    let cyc = self.cpu.counters.cycles;
+                    if let Some(p) = self.prof.as_deref_mut() {
+                        if is_fetch {
+                            p.itlb.fill(slot, cyc, false);
+                        } else {
+                            p.dtlb.fill(slot, cyc, false);
+                        }
                     }
                 }
-                e
+                (slot, e)
             }
         };
-        // Permission checks (a TLB hit with corrupted permission bits takes
-        // this path too, exactly like hardware).
-        let user = self.cpu.cpsr.mode == Mode::User;
+        if FAST {
+            self.fast_state().latch_set(access as usize, vpn, slot);
+        }
+        Self::check_translation(vaddr, access, self.cpu.cpsr.mode, entry, lat)
+    }
+
+    /// Permission checks + physical-address composition, shared by the
+    /// latched and scanned translation paths (a TLB hit with corrupted
+    /// permission bits takes this path too, exactly like hardware).
+    fn check_translation(
+        vaddr: u32,
+        access: Access,
+        mode: Mode,
+        entry: TlbEntry,
+        lat: u32,
+    ) -> Result<(u32, u32), Exception> {
+        let user = mode == Mode::User;
         let abort = |cause| match access {
             Access::Fetch => Exception::PrefetchAbort { vaddr, cause },
             _ => Exception::DataAbort { vaddr, cause },
@@ -508,56 +619,128 @@ impl<D: Device> System<D> {
         Ok(false)
     }
 
-    fn read_mem(&mut self, vaddr: u32, size: MemSize) -> Result<u32, Exception> {
+    fn read_mem<const FAST: bool>(&mut self, vaddr: u32, size: MemSize) -> Result<u32, Exception> {
         if !vaddr.is_multiple_of(size.bytes()) {
             return Err(Exception::DataAbort {
                 vaddr,
                 cause: AbortCause::Alignment,
             });
         }
-        let (paddr, lat) = self.translate(vaddr, Access::Read)?;
+        let (paddr, lat) = self.translate::<FAST>(vaddr, Access::Read)?;
         self.cpu.counters.cycles += lat as u64;
         if self.check_phys_range(vaddr, paddr, size.bytes(), Access::Read)? {
             return Ok(self.dev.read(paddr - DEVICE_BASE, size));
         }
+        if FAST {
+            let base = paddr & !(self.mem.l1d.line_bytes() - 1);
+            if let Some(idx) = self.fast_state().data_line_get(base) {
+                if let Some((v, lat)) =
+                    self.mem
+                        .read_data_mru(idx, paddr, size, &mut self.cpu.counters)
+                {
+                    self.fast_state().line_hits += 1;
+                    self.cpu.counters.cycles += lat as u64;
+                    return Ok(v);
+                }
+            }
+        }
         let (v, lat) = self.mem.read_data(paddr, size, &mut self.cpu.counters);
         self.cpu.counters.cycles += lat as u64;
+        if FAST {
+            self.latch_data_line(paddr);
+        }
         Ok(v)
     }
 
-    fn write_mem(&mut self, vaddr: u32, size: MemSize, value: u32) -> Result<(), Exception> {
+    fn write_mem<const FAST: bool>(
+        &mut self,
+        vaddr: u32,
+        size: MemSize,
+        value: u32,
+    ) -> Result<(), Exception> {
         if !vaddr.is_multiple_of(size.bytes()) {
             return Err(Exception::DataAbort {
                 vaddr,
                 cause: AbortCause::Alignment,
             });
         }
-        let (paddr, lat) = self.translate(vaddr, Access::Write)?;
+        let (paddr, lat) = self.translate::<FAST>(vaddr, Access::Write)?;
         self.cpu.counters.cycles += lat as u64;
         if self.check_phys_range(vaddr, paddr, size.bytes(), Access::Write)? {
             self.dev.write(paddr - DEVICE_BASE, size, value);
             return Ok(());
         }
+        if FAST {
+            // Self-modifying code: a store into a predecoded word drops its
+            // µop line. (The (paddr, word) key already guarantees the next
+            // fetch re-decodes whatever it actually reads; this just frees
+            // the slot.)
+            self.fast_state().uop_flush_word(paddr);
+            let base = paddr & !(self.mem.l1d.line_bytes() - 1);
+            if let Some(idx) = self.fast_state().data_line_get(base) {
+                if let Some(lat) =
+                    self.mem
+                        .write_data_mru(idx, paddr, size, value, &mut self.cpu.counters)
+                {
+                    self.fast_state().line_hits += 1;
+                    self.cpu.counters.cycles += lat as u64;
+                    return Ok(());
+                }
+            }
+        }
         let lat = self
             .mem
             .write_data(paddr, size, value, &mut self.cpu.counters);
         self.cpu.counters.cycles += lat as u64;
+        if FAST {
+            self.latch_data_line(paddr);
+        }
         Ok(())
     }
 
-    fn fetch_insn(&mut self, vaddr: u32) -> Result<u32, Exception> {
+    fn fetch_insn<const FAST: bool>(&mut self, vaddr: u32) -> Result<(u32, u32), Exception> {
         if !vaddr.is_multiple_of(4) {
             return Err(Exception::PrefetchAbort {
                 vaddr,
                 cause: AbortCause::Alignment,
             });
         }
-        let (paddr, lat) = self.translate(vaddr, Access::Fetch)?;
+        let (paddr, lat) = self.translate::<FAST>(vaddr, Access::Fetch)?;
         self.cpu.counters.cycles += lat as u64;
         self.check_phys_range(vaddr, paddr, 4, Access::Fetch)?;
+        if FAST {
+            if let Some((base, idx)) = self.fast_state().fetch_line {
+                if paddr & !(self.mem.l1i.line_bytes() - 1) == base {
+                    if let Some((w, lat)) = self.mem.fetch_mru(idx, paddr, &mut self.cpu.counters) {
+                        self.fast_state().line_hits += 1;
+                        self.cpu.counters.cycles += lat as u64;
+                        return Ok((paddr, w));
+                    }
+                }
+            }
+        }
         let (w, lat) = self.mem.fetch(paddr, &mut self.cpu.counters);
         self.cpu.counters.cycles += lat as u64;
-        Ok(w)
+        if FAST && self.mem.is_detailed() {
+            // After a detailed fetch the line is resident; remember it so
+            // the next same-line fetch skips the set scan.
+            if let Some(idx) = self.mem.l1i.find_line(paddr) {
+                let base = paddr & !(self.mem.l1i.line_bytes() - 1);
+                self.fast_state().fetch_line = Some((base, idx));
+            }
+        }
+        Ok((paddr, w))
+    }
+
+    /// Remembers the L1D line holding `paddr` (if the hierarchy is
+    /// modeled) so the next same-line access can skip the set scan.
+    fn latch_data_line(&mut self, paddr: u32) {
+        if self.mem.is_detailed() {
+            if let Some(idx) = self.mem.l1d.find_line(paddr) {
+                let base = paddr & !(self.mem.l1d.line_bytes() - 1);
+                self.fast_state().data_line_set(base, idx);
+            }
+        }
     }
 
     // ----- exception entry/exit ------------------------------------------------
@@ -577,24 +760,33 @@ impl<D: Device> System<D> {
         self.cpu.cpsr.irq_off = true;
         self.cpu.pc = VECTOR_BASE + e.vector_offset();
         self.cpu.counters.cycles += 3; // pipeline flush on exception entry
+        self.fastpath_clear_latches(); // mode change
     }
 
     // ----- operand helpers ----------------------------------------------------
 
     /// Evaluates op2, returning (value, shifter carry-out).
-    fn eval_op2(&self, op2: Operand2) -> Result<(u32, bool), Exception> {
+    ///
+    /// Carry-out follows the ARM boundary semantics that [`Shift::apply`]
+    /// implements for the result: LSL/LSR by exactly 32 carry out bit 0 /
+    /// bit 31 respectively and by more than 32 carry out 0; ASR by 32 or
+    /// more carries out the sign bit; ROR carries out bit 31 of the
+    /// rotated result (which covers every non-zero amount, including
+    /// multiples of 32).
+    fn eval_op2<const FAST: bool>(&self, op2: Operand2) -> Result<(u32, bool), Exception> {
         match op2 {
             Operand2::Imm { .. } => Ok((op2.imm_value().unwrap(), self.cpu.cpsr.c)),
             Operand2::Reg(sr) => {
-                let v = self.reg_read(sr.rm)?;
+                let v = self.reg_read::<FAST>(sr.rm)?;
                 let amount = sr.amount as u32;
                 if amount == 0 {
                     return Ok((v, self.cpu.cpsr.c));
                 }
                 let out = sr.shift.apply(v, sr.amount);
                 let carry = match sr.shift {
-                    Shift::Lsl => (v >> (32 - amount)) & 1 == 1,
-                    Shift::Lsr | Shift::Asr => (v >> (amount - 1)) & 1 == 1,
+                    Shift::Lsl => amount <= 32 && (v >> (32 - amount)) & 1 == 1,
+                    Shift::Lsr => amount <= 32 && (v >> (amount - 1)) & 1 == 1,
+                    Shift::Asr => (v >> (amount - 1).min(31)) & 1 == 1,
                     Shift::Ror => (out >> 31) & 1 == 1,
                 };
                 Ok((out, carry))
@@ -602,34 +794,38 @@ impl<D: Device> System<D> {
         }
     }
 
-    fn reg_read(&self, r: sea_isa::Reg) -> Result<u32, Exception> {
+    fn reg_read<const FAST: bool>(&self, r: sea_isa::Reg) -> Result<u32, Exception> {
         if r == sea_isa::Reg::Pc {
             // AR32 forbids pc as a data operand; a bit flip that turns a
             // register field into r15 therefore faults, like a corrupted
             // encoding on real hardware.
             return Err(Exception::Undefined { word: 0xFFFF });
         }
-        if let Some(p) = self.prof.as_deref() {
-            p.regs.borrow_mut().touch(
-                RegFile::word_index(r, self.cpu.cpsr.mode),
-                self.cpu.counters.cycles,
-            );
+        if !FAST {
+            if let Some(p) = self.prof.as_deref() {
+                p.regs.borrow_mut().touch(
+                    RegFile::word_index(r, self.cpu.cpsr.mode),
+                    self.cpu.counters.cycles,
+                );
+            }
         }
         Ok(self.cpu.regs.get(r, self.cpu.cpsr.mode))
     }
 
-    fn reg_write(&mut self, r: sea_isa::Reg, v: u32) -> Result<(), Exception> {
+    fn reg_write<const FAST: bool>(&mut self, r: sea_isa::Reg, v: u32) -> Result<(), Exception> {
         if r == sea_isa::Reg::Pc {
             return Err(Exception::Undefined { word: 0xFFFF });
         }
-        if let Some(p) = self.prof.as_deref() {
-            // A write is a def: it closes the old value's interval (its
-            // last read bounds its ACE time) and opens a new one.
-            p.regs.borrow_mut().fill(
-                RegFile::word_index(r, self.cpu.cpsr.mode),
-                self.cpu.counters.cycles,
-                false,
-            );
+        if !FAST {
+            if let Some(p) = self.prof.as_deref() {
+                // A write is a def: it closes the old value's interval (its
+                // last read bounds its ACE time) and opens a new one.
+                p.regs.borrow_mut().fill(
+                    RegFile::word_index(r, self.cpu.cpsr.mode),
+                    self.cpu.counters.cycles,
+                    false,
+                );
+            }
         }
         self.cpu.regs.set(r, self.cpu.cpsr.mode, v);
         Ok(())
@@ -645,9 +841,20 @@ impl<D: Device> System<D> {
     // ----- the step function ------------------------------------------------------
 
     /// Executes one instruction (or vectors one exception).
+    ///
+    /// Dispatches to one of two monomorphic instantiations of the same
+    /// step function: the `FAST` build (µop cache + translation latches,
+    /// no profiler or trace-ring branches) whenever the fast path is armed
+    /// and neither a profiler nor a PC trace needs feeding, and the
+    /// reference build otherwise. The provenance probe works in both — it
+    /// is part of the fault model, not of observability.
     pub fn step(&mut self) -> StepOutcome {
         let pc = self.cpu.pc;
-        let out = self.step_inner();
+        let out = if self.fast.is_some() && self.prof.is_none() && self.cpu.trace.is_none() {
+            self.step_exec::<true>()
+        } else {
+            self.step_exec::<false>()
+        };
         // Same zero-cost-when-off shape as sea-trace: one relaxed atomic
         // load, and the profiler slot is `None` on campaign machines.
         if sea_profile::enabled() {
@@ -661,7 +868,7 @@ impl<D: Device> System<D> {
         out
     }
 
-    fn step_inner(&mut self) -> StepOutcome {
+    fn step_exec<const FAST: bool>(&mut self) -> StepOutcome {
         let irq = {
             let now = self.cpu.counters.cycles;
             self.dev.poll_irq(now)
@@ -682,11 +889,14 @@ impl<D: Device> System<D> {
         }
 
         let pc = self.cpu.pc;
-        if let Some(t) = self.cpu.trace.as_mut() {
-            t.push(pc);
+        if !FAST {
+            // The FAST dispatch guarantees the trace ring is absent.
+            if let Some(t) = self.cpu.trace.as_mut() {
+                t.push(pc);
+            }
         }
-        let word = match self.fetch_insn(pc) {
-            Ok(w) => w,
+        let (paddr, word) = match self.fetch_insn::<FAST>(pc) {
+            Ok(pw) => pw,
             Err(e) => {
                 if Self::in_vector_page(pc) {
                     return StepOutcome::LockedUp;
@@ -695,9 +905,14 @@ impl<D: Device> System<D> {
                 return StepOutcome::Executed;
             }
         };
-        let insn = match decode(word) {
-            Ok(i) => i,
-            Err(_) => {
+        let decoded = if FAST {
+            self.uop_decode(paddr, word)
+        } else {
+            decode(word).ok()
+        };
+        let insn = match decoded {
+            Some(i) => i,
+            None => {
                 self.take_exception(Exception::Undefined { word }, pc);
                 return StepOutcome::Executed;
             }
@@ -717,7 +932,7 @@ impl<D: Device> System<D> {
             return StepOutcome::Executed;
         }
 
-        match self.execute(insn, pc) {
+        match self.execute::<FAST>(insn, pc) {
             Ok(Flow::Next) => {
                 self.cpu.pc = pc.wrapping_add(4);
                 StepOutcome::Executed
@@ -737,6 +952,19 @@ impl<D: Device> System<D> {
                 StepOutcome::Executed
             }
         }
+    }
+
+    /// Decode via the µop cache: a `(paddr, word)` hit skips the decoder
+    /// outright; a miss decodes and caches the result. Decode *failures*
+    /// are never cached, so `Undefined` always re-raises from the decoder
+    /// itself, exactly like the reference path.
+    fn uop_decode(&mut self, paddr: u32, word: u32) -> Option<Insn> {
+        if let Some(i) = self.fast_state().uop_lookup(paddr, word) {
+            return Some(i);
+        }
+        let i = decode(word).ok()?;
+        self.fast_state().uop_insert(paddr, word, i);
+        Some(i)
     }
 
     fn in_vector_page(pc: u32) -> bool {
@@ -759,7 +987,7 @@ impl<D: Device> System<D> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn execute(&mut self, insn: Insn, pc: u32) -> Result<Flow, Exception> {
+    fn execute<const FAST: bool>(&mut self, insn: Insn, pc: u32) -> Result<Flow, Exception> {
         let lat = &self.cfg.lat;
         let (mul_lat, div_lat, fp_lat, fdiv_lat, fsqrt_lat) =
             (lat.mul, lat.div, lat.fp, lat.fdiv, lat.fsqrt);
@@ -768,11 +996,11 @@ impl<D: Device> System<D> {
                 op, s, rd, rn, op2, ..
             } => {
                 self.cpu.counters.cycles += 1;
-                let (b, shifter_c) = self.eval_op2(op2)?;
+                let (b, shifter_c) = self.eval_op2::<FAST>(op2)?;
                 let a = if op.ignores_rn() {
                     0
                 } else {
-                    self.reg_read(rn)?
+                    self.reg_read::<FAST>(rn)?
                 };
                 let c_in = self.cpu.cpsr.c;
                 let (result, carry, overflow) = alu(op, a, b, c_in, shifter_c);
@@ -783,19 +1011,19 @@ impl<D: Device> System<D> {
                     self.cpu.cpsr.v = overflow;
                 }
                 if !op.is_compare() {
-                    self.reg_write(rd, result)?;
+                    self.reg_write::<FAST>(rd, result)?;
                 }
                 Ok(Flow::Next)
             }
             Insn::MovW { top, rd, imm, .. } => {
                 self.cpu.counters.cycles += 1;
-                let old = if top { self.reg_read(rd)? } else { 0 };
+                let old = if top { self.reg_read::<FAST>(rd)? } else { 0 };
                 let v = if top {
                     (old & 0xFFFF) | ((imm as u32) << 16)
                 } else {
                     imm as u32
                 };
-                self.reg_write(rd, v)?;
+                self.reg_write::<FAST>(rd, v)?;
                 Ok(Flow::Next)
             }
             Insn::Mul {
@@ -807,8 +1035,8 @@ impl<D: Device> System<D> {
                 ra,
                 ..
             } => {
-                let a = self.reg_read(rn)?;
-                let b = self.reg_read(rm)?;
+                let a = self.reg_read::<FAST>(rn)?;
+                let b = self.reg_read::<FAST>(rm)?;
                 let result = match op {
                     MulOp::Mul => {
                         self.cpu.counters.cycles += mul_lat as u64;
@@ -816,18 +1044,18 @@ impl<D: Device> System<D> {
                     }
                     MulOp::Mla => {
                         self.cpu.counters.cycles += mul_lat as u64;
-                        a.wrapping_mul(b).wrapping_add(self.reg_read(ra)?)
+                        a.wrapping_mul(b).wrapping_add(self.reg_read::<FAST>(ra)?)
                     }
                     MulOp::Umull => {
                         self.cpu.counters.cycles += mul_lat as u64 + 1;
                         let wide = a as u64 * b as u64;
-                        self.reg_write(ra, (wide >> 32) as u32)?;
+                        self.reg_write::<FAST>(ra, (wide >> 32) as u32)?;
                         wide as u32
                     }
                     MulOp::Smull => {
                         self.cpu.counters.cycles += mul_lat as u64 + 1;
                         let wide = (a as i32 as i64 * b as i32 as i64) as u64;
-                        self.reg_write(ra, (wide >> 32) as u32)?;
+                        self.reg_write::<FAST>(ra, (wide >> 32) as u32)?;
                         wide as u32
                     }
                     MulOp::Udiv => {
@@ -875,7 +1103,7 @@ impl<D: Device> System<D> {
                     self.cpu.cpsr.n = result & 0x8000_0000 != 0;
                     self.cpu.cpsr.z = result == 0;
                 }
-                self.reg_write(rd, result)?;
+                self.reg_write::<FAST>(rd, result)?;
                 Ok(Flow::Next)
             }
             Insn::Mem {
@@ -888,10 +1116,10 @@ impl<D: Device> System<D> {
                 ..
             } => {
                 self.cpu.counters.cycles += 1;
-                let base = self.reg_read(rn)?;
+                let base = self.reg_read::<FAST>(rn)?;
                 let off = match offset {
                     MemOffset::Imm(i) => i as u32,
-                    MemOffset::Reg { rm, shl } => self.reg_read(rm)? << shl,
+                    MemOffset::Reg { rm, shl } => self.reg_read::<FAST>(rm)? << shl,
                 };
                 let indexed = if mode.up {
                     base.wrapping_add(off)
@@ -901,20 +1129,20 @@ impl<D: Device> System<D> {
                 let vaddr = if mode.pre { indexed } else { base };
                 if load {
                     let pre = self.probe_data_touched();
-                    let v = self.read_mem(vaddr, size)?;
+                    let v = self.read_mem::<FAST>(vaddr, size)?;
                     if !pre && self.probe_data_touched() {
                         // This load consumed the corrupted cache line.
                         self.note_register_fill();
                     }
                     if mode.writeback {
-                        self.reg_write(rn, indexed)?;
+                        self.reg_write::<FAST>(rn, indexed)?;
                     }
-                    self.reg_write(rd, v)?; // load result wins over writeback
+                    self.reg_write::<FAST>(rd, v)?; // load result wins over writeback
                 } else {
-                    let v = self.reg_read(rd)?;
-                    self.write_mem(vaddr, size, v)?;
+                    let v = self.reg_read::<FAST>(rd)?;
+                    self.write_mem::<FAST>(vaddr, size, v)?;
                     if mode.writeback {
-                        self.reg_write(rn, indexed)?;
+                        self.reg_write::<FAST>(rn, indexed)?;
                     }
                 }
                 Ok(Flow::Next)
@@ -933,7 +1161,7 @@ impl<D: Device> System<D> {
                     return Err(Exception::Undefined { word: 0x8000 });
                 }
                 let n = regs.count_ones();
-                let base = self.reg_read(rn)?;
+                let base = self.reg_read::<FAST>(rn)?;
                 let lowest = match (up, before) {
                     (true, false) => base,                                      // ia
                     (true, true) => base.wrapping_add(4),                       // ib
@@ -953,16 +1181,16 @@ impl<D: Device> System<D> {
                     self.cpu.counters.cycles += 1;
                     let r = sea_isa::Reg::from_index(i);
                     if load {
-                        let v = self.read_mem(addr, MemSize::Word)?;
-                        self.reg_write(r, v)?;
+                        let v = self.read_mem::<FAST>(addr, MemSize::Word)?;
+                        self.reg_write::<FAST>(r, v)?;
                     } else {
-                        let v = self.reg_read(r)?;
-                        self.write_mem(addr, MemSize::Word, v)?;
+                        let v = self.reg_read::<FAST>(r)?;
+                        self.write_mem::<FAST>(addr, MemSize::Word, v)?;
                     }
                     addr = addr.wrapping_add(4);
                 }
                 if writeback {
-                    self.reg_write(rn, final_base)?;
+                    self.reg_write::<FAST>(rn, final_base)?;
                 }
                 Ok(Flow::Next)
             }
@@ -984,7 +1212,7 @@ impl<D: Device> System<D> {
             Insn::Bx { rm, .. } => {
                 self.cpu.counters.cycles += 1 + self.cfg.lat.branch_miss as u64 / 2;
                 self.cpu.counters.branches += 1;
-                let target = self.reg_read(rm)? & !1;
+                let target = self.reg_read::<FAST>(rm)? & !1;
                 Ok(Flow::Jump(target))
             }
             Insn::FpArith { op, sd, sn, sm, .. } => {
@@ -1040,24 +1268,24 @@ impl<D: Device> System<D> {
                 } else {
                     a.max(i32::MIN as f32).min(i32::MAX as f32) as i32
                 };
-                self.reg_write(rd, v as u32)?;
+                self.reg_write::<FAST>(rd, v as u32)?;
                 Ok(Flow::Next)
             }
             Insn::IntToFp { sd, rm, .. } => {
                 self.cpu.counters.cycles += fp_lat as u64;
-                let v = self.reg_read(rm)? as i32;
+                let v = self.reg_read::<FAST>(rm)? as i32;
                 self.cpu.regs.fset(sd, v as f32);
                 Ok(Flow::Next)
             }
             Insn::FpToCore { rd, sn, .. } => {
                 self.cpu.counters.cycles += 1;
                 let bits = self.cpu.regs.fget_bits(sn);
-                self.reg_write(rd, bits)?;
+                self.reg_write::<FAST>(rd, bits)?;
                 Ok(Flow::Next)
             }
             Insn::CoreToFp { sd, rn, .. } => {
                 self.cpu.counters.cycles += 1;
-                let bits = self.reg_read(rn)?;
+                let bits = self.reg_read::<FAST>(rn)?;
                 self.cpu.regs.fset_bits(sd, bits);
                 Ok(Flow::Next)
             }
@@ -1065,14 +1293,14 @@ impl<D: Device> System<D> {
                 load, sd, rn, imm6, ..
             } => {
                 self.cpu.counters.cycles += 1;
-                let base = self.reg_read(rn)?;
+                let base = self.reg_read::<FAST>(rn)?;
                 let vaddr = base.wrapping_add(4 * imm6 as u32);
                 if load {
-                    let v = self.read_mem(vaddr, MemSize::Word)?;
+                    let v = self.read_mem::<FAST>(vaddr, MemSize::Word)?;
                     self.cpu.regs.fset_bits(sd, v);
                 } else {
                     let v = self.cpu.regs.fget_bits(sd);
-                    self.write_mem(vaddr, MemSize::Word, v)?;
+                    self.write_mem::<FAST>(vaddr, MemSize::Word, v)?;
                 }
                 Ok(Flow::Next)
             }
@@ -1097,15 +1325,18 @@ impl<D: Device> System<D> {
                     SysReg::SpUsr => self.cpu.regs.sp_usr(),
                     SysReg::CacheOp => 0,
                 };
-                self.reg_write(rd, v)?;
+                self.reg_write::<FAST>(rd, v)?;
                 Ok(Flow::Next)
             }
             Insn::Msr { sys, rn, .. } => {
                 self.cpu.counters.cycles += 1;
                 self.require_svc(0x4000)?;
-                let v = self.reg_read(rn)?;
+                let v = self.reg_read::<FAST>(rn)?;
                 match sys {
-                    SysReg::Cpsr => self.cpu.cpsr = Cpsr::from_bits(v),
+                    SysReg::Cpsr => {
+                        self.cpu.cpsr = Cpsr::from_bits(v);
+                        self.fastpath_clear_latches(); // possible mode change
+                    }
                     SysReg::Spsr => self.cpu.spsr = v,
                     SysReg::Cycles => {} // read-only
                     SysReg::Elr => self.cpu.elr = v,
@@ -1115,9 +1346,12 @@ impl<D: Device> System<D> {
                         self.cpu.ttbr = v;
                         self.itlb.flush();
                         self.dtlb.flush();
-                        if let Some(p) = self.prof.as_deref_mut() {
-                            p.itlb.flush_all();
-                            p.dtlb.flush_all();
+                        self.fastpath_clear_latches();
+                        if !FAST {
+                            if let Some(p) = self.prof.as_deref_mut() {
+                                p.itlb.flush_all();
+                                p.dtlb.flush_all();
+                            }
                         }
                     }
                     SysReg::SpUsr => self.cpu.regs.set_sp_usr(v),
@@ -1129,9 +1363,12 @@ impl<D: Device> System<D> {
                         if v & 2 != 0 {
                             self.itlb.flush();
                             self.dtlb.flush();
-                            if let Some(p) = self.prof.as_deref_mut() {
-                                p.itlb.flush_all();
-                                p.dtlb.flush_all();
+                            self.fastpath_clear_latches();
+                            if !FAST {
+                                if let Some(p) = self.prof.as_deref_mut() {
+                                    p.itlb.flush_all();
+                                    p.dtlb.flush_all();
+                                }
                             }
                         }
                     }
@@ -1148,6 +1385,7 @@ impl<D: Device> System<D> {
                 self.cpu.counters.cycles += 3;
                 self.require_svc(0x5000)?;
                 self.cpu.cpsr = Cpsr::from_bits(self.cpu.spsr);
+                self.fastpath_clear_latches(); // mode change on return
                 Ok(Flow::Jump(self.cpu.elr))
             }
             Insn::Nop { .. } => {
@@ -1177,6 +1415,13 @@ impl<D: Device + Snapshot> Snapshot for System<D> {
     /// during fault-free golden runs, before any probe is armed. Saving a
     /// machine with an armed probe is a caller bug (debug-asserted); the
     /// restored machine always comes back probe-free.
+    ///
+    /// The execution fast path is not captured either — it is pure
+    /// memoization, excluded from `.seackpt` state just as it is from
+    /// [`System::state_fingerprint_deep`]. Restored machines come back
+    /// with the fast path disarmed (cold), which is always
+    /// equivalence-preserving; callers re-arm with
+    /// [`System::fastpath_enable`] as needed.
     fn save(&self, w: &mut SnapWriter) {
         debug_assert!(
             self.probe.is_none(),
@@ -1207,6 +1452,7 @@ impl<D: Device + Snapshot> Snapshot for System<D> {
             dev: D::load(r)?,
             probe: None,
             prof: None,
+            fast: None,
         })
     }
 }
@@ -1263,5 +1509,116 @@ mod tests {
         let (_, c, v) = alu(DpOp::And, 3, 1, false, true);
         assert!(c);
         assert!(!v);
+    }
+
+    /// Independent reference for the shifter's (value, carry-out), written
+    /// from the ARM `Shift_C` pseudocode case by case — deliberately not
+    /// sharing any arithmetic with `eval_op2` or `Shift::apply`.
+    fn shift_c_reference(kind: Shift, v: u32, n: u32, c_in: bool) -> (u32, bool) {
+        if n == 0 {
+            return (v, c_in);
+        }
+        match kind {
+            Shift::Lsl => match n {
+                1..=31 => (v << n, (v >> (32 - n)) & 1 == 1),
+                32 => (0, v & 1 == 1),
+                _ => (0, false),
+            },
+            Shift::Lsr => match n {
+                1..=31 => (v >> n, (v >> (n - 1)) & 1 == 1),
+                32 => (0, v >> 31 == 1),
+                _ => (0, false),
+            },
+            Shift::Asr => {
+                let sign = v >> 31 == 1;
+                match n {
+                    1..=31 => (((v as i32) >> n) as u32, (v >> (n - 1)) & 1 == 1),
+                    _ => (if sign { u32::MAX } else { 0 }, sign),
+                }
+            }
+            Shift::Ror => {
+                let m = n % 32;
+                if m == 0 {
+                    (v, v >> 31 == 1)
+                } else {
+                    let out = v.rotate_right(m);
+                    (out, out >> 31 == 1)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_op2_carry_matches_reference_exhaustively() {
+        use crate::config::MachineConfig;
+        use crate::mem::NullDevice;
+        let mut sys = System::new(MachineConfig::cortex_a9(), NullDevice);
+        let rm = sea_isa::Reg::from_index(1);
+        let samples = [
+            0u32,
+            1,
+            2,
+            0x8000_0000,
+            0x8000_0001,
+            0x7FFF_FFFF,
+            0xFFFF_FFFF,
+            0xDEAD_BEEF,
+            0x0001_0000,
+        ];
+        for kind in [Shift::Lsl, Shift::Lsr, Shift::Asr, Shift::Ror] {
+            for v in samples {
+                for amount in 0..=255u32 {
+                    for c_in in [false, true] {
+                        sys.cpu.cpsr.c = c_in;
+                        let mode = sys.cpu.cpsr.mode;
+                        sys.cpu.regs.set(rm, mode, v);
+                        let op2 = Operand2::Reg(sea_isa::ShiftedReg {
+                            rm,
+                            shift: kind,
+                            amount: amount as u8,
+                        });
+                        let got = sys.eval_op2::<false>(op2).unwrap();
+                        let want = shift_c_reference(kind, v, amount, c_in);
+                        assert_eq!(got, want, "{kind:?} of {v:#010x} by {amount} (C={c_in})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_op2_boundary_carries() {
+        use crate::config::MachineConfig;
+        use crate::mem::NullDevice;
+        let mut sys = System::new(MachineConfig::cortex_a9(), NullDevice);
+        let rm = sea_isa::Reg::from_index(2);
+        let mode = sys.cpu.cpsr.mode;
+        sys.cpu.cpsr.c = false;
+        let case = |sys: &mut System<NullDevice>, v: u32, shift, amount| {
+            sys.cpu.regs.set(rm, mode, v);
+            sys.eval_op2::<false>(Operand2::Reg(sea_isa::ShiftedReg { rm, shift, amount }))
+                .unwrap()
+        };
+        // LSL #32: result 0, carry = old bit 0.
+        assert_eq!(case(&mut sys, 1, Shift::Lsl, 32), (0, true));
+        assert_eq!(case(&mut sys, 2, Shift::Lsl, 32), (0, false));
+        // LSL #33+: result 0, carry clear.
+        assert_eq!(case(&mut sys, u32::MAX, Shift::Lsl, 33), (0, false));
+        // LSR #32: result 0, carry = old bit 31.
+        assert_eq!(case(&mut sys, 0x8000_0000, Shift::Lsr, 32), (0, true));
+        assert_eq!(case(&mut sys, 0x7FFF_FFFF, Shift::Lsr, 32), (0, false));
+        // LSR #33+: result 0, carry clear.
+        assert_eq!(case(&mut sys, u32::MAX, Shift::Lsr, 40), (0, false));
+        // ASR #32+: result and carry both follow the sign bit.
+        assert_eq!(
+            case(&mut sys, 0x8000_0000, Shift::Asr, 32),
+            (u32::MAX, true)
+        );
+        assert_eq!(case(&mut sys, 0x7FFF_FFFF, Shift::Asr, 255), (0, false));
+        // ROR by a non-zero multiple of 32: value unchanged, carry = bit 31.
+        assert_eq!(
+            case(&mut sys, 0x8000_0001, Shift::Ror, 32),
+            (0x8000_0001, true)
+        );
     }
 }

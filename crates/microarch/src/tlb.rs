@@ -141,6 +141,30 @@ impl Tlb {
         None
     }
 
+    /// Revalidates a translation-latch hint: if `slot` still holds a valid
+    /// entry for `vpn`, performs *exactly* the bookkeeping a successful
+    /// [`Tlb::lookup_slot`] scan would have performed (lookup count, LRU
+    /// clock + stamp, provenance-watch touch) and returns the entry. If the
+    /// hint is stale — flushed, evicted, or corrupted by an injected flip —
+    /// nothing is mutated and the caller must fall back to the full scan,
+    /// which then counts the lookup the reference way. This is the fast
+    /// path's only TLB entry point, and it is equivalence-preserving by
+    /// construction: a hit is indistinguishable from a scan hit on the
+    /// same slot, and a miss leaves no trace.
+    pub fn hit_latched(&mut self, slot: usize, vpn: u32) -> Option<TlbEntry> {
+        let e = *self.entries.get(slot)?;
+        if !e.valid() || e.vpn() != vpn {
+            return None;
+        }
+        self.lookups += 1;
+        self.clock += 1;
+        self.stamp[slot] = self.clock;
+        if self.watch == Some(slot) {
+            self.report.touched = true;
+        }
+        Some(e)
+    }
+
     /// Inserts an entry, evicting the LRU slot.
     pub fn insert(&mut self, entry: TlbEntry) {
         self.insert_slot(entry);
