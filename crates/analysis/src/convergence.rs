@@ -1,0 +1,183 @@
+//! Post-hoc convergence curves: error margin vs. sample count.
+//!
+//! The live counterpart of this view is `sea-injection`'s
+//! `ConvergenceTracker` (served at `/status` while a campaign runs); this
+//! module replays a *finished* campaign's outcome sequence and reports the
+//! adjusted 99%-confidence error margin (§IV-C, Table IV) the campaign
+//! had reached at doubling sample-count checkpoints — 1, 2, 4, … — per
+//! component. The curve answers the planning question behind
+//! `--stop-at-margin`: how many of the samples actually moved the margin,
+//! and where the knee is.
+
+use sea_injection::stats::{adjusted_error_margin, Z_99};
+use sea_injection::{CampaignResult, ComponentResult};
+use std::fmt::Write as _;
+
+use crate::report::bar;
+
+/// One checkpoint on a component's convergence curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConvergencePoint {
+    /// Samples drawn so far (prefix length of the outcome sequence).
+    pub samples: u64,
+    /// Non-masked fraction over those samples.
+    pub avf: f64,
+    /// Adjusted 99%-confidence error margin at this point, capped at 1.0
+    /// (a margin is a bound on a proportion).
+    pub margin: f64,
+}
+
+/// The margin checkpoints for one component: every doubling of the sample
+/// count (1, 2, 4, …) plus the final count. Outcomes are replayed in
+/// spec-index order, the same order the live tracker saw them.
+pub fn convergence_curve(r: &ComponentResult) -> Vec<ConvergencePoint> {
+    let total = r.outcomes.len() as u64;
+    let mut points = Vec::new();
+    let mut faulty = 0u64;
+    let mut next = 1u64;
+    for (k, o) in r.outcomes.iter().enumerate() {
+        let n = k as u64 + 1;
+        if o.class != sea_platform::FaultClass::Masked {
+            faulty += 1;
+        }
+        if n == next || n == total {
+            let avf = faulty as f64 / n as f64;
+            points.push(ConvergencePoint {
+                samples: n,
+                avf,
+                margin: adjusted_error_margin(r.bits, n, Z_99, avf).min(1.0),
+            });
+            while next <= n {
+                next *= 2;
+            }
+        }
+    }
+    points
+}
+
+/// Renders the convergence curves of a finished campaign, one block per
+/// component, with a bar per checkpoint (bar length ∝ margin).
+pub fn render_convergence(campaign: &CampaignResult) -> String {
+    let mut out = format!(
+        "convergence — {} (adjusted 99%-confidence margins at doubling checkpoints)\n",
+        campaign.workload
+    );
+    for r in &campaign.per_component {
+        let _ = writeln!(
+            out,
+            "\n  {} ({} samples over {} bits)",
+            r.component.short_name(),
+            r.outcomes.len(),
+            r.bits
+        );
+        let points = convergence_curve(r);
+        if points.is_empty() {
+            out.push_str("    (no samples)\n");
+            continue;
+        }
+        for p in &points {
+            let _ = writeln!(
+                out,
+                "    n={:<6} AVF {:5.3}  ±{:6.4} |{:<30}|",
+                p.samples,
+                p.avf,
+                p.margin,
+                bar(p.margin, 1.0, 30),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_injection::{InjectionOutcome, InjectionSpec};
+    use sea_microarch::{ArrayKind, Component};
+    use sea_platform::{ClassCounts, FaultClass};
+
+    fn component_result(classes: &[FaultClass]) -> ComponentResult {
+        let mut counts = ClassCounts::default();
+        let outcomes = classes
+            .iter()
+            .enumerate()
+            .map(|(i, &class)| {
+                counts.add(class);
+                InjectionOutcome {
+                    spec: InjectionSpec {
+                        component: Component::RegFile,
+                        bit: i as u64,
+                        cycle: i as u64,
+                    },
+                    array: ArrayKind::Data,
+                    was_valid: true,
+                    class,
+                }
+            })
+            .collect();
+        ComponentResult {
+            component: Component::RegFile,
+            bits: 1 << 20,
+            counts,
+            tag_counts: ClassCounts::default(),
+            outcomes,
+        }
+    }
+
+    #[test]
+    fn curve_hits_doubling_checkpoints_and_the_final_count() {
+        let classes: Vec<FaultClass> = (0..100)
+            .map(|i| {
+                if i % 5 == 0 {
+                    FaultClass::Sdc
+                } else {
+                    FaultClass::Masked
+                }
+            })
+            .collect();
+        let points = convergence_curve(&component_result(&classes));
+        let ns: Vec<u64> = points.iter().map(|p| p.samples).collect();
+        assert_eq!(ns, vec![1, 2, 4, 8, 16, 32, 64, 100]);
+        // The margin narrows as samples accumulate (a much weaker claim
+        // than strict monotonicity, which the adjusted margin does not
+        // promise point-to-point).
+        let first = points.first().expect("points").margin;
+        let last = points.last().expect("points").margin;
+        assert!(last < first, "margin did not narrow: {first} -> {last}");
+        assert!((points.last().expect("points").avf - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_names_components_and_draws_bars() {
+        let campaign = CampaignResult {
+            workload: "Synthetic".to_string(),
+            golden_cycles: 1000,
+            per_component: vec![component_result(&[
+                FaultClass::Masked,
+                FaultClass::Sdc,
+                FaultClass::Masked,
+            ])],
+            anomalies: Vec::new(),
+            supervision: Default::default(),
+            checkpoints: None,
+        };
+        let out = render_convergence(&campaign);
+        assert!(out.contains("Synthetic"), "{out}");
+        assert!(out.contains("RF"), "{out}");
+        assert!(out.contains("n=1"), "{out}");
+        assert!(out.contains("n=3"), "{out}");
+    }
+
+    #[test]
+    fn empty_component_renders_a_placeholder() {
+        let campaign = CampaignResult {
+            workload: "Empty".to_string(),
+            golden_cycles: 0,
+            per_component: vec![component_result(&[])],
+            anomalies: Vec::new(),
+            supervision: Default::default(),
+            checkpoints: None,
+        };
+        assert!(render_convergence(&campaign).contains("(no samples)"));
+    }
+}

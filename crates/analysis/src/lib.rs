@@ -10,8 +10,11 @@
 //! * [`Overview`] — the Fig 10 across-benchmark aggregate;
 //! * [`report`] — ASCII table/figure rendering for the regeneration
 //!   binaries;
-//! * [`trace_summary`] — activation-rate, propagation-latency and
-//!   span-duration views over a `sea-trace` JSON-Lines capture;
+//! * [`convergence`] — post-hoc error-margin-vs-sample-count curves for a
+//!   finished campaign (the offline view of `--stop-at-margin`);
+//! * [`trace_summary`] — activation-rate, propagation-latency,
+//!   span-duration and supervisor-health views over a `sea-trace`
+//!   JSON-Lines capture;
 //! * [`profile`] — cycle-hotspot and predicted-vs-measured-AVF rendering
 //!   for `sea-profile` attribution data;
 //! * [`poisson_ci`] — confidence intervals on beam event counts;
@@ -21,6 +24,7 @@
 #![warn(missing_docs)]
 
 mod compare;
+pub mod convergence;
 pub mod field;
 mod fit;
 pub mod profile;
@@ -28,5 +32,6 @@ pub mod report;
 pub mod trace_summary;
 
 pub use compare::{fit_ratio, poisson_ci, Comparison, Overview};
+pub use convergence::{convergence_curve, render_convergence, ConvergencePoint};
 pub use fit::{beam_fit, fi_fit, FitRates};
 pub use trace_summary::TraceSummary;

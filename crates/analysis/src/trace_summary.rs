@@ -80,6 +80,23 @@ impl TraceSummary {
         s
     }
 
+    /// Supervisor-health counters derived from event counts: the trace's
+    /// view of the series `/metrics` serves live (worker deaths, run
+    /// panics, watchdog kills, journal resumes, early stops).
+    pub fn health(&self) -> Vec<(&'static str, u64)> {
+        let n = |name: &str| self.by_name.get(name).copied().unwrap_or(0);
+        vec![
+            ("worker deaths", n("supervisor.worker_died")),
+            ("run panics", n("supervisor.panic")),
+            ("watchdog kills", n("platform.wall_timeout")),
+            ("journal resumes", n("supervisor.resume")),
+            (
+                "early stops",
+                n("injection.early_stop") + n("beam.early_stop"),
+            ),
+        ]
+    }
+
     /// Fold one parsed event into the aggregates.
     pub fn record(&mut self, ev: &Json) {
         self.events += 1;
@@ -144,6 +161,14 @@ impl TraceSummary {
         }
         if self.by_name.is_empty() {
             out.push_str("  (none)\n");
+        }
+        let health = self.health();
+        if health.iter().any(|&(_, n)| n > 0) {
+            out.push_str("\nsupervisor health\n");
+            let label_w = health.iter().map(|(l, _)| l.len()).max().unwrap_or(5);
+            for (label, n) in &health {
+                let _ = writeln!(out, "  {label:<label_w$}  {n:>10}");
+            }
         }
         if !self.spans.is_empty() {
             out.push_str("\nspan durations (µs, log2-bucket approximations)\n");
@@ -273,6 +298,29 @@ mod tests {
         let out = s.render();
         assert!(out.contains("span durations"), "{out}");
         assert!(out.contains("p95"), "{out}");
+    }
+
+    #[test]
+    fn health_section_appears_only_when_supervision_fired() {
+        let quiet = TraceSummary::from_jsonl(
+            "{\"ev\":\"beam.strike\",\"sub\":\"beam\",\"level\":\"info\"}\n",
+        );
+        assert!(!quiet.render().contains("supervisor health"));
+        let text = [
+            "{\"ev\":\"supervisor.worker_died\",\"sub\":\"injection\",\"level\":\"warn\"}",
+            "{\"ev\":\"platform.wall_timeout\",\"sub\":\"platform\",\"level\":\"warn\"}",
+            "{\"ev\":\"platform.wall_timeout\",\"sub\":\"platform\",\"level\":\"warn\"}",
+            "{\"ev\":\"injection.early_stop\",\"sub\":\"injection\",\"level\":\"info\"}",
+        ]
+        .join("\n");
+        let s = TraceSummary::from_jsonl(&text);
+        let health = s.health();
+        assert_eq!(health[0], ("worker deaths", 1));
+        assert_eq!(health[2], ("watchdog kills", 2));
+        assert_eq!(health[4], ("early stops", 1));
+        let out = s.render();
+        assert!(out.contains("supervisor health"), "{out}");
+        assert!(out.contains("watchdog kills"), "{out}");
     }
 
     #[test]

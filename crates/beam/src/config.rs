@@ -102,6 +102,18 @@ pub struct BeamConfig {
     /// strike's machine. A runtime-only knob like `checkpoints`: bit-exact
     /// by construction, excluded from the session hash.
     pub fast_path: bool,
+    /// Bind address for the live observability server (`None` = no
+    /// server). A runtime-only knob like `threads`: it is excluded from
+    /// the session hash and a served session writes a byte-identical
+    /// strike log.
+    pub serve: Option<String>,
+    /// Stop the session early once the session-wide adjusted error margin
+    /// (99% confidence over the effect-class proportions) falls to or
+    /// below this value (`None` = sample every planned strike). An
+    /// early-stopped strike log is a byte-prefix of the full session's,
+    /// and the represented fluence is scaled to the strikes actually
+    /// sampled so FIT rates stay unbiased.
+    pub stop_at_margin: Option<f64>,
 }
 
 impl Default for BeamConfig {
@@ -123,6 +135,8 @@ impl Default for BeamConfig {
             journal: None,
             checkpoints: None,
             fast_path: false,
+            serve: None,
+            stop_at_margin: None,
         }
     }
 }

@@ -21,12 +21,12 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use sea_injection::supervisor::{
-    attempt_run, fnv1a, golden_hash, open_journal, run_supervised, JournalError, JournalHeader,
-    PoolStats, Quarantine, RunIdentity,
+    attempt_run, fnv1a, golden_hash, journal_file, open_journal, run_supervised_until,
+    JournalError, JournalHeader, PoolStats, Quarantine, RunIdentity,
 };
 use sea_injection::{
-    acquire_golden_and_checkpoints, class_index, CampaignConfig, InjectionSpec, RunAnomaly,
-    SupervisionStats, CLASS_LABELS,
+    acquire_golden_and_checkpoints, class_index, CampaignConfig, ConvergenceTracker, InjectionSpec,
+    RunAnomaly, SupervisionStats, CLASS_LABELS,
 };
 use sea_microarch::{Component, System};
 use sea_platform::{boot, run, CheckpointStats, ClassCounts, FaultClass, GoldenRun, RunLimits};
@@ -34,6 +34,8 @@ use sea_snapshot::CheckpointMeta;
 use sea_trace::json::{Json, ObjWriter};
 use sea_trace::{event, Level, Progress, Subsystem};
 use sea_workloads::BuiltWorkload;
+
+use std::sync::Arc;
 
 use crate::config::{sigma_to_fit, BeamConfig, NYC_FLUX_PER_HOUR};
 
@@ -269,6 +271,42 @@ fn decode_strike(
     Some((i, Some(StrikeOutcome { origin, class }), None))
 }
 
+/// Prometheus snapshot of a live beam session: strike progress, per-class
+/// tallies, the represented fluence so far, and the shared supervisor-
+/// health and convergence series.
+fn beam_prom_snapshot(
+    progress: &Progress,
+    tracker: &ConvergenceTracker,
+    fluence_per_strike: f64,
+    resumed: u64,
+) -> String {
+    let mut w = sea_profile::PromWriter::new();
+    w.gauge(
+        "sea_beam_strikes_done",
+        "Strikes sampled this session.",
+        progress.done() as f64,
+    );
+    w.gauge(
+        "sea_beam_strikes_per_sec",
+        "Current session throughput.",
+        progress.runs_per_sec(),
+    );
+    w.gauge(
+        "sea_beam_fluence_n_cm2",
+        "Represented fluence of the strikes sampled so far (n/cm2).",
+        (resumed + progress.done()) as f64 * fluence_per_strike,
+    );
+    for (label, count) in CLASS_LABELS.iter().zip(progress.class_counts()) {
+        w.counter(
+            &format!("sea_beam_class_{label}_total"),
+            "Strikes classified into this fault-effect class.",
+            count,
+        );
+    }
+    sea_injection::convergence::prom_append(&mut w, tracker);
+    w.finish()
+}
+
 /// Runs a beam session sampling `strikes` struck executions.
 ///
 /// ```no_run
@@ -313,6 +351,10 @@ pub fn run_session(
         journal: None,
         checkpoints: cfg.checkpoints.clone(),
         fast_path: cfg.fast_path,
+        // The beam session drives its own server and stop predicate; the
+        // inner injection config must never start a second one.
+        serve: None,
+        stop_at_margin: None,
     };
     let id = RunIdentity {
         workload: name.to_string(),
@@ -466,13 +508,86 @@ pub fn run_session(
         cfg.threads
     };
     let session_span = sea_trace::span(Subsystem::Beam, Level::Info, "beam.session");
-    let progress = Progress::new(format!("beam {name}"), pending.len() as u64, &CLASS_LABELS);
-    let (fresh, pool): (Vec<(u64, StrikeVerdict)>, PoolStats) = run_supervised(
+    let progress = Arc::new(Progress::new(
+        format!("beam {name}"),
+        pending.len() as u64,
+        &CLASS_LABELS,
+    ));
+
+    // The beam has no per-component populations: the live margin tracks
+    // the session-wide effect-class proportions over sampled strikes, with
+    // an unbounded population (each strike is one draw from the Poisson
+    // arrival process, not from a finite bit pool).
+    let tracker = Arc::new(ConvergenceTracker::with_strata(
+        sea_injection::stats::Z_99,
+        [(String::from("beam"), u64::MAX)],
+    ));
+    for o in outcome_by_idx.iter().flatten() {
+        tracker.record(0, o.class);
+    }
+    // Represented fluence grows linearly with sampled strikes:
+    // n / (flux · Σσt) executions, each t_run of beam time, at `flux`.
+    let fluence_per_strike = t_run / w.total();
+    {
+        let progress = progress.clone();
+        let tracker = tracker.clone();
+        let workload_name = name.to_string();
+        let planned = pending.len() as u64;
+        let stop_at = cfg.stop_at_margin;
+        sea_observe::publish_status(Some(Arc::new(move || {
+            let sampled = resumed + progress.done();
+            sea_injection::convergence::status_document(
+                "beam",
+                &workload_name,
+                planned,
+                resumed,
+                &progress,
+                &tracker,
+                stop_at,
+                &[(
+                    "fluence_n_cm2",
+                    format!("{:e}", sampled as f64 * fluence_per_strike),
+                )],
+            )
+        })));
+    }
+    {
+        let progress = progress.clone();
+        let tracker = tracker.clone();
+        sea_observe::publish_metrics(Some(Arc::new(move || {
+            beam_prom_snapshot(&progress, &tracker, fluence_per_strike, resumed)
+        })));
+    }
+    match &cfg.journal {
+        Some(spec) => sea_observe::publish_journal(Some(&journal_file(&spec.dir, "beam", name))),
+        None => sea_observe::publish_journal(None),
+    }
+    if let Some(addr) = &cfg.serve {
+        match sea_observe::serve(addr) {
+            Ok(bound) => event!(Subsystem::Beam, Level::Info, "observe.serving";
+                   "addr" => bound.to_string(),
+                   "workload" => name.to_string()),
+            Err(e) => event!(Subsystem::Beam, Level::Warn, "observe.serve_failed";
+                   "addr" => addr.clone(),
+                   "error" => e.to_string()),
+        }
+    }
+
+    let stop_pred = cfg.stop_at_margin.map(|m| {
+        let tracker = tracker.clone();
+        move || tracker.converged(m)
+    });
+    let stop_ref: Option<&(dyn Fn() -> bool + Sync)> = match &stop_pred {
+        Some(f) => Some(f),
+        None => None,
+    };
+    let (fresh, pool): (Vec<(u64, StrikeVerdict)>, PoolStats) = run_supervised_until(
         &pending,
         threads,
         &cfg.supervisor,
         Subsystem::Beam,
         "beam.worker",
+        stop_ref,
         |i| {
             let (out, anomaly) = match plans[i as usize] {
                 Plan::Analytic(origin, class) => {
@@ -516,10 +631,30 @@ pub fn run_session(
                 j.append(&strike_line(i, out.as_ref(), anomaly.as_ref()));
             }
             progress.record(out.as_ref().map(|o| class_index(o.class)));
+            // Record after the journal append: a strike that trips the
+            // stop predicate already has its log line, keeping an
+            // early-stopped strike log a prefix of the full session's.
+            if let Some(o) = &out {
+                tracker.record(0, o.class);
+            }
+            sea_profile::prom_flush(false, || {
+                beam_prom_snapshot(&progress, &tracker, fluence_per_strike, resumed)
+            });
             (out, anomaly)
         },
     );
     let (done_strikes, secs) = progress.finish();
+    sea_profile::prom_flush(true, || {
+        beam_prom_snapshot(&progress, &tracker, fluence_per_strike, resumed)
+    });
+    if pool.stopped {
+        event!(Subsystem::Beam, Level::Info, "beam.early_stop";
+               "workload" => name.to_string(),
+               "done" => done_strikes,
+               "planned" => pending.len() as u64,
+               "max_adjusted_margin" => tracker.max_adjusted_margin());
+    }
+    sea_trace::flush_thread();
     if let Some(mut s) = session_span {
         s.field("workload", name.to_string());
         s.field("strikes", done_strikes);
@@ -534,6 +669,7 @@ pub fn run_session(
         s.field("resumed", resumed);
     }
 
+    let sampled_strikes = resumed + fresh.len() as u64;
     for (i, (out, anomaly)) in fresh {
         outcome_by_idx[i as usize] = out;
         anomalies.extend(anomaly);
@@ -566,7 +702,15 @@ pub fn run_session(
     }
 
     // Represented exposure: strikes arrive at flux × Σ(σ·t) per execution.
-    let runs_represented = strikes as f64 / (cfg.flux * w.total());
+    // An early-stopped session represents only the strikes it actually
+    // sampled — scaling the fluence down keeps the cross-sections (and so
+    // the FIT rates) unbiased estimators.
+    let represented = if pool.stopped {
+        sampled_strikes as f64
+    } else {
+        strikes as f64
+    };
+    let runs_represented = represented / (cfg.flux * w.total());
     // FIT normalization uses *effective* beam time only — execution windows
     // — matching the paper's "260 effective beam hours (not considering
     // setup, initialization, and recover from crash times)". Strikes landed

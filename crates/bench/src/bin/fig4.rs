@@ -29,6 +29,7 @@ fn main() {
     }
     let measured: Vec<_> = campaigns.iter().map(|(w, c)| (*w, c)).collect();
     sea_bench::write_profile_report(&opts, &measured);
+    sea_bench::write_convergence_report(&opts, &measured);
     println!("Fig 4 — injection effect classification per benchmark & component\n");
     println!(
         "{}",

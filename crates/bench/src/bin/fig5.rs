@@ -23,6 +23,7 @@ fn main() {
     }
     let measured: Vec<_> = campaigns.iter().map(|(w, c)| (*w, c)).collect();
     sea_bench::write_profile_report(&opts, &measured);
+    sea_bench::write_convergence_report(&opts, &measured);
     println!(
         "{}",
         grouped_bars(

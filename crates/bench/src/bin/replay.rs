@@ -15,8 +15,12 @@
 //! re-running the whole fault-free prefix from reset — restore and reset
 //! are bit-equivalent, so the reproduction verdict is unchanged.
 //!
+//! With `--serve ADDR`, the observability server runs for the life of the
+//! replay: `/events` streams the provenance events of each re-executed
+//! anomaly live (useful for long checkpoint-less replays).
+//!
 //! Usage: `replay --quarantine FILE [--index N] [--trace-out FILE]
-//! [--chrome-trace FILE] [--checkpoint-dir DIR]`
+//! [--chrome-trace FILE] [--checkpoint-dir DIR] [--serve ADDR]`
 
 use sea_core::injection::supervisor::{config_hash, golden_hash};
 use sea_core::injection::{
@@ -41,6 +45,7 @@ fn parse_args() -> Args {
     let mut trace_out = None;
     let mut chrome_trace = None;
     let mut checkpoint_dir = None;
+    let mut serve: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         let need = |i: usize| -> String {
@@ -69,13 +74,24 @@ fn parse_args() -> Args {
                 checkpoint_dir = Some(PathBuf::from(need(i)));
                 i += 2;
             }
-            other => panic!("unknown flag `{other}` (usage: replay --quarantine FILE [--index N] [--trace-out FILE] [--chrome-trace FILE] [--checkpoint-dir DIR])"),
+            "--serve" => {
+                serve = Some(need(i));
+                i += 2;
+            }
+            other => panic!("unknown flag `{other}` (usage: replay --quarantine FILE [--index N] [--trace-out FILE] [--chrome-trace FILE] [--checkpoint-dir DIR] [--serve ADDR])"),
+        }
+    }
+    let trace = sea_bench::TraceSession::start(trace_out, chrome_trace, serve.is_some());
+    if let Some(addr) = &serve {
+        match sea_core::observe::serve(addr) {
+            Ok(bound) => eprintln!("observability server on http://{bound}"),
+            Err(e) => eprintln!("cannot serve on {addr}: {e}"),
         }
     }
     Args {
         quarantine: quarantine.expect("replay needs --quarantine FILE"),
         index,
-        trace: sea_bench::TraceSession::start(trace_out, chrome_trace).map(Arc::new),
+        trace: trace.map(Arc::new),
         checkpoint_dir,
     }
 }

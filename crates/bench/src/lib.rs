@@ -48,6 +48,15 @@
 //! captured trace as Chrome trace-event JSON (`chrome://tracing` /
 //! Perfetto), and `--prom-out FILE.prom` rewrites a Prometheus
 //! text-exposition snapshot of live campaign metrics about once a second.
+//!
+//! Observability flags (see README "Live monitoring"): `--serve ADDR`
+//! starts the embedded HTTP server (`/status`, `/metrics`, `/events`,
+//! `/journal/tail`, `/healthz`) for the life of the run without changing a
+//! single journal byte; `--stop-at-margin PCT` ends each campaign/session
+//! early once every stratum's adjusted 99%-confidence error margin
+//! reaches PCT percent; `--convergence-out FILE` writes post-hoc
+//! convergence curves (margin vs. sample count at doubling checkpoints)
+//! for every campaign.
 //! Criterion microbenchmarks (`cargo bench -p sea-bench`) cover the
 //! simulator kernels the tables depend on.
 
@@ -68,8 +77,12 @@ pub struct Options {
     pub study: Study,
     /// Benchmarks to include.
     pub suite: Vec<Workload>,
-    /// Live tracing attached by `--trace-out` / `--chrome-trace`; flushes
-    /// and summarizes when the last clone drops (end of `main`).
+    /// Write post-hoc convergence curves (error margin vs. sample count at
+    /// doubling checkpoints) for every campaign to this file.
+    pub convergence_out: Option<PathBuf>,
+    /// Live tracing attached by `--trace-out` / `--chrome-trace` /
+    /// `--serve`; flushes and summarizes when the last clone drops (end of
+    /// `main`).
     pub trace: Option<Arc<TraceSession>>,
 }
 
@@ -78,6 +91,7 @@ impl Default for Options {
         Options {
             study: Study::default(),
             suite: Workload::ALL.to_vec(),
+            convergence_out: None,
             trace: None,
         }
     }
@@ -92,6 +106,7 @@ impl Default for Options {
 pub struct TraceSession {
     jsonl: Option<PathBuf>,
     chrome: Option<(PathBuf, Arc<trace::MemorySink>)>,
+    serving: bool,
 }
 
 impl std::fmt::Debug for TraceSession {
@@ -99,20 +114,26 @@ impl std::fmt::Debug for TraceSession {
         f.debug_struct("TraceSession")
             .field("jsonl", &self.jsonl)
             .field("chrome", &self.chrome.as_ref().map(|(p, _)| p))
+            .field("serving", &self.serving)
             .finish()
     }
 }
 
 impl TraceSession {
-    /// Start capturing to a JSON-Lines file, a Chrome trace-event file, or
-    /// both (truncates existing files). Returns `None` when neither target
-    /// is requested.
+    /// Start capturing to a JSON-Lines file, a Chrome trace-event file,
+    /// the observability server's `/events` ring (`serve`), or any
+    /// combination (truncates existing files). Returns `None` when no
+    /// target is requested.
     ///
     /// # Panics
     ///
     /// Panics if the JSON-Lines file cannot be created.
-    pub fn start(jsonl: Option<PathBuf>, chrome: Option<PathBuf>) -> Option<TraceSession> {
-        if jsonl.is_none() && chrome.is_none() {
+    pub fn start(
+        jsonl: Option<PathBuf>,
+        chrome: Option<PathBuf>,
+        serve: bool,
+    ) -> Option<TraceSession> {
+        if jsonl.is_none() && chrome.is_none() && !serve {
             return None;
         }
         let mut sinks: Vec<Arc<dyn trace::Sink>> = Vec::new();
@@ -125,6 +146,9 @@ impl TraceSession {
         if let Some((_, mem)) = &chrome {
             sinks.push(mem.clone() as Arc<dyn trace::Sink>);
         }
+        if serve {
+            sinks.push(sea_core::observe::tail_sink() as Arc<dyn trace::Sink>);
+        }
         let sink = if sinks.len() == 1 {
             sinks.pop().expect("one sink")
         } else {
@@ -132,7 +156,11 @@ impl TraceSession {
         };
         trace::install_sink(sink);
         trace::set_level_all(trace::Level::Info);
-        Some(TraceSession { jsonl, chrome })
+        Some(TraceSession {
+            jsonl,
+            chrome,
+            serving: serve,
+        })
     }
 
     /// Where the JSON-Lines stream is being written, if anywhere.
@@ -143,6 +171,15 @@ impl TraceSession {
 
 impl Drop for TraceSession {
     fn drop(&mut self) {
+        if self.serving {
+            // Stop the observability server first: its workers drain
+            // queued connections before exiting, so in-flight /status and
+            // /events responses complete against a still-installed sink.
+            sea_core::observe::shutdown();
+            sea_core::observe::publish_status(None);
+            sea_core::observe::publish_metrics(None);
+            sea_core::observe::publish_journal(None);
+        }
         trace::disable_all();
         trace::shutdown();
         trace::uninstall_sink();
@@ -251,6 +288,23 @@ pub fn parse_options() -> Options {
                 opts.study.fast_path = true;
                 i += 1;
             }
+            "--serve" => {
+                opts.study.serve = Some(need(i));
+                i += 2;
+            }
+            "--stop-at-margin" => {
+                let pct: f64 = need(i).parse().expect("--stop-at-margin PCT");
+                assert!(
+                    pct > 0.0 && pct < 100.0,
+                    "--stop-at-margin wants a percentage in (0, 100)"
+                );
+                opts.study.stop_at_margin = Some(pct / 100.0);
+                i += 2;
+            }
+            "--convergence-out" => {
+                opts.convergence_out = Some(PathBuf::from(need(i)));
+                i += 2;
+            }
             "--suite" => {
                 opts.suite = need(i)
                     .split(',')
@@ -269,7 +323,12 @@ pub fn parse_options() -> Options {
             other => panic!("unknown flag `{other}` (see sea-bench docs for usage)"),
         }
     }
-    opts.trace = TraceSession::start(trace_out, opts.study.chrome_trace.clone()).map(Arc::new);
+    opts.trace = TraceSession::start(
+        trace_out,
+        opts.study.chrome_trace.clone(),
+        opts.study.serve.is_some(),
+    )
+    .map(Arc::new);
     sea_core::profile::set_prom_out(opts.study.prom_out.as_deref());
     opts
 }
@@ -300,6 +359,24 @@ pub fn write_profile_report(opts: &Options, campaigns: &[(Workload, &CampaignRes
     match std::fs::write(path, out) {
         Ok(()) => eprintln!("profile report written to {}", path.display()),
         Err(e) => eprintln!("profile: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Writes the post-hoc convergence curves (adjusted error margin vs.
+/// sample count at doubling checkpoints, per component) for every campaign
+/// to `--convergence-out`. A no-op when the flag was not given.
+pub fn write_convergence_report(opts: &Options, campaigns: &[(Workload, &CampaignResult)]) {
+    let Some(path) = &opts.convergence_out else {
+        return;
+    };
+    let mut out = String::new();
+    for (_, c) in campaigns {
+        out.push_str(&sea_core::analysis::render_convergence(c));
+        out.push('\n');
+    }
+    match std::fs::write(path, out) {
+        Ok(()) => eprintln!("convergence curves written to {}", path.display()),
+        Err(e) => eprintln!("convergence: cannot write {}: {e}", path.display()),
     }
 }
 
@@ -384,6 +461,7 @@ pub fn run_study(opts: &Options) -> StudyResult {
         .map(|w| (w.workload, &w.campaign))
         .collect();
     write_profile_report(opts, &campaigns);
+    write_convergence_report(opts, &campaigns);
     res
 }
 

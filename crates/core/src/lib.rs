@@ -12,7 +12,8 @@
 //! This crate is the facade: [`Study`] orchestrates both methodologies,
 //! and the building blocks re-export from the subsystem crates
 //! ([`isa`], [`microarch`], [`kernel`], [`platform`], [`workloads`],
-//! [`injection`], [`beam`], [`analysis`], [`trace`], [`profile`]).
+//! [`injection`], [`beam`], [`analysis`], [`trace`], [`profile`],
+//! [`observe`]).
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use sea_injection as injection;
 pub use sea_isa as isa;
 pub use sea_kernel as kernel;
 pub use sea_microarch as microarch;
+pub use sea_observe as observe;
 pub use sea_platform as platform;
 pub use sea_profile as profile;
 pub use sea_trace as trace;

@@ -121,6 +121,18 @@ pub struct Study {
     /// construction — journals, counters and verdicts are byte-identical
     /// either way — so this is a pure speed knob like `threads`.
     pub fast_path: bool,
+    /// Bind address for the live observability HTTP server (e.g.
+    /// `127.0.0.1:9099`; `None` = no server). Serves `/status`,
+    /// `/metrics`, `/events`, `/journal/tail` and `/healthz` while
+    /// campaigns and sessions run. A runtime-only knob: journals are
+    /// byte-identical with the server on or off.
+    pub serve: Option<String>,
+    /// Stop each campaign/session early once every tracked stratum's
+    /// adjusted 99%-confidence error margin falls to or below this value
+    /// (`None` = run every planned sample). Early-stopped journals are a
+    /// byte-prefix of the full run's, so a later resume without the knob
+    /// completes the campaign.
+    pub stop_at_margin: Option<f64>,
 }
 
 impl Default for Study {
@@ -145,6 +157,8 @@ impl Default for Study {
             chrome_trace: None,
             prom_out: None,
             fast_path: false,
+            serve: None,
+            stop_at_margin: None,
         }
     }
 }
@@ -207,6 +221,8 @@ impl Study {
             journal: self.journal_spec(),
             checkpoints: None,
             fast_path: self.fast_path,
+            serve: self.serve.clone(),
+            stop_at_margin: self.stop_at_margin,
         }
     }
 
@@ -222,6 +238,8 @@ impl Study {
             supervisor: self.supervisor_config(),
             journal: self.journal_spec(),
             fast_path: self.fast_path,
+            serve: self.serve.clone(),
+            stop_at_margin: self.stop_at_margin,
             ..BeamConfig::default()
         }
     }

@@ -14,10 +14,13 @@ use sea_trace::json::{Json, ObjWriter};
 use sea_trace::{event, Histogram, Level, Progress, Subsystem};
 use sea_workloads::BuiltWorkload;
 
+use std::sync::Arc;
+
+use crate::convergence::ConvergenceTracker;
 use crate::supervisor::{
-    attempt_run, config_hash, golden_hash, open_journal, run_supervised, Journal, JournalError,
-    JournalHeader, JournalSpec, PoolStats, Quarantine, RunAnomaly, RunIdentity, RunVerdict,
-    SupervisorConfig,
+    attempt_run, config_hash, golden_hash, journal_file, open_journal, run_supervised_until,
+    Journal, JournalError, JournalHeader, JournalSpec, PoolStats, Quarantine, RunAnomaly,
+    RunIdentity, RunVerdict, SupervisorConfig,
 };
 
 /// Class-name labels for progress meters, index-aligned with
@@ -209,6 +212,23 @@ pub struct CampaignConfig {
     /// `fastpath-equivalence` job), so it is excluded from the campaign
     /// configuration hash.
     pub fast_path: bool,
+    /// Serve live observability (`/status`, `/metrics`, `/events`, …) on
+    /// this address while the campaign runs (e.g. `"127.0.0.1:9100"`).
+    ///
+    /// Observation is read-only by construction — providers snapshot the
+    /// campaign's atomics — so this is a runtime-only knob excluded from
+    /// the configuration hash, and the outcome journal stays
+    /// byte-identical with it on or off (CI-enforced by `observe-smoke`).
+    pub serve: Option<String>,
+    /// Stop injecting once every targeted component's *adjusted* 99%
+    /// error margin (§IV-C) is at or below this fraction (e.g. `0.04`).
+    ///
+    /// Runs already completed keep their journal lines: with one worker
+    /// thread the early-stopped journal is an exact byte-prefix of the
+    /// full-sample journal, and resuming it without the stop completes
+    /// the campaign. Excluded from the configuration hash for exactly
+    /// that resume path.
+    pub stop_at_margin: Option<f64>,
 }
 
 /// How a campaign checkpoints and restores the fault-free prefix.
@@ -241,6 +261,8 @@ impl Default for CampaignConfig {
             journal: None,
             checkpoints: None,
             fast_path: false,
+            serve: None,
+            stop_at_margin: None,
         }
     }
 }
@@ -451,7 +473,7 @@ pub fn generate_specs(cfg: &CampaignConfig, golden_cycles: u64) -> Vec<Injection
 /// document. Rewritten (atomically, throttled) to the `--prom-out` target
 /// while a campaign runs, so a textfile collector or plain `watch cat`
 /// gives a live dashboard of a long campaign.
-fn prom_snapshot(progress: &Progress) -> String {
+fn prom_snapshot(progress: &Progress, tracker: &ConvergenceTracker) -> String {
     let mut w = sea_profile::PromWriter::new();
     w.gauge(
         "sea_campaign_runs_done",
@@ -487,6 +509,7 @@ fn prom_snapshot(progress: &Progress) -> String {
         "Cycles simulated per injection run (post-restore suffix).",
         &RUN_SIM_CYCLES.snapshot(),
     );
+    crate::convergence::prom_append(&mut w, tracker);
     w.finish()
 }
 
@@ -578,6 +601,30 @@ pub fn run_campaign(
         .filter(|&i| !done[i as usize])
         .collect();
 
+    // Running per-component margins (§IV-C live): one stratum per targeted
+    // component, seeded with any resumed outcomes so a resumed campaign's
+    // margins start where the journal left them.
+    let tracker = Arc::new(ConvergenceTracker::with_strata(
+        crate::stats::Z_99,
+        cfg.components
+            .iter()
+            .map(|&c| (c.short_name().to_string(), probe.component_bits(c))),
+    ));
+    let stratum_of: Vec<usize> = specs
+        .iter()
+        .map(|s| {
+            cfg.components
+                .iter()
+                .position(|&c| c == s.component)
+                .unwrap_or(usize::MAX)
+        })
+        .collect();
+    for (i, o) in outcome_by_idx.iter().enumerate() {
+        if let Some(o) = o {
+            tracker.record(stratum_of[i], o.class);
+        }
+    }
+
     // Expected cost of a run: the golden suffix it must simulate after
     // restoring the nearest checkpoint at or before its strike cycle (the
     // whole run, from reset, when no checkpoints exist). Seeds the
@@ -611,23 +658,78 @@ pub fn run_campaign(
         cfg.threads
     };
     let campaign_span = sea_trace::span(Subsystem::Injection, Level::Info, "injection.campaign");
-    let progress = Progress::new(
+    let progress = Arc::new(Progress::new(
         format!("inject {name}"),
         pending.len() as u64,
         &CLASS_LABELS,
-    );
+    ));
     progress.set_total_work(
         pending
             .iter()
             .map(|&i| expected_work(specs[i as usize].cycle))
             .sum(),
     );
-    let (fresh, pool): (Vec<(u64, RunVerdict)>, PoolStats) = run_supervised(
+
+    // Publish the observability providers unconditionally — they are
+    // read-only closures over the campaign's atomics, pulled only when an
+    // HTTP request actually arrives. The server itself starts only with
+    // `serve` set, so a serverless campaign does no extra work.
+    {
+        let progress = progress.clone();
+        let tracker = tracker.clone();
+        let workload_name = id.workload.clone();
+        let planned = pending.len() as u64;
+        let stop_at = cfg.stop_at_margin;
+        sea_observe::publish_status(Some(Arc::new(move || {
+            crate::convergence::status_document(
+                "inject",
+                &workload_name,
+                planned,
+                resumed,
+                &progress,
+                &tracker,
+                stop_at,
+                &[],
+            )
+        })));
+    }
+    {
+        let progress = progress.clone();
+        let tracker = tracker.clone();
+        sea_observe::publish_metrics(Some(Arc::new(move || prom_snapshot(&progress, &tracker))));
+    }
+    match &cfg.journal {
+        Some(spec) => {
+            sea_observe::publish_journal(Some(&journal_file(&spec.dir, "inject", &id.workload)))
+        }
+        None => sea_observe::publish_journal(None),
+    }
+    if let Some(addr) = &cfg.serve {
+        match sea_observe::serve(addr) {
+            Ok(bound) => event!(Subsystem::Injection, Level::Info, "observe.serving";
+                   "addr" => bound.to_string(),
+                   "workload" => id.workload.clone()),
+            Err(e) => event!(Subsystem::Injection, Level::Warn, "observe.serve_failed";
+                   "addr" => addr.clone(),
+                   "error" => e.to_string()),
+        }
+    }
+
+    let stop_pred = cfg.stop_at_margin.map(|m| {
+        let tracker = tracker.clone();
+        move || tracker.converged(m)
+    });
+    let stop_ref: Option<&(dyn Fn() -> bool + Sync)> = match &stop_pred {
+        Some(f) => Some(f),
+        None => None,
+    };
+    let (fresh, pool): (Vec<(u64, RunVerdict)>, PoolStats) = run_supervised_until(
         &pending,
         threads,
         &cfg.supervisor,
         Subsystem::Injection,
         "injection.worker",
+        stop_ref,
         |i| {
             let verdict = attempt_run(
                 workload,
@@ -645,12 +747,29 @@ pub fn run_campaign(
             progress.record(verdict.outcome.as_ref().map(|o| class_index(o.class)));
             progress.record_work(verdict.sim_cycles);
             RUN_SIM_CYCLES.record(verdict.sim_cycles);
-            sea_profile::prom_flush(false, || prom_snapshot(&progress));
+            // The tracker records *after* the journal append: any sample
+            // that trips the stop predicate already has its journal line,
+            // keeping the early-stopped journal a prefix of the full run.
+            if let Some(o) = &verdict.outcome {
+                tracker.record(stratum_of[i as usize], o.class);
+            }
+            sea_profile::prom_flush(false, || prom_snapshot(&progress, &tracker));
             verdict
         },
     );
     let (done_runs, secs) = progress.finish();
-    sea_profile::prom_flush(true, || prom_snapshot(&progress));
+    // Final flushes (the ~1 Hz throttle can swallow the last interval):
+    // the Prometheus snapshot, forced, and this thread's trace ring so the
+    // campaign's closing events reach the `/events` tail promptly.
+    sea_profile::prom_flush(true, || prom_snapshot(&progress, &tracker));
+    if pool.stopped {
+        event!(Subsystem::Injection, Level::Info, "injection.early_stop";
+               "workload" => id.workload.clone(),
+               "done" => done_runs,
+               "planned" => pending.len() as u64,
+               "max_adjusted_margin" => tracker.max_adjusted_margin());
+    }
+    sea_trace::flush_thread();
     if let Some(mut s) = campaign_span {
         s.field("workload", name.to_string());
         s.field("runs", done_runs);

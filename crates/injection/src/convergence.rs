@@ -1,0 +1,538 @@
+//! Running statistical-convergence tracking (§IV-C): sequential per-class
+//! estimates that make the paper's Table IV error margins live numbers
+//! while a campaign executes, instead of a post-hoc report.
+//!
+//! A [`ConvergenceTracker`] holds one stratum per injection target (the
+//! paper samples each structure independently) and is updated lock-free by
+//! campaign workers. Two margins are tracked per stratum:
+//!
+//! * the **worst-case margin** `error_margin(N, n, z, 0.5)` — provably
+//!   monotone non-increasing in `n` (property-tested below), the number a
+//!   progress display should trend on;
+//! * the **adjusted margin** `adjusted_error_margin(N, n, z, avf)` — the
+//!   paper's tightened §IV-C estimate, which drives `--stop-at-margin`.
+//!   It is *not* monotone: early observations swing the measured AVF, so
+//!   it may transiently widen before converging.
+
+use crate::stats::{adjusted_error_margin, error_margin};
+use sea_platform::FaultClass;
+use sea_trace::json::ObjWriter;
+use sea_trace::Progress;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::campaign::{class_index, CLASS_LABELS};
+use crate::supervisor::supervisor_health;
+
+struct Stratum {
+    label: String,
+    population: u64,
+    counts: [AtomicU64; 4],
+}
+
+/// Point-in-time view of one stratum, for `/status` and reports.
+#[derive(Clone, Debug)]
+pub struct StratumSnapshot {
+    /// Stratum label (component name, or `beam` for beam sessions).
+    pub label: String,
+    /// Sampled population size in bits (drives the finite-population
+    /// correction).
+    pub population: u64,
+    /// Per-class sample counts, index-aligned with
+    /// [`crate::CLASS_LABELS`].
+    pub counts: [u64; 4],
+    /// Total samples observed so far.
+    pub samples: u64,
+    /// Running AVF estimate (fraction of non-masked samples).
+    pub avf: f64,
+    /// Worst-case margin at `p = 0.5` — monotone non-increasing.
+    pub worst_margin: f64,
+    /// The paper's adjusted margin at the running AVF.
+    pub adjusted_margin: f64,
+}
+
+impl StratumSnapshot {
+    /// Per-class observed rates, index-aligned with
+    /// [`crate::CLASS_LABELS`].
+    pub fn rates(&self) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        if self.samples > 0 {
+            for (slot, count) in out.iter_mut().zip(self.counts) {
+                *slot = count as f64 / self.samples as f64;
+            }
+        }
+        out
+    }
+}
+
+/// Lock-free running margins over a set of strata. See the module docs
+/// for the worst-case vs. adjusted distinction.
+pub struct ConvergenceTracker {
+    z: f64,
+    strata: Vec<Stratum>,
+}
+
+impl ConvergenceTracker {
+    /// A tracker at confidence `z` over `(label, population_bits)` strata,
+    /// in reporting order.
+    pub fn with_strata(z: f64, strata: impl IntoIterator<Item = (String, u64)>) -> Self {
+        ConvergenceTracker {
+            z,
+            strata: strata
+                .into_iter()
+                .map(|(label, population)| Stratum {
+                    label,
+                    population,
+                    counts: Default::default(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of strata.
+    pub fn len(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// True when no strata are registered (then nothing can converge).
+    pub fn is_empty(&self) -> bool {
+        self.strata.is_empty()
+    }
+
+    /// Record one classified sample for stratum `idx`. Out-of-range
+    /// strata are ignored (mirrors [`sea_trace::Progress::record`]).
+    pub fn record(&self, idx: usize, class: FaultClass) {
+        if let Some(s) = self.strata.get(idx) {
+            s.counts[class_index(class)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Samples observed so far for stratum `idx`.
+    pub fn samples(&self, idx: usize) -> u64 {
+        self.strata.get(idx).map_or(0, |s| {
+            s.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        })
+    }
+
+    fn snap_one(&self, s: &Stratum) -> StratumSnapshot {
+        let counts: [u64; 4] = std::array::from_fn(|i| s.counts[i].load(Ordering::Relaxed));
+        let samples: u64 = counts.iter().sum();
+        let avf = if samples > 0 {
+            (samples - counts[0]) as f64 / samples as f64
+        } else {
+            0.0
+        };
+        StratumSnapshot {
+            label: s.label.clone(),
+            population: s.population,
+            counts,
+            samples,
+            avf,
+            // A margin is a bound on a proportion: cap at 1.0. The raw
+            // formula exceeds 1.0 for tiny n (z·0.5/√1 ≈ 1.29), which
+            // would also break monotonicity against the n = 0 sentinel.
+            worst_margin: error_margin(s.population, samples, self.z, 0.5).min(1.0),
+            adjusted_margin: adjusted_error_margin(s.population, samples, self.z, avf).min(1.0),
+        }
+    }
+
+    /// Point-in-time view of every stratum, in registration order.
+    pub fn snapshot(&self) -> Vec<StratumSnapshot> {
+        self.strata.iter().map(|s| self.snap_one(s)).collect()
+    }
+
+    /// Largest adjusted margin across strata (1.0 before any samples);
+    /// the campaign has converged when this drops to the requested
+    /// threshold.
+    pub fn max_adjusted_margin(&self) -> f64 {
+        self.strata
+            .iter()
+            .map(|s| self.snap_one(s).adjusted_margin)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// True when every stratum's adjusted margin is at or below
+    /// `threshold`. An empty tracker never converges (there is nothing to
+    /// estimate), and a stratum with zero samples holds margin 1.0.
+    pub fn converged(&self, threshold: f64) -> bool {
+        !self.is_empty()
+            && self
+                .strata
+                .iter()
+                .all(|s| self.snap_one(s).adjusted_margin <= threshold)
+    }
+
+    /// Render one aligned ASCII status table (label, n, AVF, margins) —
+    /// shared by reports and the example watcher.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "stratum            n       AVF   margin(p=0.5)   margin(adj)   classes\n",
+        );
+        for s in self.snapshot() {
+            out.push_str(&format!(
+                "  {:<14} {:>6}   {:>6.4}   {:>12.4}   {:>10.4}  ",
+                s.label, s.samples, s.avf, s.worst_margin, s.adjusted_margin
+            ));
+            for (name, count) in CLASS_LABELS.iter().zip(s.counts) {
+                out.push_str(&format!(" {name}={count}"));
+            }
+            out.push('\n');
+        }
+        if self.is_empty() {
+            out.push_str("  (no strata)\n");
+        }
+        out
+    }
+}
+
+/// Serialize the tracker's strata as a JSON array (the `/status`
+/// `strata` member).
+pub fn strata_json(tracker: &ConvergenceTracker) -> String {
+    let mut arr = String::from("[");
+    for (k, s) in tracker.snapshot().iter().enumerate() {
+        if k > 0 {
+            arr.push(',');
+        }
+        let mut sw = ObjWriter::new();
+        sw.str_field("label", &s.label)
+            .u64_field("population", s.population)
+            .u64_field("samples", s.samples)
+            .f64_field("avf", s.avf)
+            .f64_field("margin_worst", s.worst_margin)
+            .f64_field("margin_adjusted", s.adjusted_margin);
+        let rates = s.rates();
+        let mut cw = ObjWriter::new();
+        for ((name, count), rate) in CLASS_LABELS.iter().zip(s.counts).zip(rates) {
+            let mut one = ObjWriter::new();
+            one.u64_field("count", count).f64_field("rate", rate);
+            cw.raw_field(name, &one.finish());
+        }
+        sw.raw_field("classes", &cw.finish());
+        arr.push_str(&sw.finish());
+    }
+    arr.push(']');
+    arr
+}
+
+/// Build the `/status` JSON document from a campaign's live state. Shared
+/// by injection campaigns and beam sessions (`kind` is `"inject"` or
+/// `"beam"`); `extra` appends pre-serialized top-level members (the beam
+/// session adds fluence and cross-sections).
+#[allow(clippy::too_many_arguments)] // the full live-state surface; every field is a distinct concern
+pub fn status_document(
+    kind: &str,
+    workload: &str,
+    planned: u64,
+    resumed: u64,
+    progress: &Progress,
+    tracker: &ConvergenceTracker,
+    stop_at_margin: Option<f64>,
+    extra: &[(&str, String)],
+) -> String {
+    let done = progress.done();
+    let mut o = ObjWriter::new();
+    o.str_field("state", if done >= planned { "done" } else { "running" })
+        .str_field("kind", kind)
+        .str_field("workload", workload)
+        .u64_field("planned", planned)
+        .u64_field("resumed", resumed)
+        .u64_field("done", done)
+        .f64_field("elapsed_secs", progress.elapsed_secs())
+        .f64_field("runs_per_sec", progress.runs_per_sec())
+        .f64_field("eta_secs", progress.eta());
+    let mut c = ObjWriter::new();
+    for (name, n) in CLASS_LABELS.iter().zip(progress.class_counts()) {
+        c.u64_field(name, n);
+    }
+    o.raw_field("classes", &c.finish());
+    let h = supervisor_health();
+    let mut hw = ObjWriter::new();
+    hw.u64_field("worker_respawns", h.respawns)
+        .u64_field("inflight_requeues", h.requeues)
+        .u64_field("watchdog_kills", h.watchdog_kills)
+        .u64_field("quarantined", h.quarantined);
+    o.raw_field("health", &hw.finish());
+    o.raw_field("strata", &strata_json(tracker));
+    match stop_at_margin {
+        Some(m) => {
+            o.f64_field("stop_at_margin", m)
+                .bool_field("converged", tracker.converged(m));
+        }
+        None => {
+            o.raw_field("stop_at_margin", "null");
+        }
+    }
+    for (k, v) in extra {
+        o.raw_field(k, v);
+    }
+    o.finish()
+}
+
+/// Append the supervisor-health counters and per-stratum convergence
+/// gauges to a Prometheus document (shared by the injection and beam
+/// `/metrics` snapshots).
+pub fn prom_append(w: &mut sea_profile::PromWriter, tracker: &ConvergenceTracker) {
+    let h = supervisor_health();
+    w.counter(
+        "sea_supervisor_worker_respawns_total",
+        "Workers respawned after dying mid-campaign.",
+        h.respawns,
+    );
+    w.counter(
+        "sea_supervisor_inflight_requeues_total",
+        "Work items requeued off dead workers.",
+        h.requeues,
+    );
+    w.counter(
+        "sea_supervisor_watchdog_kills_total",
+        "Runs killed by the wall-clock watchdog.",
+        h.watchdog_kills,
+    );
+    w.counter(
+        "sea_supervisor_quarantined_total",
+        "Anomalies written to quarantine files.",
+        h.quarantined,
+    );
+    for s in tracker.snapshot() {
+        let slug = s.label.to_ascii_lowercase();
+        w.gauge(
+            &format!("sea_convergence_samples_{slug}"),
+            "Samples observed for this stratum.",
+            s.samples as f64,
+        );
+        w.gauge(
+            &format!("sea_convergence_margin_worst_{slug}"),
+            "Worst-case 99% error margin (p = 0.5).",
+            s.worst_margin,
+        );
+        w.gauge(
+            &format!("sea_convergence_margin_adjusted_{slug}"),
+            "Adjusted 99% error margin at the running AVF.",
+            s.adjusted_margin,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Z_99;
+    use proptest::prelude::*;
+
+    fn class_of(byte: u8) -> FaultClass {
+        FaultClass::ALL[(byte % 4) as usize]
+    }
+
+    #[test]
+    fn empty_and_unsampled_trackers_do_not_converge() {
+        let empty = ConvergenceTracker::with_strata(Z_99, []);
+        assert!(empty.is_empty());
+        assert!(!empty.converged(1.0));
+
+        let t = ConvergenceTracker::with_strata(Z_99, [("L1D".to_string(), 1u64 << 18)]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.converged(0.99), "zero samples hold margin 1.0");
+        let snap = &t.snapshot()[0];
+        assert_eq!(snap.samples, 0);
+        assert_eq!(snap.worst_margin, 1.0);
+        assert_eq!(snap.adjusted_margin, 1.0);
+    }
+
+    #[test]
+    fn out_of_range_stratum_is_ignored() {
+        let t = ConvergenceTracker::with_strata(Z_99, [("x".to_string(), 100u64)]);
+        t.record(5, FaultClass::Sdc);
+        assert_eq!(t.samples(0), 0);
+    }
+
+    #[test]
+    fn render_lists_every_stratum() {
+        let t = ConvergenceTracker::with_strata(
+            Z_99,
+            [("L1D".to_string(), 1u64 << 18), ("RF".to_string(), 1024u64)],
+        );
+        t.record(0, FaultClass::Masked);
+        t.record(1, FaultClass::Sdc);
+        let r = t.render();
+        assert!(r.contains("L1D"), "{r}");
+        assert!(r.contains("RF"), "{r}");
+        assert!(r.contains("sdc=1"), "{r}");
+    }
+
+    #[test]
+    fn converged_requires_every_stratum() {
+        let t = ConvergenceTracker::with_strata(
+            Z_99,
+            [("a".to_string(), 1u64 << 20), ("b".to_string(), 1u64 << 20)],
+        );
+        for _ in 0..2000 {
+            t.record(0, FaultClass::Masked);
+        }
+        // Stratum b has no samples: margin 1.0 blocks convergence however
+        // tight a gets.
+        assert!(!t.converged(0.5));
+        for _ in 0..2000 {
+            t.record(1, FaultClass::Masked);
+        }
+        assert!(t.converged(0.5));
+        assert!(t.max_adjusted_margin() <= 0.5);
+    }
+
+    #[test]
+    fn status_document_parses_with_strata_health_and_extras() {
+        use sea_trace::json::{parse, Json};
+        let t = ConvergenceTracker::with_strata(Z_99, [("L1D".to_string(), 1u64 << 18)]);
+        for _ in 0..50 {
+            t.record(0, FaultClass::Masked);
+        }
+        t.record(0, FaultClass::Sdc);
+        let p = Progress::new("x", 100, &CLASS_LABELS);
+        p.record(Some(0));
+        let doc = status_document(
+            "inject",
+            "Qsort",
+            100,
+            0,
+            &p,
+            &t,
+            Some(0.04),
+            &[("fluence", "1.5".to_string())],
+        );
+        let j = parse(&doc).unwrap();
+        assert_eq!(j.get("kind").unwrap().as_str(), Some("inject"));
+        assert_eq!(j.get("state").unwrap().as_str(), Some("running"));
+        assert_eq!(j.get("done").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            j.get("classes").unwrap().get("masked").unwrap().as_u64(),
+            Some(1)
+        );
+        assert!(j.get("health").unwrap().get("worker_respawns").is_some());
+        let strata = match j.get("strata").unwrap() {
+            Json::Arr(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(strata.len(), 1);
+        assert_eq!(strata[0].get("samples").unwrap().as_u64(), Some(51));
+        let adj = strata[0].get("margin_adjusted").unwrap().as_f64().unwrap();
+        let snap = &t.snapshot()[0];
+        assert!((adj - snap.adjusted_margin).abs() < 1e-12);
+        assert_eq!(
+            strata[0]
+                .get("classes")
+                .unwrap()
+                .get("sdc")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(j.get("converged").unwrap().as_bool(), Some(false));
+        assert_eq!(j.get("fluence").unwrap().as_f64(), Some(1.5));
+
+        let none = status_document("beam", "Qsort", 100, 0, &p, &t, None, &[]);
+        let j = parse(&none).unwrap();
+        assert_eq!(j.get("stop_at_margin"), Some(&Json::Null));
+        assert!(j.get("converged").is_none());
+    }
+
+    #[test]
+    fn prom_append_emits_health_and_margin_series() {
+        let t = ConvergenceTracker::with_strata(Z_99, [("L1 D".to_string(), 4096u64)]);
+        t.record(0, FaultClass::Sdc);
+        let mut w = sea_profile::PromWriter::new();
+        prom_append(&mut w, &t);
+        let doc = w.finish();
+        assert!(
+            doc.contains("sea_supervisor_worker_respawns_total"),
+            "{doc}"
+        );
+        assert!(doc.contains("sea_supervisor_watchdog_kills_total"), "{doc}");
+        assert!(doc.contains("sea_convergence_samples_l1_d 1"), "{doc}");
+        assert!(
+            doc.contains("sea_convergence_margin_adjusted_l1_d"),
+            "{doc}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        // Satellite 3: the worst-case margin is monotone non-increasing
+        // in the number of samples, for any population and any class
+        // sequence (it only depends on n, but we drive it through the
+        // full record path).
+        #[test]
+        fn worst_margin_monotone_nonincreasing(
+            population in 2u64..(1u64 << 30),
+            classes in prop::collection::vec(any::<u8>(), 1..200),
+        ) {
+            let t = ConvergenceTracker::with_strata(
+                Z_99,
+                [("s".to_string(), population)],
+            );
+            let mut prev = t.snapshot()[0].worst_margin;
+            prop_assert_eq!(prev, 1.0);
+            for b in classes {
+                t.record(0, class_of(b));
+                let cur = t.snapshot()[0].worst_margin;
+                prop_assert!(
+                    cur <= prev + 1e-12,
+                    "margin widened: {} -> {}", prev, cur
+                );
+                prev = cur;
+            }
+        }
+
+        // Satellite 3: the tracker's running numbers agree exactly with
+        // the stats-module formulas applied to the final counts.
+        #[test]
+        fn snapshot_agrees_with_stats_module(
+            population in 2u64..(1u64 << 30),
+            classes in prop::collection::vec(any::<u8>(), 0..200),
+        ) {
+            let t = ConvergenceTracker::with_strata(
+                Z_99,
+                [("s".to_string(), population)],
+            );
+            let mut masked = 0u64;
+            for &b in &classes {
+                let c = class_of(b);
+                if c == FaultClass::Masked {
+                    masked += 1;
+                }
+                t.record(0, c);
+            }
+            let n = classes.len() as u64;
+            let snap = &t.snapshot()[0];
+            prop_assert_eq!(snap.samples, n);
+            let avf = if n > 0 { (n - masked) as f64 / n as f64 } else { 0.0 };
+            prop_assert_eq!(snap.avf, avf);
+            prop_assert_eq!(
+                snap.worst_margin,
+                crate::stats::error_margin(population, n, Z_99, 0.5).min(1.0)
+            );
+            prop_assert_eq!(
+                snap.adjusted_margin,
+                crate::stats::adjusted_error_margin(population, n, Z_99, avf).min(1.0)
+            );
+        }
+
+        // The adjusted margin never exceeds the worst-case one: shifting
+        // p toward 0.5 by e0 can only keep or shrink p(1-p).
+        #[test]
+        fn adjusted_margin_at_most_worst_case(
+            population in 2u64..(1u64 << 30),
+            classes in prop::collection::vec(any::<u8>(), 1..200),
+        ) {
+            let t = ConvergenceTracker::with_strata(
+                Z_99,
+                [("s".to_string(), population)],
+            );
+            for b in classes {
+                t.record(0, class_of(b));
+            }
+            let snap = &t.snapshot()[0];
+            prop_assert!(snap.adjusted_margin <= snap.worst_margin + 1e-12);
+        }
+    }
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 mod campaign;
+pub mod convergence;
 pub mod stats;
 pub mod supervisor;
 
@@ -29,5 +30,9 @@ pub use campaign::{
     CampaignConfig, CampaignError, CampaignResult, CheckpointPolicy, ComponentResult, FaultModel,
     InjectionOutcome, InjectionSpec, SupervisionStats, CLASS_LABELS,
 };
+pub use convergence::{ConvergenceTracker, StratumSnapshot};
 pub use sea_platform::ClassCounts;
-pub use supervisor::{load_quarantine, run_one_caught, JournalSpec, RunAnomaly, SupervisorConfig};
+pub use supervisor::{
+    load_quarantine, run_one_caught, supervisor_health, JournalSpec, RunAnomaly, SupervisorConfig,
+    SupervisorHealth,
+};

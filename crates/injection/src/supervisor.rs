@@ -35,10 +35,48 @@ use parking_lot::Mutex;
 
 use sea_platform::{postmortem, CheckpointSet, RunLimits};
 use sea_trace::json::{self, Json, ObjWriter};
-use sea_trace::{event, Level, Subsystem};
+use sea_trace::{event, Counter, Level, Subsystem};
 use sea_workloads::BuiltWorkload;
 
 use crate::campaign::{CampaignConfig, InjectionOutcome, InjectionSpec};
+
+// ---------------------------------------------------------------------------
+// Health counters
+// ---------------------------------------------------------------------------
+
+/// Workers respawned after dying mid-campaign (process-wide, monotone).
+pub static WORKER_RESPAWNS: Counter = Counter::new("supervisor.worker_respawns");
+/// Work items requeued off a dead worker (its in-flight item plus the
+/// unprocessed remainder of its claimed block).
+pub static INFLIGHT_REQUEUES: Counter = Counter::new("supervisor.inflight_requeues");
+/// Anomaly records written to quarantine files.
+pub static QUARANTINED: Counter = Counter::new("supervisor.quarantined");
+
+/// Point-in-time supervisor health, aggregated across every campaign in
+/// the process — the numbers behind the `/status` `health` object and the
+/// `sea_supervisor_*` Prometheus counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisorHealth {
+    /// Worker respawns ([`WORKER_RESPAWNS`]).
+    pub respawns: u64,
+    /// Requeued work items ([`INFLIGHT_REQUEUES`]).
+    pub requeues: u64,
+    /// Runs killed by the wall-clock watchdog
+    /// ([`sea_platform::watchdog_kills`]).
+    pub watchdog_kills: u64,
+    /// Quarantined anomalies ([`QUARANTINED`]).
+    pub quarantined: u64,
+}
+
+/// Read every supervisor health counter at once.
+pub fn supervisor_health() -> SupervisorHealth {
+    SupervisorHealth {
+        respawns: WORKER_RESPAWNS.get(),
+        requeues: INFLIGHT_REQUEUES.get(),
+        watchdog_kills: sea_platform::watchdog_kills(),
+        quarantined: QUARANTINED.get(),
+    }
+}
 
 /// Supervision knobs shared by injection campaigns and beam sessions.
 ///
@@ -216,6 +254,7 @@ impl Quarantine {
         let _ = w.write_all(line.as_bytes());
         let _ = w.flush();
         self.written.fetch_add(1, Ordering::Relaxed);
+        QUARANTINED.inc();
     }
 
     /// Number of records appended by this handle.
@@ -664,6 +703,10 @@ pub struct PoolStats {
     /// Items abandoned because they kept killing workers even after the
     /// respawn budget was spent.
     pub lost: Vec<u64>,
+    /// True when the pool drained early because the stop predicate fired
+    /// (see [`run_supervised_until`]); remaining items were skipped, not
+    /// lost.
+    pub stopped: bool,
 }
 
 const IDLE: u64 = u64::MAX;
@@ -693,6 +736,29 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
+    run_supervised_until(pending, threads, sup, sub, worker_event, None, f)
+}
+
+/// [`run_supervised`] with an early-stop predicate, checked before each
+/// claim (workers finish their in-flight run, then drain). Remaining items
+/// are *skipped* — not run, not lost — and `PoolStats::stopped` records
+/// that the predicate fired. With one thread, items complete in `pending`
+/// order, so the completed set is an exact prefix — the property behind
+/// `--stop-at-margin`'s byte-prefix journal guarantee.
+pub fn run_supervised_until<T, F>(
+    pending: &[u64],
+    threads: usize,
+    sup: &SupervisorConfig,
+    sub: Subsystem,
+    worker_event: &'static str,
+    stop: Option<&(dyn Fn() -> bool + Sync)>,
+    f: F,
+) -> (Vec<(u64, T)>, PoolStats)
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let should_stop = || stop.is_some_and(|s| s());
     let threads = threads.min(pending.len()).max(1);
     // Block size balances locality (bigger = fewer checkpoint switches per
     // worker) against tail imbalance (smaller = the last blocks spread
@@ -715,6 +781,9 @@ where
         let started = std::time::Instant::now();
         let mut runs = 0u64;
         loop {
+            if should_stop() {
+                break;
+            }
             // Claim order: own block remainder, then the shared retry
             // queue, then a fresh block. Each lock is taken and released
             // in its own statement — chaining them in one expression would
@@ -781,6 +850,7 @@ where
             let inflight = slots[w].swap(IDLE, Ordering::SeqCst);
             let unclaimed = std::mem::take(&mut *claims[w].lock());
             let requeued_block = unclaimed.len();
+            INFLIGHT_REQUEUES.add(requeued_block as u64 + u64::from(inflight != IDLE));
             {
                 let mut r = retry.lock();
                 if inflight != IDLE {
@@ -796,6 +866,7 @@ where
             if budget > 0 {
                 budget -= 1;
                 respawns.fetch_add(1, Ordering::Relaxed);
+                WORKER_RESPAWNS.inc();
                 handles.push((w, scope.spawn(move |_| body(w))));
             }
         }
@@ -805,25 +876,31 @@ where
     // Anything still queued (or never claimed, if every worker died with
     // the respawn budget spent) has no live worker left to take it. Run it
     // on this thread, still behind a panic guard; items that *still* panic
-    // outside the run boundary are recorded as lost, not fatal.
+    // outside the run boundary are recorded as lost, not fatal. When the
+    // stop predicate fired, leftovers are skipped entirely — running the
+    // tail of a claimed block after convergence would break the
+    // prefix-of-the-full-run journal property.
+    let stopped = should_stop();
     let mut lost = Vec::new();
-    let mut leftovers = std::mem::take(&mut *retry.lock());
-    for q in &claims {
-        leftovers.append(&mut q.lock());
-    }
-    loop {
-        let start = next.fetch_add(block, Ordering::Relaxed);
-        if start >= pending.len() {
-            break;
-        }
-        let end = (start + block).min(pending.len());
-        leftovers.extend_from_slice(&pending[start..end]);
-    }
     let mut results: Vec<(u64, T)> = Vec::with_capacity(pending.len());
-    for i in leftovers {
-        match catch_unwind(AssertUnwindSafe(|| f(i))) {
-            Ok(t) => results.push((i, t)),
-            Err(_) => lost.push(i),
+    if !stopped {
+        let mut leftovers = std::mem::take(&mut *retry.lock());
+        for q in &claims {
+            leftovers.append(&mut q.lock());
+        }
+        loop {
+            let start = next.fetch_add(block, Ordering::Relaxed);
+            if start >= pending.len() {
+                break;
+            }
+            let end = (start + block).min(pending.len());
+            leftovers.extend_from_slice(&pending[start..end]);
+        }
+        for i in leftovers {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(t) => results.push((i, t)),
+                Err(_) => lost.push(i),
+            }
         }
     }
 
@@ -839,6 +916,7 @@ where
             workers: threads,
             respawns: respawns.load(Ordering::Relaxed) as u32,
             lost,
+            stopped,
         },
     )
 }
@@ -938,6 +1016,32 @@ mod tests {
         assert_eq!(results.len(), 32, "item 7 must be requeued and completed");
         assert_eq!(stats.respawns, 1);
         assert!(stats.lost.is_empty());
+    }
+
+    #[test]
+    fn pool_stop_predicate_yields_an_exact_prefix_with_one_thread() {
+        let pending: Vec<u64> = (0..100).collect();
+        let done = AtomicU64::new(0);
+        let sup = SupervisorConfig::default();
+        let stop = || done.load(Ordering::SeqCst) >= 10;
+        let (results, stats) = run_supervised_until(
+            &pending,
+            1,
+            &sup,
+            Subsystem::Injection,
+            "test.worker",
+            Some(&stop),
+            |i| {
+                done.fetch_add(1, Ordering::SeqCst);
+                i
+            },
+        );
+        assert!(stats.stopped);
+        assert!(stats.lost.is_empty(), "skipped items are not lost");
+        assert_eq!(results.len(), 10, "stop checked before every claim");
+        for (k, (i, _)) in results.iter().enumerate() {
+            assert_eq!(*i, k as u64, "single-threaded completion is a prefix");
+        }
     }
 
     #[test]

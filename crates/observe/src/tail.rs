@@ -1,0 +1,126 @@
+//! Bounded in-memory tail of the trace stream, for the `/events` SSE feed.
+
+use sea_trace::json::write_event;
+use sea_trace::{Event, Sink};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default ring capacity: enough to replay a burst of campaign events
+/// without holding a long run's full trace in memory.
+const DEFAULT_CAP: usize = 1024;
+
+struct Inner {
+    /// Sequence number the *next* event will receive. Monotone; never
+    /// reset, so SSE clients can resume from where they left off.
+    next_seq: u64,
+    ring: VecDeque<(u64, String)>,
+}
+
+/// A [`Sink`] that keeps the last N events as serialized JSON lines,
+/// tagged with monotone sequence numbers so pollers can fetch only what
+/// they have not yet seen.
+pub struct TailSink {
+    cap: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for TailSink {
+    fn default() -> TailSink {
+        TailSink::new(DEFAULT_CAP)
+    }
+}
+
+impl TailSink {
+    /// A ring holding at most `cap` events (minimum 1).
+    pub fn new(cap: usize) -> TailSink {
+        TailSink {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner {
+                next_seq: 0,
+                ring: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Sequence number the next recorded event will get. Equivalently:
+    /// the number of events ever recorded.
+    pub fn next_seq(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .next_seq
+    }
+
+    /// Events with sequence number `>= from`, up to `max` of them, oldest
+    /// first, together with the current `next_seq` (pass it back as the
+    /// next `from` to poll incrementally). Events that aged out of the
+    /// ring before being read are silently skipped — the tail is lossy by
+    /// design.
+    pub fn since(&self, from: u64, max: usize) -> (u64, Vec<(u64, String)>) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let out = inner
+            .ring
+            .iter()
+            .filter(|(seq, _)| *seq >= from)
+            .take(max)
+            .cloned()
+            .collect();
+        (inner.next_seq, out)
+    }
+}
+
+impl Sink for TailSink {
+    fn record(&self, events: &[Event]) {
+        let mut line = String::with_capacity(160);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for ev in events {
+            line.clear();
+            write_event(ev, &mut line);
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            if inner.ring.len() == self.cap {
+                inner.ring.pop_front();
+            }
+            inner.ring.push_back((seq, line.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_trace::{Level, Subsystem};
+
+    fn ev(name: &'static str, i: u64) -> Event {
+        Event::new(Subsystem::Harness, Level::Info, name).field("i", i)
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_seq_monotone() {
+        let t = TailSink::new(3);
+        t.record(&[ev("a", 0), ev("a", 1), ev("a", 2), ev("a", 3)]);
+        assert_eq!(t.next_seq(), 4);
+        let (next, items) = t.since(0, usize::MAX);
+        assert_eq!(next, 4);
+        let seqs: Vec<u64> = items.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![1, 2, 3], "oldest event evicted");
+        for (_, line) in &items {
+            sea_trace::json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn since_filters_and_limits() {
+        let t = TailSink::new(8);
+        t.record(&[ev("a", 0), ev("a", 1), ev("a", 2), ev("a", 3)]);
+        let (_, items) = t.since(2, usize::MAX);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].0, 2);
+        let (_, items) = t.since(0, 1);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].0, 0);
+        let (next, items) = t.since(100, usize::MAX);
+        assert_eq!(next, 4);
+        assert!(items.is_empty());
+    }
+}

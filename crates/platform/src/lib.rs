@@ -30,6 +30,7 @@ pub use checkpoint::{
 };
 pub use profile::profiled_golden_run;
 pub use run::{
-    boot, classify, golden_run, golden_run_with_checkpoints, postmortem, run, AppCrashKind,
-    ClassCounts, FaultClass, GoldenError, GoldenRun, RunLimits, RunOutcome, SysCrashKind,
+    boot, classify, golden_run, golden_run_with_checkpoints, postmortem, run, watchdog_kills,
+    AppCrashKind, ClassCounts, FaultClass, GoldenError, GoldenRun, RunLimits, RunOutcome,
+    SysCrashKind,
 };

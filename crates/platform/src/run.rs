@@ -6,10 +6,19 @@ use std::fmt;
 use sea_isa::Image;
 use sea_kernel::{install, BootInfo, InstallError, KernelConfig};
 use sea_microarch::{MachineConfig, StepOutcome, System};
-use sea_trace::{event, Level, Subsystem};
+use sea_trace::{event, Counter, Level, Subsystem};
 
 use crate::board::Board;
 use crate::checkpoint::{CheckpointSet, EpochRecorder};
+
+/// Runs killed by the wall-clock watchdog (process-wide, monotone) — one
+/// of the supervisor health counters surfaced on `/metrics` and `/status`.
+static WALL_TIMEOUTS: Counter = Counter::new("platform.wall_timeouts");
+
+/// How many runs the wall-clock watchdog has killed in this process.
+pub fn watchdog_kills() -> u64 {
+    WALL_TIMEOUTS.get()
+}
 
 /// Why a run counted as an Application Crash.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -317,6 +326,7 @@ fn run_inner(
         if steps & 0x1fff == 0 {
             if let Some(d) = deadline {
                 if std::time::Instant::now() >= d {
+                    WALL_TIMEOUTS.inc();
                     event!(Subsystem::Platform, Level::Warn, "platform.wall_timeout";
                            cycle = now;
                            "wall_ms" => limits.wall_ms);

@@ -119,6 +119,15 @@ impl ObjWriter {
         self
     }
 
+    /// Appends a member whose value is already serialized JSON (a nested
+    /// object or array built by another writer). The caller is
+    /// responsible for `json` being well-formed.
+    pub fn raw_field(&mut self, k: &str, json: &str) -> &mut ObjWriter {
+        let buf = self.key(k);
+        buf.push_str(json);
+        self
+    }
+
     /// Appends a boolean member.
     pub fn bool_field(&mut self, k: &str, v: bool) -> &mut ObjWriter {
         let buf = self.key(k);
@@ -500,6 +509,25 @@ mod tests {
         assert_eq!(j.get("bad"), Some(&Json::Null));
         assert_eq!(j.get("deterministic").unwrap().as_bool(), Some(false));
         assert_eq!(ObjWriter::new().finish(), "{}");
+    }
+
+    #[test]
+    fn raw_field_nests_objects_and_arrays() {
+        let mut inner = ObjWriter::new();
+        inner.str_field("label", "L1D").f64_field("margin", 0.04);
+        let mut o = ObjWriter::new();
+        o.str_field("state", "running")
+            .raw_field("stratum", &inner.finish())
+            .raw_field("classes", "[1,2,3]");
+        let j = parse(&o.finish()).unwrap();
+        assert_eq!(
+            j.get("stratum").unwrap().get("label").unwrap().as_str(),
+            Some("L1D")
+        );
+        match j.get("classes").unwrap() {
+            Json::Arr(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected array, got {other:?}"),
+        }
     }
 
     #[test]

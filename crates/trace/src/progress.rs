@@ -101,6 +101,20 @@ impl Progress {
         self.done.load(Ordering::Relaxed)
     }
 
+    /// Planned total runs.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Current remaining-time estimate in seconds — work-weighted when
+    /// [`Progress::set_total_work`] was declared, run-count otherwise.
+    pub fn eta(&self) -> f64 {
+        let done = self.done();
+        let secs = self.elapsed_secs();
+        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        self.eta_secs(done, secs, rate)
+    }
+
     /// Elapsed wall-clock seconds since creation.
     pub fn elapsed_secs(&self) -> f64 {
         self.start.elapsed().as_secs_f64()

@@ -1,0 +1,173 @@
+//! Watch a live campaign converge from another terminal.
+//!
+//! Polls the `/status` endpoint of a campaign started with `--serve` and
+//! redraws one line per stratum — samples, AVF, adjusted 99%-confidence
+//! margin, and a sparkline of the margin's trajectory — until every
+//! stratum's margin falls to or below the target (or the campaign ends).
+//!
+//! ```text
+//! cargo run --release -p sea-bench --bin fig4 -- --serve 127.0.0.1:9099 &
+//! cargo run --release --example watch_convergence -- 127.0.0.1:9099 --margin 5
+//! ```
+
+use sea_core::trace::json::{self, Json};
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+const HISTORY: usize = 40;
+
+fn http_get(addr: &str, path: &str) -> Result<String, std::io::Error> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(conn, "GET {path} HTTP/1.1\r\nHost: sea\r\n\r\n")?;
+    let mut response = String::new();
+    conn.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
+        Some((head, _)) => Err(std::io::Error::other(
+            head.lines().next().unwrap_or("bad response").to_string(),
+        )),
+        None => Err(std::io::Error::other("no header terminator")),
+    }
+}
+
+fn sparkline(history: &[f64]) -> String {
+    history
+        .iter()
+        .map(|&m| SPARKS[((m.clamp(0.0, 1.0) * 7.0).round()) as usize])
+        .collect()
+}
+
+struct Stratum {
+    samples: u64,
+    avf: f64,
+    margin: f64,
+}
+
+/// Pulls (label → stratum) out of one `/status` document.
+fn parse_strata(doc: &Json) -> Vec<(String, Stratum)> {
+    let mut out = Vec::new();
+    let Some(Json::Arr(strata)) = doc.get("strata") else {
+        return out;
+    };
+    for s in strata {
+        let (Some(label), Some(samples), Some(avf), Some(margin)) = (
+            s.get("label").and_then(Json::as_str),
+            s.get("samples").and_then(Json::as_u64),
+            s.get("avf").and_then(Json::as_f64),
+            s.get("margin_adjusted").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        out.push((
+            label.to_string(),
+            Stratum {
+                samples,
+                avf,
+                margin,
+            },
+        ));
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:9099".to_string();
+    let mut target = 0.05;
+    let mut interval_ms = 500u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--margin" => {
+                let pct: f64 = args[i + 1].parse().expect("--margin PCT");
+                target = pct / 100.0;
+                i += 2;
+            }
+            "--interval-ms" => {
+                interval_ms = args[i + 1].parse().expect("--interval-ms N");
+                i += 2;
+            }
+            a if !a.starts_with('-') => {
+                addr = a.to_string();
+                i += 1;
+            }
+            other => panic!(
+                "unknown flag `{other}` (usage: watch_convergence [ADDR] [--margin PCT] [--interval-ms N])"
+            ),
+        }
+    }
+    println!(
+        "watching http://{addr}/status until every margin ≤ {:.1}%\n",
+        100.0 * target
+    );
+
+    let mut history: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut drawn = 0usize;
+    loop {
+        let body = match http_get(&addr, "/status") {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{addr}: {e} — retrying");
+                std::thread::sleep(Duration::from_millis(interval_ms.max(250)));
+                continue;
+            }
+        };
+        let Ok(doc) = json::parse(&body) else {
+            eprintln!("unparseable /status document");
+            std::thread::sleep(Duration::from_millis(interval_ms));
+            continue;
+        };
+        let state = doc.get("state").and_then(Json::as_str).unwrap_or("?");
+        let done = doc.get("done").and_then(Json::as_u64).unwrap_or(0);
+        let planned = doc.get("planned").and_then(Json::as_u64).unwrap_or(0);
+        let eta = doc.get("eta_secs").and_then(Json::as_f64).unwrap_or(0.0);
+        let strata = parse_strata(&doc);
+        for (label, s) in &strata {
+            let h = history.entry(label.clone()).or_default();
+            h.push(s.margin);
+            if h.len() > HISTORY {
+                h.remove(0);
+            }
+        }
+
+        // Redraw in place: move the cursor up over the previous frame.
+        if drawn > 0 {
+            print!("\x1b[{drawn}A");
+        }
+        println!(
+            "\x1b[2K{state}: {done}/{planned} runs, eta {eta:.0}s, target ±{:.1}%",
+            100.0 * target
+        );
+        let label_w = strata.iter().map(|(l, _)| l.len()).max().unwrap_or(4);
+        for (label, s) in &strata {
+            let met = if s.margin <= target { '✓' } else { ' ' };
+            println!(
+                "\x1b[2K  {label:<label_w$} n={:<6} AVF {:5.3} ±{:6.3}% {met} {}",
+                s.samples,
+                s.avf,
+                100.0 * s.margin,
+                sparkline(history.get(label).map_or(&[][..], Vec::as_slice)),
+            );
+        }
+        drawn = 1 + strata.len();
+
+        let idle = state != "running";
+        let converged = !strata.is_empty() && strata.iter().all(|(_, s)| s.margin <= target);
+        if converged || (idle && state == "done") {
+            println!(
+                "\n{}",
+                if converged {
+                    "every stratum within target margin"
+                } else {
+                    "campaign finished before reaching the target margin"
+                }
+            );
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
