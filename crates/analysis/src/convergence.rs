@@ -160,6 +160,7 @@ mod tests {
             anomalies: Vec::new(),
             supervision: Default::default(),
             checkpoints: None,
+            journal: None,
         };
         let out = render_convergence(&campaign);
         assert!(out.contains("Synthetic"), "{out}");
@@ -177,6 +178,7 @@ mod tests {
             anomalies: Vec::new(),
             supervision: Default::default(),
             checkpoints: None,
+            journal: None,
         };
         assert!(render_convergence(&campaign).contains("(no samples)"));
     }

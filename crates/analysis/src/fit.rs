@@ -108,6 +108,7 @@ mod tests {
             anomalies: vec![],
             supervision: Default::default(),
             checkpoints: None,
+            journal: None,
         };
         let raw = 1e-5;
         let r = fi_fit(&campaign, raw);

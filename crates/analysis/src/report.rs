@@ -207,6 +207,73 @@ pub fn checkpoint_table(
     )
 }
 
+/// Renders the journal-durability summary: one row per workload with
+/// the injection-campaign and beam-session [`JournalAudit`] counters
+/// merged. Non-zero `torn bytes` means a crashed predecessor left a
+/// partial record that resume truncated; `poisoned` means a write fault
+/// exhausted its retries and the run drained early on a valid prefix.
+///
+/// [`JournalAudit`]: sea_injection::JournalAudit
+pub fn journal_table(
+    rows: &[(
+        String,
+        Option<sea_injection::JournalAudit>,
+        Option<sea_injection::JournalAudit>,
+    )],
+) -> String {
+    use sea_injection::JournalAudit;
+    let mut body: Vec<Vec<String>> = Vec::new();
+    let mut total = JournalAudit::default();
+    for (name, inj, beam) in rows {
+        let inj = inj.unwrap_or_default();
+        let beam = beam.unwrap_or_default();
+        let merged = JournalAudit {
+            format: inj.format,
+            appended: inj.appended + beam.appended,
+            resumed: inj.resumed + beam.resumed,
+            torn_bytes: inj.torn_bytes + beam.torn_bytes,
+            fsyncs: inj.fsyncs + beam.fsyncs,
+            retries: inj.retries + beam.retries,
+            poisoned: inj.poisoned || beam.poisoned,
+        };
+        body.push(journal_row(name, &merged));
+        total.format = merged.format;
+        total.appended += merged.appended;
+        total.resumed += merged.resumed;
+        total.torn_bytes += merged.torn_bytes;
+        total.fsyncs += merged.fsyncs;
+        total.retries += merged.retries;
+        total.poisoned |= merged.poisoned;
+    }
+    body.push(journal_row("TOTAL", &total));
+    table(
+        &[
+            "workload",
+            "format",
+            "appended",
+            "resumed",
+            "torn bytes",
+            "fsyncs",
+            "retries",
+            "state",
+        ],
+        &body,
+    )
+}
+
+fn journal_row(name: &str, a: &sea_injection::JournalAudit) -> Vec<String> {
+    vec![
+        name.to_string(),
+        a.format.to_string(),
+        a.appended.to_string(),
+        a.resumed.to_string(),
+        a.torn_bytes.to_string(),
+        a.fsyncs.to_string(),
+        a.retries.to_string(),
+        if a.poisoned { "POISONED" } else { "ok" }.to_string(),
+    ]
+}
+
 fn checkpoint_row(
     name: &str,
     golden_cycles: u64,
@@ -351,6 +418,34 @@ mod tests {
         assert!(t.contains("prefix saved"));
         // 4000 cycles saved of an expected 10 × 1000 / 2 = 5000.
         assert!(t.contains("80.0%"), "{t}");
+        assert!(t.contains("TOTAL"));
+    }
+
+    #[test]
+    fn journal_table_merges_and_flags_poison() {
+        use sea_injection::JournalAudit;
+        let rows = vec![
+            (
+                "CRC32".to_string(),
+                Some(JournalAudit {
+                    appended: 100,
+                    resumed: 40,
+                    torn_bytes: 17,
+                    fsyncs: 3,
+                    ..JournalAudit::default()
+                }),
+                Some(JournalAudit {
+                    appended: 50,
+                    poisoned: true,
+                    ..JournalAudit::default()
+                }),
+            ),
+            ("Qsort".to_string(), None, None),
+        ];
+        let t = journal_table(&rows);
+        assert!(t.contains("torn bytes"));
+        assert!(t.contains("150"), "{t}"); // merged appends
+        assert!(t.contains("POISONED"), "{t}");
         assert!(t.contains("TOTAL"));
     }
 

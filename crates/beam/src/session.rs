@@ -21,8 +21,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use sea_injection::supervisor::{
-    attempt_run, fnv1a, golden_hash, journal_file, open_journal, run_supervised_until,
-    JournalError, JournalHeader, PoolStats, Quarantine, RunIdentity,
+    attempt_run, fnv1a, golden_hash, journal_file, open_journal, run_supervised_until, Journal,
+    JournalAudit, JournalError, JournalHeader, PoolStats, Quarantine, RunIdentity,
 };
 use sea_injection::{
     acquire_golden_and_checkpoints, class_index, CampaignConfig, ConvergenceTracker, InjectionSpec,
@@ -108,6 +108,8 @@ pub struct BeamResult {
     /// Checkpoint usage for simulated strikes (None when checkpointing
     /// was disabled).
     pub checkpoints: Option<CheckpointStats>,
+    /// Strike-log write-side audit (None when journaling was disabled).
+    pub journal: Option<JournalAudit>,
 }
 
 impl BeamResult {
@@ -559,7 +561,9 @@ pub fn run_session(
         })));
     }
     match &cfg.journal {
-        Some(spec) => sea_observe::publish_journal(Some(&journal_file(&spec.dir, "beam", name))),
+        Some(spec) => {
+            sea_observe::publish_journal(Some(&journal_file(&spec.dir, "beam", name, spec.format)))
+        }
         None => sea_observe::publish_journal(None),
     }
     if let Some(addr) = &cfg.serve {
@@ -573,14 +577,24 @@ pub fn run_session(
         }
     }
 
-    let stop_pred = cfg.stop_at_margin.map(|m| {
+    // Stop early on statistical convergence — or on a poisoned strike
+    // log: after a write fault exhausts its retries, further strikes would
+    // be unjournaled (unresumable), so drain cleanly instead.
+    let margin_stop = cfg.stop_at_margin.map(|m| {
         let tracker = tracker.clone();
         move || tracker.converged(m)
     });
-    let stop_ref: Option<&(dyn Fn() -> bool + Sync)> = match &stop_pred {
-        Some(f) => Some(f),
-        None => None,
+    let journal_ref = journal.as_ref();
+    let stop_pred: Option<Box<dyn Fn() -> bool + Sync + '_>> = if margin_stop.is_some()
+        || journal_ref.is_some()
+    {
+        Some(Box::new(move || {
+            journal_ref.is_some_and(|j| j.poisoned()) || margin_stop.as_ref().is_some_and(|f| f())
+        }))
+    } else {
+        None
     };
+    let stop_ref: Option<&(dyn Fn() -> bool + Sync)> = stop_pred.as_deref();
     let (fresh, pool): (Vec<(u64, StrikeVerdict)>, PoolStats) = run_supervised_until(
         &pending,
         threads,
@@ -647,7 +661,12 @@ pub fn run_session(
     sea_profile::prom_flush(true, || {
         beam_prom_snapshot(&progress, &tracker, fluence_per_strike, resumed)
     });
-    if pool.stopped {
+    if journal.as_ref().is_some_and(|j| j.poisoned()) {
+        event!(Subsystem::Beam, Level::Error, "beam.journal_poisoned_abort";
+               "workload" => name.to_string(),
+               "done" => done_strikes,
+               "planned" => pending.len() as u64);
+    } else if pool.stopped {
         event!(Subsystem::Beam, Level::Info, "beam.early_stop";
                "workload" => name.to_string(),
                "done" => done_strikes,
@@ -727,6 +746,11 @@ pub fn run_session(
            "nyc_years" => nyc_years,
            "runs_represented" => runs_represented);
 
+    if let Some(j) = &journal {
+        j.sync();
+    }
+    let journal_audit = journal.as_ref().map(Journal::audit);
+
     Ok(BeamResult {
         workload: name.to_string(),
         counts,
@@ -741,5 +765,6 @@ pub fn run_session(
         anomalies,
         supervision,
         checkpoints: ckpt_stats,
+        journal: journal_audit,
     })
 }

@@ -29,11 +29,16 @@
 //! stream, with fault provenance, and print a trace summary at exit)
 //! and `--progress` (live per-class progress meter on stderr).
 //!
-//! Campaign robustness flags (see README "Robustness"): `--journal DIR`
-//! writes an append-only outcome journal per workload, `--resume`
-//! validates and continues an interrupted journal, `--quarantine FILE`
-//! collects panicking runs as replayable anomaly records, and
-//! `--run-timeout-ms N` puts a wall-clock watchdog on every run.
+//! Campaign robustness flags (see README "Robustness" and "Durability"):
+//! `--journal DIR` writes an append-only outcome journal per workload,
+//! `--journal-format bin|jsonl` picks the crash-consistent `.seaj`
+//! binary container (default) or plain JSON Lines, `--fsync
+//! none|every-n=N|interval-ms=T` sets the journal fsync cadence,
+//! `--resume` validates and continues an interrupted journal (truncating
+//! a torn tail), `--quarantine FILE` collects panicking runs as
+//! replayable anomaly records, and `--run-timeout-ms N` puts a
+//! wall-clock watchdog on every run. The `journal` binary exports and
+//! audits `.seaj` journals offline.
 //!
 //! Checkpoint flags (see README "Performance"): `--checkpoint-interval N`
 //! captures golden-run epoch checkpoints every ~N cycles (0 = auto) and
@@ -263,6 +268,16 @@ pub fn parse_options() -> Options {
                 opts.study.journal_dir = Some(PathBuf::from(need(i)));
                 i += 2;
             }
+            "--journal-format" => {
+                opts.study.journal_format = sea_core::durable::JournalFormat::parse(&need(i))
+                    .unwrap_or_else(|e| panic!("--journal-format: {e}"));
+                i += 2;
+            }
+            "--fsync" => {
+                opts.study.journal_fsync = sea_core::durable::FsyncPolicy::parse(&need(i))
+                    .unwrap_or_else(|e| panic!("--fsync: {e}"));
+                i += 2;
+            }
             "--resume" => {
                 opts.study.resume = true;
                 i += 1;
@@ -448,6 +463,32 @@ pub fn run_study(opts: &Options) -> StudyResult {
         eprint!(
             "{}",
             sea_core::analysis::report::checkpoint_table(&ckpt_rows)
+        );
+    }
+    // Journal durability audit: rendered when journaling was active and
+    // something beyond plain appends happened (resume, torn tail, write
+    // retries, or a poisoned writer).
+    let journal_rows: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            (
+                w.workload.name().to_string(),
+                w.campaign.journal,
+                w.beam.journal,
+            )
+        })
+        .collect();
+    let journal_noteworthy = journal_rows.iter().any(|(_, i, b)| {
+        [i, b]
+            .into_iter()
+            .flatten()
+            .any(|a| a.resumed > 0 || a.torn_bytes > 0 || a.retries > 0 || a.poisoned)
+    });
+    if journal_noteworthy {
+        eprintln!("\njournal summary:");
+        eprint!(
+            "{}",
+            sea_core::analysis::report::journal_table(&journal_rows)
         );
     }
     let res = StudyResult {

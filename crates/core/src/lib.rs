@@ -44,6 +44,7 @@ pub use study::{Study, StudyError, StudyResult, WorkloadStudy};
 
 pub use sea_analysis as analysis;
 pub use sea_beam as beam;
+pub use sea_durable as durable;
 pub use sea_injection as injection;
 pub use sea_isa as isa;
 pub use sea_kernel as kernel;
@@ -57,8 +58,8 @@ pub use sea_workloads as workloads;
 pub use sea_analysis::{beam_fit, fi_fit, Comparison, FitRates, Overview};
 pub use sea_beam::{BeamConfig, BeamResult, RawFitResult};
 pub use sea_injection::{
-    CampaignConfig, CampaignResult, ClassCounts, JournalSpec, RunAnomaly, SupervisionStats,
-    SupervisorConfig,
+    CampaignConfig, CampaignResult, ClassCounts, FsyncPolicy, JournalAudit, JournalFormat,
+    JournalSpec, RunAnomaly, SupervisionStats, SupervisorConfig,
 };
 pub use sea_microarch::{Component, MachineConfig};
 pub use sea_platform::FaultClass;

@@ -91,6 +91,12 @@ pub struct Study {
     pub journal_dir: Option<std::path::PathBuf>,
     /// Resume from an existing journal instead of starting over.
     pub resume: bool,
+    /// Journal on-disk format: CRC-framed binary `.seaj` (default) or
+    /// plain JSONL compatibility mode. Runtime-only: a binary journal's
+    /// JSONL export is byte-identical to a JSONL-mode journal.
+    pub journal_format: sea_injection::JournalFormat,
+    /// Journal fsync cadence (how much recent work a power cut may cost).
+    pub journal_fsync: sea_injection::FsyncPolicy,
     /// Quarantine file for anomaly records (None = no quarantine file;
     /// anomalies are still counted in results).
     pub quarantine: Option<std::path::PathBuf>,
@@ -149,6 +155,8 @@ impl Default for Study {
             golden_budget_cycles: 500_000_000,
             journal_dir: None,
             resume: false,
+            journal_format: sea_injection::JournalFormat::default(),
+            journal_fsync: sea_injection::FsyncPolicy::default(),
             quarantine: None,
             run_wall_ms: 0,
             checkpoint_dir: None,
@@ -203,6 +211,8 @@ impl Study {
             .map(|dir| sea_injection::JournalSpec {
                 dir: dir.clone(),
                 resume: self.resume,
+                format: self.journal_format,
+                fsync: self.journal_fsync,
             })
     }
 

@@ -19,8 +19,8 @@ use std::sync::Arc;
 use crate::convergence::ConvergenceTracker;
 use crate::supervisor::{
     attempt_run, config_hash, golden_hash, journal_file, open_journal, run_supervised_until,
-    Journal, JournalError, JournalHeader, JournalSpec, PoolStats, Quarantine, RunAnomaly,
-    RunIdentity, RunVerdict, SupervisorConfig,
+    Journal, JournalAudit, JournalError, JournalHeader, JournalSpec, PoolStats, Quarantine,
+    RunAnomaly, RunIdentity, RunVerdict, SupervisorConfig,
 };
 
 /// Class-name labels for progress meters, index-aligned with
@@ -157,6 +157,8 @@ pub struct CampaignResult {
     pub supervision: SupervisionStats,
     /// Checkpoint usage (None when checkpointing was disabled).
     pub checkpoints: Option<CheckpointStats>,
+    /// Journal write-side audit (None when journaling was disabled).
+    pub journal: Option<JournalAudit>,
 }
 
 impl CampaignResult {
@@ -699,9 +701,12 @@ pub fn run_campaign(
         sea_observe::publish_metrics(Some(Arc::new(move || prom_snapshot(&progress, &tracker))));
     }
     match &cfg.journal {
-        Some(spec) => {
-            sea_observe::publish_journal(Some(&journal_file(&spec.dir, "inject", &id.workload)))
-        }
+        Some(spec) => sea_observe::publish_journal(Some(&journal_file(
+            &spec.dir,
+            "inject",
+            &id.workload,
+            spec.format,
+        ))),
         None => sea_observe::publish_journal(None),
     }
     if let Some(addr) = &cfg.serve {
@@ -715,14 +720,24 @@ pub fn run_campaign(
         }
     }
 
-    let stop_pred = cfg.stop_at_margin.map(|m| {
+    // Stop early on statistical convergence — or on a poisoned journal:
+    // once a write fault has exhausted its retries, running on would only
+    // produce unjournaled (unresumable) work, so drain cleanly instead.
+    let margin_stop = cfg.stop_at_margin.map(|m| {
         let tracker = tracker.clone();
         move || tracker.converged(m)
     });
-    let stop_ref: Option<&(dyn Fn() -> bool + Sync)> = match &stop_pred {
-        Some(f) => Some(f),
-        None => None,
+    let journal_ref = journal.as_ref();
+    let stop_pred: Option<Box<dyn Fn() -> bool + Sync + '_>> = if margin_stop.is_some()
+        || journal_ref.is_some()
+    {
+        Some(Box::new(move || {
+            journal_ref.is_some_and(|j| j.poisoned()) || margin_stop.as_ref().is_some_and(|f| f())
+        }))
+    } else {
+        None
     };
+    let stop_ref: Option<&(dyn Fn() -> bool + Sync)> = stop_pred.as_deref();
     let (fresh, pool): (Vec<(u64, RunVerdict)>, PoolStats) = run_supervised_until(
         &pending,
         threads,
@@ -762,7 +777,13 @@ pub fn run_campaign(
     // the Prometheus snapshot, forced, and this thread's trace ring so the
     // campaign's closing events reach the `/events` tail promptly.
     sea_profile::prom_flush(true, || prom_snapshot(&progress, &tracker));
-    if pool.stopped {
+    let journal_poisoned = journal.as_ref().is_some_and(|j| j.poisoned());
+    if journal_poisoned {
+        event!(Subsystem::Injection, Level::Error, "injection.journal_poisoned_abort";
+               "workload" => id.workload.clone(),
+               "done" => done_runs,
+               "planned" => pending.len() as u64);
+    } else if pool.stopped {
         event!(Subsystem::Injection, Level::Info, "injection.early_stop";
                "workload" => id.workload.clone(),
                "done" => done_runs,
@@ -845,6 +866,13 @@ pub fn run_campaign(
                "golden_cycles" => golden.cycles);
     }
 
+    // Make the tail durable before handing the result back, whatever the
+    // fsync policy chose to defer.
+    if let Some(j) = &journal {
+        j.sync();
+    }
+    let journal_audit = journal.as_ref().map(Journal::audit);
+
     Ok(CampaignResult {
         workload: name.to_string(),
         golden_cycles: golden.cycles,
@@ -852,6 +880,7 @@ pub fn run_campaign(
         anomalies,
         supervision,
         checkpoints: ckpt_stats,
+        journal: journal_audit,
     })
 }
 

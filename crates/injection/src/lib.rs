@@ -33,6 +33,6 @@ pub use campaign::{
 pub use convergence::{ConvergenceTracker, StratumSnapshot};
 pub use sea_platform::ClassCounts;
 pub use supervisor::{
-    load_quarantine, run_one_caught, supervisor_health, JournalSpec, RunAnomaly, SupervisorConfig,
-    SupervisorHealth,
+    load_quarantine, run_one_caught, supervisor_health, FsyncPolicy, JournalAudit, JournalFormat,
+    JournalSpec, RunAnomaly, SupervisorConfig, SupervisorHealth,
 };

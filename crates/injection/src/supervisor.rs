@@ -14,11 +14,17 @@
 //!   run up to [`SupervisorConfig::max_attempts`] times, distinguishing
 //!   deterministic panics from flaky ones, and appends every anomaly to a
 //!   replayable JSONL [`Quarantine`] file (see the `replay` bench binary).
-//! * **Journal + resume** — [`Journal`] is an append-only JSONL outcome
-//!   log (reusing the hand-rolled `sea-trace` serializer); on resume the
-//!   header (seed, config hash, golden hash, total) is validated and
-//!   completed runs are skipped, so a killed campaign continues where it
-//!   stopped without re-simulating finished work.
+//! * **Journal + resume** — [`Journal`] is an append-only, crash-consistent
+//!   outcome log built on `sea-durable`: by default a `.seaj` binary file
+//!   of CRC32-framed, sequence-numbered records (payloads are the exact
+//!   JSONL line bytes, so export is lossless), with
+//!   `--journal-format jsonl` as a compatibility mode. On resume the
+//!   header (seed, config hash, golden hash, total) is validated, a torn
+//!   or corrupt tail from the crash is truncated, and completed runs are
+//!   skipped, so a killed campaign continues where it stopped without
+//!   re-simulating finished work. Write faults (disk-full, EIO) retry
+//!   with bounded backoff, then poison the journal so the campaign drains
+//!   cleanly leaving a valid resumable prefix.
 //! * **Worker supervision** — [`run_supervised`] pulls work through a
 //!   self-healing pool: a worker that dies mid-campaign is respawned (its
 //!   in-flight item is requeued), degrading gracefully to fewer threads
@@ -29,10 +35,12 @@ use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
+use sea_durable::{DurableWriter, SeajError};
+pub use sea_durable::{FsyncPolicy, JournalFormat};
 use sea_platform::{postmortem, CheckpointSet, RunLimits};
 use sea_trace::json::{self, Json, ObjWriter};
 use sea_trace::{event, Counter, Level, Subsystem};
@@ -220,10 +228,24 @@ pub struct Quarantine {
 impl Quarantine {
     /// Opens (creating if needed) the quarantine file for appending.
     ///
+    /// A crash mid-record leaves a newline-less torn tail that would wedge
+    /// `replay` on a half-record and let the next append concatenate onto
+    /// it; the tail is truncated away before appending resumes.
+    ///
     /// # Errors
     ///
     /// Propagates the underlying I/O error.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Quarantine> {
+        let path = path.as_ref();
+        if let Ok(bytes) = std::fs::read(path) {
+            let keep = sea_durable::jsonl_tail_offset(&bytes);
+            if keep < bytes.len() {
+                let dropped = sea_durable::truncate_file(path, keep as u64)?;
+                event!(Subsystem::Injection, Level::Warn, "quarantine.torn_tail";
+                       "path" => path.display().to_string(),
+                       "dropped_bytes" => dropped);
+            }
+        }
         let f = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(Quarantine {
             w: Mutex::new(f),
@@ -324,6 +346,24 @@ pub struct JournalSpec {
     /// Validate an existing journal and skip its completed runs instead of
     /// truncating it.
     pub resume: bool,
+    /// On-disk representation: CRC-framed binary (`.seaj`, the default) or
+    /// plain JSONL compatibility mode.
+    pub format: JournalFormat,
+    /// How often appended records are `fdatasync`ed.
+    pub fsync: FsyncPolicy,
+}
+
+impl JournalSpec {
+    /// A fresh (non-resuming) journal in `dir` with the default binary
+    /// format and fsync cadence.
+    pub fn new(dir: impl Into<PathBuf>) -> JournalSpec {
+        JournalSpec {
+            dir: dir.into(),
+            resume: false,
+            format: JournalFormat::default(),
+            fsync: FsyncPolicy::default(),
+        }
+    }
 }
 
 /// The identity a journal is bound to; all fields are validated on resume.
@@ -357,6 +397,10 @@ pub enum JournalError {
     /// An existing journal does not match this campaign (wrong seed,
     /// config, workload build, or run count).
     Header(String),
+    /// The file's container structure is untrustworthy beyond tail repair:
+    /// wrong magic, wrong container version, or a corrupt file header.
+    /// (A torn *tail* is not an error — it is truncated and resumed.)
+    Corrupt(String),
 }
 
 impl std::fmt::Display for JournalError {
@@ -364,14 +408,19 @@ impl std::fmt::Display for JournalError {
         match self {
             JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
             JournalError::Header(s) => write!(f, "journal header mismatch: {s}"),
+            JournalError::Corrupt(s) => write!(
+                f,
+                "journal corrupt: {s} (delete the file or rerun without --resume to start over)"
+            ),
         }
     }
 }
 
 impl std::error::Error for JournalError {}
 
-/// The journal file for one (workload, kind) pair inside a journal dir.
-pub fn journal_file(dir: &Path, kind: &str, workload: &str) -> PathBuf {
+/// The journal file for one (workload, kind, format) triple inside a
+/// journal dir.
+pub fn journal_file(dir: &Path, kind: &str, workload: &str, format: JournalFormat) -> PathBuf {
     let slug: String = workload
         .chars()
         .map(|c| {
@@ -382,23 +431,112 @@ pub fn journal_file(dir: &Path, kind: &str, workload: &str) -> PathBuf {
             }
         })
         .collect();
-    dir.join(format!("{slug}.{kind}.jsonl"))
+    dir.join(format!("{slug}.{kind}.{}", format.extension()))
 }
 
-/// An open append-only outcome journal. Every appended line is flushed so
-/// a killed campaign loses at most the in-flight runs.
+/// Write-side summary of one journal's life in this process — the row
+/// behind the post-run journal audit table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalAudit {
+    /// On-disk representation.
+    pub format: JournalFormat,
+    /// Records appended by this handle.
+    pub appended: u64,
+    /// Records replayed from an existing journal on resume.
+    pub resumed: u64,
+    /// Torn/corrupt tail bytes truncated on resume.
+    pub torn_bytes: u64,
+    /// Explicit `fdatasync` calls issued by the fsync policy.
+    pub fsyncs: u64,
+    /// Append attempts that failed and were retried.
+    pub retries: u64,
+    /// True when a write fault exhausted its retries and the journal
+    /// refused further appends (the campaign drained early).
+    pub poisoned: bool,
+}
+
+struct JournalInner {
+    w: DurableWriter,
+    next_seq: u64,
+}
+
+/// An open append-only outcome journal backed by a [`DurableWriter`]:
+/// records are CRC32-framed (binary mode) or newline-terminated lines
+/// (JSONL mode), fsynced per the [`FsyncPolicy`], and written
+/// all-or-nothing so a crash or write fault always leaves a valid
+/// resumable prefix.
 pub struct Journal {
-    w: Mutex<File>,
+    inner: Mutex<JournalInner>,
+    format: JournalFormat,
+    sub: Subsystem,
+    appended: AtomicU64,
+    resumed: u64,
+    torn_bytes: u64,
+    poisoned: AtomicBool,
 }
 
 impl Journal {
     /// Appends one entry line (the caller provides the serialized object,
-    /// without trailing newline).
+    /// without trailing newline). In binary mode the line bytes become a
+    /// framed record payload — which is what makes the JSONL export of a
+    /// binary journal byte-identical to a JSONL-mode journal.
     pub fn append(&self, line: &str) {
-        let mut w = self.w.lock();
-        let _ = w.write_all(line.as_bytes());
-        let _ = w.write_all(b"\n");
-        let _ = w.flush();
+        if self.poisoned.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let res = match self.format {
+            JournalFormat::Binary => {
+                let rec = sea_durable::encode_record(inner.next_seq, line.as_bytes());
+                inner.w.append(&rec)
+            }
+            JournalFormat::Jsonl => {
+                let mut bytes = Vec::with_capacity(line.len() + 1);
+                bytes.extend_from_slice(line.as_bytes());
+                bytes.push(b'\n');
+                inner.w.append(&bytes)
+            }
+        };
+        match res {
+            Ok(()) => {
+                inner.next_seq += 1;
+                self.appended.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                // The writer rolled the file back to the last good record
+                // and poisoned itself after bounded retries; surface the
+                // fault once and let the campaign drain cleanly.
+                self.poisoned.store(true, Ordering::Relaxed);
+                event!(self.sub, Level::Error, "journal.write_failed";
+                       "error" => e.to_string(),
+                       "valid_bytes" => inner.w.len());
+            }
+        }
+    }
+
+    /// True once a write fault exhausted its retries; the campaign's stop
+    /// predicate consults this to abort cleanly with a resumable prefix.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Force an `fdatasync` of everything appended so far.
+    pub fn sync(&self) {
+        self.inner.lock().w.sync();
+    }
+
+    /// Write-side summary for the post-run audit table.
+    pub fn audit(&self) -> JournalAudit {
+        let stats = self.inner.lock().w.stats();
+        JournalAudit {
+            format: self.format,
+            appended: self.appended.load(Ordering::Relaxed),
+            resumed: self.resumed,
+            torn_bytes: self.torn_bytes,
+            fsyncs: stats.fsyncs,
+            retries: stats.retries,
+            poisoned: self.poisoned(),
+        }
     }
 }
 
@@ -482,65 +620,187 @@ fn validate_header(line: &str, want: &JournalHeader) -> Result<(), String> {
     Ok(())
 }
 
+fn journal_sub(kind: &str) -> Subsystem {
+    if kind == "beam" {
+        Subsystem::Beam
+    } else {
+        Subsystem::Injection
+    }
+}
+
 /// Opens (or resumes) the journal for `header`, returning the open journal
 /// plus the already-completed entry objects (empty for a fresh journal).
 ///
-/// On resume, the header line is validated against `header`; any
-/// non-parsing entry line (a torn write from the crash) ends the replay of
-/// the journal — everything after it is re-run.
+/// On resume the header is validated against `header`, then the record
+/// region is walked with CRC/sequence validation (binary) or line parsing
+/// (JSONL). A torn or corrupt *tail* — a partial record from the crash, a
+/// flipped bit, a sequence gap — is truncated away with a warning and
+/// those runs are simply re-executed; only an untrustworthy header is a
+/// hard error. An existing but *empty* file (crashed before the header
+/// landed) is recreated fresh.
 ///
 /// # Errors
 ///
-/// I/O failures and header mismatches.
+/// I/O failures, header mismatches ([`JournalError::Header`]), and
+/// structurally corrupt containers ([`JournalError::Corrupt`]).
 pub fn open_journal(
     spec: &JournalSpec,
     header: &JournalHeader,
 ) -> Result<(Journal, Vec<Json>), JournalError> {
     std::fs::create_dir_all(&spec.dir).map_err(JournalError::Io)?;
-    let path = journal_file(&spec.dir, header.kind, &header.workload);
-    if spec.resume && path.exists() {
-        let text = std::fs::read_to_string(&path).map_err(JournalError::Io)?;
-        let mut lines = text.lines();
-        let first = lines.next().unwrap_or("");
-        validate_header(first, header).map_err(JournalError::Header)?;
+    let path = journal_file(&spec.dir, header.kind, &header.workload, spec.format);
+    let sub = journal_sub(header.kind);
+    let existing = if spec.resume && path.exists() {
+        std::fs::read(&path).map_err(JournalError::Io)?
+    } else {
+        Vec::new()
+    };
+
+    if spec.resume && path.exists() && existing.is_empty() {
+        // Crashed after create but before the header write: nothing to
+        // resume, nothing to mis-trust. Recreate.
+        event!(sub, Level::Warn, "journal.empty_recreated";
+               "path" => path.display().to_string());
+    }
+
+    if !existing.is_empty() {
         let mut entries = Vec::new();
         let mut seen: HashSet<u64> = HashSet::new();
-        for line in lines {
+        let mut push_entry = |line: &str| -> bool {
             let Ok(j) = json::parse(line) else {
-                // Torn tail write from the crash: runs after this point
-                // are simply re-executed.
-                break;
+                return false;
             };
             let Some(i) = j.get("i").and_then(Json::as_u64) else {
-                break;
+                return false;
             };
             if i < header.total && seen.insert(i) {
                 entries.push(j);
             }
-        }
-        let f = OpenOptions::new()
-            .append(true)
-            .open(&path)
-            .map_err(JournalError::Io)?;
-        let sub = if header.kind == "beam" {
-            Subsystem::Beam
-        } else {
-            Subsystem::Injection
+            true
         };
+
+        let (valid_len, next_seq) = match spec.format {
+            JournalFormat::Binary => {
+                let scan = sea_durable::scan(&existing).map_err(|e| match e {
+                    SeajError::NotSeaj | SeajError::Version(_) => {
+                        JournalError::Corrupt(format!("{}: {e}", path.display()))
+                    }
+                    SeajError::CorruptHeader(_) => JournalError::Corrupt(format!(
+                        "{}: {e}; the campaign identity cannot be trusted",
+                        path.display()
+                    )),
+                })?;
+                let header_str = std::str::from_utf8(scan.header).map_err(|_| {
+                    JournalError::Corrupt(format!("{}: header is not UTF-8", path.display()))
+                })?;
+                validate_header(header_str, header).map_err(JournalError::Header)?;
+                // Walk records tracking byte offsets so a CRC-valid but
+                // non-entry payload (should never happen) truncates too.
+                let record_bytes: usize = scan
+                    .records
+                    .iter()
+                    .map(|r| r.len() + sea_durable::RECORD_OVERHEAD)
+                    .sum();
+                let preamble = existing.len() - scan.torn_bytes - record_bytes;
+                let mut off = preamble;
+                let mut seq = 0u64;
+                for payload in &scan.records {
+                    let parsed = match std::str::from_utf8(payload) {
+                        Ok(line) => push_entry(line),
+                        Err(_) => false,
+                    };
+                    if !parsed {
+                        break;
+                    }
+                    off += payload.len() + sea_durable::RECORD_OVERHEAD;
+                    seq += 1;
+                }
+                (off, seq + 1)
+            }
+            JournalFormat::Jsonl => {
+                let text = String::from_utf8_lossy(&existing);
+                let header_end = match text.find('\n') {
+                    Some(nl) => nl + 1,
+                    None => {
+                        return Err(JournalError::Corrupt(format!(
+                            "{}: torn header line; the campaign identity cannot be trusted",
+                            path.display()
+                        )))
+                    }
+                };
+                validate_header(text[..header_end - 1].trim_end(), header)
+                    .map_err(JournalError::Header)?;
+                let mut off = header_end;
+                let mut replayed = 0u64;
+                while off < text.len() {
+                    let Some(nl) = text[off..].find('\n') else {
+                        break; // newline-less torn tail
+                    };
+                    if !push_entry(&text[off..off + nl]) {
+                        break; // unparseable line: truncate from here
+                    }
+                    replayed += 1;
+                    off += nl + 1;
+                }
+                (off, replayed + 1)
+            }
+        };
+
+        let torn_bytes = (existing.len() - valid_len) as u64;
+        if torn_bytes > 0 {
+            event!(sub, Level::Warn, "journal.torn_tail";
+                   "path" => path.display().to_string(),
+                   "dropped_bytes" => torn_bytes,
+                   "valid_bytes" => valid_len as u64);
+        }
+        let w = DurableWriter::open_at(&path, valid_len as u64, spec.fsync)
+            .map_err(JournalError::Io)?;
         event!(sub, Level::Info, "supervisor.resume";
                "kind" => header.kind,
                "workload" => header.workload.clone(),
                "done" => entries.len() as u64,
                "total" => header.total);
-        Ok((Journal { w: Mutex::new(f) }, entries))
-    } else {
-        let mut f = File::create(&path).map_err(JournalError::Io)?;
-        let mut line = header_line(header);
-        line.push('\n');
-        f.write_all(line.as_bytes()).map_err(JournalError::Io)?;
-        f.flush().map_err(JournalError::Io)?;
-        Ok((Journal { w: Mutex::new(f) }, Vec::new()))
+        let resumed = entries.len() as u64;
+        return Ok((
+            Journal {
+                inner: Mutex::new(JournalInner { w, next_seq }),
+                format: spec.format,
+                sub,
+                appended: AtomicU64::new(0),
+                resumed,
+                torn_bytes,
+                poisoned: AtomicBool::new(false),
+            },
+            entries,
+        ));
     }
+
+    // Fresh journal (or an empty leftover being recreated).
+    let mut w = DurableWriter::create(&path, spec.fsync).map_err(JournalError::Io)?;
+    let line = header_line(header);
+    let bytes = match spec.format {
+        JournalFormat::Binary => sea_durable::encode_file_header(line.as_bytes()),
+        JournalFormat::Jsonl => {
+            let mut b = line.into_bytes();
+            b.push(b'\n');
+            b
+        }
+    };
+    w.append(&bytes).map_err(JournalError::Io)?;
+    // The identity must survive a crash even under `--fsync none`.
+    w.sync();
+    Ok((
+        Journal {
+            inner: Mutex::new(JournalInner { w, next_seq: 1 }),
+            format: spec.format,
+            sub,
+            appended: AtomicU64::new(0),
+            resumed: 0,
+            torn_bytes: 0,
+            poisoned: AtomicBool::new(false),
+        },
+        Vec::new(),
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -934,10 +1194,12 @@ mod tests {
 
     #[test]
     fn journal_file_slugs_workload_names() {
-        let p = journal_file(Path::new("j"), "inject", "Jpeg C");
-        assert_eq!(p, PathBuf::from("j/jpeg_c.inject.jsonl"));
-        let p = journal_file(Path::new("j"), "beam", "CRC32");
-        assert_eq!(p, PathBuf::from("j/crc32.beam.jsonl"));
+        let p = journal_file(Path::new("j"), "inject", "Jpeg C", JournalFormat::Binary);
+        assert_eq!(p, PathBuf::from("j/jpeg_c.inject.seaj"));
+        let p = journal_file(Path::new("j"), "beam", "CRC32", JournalFormat::Binary);
+        assert_eq!(p, PathBuf::from("j/crc32.beam.seaj"));
+        let p = journal_file(Path::new("j"), "inject", "CRC32", JournalFormat::Jsonl);
+        assert_eq!(p, PathBuf::from("j/crc32.inject.jsonl"));
     }
 
     #[test]

@@ -76,18 +76,12 @@ fn checkpointed_campaign_journal_is_byte_identical_to_reset_campaign() {
     let ckpt_dir = scratch("ckpt");
 
     let mut plain = tiny_cfg();
-    plain.journal = Some(JournalSpec {
-        dir: plain_dir.clone(),
-        resume: false,
-    });
+    plain.journal = Some(JournalSpec::new(plain_dir.clone()));
     let a = run_campaign("CRC32", &w, &plain).unwrap();
     assert!(a.checkpoints.is_none());
 
     let mut ckpt = tiny_cfg();
-    ckpt.journal = Some(JournalSpec {
-        dir: ckpt_dir.clone(),
-        resume: false,
-    });
+    ckpt.journal = Some(JournalSpec::new(ckpt_dir.clone()));
     ckpt.checkpoints = Some(CheckpointPolicy {
         dir: None,
         interval: 10_000,
@@ -101,8 +95,8 @@ fn checkpointed_campaign_journal_is_byte_identical_to_reset_campaign() {
     // Same classifications, same per-component tallies…
     assert_eq!(a.per_component, b.per_component);
     // …and the journals agree byte for byte.
-    let ja = fs::read(plain_dir.join("crc32.inject.jsonl")).unwrap();
-    let jb = fs::read(ckpt_dir.join("crc32.inject.jsonl")).unwrap();
+    let ja = fs::read(plain_dir.join("crc32.inject.seaj")).unwrap();
+    let jb = fs::read(ckpt_dir.join("crc32.inject.seaj")).unwrap();
     assert!(!ja.is_empty());
     assert_eq!(ja, jb, "checkpointed journal differs from reset journal");
 
@@ -140,4 +134,51 @@ fn persisted_checkpoints_are_reloaded_and_give_identical_results() {
     assert_eq!(a.checkpoints.unwrap().epochs, b.checkpoints.unwrap().epochs);
 
     let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_persisted_checkpoint_degrades_to_recapture_not_panic() {
+    let w = Workload::Crc32.build(Scale::Tiny);
+    let ckpt_dir = scratch("corrupt_ckpt");
+    let ref_dir = scratch("corrupt_ref");
+    let jour_dir = scratch("corrupt_jour");
+
+    // Reference: checkpoint-less campaign journal.
+    let mut reference = tiny_cfg();
+    reference.journal = Some(JournalSpec::new(ref_dir.clone()));
+    let a = run_campaign("CRC32", &w, &reference).unwrap();
+
+    // Persist a checkpoint set, then flip one byte mid-file: the section
+    // CRC must catch it on reload.
+    let mut cfg = tiny_cfg();
+    cfg.checkpoints = Some(CheckpointPolicy {
+        dir: Some(ckpt_dir.clone()),
+        interval: 10_000,
+    });
+    run_campaign("CRC32", &w, &cfg).unwrap();
+    let victim = fs::read_dir(&ckpt_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "seackpt"))
+        .expect("a persisted .seackpt");
+    let mut bytes = fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(&victim, bytes).unwrap();
+
+    // The corrupted set is rejected with a warning, re-captured from the
+    // golden run, and the campaign's journal still matches the
+    // checkpoint-less reference byte for byte.
+    cfg.journal = Some(JournalSpec::new(jour_dir.clone()));
+    let b = run_campaign("CRC32", &w, &cfg).unwrap();
+    assert_eq!(a.per_component, b.per_component);
+    assert!(b.checkpoints.unwrap().epochs > 0);
+    let ja = fs::read(ref_dir.join("crc32.inject.seaj")).unwrap();
+    let jb = fs::read(jour_dir.join("crc32.inject.seaj")).unwrap();
+    assert_eq!(ja, jb, "degraded-path journal differs from reference");
+
+    let _ = fs::remove_dir_all(&ckpt_dir);
+    let _ = fs::remove_dir_all(&ref_dir);
+    let _ = fs::remove_dir_all(&jour_dir);
 }

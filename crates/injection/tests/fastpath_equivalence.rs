@@ -87,18 +87,12 @@ fn fastpath_campaign_journal_is_byte_identical_to_slow_campaign() {
     let fast_dir = scratch("fast");
 
     let mut slow = tiny_cfg();
-    slow.journal = Some(JournalSpec {
-        dir: slow_dir.clone(),
-        resume: false,
-    });
+    slow.journal = Some(JournalSpec::new(slow_dir.clone()));
     let a = run_campaign("CRC32", &w, &slow).unwrap();
 
     let mut fast = tiny_cfg();
     fast.fast_path = true;
-    fast.journal = Some(JournalSpec {
-        dir: fast_dir.clone(),
-        resume: false,
-    });
+    fast.journal = Some(JournalSpec::new(fast_dir.clone()));
     let b = run_campaign("CRC32", &w, &fast).unwrap();
 
     // Identical classifications and tallies…
@@ -106,8 +100,8 @@ fn fastpath_campaign_journal_is_byte_identical_to_slow_campaign() {
     assert_eq!(a.golden_cycles, b.golden_cycles);
     // …and byte-identical journals (same config hash: `fast_path` is a
     // runtime-only knob, like `threads` and `checkpoints`).
-    let ja = fs::read(slow_dir.join("crc32.inject.jsonl")).unwrap();
-    let jb = fs::read(fast_dir.join("crc32.inject.jsonl")).unwrap();
+    let ja = fs::read(slow_dir.join("crc32.inject.seaj")).unwrap();
+    let jb = fs::read(fast_dir.join("crc32.inject.seaj")).unwrap();
     assert!(!ja.is_empty());
     assert_eq!(ja, jb, "fast-path journal differs from slow-path journal");
 

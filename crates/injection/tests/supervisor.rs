@@ -5,10 +5,11 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use sea_durable::RECORD_OVERHEAD;
 use sea_injection::supervisor::journal_file;
 use sea_injection::{
     load_quarantine, run_campaign, run_one_caught, CampaignConfig, CampaignError, InjectionSpec,
-    JournalSpec,
+    JournalFormat, JournalSpec,
 };
 use sea_microarch::Component;
 use sea_workloads::{Scale, Workload};
@@ -120,27 +121,30 @@ fn resumed_campaign_reproduces_the_uninterrupted_result() {
     // Reference: the same campaign with no journal at all.
     let reference = run_campaign("CRC32", &w, &tiny_cfg()).unwrap();
 
-    // A clean journaled run, which we then truncate to simulate a
-    // mid-campaign kill: keep the header and the first half of the
-    // outcome lines.
+    // A clean journaled run (binary .seaj by default), which we then cut
+    // mid-record to simulate a kill during an append: keep four complete
+    // records plus a 7-byte torn fragment of the fifth.
     let mut cfg = tiny_cfg();
-    cfg.journal = Some(JournalSpec {
-        dir: dir.clone(),
-        resume: false,
-    });
+    cfg.journal = Some(JournalSpec::new(dir.clone()));
     run_campaign("CRC32", &w, &cfg).unwrap();
-    let jpath = journal_file(&dir, "inject", "CRC32");
-    let text = fs::read_to_string(&jpath).unwrap();
-    let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), 9, "header + 8 outcomes:\n{text}");
-    let keep = lines[..1 + 4].join("\n") + "\n";
-    fs::write(&jpath, keep).unwrap();
+    let jpath = journal_file(&dir, "inject", "CRC32", JournalFormat::Binary);
+    let clean = fs::read(&jpath).unwrap();
+    let scan = sea_durable::scan(&clean).unwrap();
+    assert_eq!(scan.records.len(), 8, "8 outcome records");
+    assert_eq!(scan.torn_bytes, 0);
+    let tail: usize = scan.records[4..]
+        .iter()
+        .map(|r| r.len() + RECORD_OVERHEAD)
+        .sum();
+    let cut = scan.valid_len - tail + 7;
+    fs::write(&jpath, &clean[..cut]).unwrap();
 
-    // Resume: the four journaled runs are skipped, the rest re-simulated.
+    // Resume: the torn fragment is truncated, the four journaled runs are
+    // skipped, and the rest re-simulated.
     let mut cfg = tiny_cfg();
     cfg.journal = Some(JournalSpec {
-        dir: dir.clone(),
         resume: true,
+        ..JournalSpec::new(dir.clone())
     });
     let resumed = run_campaign("CRC32", &w, &cfg).unwrap();
 
@@ -149,6 +153,134 @@ fn resumed_campaign_reproduces_the_uninterrupted_result() {
     assert_eq!(resumed.per_component, reference.per_component);
     assert_eq!(resumed.anomalies, reference.anomalies);
     assert_eq!(resumed.golden_cycles, reference.golden_cycles);
+    let audit = resumed.journal.expect("journal audit");
+    assert_eq!(audit.resumed, 4);
+    assert_eq!(audit.appended, 4);
+    assert_eq!(audit.torn_bytes, 7);
+    assert!(!audit.poisoned);
+
+    // Crash consistency: the resumed journal is byte-identical to the
+    // uninterrupted one.
+    assert_eq!(fs::read(&jpath).unwrap(), clean);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resumed_jsonl_campaign_truncates_the_torn_tail_too() {
+    let dir = scratch("resume_jsonl");
+    let w = Workload::Crc32.build(Scale::Tiny);
+    let jsonl = JournalSpec {
+        format: JournalFormat::Jsonl,
+        ..JournalSpec::new(dir.clone())
+    };
+
+    let mut cfg = tiny_cfg();
+    cfg.journal = Some(jsonl.clone());
+    run_campaign("CRC32", &w, &cfg).unwrap();
+    let jpath = journal_file(&dir, "inject", "CRC32", JournalFormat::Jsonl);
+    let clean = fs::read(&jpath).unwrap();
+    let text = std::str::from_utf8(&clean).unwrap();
+    assert_eq!(text.lines().count(), 9, "header + 8 outcomes:\n{text}");
+    // Keep the header, four complete lines, and half of the fifth.
+    let cut = text.match_indices('\n').nth(4).map(|(i, _)| i + 1).unwrap() + 4;
+    fs::write(&jpath, &clean[..cut]).unwrap();
+
+    let mut cfg = tiny_cfg();
+    cfg.journal = Some(JournalSpec {
+        resume: true,
+        ..jsonl
+    });
+    let resumed = run_campaign("CRC32", &w, &cfg).unwrap();
+
+    assert_eq!(resumed.supervision.resumed, 4);
+    assert_eq!(resumed.supervision.completed, 8);
+    let audit = resumed.journal.expect("journal audit");
+    assert_eq!(audit.resumed, 4);
+    assert_eq!(audit.torn_bytes, 4);
+    assert_eq!(fs::read(&jpath).unwrap(), clean);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_recovers_the_prefix_before_a_flipped_record_byte() {
+    let dir = scratch("bitflip");
+    let w = Workload::Crc32.build(Scale::Tiny);
+
+    let mut cfg = tiny_cfg();
+    cfg.journal = Some(JournalSpec::new(dir.clone()));
+    run_campaign("CRC32", &w, &cfg).unwrap();
+    let jpath = journal_file(&dir, "inject", "CRC32", JournalFormat::Binary);
+    let clean = fs::read(&jpath).unwrap();
+    let scan = sea_durable::scan(&clean).unwrap();
+    // Flip a byte inside the sixth record's payload: the record CRC must
+    // stop the walk there, and resume keeps the five records before it.
+    let tail: usize = scan.records[5..]
+        .iter()
+        .map(|r| r.len() + RECORD_OVERHEAD)
+        .sum();
+    let mut corrupt = clean.clone();
+    let victim = scan.valid_len - tail + RECORD_OVERHEAD / 2;
+    corrupt[victim] ^= 0x01;
+    fs::write(&jpath, &corrupt).unwrap();
+
+    let mut cfg = tiny_cfg();
+    cfg.journal = Some(JournalSpec {
+        resume: true,
+        ..JournalSpec::new(dir.clone())
+    });
+    let resumed = run_campaign("CRC32", &w, &cfg).unwrap();
+
+    assert_eq!(resumed.supervision.resumed, 5);
+    assert_eq!(resumed.supervision.completed, 8);
+    let audit = resumed.journal.expect("journal audit");
+    assert!(audit.torn_bytes > 0, "the corrupt suffix was truncated");
+    assert_eq!(fs::read(&jpath).unwrap(), clean);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_of_an_empty_journal_restarts_cleanly() {
+    let dir = scratch("empty");
+    let w = Workload::Crc32.build(Scale::Tiny);
+    let jpath = journal_file(&dir, "inject", "CRC32", JournalFormat::Binary);
+    fs::write(&jpath, b"").unwrap();
+
+    let mut cfg = tiny_cfg();
+    cfg.journal = Some(JournalSpec {
+        resume: true,
+        ..JournalSpec::new(dir.clone())
+    });
+    let res = run_campaign("CRC32", &w, &cfg).unwrap();
+    assert_eq!(res.supervision.resumed, 0);
+    assert_eq!(res.supervision.completed, 8);
+    let audit = res.journal.expect("journal audit");
+    assert_eq!(audit.appended, 8);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_a_file_that_is_not_a_seaj_journal() {
+    let dir = scratch("notseaj");
+    let w = Workload::Crc32.build(Scale::Tiny);
+    let jpath = journal_file(&dir, "inject", "CRC32", JournalFormat::Binary);
+    fs::write(&jpath, b"this is not a journal, it is a text file\n").unwrap();
+
+    let mut cfg = tiny_cfg();
+    cfg.journal = Some(JournalSpec {
+        resume: true,
+        ..JournalSpec::new(dir.clone())
+    });
+    match run_campaign("CRC32", &w, &cfg) {
+        Err(CampaignError::Journal(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("corrupt"), "actionable error: {msg}");
+        }
+        other => panic!("expected a journal corruption error, got {other:?}"),
+    }
 
     let _ = fs::remove_dir_all(&dir);
 }
@@ -159,10 +291,7 @@ fn resume_rejects_a_journal_from_a_different_campaign() {
     let w = Workload::Crc32.build(Scale::Tiny);
 
     let mut cfg = tiny_cfg();
-    cfg.journal = Some(JournalSpec {
-        dir: dir.clone(),
-        resume: false,
-    });
+    cfg.journal = Some(JournalSpec::new(dir.clone()));
     run_campaign("CRC32", &w, &cfg).unwrap();
 
     // Same journal, different seed: the spec sequence would not line up,
@@ -170,8 +299,8 @@ fn resume_rejects_a_journal_from_a_different_campaign() {
     let mut cfg = tiny_cfg();
     cfg.seed ^= 1;
     cfg.journal = Some(JournalSpec {
-        dir: dir.clone(),
         resume: true,
+        ..JournalSpec::new(dir.clone())
     });
     match run_campaign("CRC32", &w, &cfg) {
         Err(CampaignError::Journal(e)) => {

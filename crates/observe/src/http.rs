@@ -190,8 +190,27 @@ fn journal_tail(stream: &mut TcpStream, query: &str) {
         );
         return;
     };
-    match std::fs::read_to_string(&path) {
-        Ok(text) => {
+    match std::fs::read(&path) {
+        Ok(bytes) => {
+            // Binary `.seaj` journals are decoded to their lossless JSONL
+            // form first (magic-sniffed, so a `--journal-format jsonl`
+            // journal — or any plain-text file — is served as-is).
+            let text = if bytes.starts_with(&sea_durable::SEAJ_MAGIC) {
+                match sea_durable::export_jsonl(&bytes) {
+                    Ok(jsonl) => String::from_utf8_lossy(&jsonl).into_owned(),
+                    Err(_) => {
+                        respond(
+                            stream,
+                            "500 Internal Server Error",
+                            "text/plain",
+                            b"journal corrupt\n",
+                        );
+                        return;
+                    }
+                }
+            } else {
+                String::from_utf8_lossy(&bytes).into_owned()
+            };
             let all: Vec<&str> = text.lines().collect();
             let start = all.len().saturating_sub(lines);
             let mut body = all[start..].join("\n");
@@ -380,6 +399,33 @@ mod tests {
         let idle = get(addr, "/status");
         assert_eq!(body(&idle), "{\"state\":\"idle\"}");
         assert!(get(addr, "/journal/tail").starts_with("HTTP/1.1 404"));
+        let _ = std::fs::remove_file(&path);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn journal_tail_decodes_binary_seaj_records() {
+        let _guard = sea_trace::test_lock();
+        let srv = Server::start("127.0.0.1:0").unwrap();
+        let addr = srv.addr();
+
+        let path = std::env::temp_dir().join(format!("sea_observe_j_{}.seaj", std::process::id()));
+        let mut bytes = sea_durable::encode_file_header(b"{\"journal\":\"sea\"}");
+        for (seq, line) in [(1u64, "{\"i\":0}"), (2, "{\"i\":1}"), (3, "{\"i\":2}")] {
+            bytes.extend_from_slice(&sea_durable::encode_record(seq, line.as_bytes()));
+        }
+        // A torn tail must not break serving: the valid prefix is decoded.
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        hub::publish_journal(Some(&path));
+
+        let j = get(addr, "/journal/tail?lines=2");
+        assert!(j.starts_with("HTTP/1.1 200"), "{j}");
+        assert_eq!(body(&j), "{\"i\":1}\n{\"i\":2}\n");
+        let all = get(addr, "/journal/tail");
+        assert_eq!(body(&all).lines().count(), 4); // header line + 3 records
+
+        hub::publish_journal(None);
         let _ = std::fs::remove_file(&path);
         srv.shutdown();
     }

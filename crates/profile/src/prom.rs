@@ -10,6 +10,7 @@
 //! [Prometheus exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
 
 use sea_trace::metrics::{bucket_hi, HistSnapshot, BUCKETS};
+use sea_trace::{event, Level, Subsystem};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -93,6 +94,9 @@ impl PromWriter {
 struct PromTarget {
     path: PathBuf,
     last_write: Option<Instant>,
+    /// A failed write has already been surfaced via a trace event; report
+    /// once per target, not once per throttled retry.
+    error_reported: bool,
 }
 
 static PROM_ON: AtomicBool = AtomicBool::new(false);
@@ -107,6 +111,7 @@ pub fn set_prom_out(path: Option<&Path>) {
     *target = path.map(|p| PromTarget {
         path: p.to_path_buf(),
         last_write: None,
+        error_reported: false,
     });
     PROM_ON.store(target.is_some(), Ordering::Relaxed);
 }
@@ -143,6 +148,15 @@ pub fn prom_flush(force: bool, render: impl FnOnce() -> String) -> bool {
     let ok = std::fs::write(&tmp, doc).is_ok() && std::fs::rename(&tmp, &target.path).is_ok();
     if ok {
         target.last_write = Some(Instant::now());
+    } else {
+        // Don't leave a stale .tmp behind a failed rename, and surface the
+        // fault once instead of silently dropping every snapshot.
+        let _ = std::fs::remove_file(&tmp);
+        if !target.error_reported {
+            target.error_reported = true;
+            event!(Subsystem::Harness, Level::Warn, "profile.prom_write_failed";
+                   "path" => target.path.display().to_string());
+        }
     }
     ok
 }
@@ -206,6 +220,26 @@ mod tests {
         assert!(prom_flush(true, || "# TYPE a counter\na 2\n".to_string()));
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("a 2"));
+
+        set_prom_out(None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_flush_cleans_up_its_tmp_file() {
+        let dir = std::env::temp_dir().join(format!("sea-prom-fail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Make the rename target an existing directory: the tmp write
+        // succeeds but the rename cannot.
+        let path = dir.join("blocked.prom");
+        std::fs::create_dir_all(&path).unwrap();
+
+        set_prom_out(Some(&path));
+        assert!(!prom_flush(true, || "a 1\n".to_string()));
+        let tmp = path.with_extension("prom.tmp");
+        assert!(!tmp.exists(), "stale tmp file left behind a failed rename");
+        // Still throttles/retries normally afterwards (no poisoned state).
+        assert!(!prom_flush(true, || "a 2\n".to_string()));
 
         set_prom_out(None);
         std::fs::remove_dir_all(&dir).ok();

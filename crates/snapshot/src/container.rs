@@ -4,19 +4,24 @@
 //! Restoring foreign state into a campaign is the one way checkpointing
 //! can silently invalidate results, so the container front-loads every
 //! rejection: wrong file type ([`SnapError::BadMagic`]), wrong format
-//! generation ([`SnapError::Version`]), bit rot or a torn write
+//! generation ([`SnapError::Version`]), a bit flip in the metadata section
+//! ([`SnapError::MetaCorrupt`] — v2 adds a CRC32 over cycle/provenance so
+//! a flipped header byte can no longer decode silently into wrong
+//! metadata), bit rot or a torn write in the payload
 //! ([`SnapError::HashMismatch`]) — all before the payload is parsed. The
 //! *semantic* check (does this checkpoint belong to this campaign?) is the
 //! caller's, via the [`CheckpointMeta`] provenance fields.
 
 use crate::{fnv1a, SnapError, SnapReader, SnapWriter};
+use sea_durable::crc32;
 
 /// Container magic: "SEACKPT" plus a format-generation byte.
 pub const SNAP_MAGIC: [u8; 8] = *b"SEACKPT\x01";
 
 /// Current container format version. Bump on any layout change to the
 /// machine-state payload; old files are then rejected, never reinterpreted.
-pub const SNAP_VERSION: u32 = 1;
+/// v2: the metadata section (cycle, hashes) is covered by its own CRC32.
+pub const SNAP_VERSION: u32 = 2;
 
 /// Identifying metadata carried in a checkpoint container header.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,15 +50,29 @@ impl CheckpointMeta {
     }
 }
 
+/// The metadata section bytes the v2 CRC covers: cycle, provenance
+/// hashes, and the payload hash — everything decode trusts before the
+/// payload's own FNV check runs.
+fn meta_section(meta: CheckpointMeta, payload_hash: u64) -> [u8; 32] {
+    let mut bytes = [0u8; 32];
+    bytes[0..8].copy_from_slice(&meta.cycle.to_le_bytes());
+    bytes[8..16].copy_from_slice(&meta.config_hash.to_le_bytes());
+    bytes[16..24].copy_from_slice(&meta.golden_hash.to_le_bytes());
+    bytes[24..32].copy_from_slice(&payload_hash.to_le_bytes());
+    bytes
+}
+
 /// Wrap `payload` in a validated container.
 pub fn encode_checkpoint(meta: CheckpointMeta, payload: &[u8]) -> Vec<u8> {
+    let payload_hash = fnv1a(payload);
     let mut w = SnapWriter::new();
     w.raw(&SNAP_MAGIC);
     w.u32(SNAP_VERSION);
     w.u64(meta.cycle);
     w.u64(meta.config_hash);
     w.u64(meta.golden_hash);
-    w.u64(fnv1a(payload));
+    w.u64(payload_hash);
+    w.u32(crc32(&meta_section(meta, payload_hash)));
     w.bytes(payload);
     w.into_bytes()
 }
@@ -77,6 +96,14 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<(CheckpointMeta, &[u8]), SnapEr
         golden_hash: r.u64()?,
     };
     let recorded = r.u64()?;
+    let meta_crc = r.u32()?;
+    let actual_crc = crc32(&meta_section(meta, recorded));
+    if actual_crc != meta_crc {
+        return Err(SnapError::MetaCorrupt {
+            recorded: meta_crc,
+            actual: actual_crc,
+        });
+    }
     let payload = r.bytes()?;
     if !r.is_exhausted() {
         return Err(SnapError::Malformed("trailing bytes after payload"));
@@ -124,6 +151,21 @@ mod tests {
                 expected: SNAP_VERSION
             })
         );
+    }
+
+    #[test]
+    fn meta_corruption_rejected_not_misread() {
+        // A flipped byte anywhere in the 32-byte metadata section (bytes
+        // 12..44: cycle, config_hash, golden_hash, payload hash) must be
+        // caught by the section CRC, never decoded into wrong metadata.
+        for at in 12..44 {
+            let mut enc = encode_checkpoint(META, b"machine state");
+            enc[at] ^= 0x10;
+            assert!(
+                matches!(decode_checkpoint(&enc), Err(SnapError::MetaCorrupt { .. })),
+                "flip at byte {at} slipped past the meta CRC"
+            );
+        }
     }
 
     #[test]

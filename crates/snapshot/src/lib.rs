@@ -64,6 +64,14 @@ pub enum SnapError {
         /// Hash of the payload actually present.
         actual: u64,
     },
+    /// The metadata section fails its CRC32 — a bit flip in the header
+    /// would otherwise decode silently into wrong provenance or cycle.
+    MetaCorrupt {
+        /// CRC recorded in the container.
+        recorded: u32,
+        /// CRC of the metadata actually present.
+        actual: u32,
+    },
     /// A struct boundary tag did not match — layout skew between writer
     /// and reader.
     Tag {
@@ -96,6 +104,10 @@ impl fmt::Display for SnapError {
             SnapError::HashMismatch { recorded, actual } => write!(
                 f,
                 "payload hash mismatch: header {recorded:#018x}, content {actual:#018x}"
+            ),
+            SnapError::MetaCorrupt { recorded, actual } => write!(
+                f,
+                "metadata section CRC mismatch: header {recorded:#010x}, content {actual:#010x}"
             ),
             SnapError::Tag { expected, found } => write!(
                 f,

@@ -117,6 +117,14 @@ impl Sink for JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    /// A panicking worker (or an early `process::exit` path) must not lose
+    /// the BufWriter tail: push buffered lines to the file on the way out.
+    fn drop(&mut self) {
+        let _ = self.w.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+}
+
 /// In-memory sink for tests and post-run summaries.
 #[derive(Default)]
 pub struct MemorySink {
@@ -279,6 +287,21 @@ mod tests {
         for l in lines {
             crate::json::parse(l).unwrap();
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_buffered_lines_on_drop() {
+        let path =
+            std::env::temp_dir().join(format!("sea_trace_drop_{}.jsonl", std::process::id()));
+        {
+            let s = JsonlSink::create(&path).unwrap();
+            s.record(&[ev("tail.event")]);
+            // No explicit flush: Drop must push the BufWriter tail.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        crate::json::parse(text.lines().next().unwrap()).unwrap();
         let _ = std::fs::remove_file(&path);
     }
 }
