@@ -58,6 +58,9 @@ pub struct TraceSummary {
     pub events: u64,
     /// Lines that failed JSON parsing (should be zero).
     pub malformed: u64,
+    /// Total milliseconds spent in supervisor respawn backoff (summed from
+    /// `supervisor.respawn_backoff` events' `ms` fields).
+    pub respawn_backoff_ms: u64,
     /// Event counts per event name.
     pub by_name: BTreeMap<String, u64>,
     /// Span durations (µs) per event name, for every event carrying a
@@ -94,6 +97,7 @@ impl TraceSummary {
                 "early stops",
                 n("injection.early_stop") + n("beam.early_stop"),
             ),
+            ("respawn backoff ms", self.respawn_backoff_ms),
         ]
     }
 
@@ -106,6 +110,9 @@ impl TraceSummary {
             .unwrap_or("?")
             .to_string();
         *self.by_name.entry(name.clone()).or_insert(0) += 1;
+        if name == "supervisor.respawn_backoff" {
+            self.respawn_backoff_ms += ev.get("ms").and_then(Json::as_u64).unwrap_or(0);
+        }
         if let Some(dur) = ev.get("dur_us").and_then(Json::as_u64) {
             self.spans
                 .entry(name.clone())
@@ -311,6 +318,8 @@ mod tests {
             "{\"ev\":\"platform.wall_timeout\",\"sub\":\"platform\",\"level\":\"warn\"}",
             "{\"ev\":\"platform.wall_timeout\",\"sub\":\"platform\",\"level\":\"warn\"}",
             "{\"ev\":\"injection.early_stop\",\"sub\":\"injection\",\"level\":\"info\"}",
+            "{\"ev\":\"supervisor.respawn_backoff\",\"sub\":\"injection\",\"level\":\"warn\",\"ms\":12}",
+            "{\"ev\":\"supervisor.respawn_backoff\",\"sub\":\"injection\",\"level\":\"warn\",\"ms\":25}",
         ]
         .join("\n");
         let s = TraceSummary::from_jsonl(&text);
@@ -318,9 +327,11 @@ mod tests {
         assert_eq!(health[0], ("worker deaths", 1));
         assert_eq!(health[2], ("watchdog kills", 2));
         assert_eq!(health[4], ("early stops", 1));
+        assert_eq!(health[5], ("respawn backoff ms", 37));
         let out = s.render();
         assert!(out.contains("supervisor health"), "{out}");
         assert!(out.contains("watchdog kills"), "{out}");
+        assert!(out.contains("respawn backoff ms"), "{out}");
     }
 
     #[test]

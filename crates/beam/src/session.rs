@@ -577,24 +577,22 @@ pub fn run_session(
         }
     }
 
-    // Stop early on statistical convergence — or on a poisoned strike
-    // log: after a write fault exhausts its retries, further strikes would
-    // be unjournaled (unresumable), so drain cleanly instead.
+    // Stop early on statistical convergence, on a poisoned strike log
+    // (after a write fault exhausts its retries, further strikes would be
+    // unjournaled, unresumable), or on a process-wide stop request
+    // (SIGTERM/SIGINT drain, daemon-initiated shutdown) — in every case
+    // the strike log stays a valid resumable prefix.
     let margin_stop = cfg.stop_at_margin.map(|m| {
         let tracker = tracker.clone();
         move || tracker.converged(m)
     });
     let journal_ref = journal.as_ref();
-    let stop_pred: Option<Box<dyn Fn() -> bool + Sync + '_>> = if margin_stop.is_some()
-        || journal_ref.is_some()
-    {
-        Some(Box::new(move || {
-            journal_ref.is_some_and(|j| j.poisoned()) || margin_stop.as_ref().is_some_and(|f| f())
-        }))
-    } else {
-        None
-    };
-    let stop_ref: Option<&(dyn Fn() -> bool + Sync)> = stop_pred.as_deref();
+    let stop_pred: Box<dyn Fn() -> bool + Sync + '_> = Box::new(move || {
+        sea_injection::stop_requested()
+            || journal_ref.is_some_and(|j| j.poisoned())
+            || margin_stop.as_ref().is_some_and(|f| f())
+    });
+    let stop_ref: Option<&(dyn Fn() -> bool + Sync)> = Some(&*stop_pred);
     let (fresh, pool): (Vec<(u64, StrikeVerdict)>, PoolStats) = run_supervised_until(
         &pending,
         threads,

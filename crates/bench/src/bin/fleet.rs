@@ -1,0 +1,221 @@
+//! The fleet service: sharded multi-process campaigns with deterministic
+//! merge (see the `sea-fleet` crate docs and README "Fleet service").
+//!
+//! ```text
+//! fleet serve  [--root DIR] [--workers N] [--serve ADDR]
+//!              [--watchdog-ms N] [--max-respawns N] [--worker-cmd CMD...]
+//! fleet worker --connect ADDR
+//! fleet submit --to ADDR (--spec FILE | --spec-json JSON) [--watch]
+//! ```
+//!
+//! `serve` starts the daemon, prints the bound addresses, and schedules
+//! studies until SIGTERM/SIGINT. `worker` is what the daemon spawns (one
+//! per shard); it can also be started by hand against a remote daemon's
+//! worker socket. `submit` POSTs a study spec to a daemon's HTTP surface
+//! and optionally polls it to completion.
+
+use sea_core::trace::json::{self, Json};
+use sea_fleet::{run_worker, Daemon, DaemonConfig};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  fleet serve  [--root DIR] [--workers N] [--serve ADDR] \
+         [--watchdog-ms N] [--max-respawns N] [--worker-cmd CMD...]\n  \
+         fleet worker --connect ADDR\n  \
+         fleet submit --to ADDR (--spec FILE | --spec-json JSON) [--watch]"
+    );
+    std::process::exit(2);
+}
+
+fn need(args: &[String], i: usize) -> String {
+    args.get(i + 1)
+        .unwrap_or_else(|| {
+            eprintln!("flag {} needs a value", args[i]);
+            usage();
+        })
+        .clone()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("worker") => worker(&args[1..]),
+        Some("submit") => submit(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn serve(args: &[String]) {
+    let mut cfg = DaemonConfig {
+        serve: Some("127.0.0.1:0".to_string()),
+        ..DaemonConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                cfg.root = PathBuf::from(need(args, i));
+                i += 2;
+            }
+            "--workers" => {
+                cfg.workers = need(args, i).parse().expect("--workers N");
+                i += 2;
+            }
+            "--serve" => {
+                cfg.serve = Some(need(args, i));
+                i += 2;
+            }
+            "--watchdog-ms" => {
+                cfg.watchdog_ms = need(args, i).parse().expect("--watchdog-ms N");
+                i += 2;
+            }
+            "--max-respawns" => {
+                cfg.max_respawns = need(args, i).parse().expect("--max-respawns N");
+                i += 2;
+            }
+            // Everything after --worker-cmd is the worker command line.
+            "--worker-cmd" => {
+                cfg.worker_cmd = args[i + 1..].to_vec();
+                if cfg.worker_cmd.is_empty() {
+                    usage();
+                }
+                i = args.len();
+            }
+            _ => usage(),
+        }
+    }
+    let daemon = Daemon::start(cfg).expect("fleet daemon start");
+    // One parseable line per address: tests and scripts scrape these.
+    println!("fleet worker socket {}", daemon.worker_addr());
+    if let Some(http) = daemon.http_addr() {
+        println!("fleet http http://{http}/");
+    }
+    let _ = std::io::stdout().flush();
+    daemon.run();
+}
+
+fn worker(args: &[String]) {
+    let mut connect: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" => {
+                connect = Some(need(args, i));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(addr) = connect else { usage() };
+    if let Err(e) = run_worker(&addr) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}
+
+fn http(addr: &str, request_head: &str, body: &str) -> Result<String, std::io::Error> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        conn,
+        "{request_head}\r\nHost: sea\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut response = String::new();
+    conn.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
+        Some((head, body)) => Err(std::io::Error::other(format!(
+            "{}: {}",
+            head.lines().next().unwrap_or("bad response"),
+            body.trim()
+        ))),
+        None => Err(std::io::Error::other("no header terminator")),
+    }
+}
+
+fn submit(args: &[String]) {
+    let mut to: Option<String> = None;
+    let mut spec: Option<String> = None;
+    let mut watch = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--to" => {
+                to = Some(need(args, i));
+                i += 2;
+            }
+            "--spec" => {
+                let path = need(args, i);
+                spec = Some(std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("--spec {path}: {e}");
+                    std::process::exit(1);
+                }));
+                i += 2;
+            }
+            "--spec-json" => {
+                spec = Some(need(args, i));
+                i += 2;
+            }
+            "--watch" => {
+                watch = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(addr), Some(spec)) = (to, spec) else {
+        usage()
+    };
+    let ack = http(&addr, "POST /studies HTTP/1.1", spec.trim()).unwrap_or_else(|e| {
+        eprintln!("submit failed: {e}");
+        std::process::exit(1);
+    });
+    println!("{ack}");
+    if !watch {
+        return;
+    }
+    let id = json::parse(&ack)
+        .ok()
+        .and_then(|j| j.get("id").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_else(|| {
+            eprintln!("ack carried no study id: {ack}");
+            std::process::exit(1);
+        });
+    loop {
+        std::thread::sleep(Duration::from_millis(500));
+        let doc = match http(&addr, &format!("GET /studies/{id} HTTP/1.1"), "") {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{addr}: {e} — retrying");
+                continue;
+            }
+        };
+        let Ok(j) = json::parse(&doc) else { continue };
+        let state = j.get("state").and_then(Json::as_str).unwrap_or("?");
+        let (mut done, mut total) = (0u64, 0u64);
+        if let Some(Json::Arr(rows)) = j.get("suite") {
+            for r in rows {
+                done += r.get("done").and_then(Json::as_u64).unwrap_or(0);
+                total += r.get("total").and_then(Json::as_u64).unwrap_or(0);
+            }
+        }
+        eprintln!("study {id}: {state} ({done}/{total} runs)");
+        match state {
+            "done" => return,
+            "failed" => {
+                eprintln!(
+                    "error: {}",
+                    j.get("error").and_then(Json::as_str).unwrap_or("unknown")
+                );
+                std::process::exit(1);
+            }
+            _ => {}
+        }
+    }
+}

@@ -62,6 +62,13 @@
 //! reaches PCT percent; `--convergence-out FILE` writes post-hoc
 //! convergence curves (margin vs. sample count at doubling checkpoints)
 //! for every campaign.
+//! Fleet service (see README "Fleet service"): the `fleet` binary runs
+//! the `sea-fleet` daemon (`fleet serve`), its worker processes (`fleet
+//! worker --connect ADDR`) and a study-submission client (`fleet submit`).
+//! Every campaign binary also installs graceful SIGTERM/SIGINT handling:
+//! the signal raises the process-wide stop flag, workers drain, journals
+//! flush, and an interrupted run resumes with `--resume`.
+//!
 //! Criterion microbenchmarks (`cargo bench -p sea-bench`) cover the
 //! simulator kernels the tables depend on.
 
@@ -213,6 +220,11 @@ impl Drop for TraceSession {
 ///
 /// Panics with a usage message on malformed flags.
 pub fn parse_options() -> Options {
+    // Graceful SIGTERM/SIGINT for every regeneration binary: the signal
+    // raises the process-wide stop flag, campaign/beam loops drain their
+    // in-flight runs, journals flush, and the run is resumable with
+    // `--resume` (README "Robustness").
+    sea_fleet::install_stop_signals();
     let mut opts = Options::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut trace_out: Option<PathBuf> = None;

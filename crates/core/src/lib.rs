@@ -37,9 +37,11 @@
 #![warn(missing_docs)]
 
 mod setup;
+mod spec;
 mod study;
 
 pub use setup::{setup_rows, SetupRow};
+pub use spec::{workload_by_name, SpecError, StudySpec};
 pub use study::{Study, StudyError, StudyResult, WorkloadStudy};
 
 pub use sea_analysis as analysis;

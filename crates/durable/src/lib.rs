@@ -405,6 +405,141 @@ pub fn truncate_file(path: &Path, len: u64) -> io::Result<u64> {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-journal merge
+// ---------------------------------------------------------------------------
+
+/// Why a set of shard journals cannot be merged into one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// No shard images were supplied.
+    NoShards,
+    /// A shard failed the container-level scan (bad magic, version, or
+    /// corrupt header). The index is the shard's position in the input.
+    Shard(usize, SeajError),
+    /// A shard's header blob differs from shard 0's. Shards of one
+    /// campaign share an identity header byte-for-byte; a mismatch means
+    /// the inputs belong to different campaigns or configurations.
+    HeaderMismatch {
+        /// Index of the offending shard.
+        shard: usize,
+    },
+    /// A record payload yielded no merge key.
+    UnkeyedRecord {
+        /// Index of the shard holding the unkeyed record.
+        shard: usize,
+        /// Sequence number of the record within that shard.
+        seq: u64,
+    },
+    /// Two shards hold records with the same key but different payloads.
+    /// Determinism guarantees duplicate work produces identical bytes, so
+    /// a conflict means the shards disagree about an outcome.
+    DuplicateConflict {
+        /// The merge key both records claim.
+        key: u64,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoShards => write!(f, "no shard journals to merge"),
+            MergeError::Shard(i, e) => write!(f, "shard {i}: {e}"),
+            MergeError::HeaderMismatch { shard } => {
+                write!(f, "shard {shard} header differs from shard 0")
+            }
+            MergeError::UnkeyedRecord { shard, seq } => {
+                write!(f, "shard {shard} record seq {seq} has no merge key")
+            }
+            MergeError::DuplicateConflict { key } => {
+                write!(f, "conflicting payloads for merge key {key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Bookkeeping from a [`merge_journals`] pass, for audit tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeAudit {
+    /// Number of shard images merged.
+    pub shards: usize,
+    /// Valid records read across all shards (before dedup).
+    pub records_in: u64,
+    /// Records dropped as byte-identical duplicates of an earlier key.
+    pub duplicates: u64,
+    /// Records in the merged output.
+    pub merged: u64,
+    /// Torn-tail bytes ignored across all shards.
+    pub torn_bytes: u64,
+}
+
+/// Deterministically merge shard journals into one `.seaj` image that is
+/// byte-identical to a single-process run of the same campaign.
+///
+/// Each shard is CRC-walked with [`scan`] (torn tails are tolerated and
+/// ignored — only the valid prefix contributes records). All shards must
+/// carry byte-identical header blobs; the merged image reuses that header
+/// verbatim. `key_of` extracts each record's global position key (for
+/// campaign journals, the `"i"` field of the payload). Records are
+/// stable-sorted by key, byte-identical duplicates are dropped (work
+/// stealing can legitimately run a block twice), conflicting duplicates
+/// are an error, and the survivors are re-framed with sequence numbers
+/// `1..=N` — exactly what a single process appending in key order writes.
+pub fn merge_journals<F>(shards: &[&[u8]], key_of: F) -> Result<(Vec<u8>, MergeAudit), MergeError>
+where
+    F: Fn(&[u8]) -> Option<u64>,
+{
+    if shards.is_empty() {
+        return Err(MergeError::NoShards);
+    }
+    let mut audit = MergeAudit {
+        shards: shards.len(),
+        ..MergeAudit::default()
+    };
+    let mut header: Option<&[u8]> = None;
+    let mut keyed: Vec<(u64, &[u8])> = Vec::new();
+    for (i, bytes) in shards.iter().enumerate() {
+        let s = scan(bytes).map_err(|e| MergeError::Shard(i, e))?;
+        match header {
+            None => header = Some(s.header),
+            Some(h) if h != s.header => return Err(MergeError::HeaderMismatch { shard: i }),
+            Some(_) => {}
+        }
+        audit.torn_bytes += s.torn_bytes as u64;
+        for (off, payload) in s.records.iter().enumerate() {
+            let key = key_of(payload).ok_or(MergeError::UnkeyedRecord {
+                shard: i,
+                seq: off as u64 + 1,
+            })?;
+            keyed.push((key, payload));
+            audit.records_in += 1;
+        }
+    }
+    keyed.sort_by_key(|&(key, _)| key);
+
+    let mut out = encode_file_header(header.unwrap_or(b""));
+    let mut seq = 0u64;
+    let mut last: Option<(u64, &[u8])> = None;
+    for (key, payload) in keyed {
+        if let Some((lk, lp)) = last {
+            if lk == key {
+                if lp != payload {
+                    return Err(MergeError::DuplicateConflict { key });
+                }
+                audit.duplicates += 1;
+                continue;
+            }
+        }
+        seq += 1;
+        out.extend_from_slice(&encode_record(seq, payload));
+        last = Some((key, payload));
+    }
+    audit.merged = seq;
+    Ok((out, audit))
+}
+
+// ---------------------------------------------------------------------------
 // DurableWriter
 // ---------------------------------------------------------------------------
 
@@ -694,6 +829,104 @@ mod tests {
         assert_eq!(jsonl_tail_offset(b"no newline"), 0);
         assert_eq!(jsonl_tail_offset(b"a\nb\n"), 4);
         assert_eq!(jsonl_tail_offset(b"a\nb\ntorn"), 4);
+    }
+
+    fn key_ascii(payload: &[u8]) -> Option<u64> {
+        std::str::from_utf8(payload).ok()?.parse().ok()
+    }
+
+    #[test]
+    fn merge_of_disjoint_shards_matches_single_writer() {
+        // A single process would write keys 0..6 in order.
+        let single = journal(b"{\"h\":1}", &[b"0", b"1", b"2", b"3", b"4", b"5"]);
+        // Two shards, interleaved blocks, each appended in local order.
+        let a = journal(b"{\"h\":1}", &[b"0", b"1", b"4", b"5"]);
+        let b = journal(b"{\"h\":1}", &[b"2", b"3"]);
+        let (merged, audit) = merge_journals(&[&a, &b], key_ascii).unwrap();
+        assert_eq!(merged, single);
+        assert_eq!(audit.shards, 2);
+        assert_eq!(audit.records_in, 6);
+        assert_eq!(audit.duplicates, 0);
+        assert_eq!(audit.merged, 6);
+    }
+
+    #[test]
+    fn merge_drops_identical_duplicates_and_ignores_torn_tails() {
+        let single = journal(b"hdr", &[b"0", b"1", b"2"]);
+        // Work stealing re-ran key 1 on shard b; shard a also has a torn tail.
+        let mut a = journal(b"hdr", &[b"0", b"1"]);
+        a.extend_from_slice(&[0xFF; 5]); // torn frame
+        let b = journal(b"hdr", &[b"1", b"2"]);
+        let (merged, audit) = merge_journals(&[&a, &b], key_ascii).unwrap();
+        assert_eq!(merged, single);
+        assert_eq!(audit.duplicates, 1);
+        assert_eq!(audit.merged, 3);
+        assert_eq!(audit.torn_bytes, 5);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_identities_and_conflicts() {
+        let a = journal(b"hdr-a", &[b"0"]);
+        let b = journal(b"hdr-b", &[b"1"]);
+        assert_eq!(
+            merge_journals(&[&a, &b], key_ascii).unwrap_err(),
+            MergeError::HeaderMismatch { shard: 1 }
+        );
+
+        // Same key, different payload bytes: a determinism violation.
+        let c = journal(b"hdr", &[b"07"]); // key 7, payload "07"
+        let d = journal(b"hdr", &[b"7"]); // key 7, payload "7"
+        assert_eq!(
+            merge_journals(&[&c, &d], key_ascii).unwrap_err(),
+            MergeError::DuplicateConflict { key: 7 }
+        );
+
+        let e = journal(b"hdr", &[b"not-a-key"]);
+        assert_eq!(
+            merge_journals(&[&e], key_ascii).unwrap_err(),
+            MergeError::UnkeyedRecord { shard: 0, seq: 1 }
+        );
+
+        assert_eq!(
+            merge_journals(&[], key_ascii).unwrap_err(),
+            MergeError::NoShards
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_shard_assignment_invariant(
+            n in 1usize..40,
+            assign in proptest::collection::vec(0usize..4, 40),
+            order_seed in any::<u64>(),
+        ) {
+            // Keys 0..n assigned arbitrarily to 4 shards; within a shard a
+            // worker appends its claims in the order it received them, which
+            // is always key-ascending per shard block here — but shuffle
+            // which shard gets which key freely. The merge must reproduce
+            // the canonical single-writer image regardless.
+            let payloads: Vec<String> = (0..n).map(|k| k.to_string()).collect();
+            let canon_refs: Vec<&[u8]> =
+                payloads.iter().map(|p| p.as_bytes()).collect();
+            let single = journal(b"id", &canon_refs);
+
+            let mut shard_payloads: Vec<Vec<&[u8]>> = vec![Vec::new(); 4];
+            for (k, p) in payloads.iter().enumerate() {
+                shard_payloads[assign[k]].push(p.as_bytes());
+                // Sometimes a second shard repeats the same record (steal).
+                if order_seed.rotate_left(k as u32) & 1 == 1 {
+                    shard_payloads[(assign[k] + 1) % 4].push(p.as_bytes());
+                }
+            }
+            let shards: Vec<Vec<u8>> = shard_payloads
+                .iter()
+                .map(|ps| journal(b"id", ps))
+                .collect();
+            let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+            let (merged, audit) = merge_journals(&refs, key_ascii).unwrap();
+            prop_assert_eq!(merged, single);
+            prop_assert_eq!(audit.merged, n as u64);
+        }
     }
 
     #[test]

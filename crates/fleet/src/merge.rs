@@ -1,0 +1,143 @@
+//! Deterministic shard-journal merge: N per-shard `.seaj` journals in,
+//! one journal byte-identical to a single-process run out.
+//!
+//! The heavy lifting — header equality across shards, stable sort,
+//! duplicate handling, re-framing — is [`sea_durable::merge_journals`];
+//! this module supplies the campaign-specific merge key (the `"i"` spec
+//! index every [`sea_injection::verdict_line`] payload carries) and the
+//! crash-safe file plumbing (write to a temp sibling, fsync, rename).
+
+use sea_trace::json;
+use std::path::{Path, PathBuf};
+
+pub use sea_durable::{MergeAudit, MergeError};
+
+/// How a merge failed: shard I/O, or the merge itself.
+#[derive(Debug)]
+pub enum MergeFail {
+    /// Reading a shard journal or writing the merged file failed.
+    Io(PathBuf, std::io::Error),
+    /// The shard set is inconsistent (identity mismatch, conflicting
+    /// duplicate, corrupt container).
+    Merge(MergeError),
+}
+
+impl std::fmt::Display for MergeFail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeFail::Io(p, e) => write!(f, "merge I/O on {}: {e}", p.display()),
+            MergeFail::Merge(e) => write!(f, "merge failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeFail {}
+
+/// The merge key of one record payload: its `"i"` member.
+pub fn index_of(payload: &[u8]) -> Option<u64> {
+    let line = std::str::from_utf8(payload).ok()?;
+    json::parse(line).ok()?.get("i")?.as_u64()
+}
+
+/// Merge the shard journal files into `out`, atomically (temp sibling +
+/// rename), returning the audit. Shard files that do not exist are
+/// skipped — a shard whose worker never got a grant for this workload has
+/// no journal, and that is fine; at least one must exist.
+///
+/// # Errors
+///
+/// [`MergeFail`] on I/O trouble or an inconsistent shard set.
+pub fn merge_shard_journals(shards: &[PathBuf], out: &Path) -> Result<MergeAudit, MergeFail> {
+    let mut blobs: Vec<Vec<u8>> = Vec::new();
+    for path in shards {
+        match std::fs::read(path) {
+            Ok(bytes) if !bytes.is_empty() => blobs.push(bytes),
+            Ok(_) => {} // created but never written: nothing to merge
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(MergeFail::Io(path.clone(), e)),
+        }
+    }
+    let refs: Vec<&[u8]> = blobs.iter().map(Vec::as_slice).collect();
+    let (merged, audit) = sea_durable::merge_journals(&refs, index_of).map_err(MergeFail::Merge)?;
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| MergeFail::Io(dir.to_path_buf(), e))?;
+    }
+    let tmp = out.with_extension("seaj.tmp");
+    std::fs::write(&tmp, &merged).map_err(|e| MergeFail::Io(tmp.clone(), e))?;
+    let f = std::fs::File::open(&tmp).map_err(|e| MergeFail::Io(tmp.clone(), e))?;
+    f.sync_all().map_err(|e| MergeFail::Io(tmp.clone(), e))?;
+    std::fs::rename(&tmp, out).map_err(|e| MergeFail::Io(out.to_path_buf(), e))?;
+    Ok(audit)
+}
+
+/// Scan one shard journal for the spec indices it has completed, plus its
+/// per-index `(class-name)` when the record carries one. Torn tails are
+/// tolerated (the partial record is simply not counted); a missing file is
+/// an empty set.
+pub fn scan_done(path: &Path) -> Vec<u64> {
+    let Ok(bytes) = std::fs::read(path) else {
+        return Vec::new();
+    };
+    let Ok(scan) = sea_durable::scan(&bytes) else {
+        return Vec::new();
+    };
+    scan.records.iter().filter_map(|p| index_of(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_durable::{encode_file_header, encode_record};
+
+    fn rec(seq: u64, i: u64) -> Vec<u8> {
+        encode_record(
+            seq,
+            format!("{{\"i\":{i},\"class\":\"masked\"}}").as_bytes(),
+        )
+    }
+
+    fn shard(header: &str, indices: &[u64]) -> Vec<u8> {
+        let mut out = encode_file_header(header.as_bytes());
+        for (k, &i) in indices.iter().enumerate() {
+            out.extend_from_slice(&rec(k as u64 + 1, i));
+        }
+        out
+    }
+
+    #[test]
+    fn merge_reproduces_the_single_writer_file() {
+        let dir = std::env::temp_dir().join(format!("sea-fleet-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let h = r#"{"journal":"sea-campaign","total":6}"#;
+        let a = dir.join("shard-0.seaj");
+        let b = dir.join("shard-1.seaj");
+        std::fs::write(&a, shard(h, &[0, 3, 4])).unwrap();
+        std::fs::write(&b, shard(h, &[5, 1, 2])).unwrap();
+        let out = dir.join("merged").join("x.inject.seaj");
+        let audit = merge_shard_journals(&[a, b, dir.join("shard-9.seaj")], &out).unwrap();
+        assert_eq!(audit.shards, 2);
+        assert_eq!(audit.merged, 6);
+        assert_eq!(std::fs::read(&out).unwrap(), shard(h, &[0, 1, 2, 3, 4, 5]));
+        assert_eq!(scan_done(&out), vec![0, 1, 2, 3, 4, 5]);
+        assert!(scan_done(&dir.join("absent.seaj")).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn identity_mismatch_fails_and_leaves_no_output() {
+        let dir = std::env::temp_dir().join(format!("sea-fleet-merge2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("shard-0.seaj");
+        let b = dir.join("shard-1.seaj");
+        std::fs::write(&a, shard(r#"{"seed":"a"}"#, &[0])).unwrap();
+        std::fs::write(&b, shard(r#"{"seed":"b"}"#, &[1])).unwrap();
+        let out = dir.join("merged.seaj");
+        let err = merge_shard_journals(&[a, b], &out).unwrap_err();
+        assert!(matches!(
+            err,
+            MergeFail::Merge(MergeError::HeaderMismatch { shard: 1 })
+        ));
+        assert!(!out.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

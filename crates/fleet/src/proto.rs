@@ -1,0 +1,400 @@
+//! The daemon↔worker wire protocol: line-delimited JSON over a local TCP
+//! socket.
+//!
+//! Outcomes never travel the socket — every completed run's verdict line
+//! goes straight into the worker's own shard journal, and the daemon only
+//! learns *that* a block finished plus its `(stratum, class)` observation
+//! pairs (enough to drive live convergence margins without reading any
+//! journal). That keeps the protocol tiny, the daemon stateless about
+//! verdicts, and the journals the single source of truth the
+//! deterministic merge operates on.
+//!
+//! Framing is one JSON object per `\n`-terminated line in each direction;
+//! a closed socket (EOF) is itself a protocol event — the daemon treats
+//! it as worker death and requeues every block granted to that shard.
+
+use sea_trace::json::{self, Json, ObjWriter};
+use std::io::{BufRead, Write};
+
+/// Messages a worker sends to the daemon.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ToDaemon {
+    /// First message on a fresh connection; answered with `Welcome`.
+    Hello,
+    /// Ask for a block of injection indices.
+    Claim,
+    /// A granted block `[start, end)` of workload `wl` is fully executed
+    /// and journaled; `obs` carries one `(stratum, class)` pair per run
+    /// that produced a classified outcome (anomalies are journaled but
+    /// not observed).
+    Done {
+        /// Suite index of the workload the block belongs to.
+        wl: u32,
+        /// First injection index of the block.
+        start: u64,
+        /// One past the last injection index of the block.
+        end: u64,
+        /// `(stratum, class-index)` per classified run, in index order.
+        obs: Vec<(u32, u32)>,
+    },
+    /// Clean goodbye (journals synced); the daemon frees the shard.
+    Bye,
+}
+
+/// Messages the daemon sends to a worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ToWorker {
+    /// Session setup: the worker's shard number, the study directory it
+    /// must create its `shard-<n>/` journal dir under, and the canonical
+    /// study-spec document (the worker rebuilds the identical
+    /// [`sea_injection::CampaignPlan`] from it).
+    Welcome {
+        /// Shard number (also the journal subdirectory suffix).
+        shard: u32,
+        /// Study directory (shard dirs live directly under it).
+        dir: String,
+        /// Canonical study-spec JSON.
+        spec: String,
+    },
+    /// A block grant: execute indices `[start, end)` of workload `wl`.
+    Grant {
+        /// Suite index of the workload.
+        wl: u32,
+        /// First injection index.
+        start: u64,
+        /// One past the last injection index.
+        end: u64,
+    },
+    /// Nothing grantable right now; ask again in `ms` milliseconds.
+    Wait {
+        /// Suggested retry delay.
+        ms: u64,
+    },
+    /// The study is over (or the daemon is shutting down): sync journals,
+    /// say `Bye`, exit cleanly.
+    Exit,
+}
+
+/// Protocol decode error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fleet protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn obs_json(obs: &[(u32, u32)]) -> String {
+    let mut out = String::from("[");
+    for (k, (s, c)) in obs.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{s},{c}]"));
+    }
+    out.push(']');
+    out
+}
+
+impl ToDaemon {
+    /// Serialize as a single line (without the trailing newline).
+    pub fn encode(&self) -> String {
+        let mut o = ObjWriter::new();
+        match self {
+            ToDaemon::Hello => o.str_field("op", "hello"),
+            ToDaemon::Claim => o.str_field("op", "claim"),
+            ToDaemon::Done {
+                wl,
+                start,
+                end,
+                obs,
+            } => o
+                .str_field("op", "done")
+                .u64_field("wl", u64::from(*wl))
+                .u64_field("start", *start)
+                .u64_field("end", *end)
+                .raw_field("obs", &obs_json(obs)),
+            ToDaemon::Bye => o.str_field("op", "bye"),
+        };
+        o.finish()
+    }
+
+    /// Parse one line.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on malformed JSON or an unknown/incomplete message.
+    pub fn decode(line: &str) -> Result<ToDaemon, ProtoError> {
+        let j = json::parse(line.trim()).map_err(|e| ProtoError(e.to_string()))?;
+        let op = j
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError("missing op".into()))?;
+        match op {
+            "hello" => Ok(ToDaemon::Hello),
+            "claim" => Ok(ToDaemon::Claim),
+            "bye" => Ok(ToDaemon::Bye),
+            "done" => {
+                let field = |k: &str| {
+                    j.get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ProtoError(format!("done: bad '{k}'")))
+                };
+                let obs = match j.get("obs") {
+                    Some(Json::Arr(pairs)) => {
+                        let mut out = Vec::with_capacity(pairs.len());
+                        for p in pairs {
+                            let Json::Arr(sc) = p else {
+                                return Err(ProtoError("done: obs pair not an array".into()));
+                            };
+                            let s = sc.first().and_then(Json::as_u64);
+                            let c = sc.get(1).and_then(Json::as_u64);
+                            match (s, c) {
+                                (Some(s), Some(c)) => out.push((s as u32, c as u32)),
+                                _ => return Err(ProtoError("done: bad obs pair".into())),
+                            }
+                        }
+                        out
+                    }
+                    _ => return Err(ProtoError("done: missing obs".into())),
+                };
+                Ok(ToDaemon::Done {
+                    wl: field("wl")? as u32,
+                    start: field("start")?,
+                    end: field("end")?,
+                    obs,
+                })
+            }
+            other => Err(ProtoError(format!("unknown worker op '{other}'"))),
+        }
+    }
+}
+
+impl ToWorker {
+    /// Serialize as a single line (without the trailing newline).
+    pub fn encode(&self) -> String {
+        let mut o = ObjWriter::new();
+        match self {
+            ToWorker::Welcome { shard, dir, spec } => o
+                .str_field("op", "welcome")
+                .u64_field("shard", u64::from(*shard))
+                .str_field("dir", dir)
+                .raw_field("spec", spec),
+            ToWorker::Grant { wl, start, end } => o
+                .str_field("op", "grant")
+                .u64_field("wl", u64::from(*wl))
+                .u64_field("start", *start)
+                .u64_field("end", *end),
+            ToWorker::Wait { ms } => o.str_field("op", "wait").u64_field("ms", *ms),
+            ToWorker::Exit => o.str_field("op", "exit"),
+        };
+        o.finish()
+    }
+
+    /// Parse one line.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on malformed JSON or an unknown/incomplete message.
+    pub fn decode(line: &str) -> Result<ToWorker, ProtoError> {
+        let j = json::parse(line.trim()).map_err(|e| ProtoError(e.to_string()))?;
+        let op = j
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError("missing op".into()))?;
+        let field = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ProtoError(format!("{op}: bad '{k}'")))
+        };
+        match op {
+            "welcome" => {
+                let spec = j
+                    .get("spec")
+                    .ok_or_else(|| ProtoError("welcome: missing spec".into()))?;
+                // Re-render the spec object to pass it on as text. The
+                // worker re-parses it through StudySpec::from_json and uses
+                // *that* canonical rendering for identity, so this interim
+                // rendering only has to be valid JSON, not canonical.
+                Ok(ToWorker::Welcome {
+                    shard: field("shard")? as u32,
+                    dir: j
+                        .get("dir")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| ProtoError("welcome: bad 'dir'".into()))?
+                        .to_string(),
+                    spec: render_json(spec),
+                })
+            }
+            "grant" => Ok(ToWorker::Grant {
+                wl: field("wl")? as u32,
+                start: field("start")?,
+                end: field("end")?,
+            }),
+            "wait" => Ok(ToWorker::Wait { ms: field("ms")? }),
+            "exit" => Ok(ToWorker::Exit),
+            other => Err(ProtoError(format!("unknown daemon op '{other}'"))),
+        }
+    }
+}
+
+/// Render a parsed [`Json`] value back to text (member order preserved).
+fn render_json(j: &Json) -> String {
+    match j {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Json::Str(s) => {
+            let mut out = String::new();
+            json::write_escaped(s, &mut out);
+            out
+        }
+        Json::Arr(items) => {
+            let mut out = String::from("[");
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&render_json(item));
+            }
+            out.push(']');
+            out
+        }
+        Json::Obj(members) => {
+            let mut out = String::from("{");
+            for (k, (key, val)) in members.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                json::write_escaped(key, &mut out);
+                out.push(':');
+                out.push_str(&render_json(val));
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+/// Write one message line to a stream (appends the newline and flushes).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (a dead peer).
+pub fn send(w: &mut impl Write, line: &str) -> std::io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Read one message line from a buffered stream. `Ok(None)` is clean EOF.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn recv(r: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    Ok(Some(line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_messages_round_trip() {
+        let msgs = [
+            ToDaemon::Hello,
+            ToDaemon::Claim,
+            ToDaemon::Done {
+                wl: 3,
+                start: 128,
+                end: 192,
+                obs: vec![(0, 1), (5, 3), (2, 0)],
+            },
+            ToDaemon::Done {
+                wl: 0,
+                start: 0,
+                end: 1,
+                obs: vec![],
+            },
+            ToDaemon::Bye,
+        ];
+        for m in msgs {
+            assert_eq!(ToDaemon::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn daemon_messages_round_trip() {
+        let msgs = [
+            ToWorker::Welcome {
+                shard: 2,
+                dir: "/tmp/fleet/0123456789abcdef".to_string(),
+                spec: r#"{"scale":"tiny","suite":["MatMul"]}"#.to_string(),
+            },
+            ToWorker::Grant {
+                wl: 1,
+                start: 64,
+                end: 128,
+            },
+            ToWorker::Wait { ms: 200 },
+            ToWorker::Exit,
+        ];
+        for m in msgs {
+            assert_eq!(ToWorker::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_panics() {
+        for bad in [
+            "",
+            "nope",
+            "{}",
+            r#"{"op":"launch"}"#,
+            r#"{"op":"done","wl":1}"#,
+            r#"{"op":"done","wl":1,"start":0,"end":4,"obs":[[1]]}"#,
+            r#"{"op":"grant","wl":0,"start":0}"#,
+        ] {
+            assert!(ToDaemon::decode(bad).is_err() || ToWorker::decode(bad).is_err());
+        }
+        assert!(ToDaemon::decode(r#"{"op":"grant","wl":0,"start":0,"end":1}"#).is_err());
+    }
+
+    #[test]
+    fn framing_survives_a_socket_pair() {
+        use std::io::BufReader;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(sock.try_clone().unwrap());
+            let mut w = sock;
+            let line = recv(&mut r).unwrap().unwrap();
+            assert_eq!(ToDaemon::decode(&line).unwrap(), ToDaemon::Hello);
+            send(&mut w, &ToWorker::Wait { ms: 7 }.encode()).unwrap();
+            assert!(recv(&mut r).unwrap().is_none(), "clean EOF");
+        });
+        let sock = std::net::TcpStream::connect(addr).unwrap();
+        let mut r = BufReader::new(sock.try_clone().unwrap());
+        let mut w = sock;
+        send(&mut w, &ToDaemon::Hello.encode()).unwrap();
+        let line = recv(&mut r).unwrap().unwrap();
+        assert_eq!(ToWorker::decode(&line).unwrap(), ToWorker::Wait { ms: 7 });
+        drop((r, w));
+        t.join().unwrap();
+    }
+}

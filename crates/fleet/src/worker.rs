@@ -1,0 +1,258 @@
+//! The shard worker: one process, one shard journal, zero shared state.
+//!
+//! A worker connects to the daemon, learns its shard number and the
+//! canonical study spec, and from then on is a pure claim-execute-journal
+//! loop. Determinism does the heavy lifting: the worker rebuilds the
+//! *same* [`CampaignPlan`] a single-process campaign would (same
+//! workload build, same config hashes, same golden run, same cycle-sorted
+//! spec sequence), so executing index `i` here produces the byte-for-byte
+//! journal line a single-process run would have written — which is the
+//! whole reason the daemon's merge can be byte-identical.
+//!
+//! On SIGTERM/SIGINT (or a daemon `exit`), the worker finishes the index
+//! in flight, fsyncs its journal, says `bye`, and exits; the unexecuted
+//! remainder of its block is requeued by the daemon for another shard to
+//! steal.
+
+use crate::proto::{self, ToDaemon, ToWorker};
+use sea_core::StudySpec;
+use sea_injection::supervisor::journal_file;
+use sea_injection::{
+    class_index, open_journal, stop_requested, verdict_line, CampaignPlan, JournalFormat,
+    JournalSpec,
+};
+use sea_trace::json::{self, Json};
+use sea_trace::{event, Level, Subsystem};
+use std::collections::HashSet;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Worker failure (the process exits non-zero; the daemon requeues).
+#[derive(Debug)]
+pub struct WorkerError(pub String);
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fleet worker: {}", self.0)
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+fn fail(msg: impl Into<String>) -> WorkerError {
+    WorkerError(msg.into())
+}
+
+/// Install SIGTERM/SIGINT handlers that raise the process-wide stop flag,
+/// so campaign loops (and the fleet claim loop) drain cleanly. Shared by
+/// the worker and the campaign bins. Safe to call more than once.
+pub fn install_stop_signals() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        for sig in [signal_hook::consts::SIGTERM, signal_hook::consts::SIGINT] {
+            let _ = signal_hook::flag::register(sig, flag.clone());
+        }
+        // Bridge the async-signal-safe flag to the supervisor's stop
+        // predicate without doing anything non-trivial in the handler.
+        std::thread::Builder::new()
+            .name("sea-stop-watch".into())
+            .spawn(move || loop {
+                if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    sea_injection::request_stop();
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            })
+            .ok();
+    });
+}
+
+struct Link {
+    r: BufReader<TcpStream>,
+    w: TcpStream,
+}
+
+impl Link {
+    fn send(&mut self, m: &ToDaemon) -> Result<(), WorkerError> {
+        proto::send(&mut self.w, &m.encode()).map_err(|e| fail(format!("daemon gone: {e}")))
+    }
+
+    fn recv(&mut self) -> Result<ToWorker, WorkerError> {
+        let line = proto::recv(&mut self.r)
+            .map_err(|e| fail(format!("daemon gone: {e}")))?
+            .ok_or_else(|| fail("daemon closed the connection"))?;
+        ToWorker::decode(&line).map_err(|e| fail(e.to_string()))
+    }
+}
+
+/// What `next_grant` resolved to.
+enum Next {
+    Grant { wl: u32, start: u64, end: u64 },
+    Exit,
+}
+
+/// Claim until the daemon grants, tells us to exit, or the stop flag
+/// fires.
+fn next_grant(link: &mut Link) -> Result<Next, WorkerError> {
+    loop {
+        if stop_requested() {
+            return Ok(Next::Exit);
+        }
+        link.send(&ToDaemon::Claim)?;
+        match link.recv()? {
+            ToWorker::Grant { wl, start, end } => return Ok(Next::Grant { wl, start, end }),
+            ToWorker::Wait { ms } => {
+                std::thread::sleep(std::time::Duration::from_millis(ms.clamp(10, 2_000)));
+            }
+            ToWorker::Exit => return Ok(Next::Exit),
+            ToWorker::Welcome { .. } => return Err(fail("unexpected welcome")),
+        }
+    }
+}
+
+/// Run the worker loop against a daemon at `connect` (e.g.
+/// `127.0.0.1:41234`). Returns when the daemon says `exit`, the stop flag
+/// fires, or the study has no more work for us.
+///
+/// # Errors
+///
+/// [`WorkerError`] on protocol violations, a vanished daemon, an invalid
+/// spec, or a poisoned (unwritable) shard journal.
+pub fn run_worker(connect: &str) -> Result<(), WorkerError> {
+    install_stop_signals();
+    let sock = TcpStream::connect(connect)
+        .map_err(|e| fail(format!("cannot connect to daemon at {connect}: {e}")))?;
+    let r = BufReader::new(sock.try_clone().map_err(|e| fail(e.to_string()))?);
+    let mut link = Link { r, w: sock };
+
+    // Hello → Welcome (the daemon may ask us to wait while it spins up).
+    let (shard, dir, spec_text) = loop {
+        link.send(&ToDaemon::Hello)?;
+        match link.recv()? {
+            ToWorker::Welcome { shard, dir, spec } => break (shard, dir, spec),
+            ToWorker::Wait { ms } => {
+                std::thread::sleep(std::time::Duration::from_millis(ms.clamp(10, 2_000)))
+            }
+            ToWorker::Exit => return Ok(()),
+            ToWorker::Grant { .. } => return Err(fail("grant before welcome")),
+        }
+    };
+    let spec = StudySpec::from_json(&spec_text).map_err(|e| fail(format!("bad spec: {e}")))?;
+    let shard_dir = PathBuf::from(&dir).join(format!("shard-{shard}"));
+    event!(Subsystem::Harness, Level::Info, "fleet.worker_start";
+           "shard" => u64::from(shard),
+           "dir" => shard_dir.display().to_string(),
+           "suite" => spec.suite.len() as u64);
+
+    let mut pending: Option<(u32, u64, u64)> = None;
+    'study: loop {
+        // Acquire the next grant (possibly one left over from a workload
+        // switch below).
+        let (wl, mut start, mut end) = match pending.take() {
+            Some(g) => g,
+            None => match next_grant(&mut link)? {
+                Next::Grant { wl, start, end } => (wl, start, end),
+                Next::Exit => break 'study,
+            },
+        };
+        let w = *spec
+            .suite
+            .get(wl as usize)
+            .ok_or_else(|| fail(format!("grant for workload {wl} outside the suite")))?;
+
+        // Build the identical plan a single-process campaign would use.
+        let built = w.build(spec.study.scale);
+        let cfg = spec.study.injection_config_for(w);
+        let plan = CampaignPlan::new(w.name(), &built, &cfg)
+            .map_err(|e| fail(format!("plan for {w}: {e}")))?;
+        let jspec = JournalSpec {
+            dir: shard_dir.clone(),
+            resume: true,
+            format: JournalFormat::Binary,
+            fsync: spec.study.journal_fsync,
+        };
+        let (journal, entries) =
+            open_journal(&jspec, &plan.header()).map_err(|e| fail(format!("journal: {e}")))?;
+        let mut local_done: HashSet<u64> = entries
+            .iter()
+            .filter_map(|e| e.get("i").and_then(Json::as_u64))
+            .collect();
+        let journal_path = journal_file(&jspec.dir, "inject", w.name(), jspec.format);
+
+        // Execute grants for this workload until the daemon switches us to
+        // another one (or tells us to stop).
+        loop {
+            let mut obs: Vec<(u32, u32)> = Vec::with_capacity((end - start) as usize);
+            for i in start..end.min(plan.total()) {
+                if local_done.contains(&i) {
+                    continue; // resumed: our own journal already has it
+                }
+                let verdict = plan.run_index(i);
+                journal.append(&verdict_line(i, &verdict));
+                if journal.poisoned() {
+                    return Err(fail(format!(
+                        "shard journal {} is poisoned; aborting so the daemon reassigns",
+                        journal_path.display()
+                    )));
+                }
+                local_done.insert(i);
+                if let Some(o) = &verdict.outcome {
+                    obs.push((plan.stratum_of(i) as u32, class_index(o.class) as u32));
+                }
+            }
+            // The block is durable before the daemon hears "done" — a
+            // worker killed right here merely re-runs the block elsewhere,
+            // producing byte-identical duplicate lines the merge drops.
+            journal.sync();
+            link.send(&ToDaemon::Done {
+                wl,
+                start,
+                end,
+                obs,
+            })?;
+            match next_grant(&mut link)? {
+                Next::Grant {
+                    wl: nwl,
+                    start: ns,
+                    end: ne,
+                } => {
+                    if nwl == wl {
+                        (start, end) = (ns, ne);
+                    } else {
+                        pending = Some((nwl, ns, ne));
+                        continue 'study;
+                    }
+                }
+                Next::Exit => break 'study,
+            }
+        }
+    }
+    event!(Subsystem::Harness, Level::Info, "fleet.worker_exit";
+           "shard" => u64::from(shard),
+           "stopped" => stop_requested());
+    let _ = link.send(&ToDaemon::Bye);
+    Ok(())
+}
+
+/// Parse a `spec` JSON text and return its canonical form plus the parsed
+/// spec — the submission-side counterpart of what the daemon does, shared
+/// so clients compute the same study id.
+///
+/// # Errors
+///
+/// The spec parse error, stringified.
+pub fn canonicalize_spec(text: &str) -> Result<(String, StudySpec), String> {
+    let spec = StudySpec::from_json(text).map_err(|e| e.to_string())?;
+    let canonical = spec.to_json();
+    // Round-trip sanity: canonical must re-parse to itself.
+    debug_assert_eq!(
+        StudySpec::from_json(&canonical).map(|s| s.to_json()),
+        Ok(canonical.clone())
+    );
+    let _ = json::parse(&canonical).expect("canonical spec is valid JSON");
+    Ok((canonical, spec))
+}

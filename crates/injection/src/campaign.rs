@@ -383,8 +383,11 @@ pub(crate) fn inject_and_run(
     }
 }
 
-/// Serializes one completed run as a journal entry line.
-fn verdict_line(i: u64, v: &RunVerdict) -> String {
+/// Serializes one completed run as a journal entry line. Public because
+/// fleet shard workers must write byte-identical lines to what a
+/// single-process campaign journals — this function *is* the byte contract
+/// the deterministic merge relies on.
+pub fn verdict_line(i: u64, v: &RunVerdict) -> String {
     let mut w = ObjWriter::new();
     w.u64_field("i", i);
     match (&v.outcome, &v.anomaly) {
@@ -515,6 +518,144 @@ fn prom_snapshot(progress: &Progress, tracker: &ConvergenceTracker) -> String {
     w.finish()
 }
 
+/// The deterministic execution plan of a campaign: golden run (plus any
+/// checkpoints), run limits, the seeded spec sequence, identity hashes,
+/// and quarantine — everything needed to execute an arbitrary spec index
+/// exactly as a single-process campaign would.
+///
+/// [`run_campaign`] builds one and drains it through the supervised pool;
+/// fleet shard workers build the *same* plan independently in their own
+/// process (same workload + config ⇒ same hashes, same golden run, same
+/// spec sequence) and execute only the index blocks the daemon grants
+/// them, which is what makes the merged shard journals byte-identical to
+/// a single-process run.
+pub struct CampaignPlan<'a> {
+    workload: &'a BuiltWorkload,
+    cfg: &'a CampaignConfig,
+    golden: GoldenRun,
+    ckpts: Option<CheckpointSet>,
+    limits: RunLimits,
+    specs: Vec<InjectionSpec>,
+    id: RunIdentity,
+    quarantine: Option<Quarantine>,
+    stratum_of: Vec<usize>,
+}
+
+impl<'a> CampaignPlan<'a> {
+    /// Builds the plan: golden reference run (reusing persisted
+    /// checkpoints when the policy allows), run limits, and the
+    /// deterministic spec sequence.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the golden run does not complete cleanly or the
+    /// quarantine file cannot be opened.
+    pub fn new(
+        name: &str,
+        workload: &'a BuiltWorkload,
+        cfg: &'a CampaignConfig,
+    ) -> Result<Self, CampaignError> {
+        let chash = config_hash(cfg);
+        let ghash = golden_hash(workload);
+        let (golden, ckpts) = acquire_golden_and_checkpoints(workload, cfg, chash, ghash)?;
+        let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period)
+            .with_wall_ms(cfg.supervisor.run_wall_ms);
+        let specs = generate_specs(cfg, golden.cycles);
+        let stratum_of = specs
+            .iter()
+            .map(|s| {
+                cfg.components
+                    .iter()
+                    .position(|&c| c == s.component)
+                    .unwrap_or(usize::MAX)
+            })
+            .collect();
+        let quarantine = match &cfg.supervisor.quarantine {
+            Some(path) => Some(
+                Quarantine::open(path).map_err(|e| CampaignError::Journal(JournalError::Io(e)))?,
+            ),
+            None => None,
+        };
+        Ok(CampaignPlan {
+            workload,
+            cfg,
+            golden,
+            ckpts,
+            limits,
+            specs,
+            id: RunIdentity {
+                workload: name.to_string(),
+                seed: cfg.seed,
+                config_hash: chash,
+                golden_hash: ghash,
+            },
+            quarantine,
+            stratum_of,
+        })
+    }
+
+    /// Cycles of the fault-free reference run.
+    pub fn golden_cycles(&self) -> u64 {
+        self.golden.cycles
+    }
+
+    /// The deterministic, cycle-sorted spec sequence.
+    pub fn specs(&self) -> &[InjectionSpec] {
+        &self.specs
+    }
+
+    /// Total planned runs (`specs().len()`).
+    pub fn total(&self) -> u64 {
+        self.specs.len() as u64
+    }
+
+    /// Identity hashes stamped onto journals and anomaly records.
+    pub fn identity(&self) -> &RunIdentity {
+        &self.id
+    }
+
+    /// Checkpoints acquired for this plan (None with checkpointing off).
+    pub fn checkpoints(&self) -> Option<&CheckpointSet> {
+        self.ckpts.as_ref()
+    }
+
+    /// Convergence stratum of spec `i`: the index of its component within
+    /// `cfg.components` (`usize::MAX` if somehow absent).
+    pub fn stratum_of(&self, i: u64) -> usize {
+        self.stratum_of[i as usize]
+    }
+
+    /// The journal identity header every process sharing this plan writes
+    /// — shard journals carry the full-campaign `total`, so identity
+    /// validation and the deterministic merge work across processes.
+    pub fn header(&self) -> JournalHeader {
+        JournalHeader {
+            kind: "inject",
+            workload: self.id.workload.clone(),
+            seed: self.id.seed,
+            config_hash: self.id.config_hash,
+            golden_hash: self.id.golden_hash,
+            ckpt: CheckpointMeta::provenance(self.id.config_hash, self.id.golden_hash),
+            total: self.total(),
+        }
+    }
+
+    /// Executes spec `i` under the full supervision policy (panic
+    /// isolation, bounded retry, quarantine).
+    pub fn run_index(&self, i: u64) -> RunVerdict {
+        attempt_run(
+            self.workload,
+            self.cfg,
+            &self.id,
+            self.ckpts.as_ref(),
+            i,
+            self.specs[i as usize],
+            self.limits,
+            self.quarantine.as_ref(),
+        )
+    }
+}
+
 /// Runs a full statistical campaign for one workload.
 ///
 /// ```no_run
@@ -546,22 +687,10 @@ pub fn run_campaign(
     workload: &BuiltWorkload,
     cfg: &CampaignConfig,
 ) -> Result<CampaignResult, CampaignError> {
-    let chash = config_hash(cfg);
-    let ghash = golden_hash(workload);
-    let (golden, ckpts): (GoldenRun, Option<CheckpointSet>) =
-        acquire_golden_and_checkpoints(workload, cfg, chash, ghash)?;
-    let limits = RunLimits::from_golden(golden.cycles, cfg.kernel.tick_period)
-        .with_wall_ms(cfg.supervisor.run_wall_ms);
-
-    // Pre-generate all specs deterministically.
+    let plan = CampaignPlan::new(name, workload, cfg)?;
     let probe = System::new(cfg.machine, sea_microarch::NullDevice);
-    let specs = generate_specs(cfg, golden.cycles);
-    let id = RunIdentity {
-        workload: name.to_string(),
-        seed: cfg.seed,
-        config_hash: chash,
-        golden_hash: ghash,
-    };
+    let specs = plan.specs();
+    let id = plan.identity();
 
     // Journal: open (or resume, skipping already-completed runs).
     let mut outcome_by_idx: Vec<Option<InjectionOutcome>> = vec![None; specs.len()];
@@ -570,21 +699,14 @@ pub fn run_campaign(
     let mut resumed = 0u64;
     let journal: Option<Journal> = match &cfg.journal {
         Some(spec) => {
-            let header = JournalHeader {
-                kind: "inject",
-                workload: id.workload.clone(),
-                seed: id.seed,
-                config_hash: id.config_hash,
-                golden_hash: id.golden_hash,
-                // Stamped whether or not checkpointing is on (the value is
-                // interval-independent), so checkpointed and from-reset
-                // campaigns write byte-identical journals.
-                ckpt: CheckpointMeta::provenance(id.config_hash, id.golden_hash),
-                total: specs.len() as u64,
-            };
+            // The header is stamped whether or not checkpointing is on
+            // (the provenance value is interval-independent), so
+            // checkpointed and from-reset campaigns write byte-identical
+            // journals.
+            let header = plan.header();
             let (journal, entries) = open_journal(spec, &header).map_err(CampaignError::Journal)?;
             for e in &entries {
-                let Some((i, outcome, anomaly)) = decode_entry(e, &specs, &id) else {
+                let Some((i, outcome, anomaly)) = decode_entry(e, specs, id) else {
                     continue;
                 };
                 if done[i] {
@@ -612,18 +734,9 @@ pub fn run_campaign(
             .iter()
             .map(|&c| (c.short_name().to_string(), probe.component_bits(c))),
     ));
-    let stratum_of: Vec<usize> = specs
-        .iter()
-        .map(|s| {
-            cfg.components
-                .iter()
-                .position(|&c| c == s.component)
-                .unwrap_or(usize::MAX)
-        })
-        .collect();
     for (i, o) in outcome_by_idx.iter().enumerate() {
         if let Some(o) = o {
-            tracker.record(stratum_of[i], o.class);
+            tracker.record(plan.stratum_of(i as u64), o.class);
         }
     }
 
@@ -632,7 +745,7 @@ pub fn run_campaign(
     // whole run, from reset, when no checkpoints exist). Seeds the
     // work-weighted ETA so restored short-suffix runs don't make the meter
     // wildly optimistic about the from-reset stragglers.
-    let epochs = ckpts.as_ref().map(|c| c.epochs());
+    let epochs = plan.checkpoints().map(|c| c.epochs());
     let expected_work = |cycle: u64| -> u64 {
         let restored = epochs.as_ref().map_or(0, |e| {
             let k = e.partition_point(|&c| c <= cycle);
@@ -642,14 +755,7 @@ pub fn run_campaign(
                 e[k - 1]
             }
         });
-        golden.cycles.saturating_sub(restored)
-    };
-
-    let quarantine = match &cfg.supervisor.quarantine {
-        Some(path) => {
-            Some(Quarantine::open(path).map_err(|e| CampaignError::Journal(JournalError::Io(e)))?)
-        }
-        None => None,
+        plan.golden_cycles().saturating_sub(restored)
     };
 
     let threads = if cfg.threads == 0 {
@@ -720,24 +826,23 @@ pub fn run_campaign(
         }
     }
 
-    // Stop early on statistical convergence — or on a poisoned journal:
-    // once a write fault has exhausted its retries, running on would only
-    // produce unjournaled (unresumable) work, so drain cleanly instead.
+    // Stop early on statistical convergence, on a poisoned journal (once a
+    // write fault has exhausted its retries, running on would only produce
+    // unjournaled, unresumable work), or on a process-wide stop request
+    // (SIGTERM/SIGINT drain, fleet daemon-initiated shutdown) — in every
+    // case workers finish their in-flight run and the journal stays a
+    // valid resumable prefix.
     let margin_stop = cfg.stop_at_margin.map(|m| {
         let tracker = tracker.clone();
         move || tracker.converged(m)
     });
     let journal_ref = journal.as_ref();
-    let stop_pred: Option<Box<dyn Fn() -> bool + Sync + '_>> = if margin_stop.is_some()
-        || journal_ref.is_some()
-    {
-        Some(Box::new(move || {
-            journal_ref.is_some_and(|j| j.poisoned()) || margin_stop.as_ref().is_some_and(|f| f())
-        }))
-    } else {
-        None
-    };
-    let stop_ref: Option<&(dyn Fn() -> bool + Sync)> = stop_pred.as_deref();
+    let stop_pred: Box<dyn Fn() -> bool + Sync + '_> = Box::new(move || {
+        crate::supervisor::stop_requested()
+            || journal_ref.is_some_and(|j| j.poisoned())
+            || margin_stop.as_ref().is_some_and(|f| f())
+    });
+    let stop_ref: Option<&(dyn Fn() -> bool + Sync)> = Some(&*stop_pred);
     let (fresh, pool): (Vec<(u64, RunVerdict)>, PoolStats) = run_supervised_until(
         &pending,
         threads,
@@ -746,16 +851,7 @@ pub fn run_campaign(
         "injection.worker",
         stop_ref,
         |i| {
-            let verdict = attempt_run(
-                workload,
-                cfg,
-                &id,
-                ckpts.as_ref(),
-                i,
-                specs[i as usize],
-                limits,
-                quarantine.as_ref(),
-            );
+            let verdict = plan.run_index(i);
             if let Some(j) = &journal {
                 j.append(&verdict_line(i, &verdict));
             }
@@ -766,7 +862,7 @@ pub fn run_campaign(
             // that trips the stop predicate already has its journal line,
             // keeping the early-stopped journal a prefix of the full run.
             if let Some(o) = &verdict.outcome {
-                tracker.record(stratum_of[i as usize], o.class);
+                tracker.record(plan.stratum_of(i), o.class);
             }
             sea_profile::prom_flush(false, || prom_snapshot(&progress, &tracker));
             verdict
@@ -780,6 +876,11 @@ pub fn run_campaign(
     let journal_poisoned = journal.as_ref().is_some_and(|j| j.poisoned());
     if journal_poisoned {
         event!(Subsystem::Injection, Level::Error, "injection.journal_poisoned_abort";
+               "workload" => id.workload.clone(),
+               "done" => done_runs,
+               "planned" => pending.len() as u64);
+    } else if pool.stopped && crate::supervisor::stop_requested() {
+        event!(Subsystem::Injection, Level::Info, "injection.stop_drained";
                "workload" => id.workload.clone(),
                "done" => done_runs,
                "planned" => pending.len() as u64);
@@ -856,14 +957,14 @@ pub fn run_campaign(
                "lost" => supervision.lost);
     }
 
-    let ckpt_stats = ckpts.as_ref().map(|c| c.stats());
+    let ckpt_stats = plan.checkpoints().map(|c| c.stats());
     if let Some(s) = ckpt_stats {
         event!(Subsystem::Injection, Level::Info, "injection.checkpoints";
                "workload" => name.to_string(),
                "epochs" => s.epochs,
                "restores" => s.restores,
                "prefix_cycles_saved" => s.prefix_cycles_saved,
-               "golden_cycles" => golden.cycles);
+               "golden_cycles" => plan.golden_cycles());
     }
 
     // Make the tail durable before handing the result back, whatever the
@@ -875,7 +976,7 @@ pub fn run_campaign(
 
     Ok(CampaignResult {
         workload: name.to_string(),
-        golden_cycles: golden.cycles,
+        golden_cycles: plan.golden_cycles(),
         per_component,
         anomalies,
         supervision,

@@ -292,6 +292,11 @@ pub fn prom_append(w: &mut sea_profile::PromWriter, tracker: &ConvergenceTracker
         "Anomalies written to quarantine files.",
         h.quarantined,
     );
+    w.counter(
+        "sea_supervisor_respawn_backoff_ms_total",
+        "Milliseconds spent backing off before worker respawns.",
+        h.respawn_backoff_ms,
+    );
     for s in tracker.snapshot() {
         let slug = s.label.to_ascii_lowercase();
         w.gauge(
@@ -447,6 +452,10 @@ mod tests {
             "{doc}"
         );
         assert!(doc.contains("sea_supervisor_watchdog_kills_total"), "{doc}");
+        assert!(
+            doc.contains("sea_supervisor_respawn_backoff_ms_total"),
+            "{doc}"
+        );
         assert!(doc.contains("sea_convergence_samples_l1_d 1"), "{doc}");
         assert!(
             doc.contains("sea_convergence_margin_adjusted_l1_d"),

@@ -27,12 +27,13 @@ pub mod supervisor;
 
 pub use campaign::{
     acquire_golden_and_checkpoints, class_index, generate_specs, run_campaign, run_one,
-    CampaignConfig, CampaignError, CampaignResult, CheckpointPolicy, ComponentResult, FaultModel,
-    InjectionOutcome, InjectionSpec, SupervisionStats, CLASS_LABELS,
+    verdict_line, CampaignConfig, CampaignError, CampaignPlan, CampaignResult, CheckpointPolicy,
+    ComponentResult, FaultModel, InjectionOutcome, InjectionSpec, SupervisionStats, CLASS_LABELS,
 };
 pub use convergence::{ConvergenceTracker, StratumSnapshot};
 pub use sea_platform::ClassCounts;
 pub use supervisor::{
-    load_quarantine, run_one_caught, supervisor_health, FsyncPolicy, JournalAudit, JournalFormat,
-    JournalSpec, RunAnomaly, SupervisorConfig, SupervisorHealth,
+    clear_stop, load_quarantine, open_journal, request_stop, run_one_caught, stop_requested,
+    supervisor_health, FsyncPolicy, Journal, JournalAudit, JournalError, JournalFormat,
+    JournalHeader, JournalSpec, RunAnomaly, RunVerdict, SupervisorConfig, SupervisorHealth,
 };

@@ -59,6 +59,10 @@ pub static WORKER_RESPAWNS: Counter = Counter::new("supervisor.worker_respawns")
 pub static INFLIGHT_REQUEUES: Counter = Counter::new("supervisor.inflight_requeues");
 /// Anomaly records written to quarantine files.
 pub static QUARANTINED: Counter = Counter::new("supervisor.quarantined");
+/// Milliseconds spent in respawn backoff before restarting dead workers
+/// (process-wide, monotone). A pool that keeps dying does not thrash: each
+/// respawn waits a jittered, exponentially growing delay first.
+pub static RESPAWN_BACKOFF_MS: Counter = Counter::new("supervisor.respawn_backoff_ms");
 
 /// Point-in-time supervisor health, aggregated across every campaign in
 /// the process — the numbers behind the `/status` `health` object and the
@@ -74,6 +78,9 @@ pub struct SupervisorHealth {
     pub watchdog_kills: u64,
     /// Quarantined anomalies ([`QUARANTINED`]).
     pub quarantined: u64,
+    /// Milliseconds spent backing off before worker respawns
+    /// ([`RESPAWN_BACKOFF_MS`]).
+    pub respawn_backoff_ms: u64,
 }
 
 /// Read every supervisor health counter at once.
@@ -83,7 +90,35 @@ pub fn supervisor_health() -> SupervisorHealth {
         requeues: INFLIGHT_REQUEUES.get(),
         watchdog_kills: sea_platform::watchdog_kills(),
         quarantined: QUARANTINED.get(),
+        respawn_backoff_ms: RESPAWN_BACKOFF_MS.get(),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative stop flag
+// ---------------------------------------------------------------------------
+
+/// Process-wide cooperative stop request (SIGTERM/SIGINT drains, fleet
+/// daemon-initiated worker shutdown). Checked by every campaign and beam
+/// stop predicate.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// Ask every running campaign/session in this process to stop: workers
+/// finish their in-flight run, drain, and journals/metrics flush on the
+/// normal exit path. Signal-handler-safe (a single atomic store).
+pub fn request_stop() {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// True once [`request_stop`] has been called (and not yet cleared).
+pub fn stop_requested() -> bool {
+    STOP.load(Ordering::SeqCst)
+}
+
+/// Re-arm after a drained stop — for long-lived daemons that run several
+/// studies in one process, and for tests.
+pub fn clear_stop() {
+    STOP.store(false, Ordering::SeqCst);
 }
 
 /// Supervision knobs shared by injection campaigns and beam sessions.
@@ -971,6 +1006,15 @@ pub struct PoolStats {
 
 const IDLE: u64 = u64::MAX;
 
+/// Delay before the `nth` worker respawn of a pool: 10 ms doubling per
+/// respawn, capped at 1 s, with deterministic ±50% jitter drawn from the
+/// process-wide respawn count (`salt`) so concurrent pools desynchronize.
+fn respawn_backoff_ms(nth: u32, salt: u64) -> u64 {
+    let base = (10u64 << nth.min(7)).min(1_000);
+    let jitter = fnv1a(&salt.to_le_bytes()) % base;
+    base / 2 + jitter / 2
+}
+
 /// Runs `f` over every index in `pending` on a supervised worker pool.
 ///
 /// Work is claimed in contiguous blocks, not single items: campaign specs
@@ -1125,8 +1169,19 @@ where
                    "respawns_left" => budget as u64);
             if budget > 0 {
                 budget -= 1;
-                respawns.fetch_add(1, Ordering::Relaxed);
+                let nth = respawns.fetch_add(1, Ordering::Relaxed);
                 WORKER_RESPAWNS.inc();
+                // Back off before restarting: a worker that dies instantly
+                // (poisoned state, resource exhaustion) must not burn the
+                // whole respawn budget in a hot loop. Exponential with
+                // deterministic jitter so sibling pools don't thunder.
+                let pause = respawn_backoff_ms(nth as u32, WORKER_RESPAWNS.get());
+                RESPAWN_BACKOFF_MS.add(pause);
+                event!(sub, Level::Warn, "supervisor.respawn_backoff";
+                       "worker" => w,
+                       "nth" => nth as u64,
+                       "ms" => pause);
+                std::thread::sleep(std::time::Duration::from_millis(pause));
                 handles.push((w, scope.spawn(move |_| body(w))));
             }
         }
@@ -1267,6 +1322,7 @@ mod tests {
             worker_hook: Some(kill_once),
             ..SupervisorConfig::default()
         };
+        let backoff_before = RESPAWN_BACKOFF_MS.get();
         let (results, stats) = run_supervised(
             &pending,
             3,
@@ -1278,6 +1334,36 @@ mod tests {
         assert_eq!(results.len(), 32, "item 7 must be requeued and completed");
         assert_eq!(stats.respawns, 1);
         assert!(stats.lost.is_empty());
+        assert!(
+            RESPAWN_BACKOFF_MS.get() > backoff_before,
+            "a respawn must pay its backoff delay"
+        );
+    }
+
+    #[test]
+    fn respawn_backoff_grows_is_jittered_and_capped() {
+        for nth in 0..20 {
+            let base = (10u64 << nth.min(7)).min(1_000);
+            for salt in 0..50 {
+                let ms = respawn_backoff_ms(nth, salt);
+                assert!(ms >= base / 2, "respawn {nth} salt {salt}: {ms} < {base}/2");
+                assert!(ms < base, "respawn {nth} salt {salt}: {ms} >= {base}");
+            }
+        }
+        // Different salts actually spread (jitter is not degenerate).
+        let spread: std::collections::HashSet<u64> =
+            (0..50).map(|s| respawn_backoff_ms(6, s)).collect();
+        assert!(spread.len() > 10);
+    }
+
+    #[test]
+    fn stop_flag_round_trips() {
+        clear_stop();
+        assert!(!stop_requested());
+        request_stop();
+        assert!(stop_requested());
+        clear_stop();
+        assert!(!stop_requested());
     }
 
     #[test]

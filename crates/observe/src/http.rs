@@ -26,6 +26,9 @@ const SSE_POLL: Duration = Duration::from_millis(50);
 /// Largest request head we will buffer before giving up on a client.
 const MAX_REQUEST: usize = 8 * 1024;
 
+/// Largest request body (`POST /studies` specs) we will accept.
+const MAX_BODY: usize = 1 << 20;
+
 type ConnQueue = (Mutex<VecDeque<TcpStream>>, Condvar);
 
 /// A running observability server. Most callers use the process-wide
@@ -138,39 +141,106 @@ fn worker_loop(queue: &ConnQueue, stop: &AtomicBool) {
 fn handle(mut stream: TcpStream, stop: &AtomicBool) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let Some((method, target)) = read_request(&mut stream) else {
+    let Some((method, target, req_body)) = read_request(&mut stream) else {
         return;
     };
-    if method != "GET" {
-        respond(
-            &mut stream,
-            "405 Method Not Allowed",
-            "text/plain",
-            b"GET only\n",
-        );
-        return;
-    }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target.as_str(), ""),
     };
-    match path {
-        "/healthz" => respond(&mut stream, "200 OK", "text/plain", b"ok\n"),
-        "/metrics" => respond(
+    match (method.as_str(), path) {
+        ("GET", "/healthz") => respond(&mut stream, "200 OK", "text/plain", b"ok\n"),
+        ("GET", "/metrics") => respond(
             &mut stream,
             "200 OK",
             "text/plain; version=0.0.4",
             hub::metrics_document().as_bytes(),
         ),
-        "/status" => respond(
+        ("GET", "/status") => respond(
             &mut stream,
             "200 OK",
             "application/json",
             hub::status_document().as_bytes(),
         ),
-        "/journal/tail" => journal_tail(&mut stream, query),
-        "/events" => sse(stream, stop),
-        _ => respond(&mut stream, "404 Not Found", "text/plain", b"not found\n"),
+        ("GET", "/journal/tail") => journal_tail(&mut stream, query),
+        ("GET", "/events") => sse(stream, stop),
+        ("POST", "/studies") => studies_submit(&mut stream, &req_body),
+        ("GET", "/studies") => studies_list(&mut stream),
+        ("GET", p) if p.starts_with("/studies/") => studies_get(&mut stream, p),
+        ("GET", _) => respond(&mut stream, "404 Not Found", "text/plain", b"not found\n"),
+        _ => respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            b"GET only (POST /studies)\n",
+        ),
+    }
+}
+
+/// `POST /studies`: hand the body to the published [`hub::StudyApi`].
+fn studies_submit(stream: &mut TcpStream, req_body: &[u8]) {
+    let Some(api) = hub::studies_api() else {
+        respond(
+            stream,
+            "404 Not Found",
+            "text/plain",
+            b"no study backend published\n",
+        );
+        return;
+    };
+    let spec = String::from_utf8_lossy(req_body);
+    match api.submit(spec.trim()) {
+        Ok(doc) => respond(stream, "200 OK", "application/json", doc.as_bytes()),
+        Err(why) => {
+            let mut msg = why;
+            msg.push('\n');
+            respond(stream, "400 Bad Request", "text/plain", msg.as_bytes());
+        }
+    }
+}
+
+/// `GET /studies`: the backend's summary array.
+fn studies_list(stream: &mut TcpStream) {
+    match hub::studies_api() {
+        Some(api) => respond(stream, "200 OK", "application/json", api.list().as_bytes()),
+        None => respond(
+            stream,
+            "404 Not Found",
+            "text/plain",
+            b"no study backend published\n",
+        ),
+    }
+}
+
+/// `GET /studies/{id}` and `GET /studies/{id}/journal`.
+fn studies_get(stream: &mut TcpStream, path: &str) {
+    let Some(api) = hub::studies_api() else {
+        respond(
+            stream,
+            "404 Not Found",
+            "text/plain",
+            b"no study backend published\n",
+        );
+        return;
+    };
+    let rest = &path["/studies/".len()..];
+    if let Some(id) = rest.strip_suffix("/journal") {
+        match api
+            .journal(id)
+            .and_then(|p| std::fs::read(&p).map_err(|e| format!("journal unreadable: {e}")))
+        {
+            Ok(bytes) => respond(stream, "200 OK", "application/octet-stream", &bytes),
+            Err(why) => {
+                let mut msg = why;
+                msg.push('\n');
+                respond(stream, "404 Not Found", "text/plain", msg.as_bytes());
+            }
+        }
+        return;
+    }
+    match api.status(rest) {
+        Some(doc) => respond(stream, "200 OK", "application/json", doc.as_bytes()),
+        None => respond(stream, "404 Not Found", "text/plain", b"unknown study\n"),
     }
 }
 
@@ -266,25 +336,51 @@ fn sse(mut stream: TcpStream, stop: &AtomicBool) {
     }
 }
 
-fn read_request(stream: &mut TcpStream) -> Option<(String, String)> {
+fn read_request(stream: &mut TcpStream) -> Option<(String, String, Vec<u8>)> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+    let head_end = loop {
+        if let Some(at) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break at + 4;
+        }
         if buf.len() > MAX_REQUEST {
             return None;
         }
         match stream.read(&mut chunk) {
-            Ok(0) => break,
+            Ok(0) => break buf.len(),
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(_) => return None,
         }
-    }
-    let text = String::from_utf8_lossy(&buf);
+    };
+    let text = String::from_utf8_lossy(&buf[..head_end]).into_owned();
     let first = text.lines().next()?;
     let mut parts = first.split_whitespace();
     let method = parts.next()?.to_string();
     let target = parts.next()?.to_string();
-    Some((method, target))
+    // Read the declared body (POST /studies specs); bodies beyond MAX_BODY
+    // are rejected rather than buffered.
+    let content_length = text
+        .lines()
+        .skip(1)
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse::<usize>().ok())?
+        })
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return None;
+    }
+    let mut req_body = buf[head_end.min(buf.len())..].to_vec();
+    while req_body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => req_body.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    req_body.truncate(content_length);
+    Some((method, target, req_body))
 }
 
 fn respond(stream: &mut TcpStream, status: &str, ctype: &str, body: &[u8]) {
@@ -427,6 +523,94 @@ mod tests {
 
         hub::publish_journal(None);
         let _ = std::fs::remove_file(&path);
+        srv.shutdown();
+    }
+
+    struct MockStudies {
+        journal: std::path::PathBuf,
+    }
+
+    impl hub::StudyApi for MockStudies {
+        fn submit(&self, spec_json: &str) -> Result<String, String> {
+            let j = sea_trace::json::parse(spec_json).map_err(|e| format!("bad spec: {e}"))?;
+            match j.get("samples").and_then(sea_trace::json::Json::as_u64) {
+                Some(n) => Ok(format!("{{\"id\":\"s{n}\",\"state\":\"queued\"}}")),
+                None => Err("spec missing samples".to_string()),
+            }
+        }
+        fn list(&self) -> String {
+            "[{\"id\":\"s8\"}]".to_string()
+        }
+        fn status(&self, id: &str) -> Option<String> {
+            (id == "s8").then(|| "{\"id\":\"s8\",\"state\":\"running\"}".to_string())
+        }
+        fn journal(&self, id: &str) -> Result<std::path::PathBuf, String> {
+            if id == "s8" {
+                Ok(self.journal.clone())
+            } else {
+                Err(format!("unknown study {id}"))
+            }
+        }
+    }
+
+    fn post(addr: SocketAddr, target: &str, payload: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(
+            s,
+            "POST {target} HTTP/1.1\r\nHost: sea\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        )
+        .unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        out
+    }
+
+    #[test]
+    fn studies_routes_delegate_to_the_published_backend() {
+        let _guard = sea_trace::test_lock();
+        let srv = Server::start("127.0.0.1:0").unwrap();
+        let addr = srv.addr();
+
+        // Without a backend, every /studies route 404s (including POST).
+        hub::publish_studies(None);
+        assert!(get(addr, "/studies").starts_with("HTTP/1.1 404"));
+        assert!(post(addr, "/studies", "{}").starts_with("HTTP/1.1 404"));
+
+        let journal =
+            std::env::temp_dir().join(format!("sea_observe_m_{}.seaj", std::process::id()));
+        std::fs::write(&journal, b"merged-bytes").unwrap();
+        hub::publish_studies(Some(StdArc::new(MockStudies {
+            journal: journal.clone(),
+        })));
+
+        let ok = post(addr, "/studies", "{\"samples\":8}");
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        assert!(body(&ok).contains("\"id\":\"s8\""), "{ok}");
+        let bad = post(addr, "/studies", "{\"nope\":1}");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+
+        let list = get(addr, "/studies");
+        assert!(list.starts_with("HTTP/1.1 200"), "{list}");
+        assert!(body(&list).starts_with("["), "{list}");
+
+        let st = get(addr, "/studies/s8");
+        assert!(st.contains("\"state\":\"running\""), "{st}");
+        assert!(get(addr, "/studies/zz").starts_with("HTTP/1.1 404"));
+
+        let dl = get(addr, "/studies/s8/journal");
+        assert!(dl.starts_with("HTTP/1.1 200"), "{dl}");
+        assert!(dl.contains("application/octet-stream"), "{dl}");
+        assert_eq!(body(&dl), "merged-bytes");
+        assert!(get(addr, "/studies/zz/journal").starts_with("HTTP/1.1 404"));
+
+        // Non-studies POSTs stay rejected.
+        let m = post(addr, "/status", "{}");
+        assert!(m.starts_with("HTTP/1.1 405"), "{m}");
+
+        hub::publish_studies(None);
+        let _ = std::fs::remove_file(&journal);
         srv.shutdown();
     }
 

@@ -55,6 +55,44 @@ pub fn metrics_document() -> String {
     }
 }
 
+/// A study-submission backend (the fleet daemon): the server delegates the
+/// `/studies` routes to whatever implementation is published here, keeping
+/// this crate free of any fleet dependency. Implementations must be cheap
+/// and internally synchronized — calls arrive on server worker threads.
+pub trait StudyApi: Send + Sync {
+    /// Submit a study spec (the request body, JSON). Returns the study's
+    /// acknowledgment document (`{"id":...,"state":...}`) or a
+    /// human-readable rejection.
+    ///
+    /// # Errors
+    ///
+    /// The rejection message is served as a 400 response body.
+    fn submit(&self, spec_json: &str) -> Result<String, String>;
+    /// JSON array summarizing every known study.
+    fn list(&self) -> String;
+    /// Full JSON status document for one study, `None` when unknown.
+    fn status(&self, id: &str) -> Option<String>;
+    /// Path of the merged journal for a completed study.
+    ///
+    /// # Errors
+    ///
+    /// A message explaining why no journal is servable (unknown id, study
+    /// still running); served as a 404 response body.
+    fn journal(&self, id: &str) -> Result<PathBuf, String>;
+}
+
+static STUDIES: Mutex<Option<Arc<dyn StudyApi>>> = Mutex::new(None);
+
+/// Register (or clear) the `/studies` backend.
+pub fn publish_studies(api: Option<Arc<dyn StudyApi>>) {
+    *STUDIES.lock().unwrap_or_else(|e| e.into_inner()) = api;
+}
+
+/// The currently published `/studies` backend, if any.
+pub fn studies_api() -> Option<Arc<dyn StudyApi>> {
+    STUDIES.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
 /// The shared event-tail ring. The first caller creates it; campaigns
 /// include it in their sink [`sea_trace::Tee`] so `/events` sees the
 /// same stream as the JSONL trace.

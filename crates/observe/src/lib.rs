@@ -15,7 +15,11 @@
 //!   per-(structure, failure-class) running AVF estimates with
 //!   `adjusted_error_margin` confidence intervals;
 //! * `GET /events` — Server-Sent-Events tail of the `sea-trace` ring;
-//! * `GET /journal/tail?lines=N` — the last lines of the outcome journal.
+//! * `GET /journal/tail?lines=N` — the last lines of the outcome journal;
+//! * `POST /studies`, `GET /studies`, `GET /studies/{id}`,
+//!   `GET /studies/{id}/journal` — study submission, listing, status, and
+//!   merged-journal download, delegated to whatever [`StudyApi`] backend is
+//!   published (the `sea-fleet` daemon).
 //!
 //! The design substitutes DrSEUs' central results database with an
 //! embedded pull surface: the campaign stays the single process, observers
@@ -35,6 +39,6 @@ mod tail;
 pub use http::{serve, served_addr, shutdown, Server};
 pub use hub::{
     journal_path, metrics_document, publish_journal, publish_metrics, publish_status,
-    status_document, tail_sink, Provider,
+    publish_studies, status_document, studies_api, tail_sink, Provider, StudyApi,
 };
 pub use tail::TailSink;

@@ -1,0 +1,203 @@
+//! Submit a study to a running `fleet` daemon and ride it to completion.
+//!
+//! POSTs a study spec to the daemon's `/studies` endpoint, polls
+//! `/studies/{id}` drawing one progress line per workload (plus a
+//! sparkline of the active campaign's adjusted error margin), and when
+//! the study lands downloads the deterministically merged journal —
+//! byte-identical to a single-process run — next to the current
+//! directory.
+//!
+//! ```text
+//! cargo run --release -p sea-bench --bin fleet -- serve --workers 4 --serve 127.0.0.1:9818
+//! cargo run --release --example submit_study -- 127.0.0.1:9818 \
+//!     --spec-json '{"scale":"tiny","samples_per_component":40,"suite":["CRC32"]}'
+//! ```
+//!
+//! With no `--spec`/`--spec-json`, a small demonstration study is
+//! submitted. Resubmitting the same spec is idempotent: the canonical
+//! spec hash *is* the study id, so you get the existing study's status.
+
+use sea_core::trace::json::{self, Json};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+const HISTORY: usize = 40;
+const DEMO_SPEC: &str =
+    r#"{"scale":"tiny","samples_per_component":24,"threads":1,"suite":["CRC32"]}"#;
+
+/// One HTTP round-trip returning the raw body (journals are binary).
+fn http(addr: &str, head: &str, body: &str) -> Result<Vec<u8>, std::io::Error> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        conn,
+        "{head}\r\nHost: sea\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut response = Vec::new();
+    conn.read_to_end(&mut response)?;
+    let split = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("no header terminator"))?;
+    let (header, payload) = response.split_at(split + 4);
+    if !header.starts_with(b"HTTP/1.1 200") {
+        let status = String::from_utf8_lossy(header);
+        let message = String::from_utf8_lossy(payload);
+        return Err(std::io::Error::other(format!(
+            "{}: {}",
+            status.lines().next().unwrap_or("bad response"),
+            message.trim()
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+fn get_json(addr: &str, path: &str) -> Result<Json, std::io::Error> {
+    let body = http(addr, &format!("GET {path} HTTP/1.1"), "")?;
+    json::parse(&String::from_utf8_lossy(&body))
+        .map_err(|e| std::io::Error::other(format!("unparseable {path}: {e}")))
+}
+
+fn sparkline(history: &[f64]) -> String {
+    history
+        .iter()
+        .map(|&m| SPARKS[((m.clamp(0.0, 1.0) * 7.0).round()) as usize])
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:9818".to_string();
+    let mut spec: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut interval_ms = 500u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--spec" => {
+                let path = &args[i + 1];
+                spec = Some(std::fs::read_to_string(path).expect("readable --spec file"));
+                i += 2;
+            }
+            "--spec-json" => {
+                spec = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--interval-ms" => {
+                interval_ms = args[i + 1].parse().expect("--interval-ms N");
+                i += 2;
+            }
+            a if !a.starts_with('-') => {
+                addr = a.to_string();
+                i += 1;
+            }
+            other => panic!(
+                "unknown flag `{other}` (usage: submit_study [ADDR] [--spec FILE | --spec-json JSON] [--out FILE] [--interval-ms N])"
+            ),
+        }
+    }
+    let spec = spec.unwrap_or_else(|| {
+        println!("no spec given — submitting the demonstration study:\n  {DEMO_SPEC}\n");
+        DEMO_SPEC.to_string()
+    });
+
+    // Submit. The daemon acks with the study id (idempotent on resubmit).
+    let ack = match http(&addr, "POST /studies HTTP/1.1", spec.trim()) {
+        Ok(b) => String::from_utf8_lossy(&b).into_owned(),
+        Err(e) => {
+            eprintln!("submit to {addr} failed: {e}");
+            eprintln!("is a daemon running? start one with:");
+            eprintln!("  cargo run --release -p sea-bench --bin fleet -- serve --workers 4 --serve {addr}");
+            std::process::exit(1);
+        }
+    };
+    let acked = json::parse(&ack).expect("parseable ack");
+    let id = acked
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("ack carries the study id")
+        .to_string();
+    println!("study {id} accepted by http://{addr}/\n");
+
+    // Poll to completion, one frame per poll: per-workload progress plus
+    // the active campaign's adjusted-margin sparkline.
+    let mut history: Vec<f64> = Vec::new();
+    let mut drawn = 0usize;
+    loop {
+        let doc = match get_json(&addr, &format!("/studies/{id}")) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{addr}: {e} — retrying");
+                std::thread::sleep(Duration::from_millis(interval_ms.max(250)));
+                continue;
+            }
+        };
+        let state = doc.get("state").and_then(Json::as_str).unwrap_or("?");
+        let active = doc.get("active");
+        if let Some(m) = active.and_then(|a| a.get("margin_adjusted").and_then(Json::as_f64)) {
+            history.push(m);
+            if history.len() > HISTORY {
+                history.remove(0);
+            }
+        }
+        if drawn > 0 {
+            print!("\x1b[{drawn}A");
+        }
+        let margin_note = history
+            .last()
+            .map(|m| format!(", margin ±{:.2}% {}", 100.0 * m, sparkline(&history)))
+            .unwrap_or_default();
+        println!("\x1b[2Kstudy {id}: {state}{margin_note}");
+        let mut lines = 1usize;
+        if let Some(Json::Arr(rows)) = doc.get("suite") {
+            for r in rows {
+                let wl = r.get("workload").and_then(Json::as_str).unwrap_or("?");
+                let done = r.get("done").and_then(Json::as_u64).unwrap_or(0);
+                let total = r.get("total").and_then(Json::as_u64).unwrap_or(0);
+                let merged = r.get("merged").and_then(Json::as_bool).unwrap_or(false);
+                let mark = if merged { "merged ✓" } else { "" };
+                println!("\x1b[2K  {wl:<12} {done:>6}/{total:<6} {mark}");
+                lines += 1;
+            }
+        }
+        drawn = lines;
+        match state {
+            "done" => break,
+            "failed" => {
+                eprintln!(
+                    "\nstudy failed: {}",
+                    doc.get("error").and_then(Json::as_str).unwrap_or("unknown")
+                );
+                std::process::exit(1);
+            }
+            _ => std::thread::sleep(Duration::from_millis(interval_ms)),
+        }
+    }
+
+    // Download the deterministically merged journal. Single-workload
+    // studies only — for suites the daemon names the merged directory.
+    let dest = out.unwrap_or_else(|| PathBuf::from(format!("{id}.inject.seaj")));
+    match http(&addr, &format!("GET /studies/{id}/journal HTTP/1.1"), "") {
+        Ok(bytes) => {
+            std::fs::write(&dest, &bytes).expect("writable --out path");
+            println!(
+                "\nmerged journal ({} bytes) -> {}",
+                bytes.len(),
+                dest.display()
+            );
+            println!(
+                "inspect it with: cargo run --release -p sea-bench --bin journal -- export {}",
+                dest.display()
+            );
+        }
+        Err(e) => println!("\njournal not downloaded: {e}"),
+    }
+}

@@ -1,0 +1,188 @@
+//! Vendored stand-in for the `signal-hook` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace uses: [`flag::register`], which
+//! arranges for an `Arc<AtomicBool>` to be set to `true` when a Unix
+//! signal (SIGINT, SIGTERM) is delivered. The handler installed is
+//! async-signal-safe by construction — it only stores into pre-registered
+//! atomic flags held in a fixed-capacity lock-free table; all allocation
+//! happens at registration time, never in the handler.
+//!
+//! This is the one crate in the workspace whose library code contains
+//! `unsafe`: the two operations POSIX forces on us — installing a C
+//! handler with `signal(2)` and dereferencing the leaked flag pointers
+//! inside that handler — are confined to [`imp`] and audited there. On
+//! non-Unix targets registration succeeds but is inert.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Signal numbers, mirroring `signal_hook::consts`.
+pub mod consts {
+    /// Interactive interrupt (Ctrl-C).
+    pub const SIGINT: i32 = 2;
+    /// Termination request (the default `kill` signal).
+    pub const SIGTERM: i32 = 15;
+    /// User-defined signal 1 (used by the test suite).
+    pub const SIGUSR1: i32 = 10;
+}
+
+/// Opaque token for a successful registration. The real crate supports
+/// unregistering through it; this stand-in registers for process lifetime.
+#[derive(Clone, Copy, Debug)]
+pub struct SigId(());
+
+/// Flag-setting signal actions, mirroring `signal_hook::flag`.
+pub mod flag {
+    use super::{imp, SigId};
+    use std::io;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// Arrange for `flag` to be set to `true` (with `SeqCst` ordering)
+    /// every time `signal` is delivered to this process. The flag is
+    /// leaked into a process-lifetime registry, so the returned `Arc` may
+    /// be dropped freely. Fails if the signal number is out of range or
+    /// the per-signal slot table (capacity 4) is full.
+    pub fn register(signal: i32, flag: Arc<AtomicBool>) -> io::Result<SigId> {
+        imp::register(signal, flag)
+    }
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::SigId;
+    use std::io;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    const MAX_SIGNAL: usize = 32;
+    const SLOTS_PER_SIGNAL: usize = 4;
+
+    /// Leaked `Arc<AtomicBool>` pointers, one row per signal number.
+    /// Written only under CAS at registration time; the handler only
+    /// reads. `0` means empty.
+    static FLAGS: [[AtomicUsize; SLOTS_PER_SIGNAL]; MAX_SIGNAL] = {
+        // The consts exist only as `[C; N]` repeat operands here — each
+        // array element gets its own fresh atomic, never a shared one.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const SLOT: AtomicUsize = AtomicUsize::new(0);
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ROW: [AtomicUsize; SLOTS_PER_SIGNAL] = [SLOT; SLOTS_PER_SIGNAL];
+        [ROW; MAX_SIGNAL]
+    };
+
+    extern "C" {
+        /// POSIX `signal(2)`. On glibc/musl Linux this gives BSD
+        /// semantics: the handler stays installed and interrupted
+        /// syscalls restart, which is what a drain-on-flag design wants.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIG_ERR: usize = usize::MAX;
+
+    /// The installed handler. Async-signal-safe: no locks, no
+    /// allocation, only atomic loads and stores on memory that was
+    /// published (and intentionally leaked) before installation.
+    extern "C" fn set_flags(signum: i32) {
+        let row = signum as usize;
+        if row < MAX_SIGNAL {
+            for slot in &FLAGS[row] {
+                let ptr = slot.load(Ordering::SeqCst);
+                if ptr != 0 {
+                    // SAFETY: non-zero slots hold pointers from
+                    // `Arc::into_raw` that are never reclaimed, so the
+                    // AtomicBool outlives every possible delivery.
+                    let flag = unsafe { &*(ptr as *const AtomicBool) };
+                    flag.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    pub(super) fn register(signum: i32, flag: Arc<AtomicBool>) -> io::Result<SigId> {
+        let row = signum as usize;
+        if signum <= 0 || row >= MAX_SIGNAL {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("signal {signum} out of range"),
+            ));
+        }
+        let ptr = Arc::into_raw(flag) as usize;
+        let mut stored = false;
+        for slot in &FLAGS[row] {
+            if slot
+                .compare_exchange(0, ptr, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                stored = true;
+                break;
+            }
+        }
+        if !stored {
+            // SAFETY: `ptr` came from `Arc::into_raw` above and was not
+            // published; reconstituting it here just drops our reference.
+            drop(unsafe { Arc::from_raw(ptr as *const AtomicBool) });
+            return Err(io::Error::other(format!(
+                "too many flags registered for signal {signum}"
+            )));
+        }
+        // SAFETY: installing an async-signal-safe extern "C" handler via
+        // POSIX signal(2); `set_flags` touches only the static atomics.
+        let previous = unsafe { signal(signum, set_flags as *const () as usize) };
+        if previous == SIG_ERR {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(SigId(()))
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::SigId;
+    use std::io;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    pub(super) fn register(_signal: i32, _flag: Arc<AtomicBool>) -> io::Result<SigId> {
+        // No signals to observe; succeed so callers need no cfg.
+        Ok(SigId(()))
+    }
+}
+
+#[cfg(all(test, unix))]
+#[allow(unsafe_code)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn registered_flag_is_set_on_delivery() {
+        let flag = Arc::new(AtomicBool::new(false));
+        flag::register(consts::SIGUSR1, Arc::clone(&flag)).unwrap();
+        assert!(!flag.load(Ordering::SeqCst));
+        // SAFETY: raise(3) delivers synchronously to this thread; the
+        // handler only sets registered atomic flags.
+        assert_eq!(unsafe { raise(consts::SIGUSR1) }, 0);
+        assert!(flag.load(Ordering::SeqCst));
+
+        // A second flag on the same signal also fires.
+        let other = Arc::new(AtomicBool::new(false));
+        flag::register(consts::SIGUSR1, Arc::clone(&other)).unwrap();
+        assert_eq!(unsafe { raise(consts::SIGUSR1) }, 0);
+        assert!(other.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn bad_signal_numbers_are_rejected() {
+        let flag = Arc::new(AtomicBool::new(false));
+        assert!(flag::register(0, Arc::clone(&flag)).is_err());
+        assert!(flag::register(-3, Arc::clone(&flag)).is_err());
+        assert!(flag::register(99, flag).is_err());
+    }
+}
