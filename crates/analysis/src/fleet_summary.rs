@@ -1,0 +1,166 @@
+//! One-screen rendering of a fleet daemon's study status document.
+//!
+//! The daemon's `/studies/<id>` JSON (see `sea-fleet`) carries suite
+//! progress, the active workload's live convergence strata and a
+//! per-worker telemetry array. This module turns that document into the
+//! aligned ASCII block the `fleet submit --watch` loop and the
+//! convergence watcher print — so the human-facing view of a fleet
+//! matches the in-process campaign's status rendering.
+
+use crate::report::bar;
+use sea_trace::json::Json;
+use std::fmt::Write as _;
+
+fn s<'a>(j: &'a Json, key: &str) -> &'a str {
+    j.get(key).and_then(Json::as_str).unwrap_or("?")
+}
+
+fn u(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn f(j: &Json, key: &str) -> Option<f64> {
+    j.get(key).and_then(Json::as_f64).filter(|v| v.is_finite())
+}
+
+fn arr<'a>(j: &'a Json, key: &str) -> &'a [Json] {
+    match j.get(key) {
+        Some(Json::Arr(items)) => items,
+        _ => &[],
+    }
+}
+
+/// Render a fleet study status document as an aligned multi-line block:
+/// study header, per-workload suite rows, the active workload's progress
+/// and margin, a per-worker table and the live strata margins. Unknown or
+/// missing members degrade to omitted lines, so the renderer works
+/// against any daemon version that serves a `state` member.
+pub fn fleet_summary(doc: &Json) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "study {} — {}", s(doc, "id"), s(doc, "state"));
+
+    for row in arr(doc, "suite") {
+        let (done, total) = (u(row, "done"), u(row, "total"));
+        let merged = matches!(row.get("merged"), Some(Json::Bool(true)));
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>6}/{:<6} |{}| {}",
+            s(row, "workload"),
+            done,
+            total,
+            bar(done as f64, total.max(1) as f64, 24),
+            if merged { "merged" } else { "sharded" }
+        );
+    }
+
+    if let Some(active) = doc.get("active").filter(|a| !matches!(a, Json::Null)) {
+        let _ = write!(
+            out,
+            "  active: {} ({}/{} done, {} outstanding",
+            s(active, "workload"),
+            u(active, "done"),
+            u(active, "total"),
+            u(active, "outstanding"),
+        );
+        if let Some(m) = f(active, "margin_adjusted") {
+            let _ = write!(out, ", margin {m:.4}");
+        }
+        if matches!(active.get("margin_stopped"), Some(Json::Bool(true))) {
+            out.push_str(", margin-stopped");
+        }
+        out.push_str(")\n");
+        let strata = arr(active, "strata");
+        if !strata.is_empty() {
+            out.push_str("  stratum            n      AVF   margin(adj)\n");
+            for st in strata {
+                let _ = writeln!(
+                    out,
+                    "    {:<14} {:>6}   {:>6.4}   {:>9.4}",
+                    s(st, "label"),
+                    u(st, "samples"),
+                    f(st, "avf").unwrap_or(0.0),
+                    f(st, "margin_adjusted").unwrap_or(1.0),
+                );
+            }
+        }
+    }
+    match (f(doc, "rate_per_sec"), f(doc, "eta_sec")) {
+        (Some(rate), Some(eta)) if rate > 0.0 => {
+            let _ = writeln!(out, "  fleet rate {rate:.1} runs/s, eta {eta:.0}s");
+        }
+        (Some(rate), None) if rate > 0.0 => {
+            let _ = writeln!(out, "  fleet rate {rate:.1} runs/s");
+        }
+        _ => {}
+    }
+
+    let workers = arr(doc, "workers");
+    if !workers.is_empty() {
+        out.push_str("  worker   state       runs   lag(ms)   rate/s\n");
+        for w in workers {
+            let _ = writeln!(
+                out,
+                "    {:<6} {:<9} {:>6}   {:>7}   {:>6.1}",
+                u(w, "shard"),
+                s(w, "state"),
+                u(w, "runs"),
+                u(w, "lag_ms"),
+                f(w, "rate_per_sec").unwrap_or(0.0),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_trace::json;
+
+    #[test]
+    fn renders_every_section_of_a_live_study_doc() {
+        let doc = json::parse(
+            r#"{"id":"abc123","state":"running",
+                "suite":[{"workload":"crc32","total":240,"done":105,"merged":false}],
+                "active":{"workload":"crc32","total":240,"done":105,"outstanding":8,
+                          "margin_adjusted":0.41,"margin_stopped":false,
+                          "strata":[{"label":"l1d","samples":20,"avf":0.2,
+                                     "margin_adjusted":0.31}]},
+                "rate_per_sec":12.5,"eta_sec":10.8,
+                "workers":[{"shard":0,"state":"alive","runs":60,"lag_ms":40,
+                            "rate_per_sec":6.0},
+                           {"shard":1,"state":"dead","runs":45,"lag_ms":900,
+                            "rate_per_sec":0.0}]}"#,
+        )
+        .unwrap();
+        let text = fleet_summary(&doc);
+        assert!(text.starts_with("study abc123 — running"), "{text}");
+        assert!(text.contains("crc32"), "{text}");
+        assert!(text.contains("105"), "{text}");
+        assert!(text.contains("margin 0.4100"), "{text}");
+        assert!(text.contains("l1d"), "{text}");
+        assert!(text.contains("fleet rate 12.5 runs/s, eta 11s"), "{text}");
+        assert!(text.contains("alive"), "{text}");
+        assert!(text.contains("dead"), "{text}");
+    }
+
+    #[test]
+    fn degrades_gracefully_on_a_minimal_doc() {
+        let doc = json::parse(r#"{"id":"x","state":"queued","active":null}"#).unwrap();
+        let text = fleet_summary(&doc);
+        assert_eq!(text, "study x — queued\n");
+    }
+
+    #[test]
+    fn marks_margin_stopped_studies() {
+        let doc = json::parse(
+            r#"{"id":"y","state":"running",
+                "active":{"workload":"crc32","total":240,"done":100,
+                          "outstanding":0,"margin_adjusted":0.05,
+                          "margin_stopped":true}}"#,
+        )
+        .unwrap();
+        let text = fleet_summary(&doc);
+        assert!(text.contains("margin-stopped"), "{text}");
+    }
+}

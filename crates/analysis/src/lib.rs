@@ -15,6 +15,8 @@
 //! * [`trace_summary`] — activation-rate, propagation-latency,
 //!   span-duration and supervisor-health views over a `sea-trace`
 //!   JSON-Lines capture;
+//! * [`fleet_summary`] — one-screen ASCII rendering of a fleet daemon's
+//!   study status document (suite progress, live margins, worker table);
 //! * [`profile`] — cycle-hotspot and predicted-vs-measured-AVF rendering
 //!   for `sea-profile` attribution data;
 //! * [`poisson_ci`] — confidence intervals on beam event counts;
@@ -27,6 +29,7 @@ mod compare;
 pub mod convergence;
 pub mod field;
 mod fit;
+mod fleet_summary;
 pub mod profile;
 pub mod report;
 pub mod trace_summary;
@@ -34,4 +37,5 @@ pub mod trace_summary;
 pub use compare::{fit_ratio, poisson_ci, Comparison, Overview};
 pub use convergence::{convergence_curve, render_convergence, ConvergencePoint};
 pub use fit::{beam_fit, fi_fit, FitRates};
+pub use fleet_summary::fleet_summary;
 pub use trace_summary::TraceSummary;

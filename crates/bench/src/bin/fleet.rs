@@ -198,14 +198,7 @@ fn submit(args: &[String]) {
         };
         let Ok(j) = json::parse(&doc) else { continue };
         let state = j.get("state").and_then(Json::as_str).unwrap_or("?");
-        let (mut done, mut total) = (0u64, 0u64);
-        if let Some(Json::Arr(rows)) = j.get("suite") {
-            for r in rows {
-                done += r.get("done").and_then(Json::as_u64).unwrap_or(0);
-                total += r.get("total").and_then(Json::as_u64).unwrap_or(0);
-            }
-        }
-        eprintln!("study {id}: {state} ({done}/{total} runs)");
+        eprint!("{}", sea_core::analysis::fleet_summary(&j));
         match state {
             "done" => return,
             "failed" => {

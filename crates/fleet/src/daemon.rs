@@ -5,17 +5,23 @@
 //! Worker *processes* (spawned `fleet worker` children, or any process
 //! calling [`crate::run_worker`]) connect, get a shard number plus the
 //! canonical study spec, and claim contiguous blocks of the injection
-//! index space. The daemon never executes a run and never sees a verdict
-//! — outcomes live only in the workers' shard journals — so its job
-//! reduces to bookkeeping ([`Ledger`]), supervision (watchdog requeue,
-//! child respawn with jittered backoff) and, once a workload's index
-//! space is fully covered, the deterministic merge that folds the shard
-//! journals into a file byte-identical to a single-process campaign's.
+//! index space. The daemon never executes a run, and full verdict
+//! records live only in the workers' shard journals — but it is not
+//! blind: `done` messages carry `(stratum, class)` observation pairs
+//! that feed a live [`ConvergenceTracker`] (margins in status documents,
+//! and the fleet-wide `stop_at_margin` early stop), and telemetry frames
+//! feed the [`TelemetryBoard`] metrics plane. Its job reduces to
+//! bookkeeping ([`Ledger`]), supervision (watchdog requeue, child
+//! respawn with jittered backoff), aggregation and, once a workload's
+//! index space is covered (or its margins converge), the deterministic
+//! merge that folds the shard journals into one file — byte-identical to
+//! a single-process campaign's when coverage was exhaustive.
 
 use crate::ledger::Ledger;
-use crate::merge::merge_shard_journals;
+use crate::merge::{merge_shard_journals, scan_done};
 use crate::proto::{self, ToDaemon, ToWorker};
 use crate::registry::{study_id, Registry};
+use crate::telemetry::{Frame, TelemetryBoard};
 use crate::worker::{canonicalize_spec, install_stop_signals};
 use sea_core::{FaultClass, StudySpec};
 use sea_injection::convergence::strata_json;
@@ -114,6 +120,12 @@ struct Active {
     ledger: Ledger,
     tracker: ConvergenceTracker,
     shard_runs: BTreeMap<u32, u64>,
+    /// The spec's `stop_at_margin`: stop granting once every stratum's
+    /// adjusted margin is below this threshold.
+    stop_at_margin: Option<f64>,
+    /// Latched once the margin threshold is reached; claims get `exit`
+    /// from then on and the scheduler merges the partial journals.
+    stopped: bool,
 }
 
 /// State shared between the scheduler, worker connections and the HTTP
@@ -124,6 +136,8 @@ struct Shared {
     addr: SocketAddr,
     studies: Mutex<Vec<StudyRec>>,
     active: Mutex<Option<Active>>,
+    /// Telemetry aggregation (leaf lock; see `telemetry` module docs).
+    board: TelemetryBoard,
     draining: AtomicBool,
     next_shard: AtomicU32,
     blocks_granted: AtomicU64,
@@ -231,7 +245,24 @@ impl Shared {
                         // journal dir and plan would be wrong.
                         Some(a) if a.study_id != study => ToWorker::Exit,
                         Some(a) => {
-                            if a.ledger.complete() {
+                            // Fleet-wide convergence early stop: once every
+                            // stratum's adjusted margin is under the spec's
+                            // threshold, stop granting — workers drain via
+                            // `exit` and the scheduler merges what exists.
+                            if !a.stopped
+                                && a.stop_at_margin.is_some_and(|m| a.tracker.converged(m))
+                            {
+                                a.stopped = true;
+                                event!(Subsystem::Harness, Level::Info, "fleet.margin_stop";
+                                       "study" => a.study_id.clone(),
+                                       "workload" => a.workload.clone(),
+                                       "done" => a.ledger.done_count(),
+                                       "total" => a.ledger.total(),
+                                       "margin_adjusted" => a.tracker.max_adjusted_margin());
+                            }
+                            if a.stopped {
+                                ToWorker::Exit
+                            } else if a.ledger.complete() {
                                 ToWorker::Wait { ms: 100 }
                             } else {
                                 match a.ledger.claim(k, u64::from(self.cfg.workers.max(1))) {
@@ -279,6 +310,42 @@ impl Shared {
                     }
                     continue; // `done` takes no reply; a `claim` follows
                 }
+                ToDaemon::Telemetry {
+                    seq: _,
+                    runs,
+                    elapsed_ms,
+                    clock_us,
+                    counters,
+                    hists,
+                    health,
+                    events,
+                } => {
+                    if let Some(k) = shard {
+                        let fresh = self.board.absorb(
+                            k,
+                            &study,
+                            Frame {
+                                runs,
+                                elapsed_ms,
+                                clock_us,
+                                counters,
+                                hists,
+                                health,
+                                events,
+                            },
+                        );
+                        // Relay fresh worker events (tagged with study/
+                        // shard/worker) into the shared tail so `/events`
+                        // multiplexes the whole fleet.
+                        if !fresh.is_empty() {
+                            let tail = sea_observe::tail_sink();
+                            for line in fresh {
+                                tail.push_line(line);
+                            }
+                        }
+                    }
+                    continue; // fire-and-forget, like `done`
+                }
                 ToDaemon::Bye => {
                     clean = true;
                     break;
@@ -289,6 +356,7 @@ impl Shared {
             }
         }
         if let Some(k) = shard {
+            self.board.mark_gone(k, clean);
             let mut active = lock(&self.active);
             if let Some(a) = active.as_mut() {
                 if a.study_id == study {
@@ -441,11 +509,14 @@ impl Shared {
                     ledger,
                     tracker,
                     shard_runs: BTreeMap::new(),
+                    stop_at_margin: spec.study.stop_at_margin,
+                    stopped: false,
                 });
                 if !spawned {
                     self.spawn_fleet(&mut children);
                     spawned = true;
                 }
+                let mut margin_stopped = false;
                 loop {
                     std::thread::sleep(POLL);
                     if stop_requested() {
@@ -469,6 +540,10 @@ impl Shared {
                                        "workload" => w.name(),
                                        "indices" => stale);
                             }
+                            if a.stopped {
+                                margin_stopped = true;
+                                break;
+                            }
                             if a.ledger.complete() {
                                 break;
                             }
@@ -477,6 +552,14 @@ impl Shared {
                     self.reap(&mut children, &mut respawn_budget);
                 }
                 *lock(&self.active) = None;
+                if margin_stopped {
+                    // Drain the fleet before merging: exiting workers
+                    // fsync and close their shard journals, so the merge
+                    // below reads a quiescent set of files. Later
+                    // workloads of the study respawn a fresh fleet.
+                    self.wind_down(std::mem::take(&mut children));
+                    spawned = false;
+                }
             }
             match merge_shard_journals(&self.reg.shard_journals(id, w.name()), &merged) {
                 Ok(audit) => {
@@ -541,6 +624,7 @@ impl Shared {
                 o.raw_field("active", "null");
             }
         }
+        o.raw_field("workers", &self.board.workers_json(None));
         o.finish()
     }
 
@@ -598,7 +682,13 @@ impl Shared {
                 "Worst adjusted error margin across the active strata.",
                 a.tracker.max_adjusted_margin(),
             );
+            w.gauge(
+                "sea_fleet_active_margin_stopped",
+                "1 once the stop-at-margin threshold halted granting.",
+                if a.stopped { 1.0 } else { 0.0 },
+            );
         }
+        self.board.prom_append(&mut w);
         w.finish()
     }
 }
@@ -618,6 +708,7 @@ fn active_json(a: &Active) -> String {
     }
     o.raw_field("shard_runs", &shards.finish())
         .f64_field("margin_adjusted", a.tracker.max_adjusted_margin())
+        .bool_field("margin_stopped", a.stopped)
         .raw_field("strata", &strata_json(&a.tracker));
     o.finish()
 }
@@ -682,9 +773,12 @@ impl sea_observe::StudyApi for Shared {
                 suite.push(',');
             }
             let total = total_runs(&spec, *w);
-            let merged = self.reg.merged_path(id, w.name()).exists();
+            let merged_path = self.reg.merged_path(id, w.name());
+            let merged = merged_path.exists();
+            // A margin-stopped merge covers less than `total`, so count
+            // the merged journal's records instead of assuming coverage.
             let done = if merged {
-                total
+                scan_done(&merged_path).len() as u64
             } else {
                 self.reg.done_indices(id, w.name()).len() as u64
             };
@@ -708,11 +802,17 @@ impl sea_observe::StudyApi for Shared {
         match lock(&self.active).as_ref() {
             Some(a) if a.study_id == id => {
                 o.raw_field("active", &active_json(a));
+                let rate = self.board.fleet_rate(id);
+                o.f64_field("rate_per_sec", rate);
+                let remaining = a.ledger.total().saturating_sub(a.ledger.done_count());
+                // Non-finite (no live throughput yet) renders as null.
+                o.f64_field("eta_sec", remaining as f64 / rate);
             }
             _ => {
                 o.raw_field("active", "null");
             }
         }
+        o.raw_field("workers", &self.board.workers_json(Some(id)));
         Some(o.finish())
     }
 
@@ -737,6 +837,14 @@ impl sea_observe::StudyApi for Shared {
                 self.reg.study_dir(id).join("merged").display()
             )),
         }
+    }
+
+    fn trace(&self, id: &str) -> Option<String> {
+        let known = lock(&self.studies).iter().any(|s| s.id == id);
+        if !known && !self.board.knows_study(id) {
+            return None;
+        }
+        Some(sea_profile::stitch_chrome_trace(&self.board.tracks_for(id)))
     }
 }
 
@@ -765,6 +873,7 @@ impl Daemon {
             addr,
             studies: Mutex::new(Vec::new()),
             active: Mutex::new(None),
+            board: TelemetryBoard::new(),
             draining: AtomicBool::new(false),
             next_shard: AtomicU32::new(0),
             blocks_granted: AtomicU64::new(0),
@@ -1005,6 +1114,102 @@ mod tests {
             "3 samples x 6 components"
         );
         assert!(reg.existing_shards(&id).len() >= 2, "both shards journaled");
+
+        request_stop();
+        daemon.join().unwrap();
+        clear_stop();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stop_at_margin_halts_granting_and_merges_a_clean_partial_journal() {
+        let _guard = sea_trace::test_lock();
+        clear_stop();
+        let root = std::env::temp_dir().join(format!("sea-fleet-margin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cfg = DaemonConfig {
+            root: root.join("fleet"),
+            workers: 0, // in-process run_worker() threads below
+            watchdog_ms: 60_000,
+            ..DaemonConfig::default()
+        };
+        let d = Daemon::start(cfg).unwrap();
+        // 40 samples x 6 components = 240 planned runs; specs are ordered
+        // by injection cycle, so strata interleave and every stratum
+        // accumulates samples from the first blocks on. A loose 0.5
+        // margin is reached long before the plan is exhausted.
+        let spec_json = concat!(
+            r#"{"scale":"tiny","samples_per_component":40,"threads":1,"#,
+            r#""suite":["CRC32"],"stop_at_margin":0.5}"#
+        );
+        let ack = d.submit(spec_json).unwrap();
+        let id = sea_trace::json::parse(&ack)
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let shared = d.shared.clone();
+        let addr = d.worker_addr().to_string();
+        let daemon = std::thread::spawn(move || d.run());
+        let ws: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || run_worker(&addr))
+            })
+            .collect();
+        for w in ws {
+            w.join().unwrap().unwrap();
+        }
+
+        let reg = Registry::new(root.join("fleet"));
+        let merged_path = reg.merged_path(&id, "crc32");
+        for _ in 0..600 {
+            if merged_path.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let done = scan_done(&merged_path);
+        assert!(!done.is_empty(), "early stop still journals something");
+        assert!(
+            (done.len() as u64) < 240,
+            "margin stop left the plan unfinished: {} of 240",
+            done.len()
+        );
+        let mut uniq = done.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), done.len(), "merged journal has no duplicates");
+
+        // The telemetry plane saw the fleet: the study status carries a
+        // per-worker array, and the stitched trace parses as a chrome doc
+        // with one thread-name metadata record per worker.
+        let status = sea_observe::StudyApi::status(&*shared, &id).unwrap();
+        let doc = sea_trace::json::parse(&status).unwrap();
+        assert_eq!(doc.get("state").and_then(|s| s.as_str()), Some("done"));
+        let workers = doc.get("workers").expect("status lists workers");
+        match workers {
+            sea_trace::json::Json::Arr(items) => assert!(
+                items.len() >= 2,
+                "both in-process workers reported telemetry"
+            ),
+            other => panic!("workers is not an array: {other:?}"),
+        }
+        let trace = sea_observe::StudyApi::trace(&*shared, &id).expect("stitched trace");
+        let tdoc = sea_trace::json::parse(&trace).expect("trace parses as JSON");
+        let events = tdoc.get("traceEvents").expect("traceEvents member");
+        if let sea_trace::json::Json::Arr(evs) = events {
+            let tids: std::collections::BTreeSet<u64> = evs
+                .iter()
+                .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+                .filter_map(|e| e.get("tid").and_then(|t| t.as_u64()))
+                .collect();
+            assert!(tids.len() >= 2, "one tid track per worker: {tids:?}");
+        } else {
+            panic!("traceEvents is not an array");
+        }
 
         request_stop();
         daemon.join().unwrap();

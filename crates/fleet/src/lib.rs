@@ -34,6 +34,19 @@
 //! drives deterministic simulated campaigns from a filesystem registry —
 //! and determinism upgrades "approximately collected results" to
 //! "byte-identical to the reference run".
+//!
+//! A **telemetry plane** rides the same worker socket: workers push
+//! throttled [`proto::ToDaemon::Telemetry`] frames (counter deltas,
+//! histogram snapshots, supervisor health, recent trace events) that the
+//! daemon aggregates ([`TelemetryBoard`]) into per-worker-labeled and
+//! rolled-up `/metrics` series, a `workers` array in study status, a
+//! multiplexed `/events` stream and stitched per-worker Chrome traces
+//! (`/studies/<id>/trace`). The daemon's live convergence tracker also
+//! closes the loop fleet-wide: a study with `stop_at_margin` set stops
+//! granting blocks once every stratum's adjusted margin is under the
+//! threshold, drains the fleet, and merges the partial shard journals
+//! (audit-clean, duplicate-free — just not byte-identical to an
+//! exhaustive run, exactly like single-process early stop).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,10 +56,12 @@ mod ledger;
 mod merge;
 pub mod proto;
 mod registry;
+mod telemetry;
 mod worker;
 
 pub use daemon::{Daemon, DaemonConfig};
 pub use ledger::{Ledger, Outstanding};
 pub use merge::{merge_shard_journals, scan_done, MergeAudit, MergeError, MergeFail};
 pub use registry::{study_id, Registry};
+pub use telemetry::{Frame, TelemetryBoard, WorkerState, HEALTH_FIELDS};
 pub use worker::{canonicalize_spec, install_stop_signals, run_worker, WorkerError};

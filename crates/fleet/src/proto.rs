@@ -7,7 +7,11 @@
 //! pairs (enough to drive live convergence margins without reading any
 //! journal). That keeps the protocol tiny, the daemon stateless about
 //! verdicts, and the journals the single source of truth the
-//! deterministic merge operates on.
+//! deterministic merge operates on. Observability rides the same socket:
+//! workers push throttled [`ToDaemon::Telemetry`] frames (counter deltas,
+//! histogram snapshots, recent trace events) that the daemon aggregates
+//! into fleet-wide `/metrics`, status documents and stitched traces —
+//! best-effort data that never influences scheduling decisions.
 //!
 //! Framing is one JSON object per `\n`-terminated line in each direction;
 //! a closed socket (EOF) is itself a protocol event — the daemon treats
@@ -36,6 +40,35 @@ pub enum ToDaemon {
         end: u64,
         /// `(stratum, class-index)` per classified run, in index order.
         obs: Vec<(u32, u32)>,
+    },
+    /// Throttled telemetry push: counter deltas, histogram snapshots,
+    /// supervisor-health counters and recent trace-event lines. Fire-and-
+    /// forget like `Done` — the daemon aggregates, never replies. Workers
+    /// piggyback it on Claim/Done round-trips plus an idle heartbeat, so
+    /// losing a frame only delays (never corrupts) the aggregate: counters
+    /// travel as deltas and histograms as full snapshots.
+    Telemetry {
+        /// Frame sequence number within this worker session, from 1.
+        seq: u64,
+        /// Total runs this worker has executed (absolute, not a delta).
+        runs: u64,
+        /// Milliseconds this worker has been running.
+        elapsed_ms: u64,
+        /// Worker's span-clock reading ([`sea_trace::clock_us`]) when the
+        /// frame was built; the daemon differences it against its own
+        /// clock to shift this worker's trace timestamps when stitching.
+        clock_us: u64,
+        /// Counter deltas since the previous frame, `(name, delta)`.
+        counters: Vec<(String, u64)>,
+        /// Histogram snapshots as `HistSnapshot::to_json` documents.
+        hists: Vec<String>,
+        /// Supervisor health: `[respawns, requeues, watchdog_kills,
+        /// quarantined, respawn_backoff_ms]`.
+        health: [u64; 5],
+        /// Recent trace events as `(worker-local sequence, JSONL line)`;
+        /// the sequence is stable across retransmits, so `(shard, seq)`
+        /// identifies an event fleet-wide.
+        events: Vec<(u64, String)>,
     },
     /// Clean goodbye (journals synced); the daemon frees the shard.
     Bye,
@@ -117,6 +150,56 @@ impl ToDaemon {
                 .u64_field("start", *start)
                 .u64_field("end", *end)
                 .raw_field("obs", &obs_json(obs)),
+            ToDaemon::Telemetry {
+                seq,
+                runs,
+                elapsed_ms,
+                clock_us,
+                counters,
+                hists,
+                health,
+                events,
+            } => {
+                let mut c = ObjWriter::new();
+                for (k, v) in counters {
+                    c.u64_field(k, *v);
+                }
+                let mut h = String::from("[");
+                for (k, doc) in hists.iter().enumerate() {
+                    if k > 0 {
+                        h.push(',');
+                    }
+                    h.push_str(doc);
+                }
+                h.push(']');
+                let mut hl = String::from("[");
+                for (k, v) in health.iter().enumerate() {
+                    if k > 0 {
+                        hl.push(',');
+                    }
+                    hl.push_str(&v.to_string());
+                }
+                hl.push(']');
+                let mut ev = String::from("[");
+                for (k, (s, line)) in events.iter().enumerate() {
+                    if k > 0 {
+                        ev.push(',');
+                    }
+                    ev.push_str(&format!("[{s},"));
+                    json::write_escaped(line, &mut ev);
+                    ev.push(']');
+                }
+                ev.push(']');
+                o.str_field("op", "telemetry")
+                    .u64_field("seq", *seq)
+                    .u64_field("runs", *runs)
+                    .u64_field("elapsed_ms", *elapsed_ms)
+                    .u64_field("clock_us", *clock_us)
+                    .raw_field("counters", &c.finish())
+                    .raw_field("hists", &h)
+                    .raw_field("health", &hl)
+                    .raw_field("events", &ev)
+            }
             ToDaemon::Bye => o.str_field("op", "bye"),
         };
         o.finish()
@@ -166,6 +249,74 @@ impl ToDaemon {
                     start: field("start")?,
                     end: field("end")?,
                     obs,
+                })
+            }
+            "telemetry" => {
+                let field = |k: &str| {
+                    j.get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ProtoError(format!("telemetry: bad '{k}'")))
+                };
+                let counters = match j.get("counters") {
+                    Some(Json::Obj(members)) => {
+                        let mut out = Vec::with_capacity(members.len());
+                        for (k, v) in members {
+                            let v = v
+                                .as_u64()
+                                .ok_or_else(|| ProtoError("telemetry: bad counter".into()))?;
+                            out.push((k.clone(), v));
+                        }
+                        out
+                    }
+                    _ => return Err(ProtoError("telemetry: missing counters".into())),
+                };
+                let hists = match j.get("hists") {
+                    // Snapshot docs are integer-only, so re-rendering the
+                    // parsed value reproduces the sender's bytes.
+                    Some(Json::Arr(docs)) => docs.iter().map(json::render).collect(),
+                    _ => return Err(ProtoError("telemetry: missing hists".into())),
+                };
+                let health = match j.get("health") {
+                    Some(Json::Arr(vals)) if vals.len() == 5 => {
+                        let mut out = [0u64; 5];
+                        for (i, v) in vals.iter().enumerate() {
+                            out[i] = v
+                                .as_u64()
+                                .ok_or_else(|| ProtoError("telemetry: bad health".into()))?;
+                        }
+                        out
+                    }
+                    _ => return Err(ProtoError("telemetry: missing health".into())),
+                };
+                let events = match j.get("events") {
+                    Some(Json::Arr(pairs)) => {
+                        let mut out = Vec::with_capacity(pairs.len());
+                        for p in pairs {
+                            let Json::Arr(sl) = p else {
+                                return Err(ProtoError(
+                                    "telemetry: event pair not an array".into(),
+                                ));
+                            };
+                            let s = sl.first().and_then(Json::as_u64);
+                            let line = sl.get(1).and_then(Json::as_str);
+                            match (s, line) {
+                                (Some(s), Some(line)) => out.push((s, line.to_string())),
+                                _ => return Err(ProtoError("telemetry: bad event pair".into())),
+                            }
+                        }
+                        out
+                    }
+                    _ => return Err(ProtoError("telemetry: missing events".into())),
+                };
+                Ok(ToDaemon::Telemetry {
+                    seq: field("seq")?,
+                    runs: field("runs")?,
+                    elapsed_ms: field("elapsed_ms")?,
+                    clock_us: field("clock_us")?,
+                    counters,
+                    hists,
+                    health,
+                    events,
                 })
             }
             other => Err(ProtoError(format!("unknown worker op '{other}'"))),
@@ -226,7 +377,7 @@ impl ToWorker {
                         .and_then(Json::as_str)
                         .ok_or_else(|| ProtoError("welcome: bad 'dir'".into()))?
                         .to_string(),
-                    spec: render_json(spec),
+                    spec: json::render(spec),
                 })
             }
             "grant" => Ok(ToWorker::Grant {
@@ -237,50 +388,6 @@ impl ToWorker {
             "wait" => Ok(ToWorker::Wait { ms: field("ms")? }),
             "exit" => Ok(ToWorker::Exit),
             other => Err(ProtoError(format!("unknown daemon op '{other}'"))),
-        }
-    }
-}
-
-/// Render a parsed [`Json`] value back to text (member order preserved).
-fn render_json(j: &Json) -> String {
-    match j {
-        Json::Null => "null".to_string(),
-        Json::Bool(b) => b.to_string(),
-        Json::Num(n) => {
-            if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
-                format!("{}", *n as i64)
-            } else {
-                format!("{n}")
-            }
-        }
-        Json::Str(s) => {
-            let mut out = String::new();
-            json::write_escaped(s, &mut out);
-            out
-        }
-        Json::Arr(items) => {
-            let mut out = String::from("[");
-            for (k, item) in items.iter().enumerate() {
-                if k > 0 {
-                    out.push(',');
-                }
-                out.push_str(&render_json(item));
-            }
-            out.push(']');
-            out
-        }
-        Json::Obj(members) => {
-            let mut out = String::from("{");
-            for (k, (key, val)) in members.iter().enumerate() {
-                if k > 0 {
-                    out.push(',');
-                }
-                json::write_escaped(key, &mut out);
-                out.push(':');
-                out.push_str(&render_json(val));
-            }
-            out.push('}');
-            out
         }
     }
 }
@@ -330,6 +437,35 @@ mod tests {
                 end: 1,
                 obs: vec![],
             },
+            ToDaemon::Telemetry {
+                seq: 4,
+                runs: 96,
+                elapsed_ms: 1500,
+                clock_us: 2_000_017,
+                counters: vec![
+                    ("fleet.worker_runs".to_string(), 64),
+                    ("injection.supervisor_respawns".to_string(), 1),
+                ],
+                hists: vec![
+                    r#"{"name":"inject.run_sim_cycles","count":2,"sum":300,"max":200,"buckets":[[8,2]]}"#
+                        .to_string(),
+                ],
+                health: [1, 2, 0, 0, 250],
+                events: vec![
+                    (7, r#"{"ev":"fleet.block","sub":"harness","runs":8}"#.to_string()),
+                    (8, "not json, still framed \"safely\"".to_string()),
+                ],
+            },
+            ToDaemon::Telemetry {
+                seq: 1,
+                runs: 0,
+                elapsed_ms: 0,
+                clock_us: 0,
+                counters: vec![],
+                hists: vec![],
+                health: [0; 5],
+                events: vec![],
+            },
             ToDaemon::Bye,
         ];
         for m in msgs {
@@ -368,6 +504,9 @@ mod tests {
             r#"{"op":"done","wl":1}"#,
             r#"{"op":"done","wl":1,"start":0,"end":4,"obs":[[1]]}"#,
             r#"{"op":"grant","wl":0,"start":0}"#,
+            r#"{"op":"telemetry","seq":1}"#,
+            r#"{"op":"telemetry","seq":1,"runs":0,"elapsed_ms":0,"clock_us":0,"counters":{},"hists":[],"health":[1,2],"events":[]}"#,
+            r#"{"op":"telemetry","seq":1,"runs":0,"elapsed_ms":0,"clock_us":0,"counters":{},"hists":[],"health":[0,0,0,0,0],"events":[[3]]}"#,
         ] {
             assert!(ToDaemon::decode(bad).is_err() || ToWorker::decode(bad).is_err());
         }

@@ -16,19 +16,24 @@
 
 use crate::proto::{self, ToDaemon, ToWorker};
 use sea_core::StudySpec;
-use sea_injection::supervisor::journal_file;
-use sea_injection::{
-    class_index, open_journal, stop_requested, verdict_line, CampaignPlan, JournalFormat,
-    JournalSpec,
+use sea_injection::supervisor::{
+    journal_file, supervisor_health, INFLIGHT_REQUEUES, QUARANTINED, RESPAWN_BACKOFF_MS,
+    WORKER_RESPAWNS,
 };
+use sea_injection::{
+    class_index, open_journal, record_run_cycles, run_cycles_snapshot, stop_requested,
+    verdict_line, CampaignPlan, JournalFormat, JournalSpec,
+};
+use sea_observe::TailSink;
 use sea_trace::json::{self, Json};
-use sea_trace::{event, Level, Subsystem};
+use sea_trace::{event, span, Level, Subsystem};
 use std::collections::HashSet;
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Worker failure (the process exits non-zero; the daemon requeues).
 #[derive(Debug)]
@@ -71,6 +76,132 @@ pub fn install_stop_signals() {
     });
 }
 
+/// Minimum interval between telemetry frames. Frames piggyback on
+/// protocol round-trips (claims, dones, wait heartbeats), so this is a
+/// throttle, not a timer — an idle worker still heartbeats because the
+/// claim loop keeps polling.
+const TELEMETRY_MIN_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Trace events retained for relay between two frames.
+const TELEMETRY_TAIL_CAP: usize = 256;
+
+/// Per-worker telemetry state: what has been pushed, and the local tail
+/// ring the worker's own trace events land in.
+struct Telemetry {
+    started: Instant,
+    seq: u64,
+    runs: u64,
+    blocks: u64,
+    last_push: Option<Instant>,
+    last_event_seq: u64,
+    framer: sea_trace::DeltaFramer,
+    /// `None` when the hosting process already routes trace events to a
+    /// sink of its own (in-process embedding): we must not clobber it,
+    /// so frames then carry no event lines.
+    tail: Option<Arc<TailSink>>,
+}
+
+impl Telemetry {
+    fn new() -> Telemetry {
+        let tail = if sea_trace::sink_installed() {
+            None
+        } else {
+            let t = Arc::new(TailSink::new(TELEMETRY_TAIL_CAP));
+            sea_trace::install_sink(t.clone());
+            // Campaign-grade harness events (block spans, worker lifecycle)
+            // are what the daemon stitches; leave other subsystems alone.
+            if !sea_trace::enabled(Subsystem::Harness, Level::Info) {
+                sea_trace::set_level(Subsystem::Harness, Level::Info);
+            }
+            Some(t)
+        };
+        Telemetry {
+            started: Instant::now(),
+            seq: 0,
+            runs: 0,
+            blocks: 0,
+            last_push: None,
+            last_event_seq: 0,
+            framer: sea_trace::DeltaFramer::new(),
+            tail,
+        }
+    }
+
+    /// Build the next frame, or `None` while throttled (`force` skips the
+    /// throttle — used right after welcome and right before bye).
+    fn frame(&mut self, force: bool) -> Option<ToDaemon> {
+        if !force
+            && self
+                .last_push
+                .is_some_and(|t| t.elapsed() < TELEMETRY_MIN_INTERVAL)
+        {
+            return None;
+        }
+        self.last_push = Some(Instant::now());
+        self.seq += 1;
+        // Land this thread's buffered events in the tail before reading it.
+        sea_trace::flush_thread();
+        let mut counters = Vec::new();
+        let mut delta = |framer: &mut sea_trace::DeltaFramer, name: &str, value: u64| {
+            let d = framer.frame(name, value);
+            if d > 0 {
+                counters.push((name.to_string(), d));
+            }
+        };
+        delta(&mut self.framer, "fleet.worker_runs", self.runs);
+        delta(&mut self.framer, "fleet.worker_blocks", self.blocks);
+        for c in [
+            &WORKER_RESPAWNS,
+            &INFLIGHT_REQUEUES,
+            &QUARANTINED,
+            &RESPAWN_BACKOFF_MS,
+        ] {
+            delta(&mut self.framer, c.name(), c.get());
+        }
+        let cycles = run_cycles_snapshot();
+        let hists = if cycles.count > 0 {
+            vec![cycles.to_json()]
+        } else {
+            Vec::new()
+        };
+        let h = supervisor_health();
+        let events = match &self.tail {
+            Some(t) => {
+                let (next, items) = t.since(self.last_event_seq, 64);
+                self.last_event_seq = next;
+                items
+            }
+            None => Vec::new(),
+        };
+        Some(ToDaemon::Telemetry {
+            seq: self.seq,
+            runs: self.runs,
+            elapsed_ms: self.started.elapsed().as_millis() as u64,
+            clock_us: sea_trace::clock_us(),
+            counters,
+            hists,
+            health: [
+                h.respawns,
+                h.requeues,
+                h.watchdog_kills,
+                h.quarantined,
+                h.respawn_backoff_ms,
+            ],
+            events,
+        })
+    }
+
+    /// Push a frame if the throttle allows; telemetry is best-effort, so
+    /// a send failure is surfaced as the error the *next* protocol
+    /// message would hit anyway.
+    fn push(&mut self, link: &mut Link, force: bool) -> Result<(), WorkerError> {
+        if let Some(frame) = self.frame(force) {
+            link.send(&frame)?;
+        }
+        Ok(())
+    }
+}
+
 struct Link {
     r: BufReader<TcpStream>,
     w: TcpStream,
@@ -96,12 +227,14 @@ enum Next {
 }
 
 /// Claim until the daemon grants, tells us to exit, or the stop flag
-/// fires.
-fn next_grant(link: &mut Link) -> Result<Next, WorkerError> {
+/// fires. Each round trip piggybacks a (throttled) telemetry frame, so a
+/// worker stuck on `wait` still heartbeats.
+fn next_grant(link: &mut Link, tel: &mut Telemetry) -> Result<Next, WorkerError> {
     loop {
         if stop_requested() {
             return Ok(Next::Exit);
         }
+        tel.push(link, false)?;
         link.send(&ToDaemon::Claim)?;
         match link.recv()? {
             ToWorker::Grant { wl, start, end } => return Ok(Next::Grant { wl, start, end }),
@@ -143,10 +276,14 @@ pub fn run_worker(connect: &str) -> Result<(), WorkerError> {
     };
     let spec = StudySpec::from_json(&spec_text).map_err(|e| fail(format!("bad spec: {e}")))?;
     let shard_dir = PathBuf::from(&dir).join(format!("shard-{shard}"));
+    let mut tel = Telemetry::new();
     event!(Subsystem::Harness, Level::Info, "fleet.worker_start";
            "shard" => u64::from(shard),
            "dir" => shard_dir.display().to_string(),
            "suite" => spec.suite.len() as u64);
+    // First frame right away so the daemon's board sees this shard (and
+    // its clock offset) before any block completes.
+    tel.push(&mut link, true)?;
 
     let mut pending: Option<(u32, u64, u64)> = None;
     'study: loop {
@@ -154,7 +291,7 @@ pub fn run_worker(connect: &str) -> Result<(), WorkerError> {
         // switch below).
         let (wl, mut start, mut end) = match pending.take() {
             Some(g) => g,
-            None => match next_grant(&mut link)? {
+            None => match next_grant(&mut link, &mut tel)? {
                 Next::Grant { wl, start, end } => (wl, start, end),
                 Next::Exit => break 'study,
             },
@@ -187,23 +324,38 @@ pub fn run_worker(connect: &str) -> Result<(), WorkerError> {
         // another one (or tells us to stop).
         loop {
             let mut obs: Vec<(u32, u32)> = Vec::with_capacity((end - start) as usize);
-            for i in start..end.min(plan.total()) {
-                if local_done.contains(&i) {
-                    continue; // resumed: our own journal already has it
+            let mut block_runs = 0u64;
+            {
+                let mut block_span = span(Subsystem::Harness, Level::Info, "fleet.block");
+                for i in start..end.min(plan.total()) {
+                    if local_done.contains(&i) {
+                        continue; // resumed: our own journal already has it
+                    }
+                    let verdict = plan.run_index(i);
+                    record_run_cycles(verdict.sim_cycles);
+                    journal.append(&verdict_line(i, &verdict));
+                    if journal.poisoned() {
+                        return Err(fail(format!(
+                            "shard journal {} is poisoned; aborting so the daemon reassigns",
+                            journal_path.display()
+                        )));
+                    }
+                    local_done.insert(i);
+                    block_runs += 1;
+                    if let Some(o) = &verdict.outcome {
+                        obs.push((plan.stratum_of(i) as u32, class_index(o.class) as u32));
+                    }
                 }
-                let verdict = plan.run_index(i);
-                journal.append(&verdict_line(i, &verdict));
-                if journal.poisoned() {
-                    return Err(fail(format!(
-                        "shard journal {} is poisoned; aborting so the daemon reassigns",
-                        journal_path.display()
-                    )));
-                }
-                local_done.insert(i);
-                if let Some(o) = &verdict.outcome {
-                    obs.push((plan.stratum_of(i) as u32, class_index(o.class) as u32));
+                if let Some(s) = block_span.as_mut() {
+                    s.field("wl", u64::from(wl));
+                    s.field("start", start);
+                    s.field("end", end);
+                    s.field("runs", block_runs);
+                    s.field("worker", u64::from(shard));
                 }
             }
+            tel.runs += block_runs;
+            tel.blocks += 1;
             // The block is durable before the daemon hears "done" — a
             // worker killed right here merely re-runs the block elsewhere,
             // producing byte-identical duplicate lines the merge drops.
@@ -214,7 +366,7 @@ pub fn run_worker(connect: &str) -> Result<(), WorkerError> {
                 end,
                 obs,
             })?;
-            match next_grant(&mut link)? {
+            match next_grant(&mut link, &mut tel)? {
                 Next::Grant {
                     wl: nwl,
                     start: ns,
@@ -234,6 +386,7 @@ pub fn run_worker(connect: &str) -> Result<(), WorkerError> {
     event!(Subsystem::Harness, Level::Info, "fleet.worker_exit";
            "shard" => u64::from(shard),
            "stopped" => stop_requested());
+    let _ = tel.push(&mut link, true);
     let _ = link.send(&ToDaemon::Bye);
     Ok(())
 }

@@ -31,6 +31,20 @@ pub const CLASS_LABELS: [&str; 4] = ["masked", "sdc", "app", "sys"];
 /// Feeds the work-weighted ETA and the Prometheus campaign snapshot.
 static RUN_SIM_CYCLES: Histogram = Histogram::new("inject.run_sim_cycles");
 
+/// Record one run's simulated-cycle count into the process-wide
+/// [`RUN_SIM_CYCLES`] histogram. `run_campaign` does this itself; callers
+/// that drive [`CampaignPlan::run_index`] directly (the fleet worker) use
+/// this so their telemetry histograms match the supervised path.
+pub fn record_run_cycles(cycles: u64) {
+    RUN_SIM_CYCLES.record(cycles);
+}
+
+/// Snapshot of the process-wide per-run simulated-cycle histogram, for
+/// telemetry push and cross-process merge.
+pub fn run_cycles_snapshot() -> sea_trace::HistSnapshot {
+    RUN_SIM_CYCLES.snapshot()
+}
+
 /// Index of a class within [`FaultClass::ALL`] / [`CLASS_LABELS`].
 pub fn class_index(class: FaultClass) -> usize {
     FaultClass::ALL

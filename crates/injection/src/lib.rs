@@ -26,9 +26,10 @@ pub mod stats;
 pub mod supervisor;
 
 pub use campaign::{
-    acquire_golden_and_checkpoints, class_index, generate_specs, run_campaign, run_one,
-    verdict_line, CampaignConfig, CampaignError, CampaignPlan, CampaignResult, CheckpointPolicy,
-    ComponentResult, FaultModel, InjectionOutcome, InjectionSpec, SupervisionStats, CLASS_LABELS,
+    acquire_golden_and_checkpoints, class_index, generate_specs, record_run_cycles, run_campaign,
+    run_cycles_snapshot, run_one, verdict_line, CampaignConfig, CampaignError, CampaignPlan,
+    CampaignResult, CheckpointPolicy, ComponentResult, FaultModel, InjectionOutcome, InjectionSpec,
+    SupervisionStats, CLASS_LABELS,
 };
 pub use convergence::{ConvergenceTracker, StratumSnapshot};
 pub use sea_platform::ClassCounts;

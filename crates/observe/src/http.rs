@@ -212,7 +212,8 @@ fn studies_list(stream: &mut TcpStream) {
     }
 }
 
-/// `GET /studies/{id}` and `GET /studies/{id}/journal`.
+/// `GET /studies/{id}`, `GET /studies/{id}/journal` and
+/// `GET /studies/{id}/trace`.
 fn studies_get(stream: &mut TcpStream, path: &str) {
     let Some(api) = hub::studies_api() else {
         respond(
@@ -235,6 +236,18 @@ fn studies_get(stream: &mut TcpStream, path: &str) {
                 msg.push('\n');
                 respond(stream, "404 Not Found", "text/plain", msg.as_bytes());
             }
+        }
+        return;
+    }
+    if let Some(id) = rest.strip_suffix("/trace") {
+        match api.trace(id) {
+            Some(doc) => respond(stream, "200 OK", "application/json", doc.as_bytes()),
+            None => respond(
+                stream,
+                "404 Not Found",
+                "text/plain",
+                b"no trace for this study\n",
+            ),
         }
         return;
     }
@@ -551,6 +564,9 @@ mod tests {
                 Err(format!("unknown study {id}"))
             }
         }
+        fn trace(&self, id: &str) -> Option<String> {
+            (id == "s8").then(|| "{\"traceEvents\":[]}".to_string())
+        }
     }
 
     fn post(addr: SocketAddr, target: &str, payload: &str) -> String {
@@ -604,6 +620,11 @@ mod tests {
         assert!(dl.contains("application/octet-stream"), "{dl}");
         assert_eq!(body(&dl), "merged-bytes");
         assert!(get(addr, "/studies/zz/journal").starts_with("HTTP/1.1 404"));
+
+        let tr = get(addr, "/studies/s8/trace");
+        assert!(tr.starts_with("HTTP/1.1 200"), "{tr}");
+        assert!(body(&tr).contains("traceEvents"), "{tr}");
+        assert!(get(addr, "/studies/zz/trace").starts_with("HTTP/1.1 404"));
 
         // Non-studies POSTs stay rejected.
         let m = post(addr, "/status", "{}");

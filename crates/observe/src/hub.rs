@@ -79,6 +79,14 @@ pub trait StudyApi: Send + Sync {
     /// A message explaining why no journal is servable (unknown id, study
     /// still running); served as a 404 response body.
     fn journal(&self, id: &str) -> Result<PathBuf, String>;
+    /// Stitched Chrome trace-event JSON for one study's workers, `None`
+    /// when the id is unknown or the backend collects no telemetry. The
+    /// default implementation serves nothing, so backends that predate
+    /// fleet telemetry need no change.
+    fn trace(&self, id: &str) -> Option<String> {
+        let _ = id;
+        None
+    }
 }
 
 static STUDIES: Mutex<Option<Arc<dyn StudyApi>>> = Mutex::new(None);

@@ -51,6 +51,21 @@ impl TailSink {
             .next_seq
     }
 
+    /// Append one already-serialized JSONL line to the tail, returning the
+    /// sequence number it received. This is how the fleet daemon feeds
+    /// event lines relayed from worker telemetry frames into the same
+    /// `/events` stream local events use.
+    pub fn push_line(&self, line: String) -> u64 {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == self.cap {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back((seq, line));
+        seq
+    }
+
     /// Events with sequence number `>= from`, up to `max` of them, oldest
     /// first, together with the current `next_seq` (pass it back as the
     /// next `from` to poll incrementally). Events that aged out of the
@@ -107,6 +122,19 @@ mod tests {
         for (_, line) in &items {
             sea_trace::json::parse(line).unwrap();
         }
+    }
+
+    #[test]
+    fn push_line_shares_the_sequence_space() {
+        let t = TailSink::new(4);
+        t.record(&[ev("a", 0)]);
+        let seq = t.push_line(r#"{"ev":"fleet.block","shard":2}"#.to_string());
+        assert_eq!(seq, 1);
+        t.record(&[ev("a", 2)]);
+        let (next, items) = t.since(0, usize::MAX);
+        assert_eq!(next, 3);
+        assert_eq!(items.len(), 3);
+        assert!(items[1].1.contains("fleet.block"));
     }
 
     #[test]

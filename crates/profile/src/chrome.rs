@@ -9,7 +9,7 @@
 //!
 //! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
-use sea_trace::json::write_escaped;
+use sea_trace::json::{self, write_escaped, Json};
 use sea_trace::{Event, Value};
 use std::fmt::Write as _;
 
@@ -113,6 +113,132 @@ pub fn chrome_trace(events: &[Event]) -> String {
     out
 }
 
+/// One worker's timeline inside a stitched multi-process trace.
+///
+/// The fleet daemon builds one track per worker from the JSONL event lines
+/// workers push in `Telemetry` frames; [`stitch_chrome_trace`] lays them
+/// out as separate `tid` tracks of one document.
+pub struct ChromeTrack {
+    /// Chrome `tid` for this track (the fleet uses the shard index).
+    pub tid: u64,
+    /// Track label, rendered via `thread_name` metadata (e.g. `worker 2`).
+    pub name: String,
+    /// Microseconds added to each event's `ts_us`, mapping the worker's
+    /// process-local span clock onto the stitching process's timeline
+    /// (daemon `clock_us` at frame receipt minus the worker's `clock_us`).
+    pub shift_us: i64,
+    /// Parsed JSONL event lines (the shape `sea_trace::json::write_event`
+    /// produces: `ev`/`sub`/`level` plus payload fields).
+    pub events: Vec<Json>,
+}
+
+fn shift_ts(ts: u64, by: i64) -> u64 {
+    if by >= 0 {
+        ts.saturating_add(by as u64)
+    } else {
+        ts.saturating_sub(by.unsigned_abs())
+    }
+}
+
+fn write_json_args(ev: &Json, skip: &[&str], out: &mut String) {
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    if let Json::Obj(members) = ev {
+        for (k, v) in members {
+            if skip.contains(&k.as_str()) {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_escaped(k, out);
+            out.push(':');
+            out.push_str(&json::render(v));
+        }
+    }
+    out.push('}');
+}
+
+/// Serialize several per-worker timelines as one Chrome trace-event JSON
+/// document. Each track first gets a `thread_name` metadata record, then
+/// its events — `ts_us` + `dur_us` lines become `"X"` slices on the
+/// track's `tid`, everything else instants — with timestamps shifted by
+/// the track's clock offset and merged into one monotonic stream.
+pub fn stitch_chrome_trace(tracks: &[ChromeTrack]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for t in tracks {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":",
+            t.tid
+        );
+        write_escaped(&t.name, &mut out);
+        out.push_str("}}");
+    }
+
+    let mut indexed: Vec<(u64, usize, usize)> = Vec::new();
+    for (ti, t) in tracks.iter().enumerate() {
+        let mut cursor = 0u64;
+        for (ei, ev) in t.events.iter().enumerate() {
+            let ts = match ev.get("ts_us").and_then(Json::as_u64) {
+                Some(ts) => {
+                    let shifted = shift_ts(ts, t.shift_us);
+                    cursor = cursor.max(shifted);
+                    shifted
+                }
+                None => cursor,
+            };
+            indexed.push((ts, ti, ei));
+        }
+    }
+    indexed.sort_by_key(|&(ts, ti, ei)| (ts, ti, ei));
+
+    for (ts, ti, ei) in indexed {
+        let track = &tracks[ti];
+        let ev = &track.events[ei];
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        write_escaped(
+            ev.get("ev").and_then(Json::as_str).unwrap_or("event"),
+            &mut out,
+        );
+        out.push_str(",\"cat\":");
+        write_escaped(
+            ev.get("sub").and_then(Json::as_str).unwrap_or("fleet"),
+            &mut out,
+        );
+        let dur = ev.get("dur_us").and_then(Json::as_u64);
+        match (ev.get("ts_us").and_then(Json::as_u64), dur) {
+            (Some(_), Some(dur)) => {
+                let _ = write!(out, ",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur}");
+                let _ = write!(out, ",\"pid\":0,\"tid\":{}", track.tid);
+                write_json_args(
+                    ev,
+                    &["ev", "sub", "level", "ts_us", "dur_us", "worker"],
+                    &mut out,
+                );
+            }
+            _ => {
+                let _ = write!(out, ",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts}");
+                let _ = write!(out, ",\"pid\":0,\"tid\":{}", track.tid);
+                write_json_args(ev, &["ev", "sub", "level", "worker"], &mut out);
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +312,101 @@ mod tests {
     fn empty_capture_is_valid() {
         let doc = chrome_trace(&[]);
         assert!(json::parse(&doc).is_ok(), "{doc}");
+    }
+
+    fn line(ev: &str) -> Json {
+        json::parse(ev).unwrap()
+    }
+
+    #[test]
+    fn stitched_trace_puts_each_track_on_its_own_tid() {
+        let tracks = [
+            ChromeTrack {
+                tid: 0,
+                name: "worker 0".to_string(),
+                shift_us: 0,
+                events: vec![line(
+                    r#"{"ev":"fleet.block","sub":"harness","level":"info","dur_us":40,"ts_us":100,"wl":"CRC32","runs":8}"#,
+                )],
+            },
+            ChromeTrack {
+                tid: 1,
+                name: "worker 1".to_string(),
+                // Worker 1's span clock started 1000us before the daemon's.
+                shift_us: -50,
+                events: vec![
+                    line(
+                        r#"{"ev":"fleet.block","sub":"harness","level":"info","dur_us":30,"ts_us":60,"runs":4}"#,
+                    ),
+                    line(r#"{"ev":"fleet.margin_stop","sub":"harness","level":"info"}"#),
+                ],
+            },
+        ];
+        let doc = stitch_chrome_trace(&tracks);
+        let j = json::parse(&doc).expect("valid JSON");
+        let Some(Json::Arr(items)) = j.get("traceEvents") else {
+            panic!("traceEvents missing: {doc}");
+        };
+        // Two metadata records naming the tracks.
+        let meta: Vec<&Json> = items
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 2);
+        assert_eq!(
+            meta[1].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("worker 1")
+        );
+        // Slices land on their track's tid with shifted timestamps.
+        let slices: Vec<&Json> = items
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(slices.len(), 2);
+        let w1 = slices
+            .iter()
+            .find(|e| e.get("tid").unwrap().as_u64() == Some(1))
+            .expect("worker 1 slice");
+        assert_eq!(
+            w1.get("ts").unwrap().as_u64(),
+            Some(10),
+            "60 shifted by -50"
+        );
+        assert_eq!(
+            w1.get("args").unwrap().get("runs").unwrap().as_u64(),
+            Some(4)
+        );
+        assert!(w1.get("args").unwrap().get("ts_us").is_none());
+        // The timestamp-free instant rides at its track's cursor.
+        let inst = items
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .expect("instant");
+        assert_eq!(inst.get("tid").unwrap().as_u64(), Some(1));
+        assert_eq!(inst.get("ts").unwrap().as_u64(), Some(10));
+        // Slice stream is monotonic after the metadata prefix.
+        let ts: Vec<u64> = items
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) != Some("M"))
+            .map(|e| e.get("ts").unwrap().as_u64().unwrap())
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn stitched_empty_tracks_are_valid() {
+        assert!(json::parse(&stitch_chrome_trace(&[])).is_ok());
+        let t = [ChromeTrack {
+            tid: 7,
+            name: "idle".to_string(),
+            shift_us: 0,
+            events: Vec::new(),
+        }];
+        let doc = stitch_chrome_trace(&t);
+        let j = json::parse(&doc).unwrap();
+        let Some(Json::Arr(items)) = j.get("traceEvents") else {
+            panic!()
+        };
+        assert_eq!(items.len(), 1, "just the thread_name record");
     }
 }

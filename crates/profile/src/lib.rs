@@ -33,9 +33,9 @@ mod pc;
 mod prom;
 mod residency;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, stitch_chrome_trace, ChromeTrack};
 pub use pc::{PcProfile, PcSampler, PcStats, SampleCounters};
-pub use prom::{prom_enabled, prom_flush, set_prom_out, PromWriter};
+pub use prom::{labels, prom_enabled, prom_flush, set_prom_out, PromWriter};
 pub use residency::{StructureReport, StructureResidency};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -29,6 +29,35 @@ fn sanitize(name: &str) -> String {
     out
 }
 
+/// Render a `{k="v",...}` label set in exposition syntax. Label *names*
+/// are sanitized like metric names; label *values* get backslash, quote
+/// and newline escaped as the format requires. An empty pair list renders
+/// as an empty string, so `name{}` never appears.
+pub fn labels(pairs: &[(&str, &str)]) -> String {
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&sanitize(k));
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 /// Incremental builder for one Prometheus text-exposition document.
 #[derive(Debug, Default)]
 pub struct PromWriter {
@@ -58,6 +87,40 @@ impl PromWriter {
             let _ = writeln!(self.out, "{name} {value}");
         } else {
             let _ = writeln!(self.out, "{name} NaN");
+        }
+    }
+
+    /// Append one counter family with several labeled series. Each entry is
+    /// `(label-set, value)` where the label set comes from [`labels`]. One
+    /// `HELP`/`TYPE` header is written for the family, then one sample line
+    /// per series — the shape fleet `/metrics` uses for per-worker series.
+    pub fn counter_vec(&mut self, name: &str, help: &str, series: &[(String, u64)]) {
+        if series.is_empty() {
+            return;
+        }
+        let name = sanitize(name);
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} counter");
+        for (lbl, value) in series {
+            let _ = writeln!(self.out, "{name}{lbl} {value}");
+        }
+    }
+
+    /// Append one gauge family with several labeled series; see
+    /// [`PromWriter::counter_vec`].
+    pub fn gauge_vec(&mut self, name: &str, help: &str, series: &[(String, f64)]) {
+        if series.is_empty() {
+            return;
+        }
+        let name = sanitize(name);
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} gauge");
+        for (lbl, value) in series {
+            if value.is_finite() {
+                let _ = writeln!(self.out, "{name}{lbl} {value}");
+            } else {
+                let _ = writeln!(self.out, "{name}{lbl} NaN");
+            }
         }
     }
 
@@ -173,6 +236,44 @@ mod tests {
         let doc = w.finish();
         assert!(doc.contains("# TYPE sea_runs_total counter\nsea_runs_total 42\n"));
         assert!(doc.contains("# TYPE sea_runs_per_sec gauge\nsea_runs_per_sec 3.5\n"));
+    }
+
+    #[test]
+    fn labeled_series_share_one_header() {
+        let lbl = labels(&[("study", "abc123"), ("worker", "w2")]);
+        assert_eq!(lbl, "{study=\"abc123\",worker=\"w2\"}");
+        assert_eq!(labels(&[]), "");
+        // Values get escaped; names get sanitized.
+        assert_eq!(labels(&[("a-b", "x\"y\\z\n")]), "{a_b=\"x\\\"y\\\\z\\n\"}");
+
+        let mut w = PromWriter::new();
+        w.counter_vec(
+            "sea_fleet_worker_runs",
+            "Runs per worker.",
+            &[
+                (labels(&[("worker", "0")]), 10),
+                (labels(&[("worker", "1")]), 12),
+            ],
+        );
+        w.gauge_vec(
+            "sea_fleet_worker_rate",
+            "Runs/sec per worker.",
+            &[(labels(&[("worker", "0")]), 3.5)],
+        );
+        let doc = w.finish();
+        assert_eq!(
+            doc.matches("# TYPE sea_fleet_worker_runs counter").count(),
+            1
+        );
+        assert!(doc.contains("sea_fleet_worker_runs{worker=\"0\"} 10\n"));
+        assert!(doc.contains("sea_fleet_worker_runs{worker=\"1\"} 12\n"));
+        assert!(doc.contains("sea_fleet_worker_rate{worker=\"0\"} 3.5\n"));
+
+        // Empty families emit nothing, not a dangling header.
+        let mut w = PromWriter::new();
+        w.counter_vec("sea_empty", "Nothing.", &[]);
+        w.gauge_vec("sea_empty_g", "Nothing.", &[]);
+        assert!(w.finish().is_empty());
     }
 
     #[test]

@@ -205,6 +205,53 @@ impl Json {
     }
 }
 
+/// Render a parsed [`Json`] value back to compact text, member order
+/// preserved. Integral numbers up to 2^53 print without a fraction, so a
+/// parse → render round trip of integer-only documents (protocol frames,
+/// canonical specs) is byte-stable.
+pub fn render(j: &Json) -> String {
+    let mut out = String::new();
+    render_into(j, &mut out);
+    out
+}
+
+fn render_into(j: &Json, out: &mut String) {
+    match j {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("{}", *n as i64));
+            } else {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+        }
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (k, (key, val)) in members.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                write_escaped(key, out);
+                out.push(':');
+                render_into(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Parse error: message plus byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -536,5 +583,25 @@ mod tests {
         let mut line = String::new();
         write_event(&ev, &mut line);
         assert_eq!(parse(&line).unwrap().get("v"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn render_round_trips_integer_documents_byte_stable() {
+        for doc in [
+            r#"{"op":"done","wl":3,"start":128,"end":192,"obs":[[0,1],[5,3]]}"#,
+            r#"{"s":"a\"b\\c","n":null,"t":true,"f":false,"deep":{"arr":[1,[2,{"k":3}]]}}"#,
+            "[]",
+            "{}",
+            r#"[0,-7,9007199254740992]"#,
+        ] {
+            let parsed = parse(doc).unwrap();
+            assert_eq!(render(&parsed), doc, "{doc}");
+            // Render output is itself parseable to the same value.
+            assert_eq!(parse(&render(&parsed)).unwrap(), parsed);
+        }
+        // Non-integral numbers re-parse to the same value even when the
+        // textual form differs.
+        let j = parse("{\"x\":0.25}").unwrap();
+        assert_eq!(parse(&render(&j)).unwrap(), j);
     }
 }

@@ -41,15 +41,16 @@ mod ring;
 mod sink;
 mod span;
 
-pub use metrics::{Counter, HistSnapshot, Histogram};
+pub use metrics::{Counter, DeltaFramer, HistSnapshot, Histogram};
 pub use progress::{progress_enabled, set_progress, Progress};
 pub use ring::{drain_thread_ring, flush_thread};
 #[doc(hidden)]
 pub use sink::test_lock;
 pub use sink::{
-    install_sink, shutdown, uninstall_sink, JsonlSink, MemorySink, Sink, SummarySink, Tee,
+    install_sink, shutdown, sink_installed, uninstall_sink, JsonlSink, MemorySink, Sink,
+    SummarySink, Tee,
 };
-pub use span::{span, SpanGuard};
+pub use span::{clock_us, span, SpanGuard};
 
 use std::sync::atomic::{AtomicU32, Ordering};
 

@@ -3,6 +3,8 @@
 //! Both are atomic and cheap enough to live in hot loops; both render to
 //! ASCII for the trace summary.
 
+use crate::json::{self, Json, ObjWriter};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A named monotonic counter.
@@ -154,11 +156,12 @@ impl HistSnapshot {
         }
     }
 
-    /// Record a sample into the snapshot (builder use).
+    /// Record a sample into the snapshot (builder use). The sum
+    /// saturates rather than wrapping, matching [`HistSnapshot::merge`].
     pub fn record(&mut self, v: u64) {
         self.buckets[bucket_of(v)] += 1;
         self.count += 1;
-        self.sum += v;
+        self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
     }
 
@@ -195,6 +198,86 @@ impl HistSnapshot {
         self.quantile(p / 100.0)
     }
 
+    /// Fold another snapshot into this one: per-bucket counts add,
+    /// `count`/`sum` add (saturating), `max` takes the larger value. The
+    /// name stays `self`'s. Merging is commutative and associative over
+    /// the statistics (property-tested), which is what lets a fleet
+    /// daemon roll per-worker histograms up into one fleet-wide series.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Serialize for the wire: name, scalar stats, and a sparse
+    /// `[[bucket, n], ...]` array holding only non-empty buckets. JSON
+    /// numbers are f64, so scalars above 2^53 round in transit (bucket
+    /// *counts* that large are unreachable in practice; a saturated
+    /// `sum` merely rounds).
+    pub fn to_json(&self) -> String {
+        let mut buckets = String::from("[");
+        let mut first = true;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                buckets.push(',');
+            }
+            first = false;
+            buckets.push_str(&format!("[{i},{n}]"));
+        }
+        buckets.push(']');
+        let mut o = ObjWriter::new();
+        o.str_field("name", &self.name)
+            .u64_field("count", self.count)
+            .u64_field("sum", self.sum)
+            .u64_field("max", self.max)
+            .raw_field("buckets", &buckets);
+        o.finish()
+    }
+
+    /// Parse a [`HistSnapshot::to_json`] document (from text). `None` on
+    /// anything that is not a histogram object.
+    pub fn parse(text: &str) -> Option<HistSnapshot> {
+        HistSnapshot::from_json(&json::parse(text).ok()?)
+    }
+
+    /// Rebuild from a parsed wire document. Tolerant of peers with a
+    /// different bucket layout: indices at or beyond [`BUCKETS`] fold
+    /// into the top bucket (so `count` stays consistent with the bucket
+    /// sum), malformed pairs are skipped, and missing scalar fields
+    /// default to zero.
+    pub fn from_json(j: &Json) -> Option<HistSnapshot> {
+        // Readings above 2^53 (e.g. a saturated sum) fail `as_u64`'s
+        // exactness check; fall back to a rounded f64 read rather than
+        // dropping the field.
+        fn loose_u64(j: Option<&Json>) -> Option<u64> {
+            let j = j?;
+            j.as_u64()
+                .or_else(|| j.as_f64().filter(|f| *f >= 0.0).map(|f| f as u64))
+        }
+        let name = j.get("name").and_then(Json::as_str)?;
+        let mut snap = HistSnapshot::empty(name);
+        snap.count = loose_u64(j.get("count")).unwrap_or(0);
+        snap.sum = loose_u64(j.get("sum")).unwrap_or(0);
+        snap.max = loose_u64(j.get("max")).unwrap_or(0);
+        if let Some(Json::Arr(pairs)) = j.get("buckets") {
+            for p in pairs {
+                let Json::Arr(pair) = p else { continue };
+                let (Some(i), Some(n)) = (loose_u64(pair.first()), loose_u64(pair.get(1))) else {
+                    continue;
+                };
+                let i = (i as usize).min(BUCKETS - 1);
+                snap.buckets[i] = snap.buckets[i].saturating_add(n);
+            }
+        }
+        Some(snap)
+    }
+
     /// Render as an ASCII bar chart, one row per non-empty bucket range.
     pub fn render(&self, width: usize) -> String {
         let mut out = format!(
@@ -225,6 +308,38 @@ impl HistSnapshot {
             ));
         }
         out
+    }
+}
+
+/// Frames monotonic counter readings as per-interval deltas, so periodic
+/// telemetry pushes carry only what changed since the previous frame.
+///
+/// A counter seen for the first time contributes its full value (the
+/// receiver starts from zero); a reading *below* the last one — a
+/// restarted peer whose statics reset — contributes the new reading
+/// itself, treating the restart as a fresh start rather than losing the
+/// post-restart increments or emitting a bogus huge delta.
+#[derive(Debug, Default)]
+pub struct DeltaFramer {
+    last: BTreeMap<String, u64>,
+}
+
+impl DeltaFramer {
+    /// An empty framer (no counters seen yet).
+    pub fn new() -> DeltaFramer {
+        DeltaFramer::default()
+    }
+
+    /// The delta to report for `name` given its current cumulative
+    /// reading, updating the framer's memory of it.
+    pub fn frame(&mut self, name: &str, current: u64) -> u64 {
+        let last = self.last.get(name).copied().unwrap_or(0);
+        self.last.insert(name.to_string(), current);
+        if current >= last {
+            current - last
+        } else {
+            current
+        }
     }
 }
 
@@ -304,5 +419,144 @@ mod tests {
         assert_eq!(s.count, b.count);
         assert_eq!(s.sum, b.sum);
         assert_eq!(s.max, b.max);
+    }
+
+    fn snap_of(name: &str, samples: &[u64]) -> HistSnapshot {
+        let mut s = HistSnapshot::empty(name);
+        for &v in samples {
+            s.record(v);
+        }
+        s
+    }
+
+    fn same_stats(a: &HistSnapshot, b: &HistSnapshot) -> bool {
+        a.buckets == b.buckets && a.count == b.count && a.sum == b.sum && a.max == b.max
+    }
+
+    #[test]
+    fn merge_empty_into_nonempty_and_back() {
+        let full = snap_of("lat", &[1, 2, 3, 500, 70_000]);
+        let mut a = full.clone();
+        a.merge(&HistSnapshot::empty("other"));
+        assert!(same_stats(&a, &full), "merging empty is the identity");
+        assert_eq!(a.name, "lat", "merge keeps the receiver's name");
+
+        let mut b = HistSnapshot::empty("e");
+        b.merge(&full);
+        assert!(same_stats(&b, &full), "empty absorbs the other side");
+        assert_eq!(b.name, "e");
+    }
+
+    #[test]
+    fn merge_equals_snapshot_of_combined_samples() {
+        // Percentile stability: merging two shard histograms answers the
+        // same quantile queries as one histogram over the union of their
+        // samples — exactly, not approximately, because the log2 bucket
+        // arrays add elementwise.
+        let xs: Vec<u64> = (1..=400).collect();
+        let ys: Vec<u64> = (300..=1200).map(|v| v * 7).collect();
+        let mut merged = snap_of("m", &xs);
+        merged.merge(&snap_of("m", &ys));
+        let combined = snap_of("m", &xs.iter().chain(&ys).copied().collect::<Vec<_>>());
+        assert!(same_stats(&merged, &combined));
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(merged.percentile(p), combined.percentile(p), "p{p}");
+        }
+        assert_eq!(merged.mean(), combined.mean());
+    }
+
+    #[test]
+    fn wire_codec_round_trips_and_folds_foreign_buckets() {
+        let snap = snap_of("inject.run_sim_cycles", &[0, 1, 9, 4096, 1 << 52]);
+        let back = HistSnapshot::parse(&snap.to_json()).unwrap();
+        assert!(same_stats(&back, &snap));
+        assert_eq!(back.name, snap.name);
+
+        // A peer with a *larger* bucket layout (mismatched bucket count):
+        // out-of-range indices fold into the top bucket instead of being
+        // dropped, so count stays consistent with the bucket sum.
+        let foreign =
+            r#"{"name":"x","count":3,"sum":30,"max":20,"buckets":[[2,1],[80,1],[400,1]]}"#;
+        let f = HistSnapshot::parse(foreign).unwrap();
+        assert_eq!(f.buckets.iter().sum::<u64>(), f.count);
+        assert_eq!(f.buckets[BUCKETS - 1], 2, "indices 80 and 400 folded");
+        let mut m = snap_of("x", &[5]);
+        m.merge(&f);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.buckets[BUCKETS - 1], 2);
+
+        // Junk in, None out — never a panic.
+        assert!(HistSnapshot::parse("[1,2,3]").is_none());
+        assert!(HistSnapshot::parse("{\"count\":1}").is_none());
+        assert!(HistSnapshot::parse("not json").is_none());
+        // Malformed bucket pairs are skipped, scalars default to zero.
+        let sloppy = HistSnapshot::parse(r#"{"name":"s","buckets":[[1],7,[2,5]]}"#).unwrap();
+        assert_eq!(sloppy.count, 0);
+        assert_eq!(sloppy.buckets[2], 5);
+    }
+
+    #[test]
+    fn delta_framer_frames_monotone_and_restarting_counters() {
+        let mut f = DeltaFramer::new();
+        assert_eq!(f.frame("a", 10), 10, "first sight ships the full value");
+        assert_eq!(f.frame("a", 10), 0);
+        assert_eq!(f.frame("a", 17), 7);
+        assert_eq!(f.frame("b", 3), 3, "counters are framed independently");
+        // A reading below the last one means the peer restarted: report
+        // the fresh reading, not a wrapped difference.
+        assert_eq!(f.frame("a", 4), 4);
+        assert_eq!(f.frame("a", 6), 2);
+    }
+
+    mod merge_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        // Samples span every bucket but stay within JSON's exact-integer
+        // range when summed, so the wire codec is lossless over them.
+        fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+            prop::collection::vec(0u64..(1 << 46), 0..64)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            // Satellite: merge is commutative over the statistics.
+            #[test]
+            fn merge_is_commutative(xs in arb_samples(), ys in arb_samples()) {
+                let (a, b) = (snap_of("a", &xs), snap_of("b", &ys));
+                let mut ab = a.clone();
+                ab.merge(&b);
+                let mut ba = b.clone();
+                ba.merge(&a);
+                prop_assert!(same_stats(&ab, &ba));
+            }
+
+            // Satellite: merge is associative over the statistics.
+            #[test]
+            fn merge_is_associative(
+                xs in arb_samples(),
+                ys in arb_samples(),
+                zs in arb_samples(),
+            ) {
+                let (a, b, c) = (snap_of("a", &xs), snap_of("b", &ys), snap_of("c", &zs));
+                let mut left = a.clone(); // (a ⊕ b) ⊕ c
+                left.merge(&b);
+                left.merge(&c);
+                let mut bc = b.clone(); // a ⊕ (b ⊕ c)
+                bc.merge(&c);
+                let mut right = a.clone();
+                right.merge(&bc);
+                prop_assert!(same_stats(&left, &right));
+            }
+
+            // The codec survives any snapshot the builder can produce.
+            #[test]
+            fn wire_codec_round_trips(xs in arb_samples()) {
+                let s = snap_of("h", &xs);
+                let back = HistSnapshot::parse(&s.to_json()).unwrap();
+                prop_assert!(same_stats(&back, &s));
+            }
+        }
     }
 }

@@ -53,6 +53,13 @@ pub fn shutdown() {
     }
 }
 
+/// Is a process-wide sink currently installed? One `Acquire` load;
+/// embedders (the fleet worker) use it to avoid clobbering a sink the
+/// hosting process already routed events to.
+pub fn sink_installed() -> bool {
+    HAS_SINK.load(Ordering::Acquire)
+}
+
 fn current() -> Option<Arc<dyn Sink>> {
     if !HAS_SINK.load(Ordering::Acquire) {
         return None;

@@ -13,6 +13,15 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Current reading of the span clock: microseconds since this process's
+/// span epoch (pinned on first use). Span `ts_us` fields are offsets on
+/// this clock, so two processes that exchange a `clock_us` reading can
+/// shift each other's span timestamps onto one shared timeline — what
+/// the fleet daemon does to stitch per-worker traces.
+pub fn clock_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
 /// Open a timing span; when the returned guard drops, an event named
 /// `name` with `dur_us` and `ts_us` (microseconds since the first span in
 /// the process) fields is emitted. Returns `None` (and does no work, not

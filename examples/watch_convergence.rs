@@ -9,6 +9,11 @@
 //! cargo run --release -p sea-bench --bin fig4 -- --serve 127.0.0.1:9099 &
 //! cargo run --release --example watch_convergence -- 127.0.0.1:9099 --margin 5
 //! ```
+//!
+//! With `--study <id>` the watcher polls a **fleet daemon's**
+//! `/studies/<id>` document instead: the strata then come from the
+//! study's active workload (fed by every worker's observations), so the
+//! same sparkline view tracks fleet-wide convergence.
 
 use sea_core::trace::json::{self, Json};
 use std::collections::BTreeMap;
@@ -47,10 +52,15 @@ struct Stratum {
     margin: f64,
 }
 
-/// Pulls (label → stratum) out of one `/status` document.
+/// Pulls (label → stratum) out of one status document. Campaign `/status`
+/// docs carry `strata` at top level; fleet `/studies/<id>` docs nest them
+/// under the active workload.
 fn parse_strata(doc: &Json) -> Vec<(String, Stratum)> {
     let mut out = Vec::new();
-    let Some(Json::Arr(strata)) = doc.get("strata") else {
+    let top = doc
+        .get("strata")
+        .or_else(|| doc.get("active").and_then(|a| a.get("strata")));
+    let Some(Json::Arr(strata)) = top else {
         return out;
     };
     for s in strata {
@@ -79,6 +89,7 @@ fn main() {
     let mut addr = "127.0.0.1:9099".to_string();
     let mut target = 0.05;
     let mut interval_ms = 500u64;
+    let mut study: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -91,24 +102,32 @@ fn main() {
                 interval_ms = args[i + 1].parse().expect("--interval-ms N");
                 i += 2;
             }
+            "--study" => {
+                study = Some(args[i + 1].clone());
+                i += 2;
+            }
             a if !a.starts_with('-') => {
                 addr = a.to_string();
                 i += 1;
             }
             other => panic!(
-                "unknown flag `{other}` (usage: watch_convergence [ADDR] [--margin PCT] [--interval-ms N])"
+                "unknown flag `{other}` (usage: watch_convergence [ADDR] [--margin PCT] [--interval-ms N] [--study ID])"
             ),
         }
     }
+    let path = match &study {
+        Some(id) => format!("/studies/{id}"),
+        None => "/status".to_string(),
+    };
     println!(
-        "watching http://{addr}/status until every margin ≤ {:.1}%\n",
+        "watching http://{addr}{path} until every margin ≤ {:.1}%\n",
         100.0 * target
     );
 
     let mut history: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     let mut drawn = 0usize;
     loop {
-        let body = match http_get(&addr, "/status") {
+        let body = match http_get(&addr, &path) {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("{addr}: {e} — retrying");
@@ -122,9 +141,23 @@ fn main() {
             continue;
         };
         let state = doc.get("state").and_then(Json::as_str).unwrap_or("?");
-        let done = doc.get("done").and_then(Json::as_u64).unwrap_or(0);
-        let planned = doc.get("planned").and_then(Json::as_u64).unwrap_or(0);
-        let eta = doc.get("eta_secs").and_then(Json::as_f64).unwrap_or(0.0);
+        // Campaign docs carry done/planned/eta_secs at top level; fleet
+        // study docs carry per-workload suite rows and eta_sec.
+        let (mut done, mut planned) = (
+            doc.get("done").and_then(Json::as_u64).unwrap_or(0),
+            doc.get("planned").and_then(Json::as_u64).unwrap_or(0),
+        );
+        if let Some(Json::Arr(rows)) = doc.get("suite") {
+            for r in rows {
+                done += r.get("done").and_then(Json::as_u64).unwrap_or(0);
+                planned += r.get("total").and_then(Json::as_u64).unwrap_or(0);
+            }
+        }
+        let eta = doc
+            .get("eta_secs")
+            .or_else(|| doc.get("eta_sec"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
         let strata = parse_strata(&doc);
         for (label, s) in &strata {
             let h = history.entry(label.clone()).or_default();
