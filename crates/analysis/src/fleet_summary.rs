@@ -96,13 +96,16 @@ pub fn fleet_summary(doc: &Json) -> String {
 
     let workers = arr(doc, "workers");
     if !workers.is_empty() {
-        out.push_str("  worker   state       runs   lag(ms)   rate/s\n");
+        out.push_str("  worker   state      tier         runs   lag(ms)   rate/s\n");
         for w in workers {
+            // Older daemons omit `tier`; those workers ran detailed-only.
+            let tier = w.get("tier").and_then(Json::as_str).unwrap_or("detailed");
             let _ = writeln!(
                 out,
-                "    {:<6} {:<9} {:>6}   {:>7}   {:>6.1}",
+                "    {:<6} {:<9} {:<9} {:>6}   {:>7}   {:>6.1}",
                 u(w, "shard"),
                 s(w, "state"),
+                tier,
                 u(w, "runs"),
                 u(w, "lag_ms"),
                 f(w, "rate_per_sec").unwrap_or(0.0),
@@ -127,8 +130,8 @@ mod tests {
                           "strata":[{"label":"l1d","samples":20,"avf":0.2,
                                      "margin_adjusted":0.31}]},
                 "rate_per_sec":12.5,"eta_sec":10.8,
-                "workers":[{"shard":0,"state":"alive","runs":60,"lag_ms":40,
-                            "rate_per_sec":6.0},
+                "workers":[{"shard":0,"state":"alive","tier":"warp","runs":60,
+                            "lag_ms":40,"rate_per_sec":6.0},
                            {"shard":1,"state":"dead","runs":45,"lag_ms":900,
                             "rate_per_sec":0.0}]}"#,
         )
@@ -142,6 +145,10 @@ mod tests {
         assert!(text.contains("fleet rate 12.5 runs/s, eta 11s"), "{text}");
         assert!(text.contains("alive"), "{text}");
         assert!(text.contains("dead"), "{text}");
+        // The worker table renders each shard's observed execution tier;
+        // a worker without the field (older daemon) shows detailed-only.
+        assert!(text.contains("warp"), "{text}");
+        assert!(text.contains("detailed"), "{text}");
     }
 
     #[test]

@@ -51,6 +51,29 @@ impl ComponentStats {
     }
 }
 
+/// Execution-tier residency, folded from `injection.tier` campaign-end
+/// events: which tier each campaign ran on and how much work the warp
+/// cursor and µop fast path absorbed.
+#[derive(Clone, Debug, Default)]
+pub struct TierStats {
+    /// Campaigns that ran with the warp cursor armed.
+    pub warp_campaigns: u64,
+    /// Campaigns that ran detailed-only.
+    pub detailed_campaigns: u64,
+    /// Machines handed off from a warp cursor clone.
+    pub warp_handoffs: u64,
+    /// Cursors discarded (key change or target behind the cursor).
+    pub warp_cursor_resets: u64,
+    /// Detailed prefix cycles the cursor amortized away.
+    pub warp_prefix_cycles_saved: u64,
+    /// Detailed cycles cursors actually executed.
+    pub warp_advance_cycles: u64,
+    /// Decoded-µop fast-path hits across all runs.
+    pub fastpath_uop_hits: u64,
+    /// Decoded-µop fast-path misses across all runs.
+    pub fastpath_uop_misses: u64,
+}
+
 /// A parsed trace, aggregated for rendering.
 #[derive(Clone, Debug, Default)]
 pub struct TraceSummary {
@@ -61,6 +84,8 @@ pub struct TraceSummary {
     /// Total milliseconds spent in supervisor respawn backoff (summed from
     /// `supervisor.respawn_backoff` events' `ms` fields).
     pub respawn_backoff_ms: u64,
+    /// Execution-tier residency from `injection.tier` events.
+    pub tier: TierStats,
     /// Event counts per event name.
     pub by_name: BTreeMap<String, u64>,
     /// Span durations (µs) per event name, for every event carrying a
@@ -112,6 +137,20 @@ impl TraceSummary {
         *self.by_name.entry(name.clone()).or_insert(0) += 1;
         if name == "supervisor.respawn_backoff" {
             self.respawn_backoff_ms += ev.get("ms").and_then(Json::as_u64).unwrap_or(0);
+        }
+        if name == "injection.tier" {
+            let n = |key: &str| ev.get(key).and_then(Json::as_u64).unwrap_or(0);
+            let t = &mut self.tier;
+            match ev.get("tier").and_then(Json::as_str) {
+                Some("warp") => t.warp_campaigns += 1,
+                _ => t.detailed_campaigns += 1,
+            }
+            t.warp_handoffs += n("warp_handoffs");
+            t.warp_cursor_resets += n("warp_cursor_resets");
+            t.warp_prefix_cycles_saved += n("warp_prefix_cycles_saved");
+            t.warp_advance_cycles += n("warp_advance_cycles");
+            t.fastpath_uop_hits += n("fastpath_uop_hits");
+            t.fastpath_uop_misses += n("fastpath_uop_misses");
         }
         if let Some(dur) = ev.get("dur_us").and_then(Json::as_u64) {
             self.spans
@@ -174,6 +213,24 @@ impl TraceSummary {
             out.push_str("\nsupervisor health\n");
             let label_w = health.iter().map(|(l, _)| l.len()).max().unwrap_or(5);
             for (label, n) in &health {
+                let _ = writeln!(out, "  {label:<label_w$}  {n:>10}");
+            }
+        }
+        let t = &self.tier;
+        if t.warp_campaigns + t.detailed_campaigns > 0 {
+            out.push_str("\nexecution tiers\n");
+            let rows: [(&str, u64); 8] = [
+                ("warp campaigns", t.warp_campaigns),
+                ("detailed campaigns", t.detailed_campaigns),
+                ("warp handoffs", t.warp_handoffs),
+                ("warp cursor resets", t.warp_cursor_resets),
+                ("prefix cycles saved", t.warp_prefix_cycles_saved),
+                ("cursor cycles run", t.warp_advance_cycles),
+                ("fastpath µop hits", t.fastpath_uop_hits),
+                ("fastpath µop misses", t.fastpath_uop_misses),
+            ];
+            let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(5);
+            for (label, n) in rows {
                 let _ = writeln!(out, "  {label:<label_w$}  {n:>10}");
             }
         }
@@ -332,6 +389,37 @@ mod tests {
         assert!(out.contains("supervisor health"), "{out}");
         assert!(out.contains("watchdog kills"), "{out}");
         assert!(out.contains("respawn backoff ms"), "{out}");
+    }
+
+    #[test]
+    fn tier_events_aggregate_warp_residency() {
+        let quiet = TraceSummary::from_jsonl(
+            "{\"ev\":\"beam.strike\",\"sub\":\"beam\",\"level\":\"info\"}\n",
+        );
+        assert!(!quiet.render().contains("execution tiers"));
+        let text = [
+            "{\"ev\":\"injection.tier\",\"sub\":\"injection\",\"level\":\"info\",\
+             \"workload\":\"crc32\",\"tier\":\"warp\",\"warp_handoffs\":40,\
+             \"warp_cursor_resets\":2,\"warp_prefix_cycles_saved\":90000,\
+             \"warp_advance_cycles\":4500,\"fastpath_uop_hits\":800,\
+             \"fastpath_uop_misses\":20}",
+            "{\"ev\":\"injection.tier\",\"sub\":\"injection\",\"level\":\"info\",\
+             \"workload\":\"matmul\",\"tier\":\"detailed\",\"warp_handoffs\":0,\
+             \"warp_cursor_resets\":0,\"warp_prefix_cycles_saved\":0,\
+             \"warp_advance_cycles\":0,\"fastpath_uop_hits\":0,\
+             \"fastpath_uop_misses\":0}",
+        ]
+        .join("\n");
+        let s = TraceSummary::from_jsonl(&text);
+        assert_eq!(s.tier.warp_campaigns, 1);
+        assert_eq!(s.tier.detailed_campaigns, 1);
+        assert_eq!(s.tier.warp_handoffs, 40);
+        assert_eq!(s.tier.warp_prefix_cycles_saved, 90000);
+        assert_eq!(s.tier.fastpath_uop_hits, 800);
+        let out = s.render();
+        assert!(out.contains("execution tiers"), "{out}");
+        assert!(out.contains("warp handoffs"), "{out}");
+        assert!(out.contains("prefix cycles saved"), "{out}");
     }
 
     #[test]

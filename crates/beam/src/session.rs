@@ -357,6 +357,7 @@ pub fn run_session(
         // inner injection config must never start a second one.
         serve: None,
         stop_at_margin: None,
+        warp: cfg.warp.then(sea_injection::WarpPolicy::default),
     };
     let id = RunIdentity {
         workload: name.to_string(),

@@ -45,7 +45,10 @@
 //! restores the nearest one instead of re-booting before each injection;
 //! `--checkpoint-dir DIR` additionally persists them across invocations;
 //! `--fast-path` arms the bit-exact microarchitectural execution fast
-//! path (µop cache + translation latches) on every injected machine.
+//! path (µop cache + translation latches) on every injected machine;
+//! `--warp` serves each run's machine from a per-worker warp cursor
+//! (amortized detailed prefix execution, byte-identical journals — see
+//! README "Performance" and the `bench_warp` binary).
 //!
 //! Profiling flags (see README "Profiling"): `--profile-out FILE` writes a
 //! per-workload attribution report (cycle hotspots + predicted-vs-measured
@@ -313,6 +316,10 @@ pub fn parse_options() -> Options {
             }
             "--fast-path" => {
                 opts.study.fast_path = true;
+                i += 1;
+            }
+            "--warp" => {
+                opts.study.warp = true;
                 i += 1;
             }
             "--serve" => {

@@ -101,7 +101,8 @@ impl StudySpec {
             .str_field("journal_fsync", &s.journal_fsync.to_string())
             .u64_field("run_wall_ms", s.run_wall_ms)
             .u64_field("checkpoint_interval", s.checkpoint_interval)
-            .bool_field("fast_path", s.fast_path);
+            .bool_field("fast_path", s.fast_path)
+            .bool_field("warp", s.warp);
         match s.stop_at_margin {
             Some(m) => o.f64_field("stop_at_margin", m),
             None => o.raw_field("stop_at_margin", "null"),
@@ -193,6 +194,11 @@ impl StudySpec {
                 .as_bool()
                 .ok_or_else(|| SpecError::Field("fast_path", "expected a boolean".into()))?;
         }
+        if let Some(v) = doc.get("warp") {
+            s.warp = v
+                .as_bool()
+                .ok_or_else(|| SpecError::Field("warp", "expected a boolean".into()))?;
+        }
         match doc.get("stop_at_margin") {
             None | Some(Json::Null) => {}
             Some(v) => {
@@ -273,6 +279,7 @@ mod tests {
             && a.run_wall_ms == b.run_wall_ms
             && a.checkpoint_interval == b.checkpoint_interval
             && a.fast_path == b.fast_path
+            && a.warp == b.warp
             && a.stop_at_margin == b.stop_at_margin
     }
 
@@ -288,6 +295,7 @@ mod tests {
                 run_wall_ms: 5_000,
                 journal_fsync: crate::FsyncPolicy::IntervalMs(250),
                 fast_path: true,
+                warp: true,
                 stop_at_margin: Some(0.05),
                 ..Study::default()
             },

@@ -127,6 +127,13 @@ pub struct Study {
     /// construction — journals, counters and verdicts are byte-identical
     /// either way — so this is a pure speed knob like `threads`.
     pub fast_path: bool,
+    /// Serve each run's machine from a per-worker warp cursor
+    /// (`sea_injection::warp`) instead of re-simulating the fault-free
+    /// prefix from the nearest checkpoint (or reset). Bit-exact like
+    /// `fast_path` — the cursor clone is bit-equivalent to a from-reset
+    /// machine by the determinism contract — so journals and verdicts are
+    /// byte-identical either way; a pure speed knob.
+    pub warp: bool,
     /// Bind address for the live observability HTTP server (e.g.
     /// `127.0.0.1:9099`; `None` = no server). Serves `/status`,
     /// `/metrics`, `/events`, `/journal/tail` and `/healthz` while
@@ -165,6 +172,7 @@ impl Default for Study {
             chrome_trace: None,
             prom_out: None,
             fast_path: false,
+            warp: false,
             serve: None,
             stop_at_margin: None,
         }
@@ -233,6 +241,7 @@ impl Study {
             fast_path: self.fast_path,
             serve: self.serve.clone(),
             stop_at_margin: self.stop_at_margin,
+            warp: self.warp.then(sea_injection::WarpPolicy::default),
         }
     }
 
@@ -248,6 +257,7 @@ impl Study {
             supervisor: self.supervisor_config(),
             journal: self.journal_spec(),
             fast_path: self.fast_path,
+            warp: self.warp,
             serve: self.serve.clone(),
             stop_at_margin: self.stop_at_margin,
             ..BeamConfig::default()

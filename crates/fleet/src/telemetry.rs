@@ -234,10 +234,24 @@ impl TelemetryBoard {
             for (k, v) in HEALTH_FIELDS.iter().zip(w.health) {
                 h.u64_field(k, v);
             }
+            // Execution tier actually observed, not configured: a worker
+            // that reported warp-cursor handoffs runs the two-tier engine.
+            let tier = if w
+                .counters
+                .get("campaign.warp_handoffs")
+                .copied()
+                .unwrap_or(0)
+                > 0
+            {
+                "warp"
+            } else {
+                "detailed"
+            };
             let mut o = json::ObjWriter::new();
             o.u64_field("shard", u64::from(*shard))
                 .str_field("study", &w.study)
                 .str_field("state", w.state.name())
+                .str_field("tier", tier)
                 .u64_field("frames", w.frames)
                 .u64_field("runs", w.runs)
                 .u64_field("elapsed_ms", w.elapsed_ms)
@@ -442,6 +456,7 @@ mod tests {
         assert_eq!(workers[0].get("runs").unwrap().as_u64(), Some(16));
         assert_eq!(workers[0].get("frames").unwrap().as_u64(), Some(2));
         assert_eq!(workers[0].get("state").unwrap().as_str(), Some("alive"));
+        assert_eq!(workers[0].get("tier").unwrap().as_str(), Some("detailed"));
         assert_eq!(
             workers[0]
                 .get("health")
@@ -452,6 +467,20 @@ mod tests {
             Some(1)
         );
         assert!(b.workers_json(Some("other")).starts_with("[]"));
+    }
+
+    #[test]
+    fn warp_handoffs_flip_the_reported_tier() {
+        let b = TelemetryBoard::new();
+        let mut f = frame(4, vec![]);
+        f.counters.push(("campaign.warp_handoffs".to_string(), 4));
+        b.absorb(0, "s", f);
+        let doc = b.workers_json(Some("s"));
+        let j = json::parse(&doc).unwrap();
+        let Json::Arr(workers) = j else {
+            panic!("{doc}")
+        };
+        assert_eq!(workers[0].get("tier").unwrap().as_str(), Some("warp"));
     }
 
     #[test]

@@ -155,6 +155,16 @@ impl Telemetry {
             &INFLIGHT_REQUEUES,
             &QUARANTINED,
             &RESPAWN_BACKOFF_MS,
+            // Execution-tier residency: the daemon's `/studies/<id>` worker
+            // rows and prometheus rollup derive per-worker tier from these.
+            &sea_injection::warp::WARP_HANDOFFS,
+            &sea_injection::warp::WARP_CURSOR_RESETS,
+            &sea_injection::warp::WARP_PREFIX_CYCLES_SAVED,
+            &sea_injection::warp::WARP_ADVANCE_CYCLES,
+            &sea_injection::warp::FASTPATH_UOP_HITS,
+            &sea_injection::warp::FASTPATH_UOP_MISSES,
+            &sea_injection::warp::FASTPATH_LATCH_HITS,
+            &sea_injection::warp::FASTPATH_LINE_HITS,
         ] {
             delta(&mut self.framer, c.name(), c.get());
         }

@@ -245,6 +245,18 @@ pub struct CampaignConfig {
     /// the campaign. Excluded from the configuration hash for exactly
     /// that resume path.
     pub stop_at_margin: Option<f64>,
+    /// Two-tier prefix execution: serve each run's machine from a
+    /// per-worker warp cursor (see [`crate::warp`]) instead of
+    /// re-simulating the fault-free prefix from the nearest checkpoint
+    /// (or reset) every time.
+    ///
+    /// Like `checkpoints` and `fast_path`, a runtime-only speed knob: the
+    /// cursor clone is bit-equivalent to a from-reset machine by the
+    /// determinism contract, so verdicts and journal bytes are identical
+    /// with it on or off (held by the `warp_equivalence` tests and the CI
+    /// `warp-equivalence` job) and it is excluded from the campaign
+    /// configuration hash.
+    pub warp: Option<crate::warp::WarpPolicy>,
 }
 
 /// How a campaign checkpoints and restores the fault-free prefix.
@@ -279,6 +291,7 @@ impl Default for CampaignConfig {
             fast_path: false,
             serve: None,
             stop_at_margin: None,
+            warp: None,
         }
     }
 }
@@ -315,6 +328,11 @@ pub(crate) fn machine_toward(
     ckpts: Option<&CheckpointSet>,
     cycle: u64,
 ) -> System<Board> {
+    if let Some(policy) = &cfg.warp {
+        if let Some(sys) = crate::warp::cursor_machine_toward(workload, cfg, ckpts, cycle, policy) {
+            return sys;
+        }
+    }
     let mut sys = match ckpts.and_then(|c| c.restore_at(cycle)) {
         Some(sys) => sys,
         None => {
@@ -355,6 +373,7 @@ pub(crate) fn inject_and_run(
     spec: InjectionSpec,
     limits: RunLimits,
 ) -> InjectionOutcome {
+    let fastpath_before = sys.fastpath_stats();
     // Phase 1: fault-free prefix (no terminal event can fire before the
     // golden run's end, and spec.cycle < golden cycles).
     while sys.cycles() < spec.cycle {
@@ -386,6 +405,7 @@ pub(crate) fn inject_and_run(
     // Phase 2: run to a terminal state under the watchdog.
     let outcome = run(sys, limits);
     let class = classify(&outcome, &workload.golden);
+    crate::warp::bank_fastpath_delta(fastpath_before, sys.fastpath_stats());
     if let Some(probe) = sys.take_probe() {
         probe.emit_record(&class.to_string(), sys.cycles());
     }
@@ -527,6 +547,46 @@ fn prom_snapshot(progress: &Progress, tracker: &ConvergenceTracker) -> String {
         "sea_campaign_run_sim_cycles",
         "Cycles simulated per injection run (post-restore suffix).",
         &RUN_SIM_CYCLES.snapshot(),
+    );
+    w.counter(
+        "sea_warp_handoffs_total",
+        "Runs served from a warp-cursor clone.",
+        crate::warp::WARP_HANDOFFS.get(),
+    );
+    w.counter(
+        "sea_warp_cursor_resets_total",
+        "Warp cursors discarded and re-seeded.",
+        crate::warp::WARP_CURSOR_RESETS.get(),
+    );
+    w.counter(
+        "sea_warp_prefix_cycles_saved_total",
+        "Fault-free prefix cycles skipped by warp-cursor handoffs.",
+        crate::warp::WARP_PREFIX_CYCLES_SAVED.get(),
+    );
+    w.counter(
+        "sea_warp_advance_cycles_total",
+        "Detailed cycles stepped on warp cursors toward strike cycles.",
+        crate::warp::WARP_ADVANCE_CYCLES.get(),
+    );
+    w.counter(
+        "sea_fastpath_uop_hits_total",
+        "Fetched words decoded from the µop cache during injected runs.",
+        crate::warp::FASTPATH_UOP_HITS.get(),
+    );
+    w.counter(
+        "sea_fastpath_uop_misses_total",
+        "Fetched words fully decoded during injected runs.",
+        crate::warp::FASTPATH_UOP_MISSES.get(),
+    );
+    w.counter(
+        "sea_fastpath_latch_hits_total",
+        "Translations served by page latches during injected runs.",
+        crate::warp::FASTPATH_LATCH_HITS.get(),
+    );
+    w.counter(
+        "sea_fastpath_line_hits_total",
+        "L1 accesses served by line latches during injected runs.",
+        crate::warp::FASTPATH_LINE_HITS.get(),
     );
     crate::convergence::prom_append(&mut w, tracker);
     w.finish()
@@ -802,6 +862,11 @@ pub fn run_campaign(
         let workload_name = id.workload.clone();
         let planned = pending.len() as u64;
         let stop_at = cfg.stop_at_margin;
+        let tier = if cfg.warp.is_some() {
+            "\"warp\""
+        } else {
+            "\"detailed\""
+        };
         sea_observe::publish_status(Some(Arc::new(move || {
             crate::convergence::status_document(
                 "inject",
@@ -811,7 +876,7 @@ pub fn run_campaign(
                 &progress,
                 &tracker,
                 stop_at,
-                &[],
+                &[("tier", tier.to_string())],
             )
         })));
     }
@@ -970,6 +1035,20 @@ pub fn run_campaign(
                "worker_respawns" => supervision.worker_respawns,
                "lost" => supervision.lost);
     }
+
+    // One summary event per campaign (not per run — the counters are
+    // process-wide monotone): which execution tier served the prefix, and
+    // what the cursor bought. The trace-summary tool renders these as its
+    // tier-residency section.
+    event!(Subsystem::Injection, Level::Info, "injection.tier";
+           "workload" => name.to_string(),
+           "tier" => if cfg.warp.is_some() { "warp" } else { "detailed" },
+           "warp_handoffs" => crate::warp::WARP_HANDOFFS.get(),
+           "warp_cursor_resets" => crate::warp::WARP_CURSOR_RESETS.get(),
+           "warp_prefix_cycles_saved" => crate::warp::WARP_PREFIX_CYCLES_SAVED.get(),
+           "warp_advance_cycles" => crate::warp::WARP_ADVANCE_CYCLES.get(),
+           "fastpath_uop_hits" => crate::warp::FASTPATH_UOP_HITS.get(),
+           "fastpath_uop_misses" => crate::warp::FASTPATH_UOP_MISSES.get());
 
     let ckpt_stats = plan.checkpoints().map(|c| c.stats());
     if let Some(s) = ckpt_stats {

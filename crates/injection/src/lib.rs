@@ -24,6 +24,7 @@ mod campaign;
 pub mod convergence;
 pub mod stats;
 pub mod supervisor;
+pub mod warp;
 
 pub use campaign::{
     acquire_golden_and_checkpoints, class_index, generate_specs, record_run_cycles, run_campaign,
@@ -38,3 +39,4 @@ pub use supervisor::{
     supervisor_health, FsyncPolicy, Journal, JournalAudit, JournalError, JournalFormat,
     JournalHeader, JournalSpec, RunAnomaly, RunVerdict, SupervisorConfig, SupervisorHealth,
 };
+pub use warp::WarpPolicy;

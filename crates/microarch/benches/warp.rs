@@ -1,0 +1,112 @@
+//! Criterion microbenchmarks of the warp (functional) tier against
+//! detailed stepping on the same workloads: the steady-state trace-cache
+//! hit rate is what buys the campaign-prefix speedup, so each case warms
+//! the machine out of the measurement and then times a fixed step budget.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sea_isa::{Asm, Cond, MemSize, Reg};
+use sea_microarch::{
+    l1_entry, pte, FastPathConfig, MachineConfig, NullDevice, StepOutcome, System, WarpConfig,
+    PTE_EXEC, PTE_WRITE,
+};
+
+/// A bare-metal machine with 4 MiB identity-mapped and the given program
+/// installed at its entry point.
+fn machine_with(build: impl FnOnce(&mut Asm)) -> System<NullDevice> {
+    let mut sys = System::new(MachineConfig::cortex_a9(), NullDevice);
+    for mib in 0..4u32 {
+        let l2 = 0x8000 + mib * 0x400;
+        sys.mem
+            .phys
+            .write(0x4000 + mib * 4, MemSize::Word, l1_entry(l2));
+        for page in 0..256u32 {
+            sys.mem.phys.write(
+                l2 + page * 4,
+                MemSize::Word,
+                pte((mib << 8) + page, PTE_WRITE | PTE_EXEC),
+            );
+        }
+    }
+    sys.cpu.ttbr = 0x4000;
+    let mut a = Asm::new();
+    let e = a.label("e");
+    a.bind(e).unwrap();
+    build(&mut a);
+    let img = a.finish(e).unwrap();
+    for seg in img.segments() {
+        sys.mem.phys.write_bytes(seg.vaddr, &seg.data);
+    }
+    sys.cpu.pc = img.entry();
+    sys
+}
+
+/// Tight ALU loop: one short hot block.
+fn alu_loop(a: &mut Asm) {
+    let lp = a.label("lp");
+    a.mov32(Reg::R1, u32::MAX);
+    a.bind(lp).unwrap();
+    a.add(Reg::R0, Reg::R0, Reg::R1);
+    a.subs_imm(Reg::R1, Reg::R1, 1);
+    a.b_if(Cond::Ne, lp);
+}
+
+/// Load/store loop over one page: fused blocks with memory traffic.
+fn mem_loop(a: &mut Asm) {
+    let lp = a.label("lp");
+    a.mov32(Reg::R1, u32::MAX);
+    a.mov32(Reg::R3, 0x0030_0000);
+    a.bind(lp).unwrap();
+    a.and_imm(Reg::R2, Reg::R1, 0xFF0);
+    a.ldr_idx(Reg::R0, Reg::R3, Reg::R2, 0);
+    a.add(Reg::R0, Reg::R0, Reg::R1);
+    a.str_idx(Reg::R0, Reg::R3, Reg::R2, 0);
+    a.subs_imm(Reg::R1, Reg::R1, 1);
+    a.b_if(Cond::Ne, lp);
+}
+
+fn steps(sys: &mut System<NullDevice>, n: u32) {
+    for _ in 0..n {
+        if sys.step() != StepOutcome::Executed {
+            unreachable!("loop never terminates");
+        }
+    }
+}
+
+fn bench_warp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("warp");
+    g.throughput(Throughput::Elements(10_000));
+
+    type Tier = fn(&mut System<NullDevice>);
+    let arm_warp: Tier = |sys| sys.warp_enable(WarpConfig::default());
+    let arm_fast: Tier = |sys| sys.fastpath_enable(FastPathConfig::default());
+    let arm_none: Tier = |_| {};
+    type Case = (&'static str, fn(&mut Asm), Tier, bool);
+    let cases: [Case; 6] = [
+        // The trace-cache steady state on a short hot loop.
+        ("alu_warp", alu_loop, arm_warp, true),
+        // The same loop under the detailed fast path, for the tier ratio.
+        ("alu_detailed_fastpath", alu_loop, arm_fast, false),
+        ("alu_detailed", alu_loop, arm_none, false),
+        // Memory-heavy traces: atomic accesses vs the modeled hierarchy.
+        ("mem_warp", mem_loop, arm_warp, true),
+        ("mem_detailed_fastpath", mem_loop, arm_fast, false),
+        ("mem_detailed", mem_loop, arm_none, false),
+    ];
+    for (name, build, arm, warp) in cases {
+        let mut sys = machine_with(build);
+        arm(&mut sys);
+        if warp {
+            sys.run_warp(20_000);
+            g.bench_function(name, |b| {
+                b.iter(|| assert_eq!(sys.run_warp(10_000), StepOutcome::Executed))
+            });
+        } else {
+            steps(&mut sys, 20_000);
+            g.bench_function(name, |b| b.iter(|| steps(&mut sys, 10_000)));
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_warp);
+criterion_main!(benches);

@@ -83,11 +83,10 @@ impl Cpsr {
 /// not the file — AR32 forbids it as a data-processing operand.
 #[derive(Clone, Debug)]
 pub struct RegFile {
-    /// r0–r12.
-    r: [u32; 13],
-    sp_usr: u32,
-    sp_svc: u32,
-    lr: u32,
+    /// Flat storage in [`RegFile::flip_bit`] layout: r0–r12, `sp_usr`,
+    /// `sp_svc`, `lr`. Keeping the integer file contiguous lets the warp
+    /// tier's pre-lowered µops address operands as one array index.
+    words: [u32; 16],
     fp: [u32; 32],
     /// Fault-provenance watch: flat word index (layout of [`RegFile::flip_bit`])
     /// holding injected corruption. `Cell` so read paths can stay `&self`.
@@ -103,10 +102,7 @@ impl RegFile {
     /// All registers zeroed.
     pub fn new() -> RegFile {
         RegFile {
-            r: [0; 13],
-            sp_usr: 0,
-            sp_svc: 0,
-            lr: 0,
+            words: [0; 16],
             fp: [0; 32],
             watch: Cell::new(None),
             watch_touched: Cell::new(false),
@@ -152,16 +148,9 @@ impl RegFile {
     ///
     /// Panics on `pc` — the CPU must intercept it first.
     pub fn get(&self, reg: Reg, mode: Mode) -> u32 {
-        self.note_read(Self::word_index(reg, mode));
-        match reg {
-            Reg::Pc => panic!("pc is not a register-file operand"),
-            Reg::Sp => match mode {
-                Mode::User => self.sp_usr,
-                Mode::Svc => self.sp_svc,
-            },
-            Reg::Lr => self.lr,
-            r => self.r[r.index()],
-        }
+        let word = Self::word_index(reg, mode);
+        self.note_read(word);
+        self.words[word]
     }
 
     /// Writes an integer register in the given mode.
@@ -170,29 +159,42 @@ impl RegFile {
     ///
     /// Panics on `pc`.
     pub fn set(&mut self, reg: Reg, mode: Mode, value: u32) {
-        self.note_overwrite(Self::word_index(reg, mode));
-        match reg {
-            Reg::Pc => panic!("pc is not a register-file operand"),
-            Reg::Sp => match mode {
-                Mode::User => self.sp_usr = value,
-                Mode::Svc => self.sp_svc = value,
-            },
-            Reg::Lr => self.lr = value,
-            r => self.r[r.index()] = value,
-        }
+        let word = Self::word_index(reg, mode);
+        self.note_overwrite(word);
+        self.words[word] = value;
+    }
+
+    /// Reads an integer-register word by flat index ([`RegFile::word_index`]
+    /// layout: r0–r12, `sp_usr`, `sp_svc`, `lr`). The warp tier resolves
+    /// banked operands to these indices once, when it lowers a block.
+    #[inline]
+    pub fn word(&self, idx: usize) -> u32 {
+        debug_assert!(idx < 16);
+        let i = idx & 15;
+        self.note_read(i);
+        self.words[i]
+    }
+
+    /// Writes an integer-register word by flat index.
+    #[inline]
+    pub fn set_word(&mut self, idx: usize, value: u32) {
+        debug_assert!(idx < 16);
+        let i = idx & 15;
+        self.note_overwrite(i);
+        self.words[i] = value;
     }
 
     /// Reads the user-mode stack pointer regardless of current mode
     /// (`MRS rd, SpUsr`).
     pub fn sp_usr(&self) -> u32 {
         self.note_read(13);
-        self.sp_usr
+        self.words[13]
     }
 
     /// Writes the user-mode stack pointer (`MSR SpUsr, rn`).
     pub fn set_sp_usr(&mut self, value: u32) {
         self.note_overwrite(13);
-        self.sp_usr = value;
+        self.words[13] = value;
     }
 
     /// Reads an FP register.
@@ -230,10 +232,7 @@ impl RegFile {
     /// fingerprinting, which must be a pure observer.
     pub fn words(&self) -> [u32; 48] {
         let mut out = [0u32; 48];
-        out[..13].copy_from_slice(&self.r);
-        out[13] = self.sp_usr;
-        out[14] = self.sp_svc;
-        out[15] = self.lr;
+        out[..16].copy_from_slice(&self.words);
         out[16..].copy_from_slice(&self.fp);
         out
     }
@@ -249,10 +248,7 @@ impl RegFile {
         let word = (bit / 32) as usize;
         let mask = 1u32 << (bit % 32);
         match word {
-            0..=12 => self.r[word] ^= mask,
-            13 => self.sp_usr ^= mask,
-            14 => self.sp_svc ^= mask,
-            15 => self.lr ^= mask,
+            0..=15 => self.words[word] ^= mask,
             _ => self.fp[word - 16] ^= mask,
         }
     }
@@ -331,12 +327,11 @@ impl Snapshot for RegFile {
     /// are not captured; restore yields a disarmed watch.
     fn save(&self, w: &mut SnapWriter) {
         w.tag(*b"REGF");
-        for v in self.r {
+        // Words stream in flip_bit order (r0–r12, sp_usr, sp_svc, lr), the
+        // same byte layout the field-per-bank representation produced.
+        for v in self.words {
             w.u32(v);
         }
-        w.u32(self.sp_usr);
-        w.u32(self.sp_svc);
-        w.u32(self.lr);
         for v in self.fp {
             w.u32(v);
         }
@@ -345,12 +340,9 @@ impl Snapshot for RegFile {
     fn load(r: &mut SnapReader<'_>) -> Result<RegFile, SnapError> {
         r.tag(*b"REGF")?;
         let mut rf = RegFile::new();
-        for v in rf.r.iter_mut() {
+        for v in rf.words.iter_mut() {
             *v = r.u32()?;
         }
-        rf.sp_usr = r.u32()?;
-        rf.sp_svc = r.u32()?;
-        rf.lr = r.u32()?;
         for v in rf.fp.iter_mut() {
             *v = r.u32()?;
         }
@@ -426,10 +418,7 @@ mod tests {
         rf.save(&mut w);
         let buf = w.into_bytes();
         let back = RegFile::load(&mut SnapReader::new(&buf)).unwrap();
-        assert_eq!(back.r, rf.r);
-        assert_eq!(back.sp_usr, rf.sp_usr);
-        assert_eq!(back.sp_svc, rf.sp_svc);
-        assert_eq!(back.lr, rf.lr);
+        assert_eq!(back.words, rf.words);
         assert_eq!(back.fp, rf.fp);
     }
 }

@@ -84,6 +84,27 @@ fn parse_strata(doc: &Json) -> Vec<(String, Stratum)> {
     out
 }
 
+/// The execution tier the producer is running on. Campaign `/status` docs
+/// report a top-level `tier`; fleet study docs report one per worker, so
+/// summarize the mix. Older producers omit it — they ran detailed-only.
+fn tier_label(doc: &Json) -> String {
+    if let Some(t) = doc.get("tier").and_then(Json::as_str) {
+        return t.to_string();
+    }
+    if let Some(Json::Arr(workers)) = doc.get("workers") {
+        let warp = workers
+            .iter()
+            .filter(|w| w.get("tier").and_then(Json::as_str) == Some("warp"))
+            .count();
+        return match (warp, workers.len()) {
+            (0, _) => "detailed".to_string(),
+            (w, n) if w == n => "warp".to_string(),
+            (w, n) => format!("warp {w}/{n}"),
+        };
+    }
+    "detailed".to_string()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:9099".to_string();
@@ -172,7 +193,8 @@ fn main() {
             print!("\x1b[{drawn}A");
         }
         println!(
-            "\x1b[2K{state}: {done}/{planned} runs, eta {eta:.0}s, target ±{:.1}%",
+            "\x1b[2K{state} [{}]: {done}/{planned} runs, eta {eta:.0}s, target ±{:.1}%",
+            tier_label(&doc),
             100.0 * target
         );
         let label_w = strata.iter().map(|(l, _)| l.len()).max().unwrap_or(4);
